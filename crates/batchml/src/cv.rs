@@ -1,0 +1,145 @@
+//! Stratified k-fold cross-validation (Section V-F: the Sarcasm and
+//! Offensive dataset authors report 10-fold CV numbers that Figure 17
+//! compares against).
+
+use crate::BatchClassifier;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use redhanded_streamml::{ConfusionMatrix, Metrics};
+use redhanded_types::{Error, Instance, Result};
+
+/// Assign each labeled instance to one of `k` folds, stratified by class so
+/// every fold preserves the class ratio. Returns fold indices parallel to
+/// `instances` (unlabeled instances get fold `k`, i.e. excluded).
+pub fn stratified_folds(instances: &[Instance], k: usize, seed: u64) -> Result<Vec<usize>> {
+    if k < 2 {
+        return Err(Error::InvalidConfig("need at least 2 folds".into()));
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // BTreeMap keeps class iteration order deterministic so a fixed seed
+    // always produces the same folds.
+    let mut by_class: std::collections::BTreeMap<usize, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for (i, inst) in instances.iter().enumerate() {
+        if let Some(l) = inst.label {
+            by_class.entry(l).or_default().push(i);
+        }
+    }
+    let mut folds = vec![k; instances.len()];
+    for (_, mut idxs) in by_class {
+        idxs.shuffle(&mut rng);
+        for (j, i) in idxs.into_iter().enumerate() {
+            folds[i] = j % k;
+        }
+    }
+    Ok(folds)
+}
+
+/// Run k-fold cross-validation of `make_model` over `instances`, returning
+/// the pooled confusion-matrix metrics across all folds.
+pub fn cross_validate<M: BatchClassifier>(
+    instances: &[Instance],
+    num_classes: usize,
+    k: usize,
+    seed: u64,
+    mut make_model: impl FnMut() -> M,
+) -> Result<Metrics> {
+    let folds = stratified_folds(instances, k, seed)?;
+    let mut matrix = ConfusionMatrix::new(num_classes);
+    for fold in 0..k {
+        let train: Vec<&Instance> = instances
+            .iter()
+            .zip(&folds)
+            .filter(|&(_, &f)| f != fold && f != k)
+            .map(|(i, _)| i)
+            .collect();
+        let test: Vec<&Instance> = instances
+            .iter()
+            .zip(&folds)
+            .filter(|&(_, &f)| f == fold)
+            .map(|(i, _)| i)
+            .collect();
+        if train.is_empty() || test.is_empty() {
+            continue;
+        }
+        let mut model = make_model();
+        model.fit(&train)?;
+        for inst in test {
+            let predicted = model.predict(&inst.features)?;
+            matrix.add(inst.label.expect("fold members are labeled"), predicted, inst.weight);
+        }
+    }
+    if matrix.total() <= 0.0 {
+        return Err(Error::Untrained("cross_validate evaluated no instances"));
+    }
+    Ok(matrix.metrics())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::DecisionTree;
+
+    fn data() -> Vec<Instance> {
+        (0..300u64)
+            .map(|i| {
+                let x0 = (i % 10) as f64;
+                let x1 = ((i * 7) % 10) as f64;
+                // Class imbalance: 2/3 class 0.
+                let label = usize::from(x0 > 6.5);
+                Instance::labeled(vec![x0, x1], label)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn folds_partition_and_stratify() {
+        let d = data();
+        let folds = stratified_folds(&d, 5, 1).unwrap();
+        assert_eq!(folds.len(), d.len());
+        // Every labeled instance got a fold < 5.
+        assert!(folds.iter().all(|&f| f < 5));
+        // Each fold preserves the class ratio approximately.
+        for fold in 0..5 {
+            let members: Vec<&Instance> =
+                d.iter().zip(&folds).filter(|&(_, &f)| f == fold).map(|(i, _)| i).collect();
+            let pos = members.iter().filter(|i| i.label == Some(1)).count();
+            let ratio = pos as f64 / members.len() as f64;
+            assert!((ratio - 0.3).abs() < 0.05, "fold {fold} ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn unlabeled_instances_are_excluded() {
+        let mut d = data();
+        d.push(Instance::unlabeled(vec![1.0, 2.0]));
+        let folds = stratified_folds(&d, 3, 1).unwrap();
+        assert_eq!(*folds.last().unwrap(), 3, "unlabeled marked as excluded");
+    }
+
+    #[test]
+    fn cross_validation_on_learnable_data() {
+        let d = data();
+        let metrics =
+            cross_validate(&d, 2, 5, 42, || DecisionTree::with_defaults(2, 2)).unwrap();
+        assert!(metrics.accuracy > 0.95, "CV accuracy {}", metrics.accuracy);
+        assert_eq!(metrics.total, 300.0, "every instance tested exactly once");
+    }
+
+    #[test]
+    fn rejects_bad_k() {
+        let d = data();
+        assert!(stratified_folds(&d, 1, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = data();
+        let a = stratified_folds(&d, 4, 9).unwrap();
+        let b = stratified_folds(&d, 4, 9).unwrap();
+        assert_eq!(a, b);
+        let c = stratified_folds(&d, 4, 10).unwrap();
+        assert_ne!(a, c, "different seed shuffles differently");
+    }
+}

@@ -1,0 +1,220 @@
+//! Batch random forest — the WEKA RandomForest comparator, and the source
+//! of the Gini feature importances of Figure 5.
+
+use crate::tree::{DecisionTree, DecisionTreeConfig};
+use crate::BatchClassifier;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use redhanded_streamml::classifier::normalize_proba;
+use redhanded_types::{Error, Instance, Result};
+
+/// Random-forest hyperparameters.
+#[derive(Debug, Clone)]
+pub struct RandomForestConfig {
+    /// Number of trees.
+    pub num_trees: usize,
+    /// Per-node random feature-subset size (`None` = ⌈√M⌉).
+    pub subspace: Option<usize>,
+    /// Configuration template for the member trees.
+    pub tree_config: DecisionTreeConfig,
+    /// Bootstrap sampling seed.
+    pub seed: u64,
+}
+
+impl RandomForestConfig {
+    /// Defaults comparable to WEKA's RandomForest for a problem shape.
+    pub fn defaults(num_classes: usize, num_features: usize) -> Self {
+        RandomForestConfig {
+            num_trees: 50,
+            subspace: None,
+            tree_config: DecisionTreeConfig::defaults(num_classes, num_features),
+            seed: 0xBA6,
+        }
+    }
+}
+
+/// A fitted batch random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    config: RandomForestConfig,
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Create an unfitted forest.
+    pub fn new(config: RandomForestConfig) -> Result<Self> {
+        if config.num_trees == 0 {
+            return Err(Error::InvalidConfig("num_trees must be positive".into()));
+        }
+        Ok(RandomForest { config, trees: Vec::new() })
+    }
+
+    /// Unfitted forest with default hyperparameters.
+    pub fn with_defaults(num_classes: usize, num_features: usize) -> Self {
+        Self::new(RandomForestConfig::defaults(num_classes, num_features))
+            .expect("defaults are valid")
+    }
+
+    /// Number of fitted trees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Normalized Gini/gain feature importances: each feature's total
+    /// impurity reduction across all trees, scaled to sum to 1 (Figure 5's
+    /// "normalized total reduction of the criterion brought by that
+    /// feature").
+    pub fn gini_importance(&self) -> Result<Vec<f64>> {
+        if self.trees.is_empty() {
+            return Err(Error::Untrained("RandomForest"));
+        }
+        let mut imp = vec![0.0; self.config.tree_config.num_features];
+        for tree in &self.trees {
+            tree.accumulate_importances(&mut imp);
+        }
+        let total: f64 = imp.iter().sum();
+        if total > 0.0 {
+            for v in imp.iter_mut() {
+                *v /= total;
+            }
+        }
+        Ok(imp)
+    }
+}
+
+impl BatchClassifier for RandomForest {
+    fn num_classes(&self) -> usize {
+        self.config.tree_config.num_classes
+    }
+
+    fn fit(&mut self, instances: &[&Instance]) -> Result<()> {
+        let labeled: Vec<&Instance> =
+            instances.iter().copied().filter(|i| i.label.is_some()).collect();
+        if labeled.is_empty() {
+            return Err(Error::Untrained("RandomForest::fit received no labeled data"));
+        }
+        let m = self.config.tree_config.num_features;
+        let subspace = self
+            .config
+            .subspace
+            .unwrap_or_else(|| ((m as f64).sqrt().ceil() as usize).clamp(1, m));
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        self.trees.clear();
+        for t in 0..self.config.num_trees {
+            // Bootstrap sample with replacement.
+            let sample: Vec<&Instance> =
+                (0..labeled.len()).map(|_| labeled[rng.gen_range(0..labeled.len())]).collect();
+            let mut cfg = self.config.tree_config.clone();
+            cfg.subspace = Some(subspace);
+            let mut tree = DecisionTree::new(cfg)?.with_seed(rng.gen::<u64>() ^ t as u64);
+            tree.fit(&sample)?;
+            self.trees.push(tree);
+        }
+        Ok(())
+    }
+
+    fn predict_proba(&self, features: &[f64]) -> Result<Vec<f64>> {
+        if self.trees.is_empty() {
+            return Err(Error::Untrained("RandomForest"));
+        }
+        let mut combined = vec![0.0; self.num_classes()];
+        for tree in &self.trees {
+            let p = tree.predict_proba(features)?;
+            for (acc, v) in combined.iter_mut().zip(&p) {
+                *acc += v;
+            }
+        }
+        normalize_proba(&mut combined);
+        Ok(combined)
+    }
+
+    fn name(&self) -> &'static str {
+        "RF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn banded(i: u64) -> Instance {
+        let x0 = (i % 10) as f64;
+        // Hash-scrambled noise features, decorrelated from x0 (plain
+        // multiplicative moduli of i would be bijections of i % 10).
+        let x1 = ((i.wrapping_mul(0x9E3779B97F4A7C15) >> 17) % 10) as f64;
+        let x2 = ((i.wrapping_mul(0xD1B54A32D192ED03) >> 23) % 10) as f64;
+        Instance::labeled(vec![x0, x1, x2], usize::from(x0 > 4.5))
+    }
+
+    fn fitted_forest() -> RandomForest {
+        let data: Vec<Instance> = (0..500).map(banded).collect();
+        let refs: Vec<&Instance> = data.iter().collect();
+        let mut cfg = RandomForestConfig::defaults(2, 3);
+        cfg.num_trees = 15;
+        let mut rf = RandomForest::new(cfg).unwrap();
+        rf.fit(&refs).unwrap();
+        rf
+    }
+
+    #[test]
+    fn learns_and_predicts() {
+        let rf = fitted_forest();
+        assert_eq!(rf.num_trees(), 15);
+        let correct = (0..200)
+            .filter(|&i| {
+                let t = banded(i + 1000);
+                rf.predict(&t.features).unwrap() == t.label.unwrap()
+            })
+            .count();
+        assert!(correct > 190, "accuracy {correct}/200");
+    }
+
+    #[test]
+    fn gini_importance_ranks_signal_feature_first() {
+        let rf = fitted_forest();
+        let imp = rf.gini_importance().unwrap();
+        assert_eq!(imp.len(), 3);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9, "normalized");
+        assert!(imp[0] > imp[1] && imp[0] > imp[2], "importances {imp:?}");
+        assert!(imp[0] > 0.8, "signal feature dominates: {imp:?}");
+    }
+
+    #[test]
+    fn unfitted_forest_errors() {
+        let rf = RandomForest::with_defaults(2, 3);
+        assert!(rf.predict_proba(&[1.0, 2.0, 3.0]).is_err());
+        assert!(rf.gini_importance().is_err());
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        let rf = fitted_forest();
+        let p = rf.predict_proba(&[5.0, 1.0, 2.0]).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn zero_trees_rejected() {
+        let mut cfg = RandomForestConfig::defaults(2, 3);
+        cfg.num_trees = 0;
+        assert!(RandomForest::new(cfg).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data: Vec<Instance> = (0..200).map(banded).collect();
+        let refs: Vec<&Instance> = data.iter().collect();
+        let mut a = RandomForest::with_defaults(2, 3);
+        let mut b = RandomForest::with_defaults(2, 3);
+        a.fit(&refs).unwrap();
+        b.fit(&refs).unwrap();
+        for i in 0..50 {
+            let t = banded(i + 777);
+            assert_eq!(
+                a.predict_proba(&t.features).unwrap(),
+                b.predict_proba(&t.features).unwrap()
+            );
+        }
+    }
+}

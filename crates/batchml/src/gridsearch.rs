@@ -1,0 +1,131 @@
+//! Grid search over hyperparameter combinations (Table I of the paper:
+//! "for each machine learning model (streaming or batch), we used grid
+//! search to find optimal parameter settings").
+//!
+//! The grid is expressed as named dimensions of candidate values; the
+//! caller scores each combination (e.g. prequential F1 for streaming
+//! models, CV F1 for batch models) and receives the full ranking.
+
+use redhanded_types::{Error, Result};
+use std::collections::BTreeMap;
+
+/// One hyperparameter dimension: a name and its candidate values.
+#[derive(Debug, Clone)]
+pub struct GridDimension {
+    /// Parameter name (e.g. `"grace_period"`).
+    pub name: String,
+    /// Candidate values, kept as `f64` (categorical options are indices).
+    pub values: Vec<f64>,
+}
+
+impl GridDimension {
+    /// Create a dimension.
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
+        GridDimension { name: name.into(), values }
+    }
+}
+
+/// One point of the grid: parameter name → chosen value.
+pub type GridPoint = BTreeMap<String, f64>;
+
+/// A scored grid point.
+#[derive(Debug, Clone)]
+pub struct GridResult {
+    /// The parameter assignment.
+    pub point: GridPoint,
+    /// The caller-provided score (higher is better).
+    pub score: f64,
+}
+
+/// Enumerate the full cartesian product of the grid.
+pub fn enumerate_grid(dimensions: &[GridDimension]) -> Vec<GridPoint> {
+    let mut points: Vec<GridPoint> = vec![GridPoint::new()];
+    for dim in dimensions {
+        let mut next = Vec::with_capacity(points.len() * dim.values.len());
+        for point in &points {
+            for &v in &dim.values {
+                let mut p = point.clone();
+                p.insert(dim.name.clone(), v);
+                next.push(p);
+            }
+        }
+        points = next;
+    }
+    points
+}
+
+/// Run grid search: score every combination with `score_fn` and return all
+/// results sorted best-first.
+pub fn grid_search(
+    dimensions: &[GridDimension],
+    mut score_fn: impl FnMut(&GridPoint) -> Result<f64>,
+) -> Result<Vec<GridResult>> {
+    if dimensions.is_empty() || dimensions.iter().any(|d| d.values.is_empty()) {
+        return Err(Error::InvalidConfig("grid must have non-empty dimensions".into()));
+    }
+    let mut results = Vec::new();
+    for point in enumerate_grid(dimensions) {
+        let score = score_fn(&point)?;
+        results.push(GridResult { point, score });
+    }
+    results.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_cartesian_product() {
+        let dims = vec![
+            GridDimension::new("a", vec![1.0, 2.0]),
+            GridDimension::new("b", vec![10.0, 20.0, 30.0]),
+        ];
+        let points = enumerate_grid(&dims);
+        assert_eq!(points.len(), 6);
+        assert!(points.iter().all(|p| p.len() == 2));
+        // All combinations are distinct.
+        let mut seen = std::collections::HashSet::new();
+        for p in &points {
+            let key = format!("{}/{}", p["a"], p["b"]);
+            assert!(seen.insert(key));
+        }
+    }
+
+    #[test]
+    fn finds_the_optimum() {
+        let dims = vec![
+            GridDimension::new("x", vec![-2.0, -1.0, 0.0, 1.0, 2.0]),
+            GridDimension::new("y", vec![-1.0, 0.0, 1.0]),
+        ];
+        // Score peaks at (1, 0).
+        let results = grid_search(&dims, |p| {
+            Ok(-(p["x"] - 1.0).powi(2) - p["y"].powi(2))
+        })
+        .unwrap();
+        assert_eq!(results.len(), 15);
+        assert_eq!(results[0].point["x"], 1.0);
+        assert_eq!(results[0].point["y"], 0.0);
+        // Sorted best-first.
+        for w in results.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn rejects_empty_grids() {
+        assert!(grid_search(&[], |_| Ok(0.0)).is_err());
+        let dims = vec![GridDimension::new("a", vec![])];
+        assert!(grid_search(&dims, |_| Ok(0.0)).is_err());
+    }
+
+    #[test]
+    fn propagates_score_errors() {
+        let dims = vec![GridDimension::new("a", vec![1.0])];
+        let r = grid_search(&dims, |_| {
+            Err(redhanded_types::Error::Untrained("scorer"))
+        });
+        assert!(r.is_err());
+    }
+}

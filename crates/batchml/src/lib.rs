@@ -1,0 +1,51 @@
+//! Batch ML baselines for the `redhanded` framework.
+//!
+//! The paper compares its streaming methods against "corresponding (or
+//! similar) batch methods … Decision Tree J48, Random Forest, and Logistic
+//! Regression using the ML software WEKA v3.7" (Section V-D). This crate
+//! implements those comparators from scratch:
+//!
+//! * [`tree`] — batch decision tree with exact split search;
+//! * [`forest`] — batch random forest, including the normalized Gini
+//!   feature importances of Figure 5;
+//! * [`logistic`] — batch multinomial logistic regression;
+//! * [`cv`] — stratified k-fold cross-validation (Figure 17's protocol);
+//! * [`gridsearch`] — the hyperparameter grid-search driver behind Table I.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cv;
+pub mod forest;
+pub mod gridsearch;
+pub mod logistic;
+pub mod tree;
+
+pub use cv::{cross_validate, stratified_folds};
+pub use forest::{RandomForest, RandomForestConfig};
+pub use gridsearch::{enumerate_grid, grid_search, GridDimension, GridPoint, GridResult};
+pub use logistic::{BatchLogisticRegression, LogisticConfig};
+pub use tree::{DecisionTree, DecisionTreeConfig};
+
+use redhanded_streamml::classifier::argmax;
+use redhanded_types::{Instance, Result};
+
+/// A batch classifier: fit once on a training set, then predict.
+pub trait BatchClassifier {
+    /// Number of classes the model predicts.
+    fn num_classes(&self) -> usize;
+
+    /// Fit the model on a training set (unlabeled instances are skipped).
+    fn fit(&mut self, instances: &[&Instance]) -> Result<()>;
+
+    /// Class-probability estimates for a feature vector.
+    fn predict_proba(&self, features: &[f64]) -> Result<Vec<f64>>;
+
+    /// The most probable class for a feature vector.
+    fn predict(&self, features: &[f64]) -> Result<usize> {
+        Ok(argmax(&self.predict_proba(features)?))
+    }
+
+    /// Short human-readable name (`DT`, `RF`, `LR`) used in reports.
+    fn name(&self) -> &'static str;
+}

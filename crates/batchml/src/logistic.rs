@@ -1,0 +1,244 @@
+//! Batch (multinomial) logistic regression — the WEKA Logistic comparator,
+//! and the model the Sarcasm/Offensive dataset authors used (Section V-F).
+//!
+//! Full-batch gradient descent over multiple epochs with L2 regularization;
+//! unlike [`redhanded_streamml::StreamingLogisticRegression`], every
+//! instance is visited `epochs` times — the batch/streaming contrast the
+//! paper draws in Section V-D.
+
+use crate::BatchClassifier;
+use redhanded_streamml::classifier::normalize_proba;
+use redhanded_types::{Error, Instance, Result};
+
+/// Batch logistic-regression hyperparameters.
+#[derive(Debug, Clone)]
+pub struct LogisticConfig {
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Number of features.
+    pub num_features: usize,
+    /// Gradient-descent step size.
+    pub learning_rate: f64,
+    /// Number of full passes over the training data.
+    pub epochs: usize,
+    /// L2 penalty strength.
+    pub reg_param: f64,
+}
+
+impl LogisticConfig {
+    /// Defaults comparable to WEKA Logistic for a problem shape.
+    pub fn defaults(num_classes: usize, num_features: usize) -> Self {
+        LogisticConfig { num_classes, num_features, learning_rate: 0.1, epochs: 100, reg_param: 0.01 }
+    }
+}
+
+/// A fitted batch logistic-regression model.
+#[derive(Debug, Clone)]
+pub struct BatchLogisticRegression {
+    config: LogisticConfig,
+    weights: Vec<Vec<f64>>,
+    bias: Vec<f64>,
+    fitted: bool,
+}
+
+impl BatchLogisticRegression {
+    /// Create an unfitted model.
+    pub fn new(config: LogisticConfig) -> Result<Self> {
+        if config.num_classes < 2 {
+            return Err(Error::InvalidConfig("need at least 2 classes".into()));
+        }
+        if config.num_features == 0 {
+            return Err(Error::InvalidConfig("need at least 1 feature".into()));
+        }
+        if config.learning_rate <= 0.0 || config.epochs == 0 {
+            return Err(Error::InvalidConfig("learning_rate and epochs must be positive".into()));
+        }
+        Ok(BatchLogisticRegression {
+            weights: vec![vec![0.0; config.num_features]; config.num_classes],
+            bias: vec![0.0; config.num_classes],
+            fitted: false,
+            config,
+        })
+    }
+
+    /// Unfitted model with default hyperparameters.
+    pub fn with_defaults(num_classes: usize, num_features: usize) -> Self {
+        Self::new(LogisticConfig::defaults(num_classes, num_features))
+            .expect("defaults are valid")
+    }
+
+    fn softmax(&self, features: &[f64]) -> Vec<f64> {
+        let mut scores: Vec<f64> = self
+            .weights
+            .iter()
+            .zip(&self.bias)
+            .map(|(w, b)| b + w.iter().zip(features).map(|(wi, xi)| wi * xi).sum::<f64>())
+            .collect();
+        let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for s in scores.iter_mut() {
+            *s = (*s - max).exp();
+        }
+        normalize_proba(&mut scores);
+        scores
+    }
+}
+
+impl BatchClassifier for BatchLogisticRegression {
+    fn num_classes(&self) -> usize {
+        self.config.num_classes
+    }
+
+    fn fit(&mut self, instances: &[&Instance]) -> Result<()> {
+        let labeled: Vec<&Instance> =
+            instances.iter().copied().filter(|i| i.label.is_some()).collect();
+        if labeled.is_empty() {
+            return Err(Error::Untrained("BatchLogisticRegression::fit received no labeled data"));
+        }
+        for inst in &labeled {
+            if inst.features.len() != self.config.num_features {
+                return Err(Error::DimensionMismatch {
+                    expected: self.config.num_features,
+                    actual: inst.features.len(),
+                });
+            }
+            if inst.label.expect("filtered") >= self.config.num_classes {
+                return Err(Error::InvalidClass {
+                    class: inst.label.expect("filtered"),
+                    num_classes: self.config.num_classes,
+                });
+            }
+        }
+        let n = labeled.len() as f64;
+        let c = self.config.num_classes;
+        let m = self.config.num_features;
+        for _ in 0..self.config.epochs {
+            let mut grad_w = vec![vec![0.0; m]; c];
+            let mut grad_b = vec![0.0; c];
+            for inst in &labeled {
+                let proba = self.softmax(&inst.features);
+                let y = inst.label.expect("filtered");
+                for (k, g) in grad_w.iter_mut().enumerate() {
+                    let err = (proba[k] - if k == y { 1.0 } else { 0.0 }) * inst.weight;
+                    for (gi, &xi) in g.iter_mut().zip(&inst.features) {
+                        *gi += err * xi;
+                    }
+                    grad_b[k] += err;
+                }
+            }
+            let lr = self.config.learning_rate;
+            let reg = self.config.reg_param;
+            for (wc, gc) in self.weights.iter_mut().zip(&grad_w) {
+                for (wi, gi) in wc.iter_mut().zip(gc) {
+                    *wi -= lr * (gi / n + reg * *wi);
+                }
+            }
+            for (bi, gi) in self.bias.iter_mut().zip(&grad_b) {
+                *bi -= lr * gi / n;
+            }
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_proba(&self, features: &[f64]) -> Result<Vec<f64>> {
+        if !self.fitted {
+            return Err(Error::Untrained("BatchLogisticRegression"));
+        }
+        if features.len() != self.config.num_features {
+            return Err(Error::DimensionMismatch {
+                expected: self.config.num_features,
+                actual: features.len(),
+            });
+        }
+        Ok(self.softmax(features))
+    }
+
+    fn name(&self) -> &'static str {
+        "LR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn margin_data() -> Vec<Instance> {
+        (0..200u64)
+            .map(|i| {
+                let label = (i % 2) as usize;
+                let x0 = label as f64 * 0.6 + ((i * 13) % 40) as f64 / 100.0;
+                let x1 = ((i * 7) % 100) as f64 / 100.0;
+                Instance::labeled(vec![x0, x1], label)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_linear_concept() {
+        let data = margin_data();
+        let refs: Vec<&Instance> = data.iter().collect();
+        let mut lr = BatchLogisticRegression::with_defaults(2, 2);
+        lr.fit(&refs).unwrap();
+        let correct = data
+            .iter()
+            .filter(|i| lr.predict(&i.features).unwrap() == i.label.unwrap())
+            .count();
+        assert!(correct as f64 / data.len() as f64 > 0.97, "{correct}/{}", data.len());
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let lr = BatchLogisticRegression::with_defaults(2, 2);
+        assert!(matches!(lr.predict_proba(&[0.1, 0.2]), Err(Error::Untrained(_))));
+    }
+
+    #[test]
+    fn probabilities_valid() {
+        let data = margin_data();
+        let refs: Vec<&Instance> = data.iter().collect();
+        let mut lr = BatchLogisticRegression::with_defaults(2, 2);
+        lr.fit(&refs).unwrap();
+        let p = lr.predict_proba(&[0.5, 0.5]).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut cfg = LogisticConfig::defaults(2, 2);
+        cfg.epochs = 0;
+        assert!(BatchLogisticRegression::new(cfg).is_err());
+        let mut cfg = LogisticConfig::defaults(2, 2);
+        cfg.num_classes = 1;
+        assert!(BatchLogisticRegression::new(cfg).is_err());
+    }
+
+    #[test]
+    fn fit_rejects_bad_data() {
+        let mut lr = BatchLogisticRegression::with_defaults(2, 2);
+        assert!(lr.fit(&[]).is_err());
+        let bad = Instance::labeled(vec![1.0], 0);
+        assert!(lr.fit(&[&bad]).is_err());
+    }
+
+    #[test]
+    fn three_class_bands() {
+        let data: Vec<Instance> = (0..300u64)
+            .map(|i| {
+                let label = (i % 3) as usize;
+                let x = label as f64 * 0.4 + ((i * 13) % 20) as f64 / 100.0;
+                Instance::labeled(vec![x], label)
+            })
+            .collect();
+        let refs: Vec<&Instance> = data.iter().collect();
+        let mut cfg = LogisticConfig::defaults(3, 1);
+        cfg.epochs = 500;
+        cfg.learning_rate = 0.5;
+        let mut lr = BatchLogisticRegression::new(cfg).unwrap();
+        lr.fit(&refs).unwrap();
+        let correct = data
+            .iter()
+            .filter(|i| lr.predict(&i.features).unwrap() == i.label.unwrap())
+            .count();
+        assert!(correct > 250, "{correct}/300");
+    }
+}

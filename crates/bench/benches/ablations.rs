@@ -1,0 +1,109 @@
+//! Ablation benches for the remaining design choices DESIGN.md calls out:
+//! Hoeffding-Tree leaf prediction strategy, candidate-split granularity of
+//! the Gaussian observers, and ARF drift detection on/off.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use redhanded_core::experiments::prepare_instances;
+use redhanded_streamml::{
+    AdaptiveRandomForest, ArfConfig, HoeffdingTree, HoeffdingTreeConfig, LeafPrediction,
+    StreamingClassifier,
+};
+use redhanded_types::{ClassScheme, Instance};
+use std::hint::black_box;
+
+fn instances() -> Vec<Instance> {
+    prepare_instances(ClassScheme::ThreeClass, 3_000, 0xBE7C9).expect("prepare")
+}
+
+fn train_all(mut model: Box<dyn StreamingClassifier>, insts: &[Instance]) -> Box<dyn StreamingClassifier> {
+    for inst in insts {
+        model.train(inst).expect("train");
+    }
+    model
+}
+
+fn bench_ht_leaf_strategy(c: &mut Criterion) {
+    let insts = instances();
+    let mut group = c.benchmark_group("ht_leaf_strategy");
+    group.throughput(Throughput::Elements(insts.len() as u64));
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("majority_class", LeafPrediction::MajorityClass),
+        ("naive_bayes", LeafPrediction::NaiveBayes),
+        ("nb_adaptive", LeafPrediction::NBAdaptive),
+    ] {
+        group.bench_function(format!("train_{name}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut cfg = HoeffdingTreeConfig::paper_defaults(3, 17);
+                    cfg.leaf_prediction = strategy;
+                    Box::new(HoeffdingTree::new(cfg).expect("valid")) as Box<dyn StreamingClassifier>
+                },
+                |m| black_box(train_all(m, &insts)),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_ht_observer_candidates(c: &mut Criterion) {
+    let insts = instances();
+    let mut group = c.benchmark_group("ht_observer_candidates");
+    group.throughput(Throughput::Elements(insts.len() as u64));
+    group.sample_size(10);
+    for candidates in [5usize, 10, 50] {
+        group.bench_function(format!("train_{candidates}_candidates"), |b| {
+            b.iter_batched(
+                || {
+                    let mut cfg = HoeffdingTreeConfig::paper_defaults(3, 17);
+                    cfg.num_candidates = candidates;
+                    Box::new(HoeffdingTree::new(cfg).expect("valid")) as Box<dyn StreamingClassifier>
+                },
+                |m| black_box(train_all(m, &insts)),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_arf_drift(c: &mut Criterion) {
+    use redhanded_streamml::DetectorKind;
+    let insts = instances();
+    let mut group = c.benchmark_group("arf_drift");
+    group.throughput(Throughput::Elements(insts.len() as u64));
+    group.sample_size(10);
+    let variants: [(&str, bool, Option<DetectorKind>); 3] = [
+        ("with_adwin", true, None),
+        ("with_ddm", true, Some(DetectorKind::Ddm)),
+        ("without_detection", false, None),
+    ];
+    for (name, enabled, detector) in variants {
+        group.bench_function(format!("train_{name}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut cfg = ArfConfig::paper_defaults(3, 17);
+                    cfg.enable_drift_detection = enabled;
+                    if let Some(d) = detector {
+                        cfg.warning_detector = d;
+                        cfg.drift_detector = d;
+                    }
+                    Box::new(AdaptiveRandomForest::new(cfg).expect("valid"))
+                        as Box<dyn StreamingClassifier>
+                },
+                |m| black_box(train_all(m, &insts)),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ht_leaf_strategy,
+    bench_ht_observer_candidates,
+    bench_arf_drift
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Micro-benchmarks for the adaptive bag-of-words: scoring, observation,
+//! and the periodic maintenance round (Section IV-B's adaptive feature).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use redhanded_datagen::{generate_abusive, AbusiveConfig};
+use redhanded_features::{AdaptiveBow, AdaptiveBowConfig, FeatureExtractor};
+use std::hint::black_box;
+
+fn tweet_words(n: usize) -> Vec<(Vec<String>, bool)> {
+    let tweets = generate_abusive(&AbusiveConfig::small(n, 0xBE7C6));
+    let extractor = FeatureExtractor::default();
+    let bow = AdaptiveBow::with_defaults();
+    tweets
+        .iter()
+        .map(|lt| {
+            let ext = extractor.extract(&lt.tweet, &bow);
+            (ext.words, lt.label.is_aggressive())
+        })
+        .collect()
+}
+
+fn bench_bow(c: &mut Criterion) {
+    let words = tweet_words(2_000);
+    let mut group = c.benchmark_group("adaptive_bow");
+    group.throughput(Throughput::Elements(words.len() as u64));
+    group.sample_size(20);
+
+    group.bench_function("score_2k_tweets", |b| {
+        let bow = AdaptiveBow::with_defaults();
+        b.iter(|| {
+            for (w, _) in &words {
+                black_box(bow.score(w.iter().map(String::as_str)));
+            }
+        })
+    });
+
+    group.bench_function("observe_2k_tweets", |b| {
+        b.iter_batched(
+            AdaptiveBow::with_defaults,
+            |mut bow| {
+                for (w, aggressive) in &words {
+                    bow.observe(w.iter().map(String::as_str), *aggressive);
+                }
+                black_box(bow)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("maintenance_round", |b| {
+        // A BoW loaded with rolling statistics from 2k tweets.
+        let mut loaded = AdaptiveBow::new(AdaptiveBowConfig {
+            update_interval: u64::MAX,
+            ..Default::default()
+        });
+        for (w, aggressive) in &words {
+            loaded.observe(w.iter().map(String::as_str), *aggressive);
+        }
+        b.iter_batched(
+            || loaded.clone(),
+            |mut bow| {
+                bow.force_maintain();
+                black_box(bow)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bow);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Engine benches: micro-batch scheduling overhead, the micro-batch-size
+//! latency/throughput trade-off (a design choice DESIGN.md calls out), and
+//! the model merge step of the distributed training protocol.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use redhanded_core::experiments::prepare_instances;
+use redhanded_dspe::{CostModel, EngineConfig, MicroBatchEngine, Topology};
+use redhanded_streamml::{HoeffdingTree, StreamingClassifier};
+use redhanded_types::ClassScheme;
+use std::hint::black_box;
+
+fn bench_microbatch_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("microbatch_size");
+    group.sample_size(10);
+    for batch_size in [100usize, 1_000, 10_000] {
+        group.bench_function(format!("map_20k_records_batch{batch_size}"), |b| {
+            let mut cfg = EngineConfig::for_topology(Topology::local(4));
+            cfg.microbatch_size = batch_size;
+            cfg.cost_model = CostModel::default();
+            let engine = MicroBatchEngine::new(cfg);
+            b.iter(|| {
+                let report = engine.run_stream(0..20_000u64, |ctx, batch| {
+                    let data = ctx.parallelize(batch);
+                    let _ = ctx.map(&data, |x| x.wrapping_mul(2654435761));
+                });
+                black_box(report)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_merge(c: &mut Criterion) {
+    // The driver-side cost of Figure 2's op #3 second half: merging N
+    // partition-local HT forks into the global tree.
+    let insts = prepare_instances(ClassScheme::ThreeClass, 4_000, 0xBE7C7).expect("prepare");
+    let mut global = HoeffdingTree::with_paper_defaults(3, 17);
+    for inst in &insts[..2_000] {
+        global.train(inst).expect("train");
+    }
+    let mut group = c.benchmark_group("model_merge");
+    group.sample_size(10);
+    for partitions in [2usize, 8, 24] {
+        // Build per-partition delta forks trained on disjoint slices.
+        let locals: Vec<Box<dyn StreamingClassifier>> = (0..partitions)
+            .map(|p| {
+                let mut local = StreamingClassifier::local_copy(&global);
+                for inst in insts[2_000..].iter().skip(p).step_by(partitions) {
+                    local.accumulate(inst).expect("accumulate");
+                }
+                local
+            })
+            .collect();
+        group.bench_function(format!("merge_{partitions}_local_forks"), |b| {
+            b.iter_batched(
+                || (global.clone_box(), locals.clone()),
+                |(mut g, locals)| {
+                    g.merge_locals(locals).expect("merge");
+                    black_box(g)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_broadcast_clone(c: &mut Criterion) {
+    // The per-batch cost of snapshotting the global model for broadcast.
+    let insts = prepare_instances(ClassScheme::ThreeClass, 4_000, 0xBE7C8).expect("prepare");
+    let mut global = HoeffdingTree::with_paper_defaults(3, 17);
+    for inst in &insts {
+        global.train(inst).expect("train");
+    }
+    c.bench_function("model_snapshot_clone", |b| b.iter(|| black_box(global.clone_box())));
+}
+
+criterion_group!(benches, bench_microbatch_size, bench_model_merge, bench_broadcast_clone);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Micro-benchmarks for the NLP substrate and feature extraction — the
+//! per-tweet cost that dominates the pipeline (Figure 2's op #1).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use redhanded_datagen::{generate_abusive, AbusiveConfig};
+use redhanded_features::{AdaptiveBow, FeatureExtractor};
+use redhanded_nlp::{score_text, tokenize};
+use redhanded_types::LabeledTweet;
+use std::hint::black_box;
+
+fn sample_tweets(n: usize) -> Vec<LabeledTweet> {
+    generate_abusive(&AbusiveConfig::small(n, 0xBE7C4))
+}
+
+fn bench_nlp(c: &mut Criterion) {
+    let tweets = sample_tweets(1000);
+    let texts: Vec<&str> = tweets.iter().map(|t| t.tweet.text.as_str()).collect();
+
+    let mut group = c.benchmark_group("nlp");
+    group.throughput(Throughput::Elements(texts.len() as u64));
+    group.sample_size(20);
+
+    group.bench_function("tokenize_1k_tweets", |b| {
+        b.iter(|| {
+            for t in &texts {
+                black_box(tokenize(t));
+            }
+        })
+    });
+
+    group.bench_function("sentiment_1k_tweets", |b| {
+        b.iter(|| {
+            for t in &texts {
+                black_box(score_text(t));
+            }
+        })
+    });
+
+    group.bench_function("pos_tagging_1k_tweets", |b| {
+        b.iter(|| {
+            for t in &texts {
+                let toks = tokenize(t);
+                black_box(redhanded_nlp::count_pos(
+                    toks.iter()
+                        .filter(|tk| tk.kind == redhanded_nlp::TokenKind::Word)
+                        .map(|tk| tk.text),
+                ));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let tweets = sample_tweets(1000);
+    let extractor = FeatureExtractor::default();
+    let bow = AdaptiveBow::with_defaults();
+
+    let mut group = c.benchmark_group("extract");
+    group.throughput(Throughput::Elements(tweets.len() as u64));
+    group.sample_size(20);
+
+    group.bench_function("full_feature_vector_1k_tweets", |b| {
+        b.iter(|| {
+            for lt in &tweets {
+                black_box(extractor.extract(&lt.tweet, &bow));
+            }
+        })
+    });
+
+    group.bench_function("json_parse_1k_tweets", |b| {
+        let jsons: Vec<String> = tweets.iter().map(|t| t.to_json()).collect();
+        b.iter_batched(
+            || jsons.clone(),
+            |jsons| {
+                for j in &jsons {
+                    black_box(LabeledTweet::from_json(j).expect("valid json"));
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nlp, bench_extraction);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Ablation bench: the three normalization variants (minmax, minmax
+//! without outliers, z-score) plus the disabled baseline — the design
+//! choice behind Figures 7–8.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use redhanded_features::{NormalizationKind, Normalizer, NUM_FEATURES};
+use redhanded_types::Instance;
+use std::hint::black_box;
+
+fn vectors(n: usize) -> Vec<Vec<f64>> {
+    let mut state = 0x5EEDu64;
+    (0..n)
+        .map(|_| {
+            (0..NUM_FEATURES)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    (state % 10_000) as f64 / 10.0
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_normalization(c: &mut Criterion) {
+    let data = vectors(5_000);
+    let mut group = c.benchmark_group("normalization");
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.sample_size(20);
+    for (name, kind) in [
+        ("none", NormalizationKind::None),
+        ("minmax", NormalizationKind::MinMax),
+        ("minmax_no_outliers", NormalizationKind::MinMaxNoOutliers),
+        ("zscore", NormalizationKind::ZScore),
+    ] {
+        group.bench_function(format!("{name}_5k_vectors"), |b| {
+            b.iter(|| {
+                let mut norm = Normalizer::new(kind, NUM_FEATURES);
+                for v in &data {
+                    let mut inst = Instance::unlabeled(v.clone());
+                    norm.process(&mut inst).expect("process");
+                    black_box(&inst);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_normalization);
+criterion_main!(benches);

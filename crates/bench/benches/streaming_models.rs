@@ -1,0 +1,68 @@
+//! Micro-benchmarks for the streaming classifiers: per-instance train and
+//! predict cost for HT, ARF, and SLR (the per-record budget that caps the
+//! throughput of Figure 16).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use redhanded_core::experiments::prepare_instances;
+use redhanded_streamml::{
+    AdaptiveRandomForest, HoeffdingTree, StreamingClassifier, StreamingLogisticRegression,
+};
+use redhanded_types::{ClassScheme, Instance};
+use std::hint::black_box;
+
+fn instances() -> Vec<Instance> {
+    prepare_instances(ClassScheme::ThreeClass, 2000, 0xBE7C5).expect("instances prepare")
+}
+
+fn models() -> Vec<Box<dyn StreamingClassifier>> {
+    vec![
+        Box::new(HoeffdingTree::with_paper_defaults(3, 17)),
+        Box::new(AdaptiveRandomForest::with_paper_defaults(3, 17)),
+        Box::new(StreamingLogisticRegression::with_paper_defaults(3, 17)),
+    ]
+}
+
+fn bench_train(c: &mut Criterion) {
+    let insts = instances();
+    let mut group = c.benchmark_group("train");
+    group.throughput(Throughput::Elements(insts.len() as u64));
+    group.sample_size(10);
+    for model in models() {
+        group.bench_function(format!("{}_2k_instances", model.name()), |b| {
+            b.iter_batched(
+                || model.clone_box(),
+                |mut m| {
+                    for inst in &insts {
+                        m.train(inst).expect("train");
+                    }
+                    black_box(m)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let insts = instances();
+    let mut group = c.benchmark_group("predict");
+    group.throughput(Throughput::Elements(insts.len() as u64));
+    group.sample_size(10);
+    for mut model in models() {
+        for inst in &insts {
+            model.train(inst).expect("train");
+        }
+        group.bench_function(format!("{}_2k_instances", model.name()), |b| {
+            b.iter(|| {
+                for inst in &insts {
+                    black_box(model.predict_proba(&inst.features).expect("predict"));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Extension experiment (beyond the paper's figures): the adaptive
+//! bag-of-words' F1 advantage over a frozen lexicon as vocabulary drift
+//! intensifies — the scenario Section I motivates the design with.
+
+use redhanded_bench::{banner, run_scale, scaled, write_csv};
+use redhanded_core::experiments::run_drift_resilience;
+
+fn main() {
+    let scale = run_scale();
+    banner("Extension", "Adaptive BoW resilience under vocabulary drift", scale);
+    let total = scaled(40_000, scale);
+    let adoptions = [0.0, 0.2, 0.4, 0.6, 0.8];
+    let points = run_drift_resilience(&adoptions, total, 0xD81F7).expect("sweep runs");
+    println!(
+        "\n{:>14} {:>14} {:>14} {:>12} {:>10}",
+        "drift level", "adaptive F1", "frozen F1", "advantage", "BoW size"
+    );
+    for p in &points {
+        println!(
+            "{:>14.1} {:>14.4} {:>14.4} {:>12.4} {:>10}",
+            p.max_adoption,
+            p.adaptive_f1,
+            p.frozen_f1,
+            p.advantage(),
+            p.adaptive_bow_size
+        );
+    }
+    println!("\n(the paper's Figure 9 measures the dataset's natural drift level;");
+    println!(" this sweep shows the adaptive BoW's edge growing as aggressors");
+    println!(" rotate vocabulary faster)");
+    write_csv(
+        "ext_drift_resilience",
+        &["max_adoption", "adaptive_f1", "frozen_f1", "bow_size"],
+        points.iter().map(|p| {
+            vec![
+                p.max_adoption.to_string(),
+                p.adaptive_f1.to_string(),
+                p.frozen_f1.to_string(),
+                p.adaptive_bow_size.to_string(),
+            ]
+        }),
+    );
+}

@@ -1,0 +1,26 @@
+//! Figure 5: features ranked by normalized Gini importance (random-forest
+//! total impurity reduction).
+
+use redhanded_bench::{banner, run_scale, scaled, write_csv};
+use redhanded_core::experiments::gini_importance_ranking;
+
+fn main() {
+    let scale = run_scale();
+    banner("Figure 5", "Feature ranking by Gini importance", scale);
+    let total = scaled(85_984, scale);
+    let ranking = gini_importance_ranking(total, 0xF1605).expect("experiment runs");
+    println!("\n(paper's top features: cntSwearWords, sentimentScoreNeg,");
+    println!(" wordsPerSentence, meanWordLength, accountAge, cntPosts)\n");
+    println!("{:>4} {:>20} {:>12}", "#", "feature", "importance");
+    for (i, e) in ranking.iter().enumerate() {
+        let bar = "#".repeat((e.importance * 100.0).round() as usize);
+        println!("{:>4} {:>20} {:>12.4}  {bar}", i + 1, e.feature, e.importance);
+    }
+    write_csv(
+        "fig05_gini_importance",
+        &["rank", "feature", "importance"],
+        ranking.iter().enumerate().map(|(i, e)| {
+            vec![(i + 1).to_string(), e.feature.clone(), e.importance.to_string()]
+        }),
+    );
+}

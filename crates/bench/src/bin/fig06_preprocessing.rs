@@ -1,0 +1,36 @@
+//! Figure 6: F1 for HT (2- and 3-class) with preprocessing ON vs OFF
+//! (normalization and adaptive BoW enabled).
+
+use redhanded_bench::{banner, f1_series, run_scale, scaled, write_csv};
+use redhanded_core::experiments::{run_ablation, AblationSpec};
+use redhanded_core::ModelKind;
+use redhanded_features::NormalizationKind;
+use redhanded_types::ClassScheme;
+
+fn main() {
+    let scale = run_scale();
+    banner("Figure 6", "Impact of preprocessing on HT", scale);
+    let total = scaled(85_984, scale);
+    let n = NormalizationKind::MinMaxNoOutliers;
+    let specs = [
+        AblationSpec::new(ModelKind::ht(), ClassScheme::ThreeClass, false, n, true),
+        AblationSpec::new(ModelKind::ht(), ClassScheme::ThreeClass, true, n, true),
+        AblationSpec::new(ModelKind::ht(), ClassScheme::TwoClass, false, n, true),
+        AblationSpec::new(ModelKind::ht(), ClassScheme::TwoClass, true, n, true),
+    ];
+    let mut series = Vec::new();
+    for spec in &specs {
+        let out = run_ablation(spec, total, 0xF1606).expect("ablation runs");
+        println!("{:<34} final F1 = {:.4}", out.label, out.metrics.f1);
+        series.push((out.label.clone(), f1_series(&out.series)));
+    }
+    println!();
+    redhanded_bench::print_series("tweets", &series);
+    write_csv(
+        "fig06_preprocessing",
+        &["variant", "tweets", "f1"],
+        series.iter().flat_map(|(label, s)| {
+            s.iter().map(move |(x, y)| vec![label.clone(), x.to_string(), y.to_string()])
+        }),
+    );
+}

@@ -1,0 +1,35 @@
+//! Figure 7: F1 for HT (2- and 3-class) with normalization ON vs OFF
+//! (preprocessing and adaptive BoW enabled).
+
+use redhanded_bench::{banner, f1_series, run_scale, scaled, write_csv};
+use redhanded_core::experiments::{run_ablation, AblationSpec};
+use redhanded_core::ModelKind;
+use redhanded_features::NormalizationKind;
+use redhanded_types::ClassScheme;
+
+fn main() {
+    let scale = run_scale();
+    banner("Figure 7", "Impact of normalization on HT", scale);
+    let total = scaled(85_984, scale);
+    let specs = [
+        AblationSpec::new(ModelKind::ht(), ClassScheme::ThreeClass, true, NormalizationKind::None, true),
+        AblationSpec::new(ModelKind::ht(), ClassScheme::ThreeClass, true, NormalizationKind::MinMaxNoOutliers, true),
+        AblationSpec::new(ModelKind::ht(), ClassScheme::TwoClass, true, NormalizationKind::None, true),
+        AblationSpec::new(ModelKind::ht(), ClassScheme::TwoClass, true, NormalizationKind::MinMaxNoOutliers, true),
+    ];
+    let mut series = Vec::new();
+    for spec in &specs {
+        let out = run_ablation(spec, total, 0xF1607).expect("ablation runs");
+        println!("{:<34} final F1 = {:.4}", out.label, out.metrics.f1);
+        series.push((out.label.clone(), f1_series(&out.series)));
+    }
+    println!("\n(paper: enabling/disabling normalization has a marginal effect on HT)\n");
+    redhanded_bench::print_series("tweets", &series);
+    write_csv(
+        "fig07_norm_ht",
+        &["variant", "tweets", "f1"],
+        series.iter().flat_map(|(label, s)| {
+            s.iter().map(move |(x, y)| vec![label.clone(), x.to_string(), y.to_string()])
+        }),
+    );
+}

@@ -1,0 +1,35 @@
+//! Figure 8: F1 for SLR (2- and 3-class) with normalization ON vs OFF —
+//! the paper reports a >42% F1 gap.
+
+use redhanded_bench::{banner, f1_series, run_scale, scaled, write_csv};
+use redhanded_core::experiments::{run_ablation, AblationSpec};
+use redhanded_core::ModelKind;
+use redhanded_features::NormalizationKind;
+use redhanded_types::ClassScheme;
+
+fn main() {
+    let scale = run_scale();
+    banner("Figure 8", "Impact of normalization on SLR", scale);
+    let total = scaled(85_984, scale);
+    let specs = [
+        AblationSpec::new(ModelKind::slr(), ClassScheme::ThreeClass, true, NormalizationKind::None, true),
+        AblationSpec::new(ModelKind::slr(), ClassScheme::ThreeClass, true, NormalizationKind::MinMaxNoOutliers, true),
+        AblationSpec::new(ModelKind::slr(), ClassScheme::TwoClass, true, NormalizationKind::None, true),
+        AblationSpec::new(ModelKind::slr(), ClassScheme::TwoClass, true, NormalizationKind::MinMaxNoOutliers, true),
+    ];
+    let mut series = Vec::new();
+    for spec in &specs {
+        let out = run_ablation(spec, total, 0xF1608).expect("ablation runs");
+        println!("{:<35} final F1 = {:.4}", out.label, out.metrics.f1);
+        series.push((out.label.clone(), f1_series(&out.series)));
+    }
+    println!("\n(paper: normalization increases SLR F1 by over 42%)\n");
+    redhanded_bench::print_series("tweets", &series);
+    write_csv(
+        "fig08_norm_slr",
+        &["variant", "tweets", "f1"],
+        series.iter().flat_map(|(label, s)| {
+            s.iter().map(move |(x, y)| vec![label.clone(), x.to_string(), y.to_string()])
+        }),
+    );
+}

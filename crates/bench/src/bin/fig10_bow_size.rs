@@ -1,0 +1,32 @@
+//! Figure 10: adaptive bag-of-words size while processing the stream
+//! (paper: 347 seed words growing to 529 after 86k tweets).
+
+use redhanded_bench::{banner, run_scale, scaled, write_csv};
+use redhanded_core::experiments::{run_ablation, AblationSpec};
+use redhanded_core::ModelKind;
+use redhanded_features::NormalizationKind;
+use redhanded_types::ClassScheme;
+
+fn main() {
+    let scale = run_scale();
+    banner("Figure 10", "Adaptive BoW size over the stream", scale);
+    let total = scaled(85_984, scale);
+    let spec = AblationSpec::new(
+        ModelKind::ht(),
+        ClassScheme::TwoClass,
+        true,
+        NormalizationKind::MinMaxNoOutliers,
+        true,
+    );
+    let out = run_ablation(&spec, total, 0xF1610).expect("ablation runs");
+    println!("\n{:>14} {:>12}", "tweets", "BoW size");
+    for p in &out.bow_series {
+        println!("{:>14} {:>12}", p.instances, p.size);
+    }
+    println!("\nseed = 347 words; final = {} words (paper: 529)", out.bow_final);
+    write_csv(
+        "fig10_bow_size",
+        &["tweets", "bow_size"],
+        out.bow_series.iter().map(|p| vec![p.instances.to_string(), p.size.to_string()]),
+    );
+}

@@ -1,0 +1,31 @@
+//! Figure 11: F1 over the stream for HT, ARF, and SLR on the 3-class
+//! problem (p=ON, n=ON, ad=ON).
+
+use redhanded_bench::{banner, f1_series, run_scale, scaled, write_csv};
+use redhanded_core::experiments::{run_ablation, AblationSpec};
+use redhanded_core::ModelKind;
+use redhanded_features::NormalizationKind;
+use redhanded_types::ClassScheme;
+
+fn main() {
+    let scale = run_scale();
+    banner("Figure 11", "Streaming methods on the 3-class problem", scale);
+    let total = scaled(85_984, scale);
+    let n = NormalizationKind::MinMaxNoOutliers;
+    let mut series = Vec::new();
+    for model in [ModelKind::ht(), ModelKind::arf(), ModelKind::slr()] {
+        let spec = AblationSpec::new(model, ClassScheme::ThreeClass, true, n, true);
+        let out = run_ablation(&spec, total, 0xF1611).expect("ablation runs");
+        println!("{:<34} final F1 = {:.4}", out.label, out.metrics.f1);
+        series.push((out.label.clone(), f1_series(&out.series)));
+    }
+    println!("\n(paper: all 80-90% F1; HT/SLR similar; ARF ~4% lower, slower to plateau)\n");
+    redhanded_bench::print_series("tweets", &series);
+    write_csv(
+        "fig11_streaming_3class",
+        &["variant", "tweets", "f1"],
+        series.iter().flat_map(|(label, s)| {
+            s.iter().map(move |(x, y)| vec![label.clone(), x.to_string(), y.to_string()])
+        }),
+    );
+}

@@ -1,0 +1,42 @@
+//! Figure 14: streaming HT vs batch decision tree under the two batch
+//! training scenarios, 2-class problem.
+
+use redhanded_bench::{banner, f1_series, run_scale, scaled, write_csv};
+use redhanded_core::experiments::run_batch_vs_stream;
+use redhanded_types::ClassScheme;
+
+fn main() {
+    let scale = run_scale();
+    banner("Figure 14", "HT vs batch DT (2-class)", scale);
+    let total = scaled(85_984, scale);
+    let out = run_batch_vs_stream(ClassScheme::TwoClass, total, 0xF1614).expect("experiment runs");
+    println!("\n{:>6} {:>16} {:>28} {:>28}", "day", "HT (daily avg)", "DT train-first-day", "DT train-one-day-next");
+    let lookup = |v: &[(u32, f64)], d: u32| {
+        v.iter().find(|(day, _)| *day == d).map(|(_, f1)| format!("{f1:.4}")).unwrap_or_default()
+    };
+    for d in 0..10u32 {
+        println!(
+            "{:>6} {:>16} {:>28} {:>28}",
+            d,
+            lookup(&out.streaming_daily, d),
+            lookup(&out.batch_first_day, d),
+            lookup(&out.batch_daily_retrain, d),
+        );
+    }
+    println!("\nfine-grained streaming HT F1 curve:");
+    redhanded_bench::print_series(
+        "tweets",
+        &[("HT".to_string(), f1_series(&out.streaming_series))],
+    );
+    let mut rows = Vec::new();
+    for (d, f1) in &out.streaming_daily {
+        rows.push(vec!["HT_daily".to_string(), d.to_string(), f1.to_string()]);
+    }
+    for (d, f1) in &out.batch_first_day {
+        rows.push(vec!["DT_first_day".to_string(), d.to_string(), f1.to_string()]);
+    }
+    for (d, f1) in &out.batch_daily_retrain {
+        rows.push(vec!["DT_daily_retrain".to_string(), d.to_string(), f1.to_string()]);
+    }
+    write_csv("fig14_batch_vs_stream_2c", &["series", "day", "f1"], rows);
+}

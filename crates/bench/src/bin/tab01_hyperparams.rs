@@ -1,0 +1,39 @@
+//! Table I: hyperparameter tuning for the streaming models (grid search
+//! scored by prequential F1).
+
+use redhanded_bench::{banner, run_scale, scaled, write_csv};
+use redhanded_core::experiments::{prepare_instances, tune_arf, tune_ht, tune_slr};
+use redhanded_types::ClassScheme;
+
+fn main() {
+    let scale = run_scale();
+    banner("Table I", "Hyperparameter tuning for streaming models", scale);
+    // Grid search replays the prepared stream once per grid point (246
+    // combinations), so tuning uses a 10%-of-paper-scale stream.
+    let total = scaled(8_600, scale);
+    let instances = prepare_instances(ClassScheme::ThreeClass, total, 0x7AB01)
+        .expect("instances prepare");
+    println!("\ntuning on {} instances (3-class)\n", instances.len());
+    let mut rows = Vec::new();
+    for outcome in [
+        tune_ht(&instances, ClassScheme::ThreeClass).expect("HT grid"),
+        tune_arf(&instances, ClassScheme::ThreeClass).expect("ARF grid"),
+        tune_slr(&instances, ClassScheme::ThreeClass).expect("SLR grid"),
+    ] {
+        println!("--- {} ({} grid points) ---", outcome.model, outcome.results.len());
+        println!("best F1 = {:.4} at:", outcome.best_score());
+        for (k, v) in outcome.best() {
+            println!("    {k:>12} = {v}");
+            rows.push(vec![
+                outcome.model.to_string(),
+                k.clone(),
+                v.to_string(),
+                outcome.best_score().to_string(),
+            ]);
+        }
+        println!();
+    }
+    println!("(paper selects: HT InfoGain/0.01/0.05/200/20; ARF ensemble 10;");
+    println!(" SLR lambda 0.1, L2, reg 0.01)");
+    write_csv("tab01_hyperparams", &["model", "parameter", "selected", "best_f1"], rows);
+}

@@ -1,0 +1,119 @@
+//! Shared infrastructure for the experiment binaries that regenerate every
+//! table and figure of the paper (see DESIGN.md's per-experiment index).
+//!
+//! Every binary accepts a `--scale <f>` argument (or the `RH_SCALE`
+//! environment variable) that multiplies the paper-scale tweet counts, so
+//! smoke runs finish in seconds while `--scale 1` reproduces the full
+//! workload. Results are printed as aligned text and also written as CSV
+//! under `results/`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Parse the run scale from `--scale <f>` argv or the `RH_SCALE`
+/// environment variable (default 1.0 = paper scale).
+pub fn run_scale() -> f64 {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--scale" {
+            if let Some(v) = args.next().and_then(|v| v.parse::<f64>().ok()) {
+                return v.clamp(0.001, 100.0);
+            }
+        } else if let Some(v) = a.strip_prefix("--scale=").and_then(|v| v.parse::<f64>().ok()) {
+            return v.clamp(0.001, 100.0);
+        }
+    }
+    std::env::var("RH_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .map(|v| v.clamp(0.001, 100.0))
+        .unwrap_or(1.0)
+}
+
+/// Scale a paper-scale count, keeping a sane floor.
+pub fn scaled(paper_count: usize, scale: f64) -> usize {
+    ((paper_count as f64 * scale) as usize).max(200)
+}
+
+/// Print a figure/table banner.
+pub fn banner(id: &str, title: &str, scale: f64) {
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("(scale = {scale} of the paper's workload)");
+    println!("================================================================");
+}
+
+/// Print an aligned table: the x column plus one y column per named
+/// series. Rows are the union of x values; missing points print blank.
+pub fn print_series(x_label: &str, series: &[(String, Vec<(f64, f64)>)]) {
+    print!("{x_label:>14}");
+    for (name, _) in series {
+        print!("  {name:>28}");
+    }
+    println!();
+    let mut xs: Vec<f64> = series.iter().flat_map(|(_, s)| s.iter().map(|(x, _)| *x)).collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+    xs.dedup();
+    for x in xs {
+        print!("{x:>14.0}");
+        for (_, s) in series {
+            match s.iter().find(|(sx, _)| (sx - x).abs() < 1e-9) {
+                Some((_, y)) => print!("  {y:>28.4}"),
+                None => print!("  {:>28}", ""),
+            }
+        }
+        println!();
+    }
+}
+
+/// Write rows of displayable values as CSV under `results/<name>.csv`.
+pub fn write_csv<R, V>(name: &str, header: &[&str], rows: R)
+where
+    R: IntoIterator<Item = Vec<V>>,
+    V: Display,
+{
+    let dir = PathBuf::from("results");
+    if fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    let Ok(mut f) = fs::File::create(&path) else { return };
+    let _ = writeln!(f, "{}", header.join(","));
+    for row in rows {
+        let line: Vec<String> = row.into_iter().map(|v| v.to_string()).collect();
+        let _ = writeln!(f, "{}", line.join(","));
+    }
+    println!("[csv] wrote {}", path.display());
+}
+
+/// Format a `SeriesPoint` list as `(instances, f1)` pairs.
+pub fn f1_series(points: &[redhanded_streamml::SeriesPoint]) -> Vec<(f64, f64)> {
+    points.iter().map(|p| (p.instances as f64, p.metrics.f1)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_has_floor() {
+        assert_eq!(scaled(86_000, 1.0), 86_000);
+        assert_eq!(scaled(86_000, 0.001), 200);
+        assert_eq!(scaled(1000, 0.5), 500);
+    }
+
+    #[test]
+    fn f1_series_maps_points() {
+        use redhanded_streamml::{Metrics, SeriesPoint};
+        let pts = vec![SeriesPoint {
+            instances: 10,
+            metrics: Metrics { f1: 0.5, ..Default::default() },
+        }];
+        assert_eq!(f1_series(&pts), vec![(10.0, 0.5)]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Alerting (Section III-A, "Alerting").
+//!
+//! Raises an alert whenever the model predicts an aggressive class with
+//! confidence above a threshold. Alerts feed a moderator queue and a
+//! per-user alert history; users with repeated offenses are flagged for
+//! automatic suspension — the three handling options the paper lists
+//! (human moderation, automatic warning, automatic removal) all consume
+//! this queue.
+
+use redhanded_types::ClassScheme;
+use std::collections::HashMap;
+
+/// One raised alert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// The offending tweet.
+    pub tweet_id: u64,
+    /// The posting user.
+    pub user_id: u64,
+    /// Predicted (dense) class index.
+    pub class: usize,
+    /// Human-readable class name under the active scheme.
+    pub class_name: &'static str,
+    /// Model confidence in the predicted class.
+    pub confidence: f64,
+    /// How many alerts this user has accumulated, including this one.
+    pub user_alert_count: u32,
+}
+
+/// The alerting step: thresholded alert generation plus per-user history.
+#[derive(Debug, Clone)]
+pub struct Alerter {
+    scheme: ClassScheme,
+    threshold: f64,
+    suspend_after: u32,
+    history: HashMap<u64, u32>,
+    alerts: Vec<Alert>,
+    suspended: Vec<u64>,
+}
+
+impl Alerter {
+    /// Create an alerter. `threshold` is the minimum confidence in an
+    /// aggressive class; `suspend_after` is the repeated-offense cutoff.
+    pub fn new(scheme: ClassScheme, threshold: f64, suspend_after: u32) -> Self {
+        Alerter {
+            scheme,
+            threshold,
+            suspend_after,
+            history: HashMap::new(),
+            alerts: Vec::new(),
+            suspended: Vec::new(),
+        }
+    }
+
+    /// Inspect one classified tweet; returns the alert if one was raised.
+    ///
+    /// `proba` is the model's class distribution for the tweet. An alert
+    /// fires when the combined probability of the non-benign classes
+    /// exceeds the threshold.
+    pub fn observe(
+        &mut self,
+        tweet_id: u64,
+        user_id: u64,
+        proba: &[f64],
+    ) -> Option<&Alert> {
+        let aggressive_mass: f64 =
+            self.scheme.positive_classes().map(|c| proba.get(c).copied().unwrap_or(0.0)).sum();
+        if aggressive_mass < self.threshold {
+            return None;
+        }
+        // Report the strongest aggressive class.
+        let class = self
+            .scheme
+            .positive_classes()
+            .max_by(|&a, &b| proba[a].partial_cmp(&proba[b]).expect("finite proba"))
+            .expect("schemes have at least one positive class");
+        let count = self.history.entry(user_id).or_insert(0);
+        *count += 1;
+        if *count == self.suspend_after {
+            self.suspended.push(user_id);
+        }
+        self.alerts.push(Alert {
+            tweet_id,
+            user_id,
+            class,
+            class_name: self.scheme.class_name(class),
+            confidence: proba[class],
+            user_alert_count: *count,
+        });
+        self.alerts.last()
+    }
+
+    /// All alerts raised so far, in stream order.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Users flagged for suspension (reached `suspend_after` alerts), in
+    /// flagging order.
+    pub fn suspended_users(&self) -> &[u64] {
+        &self.suspended
+    }
+
+    /// Number of alerts a user has accumulated.
+    pub fn user_alert_count(&self, user_id: u64) -> u32 {
+        self.history.get(&user_id).copied().unwrap_or(0)
+    }
+
+    /// Drain the pending alert queue (moderator consumption).
+    pub fn drain(&mut self) -> Vec<Alert> {
+        std::mem::take(&mut self.alerts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alerter() -> Alerter {
+        Alerter::new(ClassScheme::ThreeClass, 0.5, 3)
+    }
+
+    #[test]
+    fn alert_fires_above_threshold() {
+        let mut a = alerter();
+        assert!(a.observe(1, 10, &[0.8, 0.15, 0.05]).is_none(), "benign");
+        let alert = a.observe(2, 10, &[0.2, 0.7, 0.1]).cloned().unwrap();
+        assert_eq!(alert.class, 1);
+        assert_eq!(alert.class_name, "abusive");
+        assert!((alert.confidence - 0.7).abs() < 1e-12);
+        assert_eq!(alert.user_alert_count, 1);
+    }
+
+    #[test]
+    fn combined_aggressive_mass_triggers() {
+        let mut a = alerter();
+        // Neither aggressive class exceeds 0.5 alone, but together they do.
+        let alert = a.observe(1, 5, &[0.4, 0.35, 0.25]).unwrap();
+        assert_eq!(alert.class, 1, "strongest aggressive class reported");
+    }
+
+    #[test]
+    fn repeated_offenses_flag_suspension() {
+        let mut a = alerter();
+        for i in 0..5 {
+            a.observe(i, 42, &[0.1, 0.8, 0.1]);
+        }
+        assert_eq!(a.user_alert_count(42), 5);
+        assert_eq!(a.suspended_users(), &[42], "flagged exactly once");
+        assert_eq!(a.alerts().len(), 5);
+        assert_eq!(a.alerts()[2].user_alert_count, 3);
+    }
+
+    #[test]
+    fn two_class_scheme() {
+        let mut a = Alerter::new(ClassScheme::TwoClass, 0.6, 2);
+        assert!(a.observe(1, 1, &[0.5, 0.5]).is_none());
+        assert!(a.observe(2, 1, &[0.3, 0.7]).is_some());
+        let alert = &a.alerts()[0];
+        assert_eq!(alert.class_name, "aggressive");
+    }
+
+    #[test]
+    fn drain_empties_queue_but_keeps_history() {
+        let mut a = alerter();
+        a.observe(1, 7, &[0.0, 1.0, 0.0]);
+        let drained = a.drain();
+        assert_eq!(drained.len(), 1);
+        assert!(a.alerts().is_empty());
+        assert_eq!(a.user_alert_count(7), 1, "history survives draining");
+    }
+}

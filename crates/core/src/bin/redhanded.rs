@@ -1,0 +1,291 @@
+//! `redhanded` — command-line front end to the detection framework.
+//!
+//! ```text
+//! redhanded generate --total 10000 [--dataset abusive|sarcasm|offensive]
+//!                    [--seed N] [--unlabeled]        JSONL to stdout
+//! redhanded detect   [--scheme 2|3] [--model ht|arf|slr|nb]
+//!                    [--threshold 0.5]               JSONL in, alerts out
+//! redhanded evaluate [--scheme 2|3] [--model ht|arf|slr|nb]
+//!                    [--every N]                     JSONL in, metrics out
+//! ```
+//!
+//! `detect` and `evaluate` read the Twitter-API-style JSON wire format
+//! (one payload per line; labeled payloads carry a `label` attribute) from
+//! stdin — pipe `generate` into them for a self-contained demo:
+//!
+//! ```text
+//! redhanded generate --total 20000 | redhanded evaluate --scheme 2
+//! ```
+
+use redhanded_core::{DetectionPipeline, ModelKind, PipelineConfig, StreamItem};
+use redhanded_datagen::{
+    generate_abusive, generate_offensive, generate_sarcasm, AbusiveConfig, RelatedConfig,
+};
+use redhanded_types::ClassScheme;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("detect") => cmd_detect(&args[1..]),
+        Some("evaluate") => cmd_evaluate(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            eprint!("{}", USAGE);
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command: {other}\n\n{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+const USAGE: &str = "\
+redhanded — real-time aggression detection on social media streams
+
+USAGE:
+  redhanded generate --total N [--dataset abusive|sarcasm|offensive]
+                     [--seed N] [--unlabeled]
+      Emit a synthetic tweet stream as JSON lines on stdout.
+
+  redhanded detect [--scheme 2|3] [--model ht|arf|slr|nb] [--threshold F]
+      Read a mixed labeled/unlabeled JSONL stream on stdin; train on
+      labeled payloads, emit an alert JSON line for every aggressive
+      unlabeled tweet; print summary metrics on stderr at EOF.
+
+  redhanded evaluate [--scheme 2|3] [--model ht|arf|slr|nb] [--every N]
+      Read a labeled JSONL stream on stdin, run prequential evaluation,
+      print a metric row every N labeled tweets (default 5000) and the
+      final summary.
+";
+
+/// Minimal `--key value` / `--flag` argument map.
+fn parse_flags(args: &[String]) -> Result<std::collections::HashMap<String, String>, String> {
+    let mut map = std::collections::HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = &args[i];
+        if !key.starts_with("--") {
+            return Err(format!("unexpected argument: {key}"));
+        }
+        let key = key.trim_start_matches("--").to_string();
+        if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+            map.insert(key, args[i + 1].clone());
+            i += 2;
+        } else {
+            map.insert(key, String::from("true"));
+            i += 1;
+        }
+    }
+    Ok(map)
+}
+
+fn scheme_of(flags: &std::collections::HashMap<String, String>) -> Result<ClassScheme, String> {
+    match flags.get("scheme").map(String::as_str) {
+        None | Some("2") => Ok(ClassScheme::TwoClass),
+        Some("3") => Ok(ClassScheme::ThreeClass),
+        Some("sarcasm") => Ok(ClassScheme::Sarcasm),
+        Some("offensive") => Ok(ClassScheme::Offensive),
+        Some(other) => Err(format!("unknown scheme: {other}")),
+    }
+}
+
+fn model_of(flags: &std::collections::HashMap<String, String>) -> Result<ModelKind, String> {
+    match flags.get("model") {
+        None => Ok(ModelKind::ht()),
+        Some(name) => ModelKind::parse(name).ok_or_else(|| format!("unknown model: {name}")),
+    }
+}
+
+fn cmd_generate(args: &[String]) -> i32 {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let total: usize =
+        flags.get("total").and_then(|v| v.parse().ok()).unwrap_or(10_000);
+    let seed: u64 = flags.get("seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let unlabeled = flags.contains_key("unlabeled");
+    let dataset = flags.get("dataset").map(String::as_str).unwrap_or("abusive");
+
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let tweets = match dataset {
+        "abusive" => generate_abusive(&AbusiveConfig::small(total, seed)),
+        "sarcasm" => generate_sarcasm(&RelatedConfig {
+            total,
+            seed,
+            ..RelatedConfig::sarcasm_paper_scale()
+        }),
+        "offensive" => generate_offensive(&RelatedConfig {
+            total,
+            seed,
+            ..RelatedConfig::offensive_paper_scale()
+        }),
+        other => {
+            eprintln!("unknown dataset: {other}");
+            return 2;
+        }
+    };
+    for lt in tweets {
+        let line =
+            if unlabeled { lt.tweet.to_json() } else { lt.to_json() };
+        if writeln!(out, "{line}").is_err() {
+            return 0; // downstream closed the pipe
+        }
+    }
+    0
+}
+
+fn build_pipeline(
+    flags: &std::collections::HashMap<String, String>,
+) -> Result<DetectionPipeline, String> {
+    let scheme = scheme_of(flags)?;
+    let model = model_of(flags)?;
+    let mut config = PipelineConfig::paper(scheme, model);
+    if let Some(t) = flags.get("threshold") {
+        config.alert_threshold =
+            t.parse().map_err(|_| format!("bad threshold: {t}"))?;
+    }
+    if let Some(n) = flags.get("every") {
+        config.record_every = n.parse().map_err(|_| format!("bad --every: {n}"))?;
+    }
+    DetectionPipeline::new(config).map_err(|e| e.to_string())
+}
+
+fn cmd_detect(args: &[String]) -> i32 {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let mut pipeline = match build_pipeline(&flags) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let mut alerts_emitted = 0usize;
+    let mut bad_lines = 0usize;
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(item) = StreamItem::from_json(&line) else {
+            bad_lines += 1;
+            continue;
+        };
+        let before = pipeline.alerts().len();
+        if let Err(e) = pipeline.process(&item) {
+            eprintln!("pipeline error: {e}");
+            return 1;
+        }
+        for alert in &pipeline.alerts()[before..] {
+            let _ = writeln!(
+                out,
+                "{{\"tweet_id\":{},\"user_id\":{},\"class\":\"{}\",\"confidence\":{:.4},\"user_alert_count\":{}}}",
+                alert.tweet_id,
+                alert.user_id,
+                alert.class_name,
+                alert.confidence,
+                alert.user_alert_count
+            );
+            alerts_emitted += 1;
+        }
+    }
+    let _ = out.flush();
+    let m = pipeline.cumulative_metrics();
+    eprintln!(
+        "processed: {} labeled (trained), {} alerts emitted, {} malformed lines",
+        pipeline.labeled_seen(),
+        alerts_emitted,
+        bad_lines
+    );
+    eprintln!(
+        "model quality (prequential on labeled traffic): accuracy {:.4}  F1 {:.4}  kappa {:.4}",
+        m.accuracy, m.f1, m.kappa
+    );
+    eprintln!(
+        "adaptive BoW: 347 -> {} words; {} users flagged for suspension",
+        pipeline.bow_len(),
+        pipeline.alerter().suspended_users().len()
+    );
+    0
+}
+
+fn cmd_evaluate(args: &[String]) -> i32 {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let every: u64 = flags.get("every").and_then(|v| v.parse().ok()).unwrap_or(5000);
+    let mut pipeline = match build_pipeline(&flags) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let stdin = std::io::stdin();
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "tweets", "accuracy", "precision", "recall", "f1", "kappa"
+    );
+    let mut bad_lines = 0usize;
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(item) = StreamItem::from_json(&line) else {
+            bad_lines += 1;
+            continue;
+        };
+        if let Err(e) = pipeline.process(&item) {
+            eprintln!("pipeline error: {e}");
+            return 1;
+        }
+        if every > 0 && pipeline.labeled_seen() % every == 0 && pipeline.labeled_seen() > 0 {
+            let m = pipeline.metrics();
+            println!(
+                "{:>10} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+                pipeline.labeled_seen(),
+                m.accuracy,
+                m.precision,
+                m.recall,
+                m.f1,
+                m.kappa
+            );
+        }
+    }
+    let m = pipeline.cumulative_metrics();
+    println!("---");
+    println!(
+        "{:>10} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4}   (cumulative)",
+        pipeline.labeled_seen(),
+        m.accuracy,
+        m.precision,
+        m.recall,
+        m.f1,
+        m.kappa
+    );
+    if bad_lines > 0 {
+        eprintln!("skipped {bad_lines} malformed lines");
+    }
+    0
+}

@@ -1,0 +1,210 @@
+//! Pipeline configuration: the experiment knobs of Section V.
+//!
+//! Every ablation in the paper's evaluation toggles one of these switches:
+//! preprocessing on/off (Figure 6), normalization kind (Figures 7–8),
+//! adaptive BoW on/off (Figure 9), the streaming model (Figures 11–12),
+//! and the 2- vs 3-class scheme.
+
+use redhanded_features::{AdaptiveBowConfig, ExtractorConfig, NormalizationKind, NUM_FEATURES};
+use redhanded_streamml::{
+    AdaptiveRandomForest, ArfConfig, HoeffdingTree, HoeffdingTreeConfig, SlrConfig,
+    StreamingClassifier, StreamingLogisticRegression, StreamingNaiveBayes,
+};
+use redhanded_types::{ClassScheme, Result};
+
+/// Which streaming classifier the pipeline trains.
+#[derive(Debug, Clone)]
+pub enum ModelKind {
+    /// Hoeffding Tree with the given configuration overrides.
+    HoeffdingTree(Option<HoeffdingTreeConfig>),
+    /// Adaptive Random Forest.
+    AdaptiveRandomForest(Option<ArfConfig>),
+    /// Streaming Logistic Regression.
+    StreamingLogisticRegression(Option<SlrConfig>),
+    /// Streaming Gaussian naive Bayes (lightweight floor baseline).
+    StreamingNaiveBayes,
+}
+
+impl ModelKind {
+    /// Paper-default Hoeffding Tree.
+    pub fn ht() -> Self {
+        ModelKind::HoeffdingTree(None)
+    }
+
+    /// Paper-default Adaptive Random Forest.
+    pub fn arf() -> Self {
+        ModelKind::AdaptiveRandomForest(None)
+    }
+
+    /// Paper-default Streaming Logistic Regression.
+    pub fn slr() -> Self {
+        ModelKind::StreamingLogisticRegression(None)
+    }
+
+    /// Streaming naive Bayes.
+    pub fn nb() -> Self {
+        ModelKind::StreamingNaiveBayes
+    }
+
+    /// Parse a model name (`ht` / `arf` / `slr` / `nb`, case-insensitive).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "ht" => Some(ModelKind::ht()),
+            "arf" => Some(ModelKind::arf()),
+            "slr" => Some(ModelKind::slr()),
+            "nb" => Some(ModelKind::nb()),
+            _ => None,
+        }
+    }
+
+    /// Instantiate the model for a class scheme over the canonical
+    /// 17-feature vector.
+    pub fn build(&self, scheme: ClassScheme) -> Result<Box<dyn StreamingClassifier>> {
+        let classes = scheme.num_classes();
+        Ok(match self {
+            ModelKind::HoeffdingTree(cfg) => {
+                let cfg = cfg
+                    .clone()
+                    .unwrap_or_else(|| HoeffdingTreeConfig::paper_defaults(classes, NUM_FEATURES));
+                Box::new(HoeffdingTree::new(cfg)?)
+            }
+            ModelKind::AdaptiveRandomForest(cfg) => {
+                let cfg =
+                    cfg.clone().unwrap_or_else(|| ArfConfig::paper_defaults(classes, NUM_FEATURES));
+                Box::new(AdaptiveRandomForest::new(cfg)?)
+            }
+            ModelKind::StreamingLogisticRegression(cfg) => {
+                let cfg =
+                    cfg.clone().unwrap_or_else(|| SlrConfig::paper_defaults(classes, NUM_FEATURES));
+                Box::new(StreamingLogisticRegression::new(cfg)?)
+            }
+            ModelKind::StreamingNaiveBayes => {
+                Box::new(StreamingNaiveBayes::new(classes, NUM_FEATURES)?)
+            }
+        })
+    }
+
+    /// Short name for reports (`HT`, `ARF`, `SLR`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::HoeffdingTree(_) => "HT",
+            ModelKind::AdaptiveRandomForest(_) => "ARF",
+            ModelKind::StreamingLogisticRegression(_) => "SLR",
+            ModelKind::StreamingNaiveBayes => "NB",
+        }
+    }
+}
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// 2-class or 3-class problem (or a related-behavior scheme).
+    pub scheme: ClassScheme,
+    /// Preprocessing toggle (`p` in the figures).
+    pub preprocess: bool,
+    /// Normalization kind (`n`; `None` disables).
+    pub normalization: NormalizationKind,
+    /// Adaptive BoW toggle (`ad`; off = fixed seed lexicon).
+    pub adaptive_bow: bool,
+    /// The streaming model.
+    pub model: ModelKind,
+    /// Prequential series granularity in instances (0 = no series).
+    pub record_every: u64,
+    /// Sliding window for the recorded metric series (None = cumulative).
+    pub window: Option<usize>,
+    /// Alerting threshold: minimum predicted-aggressive probability to
+    /// raise an alert.
+    pub alert_threshold: f64,
+    /// Repeated-offense count that flags a user for suspension.
+    pub suspend_after: u32,
+    /// Base sampling rate for the labeling sample.
+    pub sample_rate: f64,
+    /// Boost multiplier for predicted-aggressive tweets in the sample.
+    pub sample_boost: f64,
+    /// Enable session-level (windowed per-user) detection on unlabeled
+    /// traffic — the paper's Section VI extension. `None` disables it.
+    pub session: Option<crate::session::SessionConfig>,
+}
+
+impl PipelineConfig {
+    /// The paper's full configuration (p=ON, n=ON with minmax-no-outliers,
+    /// ad=ON) for a scheme and model.
+    pub fn paper(scheme: ClassScheme, model: ModelKind) -> Self {
+        PipelineConfig {
+            scheme,
+            preprocess: true,
+            normalization: NormalizationKind::MinMaxNoOutliers,
+            adaptive_bow: true,
+            model,
+            record_every: 1000,
+            window: Some(5000),
+            alert_threshold: 0.5,
+            suspend_after: 3,
+            sample_rate: 0.01,
+            sample_boost: 10.0,
+            session: None,
+        }
+    }
+
+    /// The extractor configuration implied by this pipeline configuration.
+    pub fn extractor_config(&self) -> ExtractorConfig {
+        ExtractorConfig { preprocess: self.preprocess }
+    }
+
+    /// The adaptive-BoW configuration implied by this pipeline
+    /// configuration.
+    pub fn bow_config(&self) -> AdaptiveBowConfig {
+        AdaptiveBowConfig { adaptive: self.adaptive_bow, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_each_model_kind() {
+        for (kind, name, classes) in [
+            (ModelKind::ht(), "HT", 3),
+            (ModelKind::arf(), "ARF", 3),
+            (ModelKind::slr(), "SLR", 2),
+            (ModelKind::nb(), "NB", 2),
+        ] {
+            let scheme =
+                if classes == 2 { ClassScheme::TwoClass } else { ClassScheme::ThreeClass };
+            let model = kind.build(scheme).unwrap();
+            assert_eq!(model.num_classes(), classes);
+            assert_eq!(model.name(), name);
+            assert_eq!(kind.name(), name);
+        }
+    }
+
+    #[test]
+    fn paper_config_matches_section_v() {
+        let cfg = PipelineConfig::paper(ClassScheme::TwoClass, ModelKind::ht());
+        assert!(cfg.preprocess);
+        assert!(cfg.adaptive_bow);
+        assert_eq!(cfg.normalization, NormalizationKind::MinMaxNoOutliers);
+        assert!(cfg.extractor_config().preprocess);
+        assert!(cfg.bow_config().adaptive);
+    }
+
+    #[test]
+    fn model_kind_parsing() {
+        assert_eq!(ModelKind::parse("HT").unwrap().name(), "HT");
+        assert_eq!(ModelKind::parse("arf").unwrap().name(), "ARF");
+        assert_eq!(ModelKind::parse("Slr").unwrap().name(), "SLR");
+        assert_eq!(ModelKind::parse("nb").unwrap().name(), "NB");
+        assert!(ModelKind::parse("xgboost").is_none());
+    }
+
+    #[test]
+    fn custom_model_config_is_used() {
+        let mut ht_cfg = HoeffdingTreeConfig::paper_defaults(2, NUM_FEATURES);
+        ht_cfg.grace_period = 500.0;
+        let kind = ModelKind::HoeffdingTree(Some(ht_cfg));
+        let model = kind.build(ClassScheme::TwoClass).unwrap();
+        let ht = model.as_any().downcast_ref::<HoeffdingTree>().unwrap();
+        assert_eq!(ht.config().grace_period, 500.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Ablation experiments: the effect of preprocessing (Figure 6),
+//! normalization (Figures 7–8), and the adaptive bag-of-words (Figures
+//! 9–10) on streaming-ML performance, plus the headline method comparison
+//! (Table II, Figures 11–12) — all share this driver, which runs one
+//! pipeline configuration over the synthetic abusive stream and returns
+//! its metric curves.
+
+use crate::config::{ModelKind, PipelineConfig};
+use crate::item::StreamItem;
+use crate::pipeline::{BowSizePoint, DetectionPipeline};
+use redhanded_datagen::{generate_abusive, AbusiveConfig};
+use redhanded_features::NormalizationKind;
+use redhanded_streamml::{Metrics, SeriesPoint};
+use redhanded_types::{ClassScheme, Result};
+
+/// One pipeline variant to evaluate.
+#[derive(Debug, Clone)]
+pub struct AblationSpec {
+    /// Display label for the figure legend (e.g. `"HT, p=ON, n=ON, ad=ON, c=3"`).
+    pub label: String,
+    /// The model.
+    pub model: ModelKind,
+    /// 2- or 3-class problem.
+    pub scheme: ClassScheme,
+    /// Preprocessing toggle.
+    pub preprocess: bool,
+    /// Normalization kind.
+    pub normalization: NormalizationKind,
+    /// Adaptive-BoW toggle.
+    pub adaptive_bow: bool,
+}
+
+impl AblationSpec {
+    /// A spec with the figure-legend label derived from the switches.
+    pub fn new(
+        model: ModelKind,
+        scheme: ClassScheme,
+        preprocess: bool,
+        normalization: NormalizationKind,
+        adaptive_bow: bool,
+    ) -> Self {
+        let onoff = |b: bool| if b { "ON" } else { "OFF" };
+        let c = scheme.num_classes();
+        let label = format!(
+            "{}, p={}, n={}, ad={}, c={}",
+            model.name(),
+            onoff(preprocess),
+            onoff(!matches!(normalization, NormalizationKind::None)),
+            onoff(adaptive_bow),
+            c
+        );
+        AblationSpec { label, model, scheme, preprocess, normalization, adaptive_bow }
+    }
+
+    fn pipeline_config(&self) -> PipelineConfig {
+        let mut cfg = PipelineConfig::paper(self.scheme, self.model.clone());
+        cfg.preprocess = self.preprocess;
+        cfg.normalization = self.normalization;
+        cfg.adaptive_bow = self.adaptive_bow;
+        cfg
+    }
+}
+
+/// The outcome of one ablation run.
+#[derive(Debug, Clone)]
+pub struct AblationOutcome {
+    /// The spec's label.
+    pub label: String,
+    /// F1-over-instances curve (windowed, as in the figures).
+    pub series: Vec<SeriesPoint>,
+    /// Final cumulative metrics (the Table II values).
+    pub metrics: Metrics,
+    /// BoW-size-over-instances curve (Figure 10).
+    pub bow_series: Vec<BowSizePoint>,
+    /// Final BoW size.
+    pub bow_final: usize,
+}
+
+/// Run one ablation spec over a freshly generated abusive stream of
+/// `total` tweets (paper scale: 85,984).
+pub fn run_ablation(spec: &AblationSpec, total: usize, seed: u64) -> Result<AblationOutcome> {
+    let stream: Vec<StreamItem> = generate_abusive(&AbusiveConfig::small(total, seed))
+        .into_iter()
+        .map(StreamItem::from)
+        .collect();
+    let mut pipeline = DetectionPipeline::new(spec.pipeline_config())?;
+    pipeline.run(&stream)?;
+    Ok(AblationOutcome {
+        label: spec.label.clone(),
+        series: pipeline.series().to_vec(),
+        metrics: pipeline.cumulative_metrics(),
+        bow_series: pipeline.bow_series().to_vec(),
+        bow_final: pipeline.bow_len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 4000;
+
+    #[test]
+    fn labels_follow_figure_legend_format() {
+        let spec = AblationSpec::new(
+            ModelKind::ht(),
+            ClassScheme::ThreeClass,
+            true,
+            NormalizationKind::None,
+            true,
+        );
+        assert_eq!(spec.label, "HT, p=ON, n=OFF, ad=ON, c=3");
+    }
+
+    #[test]
+    fn preprocessing_helps_f1_figure6() {
+        let on = run_ablation(
+            &AblationSpec::new(
+                ModelKind::ht(),
+                ClassScheme::TwoClass,
+                true,
+                NormalizationKind::MinMaxNoOutliers,
+                true,
+            ),
+            N,
+            1,
+        )
+        .unwrap();
+        let off = run_ablation(
+            &AblationSpec::new(
+                ModelKind::ht(),
+                ClassScheme::TwoClass,
+                false,
+                NormalizationKind::MinMaxNoOutliers,
+                true,
+            ),
+            N,
+            1,
+        )
+        .unwrap();
+        assert!(
+            on.metrics.f1 >= off.metrics.f1 - 0.02,
+            "p=ON F1 {} vs p=OFF {}",
+            on.metrics.f1,
+            off.metrics.f1
+        );
+    }
+
+    #[test]
+    fn normalization_is_critical_for_slr_figure8() {
+        let on = run_ablation(
+            &AblationSpec::new(
+                ModelKind::slr(),
+                ClassScheme::TwoClass,
+                true,
+                NormalizationKind::MinMaxNoOutliers,
+                true,
+            ),
+            N,
+            2,
+        )
+        .unwrap();
+        let off = run_ablation(
+            &AblationSpec::new(
+                ModelKind::slr(),
+                ClassScheme::TwoClass,
+                true,
+                NormalizationKind::None,
+                true,
+            ),
+            N,
+            2,
+        )
+        .unwrap();
+        assert!(
+            on.metrics.f1 > off.metrics.f1 + 0.1,
+            "n=ON F1 {} should far exceed n=OFF {}",
+            on.metrics.f1,
+            off.metrics.f1
+        );
+    }
+
+    #[test]
+    fn two_class_beats_three_class() {
+        let c2 = run_ablation(
+            &AblationSpec::new(
+                ModelKind::ht(),
+                ClassScheme::TwoClass,
+                true,
+                NormalizationKind::MinMaxNoOutliers,
+                true,
+            ),
+            N,
+            3,
+        )
+        .unwrap();
+        let c3 = run_ablation(
+            &AblationSpec::new(
+                ModelKind::ht(),
+                ClassScheme::ThreeClass,
+                true,
+                NormalizationKind::MinMaxNoOutliers,
+                true,
+            ),
+            N,
+            3,
+        )
+        .unwrap();
+        assert!(
+            c2.metrics.f1 > c3.metrics.f1,
+            "2-class F1 {} > 3-class {}",
+            c2.metrics.f1,
+            c3.metrics.f1
+        );
+    }
+
+    #[test]
+    fn bow_series_grows_under_adaptation_figure10() {
+        let out = run_ablation(
+            &AblationSpec::new(
+                ModelKind::ht(),
+                ClassScheme::TwoClass,
+                true,
+                NormalizationKind::MinMaxNoOutliers,
+                true,
+            ),
+            N,
+            4,
+        )
+        .unwrap();
+        assert!(out.bow_final > 347, "BoW grew: {}", out.bow_final);
+        assert!(!out.bow_series.is_empty());
+        let fixed = run_ablation(
+            &AblationSpec::new(
+                ModelKind::ht(),
+                ClassScheme::TwoClass,
+                true,
+                NormalizationKind::MinMaxNoOutliers,
+                false,
+            ),
+            N,
+            4,
+        )
+        .unwrap();
+        assert_eq!(fixed.bow_final, 347, "ad=OFF keeps the seed lexicon");
+    }
+}

@@ -1,0 +1,217 @@
+//! Streaming vs. batch ML (Section V-D, Figures 13–14).
+//!
+//! The dataset spans 10 consecutive days. Two batch training protocols are
+//! compared against the streaming Hoeffding Tree:
+//!
+//! * **train-first-day test-all-others** — fit once on day 0 and only test
+//!   afterwards (the model goes stale as the stream drifts);
+//! * **train-one-day test-next-day** — refit daily on yesterday's data
+//!   (a pseudo-streaming batch pipeline).
+//!
+//! The streaming HT is evaluated prequentially with per-day averages, like
+//! the "HT (daily average)" line in the figures.
+
+use crate::config::{ModelKind, PipelineConfig};
+use crate::item::StreamItem;
+use crate::pipeline::DetectionPipeline;
+use redhanded_batchml::{BatchClassifier, DecisionTree};
+use redhanded_datagen::{generate_abusive, AbusiveConfig};
+use redhanded_features::{AdaptiveBow, AdaptiveBowConfig, FeatureExtractor, NUM_FEATURES};
+use redhanded_streamml::{ConfusionMatrix, SeriesPoint};
+use redhanded_types::{ClassScheme, Dataset, Instance, Result};
+
+/// The two batch training protocols of Section V-D.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchScenario {
+    /// Fit on day 0, test on every later day.
+    TrainFirstDayTestAllOthers,
+    /// Fit on day `d`, test on day `d+1`, for every `d`.
+    TrainOneDayTestNextDay,
+}
+
+impl BatchScenario {
+    /// The figure-legend label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BatchScenario::TrainFirstDayTestAllOthers => "train-first-day_test-all-others",
+            BatchScenario::TrainOneDayTestNextDay => "train-one-day_test-next-day",
+        }
+    }
+}
+
+/// Outcome of the comparison.
+#[derive(Debug, Clone)]
+pub struct BatchVsStreamOutcome {
+    /// Streaming HT's fine-grained prequential F1 curve.
+    pub streaming_series: Vec<SeriesPoint>,
+    /// Streaming HT's per-day average F1 (`(day, f1)`).
+    pub streaming_daily: Vec<(u32, f64)>,
+    /// Batch DT F1 per tested day under train-first-day.
+    pub batch_first_day: Vec<(u32, f64)>,
+    /// Batch DT F1 per tested day under train-one-day-test-next.
+    pub batch_daily_retrain: Vec<(u32, f64)>,
+}
+
+/// Extract a static (non-adaptive) feature dataset from labeled tweets —
+/// the representation the batch models consume. Features use the fixed
+/// seed lexicon; trees need no normalization.
+fn extract_static_dataset(
+    tweets: &[redhanded_types::LabeledTweet],
+    config: &AbusiveConfig,
+    scheme: ClassScheme,
+) -> Dataset {
+    let extractor = FeatureExtractor::default();
+    let bow = AdaptiveBow::new(AdaptiveBowConfig { adaptive: false, ..Default::default() });
+    let mut ds = Dataset::new(scheme);
+    for (i, lt) in tweets.iter().enumerate() {
+        if let Some((inst, _)) = extractor.labeled_instance(lt, scheme, &bow, config.day_of(i)) {
+            ds.push(inst);
+        }
+    }
+    ds
+}
+
+fn f1_of_predictions(
+    model: &DecisionTree,
+    test: &[Instance],
+    num_classes: usize,
+) -> Result<f64> {
+    let mut matrix = ConfusionMatrix::new(num_classes);
+    for inst in test {
+        let predicted = model.predict(&inst.features)?;
+        matrix.add(inst.label.expect("labeled dataset"), predicted, inst.weight);
+    }
+    Ok(matrix.metrics().f1)
+}
+
+/// Run the full streaming-vs-batch comparison on a `total`-tweet stream
+/// under `scheme` (Figure 13: 3-class; Figure 14: 2-class).
+pub fn run_batch_vs_stream(
+    scheme: ClassScheme,
+    total: usize,
+    seed: u64,
+) -> Result<BatchVsStreamOutcome> {
+    let config = AbusiveConfig::small(total, seed);
+    let tweets = generate_abusive(&config);
+    let num_classes = scheme.num_classes();
+
+    // --- Streaming HT, prequential, with per-day confusion tracking.
+    let mut pipeline =
+        DetectionPipeline::new(PipelineConfig::paper(scheme, ModelKind::ht()))?;
+    let mut daily_matrices: Vec<ConfusionMatrix> =
+        (0..config.days).map(|_| ConfusionMatrix::new(num_classes)).collect();
+    for (i, lt) in tweets.iter().enumerate() {
+        let item = StreamItem::from(lt.clone());
+        if let Some(c) = pipeline.process(&item)? {
+            if let Some(actual) = c.actual {
+                let day = config.day_of(i) as usize;
+                daily_matrices[day].add(actual, c.predicted, 1.0);
+            }
+        }
+    }
+    let streaming_daily: Vec<(u32, f64)> = daily_matrices
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| m.total() > 0.0)
+        .map(|(d, m)| (d as u32, m.metrics().f1))
+        .collect();
+
+    // --- Batch DT under the two scenarios, on static features.
+    let dataset = extract_static_dataset(&tweets, &config, scheme);
+    let segments = dataset.day_segments();
+    let fit_on = |segment_range: &[Instance]| -> Result<DecisionTree> {
+        let mut dt = DecisionTree::with_defaults(num_classes, NUM_FEATURES);
+        let refs: Vec<&Instance> = segment_range.iter().collect();
+        dt.fit(&refs)?;
+        Ok(dt)
+    };
+
+    let mut batch_first_day = Vec::new();
+    if segments.len() > 1 {
+        let model = fit_on(dataset.day_slice(segments[0]))?;
+        for seg in &segments[1..] {
+            let f1 = f1_of_predictions(&model, dataset.day_slice(*seg), num_classes)?;
+            batch_first_day.push((seg.day, f1));
+        }
+    }
+
+    let mut batch_daily_retrain = Vec::new();
+    for w in segments.windows(2) {
+        let model = fit_on(dataset.day_slice(w[0]))?;
+        let f1 = f1_of_predictions(&model, dataset.day_slice(w[1]), num_classes)?;
+        batch_daily_retrain.push((w[1].day, f1));
+    }
+
+    Ok(BatchVsStreamOutcome {
+        streaming_series: pipeline.series().to_vec(),
+        streaming_daily,
+        batch_first_day,
+        batch_daily_retrain,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_all_four_curves() {
+        let out = run_batch_vs_stream(ClassScheme::TwoClass, 5000, 1).unwrap();
+        assert_eq!(out.streaming_daily.len(), 10);
+        assert_eq!(out.batch_first_day.len(), 9, "days 1..=9 tested");
+        assert_eq!(out.batch_daily_retrain.len(), 9);
+        assert!(!out.streaming_series.is_empty());
+        for (_, f1) in out
+            .streaming_daily
+            .iter()
+            .chain(&out.batch_first_day)
+            .chain(&out.batch_daily_retrain)
+        {
+            assert!((0.0..=1.0).contains(f1));
+        }
+    }
+
+    #[test]
+    fn streaming_catches_up_with_batch() {
+        // After warm-up, streaming HT's daily F1 should be comparable to
+        // (or better than) the daily-retrained batch tree — the paper's
+        // key takeaway in Section V-D.
+        let out = run_batch_vs_stream(ClassScheme::TwoClass, 8000, 2).unwrap();
+        let late_stream: f64 = out.streaming_daily[5..]
+            .iter()
+            .map(|(_, f1)| f1)
+            .sum::<f64>()
+            / out.streaming_daily[5..].len() as f64;
+        let late_batch: f64 = out
+            .batch_daily_retrain
+            .iter()
+            .filter(|(d, _)| *d >= 5)
+            .map(|(_, f1)| f1)
+            .sum::<f64>()
+            / out.batch_daily_retrain.iter().filter(|(d, _)| *d >= 5).count() as f64;
+        assert!(
+            late_stream > late_batch - 0.05,
+            "late-stream F1 {late_stream:.3} vs daily-retrained batch {late_batch:.3}"
+        );
+    }
+
+    #[test]
+    fn stale_batch_model_degrades_under_drift() {
+        // With strong vocabulary drift, the day-0 model's F1 on late days
+        // drops below its F1 on early days.
+        let mut config = AbusiveConfig::small(8000, 3);
+        config.drift.max_adoption = 0.8;
+        let tweets = generate_abusive(&config);
+        let dataset = extract_static_dataset(&tweets, &config, ClassScheme::TwoClass);
+        let segments = dataset.day_segments();
+        let mut dt = DecisionTree::with_defaults(2, NUM_FEATURES);
+        let refs: Vec<&Instance> = dataset.day_slice(segments[0]).iter().collect();
+        dt.fit(&refs).unwrap();
+        let early = f1_of_predictions(&dt, dataset.day_slice(segments[1]), 2).unwrap();
+        let late = f1_of_predictions(&dt, dataset.day_slice(segments[9]), 2).unwrap();
+        assert!(
+            late < early,
+            "stale model should degrade: day1 F1 {early:.3} vs day9 {late:.3}"
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Feature analysis: the per-class PDFs of Figure 4 and the Gini feature
+//! importances of Figure 5.
+
+use redhanded_batchml::{BatchClassifier, RandomForest, RandomForestConfig};
+use redhanded_datagen::{generate_abusive, AbusiveConfig};
+use redhanded_features::{
+    AdaptiveBow, AdaptiveBowConfig, FeatureExtractor, FEATURE_NAMES, NUM_FEATURES,
+};
+use redhanded_types::{ClassScheme, Dataset, Result};
+
+/// A histogram-estimated probability density of one feature for one class.
+#[derive(Debug, Clone)]
+pub struct FeaturePdf {
+    /// Feature name (Figure 4 axis label).
+    pub feature: String,
+    /// Class name (`normal` / `abusive` / `hateful`).
+    pub class_name: String,
+    /// Class mean of the feature (the statistics quoted in Section IV-B).
+    pub mean: f64,
+    /// Class standard deviation.
+    pub std: f64,
+    /// `(bin_center, density)` pairs; densities integrate to ≈ 1.
+    pub bins: Vec<(f64, f64)>,
+}
+
+/// One row of the Figure 5 ranking.
+#[derive(Debug, Clone)]
+pub struct ImportanceEntry {
+    /// Feature name.
+    pub feature: String,
+    /// Normalized Gini importance (all entries sum to 1).
+    pub importance: f64,
+}
+
+/// Extract the static (fixed-lexicon) feature dataset used by both figures.
+fn static_dataset(total: usize, seed: u64) -> Dataset {
+    let config = AbusiveConfig::small(total, seed);
+    let tweets = generate_abusive(&config);
+    let extractor = FeatureExtractor::default();
+    let bow = AdaptiveBow::new(AdaptiveBowConfig { adaptive: false, ..Default::default() });
+    let mut ds = Dataset::new(ClassScheme::ThreeClass);
+    for (i, lt) in tweets.iter().enumerate() {
+        if let Some((inst, _)) =
+            extractor.labeled_instance(lt, ClassScheme::ThreeClass, &bow, config.day_of(i))
+        {
+            ds.push(inst);
+        }
+    }
+    ds
+}
+
+/// Compute the per-class PDFs of the named features (Figure 4) over a
+/// `total`-tweet dataset, with `num_bins` histogram bins per feature.
+pub fn feature_pdfs(
+    features: &[&str],
+    total: usize,
+    seed: u64,
+    num_bins: usize,
+) -> Result<Vec<FeaturePdf>> {
+    let ds = static_dataset(total, seed);
+    let scheme = ClassScheme::ThreeClass;
+    let mut out = Vec::new();
+    for name in features {
+        let Some(fi) = FEATURE_NAMES.iter().position(|n| n == name) else {
+            return Err(redhanded_types::Error::InvalidConfig(format!(
+                "unknown feature {name}"
+            )));
+        };
+        // Common bin range across classes, like the shared axes of Fig. 4.
+        let values: Vec<(usize, f64)> = ds
+            .instances()
+            .iter()
+            .filter_map(|i| i.label.map(|l| (l, i.features[fi])))
+            .collect();
+        let lo = values.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
+        let hi = values.iter().map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max);
+        let width = ((hi - lo) / num_bins as f64).max(1e-12);
+        for class in 0..scheme.num_classes() {
+            let class_values: Vec<f64> =
+                values.iter().filter(|(l, _)| *l == class).map(|(_, v)| *v).collect();
+            let n = class_values.len().max(1) as f64;
+            let mean = class_values.iter().sum::<f64>() / n;
+            let var = class_values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+            let mut counts = vec![0usize; num_bins];
+            for v in &class_values {
+                let b = (((v - lo) / width) as usize).min(num_bins - 1);
+                counts[b] += 1;
+            }
+            let bins: Vec<(f64, f64)> = counts
+                .iter()
+                .enumerate()
+                .map(|(b, &c)| {
+                    (lo + (b as f64 + 0.5) * width, c as f64 / (n * width))
+                })
+                .collect();
+            out.push(FeaturePdf {
+                feature: name.to_string(),
+                class_name: scheme.class_name(class).to_string(),
+                mean,
+                std: var.sqrt(),
+                bins,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Compute the Figure 5 ranking: normalized Gini importances of all 17
+/// features from a random forest fitted on the `total`-tweet dataset,
+/// sorted descending.
+pub fn gini_importance_ranking(total: usize, seed: u64) -> Result<Vec<ImportanceEntry>> {
+    let ds = static_dataset(total, seed);
+    let mut cfg = RandomForestConfig::defaults(3, NUM_FEATURES);
+    cfg.num_trees = 30;
+    let mut rf = RandomForest::new(cfg)?;
+    let refs: Vec<&redhanded_types::Instance> = ds.instances().iter().collect();
+    rf.fit(&refs)?;
+    let imp = rf.gini_importance()?;
+    let mut entries: Vec<ImportanceEntry> = FEATURE_NAMES
+        .iter()
+        .zip(imp)
+        .map(|(f, importance)| ImportanceEntry { feature: f.to_string(), importance })
+        .collect();
+    entries.sort_by(|a, b| b.importance.partial_cmp(&a.importance).expect("finite"));
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pdfs_cover_requested_features_and_classes() {
+        let pdfs =
+            feature_pdfs(&["cntSwearWords", "numUpperCases"], 3000, 1, 20).unwrap();
+        assert_eq!(pdfs.len(), 6, "2 features × 3 classes");
+        for pdf in &pdfs {
+            // Densities integrate to ~1.
+            let width = pdf.bins[1].0 - pdf.bins[0].0;
+            let mass: f64 = pdf.bins.iter().map(|(_, d)| d * width).sum();
+            assert!((mass - 1.0).abs() < 0.05, "{}/{}: {mass}", pdf.feature, pdf.class_name);
+        }
+    }
+
+    #[test]
+    fn swear_pdf_ordering_matches_figure_4f() {
+        let pdfs = feature_pdfs(&["cntSwearWords"], 4000, 2, 15).unwrap();
+        let mean_of = |class: &str| {
+            pdfs.iter().find(|p| p.class_name == class).unwrap().mean
+        };
+        let normal = mean_of("normal");
+        let abusive = mean_of("abusive");
+        let hateful = mean_of("hateful");
+        assert!(
+            abusive > hateful && hateful > normal,
+            "abusive {abusive:.2} > hateful {hateful:.2} > normal {normal:.2}"
+        );
+    }
+
+    #[test]
+    fn unknown_feature_is_an_error() {
+        assert!(feature_pdfs(&["notAFeature"], 100, 1, 5).is_err());
+    }
+
+    #[test]
+    fn importance_ranking_is_normalized_and_sorted() {
+        let ranking = gini_importance_ranking(3000, 3).unwrap();
+        assert_eq!(ranking.len(), NUM_FEATURES);
+        let total: f64 = ranking.iter().map(|e| e.importance).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for w in ranking.windows(2) {
+            assert!(w[0].importance >= w[1].importance);
+        }
+        // Figure 5's headline: swear count ranks first; text features
+        // dominate. (bowScore equals cntSwearWords on a drift-free static
+        // extraction, so either may take the top spots.)
+        let top3: Vec<&str> = ranking[..3].iter().map(|e| e.feature.as_str()).collect();
+        assert!(
+            top3.contains(&"cntSwearWords") || top3.contains(&"bowScore"),
+            "swear-derived feature in top 3: {top3:?}"
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! Hyperparameter tuning (Table I of the paper): grid search over each
+//! streaming model's parameters, scored by prequential F1 on the abusive
+//! stream.
+//!
+//! Feature extraction, normalization, and the adaptive BoW do not depend
+//! on the model, so the instance stream is prepared once and each grid
+//! point replays it prequentially.
+
+use crate::config::{ModelKind, PipelineConfig};
+use crate::item::StreamItem;
+use redhanded_batchml::{grid_search, GridDimension, GridPoint, GridResult};
+use redhanded_datagen::{generate_abusive, AbusiveConfig};
+use redhanded_features::{AdaptiveBow, FeatureExtractor, Normalizer, NUM_FEATURES};
+use redhanded_streamml::{
+    ArfConfig, HoeffdingTreeConfig, LeafPrediction, PrequentialEvaluator, Regularizer,
+    SlrConfig, SplitCriterion,
+};
+use redhanded_types::{ClassScheme, Instance, Result};
+
+/// The outcome of tuning one model.
+#[derive(Debug, Clone)]
+pub struct TuningOutcome {
+    /// Model name.
+    pub model: &'static str,
+    /// Every grid point with its prequential F1, best first.
+    pub results: Vec<GridResult>,
+}
+
+impl TuningOutcome {
+    /// The winning parameter assignment.
+    pub fn best(&self) -> &GridPoint {
+        &self.results[0].point
+    }
+
+    /// The winning score.
+    pub fn best_score(&self) -> f64 {
+        self.results[0].score
+    }
+}
+
+/// Prepare the normalized instance stream once (extraction + robust-minmax
+/// normalization + adaptive BoW, the paper's full pipeline).
+pub fn prepare_instances(
+    scheme: ClassScheme,
+    total: usize,
+    seed: u64,
+) -> Result<Vec<Instance>> {
+    let config = AbusiveConfig::small(total, seed);
+    let tweets = generate_abusive(&config);
+    let pcfg = PipelineConfig::paper(scheme, ModelKind::ht());
+    let extractor = FeatureExtractor::new(pcfg.extractor_config());
+    let mut bow = AdaptiveBow::new(pcfg.bow_config());
+    let mut normalizer = Normalizer::new(pcfg.normalization, NUM_FEATURES);
+    let mut out = Vec::with_capacity(total);
+    for (i, lt) in tweets.iter().enumerate() {
+        let item = StreamItem::from(lt.clone());
+        let Some((mut inst, words)) =
+            extractor.labeled_instance(lt, scheme, &bow, item.day())
+        else {
+            continue;
+        };
+        normalizer.process(&mut inst)?;
+        let aggressive = inst.label.map(|c| c > 0).unwrap_or(false);
+        bow.observe(words.iter().map(String::as_str), aggressive);
+        let _ = i;
+        out.push(inst);
+    }
+    Ok(out)
+}
+
+fn prequential_f1(
+    instances: &[Instance],
+    mut model: Box<dyn redhanded_streamml::StreamingClassifier>,
+) -> Result<f64> {
+    let mut eval = PrequentialEvaluator::new(model.num_classes(), None, 0);
+    for inst in instances {
+        eval.step(model.as_mut(), inst)?;
+    }
+    Ok(eval.cumulative_metrics().f1)
+}
+
+/// Tune the Hoeffding Tree over the Table I grid.
+pub fn tune_ht(instances: &[Instance], scheme: ClassScheme) -> Result<TuningOutcome> {
+    let dims = vec![
+        GridDimension::new("criterion", vec![0.0, 1.0]), // 0 = Gini, 1 = InfoGain
+        GridDimension::new("confidence", vec![0.001, 0.01, 0.1, 0.5]),
+        GridDimension::new("tie", vec![0.01, 0.05, 0.1]),
+        GridDimension::new("grace", vec![200.0, 350.0, 500.0]),
+        GridDimension::new("depth", vec![10.0, 20.0, 30.0]),
+    ];
+    let results = grid_search(&dims, |p| {
+        let cfg = ht_config_from(p, scheme);
+        prequential_f1(instances, Box::new(redhanded_streamml::HoeffdingTree::new(cfg)?))
+    })?;
+    Ok(TuningOutcome { model: "HT", results })
+}
+
+/// Decode a grid point into a Hoeffding Tree configuration.
+pub fn ht_config_from(p: &GridPoint, scheme: ClassScheme) -> HoeffdingTreeConfig {
+    let mut cfg = HoeffdingTreeConfig::paper_defaults(scheme.num_classes(), NUM_FEATURES);
+    if let Some(&c) = p.get("criterion") {
+        cfg.split_criterion =
+            if c < 0.5 { SplitCriterion::Gini } else { SplitCriterion::InfoGain };
+    }
+    if let Some(&v) = p.get("confidence") {
+        cfg.split_confidence = v;
+    }
+    if let Some(&v) = p.get("tie") {
+        cfg.tie_threshold = v;
+    }
+    if let Some(&v) = p.get("grace") {
+        cfg.grace_period = v;
+    }
+    if let Some(&v) = p.get("depth") {
+        cfg.max_depth = v as usize;
+    }
+    cfg.leaf_prediction = LeafPrediction::NBAdaptive;
+    cfg
+}
+
+/// Tune the Adaptive Random Forest (ensemble size; trees at Table I's
+/// selected HT values).
+pub fn tune_arf(instances: &[Instance], scheme: ClassScheme) -> Result<TuningOutcome> {
+    let dims = vec![GridDimension::new("ensemble", vec![10.0, 15.0, 20.0])];
+    let results = grid_search(&dims, |p| {
+        let mut cfg = ArfConfig::paper_defaults(scheme.num_classes(), NUM_FEATURES);
+        cfg.ensemble_size = p["ensemble"] as usize;
+        prequential_f1(
+            instances,
+            Box::new(redhanded_streamml::AdaptiveRandomForest::new(cfg)?),
+        )
+    })?;
+    Ok(TuningOutcome { model: "ARF", results })
+}
+
+/// Tune Streaming Logistic Regression over the Table I grid.
+pub fn tune_slr(instances: &[Instance], scheme: ClassScheme) -> Result<TuningOutcome> {
+    let dims = vec![
+        GridDimension::new("lambda", vec![0.01, 0.05, 0.1]),
+        GridDimension::new("regularizer", vec![0.0, 1.0, 2.0]), // Zero, L1, L2
+        GridDimension::new("reg", vec![0.001, 0.01, 0.1]),
+    ];
+    let results = grid_search(&dims, |p| {
+        let mut cfg = SlrConfig::paper_defaults(scheme.num_classes(), NUM_FEATURES);
+        cfg.learning_rate = p["lambda"];
+        cfg.regularizer = match p["regularizer"] as usize {
+            0 => Regularizer::Zero,
+            1 => Regularizer::L1,
+            _ => Regularizer::L2,
+        };
+        cfg.reg_param = p["reg"];
+        prequential_f1(
+            instances,
+            Box::new(redhanded_streamml::StreamingLogisticRegression::new(cfg)?),
+        )
+    })?;
+    Ok(TuningOutcome { model: "SLR", results })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepared_instances_are_normalized_and_labeled() {
+        let insts = prepare_instances(ClassScheme::TwoClass, 1500, 1).unwrap();
+        assert_eq!(insts.len(), 1500);
+        for inst in &insts {
+            assert!(inst.is_labeled());
+            assert_eq!(inst.dim(), NUM_FEATURES);
+            for &v in &inst.features {
+                assert!((0.0..=1.0).contains(&v), "robust minmax output {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn slr_grid_prefers_regularized_configs_on_this_stream() {
+        let insts = prepare_instances(ClassScheme::TwoClass, 2000, 2).unwrap();
+        let outcome = tune_slr(&insts, ClassScheme::TwoClass).unwrap();
+        assert_eq!(outcome.results.len(), 27);
+        assert!(outcome.best_score() > 0.7, "best F1 {}", outcome.best_score());
+        // Sorted best-first.
+        for w in outcome.results.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn arf_grid_runs() {
+        let insts = prepare_instances(ClassScheme::TwoClass, 1000, 3).unwrap();
+        let outcome = tune_arf(&insts, ClassScheme::TwoClass).unwrap();
+        assert_eq!(outcome.results.len(), 3);
+        assert!(outcome.best().contains_key("ensemble"));
+    }
+
+    #[test]
+    fn ht_config_decoding() {
+        let mut p = GridPoint::new();
+        p.insert("criterion".into(), 0.0);
+        p.insert("confidence".into(), 0.5);
+        p.insert("tie".into(), 0.1);
+        p.insert("grace".into(), 500.0);
+        p.insert("depth".into(), 10.0);
+        let cfg = ht_config_from(&p, ClassScheme::ThreeClass);
+        assert_eq!(cfg.split_criterion, SplitCriterion::Gini);
+        assert_eq!(cfg.split_confidence, 0.5);
+        assert_eq!(cfg.tie_threshold, 0.1);
+        assert_eq!(cfg.grace_period, 500.0);
+        assert_eq!(cfg.max_depth, 10);
+        assert_eq!(cfg.num_classes, 3);
+    }
+}

@@ -1,0 +1,21 @@
+//! Experiment drivers behind every table and figure of the paper's
+//! evaluation (Section V). The `redhanded-bench` binaries call into these
+//! with paper-scale parameters; unit and integration tests run them at
+//! reduced scale. See `DESIGN.md` for the experiment ↔ module index and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub mod ablation;
+pub mod batch_vs_stream;
+pub mod drift;
+pub mod features_fig;
+pub mod hyperparams;
+pub mod related;
+pub mod scalability;
+
+pub use ablation::{run_ablation, AblationOutcome, AblationSpec};
+pub use batch_vs_stream::{run_batch_vs_stream, BatchScenario, BatchVsStreamOutcome};
+pub use drift::{run_drift_resilience, DriftPoint};
+pub use features_fig::{feature_pdfs, gini_importance_ranking, FeaturePdf, ImportanceEntry};
+pub use hyperparams::{prepare_instances, tune_arf, tune_ht, tune_slr, TuningOutcome};
+pub use related::{run_related, RelatedDataset, RelatedOutcome};
+pub use scalability::{run_scalability, ScalabilityOutcome, ScalabilityPoint, FIREHOSE_TWEETS_PER_SEC};

@@ -1,0 +1,183 @@
+//! Related-behavior detection (Section V-F, Figure 17): the streaming
+//! Hoeffding Tree on the Sarcasm and Offensive datasets, compared against
+//! the batch logistic-regression 10-fold CV numbers the original dataset
+//! authors report (93% accuracy on Sarcasm; 74% F1 on Offensive).
+
+use crate::config::{ModelKind, PipelineConfig};
+use crate::item::StreamItem;
+use crate::pipeline::DetectionPipeline;
+use redhanded_batchml::{cross_validate, BatchLogisticRegression, LogisticConfig};
+use redhanded_datagen::{generate_offensive, generate_sarcasm, RelatedConfig};
+use redhanded_features::{
+    AdaptiveBow, AdaptiveBowConfig, FeatureExtractor, NormalizationKind, Normalizer,
+    NUM_FEATURES,
+};
+use redhanded_types::{ClassScheme, Dataset, LabeledTweet, Result};
+
+/// Which related-behavior dataset to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelatedDataset {
+    /// Rajadesingan et al.'s sarcasm dataset (metric: accuracy).
+    Sarcasm,
+    /// Waseem & Hovy's racism/sexism dataset (metric: weighted F1).
+    Offensive,
+}
+
+impl RelatedDataset {
+    /// Dataset display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RelatedDataset::Sarcasm => "Sarcasm",
+            RelatedDataset::Offensive => "Offensive",
+        }
+    }
+
+    /// The class scheme.
+    pub fn scheme(&self) -> ClassScheme {
+        match self {
+            RelatedDataset::Sarcasm => ClassScheme::Sarcasm,
+            RelatedDataset::Offensive => ClassScheme::Offensive,
+        }
+    }
+
+    /// The metric the original authors report (and Figure 17 plots).
+    pub fn metric_name(&self) -> &'static str {
+        match self {
+            RelatedDataset::Sarcasm => "accuracy",
+            RelatedDataset::Offensive => "F1-score",
+        }
+    }
+
+    /// The value the original authors report.
+    pub fn reported_by_authors(&self) -> f64 {
+        match self {
+            RelatedDataset::Sarcasm => 0.93,
+            RelatedDataset::Offensive => 0.74,
+        }
+    }
+
+    /// Generate the dataset at `total` tweets.
+    pub fn generate(&self, total: usize, seed: u64) -> Vec<LabeledTweet> {
+        let mut cfg = match self {
+            RelatedDataset::Sarcasm => RelatedConfig::sarcasm_paper_scale(),
+            RelatedDataset::Offensive => RelatedConfig::offensive_paper_scale(),
+        };
+        cfg.total = total;
+        cfg.seed = seed;
+        match self {
+            RelatedDataset::Sarcasm => generate_sarcasm(&cfg),
+            RelatedDataset::Offensive => generate_offensive(&cfg),
+        }
+    }
+}
+
+/// The outcome of one Figure 17 run.
+#[derive(Debug, Clone)]
+pub struct RelatedOutcome {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Metric name (`accuracy` or `F1-score`).
+    pub metric: &'static str,
+    /// Streaming HT's cumulative metric over the stream (`(instances,
+    /// value)` pairs — the rising curves of Figure 17).
+    pub streaming_series: Vec<(u64, f64)>,
+    /// Streaming HT's final cumulative metric.
+    pub streaming_final: f64,
+    /// Our batch LR 10-fold CV reference on the same data.
+    pub batch_cv: f64,
+    /// The number the original authors report.
+    pub reported: f64,
+}
+
+/// Run Figure 17 for one dataset at `total` tweets.
+pub fn run_related(dataset: RelatedDataset, total: usize, seed: u64) -> Result<RelatedOutcome> {
+    let tweets = dataset.generate(total, seed);
+    let scheme = dataset.scheme();
+
+    // --- Streaming HT, prequential, cumulative metric series.
+    let mut pcfg = PipelineConfig::paper(scheme, ModelKind::ht());
+    pcfg.window = None; // Figure 17 plots cumulative performance
+    let mut pipeline = DetectionPipeline::new(pcfg)?;
+    for lt in &tweets {
+        pipeline.process(&StreamItem::from(lt.clone()))?;
+    }
+    let pick = |m: &redhanded_streamml::Metrics| match dataset {
+        RelatedDataset::Sarcasm => m.accuracy,
+        RelatedDataset::Offensive => m.f1,
+    };
+    let streaming_series: Vec<(u64, f64)> =
+        pipeline.series().iter().map(|p| (p.instances, pick(&p.metrics))).collect();
+    let streaming_final = pick(&pipeline.cumulative_metrics());
+
+    // --- Batch LR 10-fold CV reference (the original authors' protocol).
+    let extractor = FeatureExtractor::default();
+    let bow = AdaptiveBow::new(AdaptiveBowConfig { adaptive: false, ..Default::default() });
+    let mut ds = Dataset::new(scheme);
+    for lt in &tweets {
+        if let Some((inst, _)) = extractor.labeled_instance(lt, scheme, &bow, 0) {
+            ds.push(inst);
+        }
+    }
+    // Batch z-score normalization (LR needs scaled inputs).
+    let mut norm = Normalizer::new(NormalizationKind::ZScore, NUM_FEATURES);
+    for inst in ds.instances() {
+        norm.observe(&inst.features)?;
+    }
+    for inst in ds.instances_mut() {
+        norm.transform(&mut inst.features)?;
+    }
+    let classes = scheme.num_classes();
+    let mut lr_cfg = LogisticConfig::defaults(classes, NUM_FEATURES);
+    lr_cfg.epochs = 60;
+    let cv = cross_validate(ds.instances(), classes, 10, seed, || {
+        BatchLogisticRegression::new(lr_cfg.clone()).expect("valid config")
+    })?;
+    let batch_cv = pick(&cv);
+
+    Ok(RelatedOutcome {
+        dataset: dataset.name(),
+        metric: dataset.metric_name(),
+        streaming_series,
+        streaming_final,
+        batch_cv,
+        reported: dataset.reported_by_authors(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sarcasm_streaming_converges_toward_batch() {
+        let out = run_related(RelatedDataset::Sarcasm, 6000, 1).unwrap();
+        assert_eq!(out.dataset, "Sarcasm");
+        assert_eq!(out.metric, "accuracy");
+        assert!(out.streaming_final > 0.8, "accuracy {}", out.streaming_final);
+        assert!(
+            out.streaming_final > out.batch_cv - 0.1,
+            "streaming {} near batch CV {}",
+            out.streaming_final,
+            out.batch_cv
+        );
+        assert!(!out.streaming_series.is_empty());
+        assert_eq!(out.reported, 0.93);
+    }
+
+    #[test]
+    fn offensive_runs_three_class() {
+        let out = run_related(RelatedDataset::Offensive, 5000, 2).unwrap();
+        assert_eq!(out.metric, "F1-score");
+        assert!(out.streaming_final > 0.5, "F1 {}", out.streaming_final);
+        assert_eq!(out.reported, 0.74);
+        assert!(out.batch_cv > 0.5, "batch CV F1 {}", out.batch_cv);
+    }
+
+    #[test]
+    fn streaming_metric_rises_through_the_stream() {
+        let out = run_related(RelatedDataset::Sarcasm, 6000, 3).unwrap();
+        let early = out.streaming_series.first().unwrap().1;
+        let late = out.streaming_series.last().unwrap().1;
+        assert!(late >= early, "cumulative metric rises: {early} → {late}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Scalability for real-time detection (Section V-E, Figures 15–16).
+//!
+//! For a range of stream sizes (the paper sweeps 250k–2M unlabeled tweets
+//! intermixed with the 86k labeled ones), run each system flavor (MOA,
+//! SparkSingle, SparkLocal, SparkCluster) over the stream and record total
+//! execution time (Figure 15) and throughput (Figure 16). The paper's
+//! reference line is the claimed Twitter Firehose arrival rate of ~9k
+//! tweets/second.
+
+use crate::config::{ModelKind, PipelineConfig};
+use crate::deploy::{run_system, SystemFlavor};
+use crate::item::{intermix, StreamItem};
+use redhanded_datagen::{generate_abusive, generate_unlabeled, AbusiveConfig};
+use redhanded_types::{ClassScheme, Result};
+use std::time::Duration;
+
+/// The paper's reference Firehose arrival rate (tweets per second).
+pub const FIREHOSE_TWEETS_PER_SEC: f64 = 9_000.0;
+
+/// One measured point of Figures 15–16.
+#[derive(Debug, Clone)]
+pub struct ScalabilityPoint {
+    /// System name (figure legend).
+    pub system: &'static str,
+    /// Total tweets processed (labeled + unlabeled).
+    pub tweets: u64,
+    /// Execution time (Figure 15's y-axis).
+    pub elapsed: Duration,
+    /// Throughput in tweets/second (Figure 16's y-axis).
+    pub throughput: f64,
+}
+
+/// The full sweep outcome.
+#[derive(Debug, Clone)]
+pub struct ScalabilityOutcome {
+    /// All measured points, grouped by system in sweep order.
+    pub points: Vec<ScalabilityPoint>,
+    /// The Firehose reference rate.
+    pub firehose_rate: f64,
+}
+
+impl ScalabilityOutcome {
+    /// Points of one system, in sweep order.
+    pub fn system_points(&self, system: &str) -> Vec<&ScalabilityPoint> {
+        self.points.iter().filter(|p| p.system == system).collect()
+    }
+}
+
+/// Run the sweep: for every count in `unlabeled_counts`, intermix that many
+/// unlabeled tweets with `labeled_total` labeled ones and run every system
+/// in `systems`. HT with the paper's full pipeline (p=n=ad=ON, 3-class),
+/// as in Section V-E.
+pub fn run_scalability(
+    unlabeled_counts: &[usize],
+    labeled_total: usize,
+    systems: &[SystemFlavor],
+    microbatch_size: usize,
+    seed: u64,
+) -> Result<ScalabilityOutcome> {
+    let mut points = Vec::new();
+    for &count in unlabeled_counts {
+        for &system in systems {
+            // Regenerate per run: each system consumes its stream, and
+            // regeneration (deterministic in the seed) is cheaper than
+            // holding multiple million-tweet copies in memory.
+            let labeled = generate_abusive(&AbusiveConfig::small(labeled_total, seed));
+            let unlabeled = generate_unlabeled(count, seed ^ 0xF1E);
+            let items: Vec<StreamItem> = intermix(labeled, unlabeled);
+            let mut pipeline =
+                PipelineConfig::paper(ClassScheme::ThreeClass, ModelKind::ht());
+            // The scalability figures time the detection pipeline itself;
+            // per-instance sliding-window series bookkeeping is a
+            // figure-plotting aid, not part of the measured system.
+            pipeline.window = None;
+            pipeline.record_every = 0;
+            let report = run_system(system, pipeline, items, microbatch_size)?;
+            points.push(ScalabilityPoint {
+                system: report.system,
+                tweets: report.records,
+                elapsed: report.elapsed,
+                throughput: report.throughput,
+            });
+        }
+    }
+    Ok(ScalabilityOutcome { points, firehose_rate: FIREHOSE_TWEETS_PER_SEC })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_a_point_per_system_per_count() {
+        let out = run_scalability(
+            &[500, 1000],
+            1000,
+            &[SystemFlavor::Moa, SystemFlavor::SparkLocal { slots: 4 }],
+            500,
+            1,
+        )
+        .unwrap();
+        assert_eq!(out.points.len(), 4);
+        assert_eq!(out.system_points("MOA").len(), 2);
+        assert_eq!(out.system_points("SparkLocal").len(), 2);
+        assert_eq!(out.points[0].tweets, 1500);
+        assert_eq!(out.points[2].tweets, 2000);
+        assert!((out.firehose_rate - 9000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn execution_time_grows_with_stream_size() {
+        let out = run_scalability(
+            &[1000, 4000],
+            500,
+            &[SystemFlavor::SparkSingle],
+            500,
+            2,
+        )
+        .unwrap();
+        let pts = out.system_points("SparkSingle");
+        assert!(
+            pts[1].elapsed > pts[0].elapsed,
+            "more tweets take longer: {:?} vs {:?}",
+            pts[1].elapsed,
+            pts[0].elapsed
+        );
+    }
+
+    #[test]
+    fn cluster_outpaces_single_threaded() {
+        let out = run_scalability(
+            &[4000],
+            1000,
+            &[
+                SystemFlavor::SparkSingle,
+                SystemFlavor::SparkCluster { nodes: 3, slots_per_node: 8 },
+            ],
+            1000,
+            3,
+        )
+        .unwrap();
+        let single = &out.system_points("SparkSingle")[0];
+        let cluster = &out.system_points("SparkCluster")[0];
+        assert!(
+            cluster.throughput > single.throughput * 2.0,
+            "cluster {} vs single {}",
+            cluster.throughput,
+            single.throughput
+        );
+    }
+}

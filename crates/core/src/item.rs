@@ -1,0 +1,166 @@
+//! Stream items: the union of the two input streams.
+//!
+//! The system receives two streams in the same JSON format — unlabeled
+//! tweets from the (simulated) Twitter Streaming API and labeled tweets
+//! from the annotation pipeline (Section III-A, "Data Input"). Every
+//! pipeline step except training treats them identically.
+
+use redhanded_datagen::DAY_MS;
+use redhanded_types::{LabeledTweet, Tweet};
+
+/// One record of the merged input stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamItem {
+    /// A tweet from the unlabeled firehose stream.
+    Unlabeled(Tweet),
+    /// A tweet from the labeled stream.
+    Labeled(LabeledTweet),
+}
+
+impl StreamItem {
+    /// The tweet payload, regardless of labeling.
+    pub fn tweet(&self) -> &Tweet {
+        match self {
+            StreamItem::Unlabeled(t) => t,
+            StreamItem::Labeled(lt) => &lt.tweet,
+        }
+    }
+
+    /// True for items from the labeled stream.
+    pub fn is_labeled(&self) -> bool {
+        matches!(self, StreamItem::Labeled(_))
+    }
+
+    /// The collection day the item belongs to, recovered from its
+    /// timestamp (the generators encode the day structure there).
+    pub fn day(&self) -> u32 {
+        (self.tweet().timestamp_ms / DAY_MS) as u32
+    }
+
+    /// Parse an item from JSON: payloads with a `label` attribute come from
+    /// the labeled stream, all others from the unlabeled stream.
+    pub fn from_json(json: &str) -> redhanded_types::Result<Self> {
+        match LabeledTweet::from_json(json) {
+            Ok(lt) => Ok(StreamItem::Labeled(lt)),
+            Err(_) => Ok(StreamItem::Unlabeled(Tweet::from_json(json)?)),
+        }
+    }
+}
+
+impl From<Tweet> for StreamItem {
+    fn from(t: Tweet) -> Self {
+        StreamItem::Unlabeled(t)
+    }
+}
+
+impl From<LabeledTweet> for StreamItem {
+    fn from(lt: LabeledTweet) -> Self {
+        StreamItem::Labeled(lt)
+    }
+}
+
+/// Interleave unlabeled tweets into a labeled stream, preserving relative
+/// order of both — the workload shape of the scalability experiments
+/// (Section V-E intermixes 250k–2M unlabeled tweets with the 86k labeled
+/// ones).
+pub fn intermix(labeled: Vec<LabeledTweet>, unlabeled: Vec<Tweet>) -> Vec<StreamItem> {
+    let total = labeled.len() + unlabeled.len();
+    let mut out = Vec::with_capacity(total);
+    if labeled.is_empty() {
+        out.extend(unlabeled.into_iter().map(StreamItem::from));
+        return out;
+    }
+    if unlabeled.is_empty() {
+        out.extend(labeled.into_iter().map(StreamItem::from));
+        return out;
+    }
+    // Evenly spread: walk both streams proportionally.
+    let (mut li, mut ui) = (0usize, 0usize);
+    let (ln, un) = (labeled.len(), unlabeled.len());
+    let mut labeled = labeled.into_iter();
+    let mut unlabeled = unlabeled.into_iter();
+    for _ in 0..total {
+        // Take from whichever stream is behind proportionally.
+        let take_labeled = li * un <= ui * ln && li < ln;
+        if (take_labeled && li < ln) || ui >= un {
+            out.push(StreamItem::from(labeled.next().expect("li < ln")));
+            li += 1;
+        } else {
+            out.push(StreamItem::from(unlabeled.next().expect("ui < un")));
+            ui += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redhanded_types::{ClassLabel, TwitterUser};
+
+    fn tweet(id: u64, ts: u64) -> Tweet {
+        Tweet {
+            id,
+            text: "hello".into(),
+            timestamp_ms: ts,
+            is_retweet: false,
+            is_reply: false,
+            user: TwitterUser::synthetic(id),
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let t = tweet(1, 3 * DAY_MS + 5);
+        let item = StreamItem::from(t.clone());
+        assert!(!item.is_labeled());
+        assert_eq!(item.day(), 3);
+        assert_eq!(item.tweet().id, 1);
+        let lt = LabeledTweet { tweet: t, label: ClassLabel::Abusive };
+        let item = StreamItem::from(lt);
+        assert!(item.is_labeled());
+    }
+
+    #[test]
+    fn json_dispatch() {
+        let t = tweet(7, 0);
+        let item = StreamItem::from_json(&t.to_json()).unwrap();
+        assert!(!item.is_labeled());
+        let lt = LabeledTweet { tweet: t, label: ClassLabel::Hateful };
+        let item = StreamItem::from_json(&lt.to_json()).unwrap();
+        assert!(item.is_labeled());
+        assert!(StreamItem::from_json("{bad").is_err());
+    }
+
+    #[test]
+    fn intermix_preserves_order_and_spreads() {
+        let labeled: Vec<LabeledTweet> = (0..10)
+            .map(|i| LabeledTweet { tweet: tweet(i, 0), label: ClassLabel::Normal })
+            .collect();
+        let unlabeled: Vec<Tweet> = (100..130).map(|i| tweet(i, 0)).collect();
+        let mixed = intermix(labeled, unlabeled);
+        assert_eq!(mixed.len(), 40);
+        // Relative order within each stream preserved.
+        let labeled_ids: Vec<u64> =
+            mixed.iter().filter(|i| i.is_labeled()).map(|i| i.tweet().id).collect();
+        assert_eq!(labeled_ids, (0..10).collect::<Vec<_>>());
+        let unlabeled_ids: Vec<u64> =
+            mixed.iter().filter(|i| !i.is_labeled()).map(|i| i.tweet().id).collect();
+        assert_eq!(unlabeled_ids, (100..130).collect::<Vec<_>>());
+        // Roughly even spreading: first half contains about half of each.
+        let first_half_labeled = mixed[..20].iter().filter(|i| i.is_labeled()).count();
+        assert!((4..=6).contains(&first_half_labeled), "{first_half_labeled}");
+    }
+
+    #[test]
+    fn intermix_degenerate_inputs() {
+        assert!(intermix(vec![], vec![]).is_empty());
+        let only_unlabeled = intermix(vec![], vec![tweet(1, 0)]);
+        assert_eq!(only_unlabeled.len(), 1);
+        let only_labeled = intermix(
+            vec![LabeledTweet { tweet: tweet(2, 0), label: ClassLabel::Normal }],
+            vec![],
+        );
+        assert!(only_labeled[0].is_labeled());
+    }
+}

@@ -1,0 +1,181 @@
+//! The labeling integration point (Section III-A, "Labeling").
+//!
+//! In the paper, sampled tweets go to specialized moderators or a
+//! crowdsourcing platform; the mechanics are "beyond the scope of this
+//! paper". This module defines the [`Labeler`] trait the framework hands
+//! its sample to, plus two implementations used by experiments: an oracle
+//! (the generator's ground truth) and a noisy wrapper modeling annotator
+//! error.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use redhanded_types::{ClassLabel, LabeledTweet, Tweet};
+use std::collections::HashMap;
+
+/// Something that can turn sampled tweets into labeled tweets.
+pub trait Labeler {
+    /// Label one tweet, or decline (annotators may skip).
+    fn label(&mut self, tweet: &Tweet) -> Option<ClassLabel>;
+
+    /// Label a batch, producing the labeled-stream payloads.
+    fn label_batch(&mut self, tweets: &[Tweet]) -> Vec<LabeledTweet> {
+        tweets
+            .iter()
+            .filter_map(|t| {
+                self.label(t).map(|label| LabeledTweet { tweet: t.clone(), label })
+            })
+            .collect()
+    }
+}
+
+/// Ground-truth oracle backed by a tweet-id → label map (experiments know
+/// the generator's labels).
+#[derive(Debug, Clone, Default)]
+pub struct OracleLabeler {
+    truth: HashMap<u64, ClassLabel>,
+}
+
+impl OracleLabeler {
+    /// Build an oracle from labeled tweets.
+    pub fn from_labeled(tweets: &[LabeledTweet]) -> Self {
+        OracleLabeler {
+            truth: tweets.iter().map(|lt| (lt.tweet.id, lt.label)).collect(),
+        }
+    }
+
+    /// Number of known labels.
+    pub fn len(&self) -> usize {
+        self.truth.len()
+    }
+
+    /// True when no ground truth is loaded.
+    pub fn is_empty(&self) -> bool {
+        self.truth.is_empty()
+    }
+}
+
+impl Labeler for OracleLabeler {
+    fn label(&mut self, tweet: &Tweet) -> Option<ClassLabel> {
+        self.truth.get(&tweet.id).copied()
+    }
+}
+
+/// Wraps a labeler with annotator noise: with probability `error_rate` the
+/// produced label is replaced by a uniformly random *different* label from
+/// the candidate set.
+pub struct NoisyLabeler<L> {
+    inner: L,
+    error_rate: f64,
+    candidates: Vec<ClassLabel>,
+    rng: SmallRng,
+}
+
+impl<L: Labeler> NoisyLabeler<L> {
+    /// Wrap `inner` with the given error rate over `candidates`.
+    pub fn new(inner: L, error_rate: f64, candidates: Vec<ClassLabel>, seed: u64) -> Self {
+        NoisyLabeler {
+            inner,
+            error_rate: error_rate.clamp(0.0, 1.0),
+            candidates,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl<L: Labeler> Labeler for NoisyLabeler<L> {
+    fn label(&mut self, tweet: &Tweet) -> Option<ClassLabel> {
+        let true_label = self.inner.label(tweet)?;
+        if self.rng.gen::<f64>() >= self.error_rate || self.candidates.len() < 2 {
+            return Some(true_label);
+        }
+        // Pick a different label.
+        loop {
+            let l = self.candidates[self.rng.gen_range(0..self.candidates.len())];
+            if l != true_label {
+                return Some(l);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redhanded_types::TwitterUser;
+
+    fn tweet(id: u64) -> Tweet {
+        Tweet {
+            id,
+            text: "t".into(),
+            timestamp_ms: 0,
+            is_retweet: false,
+            is_reply: false,
+            user: TwitterUser::synthetic(id),
+        }
+    }
+
+    fn labeled(id: u64, label: ClassLabel) -> LabeledTweet {
+        LabeledTweet { tweet: tweet(id), label }
+    }
+
+    #[test]
+    fn oracle_returns_ground_truth() {
+        let mut oracle = OracleLabeler::from_labeled(&[
+            labeled(1, ClassLabel::Abusive),
+            labeled(2, ClassLabel::Normal),
+        ]);
+        assert_eq!(oracle.len(), 2);
+        assert!(!oracle.is_empty());
+        assert_eq!(oracle.label(&tweet(1)), Some(ClassLabel::Abusive));
+        assert_eq!(oracle.label(&tweet(2)), Some(ClassLabel::Normal));
+        assert_eq!(oracle.label(&tweet(99)), None, "unknown tweet declined");
+    }
+
+    #[test]
+    fn batch_labeling_skips_unknowns() {
+        let mut oracle = OracleLabeler::from_labeled(&[labeled(1, ClassLabel::Hateful)]);
+        let out = oracle.label_batch(&[tweet(1), tweet(2)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].label, ClassLabel::Hateful);
+    }
+
+    #[test]
+    fn noisy_labeler_error_rate() {
+        let truth: Vec<LabeledTweet> =
+            (0..10_000).map(|i| labeled(i, ClassLabel::Normal)).collect();
+        let oracle = OracleLabeler::from_labeled(&truth);
+        let mut noisy = NoisyLabeler::new(
+            oracle,
+            0.2,
+            vec![ClassLabel::Normal, ClassLabel::Abusive, ClassLabel::Hateful],
+            1,
+        );
+        let flipped = (0..10_000u64)
+            .filter(|&i| noisy.label(&tweet(i)) != Some(ClassLabel::Normal))
+            .count();
+        let rate = flipped as f64 / 10_000.0;
+        assert!((rate - 0.2).abs() < 0.02, "observed error rate {rate}");
+    }
+
+    #[test]
+    fn zero_noise_is_transparent() {
+        let oracle = OracleLabeler::from_labeled(&[labeled(5, ClassLabel::Sarcastic)]);
+        let mut noisy = NoisyLabeler::new(
+            oracle,
+            0.0,
+            vec![ClassLabel::Normal, ClassLabel::Sarcastic],
+            2,
+        );
+        for _ in 0..100 {
+            assert_eq!(noisy.label(&tweet(5)), Some(ClassLabel::Sarcastic));
+        }
+    }
+
+    #[test]
+    fn noise_never_invents_labels_for_unknowns() {
+        let oracle = OracleLabeler::default();
+        let mut noisy =
+            NoisyLabeler::new(oracle, 1.0, vec![ClassLabel::Normal, ClassLabel::Abusive], 3);
+        assert_eq!(noisy.label(&tweet(1)), None);
+    }
+}

@@ -1,0 +1,57 @@
+//! `redhanded` — a real-time aggression-detection framework for social
+//! media, reproducing "Catching them red-handed: Real-time Aggression
+//! Detection on Social Media" (Herodotou, Chatzakou & Kourtellis, ICDE
+//! 2021) from scratch in Rust.
+//!
+//! The framework embraces the streaming-ML paradigm end to end (Figure 1
+//! of the paper): tweets are preprocessed, featurized, and normalized
+//! incrementally; streaming classifiers (Hoeffding Tree, Adaptive Random
+//! Forest, Streaming Logistic Regression) update on every labeled tweet
+//! and predict on every tweet; alerts feed human moderators; a boosted
+//! sampler selects tweets for labeling; and the whole dataflow deploys on
+//! a micro-batch distributed stream-processing engine (Figure 2).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use redhanded_core::{DetectionPipeline, ModelKind, PipelineConfig, StreamItem};
+//! use redhanded_datagen::{generate_abusive, AbusiveConfig};
+//! use redhanded_types::ClassScheme;
+//!
+//! // A small synthetic labeled stream (see redhanded-datagen).
+//! let tweets = generate_abusive(&AbusiveConfig::small(2000, 7));
+//!
+//! // The paper's configuration: preprocessing + robust minmax
+//! // normalization + adaptive bag-of-words, with a Hoeffding Tree.
+//! let config = PipelineConfig::paper(ClassScheme::TwoClass, ModelKind::ht());
+//! let mut pipeline = DetectionPipeline::new(config).unwrap();
+//! for tweet in tweets {
+//!     pipeline.process(&StreamItem::from(tweet)).unwrap();
+//! }
+//! let metrics = pipeline.cumulative_metrics();
+//! assert!(metrics.f1 > 0.7);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod alert;
+pub mod config;
+pub mod deploy;
+pub mod experiments;
+pub mod item;
+pub mod label;
+pub mod pipeline;
+pub mod sample;
+pub mod session;
+pub mod spark;
+
+pub use alert::{Alert, Alerter};
+pub use config::{ModelKind, PipelineConfig};
+pub use deploy::{run_system, DeployReport, SystemFlavor};
+pub use item::{intermix, StreamItem};
+pub use label::{Labeler, NoisyLabeler, OracleLabeler};
+pub use pipeline::{BowSizePoint, Classified, DetectionPipeline};
+pub use sample::{BoostedSampler, SampledTweet};
+pub use session::{SessionAlert, SessionConfig, SessionDetector};
+pub use spark::{SparkConfig, SparkDetector, SparkRunReport};

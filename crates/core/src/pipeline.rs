@@ -1,0 +1,365 @@
+//! The sequential detection pipeline (Figure 1 of the paper).
+//!
+//! Chains every step of the architecture for one-tweet-at-a-time
+//! processing: preprocessing → feature extraction → normalization →
+//! prediction / training (prequential) → alerting / evaluation / sampling,
+//! with the adaptive bag-of-words updated from the labeled stream.
+//!
+//! This is the execution mode of the `MOA` baseline in Figures 15–16 (a
+//! single-threaded ML engine with no distribution overhead) and the
+//! workhorse behind every classification-quality experiment (Figures
+//! 6–14, 17). The distributed deployment lives in [`crate::spark`].
+
+use crate::alert::{Alert, Alerter};
+use crate::config::PipelineConfig;
+use crate::item::StreamItem;
+use crate::sample::BoostedSampler;
+use crate::session::SessionDetector;
+use redhanded_features::{AdaptiveBow, FeatureExtractor, Normalizer, NUM_FEATURES};
+use redhanded_streamml::classifier::argmax;
+use redhanded_streamml::{Metrics, PrequentialEvaluator, SeriesPoint, StreamingClassifier};
+use redhanded_types::{Result, Tweet};
+
+/// A point of the BoW-size-over-time series (Figure 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BowSizePoint {
+    /// Labeled instances processed when recorded.
+    pub instances: u64,
+    /// BoW membership size.
+    pub size: usize,
+}
+
+/// The classification outcome for one stream item.
+#[derive(Debug, Clone)]
+pub struct Classified {
+    /// The tweet id.
+    pub tweet_id: u64,
+    /// Predicted dense class.
+    pub predicted: usize,
+    /// Full class distribution.
+    pub proba: Vec<f64>,
+    /// True class, for labeled items.
+    pub actual: Option<usize>,
+}
+
+/// The sequential end-to-end pipeline.
+pub struct DetectionPipeline {
+    config: PipelineConfig,
+    extractor: FeatureExtractor,
+    bow: AdaptiveBow,
+    normalizer: Normalizer,
+    model: Box<dyn StreamingClassifier>,
+    evaluator: PrequentialEvaluator,
+    alerter: Alerter,
+    sampler: BoostedSampler,
+    session: Option<SessionDetector>,
+    bow_series: Vec<BowSizePoint>,
+    labeled_seen: u64,
+    skipped: u64,
+}
+
+impl DetectionPipeline {
+    /// Assemble a pipeline from a configuration.
+    pub fn new(config: PipelineConfig) -> Result<Self> {
+        let model = config.model.build(config.scheme)?;
+        Ok(DetectionPipeline {
+            extractor: FeatureExtractor::new(config.extractor_config()),
+            bow: AdaptiveBow::new(config.bow_config()),
+            normalizer: Normalizer::new(config.normalization, NUM_FEATURES),
+            evaluator: PrequentialEvaluator::new(
+                config.scheme.num_classes(),
+                config.window,
+                config.record_every,
+            ),
+            alerter: Alerter::new(config.scheme, config.alert_threshold, config.suspend_after),
+            sampler: BoostedSampler::new(
+                config.scheme,
+                config.sample_rate,
+                config.sample_boost,
+                0x5A11,
+            ),
+            session: config.session.clone().map(SessionDetector::new),
+            model,
+            bow_series: Vec::new(),
+            labeled_seen: 0,
+            skipped: 0,
+            config,
+        })
+    }
+
+    /// Process one stream item through the full pipeline.
+    ///
+    /// Labeled items run the prequential test-then-train protocol and
+    /// update the adaptive BoW; unlabeled items are classified and feed
+    /// alerting and sampling. Returns the classification, or `None` when
+    /// the item's label falls outside the class scheme (e.g. spam, which
+    /// the paper filters out).
+    pub fn process(&mut self, item: &StreamItem) -> Result<Option<Classified>> {
+        match item {
+            StreamItem::Labeled(lt) => {
+                let Some((mut inst, words)) = self.extractor.labeled_instance(
+                    lt,
+                    self.config.scheme,
+                    &self.bow,
+                    item.day(),
+                ) else {
+                    self.skipped += 1;
+                    return Ok(None);
+                };
+                self.normalizer.process(&mut inst)?;
+                let proba = self.model.predict_proba(&inst.features)?;
+                let predicted = argmax(&proba);
+                let actual = inst.label.expect("labeled instance");
+                self.evaluator.record(actual, predicted, inst.weight);
+                self.model.train(&inst)?;
+                let aggressive = self
+                    .config
+                    .scheme
+                    .index_of(lt.label)
+                    .map(|c| c > 0)
+                    .unwrap_or(false);
+                self.bow.observe(words.iter().map(String::as_str), aggressive);
+                self.labeled_seen += 1;
+                if self.config.record_every > 0
+                    && self.labeled_seen % self.config.record_every == 0
+                {
+                    self.bow_series.push(BowSizePoint {
+                        instances: self.labeled_seen,
+                        size: self.bow.len(),
+                    });
+                }
+                Ok(Some(Classified {
+                    tweet_id: lt.tweet.id,
+                    predicted,
+                    proba,
+                    actual: Some(actual),
+                }))
+            }
+            StreamItem::Unlabeled(tweet) => {
+                let classified = self.classify_unlabeled(tweet, item.day())?;
+                Ok(Some(classified))
+            }
+        }
+    }
+
+    fn classify_unlabeled(&mut self, tweet: &Tweet, day: u32) -> Result<Classified> {
+        let mut inst = self.extractor.instance(tweet, &self.bow, day);
+        self.normalizer.process(&mut inst)?;
+        let proba = self.model.predict_proba(&inst.features)?;
+        let predicted = argmax(&proba);
+        self.alerter.observe(tweet.id, tweet.user.id, &proba);
+        self.sampler.observe(tweet.id, &proba);
+        if let Some(session) = &mut self.session {
+            let aggressive_mass: f64 = self
+                .config
+                .scheme
+                .positive_classes()
+                .map(|c| proba.get(c).copied().unwrap_or(0.0))
+                .sum();
+            session.observe(tweet.user.id, tweet.timestamp_ms, aggressive_mass);
+        }
+        Ok(Classified { tweet_id: tweet.id, predicted, proba, actual: None })
+    }
+
+    /// Run a whole stream through the pipeline.
+    pub fn run(&mut self, items: &[StreamItem]) -> Result<()> {
+        for item in items {
+            self.process(item)?;
+        }
+        Ok(())
+    }
+
+    /// Current evaluation metrics (windowed when configured).
+    pub fn metrics(&self) -> Metrics {
+        self.evaluator.current_metrics()
+    }
+
+    /// Cumulative evaluation metrics over the whole labeled stream.
+    pub fn cumulative_metrics(&self) -> Metrics {
+        self.evaluator.cumulative_metrics()
+    }
+
+    /// The recorded metric series (the F1-over-tweets curves of the
+    /// figures).
+    pub fn series(&self) -> &[SeriesPoint] {
+        self.evaluator.series()
+    }
+
+    /// The BoW-size series (Figure 10).
+    pub fn bow_series(&self) -> &[BowSizePoint] {
+        &self.bow_series
+    }
+
+    /// Current adaptive-BoW size.
+    pub fn bow_len(&self) -> usize {
+        self.bow.len()
+    }
+
+    /// Alerts raised so far.
+    pub fn alerts(&self) -> &[Alert] {
+        self.alerter.alerts()
+    }
+
+    /// The alerting component.
+    pub fn alerter(&self) -> &Alerter {
+        &self.alerter
+    }
+
+    /// The labeling sampler.
+    pub fn sampler(&self) -> &BoostedSampler {
+        &self.sampler
+    }
+
+    /// The session-level detector, when enabled.
+    pub fn session(&self) -> Option<&SessionDetector> {
+        self.session.as_ref()
+    }
+
+    /// The underlying model (for inspection).
+    pub fn model(&self) -> &dyn StreamingClassifier {
+        self.model.as_ref()
+    }
+
+    /// Labeled instances processed (spam and other out-of-scheme labels
+    /// excluded).
+    pub fn labeled_seen(&self) -> u64 {
+        self.labeled_seen
+    }
+
+    /// Items skipped because their label is outside the scheme.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelKind;
+    use redhanded_datagen::{generate_abusive, AbusiveConfig};
+    use redhanded_types::{ClassLabel, ClassScheme, LabeledTweet, TwitterUser};
+
+    fn stream(n: usize, seed: u64) -> Vec<StreamItem> {
+        generate_abusive(&AbusiveConfig::small(n, seed))
+            .into_iter()
+            .map(StreamItem::from)
+            .collect()
+    }
+
+    #[test]
+    fn pipeline_learns_on_synthetic_stream() {
+        let mut pipeline = DetectionPipeline::new(PipelineConfig::paper(
+            ClassScheme::TwoClass,
+            ModelKind::ht(),
+        ))
+        .unwrap();
+        pipeline.run(&stream(6000, 1)).unwrap();
+        let metrics = pipeline.cumulative_metrics();
+        assert!(metrics.accuracy > 0.8, "accuracy {}", metrics.accuracy);
+        assert!(metrics.f1 > 0.8, "f1 {}", metrics.f1);
+        assert_eq!(pipeline.labeled_seen(), 6000);
+        assert!(!pipeline.series().is_empty());
+        assert!(!pipeline.bow_series().is_empty());
+    }
+
+    #[test]
+    fn three_class_pipeline_runs_all_models() {
+        for model in [ModelKind::ht(), ModelKind::slr()] {
+            let mut pipeline = DetectionPipeline::new(PipelineConfig::paper(
+                ClassScheme::ThreeClass,
+                model,
+            ))
+            .unwrap();
+            pipeline.run(&stream(2500, 2)).unwrap();
+            let metrics = pipeline.cumulative_metrics();
+            assert!(metrics.accuracy > 0.6, "accuracy {}", metrics.accuracy);
+        }
+    }
+
+    #[test]
+    fn spam_labels_are_skipped() {
+        let mut pipeline = DetectionPipeline::new(PipelineConfig::paper(
+            ClassScheme::TwoClass,
+            ModelKind::ht(),
+        ))
+        .unwrap();
+        let spam = LabeledTweet {
+            tweet: redhanded_types::Tweet {
+                id: 1,
+                text: "buy followers now".into(),
+                timestamp_ms: 0,
+                is_retweet: false,
+                is_reply: false,
+                user: TwitterUser::synthetic(1),
+            },
+            label: ClassLabel::Spam,
+        };
+        let out = pipeline.process(&StreamItem::from(spam)).unwrap();
+        assert!(out.is_none());
+        assert_eq!(pipeline.skipped(), 1);
+        assert_eq!(pipeline.labeled_seen(), 0);
+    }
+
+    #[test]
+    fn unlabeled_items_feed_alerts_and_samples() {
+        let mut pipeline = DetectionPipeline::new(PipelineConfig::paper(
+            ClassScheme::TwoClass,
+            ModelKind::ht(),
+        ))
+        .unwrap();
+        // Train first so predictions are meaningful.
+        pipeline.run(&stream(4000, 3)).unwrap();
+        // Then feed unlabeled traffic.
+        let unlabeled: Vec<StreamItem> = redhanded_datagen::generate_unlabeled(2000, 4)
+            .into_iter()
+            .map(StreamItem::from)
+            .collect();
+        pipeline.run(&unlabeled).unwrap();
+        assert!(
+            !pipeline.alerts().is_empty(),
+            "aggressive synthetic tweets should trigger alerts"
+        );
+        assert!(pipeline.sampler().seen() == 2000);
+        // Alerts only come from unlabeled traffic in this pipeline.
+        let metrics_before = pipeline.cumulative_metrics();
+        assert_eq!(metrics_before.total, 4000.0, "unlabeled items are not evaluated");
+    }
+
+    #[test]
+    fn adaptive_bow_grows_on_drifting_stream() {
+        let mut pipeline = DetectionPipeline::new(PipelineConfig::paper(
+            ClassScheme::TwoClass,
+            ModelKind::ht(),
+        ))
+        .unwrap();
+        assert_eq!(pipeline.bow_len(), 347);
+        pipeline.run(&stream(8000, 5)).unwrap();
+        assert!(
+            pipeline.bow_len() > 347,
+            "BoW should grow beyond its seed: {}",
+            pipeline.bow_len()
+        );
+    }
+
+    #[test]
+    fn classified_output_is_consistent() {
+        let mut pipeline = DetectionPipeline::new(PipelineConfig::paper(
+            ClassScheme::ThreeClass,
+            ModelKind::ht(),
+        ))
+        .unwrap();
+        for item in stream(500, 6) {
+            if let Some(c) = pipeline.process(&item).unwrap() {
+                assert_eq!(c.proba.len(), 3);
+                assert!((c.proba.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+                assert_eq!(c.predicted, argmax(&c.proba));
+                assert!(c.actual.is_some());
+            }
+        }
+    }
+}

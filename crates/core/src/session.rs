@@ -1,0 +1,265 @@
+//! Session-level detection — the paper's future-work extension
+//! (Section VI): "some forms of behaviors, like cyberbullying and
+//! trolling, usually involve repetitive hostile actions; we also plan to
+//! investigate detecting such behaviors at the level of media sessions
+//! (e.g., for a group of tweets from the same user) … utiliz[ing] the
+//! windowing functionalities provided by all distributed stream processing
+//! engines".
+//!
+//! [`SessionDetector`] keeps a sliding event-time window per user over the
+//! classified stream. When a user posts at least `min_tweets` tweets
+//! within `window_ms` and the mean predicted-aggressive probability of
+//! those tweets reaches `aggression_threshold`, the window is flagged as a
+//! *bullying session* — repeated hostility, rather than a one-off
+//! aggressive tweet. Each user is flagged at most once per quiet period
+//! (the flag re-arms after the user's window empties).
+
+use std::collections::{HashMap, VecDeque};
+
+/// Configuration of the session-level detector.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Event-time window length in milliseconds.
+    pub window_ms: u64,
+    /// Minimum tweets within the window to call it a session.
+    pub min_tweets: usize,
+    /// Minimum mean predicted-aggressive probability over the window.
+    pub aggression_threshold: f64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig { window_ms: 3_600_000, min_tweets: 5, aggression_threshold: 0.6 }
+    }
+}
+
+/// A flagged bullying session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionAlert {
+    /// The user whose session was flagged.
+    pub user_id: u64,
+    /// Tweets in the window when it was flagged.
+    pub tweets_in_window: usize,
+    /// Mean predicted-aggressive probability over the window.
+    pub mean_aggression: f64,
+    /// Event time of the tweet that triggered the flag.
+    pub triggered_at_ms: u64,
+}
+
+/// Per-user sliding-window state.
+#[derive(Debug, Clone, Default)]
+struct UserWindow {
+    /// `(timestamp_ms, aggressive_probability)` events, oldest first.
+    events: VecDeque<(u64, f64)>,
+    /// Sum of probabilities currently in the window.
+    sum: f64,
+    /// Whether this user's current activity burst has already been flagged.
+    flagged: bool,
+}
+
+/// The windowed session-level detector.
+#[derive(Debug, Clone)]
+pub struct SessionDetector {
+    config: SessionConfig,
+    users: HashMap<u64, UserWindow>,
+    alerts: Vec<SessionAlert>,
+}
+
+impl SessionDetector {
+    /// Create a detector.
+    pub fn new(config: SessionConfig) -> Self {
+        SessionDetector { config, users: HashMap::new(), alerts: Vec::new() }
+    }
+
+    /// Detector with default configuration (1-hour window, ≥5 tweets,
+    /// mean aggression ≥ 0.6).
+    pub fn with_defaults() -> Self {
+        Self::new(SessionConfig::default())
+    }
+
+    /// Observe one classified tweet: the posting user, its event time, and
+    /// the model's predicted-aggressive probability (the positive-class
+    /// mass under the active scheme). Returns a [`SessionAlert`] when this
+    /// tweet tips the user's window over the thresholds.
+    ///
+    /// Events are assumed per-user time-ordered (as a stream delivers
+    /// them); late events are still counted but expiry uses the newest
+    /// timestamp seen for the user.
+    pub fn observe(
+        &mut self,
+        user_id: u64,
+        timestamp_ms: u64,
+        aggressive_proba: f64,
+    ) -> Option<SessionAlert> {
+        let window = self.users.entry(user_id).or_default();
+        window.events.push_back((timestamp_ms, aggressive_proba.clamp(0.0, 1.0)));
+        window.sum += aggressive_proba.clamp(0.0, 1.0);
+        // Expire events older than the window relative to the newest event.
+        let horizon = timestamp_ms.saturating_sub(self.config.window_ms);
+        while let Some(&(ts, p)) = window.events.front() {
+            if ts < horizon {
+                window.events.pop_front();
+                window.sum -= p;
+            } else {
+                break;
+            }
+        }
+        if window.events.is_empty() {
+            window.flagged = false;
+            return None;
+        }
+        let mean = window.sum / window.events.len() as f64;
+        let dense_enough = window.events.len() >= self.config.min_tweets;
+        if dense_enough && mean >= self.config.aggression_threshold {
+            if !window.flagged {
+                window.flagged = true;
+                let alert = SessionAlert {
+                    user_id,
+                    tweets_in_window: window.events.len(),
+                    mean_aggression: mean,
+                    triggered_at_ms: timestamp_ms,
+                };
+                self.alerts.push(alert.clone());
+                return Some(alert);
+            }
+        } else if window.events.len() < self.config.min_tweets / 2 {
+            // The burst dissolved; re-arm the flag for the next session.
+            window.flagged = false;
+        }
+        None
+    }
+
+    /// All session alerts raised so far.
+    pub fn alerts(&self) -> &[SessionAlert] {
+        &self.alerts
+    }
+
+    /// Number of users currently tracked.
+    pub fn tracked_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Drop per-user state older than `horizon_ms` across all users
+    /// (periodic compaction for long-running deployments).
+    pub fn compact(&mut self, newest_ts: u64) {
+        let horizon = newest_ts.saturating_sub(self.config.window_ms);
+        self.users.retain(|_, w| {
+            while let Some(&(ts, p)) = w.events.front() {
+                if ts < horizon {
+                    w.events.pop_front();
+                    w.sum -= p;
+                } else {
+                    break;
+                }
+            }
+            !w.events.is_empty()
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector(min_tweets: usize, threshold: f64) -> SessionDetector {
+        SessionDetector::new(SessionConfig {
+            window_ms: 1000,
+            min_tweets,
+            aggression_threshold: threshold,
+        })
+    }
+
+    #[test]
+    fn burst_of_aggression_is_flagged_once() {
+        let mut d = detector(3, 0.5);
+        let mut alerts = 0;
+        for i in 0..10u64 {
+            if d.observe(1, i * 10, 0.9).is_some() {
+                alerts += 1;
+            }
+        }
+        assert_eq!(alerts, 1, "one alert per session");
+        assert_eq!(d.alerts().len(), 1);
+        let a = &d.alerts()[0];
+        assert_eq!(a.user_id, 1);
+        assert_eq!(a.tweets_in_window, 3, "flagged as soon as dense enough");
+        assert!(a.mean_aggression > 0.8);
+    }
+
+    #[test]
+    fn benign_bursts_are_not_flagged() {
+        let mut d = detector(3, 0.6);
+        for i in 0..20u64 {
+            assert!(d.observe(2, i * 10, 0.1).is_none());
+        }
+        assert!(d.alerts().is_empty());
+    }
+
+    #[test]
+    fn sparse_aggression_is_not_a_session() {
+        let mut d = detector(3, 0.6);
+        // Aggressive tweets, but 2 seconds apart with a 1-second window.
+        for i in 0..10u64 {
+            assert!(d.observe(3, i * 2000, 0.95).is_none());
+        }
+    }
+
+    #[test]
+    fn mixed_content_below_threshold() {
+        let mut d = detector(4, 0.7);
+        // Alternating aggressive/benign → mean 0.5 < 0.7.
+        for i in 0..12u64 {
+            let p = if i % 2 == 0 { 0.9 } else { 0.1 };
+            assert!(d.observe(4, i * 10, p).is_none());
+        }
+    }
+
+    #[test]
+    fn flag_rearms_after_quiet_period() {
+        let mut d = detector(4, 0.5);
+        for i in 0..6u64 {
+            d.observe(5, i * 10, 0.9);
+        }
+        assert_eq!(d.alerts().len(), 1);
+        // Long silence: the old burst expires entirely.
+        d.observe(5, 10_000, 0.9);
+        // New burst.
+        for i in 1..8u64 {
+            d.observe(5, 10_000 + i * 10, 0.9);
+        }
+        assert_eq!(d.alerts().len(), 2, "second session flagged after quiet period");
+    }
+
+    #[test]
+    fn users_are_independent() {
+        let mut d = detector(3, 0.5);
+        for i in 0..10u64 {
+            d.observe(10, i * 10, 0.9);
+            d.observe(11, i * 10, 0.9);
+        }
+        assert_eq!(d.alerts().len(), 2);
+        assert_eq!(d.tracked_users(), 2);
+        let users: Vec<u64> = d.alerts().iter().map(|a| a.user_id).collect();
+        assert!(users.contains(&10) && users.contains(&11));
+    }
+
+    #[test]
+    fn compact_drops_stale_users() {
+        let mut d = detector(3, 0.5);
+        d.observe(20, 0, 0.3);
+        d.observe(21, 5000, 0.3);
+        assert_eq!(d.tracked_users(), 2);
+        d.compact(5000);
+        assert_eq!(d.tracked_users(), 1, "user 20's events expired");
+    }
+
+    #[test]
+    fn probabilities_are_clamped() {
+        let mut d = detector(2, 0.5);
+        d.observe(30, 0, 7.5);
+        let alert = d.observe(30, 10, -3.0);
+        // clamped to [0,1]: mean = (1.0 + 0.0)/2 = 0.5 → flag at threshold.
+        assert!(alert.is_some());
+        assert!((alert.unwrap().mean_aggression - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,367 @@
+//! The main synthetic dataset: the 86k-tweet abusive-behavior stream.
+//!
+//! Stands in for the Founta et al. crowdsourced dataset the paper uses
+//! (Section IV-A): 53,835 normal, 27,179 abusive, and 4,970 hateful tweets
+//! (spam removed), collected over 10 consecutive days of ~8–9k tweets each.
+//! Class-conditional content follows the calibrated [`ClassProfile`]s;
+//! an optional vocabulary-drift process replaces a growing fraction of
+//! lexicon profanity with emerging out-of-lexicon slang, which is exactly
+//! the transient behavior the adaptive bag-of-words feature is designed to
+//! absorb (Figures 9–10).
+
+use crate::compose::compose_text;
+use crate::profile::ClassProfile;
+use crate::vocab;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use redhanded_types::{ClassLabel, LabeledTweet, Tweet, TwitterUser};
+
+/// Milliseconds per simulated collection day.
+pub const DAY_MS: u64 = 86_400_000;
+
+/// The paper's exact class counts (normal, abusive, hateful).
+pub const PAPER_CLASS_COUNTS: [usize; 3] = [53_835, 27_179, 4_970];
+
+/// Vocabulary-drift configuration.
+#[derive(Debug, Clone)]
+pub struct DriftConfig {
+    /// Enable drift (disable to generate a stationary stream).
+    pub enabled: bool,
+    /// Size of the emerging-slang vocabulary.
+    pub slang_pool: usize,
+    /// Fraction of profanity replaced by slang at the *end* of the stream
+    /// (adoption ramps linearly from 0).
+    pub max_adoption: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig { enabled: true, slang_pool: 60, max_adoption: 0.35 }
+    }
+}
+
+/// Generator configuration for the abusive dataset.
+#[derive(Debug, Clone)]
+pub struct AbusiveConfig {
+    /// Total number of tweets (class counts scale from the paper's ratio).
+    pub total: usize,
+    /// Number of collection days the stream spans.
+    pub days: u32,
+    /// Master seed.
+    pub seed: u64,
+    /// Ambiguity: probability that a tweet's *content* is drawn from a
+    /// different class's profile than its label (annotator-hard cases;
+    /// bounds attainable accuracy like real crowdsourced data does).
+    pub noise: f64,
+    /// Vocabulary drift settings.
+    pub drift: DriftConfig,
+}
+
+impl Default for AbusiveConfig {
+    fn default() -> Self {
+        AbusiveConfig {
+            total: PAPER_CLASS_COUNTS.iter().sum(),
+            days: 10,
+            seed: 0xAB05E,
+            noise: 0.04,
+            drift: DriftConfig::default(),
+        }
+    }
+}
+
+impl AbusiveConfig {
+    /// A small configuration for tests and quick experiments.
+    pub fn small(total: usize, seed: u64) -> Self {
+        AbusiveConfig { total, seed, ..Default::default() }
+    }
+
+    /// Per-class counts scaled from the paper's ratios to `self.total`.
+    pub fn class_counts(&self) -> [usize; 3] {
+        scale_counts(&PAPER_CLASS_COUNTS, self.total)
+    }
+
+    /// The day (0-based) a stream position belongs to.
+    pub fn day_of(&self, index: usize) -> u32 {
+        if self.total == 0 {
+            return 0;
+        }
+        (((index as u64) * self.days as u64) / self.total as u64).min(self.days as u64 - 1) as u32
+    }
+}
+
+/// Scale reference class counts to a new total, preserving ratios and the
+/// exact total.
+pub fn scale_counts(reference: &[usize], total: usize) -> [usize; 3] {
+    let ref_total: usize = reference.iter().sum();
+    let mut out = [0usize; 3];
+    let mut assigned = 0;
+    for i in 0..3 {
+        out[i] = reference[i] * total / ref_total;
+        assigned += out[i];
+    }
+    // Distribute the rounding remainder to the largest class.
+    out[0] += total - assigned;
+    out
+}
+
+/// The labels, in paper order.
+const LABELS: [ClassLabel; 3] = [ClassLabel::Normal, ClassLabel::Abusive, ClassLabel::Hateful];
+
+fn profiles() -> [ClassProfile; 3] {
+    [ClassProfile::normal(), ClassProfile::abusive(), ClassProfile::hateful()]
+}
+
+/// Generate one tweet for class index `class` at stream progress `progress`
+/// ∈ [0, 1).
+#[allow(clippy::too_many_arguments)]
+fn generate_one(
+    rng: &mut SmallRng,
+    id: u64,
+    timestamp_ms: u64,
+    class: usize,
+    profiles: &[ClassProfile; 3],
+    noise: f64,
+    slang: &[String],
+    adoption: f64,
+) -> Tweet {
+    // Ambiguous tweets: content from a neighboring class's profile.
+    let content_class = if rng.gen::<f64>() < noise {
+        match class {
+            0 => *[1usize, 2].choose(rng).expect("non-empty"),
+            _ => 0,
+        }
+    } else {
+        class
+    };
+    let profile = &profiles[content_class];
+    let content = profile.draw_content(rng);
+    // Slang replaces profanity only in aggressive content.
+    let slang_prob = if content_class > 0 { adoption } else { 0.0 };
+    let is_retweet = rng.gen::<f64>() < 0.2;
+    let text = compose_text(
+        rng,
+        &content,
+        vocab::swear_words(),
+        slang,
+        slang_prob,
+        profile.exclamation,
+        is_retweet,
+    );
+    let (age, posts, lists, followers, friends) = profile.draw_user(rng);
+    let user_id = rng.gen_range(1..1_000_000u64);
+    Tweet {
+        id,
+        text,
+        timestamp_ms,
+        is_retweet,
+        is_reply: rng.gen::<f64>() < 0.3,
+        user: TwitterUser {
+            id: user_id,
+            screen_name: format!("user{user_id}"),
+            account_age_days: age,
+            statuses_count: posts,
+            listed_count: lists,
+            followers_count: followers,
+            friends_count: friends,
+        },
+    }
+}
+
+/// Generate the labeled abusive-behavior stream, in arrival order
+/// (timestamps encode the 10-day structure; `config.day_of(i)` recovers a
+/// tweet's day from its stream position).
+pub fn generate_abusive(config: &AbusiveConfig) -> Vec<LabeledTweet> {
+    let counts = config.class_counts();
+    let mut label_seq: Vec<usize> = (0..3).flat_map(|c| std::iter::repeat(c).take(counts[c])).collect();
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    label_seq.shuffle(&mut rng);
+
+    let slang = if config.drift.enabled {
+        vocab::emerging_slang(config.drift.slang_pool, config.seed ^ 0x51A9)
+    } else {
+        Vec::new()
+    };
+    let profiles = profiles();
+    let total = label_seq.len().max(1);
+    label_seq
+        .into_iter()
+        .enumerate()
+        .map(|(i, class)| {
+            let progress = i as f64 / total as f64;
+            // Slang activates gradually: only a progress-proportional prefix
+            // of the pool is in circulation, and adoption ramps linearly.
+            let active = ((slang.len() as f64 * progress).ceil() as usize).min(slang.len());
+            let adoption = config.drift.max_adoption * progress;
+            let day = config.day_of(i);
+            let ts = day as u64 * DAY_MS + (i as u64 % DAY_MS);
+            let tweet = generate_one(
+                &mut rng,
+                i as u64 + 1,
+                ts,
+                class,
+                &profiles,
+                config.noise,
+                &slang[..active],
+                adoption,
+            );
+            LabeledTweet { tweet, label: LABELS[class] }
+        })
+        .collect()
+}
+
+/// Generate `n` *unlabeled* tweets with the same class mixture (for the
+/// scalability experiments of Figures 15–16, which intermix 250k–2M
+/// unlabeled tweets with the 86k labeled ones).
+pub fn generate_unlabeled(n: usize, seed: u64) -> Vec<Tweet> {
+    let config = AbusiveConfig { total: n, seed, ..Default::default() };
+    generate_abusive(&config).into_iter().map(|lt| lt.tweet).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redhanded_nlp::lexicons;
+    use redhanded_nlp::tokenizer::{tokenize, TokenKind};
+
+    #[test]
+    fn paper_scale_counts() {
+        let cfg = AbusiveConfig::default();
+        assert_eq!(cfg.class_counts(), PAPER_CLASS_COUNTS);
+        assert_eq!(cfg.total, 85_984);
+    }
+
+    #[test]
+    fn scaled_counts_preserve_total_and_ratio() {
+        let counts = scale_counts(&PAPER_CLASS_COUNTS, 10_000);
+        assert_eq!(counts.iter().sum::<usize>(), 10_000);
+        let ratio = counts[0] as f64 / 10_000.0;
+        assert!((ratio - 53_835.0 / 85_984.0).abs() < 0.01, "{counts:?}");
+        assert!(counts[2] > 0, "minority class present");
+    }
+
+    #[test]
+    fn generates_requested_stream() {
+        let cfg = AbusiveConfig::small(2000, 1);
+        let tweets = generate_abusive(&cfg);
+        assert_eq!(tweets.len(), 2000);
+        let counts = cfg.class_counts();
+        let normal = tweets.iter().filter(|t| t.label == ClassLabel::Normal).count();
+        let abusive = tweets.iter().filter(|t| t.label == ClassLabel::Abusive).count();
+        let hateful = tweets.iter().filter(|t| t.label == ClassLabel::Hateful).count();
+        assert_eq!([normal, abusive, hateful], counts);
+    }
+
+    #[test]
+    fn day_structure_is_contiguous_and_complete() {
+        let cfg = AbusiveConfig::small(1000, 2);
+        let mut last_day = 0;
+        for i in 0..1000 {
+            let d = cfg.day_of(i);
+            assert!(d >= last_day, "days never go backwards");
+            assert!(d < 10);
+            last_day = d;
+        }
+        assert_eq!(cfg.day_of(999), 9, "all 10 days present");
+        // Timestamps encode the same day.
+        let tweets = generate_abusive(&cfg);
+        for (i, t) in tweets.iter().enumerate() {
+            assert_eq!((t.tweet.timestamp_ms / DAY_MS) as u32, cfg.day_of(i));
+        }
+    }
+
+    #[test]
+    fn aggressive_tweets_contain_more_profanity() {
+        let cfg = AbusiveConfig { noise: 0.0, drift: DriftConfig { enabled: false, ..Default::default() }, ..AbusiveConfig::small(3000, 3) };
+        let tweets = generate_abusive(&cfg);
+        let swears_of = |t: &LabeledTweet| {
+            tokenize(&t.tweet.text)
+                .iter()
+                .filter(|tok| {
+                    tok.kind == TokenKind::Word && lexicons::is_swear(&tok.text.to_lowercase())
+                })
+                .count() as f64
+        };
+        let mean = |label: ClassLabel| {
+            let v: Vec<f64> =
+                tweets.iter().filter(|t| t.label == label).map(swears_of).collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        let n = mean(ClassLabel::Normal);
+        let a = mean(ClassLabel::Abusive);
+        let h = mean(ClassLabel::Hateful);
+        assert!(a > 2.0 && a > h && h > 1.0 && n < 0.5, "n={n:.2} a={a:.2} h={h:.2}");
+    }
+
+    #[test]
+    fn drift_introduces_out_of_lexicon_slang_late_in_stream() {
+        let cfg = AbusiveConfig {
+            noise: 0.0,
+            drift: DriftConfig { enabled: true, slang_pool: 40, max_adoption: 0.8 },
+            ..AbusiveConfig::small(4000, 4)
+        };
+        let slang: std::collections::HashSet<String> =
+            vocab::emerging_slang(40, cfg.seed ^ 0x51A9).into_iter().collect();
+        let tweets = generate_abusive(&cfg);
+        let slang_count = |range: std::ops::Range<usize>| {
+            tweets[range]
+                .iter()
+                .flat_map(|t| {
+                    tokenize(&t.tweet.text)
+                        .iter()
+                        .filter(|tok| tok.kind == TokenKind::Word)
+                        .map(|tok| tok.text.to_lowercase())
+                        .collect::<Vec<_>>()
+                })
+                .filter(|w| slang.contains(w))
+                .count()
+        };
+        let early = slang_count(0..1000);
+        let late = slang_count(3000..4000);
+        assert!(late > early * 3 + 5, "slang ramps up: early={early} late={late}");
+    }
+
+    #[test]
+    fn no_drift_means_no_slang() {
+        let cfg = AbusiveConfig {
+            drift: DriftConfig { enabled: false, ..Default::default() },
+            ..AbusiveConfig::small(500, 5)
+        };
+        let slang: std::collections::HashSet<String> =
+            vocab::emerging_slang(60, cfg.seed ^ 0x51A9).into_iter().collect();
+        let tweets = generate_abusive(&cfg);
+        for t in &tweets {
+            for tok in tokenize(&t.tweet.text) {
+                if tok.kind == TokenKind::Word {
+                    assert!(!slang.contains(&tok.text.to_lowercase()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate_abusive(&AbusiveConfig::small(300, 9));
+        let b = generate_abusive(&AbusiveConfig::small(300, 9));
+        assert_eq!(a, b);
+        let c = generate_abusive(&AbusiveConfig::small(300, 10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn unlabeled_stream() {
+        let tweets = generate_unlabeled(250, 6);
+        assert_eq!(tweets.len(), 250);
+        assert!(tweets.iter().all(|t| !t.text.is_empty()));
+    }
+
+    #[test]
+    fn json_roundtrip_of_generated_tweets() {
+        let tweets = generate_abusive(&AbusiveConfig::small(20, 8));
+        for t in &tweets {
+            let json = t.to_json();
+            let back = LabeledTweet::from_json(&json).unwrap();
+            assert_eq!(*t, back);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Synthetic Twitter dataset generators for the `redhanded` framework.
+//!
+//! The paper evaluates on three crowdsourced Twitter datasets that are not
+//! redistributable; this crate generates synthetic equivalents whose
+//! class-conditional feature distributions are calibrated to the statistics
+//! the paper reports (see the substitution table in DESIGN.md):
+//!
+//! * [`abusive`] — the main 86k-tweet stream (53,835 normal / 27,179
+//!   abusive / 4,970 hateful over 10 days) with optional vocabulary drift;
+//! * [`related`] — the Sarcasm (61k) and Offensive (16k) datasets of
+//!   Section V-F;
+//! * [`profile`] — the per-class generation profiles (Figure 4 calibration);
+//! * [`compose`] — tweet text synthesis;
+//! * [`vocab`] — word pools tied to the NLP lexicons, plus emerging-slang
+//!   generation;
+//! * [`sampler`] — normal / Poisson / log-normal draws.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod abusive;
+pub mod compose;
+pub mod profile;
+pub mod related;
+pub mod sampler;
+pub mod vocab;
+
+pub use abusive::{
+    generate_abusive, generate_unlabeled, scale_counts, AbusiveConfig, DriftConfig,
+    DAY_MS, PAPER_CLASS_COUNTS,
+};
+pub use profile::{ClassProfile, DrawnContent};
+pub use related::{generate_offensive, generate_sarcasm, RelatedConfig};

@@ -1,0 +1,255 @@
+//! Class-conditional generation profiles.
+//!
+//! Each class (normal / abusive / hateful / sarcastic / racist / sexist)
+//! is described by a [`ClassProfile`]: the parameters of the distributions
+//! its tweets' observable characteristics are drawn from. The three
+//! abusive-dataset profiles are calibrated to the statistics the paper
+//! reports alongside Figure 4 (see DESIGN.md's substitution table):
+//!
+//! | statistic            | normal  | abusive | hateful |
+//! |----------------------|---------|---------|---------|
+//! | account age (days)   | 1487.74 | 1291.97 | 1379.95 |
+//! | uppercase words      | 0.96    | 1.84    | 1.57    |
+//! | words per sentence   | 16.66   | 12.66   | 15.93   |
+//! | swear words          | 0.10    | 2.54    | 1.84    |
+
+use crate::sampler;
+use rand::Rng;
+
+/// Distribution parameters for one class's tweets and authors.
+#[derive(Debug, Clone)]
+pub struct ClassProfile {
+    /// Account age in days: Normal(mean, std), clamped to [1, 4000]
+    /// (Figure 4a's support).
+    pub account_age: (f64, f64),
+    /// ln(posts): LogNormal parameters (μ, σ) for `cntPosts`.
+    pub posts: (f64, f64),
+    /// ln(lists) parameters for `cntLists`.
+    pub lists: (f64, f64),
+    /// ln(followers) parameters for `cntFollowers`.
+    pub followers: (f64, f64),
+    /// ln(friends) parameters for `cntFriends`.
+    pub friends: (f64, f64),
+    /// Words per sentence: Normal(mean, std), min 3 (Figure 4d).
+    pub words_per_sentence: (f64, f64),
+    /// Number of sentences: 1 + Poisson(λ).
+    pub extra_sentences: f64,
+    /// Swear words per tweet: Poisson(λ) (Figure 4f).
+    pub swears: f64,
+    /// Uppercase (shouting) words per tweet: Poisson(λ) (Figure 4b).
+    pub uppercase: f64,
+    /// Strongly negative sentiment words per tweet: Poisson(λ) (Figure 4e).
+    pub negative: f64,
+    /// Strongly positive sentiment words per tweet: Poisson(λ).
+    pub positive: f64,
+    /// Adjectives per tweet: Poisson(λ) (Figure 4c).
+    pub adjectives: f64,
+    /// Hashtags per tweet: Poisson(λ).
+    pub hashtags: f64,
+    /// URLs per tweet: Poisson(λ).
+    pub urls: f64,
+    /// Mentions per tweet: Poisson(λ).
+    pub mentions: f64,
+    /// Probability a sentence ends with `!` instead of `.`.
+    pub exclamation: f64,
+}
+
+impl ClassProfile {
+    /// The *normal* class, calibrated to the paper's reported means.
+    pub fn normal() -> Self {
+        ClassProfile {
+            account_age: (1487.74, 750.0),
+            posts: (7.8, 1.2),
+            lists: (1.8, 1.1),
+            followers: (5.9, 1.4),
+            friends: (5.6, 1.2),
+            words_per_sentence: (16.66, 4.5),
+            extra_sentences: 0.6,
+            swears: 0.10,
+            uppercase: 0.96,
+            negative: 0.18,
+            positive: 0.85,
+            adjectives: 1.6,
+            hashtags: 0.8,
+            urls: 0.5,
+            mentions: 0.5,
+            exclamation: 0.15,
+        }
+    }
+
+    /// The *abusive* class.
+    pub fn abusive() -> Self {
+        ClassProfile {
+            account_age: (1291.97, 750.0),
+            posts: (8.1, 1.3),
+            lists: (1.4, 1.1),
+            followers: (5.4, 1.5),
+            friends: (5.7, 1.3),
+            words_per_sentence: (12.66, 3.8),
+            extra_sentences: 0.4,
+            swears: 2.54,
+            uppercase: 1.84,
+            negative: 1.9,
+            positive: 0.15,
+            adjectives: 0.8,
+            hashtags: 0.4,
+            urls: 0.2,
+            mentions: 1.2,
+            exclamation: 0.55,
+        }
+    }
+
+    /// The *hateful* class.
+    pub fn hateful() -> Self {
+        ClassProfile {
+            account_age: (1379.95, 750.0),
+            posts: (7.9, 1.3),
+            lists: (1.5, 1.1),
+            followers: (5.5, 1.5),
+            friends: (5.6, 1.3),
+            words_per_sentence: (15.93, 4.2),
+            extra_sentences: 0.5,
+            swears: 1.84,
+            uppercase: 1.57,
+            negative: 2.3,
+            positive: 0.12,
+            adjectives: 1.0,
+            hashtags: 0.5,
+            urls: 0.3,
+            mentions: 0.8,
+            exclamation: 0.45,
+        }
+    }
+}
+
+/// Counts drawn from a [`ClassProfile`] for one tweet.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DrawnContent {
+    /// Sentences in the tweet.
+    pub sentences: usize,
+    /// Words per sentence.
+    pub words_per_sentence: usize,
+    /// Swear words.
+    pub swears: usize,
+    /// Shouting words.
+    pub uppercase: usize,
+    /// Strongly negative words.
+    pub negative: usize,
+    /// Strongly positive words.
+    pub positive: usize,
+    /// Adjectives.
+    pub adjectives: usize,
+    /// Hashtags appended.
+    pub hashtags: usize,
+    /// URLs appended.
+    pub urls: usize,
+    /// Mentions prepended.
+    pub mentions: usize,
+}
+
+impl ClassProfile {
+    /// Sample the per-tweet content counts.
+    pub fn draw_content<R: Rng + ?Sized>(&self, rng: &mut R) -> DrawnContent {
+        let wps = sampler::normal_clamped(
+            rng,
+            self.words_per_sentence.0,
+            self.words_per_sentence.1,
+            3.0,
+            40.0,
+        )
+        .round() as usize;
+        DrawnContent {
+            sentences: 1 + sampler::poisson(rng, self.extra_sentences) as usize,
+            words_per_sentence: wps,
+            swears: sampler::poisson(rng, self.swears) as usize,
+            uppercase: sampler::poisson(rng, self.uppercase) as usize,
+            negative: sampler::poisson(rng, self.negative) as usize,
+            positive: sampler::poisson(rng, self.positive) as usize,
+            adjectives: sampler::poisson(rng, self.adjectives) as usize,
+            hashtags: sampler::poisson(rng, self.hashtags) as usize,
+            urls: sampler::poisson(rng, self.urls) as usize,
+            mentions: sampler::poisson(rng, self.mentions) as usize,
+        }
+    }
+
+    /// Sample the author profile numbers: `(age, posts, lists, followers,
+    /// friends)`.
+    pub fn draw_user<R: Rng + ?Sized>(&self, rng: &mut R) -> (f64, u64, u64, u64, u64) {
+        let age =
+            sampler::normal_clamped(rng, self.account_age.0, self.account_age.1, 1.0, 4000.0);
+        let ln = |rng: &mut R, (mu, sigma): (f64, f64)| -> u64 {
+            sampler::log_normal(rng, mu, sigma).min(5e6) as u64
+        };
+        (age, ln(rng, self.posts), ln(rng, self.lists), ln(rng, self.followers), ln(rng, self.friends))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn mean_of(f: impl Fn(&DrawnContent) -> f64, profile: &ClassProfile) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let n = 20_000;
+        (0..n).map(|_| f(&profile.draw_content(&mut rng))).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn swear_means_match_paper_calibration() {
+        assert!((mean_of(|c| c.swears as f64, &ClassProfile::normal()) - 0.10).abs() < 0.02);
+        assert!((mean_of(|c| c.swears as f64, &ClassProfile::abusive()) - 2.54).abs() < 0.06);
+        assert!((mean_of(|c| c.swears as f64, &ClassProfile::hateful()) - 1.84).abs() < 0.06);
+    }
+
+    #[test]
+    fn uppercase_means_match_paper_calibration() {
+        assert!((mean_of(|c| c.uppercase as f64, &ClassProfile::normal()) - 0.96).abs() < 0.04);
+        assert!((mean_of(|c| c.uppercase as f64, &ClassProfile::abusive()) - 1.84).abs() < 0.05);
+        assert!((mean_of(|c| c.uppercase as f64, &ClassProfile::hateful()) - 1.57).abs() < 0.05);
+    }
+
+    #[test]
+    fn words_per_sentence_ordering_matches_figure_4d() {
+        let n = mean_of(|c| c.words_per_sentence as f64, &ClassProfile::normal());
+        let a = mean_of(|c| c.words_per_sentence as f64, &ClassProfile::abusive());
+        let h = mean_of(|c| c.words_per_sentence as f64, &ClassProfile::hateful());
+        assert!(n > h && h > a, "ordering normal({n}) > hateful({h}) > abusive({a})");
+        assert!((n - 16.66).abs() < 0.6);
+        assert!((a - 12.66).abs() < 0.6);
+    }
+
+    #[test]
+    fn account_age_ordering_matches_figure_4a() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mean_age = |p: &ClassProfile, rng: &mut SmallRng| {
+            (0..20_000).map(|_| p.draw_user(rng).0).sum::<f64>() / 20_000.0
+        };
+        let n = mean_age(&ClassProfile::normal(), &mut rng);
+        let a = mean_age(&ClassProfile::abusive(), &mut rng);
+        let h = mean_age(&ClassProfile::hateful(), &mut rng);
+        assert!(n > h && h > a, "ordering normal({n}) > hateful({h}) > abusive({a})");
+    }
+
+    #[test]
+    fn adjectives_lower_in_aggressive_classes() {
+        let n = mean_of(|c| c.adjectives as f64, &ClassProfile::normal());
+        let a = mean_of(|c| c.adjectives as f64, &ClassProfile::abusive());
+        let h = mean_of(|c| c.adjectives as f64, &ClassProfile::hateful());
+        assert!(n > a && n > h, "normal({n}) > abusive({a}), hateful({h})");
+    }
+
+    #[test]
+    fn user_numbers_are_plausible() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let (age, posts, _lists, followers, friends) =
+                ClassProfile::normal().draw_user(&mut rng);
+            assert!((1.0..=4000.0).contains(&age));
+            assert!(posts <= 5_000_000);
+            assert!(followers <= 5_000_000);
+            assert!(friends <= 5_000_000);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Distribution samplers used by the tweet generators.
+//!
+//! `rand` provides uniform sampling; the class-conditional feature profiles
+//! (Figure 4 of the paper) additionally need normal, Poisson, and
+//! log-normal draws, implemented here (Box–Muller and Knuth's algorithm) to
+//! keep the dependency surface at the pre-approved crates.
+
+use rand::Rng;
+
+/// Draw from Normal(mean, std) via Box–Muller.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std * z
+}
+
+/// Draw from Normal(mean, std) truncated to `[lo, hi]` (by clamping).
+pub fn normal_clamped<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    std: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    normal(rng, mean, std).clamp(lo, hi)
+}
+
+/// Draw from Poisson(λ) via Knuth's algorithm (fine for the small λ used
+/// by the per-tweet count features).
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let limit = (-lambda).exp();
+    let mut product: f64 = rng.gen();
+    let mut k = 0u64;
+    while product > limit {
+        product *= rng.gen::<f64>();
+        k += 1;
+    }
+    k
+}
+
+/// Draw from LogNormal(μ, σ) — used for heavy-tailed profile counts
+/// (followers, friends, posts).
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Bernoulli draw.
+pub fn flip<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    rng.gen::<f64>() < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 10.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn normal_clamped_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..5000 {
+            let x = normal_clamped(&mut r, 0.0, 100.0, -5.0, 5.0);
+            assert!((-5.0..=5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn poisson_moments() {
+        let mut r = rng();
+        let n = 50_000;
+        let sum: u64 = (0..n).map(|_| poisson(&mut r, 2.54)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 2.54).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0), 0);
+        assert_eq!(poisson(&mut r, -1.0), 0);
+    }
+
+    #[test]
+    fn log_normal_is_positive_and_skewed() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..20_000).map(|_| log_normal(&mut r, 5.0, 1.0)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(mean > median, "right-skew: mean {mean} > median {median}");
+    }
+
+    #[test]
+    fn flip_probability() {
+        let mut r = rng();
+        let hits = (0..20_000).filter(|_| flip(&mut r, 0.3)).count();
+        let p = hits as f64 / 20_000.0;
+        assert!((p - 0.3).abs() < 0.02, "p {p}");
+    }
+}

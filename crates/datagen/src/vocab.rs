@@ -1,0 +1,141 @@
+//! Word pools for the synthetic tweet generators.
+//!
+//! Pools are derived from the NLP substrate's lexicons so that generated
+//! content and the feature extractor agree: swear words come from the same
+//! 347-entry list that seeds the adaptive BoW, sentiment-bearing words from
+//! the same valence table SentiStrength-style scoring reads, and so on.
+//! A separate *emerging slang* generator produces out-of-lexicon aggressive
+//! tokens — the vocabulary drift the adaptive bag-of-words exists to absorb
+//! (Section IV-B of the paper).
+
+use rand::Rng;
+use redhanded_nlp::lexicons;
+
+/// Neutral filler nouns (not in any sentiment/profanity lexicon).
+pub static NEUTRAL_NOUNS: &[&str] = &[
+    "weather", "coffee", "morning", "train", "meeting", "project", "game", "music", "movie",
+    "dinner", "weekend", "photo", "street", "city", "team", "match", "phone", "laptop", "book",
+    "school", "office", "garden", "market", "video", "station", "ticket", "flight", "update",
+    "report", "lecture", "recipe", "traffic", "bridge", "river", "museum", "concert", "episode",
+    "season", "player", "goal", "score", "budget", "meeting", "deadline", "holiday", "picnic",
+    "library", "keyboard", "window", "kitchen", "airport", "campus", "stadium", "festival",
+];
+
+/// Neutral verbs/connectors for filler text.
+pub static NEUTRAL_VERBS: &[&str] = &[
+    "went", "see", "watch", "make", "take", "bring", "plan", "start", "finish", "share",
+    "post", "read", "write", "join", "visit", "meet", "call", "check", "open", "close",
+];
+
+/// Targets of aggressive second-person content.
+pub static TARGET_WORDS: &[&str] =
+    &["you", "your", "people", "they", "them", "everyone", "nobody", "guy", "folks"];
+
+/// Build the pool of positive sentiment words (valence ≥ +3).
+pub fn positive_words() -> Vec<&'static str> {
+    lexicons::SENTIMENT_VALENCES
+        .iter()
+        .filter(|(_, v)| *v >= 3)
+        .map(|(w, _)| *w)
+        .collect()
+}
+
+/// Build the pool of negative sentiment words (valence ≤ −3).
+pub fn negative_words() -> Vec<&'static str> {
+    lexicons::SENTIMENT_VALENCES
+        .iter()
+        .filter(|(_, v)| *v <= -3)
+        .map(|(w, _)| *w)
+        .collect()
+}
+
+/// The profanity pool (the adaptive BoW's seed lexicon).
+pub fn swear_words() -> &'static [&'static str] {
+    lexicons::SWEAR_WORDS
+}
+
+/// Adjective pool (normal tweets use them more — Figure 4c).
+pub fn adjectives() -> &'static [&'static str] {
+    lexicons::ADJECTIVES
+}
+
+/// Generate the emerging-slang vocabulary: `n` pronounceable tokens that
+/// appear in **no** lexicon. Deterministic in `seed`.
+pub fn emerging_slang(n: usize, seed: u64) -> Vec<String> {
+    const ONSETS: &[&str] = &["zb", "kr", "gr", "vx", "zl", "pw", "dr", "sk", "tr", "bl"];
+    const VOWELS: &[&str] = &["a", "o", "u", "e", "i", "oo", "ee"];
+    const CODAS: &[&str] = &["rg", "x", "zz", "k", "mp", "nt", "rk", "sh", "b", "d"];
+    let mut out = Vec::with_capacity(n);
+    let mut state = seed | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    while out.len() < n {
+        let w = format!(
+            "{}{}{}{}",
+            ONSETS[(next() % ONSETS.len() as u64) as usize],
+            VOWELS[(next() % VOWELS.len() as u64) as usize],
+            CODAS[(next() % CODAS.len() as u64) as usize],
+            // Suffix digit-free variant id keeps tokens unique and wordlike.
+            VOWELS[(next() % VOWELS.len() as u64) as usize],
+        );
+        if !out.contains(&w) && !lexicons::is_swear(&w) && !lexicons::is_stopword(&w) {
+            out.push(w);
+        }
+    }
+    out
+}
+
+/// Pick a random element of a slice.
+pub fn pick<'a, R: Rng + ?Sized, T: ?Sized>(rng: &mut R, pool: &'a [&'a T]) -> &'a T {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pools_are_nonempty_and_disjoint_enough() {
+        let pos = positive_words();
+        let neg = negative_words();
+        assert!(pos.len() > 50, "{}", pos.len());
+        assert!(neg.len() > 100, "{}", neg.len());
+        for w in &pos {
+            assert!(!neg.contains(w), "{w} in both pools");
+        }
+    }
+
+    #[test]
+    fn slang_is_out_of_lexicon_and_unique() {
+        let slang = emerging_slang(50, 7);
+        assert_eq!(slang.len(), 50);
+        let set: std::collections::HashSet<_> = slang.iter().collect();
+        assert_eq!(set.len(), 50, "unique");
+        for w in &slang {
+            assert!(!lexicons::is_swear(w), "{w} collides with the swear lexicon");
+            assert!(!lexicons::sentiment_map().contains_key(w.as_str()));
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()), "{w} wordlike");
+        }
+    }
+
+    #[test]
+    fn slang_is_deterministic_per_seed() {
+        assert_eq!(emerging_slang(10, 3), emerging_slang(10, 3));
+        assert_ne!(emerging_slang(10, 3), emerging_slang(10, 4));
+    }
+
+    #[test]
+    fn pick_stays_in_pool() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let w = pick(&mut rng, NEUTRAL_NOUNS);
+            assert!(NEUTRAL_NOUNS.contains(&w));
+        }
+    }
+}

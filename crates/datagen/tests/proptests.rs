@@ -1,0 +1,81 @@
+//! Property-based tests for the dataset generators (DESIGN.md §5).
+
+use proptest::prelude::*;
+use redhanded_datagen::{
+    generate_abusive, generate_offensive, generate_sarcasm, scale_counts, AbusiveConfig,
+    RelatedConfig, PAPER_CLASS_COUNTS,
+};
+use redhanded_types::{ClassLabel, LabeledTweet};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Scaled class counts sum exactly to the requested total and keep the
+    /// minority class present for reasonable sizes.
+    #[test]
+    fn scaled_counts_exact(total in 100usize..200_000) {
+        let counts = scale_counts(&PAPER_CLASS_COUNTS, total);
+        prop_assert_eq!(counts.iter().sum::<usize>(), total);
+        if total >= 1000 {
+            prop_assert!(counts[2] > 0, "hateful minority present: {counts:?}");
+        }
+        // Ratios within a percent of the paper's.
+        let ratio = counts[1] as f64 / total as f64;
+        prop_assert!((ratio - 27_179.0 / 85_984.0).abs() < 0.01);
+    }
+
+    /// Generated streams have exactly the configured size, valid labels,
+    /// non-empty text, and monotone day structure.
+    #[test]
+    fn abusive_stream_well_formed(total in 200usize..1200, seed in any::<u64>()) {
+        let cfg = AbusiveConfig::small(total, seed);
+        let tweets = generate_abusive(&cfg);
+        prop_assert_eq!(tweets.len(), total);
+        let mut last_day = 0u32;
+        for (i, lt) in tweets.iter().enumerate() {
+            prop_assert!(matches!(
+                lt.label,
+                ClassLabel::Normal | ClassLabel::Abusive | ClassLabel::Hateful
+            ));
+            prop_assert!(!lt.tweet.text.is_empty());
+            prop_assert!(lt.tweet.user.account_age_days >= 1.0);
+            let day = cfg.day_of(i);
+            prop_assert!(day >= last_day && day < cfg.days);
+            last_day = day;
+        }
+    }
+
+    /// JSON round-trips are lossless for any generated tweet.
+    #[test]
+    fn json_roundtrip_lossless(seed in any::<u64>()) {
+        let tweets = generate_abusive(&AbusiveConfig::small(200, seed));
+        for lt in &tweets {
+            let back = LabeledTweet::from_json(&lt.to_json()).unwrap();
+            prop_assert_eq!(&back, lt);
+        }
+    }
+
+    /// The related-behavior generators honor their published ratios at any
+    /// size.
+    #[test]
+    fn related_ratios_hold(total in 500usize..3000, seed in any::<u64>()) {
+        let cfg = RelatedConfig::small(total, seed, 0.1);
+        let sarcasm = generate_sarcasm(&cfg);
+        prop_assert_eq!(sarcasm.len(), total);
+        let sarcastic = sarcasm.iter().filter(|t| t.label == ClassLabel::Sarcastic).count();
+        prop_assert_eq!(sarcastic, total * 6_500 / 61_075);
+
+        let offensive = generate_offensive(&cfg);
+        let racist = offensive.iter().filter(|t| t.label == ClassLabel::Racist).count();
+        let sexist = offensive.iter().filter(|t| t.label == ClassLabel::Sexist).count();
+        prop_assert_eq!(racist, total * 1_972 / 16_914);
+        prop_assert_eq!(sexist, total * 3_383 / 16_914);
+    }
+
+    /// Generation is a pure function of its configuration.
+    #[test]
+    fn generation_deterministic(total in 100usize..400, seed in any::<u64>()) {
+        let cfg = AbusiveConfig::small(total, seed);
+        prop_assert_eq!(generate_abusive(&cfg), generate_abusive(&cfg));
+    }
+}

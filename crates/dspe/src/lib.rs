@@ -1,0 +1,31 @@
+//! Distributed stream-processing engine substrate for `redhanded`.
+//!
+//! The paper deploys its detection pipeline on Apache Spark Streaming
+//! (Section III-B) and argues the architecture also fits per-record engines
+//! like Storm, Heron, and Flink. This crate provides both execution models,
+//! built from scratch:
+//!
+//! * [`engine`] — the micro-batch engine (Figure 2): partitioned datasets,
+//!   map / filter / aggregate / reduce transformations executed as parallel
+//!   tasks, driver-side merging, and model broadcast;
+//! * [`operator`] — the per-record operator engine (Figure 3): linear
+//!   pipelines of map / filter / aggregate operators with parallel task
+//!   instances connected by bounded channels;
+//! * [`schedule`] — the virtual cluster topology, cost model, and list
+//!   scheduler that replay really-measured task durations onto the
+//!   `SparkSingle` / `SparkLocal` / `SparkCluster` topologies of Figures
+//!   15–16 (see DESIGN.md for the hardware substitution rationale);
+//! * [`executor`] — bounded real-thread execution with per-task timing.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod executor;
+pub mod operator;
+pub mod schedule;
+
+pub use engine::{BatchContext, EngineConfig, LatencyStats, MicroBatchEngine, PData, StreamReport};
+pub use executor::{available_threads, partition, run_partitioned};
+pub use operator::OperatorPipeline;
+pub use schedule::{stage_makespan, CostModel, SimClock, Topology};

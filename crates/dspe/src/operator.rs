@@ -1,0 +1,236 @@
+//! Per-record operator engine (the Storm / Heron / Flink execution model).
+//!
+//! Section III-B of the paper notes the architecture "is general enough to
+//! be implemented in other DSPEs … that follow the per-record operator
+//! streaming model (as opposed to micro-batching)": a directed graph of
+//! operators, each instantiated as parallel tasks, processing records as
+//! they arrive (Figure 3).
+//!
+//! This module implements linear operator pipelines: each stage runs
+//! `parallelism` OS-thread tasks consuming from the previous stage's
+//! channel and emitting into the next. Records flow one at a time with no
+//! batching; ordering across parallel tasks is not preserved (as in real
+//! per-record engines without keyed streams).
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Per-stage channel capacity (backpressure bound).
+const CHANNEL_CAPACITY: usize = 1024;
+
+type StageSpawner<I, O> = Box<dyn FnOnce(Receiver<I>) -> (Receiver<O>, Vec<JoinHandle<()>>) + Send>;
+
+/// A linear pipeline of per-record operators from `I` to `O`.
+pub struct OperatorPipeline<I: Send + 'static, O: Send + 'static> {
+    spawner: StageSpawner<I, O>,
+}
+
+impl<I: Send + 'static> OperatorPipeline<I, I> {
+    /// The identity pipeline (a bare source).
+    pub fn source() -> Self {
+        OperatorPipeline { spawner: Box::new(|rx| (rx, Vec::new())) }
+    }
+}
+
+impl<I: Send + 'static, O: Send + 'static> OperatorPipeline<I, O> {
+    /// Append a map operator with `parallelism` task instances.
+    pub fn map<U: Send + 'static>(
+        self,
+        parallelism: usize,
+        f: impl Fn(O) -> U + Send + Sync + 'static,
+    ) -> OperatorPipeline<I, U> {
+        let prev = self.spawner;
+        let f = Arc::new(f);
+        OperatorPipeline {
+            spawner: Box::new(move |rx| {
+                let (out_rx, mut handles) = prev(rx);
+                let (tx, rx_next) = bounded::<U>(CHANNEL_CAPACITY);
+                for _ in 0..parallelism.max(1) {
+                    let f = Arc::clone(&f);
+                    let input = out_rx.clone();
+                    let output: Sender<U> = tx.clone();
+                    handles.push(std::thread::spawn(move || {
+                        for record in input.iter() {
+                            if output.send(f(record)).is_err() {
+                                break;
+                            }
+                        }
+                    }));
+                }
+                drop(tx);
+                (rx_next, handles)
+            }),
+        }
+    }
+
+    /// Append a filter operator with `parallelism` task instances.
+    pub fn filter(
+        self,
+        parallelism: usize,
+        pred: impl Fn(&O) -> bool + Send + Sync + 'static,
+    ) -> OperatorPipeline<I, O> {
+        self.map(parallelism, move |r| if pred(&r) { Some(r) } else { None })
+            .flatten_options()
+    }
+
+    fn flatten_options<U: Send + 'static>(self) -> OperatorPipeline<I, U>
+    where
+        O: Into<Option<U>>,
+    {
+        let prev = self.spawner;
+        OperatorPipeline {
+            spawner: Box::new(move |rx| {
+                let (out_rx, mut handles) = prev(rx);
+                let (tx, rx_next) = bounded::<U>(CHANNEL_CAPACITY);
+                handles.push(std::thread::spawn(move || {
+                    for record in out_rx.iter() {
+                        if let Some(u) = record.into() {
+                            if tx.send(u).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                }));
+                (rx_next, handles)
+            }),
+        }
+    }
+
+    /// Append an aggregate operator: each of the `parallelism` tasks folds
+    /// the records it receives into a local accumulator (initialized by
+    /// `init`) and emits the accumulator at end-of-stream — the "local
+    /// models" pattern of Figure 3, with the merge left to the consumer.
+    pub fn aggregate<A: Send + 'static>(
+        self,
+        parallelism: usize,
+        init: impl Fn() -> A + Send + Sync + 'static,
+        fold: impl Fn(&mut A, O) + Send + Sync + 'static,
+    ) -> OperatorPipeline<I, A> {
+        let prev = self.spawner;
+        let init = Arc::new(init);
+        let fold = Arc::new(fold);
+        OperatorPipeline {
+            spawner: Box::new(move |rx| {
+                let (out_rx, mut handles) = prev(rx);
+                let (tx, rx_next) = bounded::<A>(CHANNEL_CAPACITY);
+                for _ in 0..parallelism.max(1) {
+                    let init = Arc::clone(&init);
+                    let fold = Arc::clone(&fold);
+                    let input = out_rx.clone();
+                    let output = tx.clone();
+                    handles.push(std::thread::spawn(move || {
+                        let mut acc = init();
+                        for record in input.iter() {
+                            fold(&mut acc, record);
+                        }
+                        let _ = output.send(acc);
+                    }));
+                }
+                drop(tx);
+                (rx_next, handles)
+            }),
+        }
+    }
+
+    /// Feed `input` through the pipeline and collect all outputs
+    /// (unordered across parallel tasks).
+    pub fn run(self, input: impl IntoIterator<Item = I>) -> Vec<O> {
+        let (tx, rx) = bounded::<I>(CHANNEL_CAPACITY);
+        let (out_rx, handles) = (self.spawner)(rx);
+        let feeder = std::thread::spawn({
+            let input: Vec<I> = input.into_iter().collect();
+            move || {
+                for r in input {
+                    if tx.send(r).is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        let outputs: Vec<O> = out_rx.iter().collect();
+        feeder.join().expect("feeder thread");
+        for h in handles {
+            h.join().expect("operator task");
+        }
+        outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_pipeline() {
+        let out = OperatorPipeline::<i64, i64>::source().map(2, |x| x * 10).run(0..100);
+        assert_eq!(out.len(), 100);
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).map(|x| x * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_pipeline() {
+        let out = OperatorPipeline::<i64, i64>::source()
+            .filter(3, |x| x % 2 == 0)
+            .run(0..50);
+        assert_eq!(out.len(), 25);
+        assert!(out.iter().all(|x| x % 2 == 0));
+    }
+
+    #[test]
+    fn chained_stages() {
+        let out = OperatorPipeline::<i64, i64>::source()
+            .map(2, |x| x + 1)
+            .filter(2, |x| x % 3 == 0)
+            .map(2, |x| x * 2)
+            .run(0..100);
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        let expected: Vec<i64> =
+            (0..100).map(|x| x + 1).filter(|x| x % 3 == 0).map(|x| x * 2).collect();
+        assert_eq!(sorted, expected);
+    }
+
+    #[test]
+    fn aggregate_emits_one_accumulator_per_task() {
+        let out = OperatorPipeline::<i64, i64>::source()
+            .aggregate(4, || 0i64, |acc, x| *acc += x)
+            .run(1..=100);
+        assert_eq!(out.len(), 4, "one partial per task");
+        assert_eq!(out.iter().sum::<i64>(), 5050, "partials merge to the total");
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = OperatorPipeline::<i64, i64>::source().map(2, |x| x).run(std::iter::empty());
+        assert!(out.is_empty());
+        let aggs = OperatorPipeline::<i64, i64>::source()
+            .aggregate(3, || 0i64, |a, x| *a += x)
+            .run(std::iter::empty());
+        assert_eq!(aggs, vec![0, 0, 0], "accumulators still emitted");
+    }
+
+    #[test]
+    fn zero_parallelism_clamps_to_one() {
+        let out = OperatorPipeline::<i64, i64>::source().map(0, |x| x).run(0..5);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn figure3_dataflow_shape() {
+        // Mirror Figure 3: extract → filter labeled → per-task local train,
+        // over records of (feature, label?) pairs.
+        let records: Vec<(f64, Option<usize>)> =
+            (0..200).map(|i| (i as f64, (i % 2 == 0).then_some(i as usize % 3))).collect();
+        let locals = OperatorPipeline::<(f64, Option<usize>), (f64, Option<usize>)>::source()
+            .map(2, |(x, l)| (x * 0.5, l))
+            .filter(2, |(_, l)| l.is_some())
+            .aggregate(3, Vec::new, |acc: &mut Vec<f64>, (x, _)| acc.push(x))
+            .run(records);
+        assert_eq!(locals.len(), 3);
+        let total: usize = locals.iter().map(Vec::len).sum();
+        assert_eq!(total, 100, "only labeled records reach training");
+    }
+}

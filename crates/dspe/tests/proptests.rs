@@ -1,0 +1,130 @@
+//! Property-based tests for the stream-processing engine (DESIGN.md §5):
+//! transformation semantics are independent of partitioning, threading,
+//! and micro-batch size.
+
+use proptest::prelude::*;
+use redhanded_dspe::{
+    partition, stage_makespan, CostModel, EngineConfig, MicroBatchEngine, OperatorPipeline,
+    Topology,
+};
+use std::time::Duration;
+
+proptest! {
+    /// Partitioning preserves every record exactly once and round-robin
+    /// balance (sizes differ by at most one).
+    #[test]
+    fn partition_is_a_balanced_permutation(
+        records in prop::collection::vec(any::<i64>(), 0..200),
+        p in 1usize..16,
+    ) {
+        let parts = partition(records.clone(), p);
+        prop_assert_eq!(parts.len(), p);
+        let mut flat: Vec<i64> = parts.iter().flatten().copied().collect();
+        let mut orig = records.clone();
+        flat.sort_unstable();
+        orig.sort_unstable();
+        prop_assert_eq!(flat, orig);
+        let min = parts.iter().map(Vec::len).min().unwrap();
+        let max = parts.iter().map(Vec::len).max().unwrap();
+        prop_assert!(max - min <= 1, "balanced");
+    }
+
+    /// map ∘ filter ∘ reduce over the engine equals the sequential
+    /// computation for any partition count, thread count, and batch size.
+    #[test]
+    fn engine_semantics_equal_sequential(
+        records in prop::collection::vec(-1000i64..1000, 0..300),
+        partitions in 1usize..12,
+        threads in 1usize..4,
+        batch in 1usize..200,
+    ) {
+        let expected: i64 = records
+            .iter()
+            .map(|x| x * 3 + 1)
+            .filter(|x| x % 2 == 0)
+            .sum();
+        let mut cfg = EngineConfig::for_topology(Topology::local(4));
+        cfg.num_partitions = partitions;
+        cfg.real_threads = threads;
+        cfg.microbatch_size = batch;
+        cfg.cost_model = CostModel::free();
+        let engine = MicroBatchEngine::new(cfg);
+        let mut got = 0i64;
+        let report = engine.run_stream(records.clone(), |ctx, chunk| {
+            let data = ctx.parallelize(chunk);
+            let mapped = ctx.map(&data, |x| x * 3 + 1);
+            let kept = ctx.filter(&mapped, |x| x % 2 == 0);
+            got += ctx
+                .aggregate(&kept, |_, part| part.iter().sum::<i64>(), |a, b| a + b)
+                .unwrap_or(0);
+        });
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(report.records as usize, records.len());
+        let expected_batches = records.len().div_ceil(batch);
+        prop_assert_eq!(report.batches as usize, expected_batches);
+    }
+
+    /// The list scheduler's makespan is bounded below by both the longest
+    /// task and work/slots, and above by work/slots + longest task
+    /// (Graham's bound), and never increases with more slots.
+    #[test]
+    fn makespan_respects_grahams_bounds(
+        durations_ms in prop::collection::vec(1u64..500, 1..60),
+        slots in 1usize..32,
+    ) {
+        let durations: Vec<Duration> =
+            durations_ms.iter().map(|&ms| Duration::from_millis(ms)).collect();
+        let makespan = stage_makespan(&durations, slots, 0.0).as_secs_f64();
+        let work: f64 = durations.iter().map(Duration::as_secs_f64).sum();
+        let longest = durations.iter().map(Duration::as_secs_f64).fold(0.0, f64::max);
+        let lower = (work / slots as f64).max(longest);
+        prop_assert!(makespan >= lower - 1e-9, "{makespan} < {lower}");
+        prop_assert!(makespan <= work / slots as f64 + longest + 1e-9);
+        // More slots never hurt.
+        let wider = stage_makespan(&durations, slots + 1, 0.0).as_secs_f64();
+        prop_assert!(wider <= makespan + 1e-9);
+    }
+
+    /// Broadcast cost is monotone in payload size and node count.
+    #[test]
+    fn broadcast_cost_monotone(bytes in 0usize..10_000_000, nodes in 1usize..10) {
+        let cm = CostModel::default();
+        let base = cm.broadcast_cost_us(Topology::cluster(nodes, 4), bytes);
+        prop_assert!(cm.broadcast_cost_us(Topology::cluster(nodes + 1, 4), bytes) >= base);
+        prop_assert!(cm.broadcast_cost_us(Topology::cluster(nodes, 4), bytes * 2) >= base);
+    }
+
+    /// The operator pipeline preserves multiset semantics for any stage
+    /// parallelism.
+    #[test]
+    fn operator_pipeline_multiset_semantics(
+        records in prop::collection::vec(-500i64..500, 0..200),
+        par in 1usize..5,
+    ) {
+        let mut expected: Vec<i64> = records
+            .iter()
+            .map(|x| x - 7)
+            .filter(|x| x % 3 != 0)
+            .collect();
+        let mut got = OperatorPipeline::<i64, i64>::source()
+            .map(par, |x| x - 7)
+            .filter(par, |x| x % 3 != 0)
+            .run(records.clone());
+        expected.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Aggregate partials always merge to the full fold.
+    #[test]
+    fn operator_aggregate_partials_merge(
+        records in prop::collection::vec(-100i64..100, 0..150),
+        par in 1usize..6,
+    ) {
+        let partials = OperatorPipeline::<i64, i64>::source()
+            .aggregate(par, || 0i64, |acc, x| *acc += x)
+            .run(records.clone());
+        prop_assert_eq!(partials.len(), par);
+        prop_assert_eq!(partials.iter().sum::<i64>(), records.iter().sum::<i64>());
+    }
+}

@@ -1,0 +1,415 @@
+//! Adaptive bag-of-words (Section IV-B of the paper).
+//!
+//! The BoW is initialized with the 347-entry swear-word lexicon and is
+//! periodically enhanced based on tweet content: the component maintains two
+//! sets of word counts and rolling statistics — one for *aggressive*
+//! (abusive ∪ hateful) and one for *normal* tweets. Words that occur
+//! frequently in aggressive tweets but are not high-occurring in normal
+//! tweets are **added**; words that become popular in normal tweets but lose
+//! traction in aggressive tweets are **removed**. The BoW therefore adapts
+//! to transient aggressive vocabulary (new slurs, obfuscated spellings)
+//! over time.
+//!
+//! The rolling statistics are exponentially decayed at every maintenance
+//! round so old vocabulary loses weight — this is what makes the list
+//! *adaptive* rather than cumulative.
+
+use redhanded_nlp::lexicons;
+use std::collections::{HashMap, HashSet};
+
+/// Configuration for the adaptive BoW maintenance rules.
+#[derive(Debug, Clone)]
+pub struct AdaptiveBowConfig {
+    /// Re-evaluate membership every this many labeled tweets.
+    pub update_interval: u64,
+    /// Multiplicative decay applied to all rolling counts at each
+    /// maintenance round (1.0 = never forget).
+    pub decay: f64,
+    /// A word is promoted when its rate in aggressive tweets is at least
+    /// this multiple of its rate in normal tweets.
+    pub promote_ratio: f64,
+    /// Minimum per-tweet rate in aggressive tweets required for promotion
+    /// (filters one-off noise).
+    pub min_aggressive_rate: f64,
+    /// Minimum decayed occurrence count required for promotion.
+    pub min_count: f64,
+    /// A non-seed member is demoted when its rate in normal tweets reaches
+    /// this multiple of its rate in aggressive tweets.
+    pub demote_ratio: f64,
+    /// When `true` (default), the adaptive rules run; when `false` the BoW
+    /// stays fixed at its seed — the paper's `ad=OFF` ablation.
+    pub adaptive: bool,
+}
+
+impl Default for AdaptiveBowConfig {
+    fn default() -> Self {
+        AdaptiveBowConfig {
+            update_interval: 1000,
+            decay: 0.98,
+            promote_ratio: 3.0,
+            min_aggressive_rate: 0.005,
+            min_count: 5.0,
+            demote_ratio: 1.5,
+            adaptive: true,
+        }
+    }
+}
+
+/// The adaptive bag-of-words.
+#[derive(Debug, Clone)]
+pub struct AdaptiveBow {
+    config: AdaptiveBowConfig,
+    /// Current membership.
+    words: HashSet<String>,
+    /// Seed lexicon (used to protect seeds from demotion by default and to
+    /// reset).
+    seeds: HashSet<&'static str>,
+    /// Rolling per-word occurrence counts in aggressive tweets.
+    aggressive_counts: HashMap<String, f64>,
+    /// Rolling per-word occurrence counts in normal tweets.
+    normal_counts: HashMap<String, f64>,
+    /// Rolling number of aggressive tweets observed.
+    aggressive_tweets: f64,
+    /// Rolling number of normal tweets observed.
+    normal_tweets: f64,
+    /// Labeled tweets since the last maintenance round.
+    since_update: u64,
+}
+
+impl AdaptiveBow {
+    /// A BoW seeded with the built-in 347-entry swear-word lexicon.
+    pub fn new(config: AdaptiveBowConfig) -> Self {
+        let seeds: HashSet<&'static str> = lexicons::SWEAR_WORDS.iter().copied().collect();
+        AdaptiveBow {
+            config,
+            words: seeds.iter().map(|s| s.to_string()).collect(),
+            seeds,
+            aggressive_counts: HashMap::new(),
+            normal_counts: HashMap::new(),
+            aggressive_tweets: 0.0,
+            normal_tweets: 0.0,
+            since_update: 0,
+        }
+    }
+
+    /// A BoW with the default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(AdaptiveBowConfig::default())
+    }
+
+    /// Current number of words in the BoW (the series of Figure 10).
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when the BoW is empty (never the case when seeded).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Membership test for an (already lowercased) word.
+    pub fn contains(&self, word: &str) -> bool {
+        self.words.contains(word)
+    }
+
+    /// Number of `words` present in the BoW — the feature value for a tweet.
+    pub fn score<'a>(&self, words: impl IntoIterator<Item = &'a str>) -> usize {
+        words.into_iter().filter(|w| self.words.contains(*w)).count()
+    }
+
+    /// Record the (lowercased, preprocessed) words of one labeled tweet.
+    ///
+    /// `aggressive` is the 2-class collapse of the label: abusive and
+    /// hateful tweets count as aggressive, normal as not. Runs maintenance
+    /// every `update_interval` labeled tweets.
+    pub fn observe<'a>(&mut self, words: impl IntoIterator<Item = &'a str>, aggressive: bool) {
+        if !self.config.adaptive {
+            return;
+        }
+        let (counts, tweets) = if aggressive {
+            (&mut self.aggressive_counts, &mut self.aggressive_tweets)
+        } else {
+            (&mut self.normal_counts, &mut self.normal_tweets)
+        };
+        *tweets += 1.0;
+        // Count each distinct word once per tweet (document frequency), so a
+        // single spammy tweet cannot promote a word by itself.
+        let mut seen = HashSet::new();
+        for w in words {
+            if w.len() < 2 || lexicons::is_stopword(w) {
+                continue;
+            }
+            if seen.insert(w) {
+                *counts.entry(w.to_string()).or_insert(0.0) += 1.0;
+            }
+        }
+        self.since_update += 1;
+        if self.since_update >= self.config.update_interval {
+            self.maintain();
+            self.since_update = 0;
+        }
+    }
+
+    /// Run one maintenance round: promote/demote words, then decay counts.
+    fn maintain(&mut self) {
+        let agg_total = self.aggressive_tweets.max(1.0);
+        let norm_total = self.normal_tweets.max(1.0);
+
+        // Promotion: frequent in aggressive tweets, not high-occurring in
+        // normal tweets.
+        for (word, &agg_count) in &self.aggressive_counts {
+            if self.words.contains(word) {
+                continue;
+            }
+            let agg_rate = agg_count / agg_total;
+            let norm_rate =
+                self.normal_counts.get(word).copied().unwrap_or(0.0) / norm_total;
+            if agg_count >= self.config.min_count
+                && agg_rate >= self.config.min_aggressive_rate
+                && agg_rate >= self.config.promote_ratio * norm_rate.max(1.0 / norm_total)
+            {
+                self.words.insert(word.clone());
+            }
+        }
+
+        // Demotion: popular in normal tweets, losing traction in aggressive
+        // ones. Seed words are kept — they remain the curated floor of the
+        // lexicon (and keep the BoW's size series monotone-ish, as in
+        // Figure 10).
+        let demote_ratio = self.config.demote_ratio;
+        let normal_counts = &self.normal_counts;
+        let aggressive_counts = &self.aggressive_counts;
+        let seeds = &self.seeds;
+        self.words.retain(|word| {
+            if seeds.contains(word.as_str()) {
+                return true;
+            }
+            let norm_rate = normal_counts.get(word).copied().unwrap_or(0.0) / norm_total;
+            let agg_rate = aggressive_counts.get(word).copied().unwrap_or(0.0) / agg_total;
+            !(norm_rate > 0.0 && norm_rate >= demote_ratio * agg_rate)
+        });
+
+        // Exponential decay so the statistics roll forward.
+        let decay = self.config.decay;
+        for counts in [&mut self.aggressive_counts, &mut self.normal_counts] {
+            counts.retain(|_, c| {
+                *c *= decay;
+                *c >= 0.05
+            });
+        }
+        self.aggressive_tweets *= decay;
+        self.normal_tweets *= decay;
+    }
+
+    /// Force a maintenance round immediately (useful in tests and when
+    /// merging distributed state at a micro-batch boundary).
+    pub fn force_maintain(&mut self) {
+        self.maintain();
+        self.since_update = 0;
+    }
+
+    /// A zero-count fork sharing this BoW's membership and configuration:
+    /// the per-partition local accumulator of the distributed protocol.
+    /// Scoring through a fork sees the same membership as the global BoW,
+    /// while its rolling counts start empty so [`AdaptiveBow::merge`] sums
+    /// pure deltas.
+    pub fn fork(&self) -> AdaptiveBow {
+        AdaptiveBow {
+            config: self.config.clone(),
+            words: self.words.clone(),
+            seeds: self.seeds.clone(),
+            aggressive_counts: HashMap::new(),
+            normal_counts: HashMap::new(),
+            aggressive_tweets: 0.0,
+            normal_tweets: 0.0,
+            since_update: 0,
+        }
+    }
+
+    /// Record words without triggering periodic maintenance — used by
+    /// distributed forks, whose maintenance happens globally at the
+    /// micro-batch boundary.
+    pub fn observe_only<'a>(&mut self, words: impl IntoIterator<Item = &'a str>, aggressive: bool) {
+        if !self.config.adaptive {
+            return;
+        }
+        let (counts, tweets) = if aggressive {
+            (&mut self.aggressive_counts, &mut self.aggressive_tweets)
+        } else {
+            (&mut self.normal_counts, &mut self.normal_tweets)
+        };
+        *tweets += 1.0;
+        let mut seen = HashSet::new();
+        for w in words {
+            if w.len() < 2 || lexicons::is_stopword(w) {
+                continue;
+            }
+            if seen.insert(w) {
+                *counts.entry(w.to_string()).or_insert(0.0) += 1.0;
+            }
+        }
+    }
+
+    /// Merge another BoW's rolling statistics and membership into this one
+    /// (used when combining per-task local state in the distributed engine).
+    pub fn merge(&mut self, other: &AdaptiveBow) {
+        for (w, c) in &other.aggressive_counts {
+            *self.aggressive_counts.entry(w.clone()).or_insert(0.0) += c;
+        }
+        for (w, c) in &other.normal_counts {
+            *self.normal_counts.entry(w.clone()).or_insert(0.0) += c;
+        }
+        self.aggressive_tweets += other.aggressive_tweets;
+        self.normal_tweets += other.normal_tweets;
+        for w in &other.words {
+            self.words.insert(w.clone());
+        }
+    }
+
+    /// Iterate over the current members (unspecified order).
+    pub fn words(&self) -> impl Iterator<Item = &str> {
+        self.words.iter().map(String::as_str)
+    }
+}
+
+impl Default for AdaptiveBow {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> AdaptiveBowConfig {
+        AdaptiveBowConfig { update_interval: 50, min_count: 3.0, ..Default::default() }
+    }
+
+    #[test]
+    fn seeded_with_347_words() {
+        let bow = AdaptiveBow::with_defaults();
+        assert_eq!(bow.len(), 347);
+        assert!(!bow.is_empty());
+        assert!(bow.contains("asshole"));
+        assert!(!bow.contains("kitten"));
+    }
+
+    #[test]
+    fn score_counts_members() {
+        let bow = AdaptiveBow::with_defaults();
+        assert_eq!(bow.score(["you", "are", "an", "asshole", "and", "a", "bastard"]), 2);
+        assert_eq!(bow.score(["nice", "day"]), 0);
+        assert_eq!(bow.score([]), 0);
+    }
+
+    #[test]
+    fn new_aggressive_word_is_promoted() {
+        let mut bow = AdaptiveBow::new(fast_config());
+        assert!(!bow.contains("zorgon"));
+        // "zorgon" shows up often in aggressive tweets, never in normal ones.
+        for i in 0..100 {
+            if i % 2 == 0 {
+                bow.observe(["you", "total", "zorgon"], true);
+            } else {
+                bow.observe(["lovely", "weather", "today"], false);
+            }
+        }
+        assert!(bow.contains("zorgon"), "frequent aggressive word promoted");
+        assert!(!bow.contains("lovely"), "normal vocabulary not promoted");
+    }
+
+    #[test]
+    fn promoted_word_is_demoted_when_it_goes_mainstream() {
+        let mut bow = AdaptiveBow::new(fast_config());
+        for _ in 0..60 {
+            bow.observe(["zorgon", "fool"], true);
+            bow.observe(["pleasant", "afternoon"], false);
+        }
+        bow.force_maintain();
+        assert!(bow.contains("zorgon"));
+        // Now "zorgon" becomes a normal word and stops appearing in
+        // aggressive tweets (which continue with other vocabulary).
+        for _ in 0..200 {
+            bow.observe(["zorgon", "birthday", "party"], false);
+            bow.observe(["fool", "moron"], true);
+        }
+        bow.force_maintain();
+        assert!(!bow.contains("zorgon"), "mainstream word demoted");
+    }
+
+    #[test]
+    fn seed_words_are_never_demoted() {
+        let mut bow = AdaptiveBow::new(fast_config());
+        // Spam a seed word in normal tweets only.
+        for _ in 0..500 {
+            bow.observe(["damn", "fine", "coffee"], false);
+        }
+        bow.force_maintain();
+        assert!(bow.len() >= 347);
+        assert!(bow.contains("damnit") || bow.contains("damn"));
+    }
+
+    #[test]
+    fn stopwords_and_single_letters_never_promote() {
+        let mut bow = AdaptiveBow::new(fast_config());
+        for _ in 0..200 {
+            bow.observe(["the", "a", "u", "and"], true);
+        }
+        bow.force_maintain();
+        assert!(!bow.contains("the"));
+        assert!(!bow.contains("u"));
+        assert_eq!(bow.len(), 347);
+    }
+
+    #[test]
+    fn non_adaptive_mode_stays_fixed() {
+        let mut bow =
+            AdaptiveBow::new(AdaptiveBowConfig { adaptive: false, ..fast_config() });
+        for _ in 0..500 {
+            bow.observe(["zorgon"], true);
+        }
+        bow.force_maintain();
+        assert_eq!(bow.len(), 347);
+        assert!(!bow.contains("zorgon"));
+    }
+
+    #[test]
+    fn document_frequency_not_term_frequency() {
+        let mut bow = AdaptiveBow::new(fast_config());
+        // One tweet repeating a word many times must count once.
+        bow.observe(vec!["spamword"; 100], true);
+        assert_eq!(bow.aggressive_counts["spamword"], 1.0);
+    }
+
+    #[test]
+    fn merge_unions_membership_and_sums_counts() {
+        let mut a = AdaptiveBow::new(fast_config());
+        let mut b = AdaptiveBow::new(fast_config());
+        a.observe(["zorgon"], true);
+        b.observe(["blarg"], true);
+        b.words.insert("blarg".to_string());
+        a.merge(&b);
+        assert!(a.contains("blarg"));
+        assert_eq!(a.aggressive_counts["zorgon"], 1.0);
+        assert_eq!(a.aggressive_counts["blarg"], 1.0);
+        assert_eq!(a.aggressive_tweets, 2.0);
+    }
+
+    #[test]
+    fn growth_is_bounded_by_decay() {
+        // Feed many transient words; decay should prevent unbounded growth
+        // of the statistics tables.
+        let mut bow = AdaptiveBow::new(AdaptiveBowConfig {
+            update_interval: 100,
+            ..Default::default()
+        });
+        for i in 0..5000u64 {
+            let w = format!("word{}", i % 2000);
+            bow.observe([w.as_str()], i % 3 == 0);
+        }
+        // Statistics tables stay bounded (decay prunes rare words).
+        assert!(bow.aggressive_counts.len() < 4000);
+        assert!(bow.normal_counts.len() < 4000);
+    }
+}

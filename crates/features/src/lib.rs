@@ -1,0 +1,28 @@
+//! Streaming feature pipeline for the `redhanded` framework.
+//!
+//! Implements steps (1)–(3) of the paper's architecture (Figure 1):
+//!
+//! * [`preprocess`] — tweet text cleaning (Section III-A);
+//! * [`extract`] — the 17-dimensional feature vector of Section IV-B
+//!   (16 ranked features of Figure 5 plus the adaptive BoW match count);
+//! * [`adaptive_bow`] — the adaptive bag-of-words that tracks drifting
+//!   abusive vocabulary (Figures 9–10);
+//! * [`normalize`] — incremental minmax / robust-minmax / z-score
+//!   normalization (Figures 7–8);
+//! * [`stats`] — the underlying O(1)-per-update statistics (Welford mean /
+//!   variance, running min/max, P² streaming quantiles).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adaptive_bow;
+pub mod extract;
+pub mod normalize;
+pub mod preprocess;
+pub mod stats;
+
+pub use adaptive_bow::{AdaptiveBow, AdaptiveBowConfig};
+pub use extract::{Extraction, ExtractorConfig, FeatureExtractor, FEATURE_NAMES, NUM_FEATURES};
+pub use normalize::{NormalizationKind, Normalizer};
+pub use preprocess::preprocess;
+pub use stats::{OnlineStats, P2Quantile};

@@ -1,0 +1,268 @@
+//! Incremental feature normalization (Section III-A of the paper).
+//!
+//! Three forms are implemented, matching the paper:
+//!
+//! * **minmax** — scales a value into [0, 1] using the running min and max
+//!   of each feature;
+//! * **minmax without outliers** — same, but the bounds are the running 1st
+//!   and 99th percentile estimates, so extreme values do not stretch the
+//!   scale (the paper found this variant ≈2% better and used it for all
+//!   subsequent experiments);
+//! * **z-score** — centers on the running mean with unit standard deviation.
+//!
+//! All statistics are computed incrementally as the stream is processed; a
+//! [`Normalizer`] is updated with each instance *before* transforming it, so
+//! no look-ahead over the stream is needed.
+
+use crate::stats::OnlineStats;
+use redhanded_types::{Error, Instance, Result};
+
+/// Which normalization transform to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NormalizationKind {
+    /// Pass values through unchanged (normalization disabled).
+    None,
+    /// Scale into [0, 1] by running min/max.
+    MinMax,
+    /// Scale into [0, 1] by running 1st/99th percentiles, clamping outliers.
+    /// The paper's preferred variant.
+    #[default]
+    MinMaxNoOutliers,
+    /// Zero mean, unit standard deviation.
+    ZScore,
+}
+
+/// Streaming per-feature normalizer.
+#[derive(Debug, Clone)]
+pub struct Normalizer {
+    kind: NormalizationKind,
+    stats: Vec<OnlineStats>,
+}
+
+impl Normalizer {
+    /// Create a normalizer for `num_features` features.
+    pub fn new(kind: NormalizationKind, num_features: usize) -> Self {
+        Normalizer { kind, stats: (0..num_features).map(|_| OnlineStats::new()).collect() }
+    }
+
+    /// The configured transform.
+    pub fn kind(&self) -> NormalizationKind {
+        self.kind
+    }
+
+    /// Number of features this normalizer tracks.
+    pub fn num_features(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Read access to the accumulated statistics of feature `i`.
+    pub fn stats(&self, i: usize) -> &OnlineStats {
+        &self.stats[i]
+    }
+
+    /// Fold another normalizer's statistics into this one (used when merging
+    /// per-task local state in the distributed engine).
+    pub fn merge(&mut self, other: &Normalizer) {
+        debug_assert_eq!(self.stats.len(), other.stats.len());
+        for (a, b) in self.stats.iter_mut().zip(&other.stats) {
+            a.merge(b);
+        }
+    }
+
+    /// Update the running statistics with `features` without transforming.
+    pub fn observe(&mut self, features: &[f64]) -> Result<()> {
+        if features.len() != self.stats.len() {
+            return Err(Error::DimensionMismatch {
+                expected: self.stats.len(),
+                actual: features.len(),
+            });
+        }
+        for (stat, &x) in self.stats.iter_mut().zip(features) {
+            stat.update(x);
+        }
+        Ok(())
+    }
+
+    /// Transform `features` in place using the current statistics.
+    pub fn transform(&self, features: &mut [f64]) -> Result<()> {
+        if features.len() != self.stats.len() {
+            return Err(Error::DimensionMismatch {
+                expected: self.stats.len(),
+                actual: features.len(),
+            });
+        }
+        match self.kind {
+            NormalizationKind::None => {}
+            NormalizationKind::MinMax => {
+                for (stat, x) in self.stats.iter().zip(features.iter_mut()) {
+                    let (lo, hi) = (stat.min(), stat.max());
+                    *x = scale_unit(*x, lo, hi);
+                }
+            }
+            NormalizationKind::MinMaxNoOutliers => {
+                for (stat, x) in self.stats.iter().zip(features.iter_mut()) {
+                    let (lo, hi) = (stat.low_quantile(), stat.high_quantile());
+                    *x = scale_unit(*x, lo, hi);
+                }
+            }
+            NormalizationKind::ZScore => {
+                for (stat, x) in self.stats.iter().zip(features.iter_mut()) {
+                    let sd = stat.std_dev();
+                    *x = if sd > 0.0 { (*x - stat.mean()) / sd } else { 0.0 };
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Observe then transform an instance — the streaming usage pattern.
+    pub fn process(&mut self, instance: &mut Instance) -> Result<()> {
+        self.observe(&instance.features)?;
+        self.transform(&mut instance.features)
+    }
+}
+
+/// Scale `x` into [0, 1] given bounds, clamping out-of-range values.
+fn scale_unit(x: f64, lo: f64, hi: f64) -> f64 {
+    if hi > lo {
+        ((x - lo) / (hi - lo)).clamp(0.0, 1.0)
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(norm: &mut Normalizer, data: &[f64]) {
+        for &x in data {
+            norm.observe(&[x]).unwrap();
+        }
+    }
+
+    #[test]
+    fn minmax_maps_to_unit_interval() {
+        let mut n = Normalizer::new(NormalizationKind::MinMax, 1);
+        feed(&mut n, &[0.0, 5.0, 10.0]);
+        let mut v = [5.0];
+        n.transform(&mut v).unwrap();
+        assert!((v[0] - 0.5).abs() < 1e-12);
+        let mut v = [0.0];
+        n.transform(&mut v).unwrap();
+        assert_eq!(v[0], 0.0);
+        let mut v = [10.0];
+        n.transform(&mut v).unwrap();
+        assert_eq!(v[0], 1.0);
+    }
+
+    #[test]
+    fn minmax_clamps_out_of_range() {
+        let mut n = Normalizer::new(NormalizationKind::MinMax, 1);
+        feed(&mut n, &[0.0, 10.0]);
+        let mut v = [-5.0];
+        n.transform(&mut v).unwrap();
+        assert_eq!(v[0], 0.0);
+        let mut v = [20.0];
+        n.transform(&mut v).unwrap();
+        assert_eq!(v[0], 1.0);
+    }
+
+    #[test]
+    fn constant_feature_maps_to_zero() {
+        let mut n = Normalizer::new(NormalizationKind::MinMax, 1);
+        feed(&mut n, &[3.0, 3.0, 3.0]);
+        let mut v = [3.0];
+        n.transform(&mut v).unwrap();
+        assert_eq!(v[0], 0.0);
+        let mut n = Normalizer::new(NormalizationKind::ZScore, 1);
+        feed(&mut n, &[3.0, 3.0, 3.0]);
+        let mut v = [3.0];
+        n.transform(&mut v).unwrap();
+        assert_eq!(v[0], 0.0);
+    }
+
+    #[test]
+    fn zscore_centers_and_scales() {
+        let mut n = Normalizer::new(NormalizationKind::ZScore, 1);
+        feed(&mut n, &[2.0, 4.0, 6.0, 8.0]);
+        // mean 5, population sd sqrt(5)
+        let mut v = [5.0];
+        n.transform(&mut v).unwrap();
+        assert!(v[0].abs() < 1e-12);
+        let mut v = [5.0 + 5f64.sqrt()];
+        n.transform(&mut v).unwrap();
+        assert!((v[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let mut n = Normalizer::new(NormalizationKind::None, 2);
+        n.observe(&[1.0, 2.0]).unwrap();
+        let mut v = [42.0, -7.0];
+        n.transform(&mut v).unwrap();
+        assert_eq!(v, [42.0, -7.0]);
+    }
+
+    #[test]
+    fn no_outliers_variant_resists_extremes() {
+        let mut plain = Normalizer::new(NormalizationKind::MinMax, 1);
+        let mut robust = Normalizer::new(NormalizationKind::MinMaxNoOutliers, 1);
+        let mut x: u64 = 1;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = ((x >> 33) % 100) as f64;
+            plain.observe(&[v]).unwrap();
+            robust.observe(&[v]).unwrap();
+        }
+        // One giant outlier.
+        plain.observe(&[1e12]).unwrap();
+        robust.observe(&[1e12]).unwrap();
+        // A typical value should be squashed to ~0 under plain minmax but
+        // stay mid-scale under the robust variant.
+        let mut a = [50.0];
+        plain.transform(&mut a).unwrap();
+        let mut b = [50.0];
+        robust.transform(&mut b).unwrap();
+        assert!(a[0] < 1e-6, "plain minmax squashed: {}", a[0]);
+        assert!(b[0] > 0.3 && b[0] < 0.7, "robust kept scale: {}", b[0]);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_an_error() {
+        let mut n = Normalizer::new(NormalizationKind::MinMax, 3);
+        assert!(n.observe(&[1.0]).is_err());
+        let mut v = [1.0, 2.0];
+        assert!(n.transform(&mut v).is_err());
+    }
+
+    #[test]
+    fn process_updates_then_transforms() {
+        let mut n = Normalizer::new(NormalizationKind::MinMax, 1);
+        let mut i1 = Instance::unlabeled(vec![10.0]);
+        n.process(&mut i1).unwrap();
+        // First instance: min == max == 10 → scaled to 0.
+        assert_eq!(i1.features[0], 0.0);
+        let mut i2 = Instance::unlabeled(vec![20.0]);
+        n.process(&mut i2).unwrap();
+        // Now min=10, max=20 → 20 maps to 1.
+        assert_eq!(i2.features[0], 1.0);
+    }
+
+    #[test]
+    fn merge_combines_statistics() {
+        let mut a = Normalizer::new(NormalizationKind::MinMax, 1);
+        let mut b = Normalizer::new(NormalizationKind::MinMax, 1);
+        feed(&mut a, &[0.0, 1.0]);
+        feed(&mut b, &[9.0, 10.0]);
+        a.merge(&b);
+        let mut v = [5.0];
+        a.transform(&mut v).unwrap();
+        assert!((v[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_kind_is_the_papers_choice() {
+        assert_eq!(NormalizationKind::default(), NormalizationKind::MinMaxNoOutliers);
+    }
+}

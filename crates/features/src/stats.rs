@@ -1,0 +1,404 @@
+//! Incremental per-feature statistics.
+//!
+//! The normalization step (Section III-A of the paper) needs min, max, mean,
+//! and variance per feature, "computed incrementally during the data stream
+//! processing". [`OnlineStats`] maintains them in O(1) per observation using
+//! Welford's algorithm, and additionally tracks approximate tail quantiles
+//! with the P² algorithm (Jain & Chlamtac, 1985) so the *minmax without
+//! outliers* variant can rescale its bounds without buffering the stream.
+
+/// P² (piecewise-parabolic) streaming quantile estimator for one quantile.
+///
+/// Maintains five markers whose heights approximate the `p`-quantile without
+/// storing observations. Exact for the first five observations, O(1) per
+/// update afterwards.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights (estimates of the quantile curve).
+    q: [f64; 5],
+    /// Marker positions (1-based ranks).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Desired position increments.
+    dn: [f64; 5],
+    count: usize,
+    /// Buffer for the first five observations.
+    initial: [f64; 5],
+}
+
+impl P2Quantile {
+    /// Create an estimator for the `p`-quantile, `0 < p < 1`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0,1)");
+        P2Quantile {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            initial: [0.0; 5],
+        }
+    }
+
+    /// Observe one value.
+    pub fn update(&mut self, x: f64) {
+        if self.count < 5 {
+            self.initial[self.count] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.initial.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+                self.q = self.initial;
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find the cell k such that q[k] <= x < q[k+1], adjusting extremes.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if self.q[i] <= x && x < self.q[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+
+        // Adjust interior markers if off their desired positions.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            let right_gap = self.n[i + 1] - self.n[i];
+            let left_gap = self.n[i - 1] - self.n[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let d = d.signum();
+                let qp = self.parabolic(i, d);
+                self.q[i] = if self.q[i - 1] < qp && qp < self.q[i + 1] {
+                    qp
+                } else {
+                    self.linear(i, d)
+                };
+                self.n[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.q;
+        let n = &self.n;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// Current quantile estimate. For fewer than five observations, the
+    /// exact sample quantile of what has been seen.
+    pub fn estimate(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if self.count < 5 {
+            let mut seen = self.initial[..self.count].to_vec();
+            seen.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+            let rank = (self.p * (seen.len() - 1) as f64).round() as usize;
+            return seen[rank];
+        }
+        self.q[2]
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+/// Incremental min / max / mean / variance plus 1st and 99th percentile
+/// estimates for one feature.
+#[derive(Debug, Clone)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    q_low: P2Quantile,
+    q_high: P2Quantile,
+}
+
+impl Default for OnlineStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            q_low: P2Quantile::new(0.01),
+            q_high: P2Quantile::new(0.99),
+        }
+    }
+
+    /// Observe one value (Welford's update).
+    pub fn update(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.q_low.update(x);
+        self.q_high.update(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 before any observation).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 before two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observed value (0 before any observation).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum observed value (0 before any observation).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Estimated 1st percentile — the outlier-robust lower bound.
+    pub fn low_quantile(&self) -> f64 {
+        self.q_low.estimate()
+    }
+
+    /// Estimated 99th percentile — the outlier-robust upper bound.
+    pub fn high_quantile(&self) -> f64 {
+        self.q_high.estimate()
+    }
+
+    /// Merge another accumulator into this one (Chan et al.'s parallel
+    /// variance formula). Quantile markers cannot be merged exactly; the
+    /// merged estimate keeps the wider of the two marker sets, which is
+    /// sufficient for normalization bounds.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        if other.q_high.estimate() - other.q_low.estimate()
+            > self.q_high.estimate() - self.q_low.estimate()
+        {
+            self.q_low = other.q_low.clone();
+            self.q_high = other.q_high.clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut s = OnlineStats::new();
+        for &x in &data {
+            s.update(x);
+        }
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / data.len() as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = OnlineStats::new();
+        s.update(7.0);
+        assert_eq!(s.mean(), 7.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 7.0);
+        assert_eq!(s.max(), 7.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let a_data = [1.0, 2.0, 3.0, 4.0];
+        let b_data = [10.0, 20.0, 30.0];
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        let mut all = OnlineStats::new();
+        for &x in &a_data {
+            a.update(x);
+            all.update(x);
+        }
+        for &x in &b_data {
+            b.update(x);
+            all.update(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.update(5.0);
+        a.update(6.0);
+        let before_mean = a.mean();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.mean(), before_mean);
+        let mut empty = OnlineStats::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 2);
+        assert_eq!(empty.mean(), before_mean);
+    }
+
+    #[test]
+    fn p2_exact_for_small_samples() {
+        let mut q = P2Quantile::new(0.5);
+        q.update(3.0);
+        q.update(1.0);
+        q.update(2.0);
+        assert_eq!(q.estimate(), 2.0);
+    }
+
+    #[test]
+    fn p2_median_of_uniform_stream() {
+        let mut q = P2Quantile::new(0.5);
+        // Deterministic pseudo-uniform sequence over [0, 1000).
+        let mut x: u64 = 12345;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = (x >> 33) % 1000;
+            q.update(v as f64);
+        }
+        let est = q.estimate();
+        assert!((est - 500.0).abs() < 40.0, "median estimate {est} too far from 500");
+    }
+
+    #[test]
+    fn p2_tail_quantile_bounds_outliers() {
+        let mut s = OnlineStats::new();
+        // 1000 values in [0, 10), then extreme outliers.
+        let mut x: u64 = 99;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s.update(((x >> 33) % 10) as f64);
+        }
+        s.update(1e9);
+        s.update(-1e9);
+        assert_eq!(s.max(), 1e9);
+        // The robust bound must not explode with the outlier.
+        assert!(s.high_quantile() < 100.0, "q99 = {}", s.high_quantile());
+        assert!(s.low_quantile() > -100.0, "q01 = {}", s.low_quantile());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0,1)")]
+    fn p2_rejects_bad_quantile() {
+        let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn min_max_monotone_under_updates() {
+        let mut s = OnlineStats::new();
+        let mut prev_min = f64::INFINITY;
+        let mut prev_max = f64::NEG_INFINITY;
+        let mut x: u64 = 7;
+        for _ in 0..200 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s.update(((x >> 40) % 1000) as f64 - 500.0);
+            assert!(s.min() <= prev_min.min(s.min()));
+            assert!(s.max() >= prev_max.max(s.max()) - 1e-12);
+            prev_min = s.min();
+            prev_max = s.max();
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for the feature pipeline (see DESIGN.md §5).
+
+use proptest::prelude::*;
+use redhanded_features::{
+    preprocess, AdaptiveBow, AdaptiveBowConfig, FeatureExtractor, NormalizationKind,
+    Normalizer, OnlineStats, NUM_FEATURES,
+};
+use redhanded_types::{Tweet, TwitterUser};
+
+fn arb_values() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..200)
+}
+
+proptest! {
+    /// Preprocessing output contains no URLs, mentions, hashtags, digits,
+    /// or punctuation, and is idempotent.
+    #[test]
+    fn preprocess_removes_everything_removable(text in "\\PC{0,200}") {
+        let cleaned = preprocess(&text);
+        prop_assert!(!cleaned.contains('#'));
+        prop_assert!(!cleaned.contains('@'));
+        prop_assert!(!cleaned.to_lowercase().contains("http://"));
+        prop_assert!(!cleaned.contains("  "), "whitespace condensed");
+        prop_assert!(!cleaned.chars().any(|c| c.is_ascii_digit()), "digits removed");
+        prop_assert_eq!(preprocess(&cleaned), cleaned.clone(), "idempotent");
+    }
+
+    /// Welford statistics match the two-pass computation for any data.
+    #[test]
+    fn welford_matches_two_pass(values in arb_values()) {
+        let mut s = OnlineStats::new();
+        for &x in &values {
+            s.update(x);
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let tol = 1e-8 * (1.0 + mean.abs() + var);
+        prop_assert!((s.mean() - mean).abs() < tol, "{} vs {}", s.mean(), mean);
+        prop_assert!((s.variance() - var).abs() < tol * 10.0);
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.min(), min);
+        prop_assert_eq!(s.max(), max);
+    }
+
+    /// Merged statistics equal sequentially accumulated statistics.
+    #[test]
+    fn stats_merge_equals_sequential(a in arb_values(), b in arb_values()) {
+        let mut sa = OnlineStats::new();
+        let mut sb = OnlineStats::new();
+        let mut all = OnlineStats::new();
+        for &x in &a { sa.update(x); all.update(x); }
+        for &x in &b { sb.update(x); all.update(x); }
+        sa.merge(&sb);
+        prop_assert_eq!(sa.count(), all.count());
+        let tol = 1e-6 * (1.0 + all.mean().abs() + all.variance());
+        prop_assert!((sa.mean() - all.mean()).abs() < tol);
+        prop_assert!((sa.variance() - all.variance()).abs() < tol * 100.0);
+        prop_assert_eq!(sa.min(), all.min());
+        prop_assert_eq!(sa.max(), all.max());
+    }
+
+    /// Minmax normalization lands inside [0, 1] for any observed data and
+    /// preserves order.
+    #[test]
+    fn minmax_bounded_and_monotone(values in prop::collection::vec(-1e5f64..1e5, 2..100)) {
+        let mut norm = Normalizer::new(NormalizationKind::MinMax, 1);
+        for &x in &values {
+            norm.observe(&[x]).unwrap();
+        }
+        let mut outputs: Vec<(f64, f64)> = values
+            .iter()
+            .map(|&x| {
+                let mut v = [x];
+                norm.transform(&mut v).unwrap();
+                (x, v[0])
+            })
+            .collect();
+        for (_, y) in &outputs {
+            prop_assert!((0.0..=1.0).contains(y));
+        }
+        outputs.sort_by(|p, q| p.0.partial_cmp(&q.0).unwrap());
+        for w in outputs.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1 + 1e-12, "order preserved");
+        }
+    }
+
+    /// The robust variant is also bounded, for any data incl. outliers.
+    #[test]
+    fn robust_minmax_bounded(values in prop::collection::vec(-1e9f64..1e9, 2..100)) {
+        let mut norm = Normalizer::new(NormalizationKind::MinMaxNoOutliers, 1);
+        for &x in &values {
+            norm.observe(&[x]).unwrap();
+        }
+        for &x in &values {
+            let mut v = [x];
+            norm.transform(&mut v).unwrap();
+            prop_assert!((0.0..=1.0).contains(&v[0]));
+        }
+    }
+
+    /// The adaptive BoW never loses seed words and its size is bounded by
+    /// seeds + distinct observed words.
+    #[test]
+    fn bow_size_bounded(words in prop::collection::vec("[a-z]{2,8}", 0..300),
+                        labels in prop::collection::vec(any::<bool>(), 0..300)) {
+        let mut bow = AdaptiveBow::new(AdaptiveBowConfig {
+            update_interval: 50,
+            ..Default::default()
+        });
+        let distinct: std::collections::HashSet<&String> = words.iter().collect();
+        for (w, aggressive) in words.iter().zip(labels.iter().cycle()) {
+            bow.observe([w.as_str()], *aggressive);
+        }
+        bow.force_maintain();
+        prop_assert!(bow.len() >= 347, "seeds never lost: {}", bow.len());
+        prop_assert!(bow.len() <= 347 + distinct.len());
+        prop_assert!(bow.contains("asshole"), "seed word retained");
+    }
+
+    /// Deterministic BoW evolution under identical input order.
+    #[test]
+    fn bow_deterministic(words in prop::collection::vec("[a-z]{2,6}", 0..100)) {
+        let run = || {
+            let mut bow = AdaptiveBow::new(AdaptiveBowConfig {
+                update_interval: 20,
+                ..Default::default()
+            });
+            for (i, w) in words.iter().enumerate() {
+                bow.observe([w.as_str()], i % 3 == 0);
+            }
+            bow.force_maintain();
+            let mut members: Vec<String> = bow.words().map(str::to_string).collect();
+            members.sort();
+            members
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// The extractor always produces exactly NUM_FEATURES finite values.
+    #[test]
+    fn extractor_output_well_formed(text in "\\PC{0,200}", age in 1.0f64..4000.0) {
+        let tweet = Tweet {
+            id: 1,
+            text,
+            timestamp_ms: 0,
+            is_retweet: false,
+            is_reply: false,
+            user: TwitterUser { account_age_days: age, ..TwitterUser::synthetic(1) },
+        };
+        let ext = FeatureExtractor::default().extract(&tweet, &AdaptiveBow::with_defaults());
+        prop_assert_eq!(ext.features.len(), NUM_FEATURES);
+        for (i, v) in ext.features.iter().enumerate() {
+            prop_assert!(v.is_finite(), "feature {i} = {v}");
+        }
+        // Counts are non-negative.
+        for &i in &[5usize, 6, 7, 8, 9, 10, 15, 16] {
+            prop_assert!(ext.features[i] >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Lexicon tables and fast lookup structures.
+//!
+//! The raw tables live in [`data`] (generated; see `DESIGN.md` for
+//! provenance). This module wraps them in hash-based lookup structures built
+//! lazily on first use, so repeated feature extraction pays only a hash
+//! probe per token.
+
+mod data;
+
+pub use data::{
+    ADJECTIVES, ADVERBS, BOOSTERS, CONJUNCTIONS, DETERMINERS, DIMINISHERS, INTERJECTIONS,
+    NEGATIVE_EMOTICONS, NEGATORS, POSITIVE_EMOTICONS, PREPOSITIONS, PRONOUNS,
+    SENTIMENT_VALENCES, STOPWORDS, SWEAR_WORDS, VERBS,
+};
+
+use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
+
+fn set_of(words: &'static [&'static str]) -> HashSet<&'static str> {
+    words.iter().copied().collect()
+}
+
+macro_rules! lazy_set {
+    ($fn_name:ident, $table:ident, $doc:literal) => {
+        #[doc = $doc]
+        pub fn $fn_name() -> &'static HashSet<&'static str> {
+            static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+            SET.get_or_init(|| set_of($table))
+        }
+    };
+}
+
+lazy_set!(swear_set, SWEAR_WORDS, "Profanity lexicon as a set (347 entries).");
+lazy_set!(stopword_set, STOPWORDS, "Stopword lexicon as a set.");
+lazy_set!(negator_set, NEGATORS, "Negation words as a set.");
+lazy_set!(diminisher_set, DIMINISHERS, "Diminisher words as a set.");
+lazy_set!(adjective_set, ADJECTIVES, "Adjective lexicon as a set.");
+lazy_set!(adverb_set, ADVERBS, "Adverb lexicon as a set.");
+lazy_set!(verb_set, VERBS, "Verb lexicon as a set.");
+lazy_set!(pronoun_set, PRONOUNS, "Pronoun lexicon as a set.");
+lazy_set!(determiner_set, DETERMINERS, "Determiner lexicon as a set.");
+lazy_set!(preposition_set, PREPOSITIONS, "Preposition lexicon as a set.");
+lazy_set!(conjunction_set, CONJUNCTIONS, "Conjunction lexicon as a set.");
+lazy_set!(interjection_set, INTERJECTIONS, "Interjection lexicon as a set.");
+lazy_set!(positive_emoticon_set, POSITIVE_EMOTICONS, "Positive emoticons as a set.");
+lazy_set!(negative_emoticon_set, NEGATIVE_EMOTICONS, "Negative emoticons as a set.");
+
+/// Sentiment valence lookup: term → strength on the SentiStrength scale
+/// (positive `2..=5`, negative `-5..=-2`).
+pub fn sentiment_map() -> &'static HashMap<&'static str, i8> {
+    static MAP: OnceLock<HashMap<&'static str, i8>> = OnceLock::new();
+    MAP.get_or_init(|| SENTIMENT_VALENCES.iter().copied().collect())
+}
+
+/// Booster strength lookup: booster word → increment it adds to a following
+/// sentiment term.
+pub fn booster_map() -> &'static HashMap<&'static str, i8> {
+    static MAP: OnceLock<HashMap<&'static str, i8>> = OnceLock::new();
+    MAP.get_or_init(|| BOOSTERS.iter().copied().collect())
+}
+
+/// Emoji scored as positive (+2), alongside the ASCII emoticons.
+pub static POSITIVE_EMOJI: &[&str] = &[
+    "\u{1F600}", "\u{1F601}", "\u{1F602}", "\u{1F603}", "\u{1F604}", "\u{1F60A}",
+    "\u{1F60D}", "\u{1F60E}", "\u{1F618}", "\u{1F642}", "\u{1F970}", "\u{1F923}",
+    "\u{2764}", "\u{1F495}", "\u{1F44D}", "\u{1F389}", "\u{2728}", "\u{1F973}",
+];
+
+/// Emoji scored as negative (-2), alongside the ASCII emoticons.
+pub static NEGATIVE_EMOJI: &[&str] = &[
+    "\u{1F620}", "\u{1F621}", "\u{1F92C}", "\u{1F61E}", "\u{1F622}", "\u{1F62D}",
+    "\u{1F480}", "\u{1F44E}", "\u{1F612}", "\u{1F644}", "\u{1F624}", "\u{1F4A2}",
+    "\u{1F63E}", "\u{1F494}", "\u{1F92F}",
+];
+
+lazy_set!(positive_emoji_set, POSITIVE_EMOJI, "Positive emoji as a set.");
+lazy_set!(negative_emoji_set, NEGATIVE_EMOJI, "Negative emoji as a set.");
+
+/// True when `c` falls in the Unicode blocks the tokenizer treats as emoji.
+pub fn is_emoji_char(c: char) -> bool {
+    matches!(u32::from(c),
+        0x1F300..=0x1FAFF   // Misc symbols & pictographs .. symbols ext-A
+        | 0x2600..=0x27BF   // Misc symbols, dingbats (incl. the heart)
+        | 0x1F004 | 0x1F0CF
+    )
+}
+
+/// True when `word` (already lowercased) appears in the profanity lexicon.
+pub fn is_swear(word: &str) -> bool {
+    swear_set().contains(word)
+}
+
+/// True when `word` (already lowercased) is a stopword.
+pub fn is_stopword(word: &str) -> bool {
+    stopword_set().contains(word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swear_lexicon_has_exactly_347_entries() {
+        // The paper's adaptive BoW is seeded with a 347-word list (Fig. 10).
+        assert_eq!(SWEAR_WORDS.len(), 347);
+        assert_eq!(swear_set().len(), 347, "no duplicate entries");
+    }
+
+    #[test]
+    fn lexicons_are_lowercase_and_trimmed() {
+        for table in [SWEAR_WORDS, STOPWORDS, NEGATORS, ADJECTIVES, ADVERBS, VERBS] {
+            for w in table {
+                assert_eq!(w.trim(), *w, "{w:?} has surrounding whitespace");
+                assert_eq!(
+                    w.to_lowercase(),
+                    *w,
+                    "{w:?} is not lowercase"
+                );
+                assert!(!w.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn sentiment_valences_are_on_scale() {
+        for (w, v) in SENTIMENT_VALENCES {
+            assert!(
+                (2..=5).contains(v) || (-5..=-2).contains(v),
+                "{w} has off-scale valence {v}"
+            );
+        }
+        assert_eq!(sentiment_map().len(), SENTIMENT_VALENCES.len(), "no duplicates");
+    }
+
+    #[test]
+    fn booster_increments_are_small_and_positive() {
+        for (w, inc) in BOOSTERS {
+            assert!((1..=2).contains(inc), "{w} has increment {inc}");
+        }
+    }
+
+    #[test]
+    fn membership_helpers() {
+        assert!(is_swear("asshole"));
+        assert!(!is_swear("kitten"));
+        assert!(is_stopword("the"));
+        assert!(is_stopword("rt"));
+        assert!(!is_stopword("aggression"));
+    }
+
+    #[test]
+    fn emoticon_sets_are_disjoint() {
+        for e in POSITIVE_EMOTICONS {
+            assert!(!negative_emoticon_set().contains(e), "{e} in both sets");
+        }
+        for e in POSITIVE_EMOJI {
+            assert!(!negative_emoji_set().contains(e), "{e} in both emoji sets");
+        }
+        // Every emoji entry is recognized by the char classifier.
+        for e in POSITIVE_EMOJI.iter().chain(NEGATIVE_EMOJI) {
+            let c = e.chars().next().unwrap();
+            assert!(is_emoji_char(c), "{e} not classified as emoji");
+        }
+        assert!(!is_emoji_char('a'));
+        assert!(!is_emoji_char('!'));
+    }
+
+    #[test]
+    fn known_words_present() {
+        assert!(sentiment_map().contains_key("hate"));
+        assert_eq!(sentiment_map()["hate"], -5);
+        assert!(sentiment_map()["love"] > 0);
+        assert!(adjective_set().contains("ugly"));
+        assert!(adverb_set().contains("quickly"));
+        assert!(verb_set().contains("running"));
+        assert!(negator_set().contains("not"));
+    }
+}

@@ -1,0 +1,30 @@
+//! NLP substrate for the `redhanded` framework.
+//!
+//! Everything the feature-extraction stage (Section IV-B of the paper) needs
+//! from natural-language processing, implemented from scratch:
+//!
+//! * [`tokenizer`] — Twitter-aware typed tokenization (words, URLs,
+//!   mentions, hashtags, emoticons, numbers, punctuation);
+//! * [`sentence`] — sentence splitting and the stylistic statistics
+//!   (`wordsPerSentence`, `meanWordLength`);
+//! * [`pos`] — rule/lexicon part-of-speech tagging for the syntactic
+//!   features (`cntAdjective`, `cntAdverbs`, `cntVerbs`);
+//! * [`sentiment`] — a SentiStrength-style dual-polarity scorer on the
+//!   [-5, 5] scale (`sentimentScorePos`, `sentimentScoreNeg`);
+//! * [`lexicons`] — the static word lists backing all of the above,
+//!   including the 347-entry profanity list that seeds the adaptive
+//!   bag-of-words.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lexicons;
+pub mod pos;
+pub mod sentence;
+pub mod sentiment;
+pub mod tokenizer;
+
+pub use pos::{count_pos, tag_word, PosCounts, PosTag};
+pub use sentence::{count_word_sentences, split_sentences, stylistic_stats, StylisticStats};
+pub use sentiment::{score_text, score_tokens, SentimentScore};
+pub use tokenizer::{tokenize, Token, TokenKind, Tokenizer};

@@ -1,0 +1,345 @@
+//! SentiStrength-style dual sentiment scorer.
+//!
+//! The paper estimates "how positive or negative is the sentiment expressed
+//! in the posted content (on a [-5, 5] scale)" with the SentiStrength tool
+//! (Section IV-B). This module implements the documented SentiStrength
+//! algorithm over the built-in valence lexicon:
+//!
+//! * each term carries a valence (positive `2..=5`, negative `-5..=-2`);
+//! * *boosters* before a term strengthen it (`very bad` → −4),
+//!   *diminishers* weaken it;
+//! * *negators* within two tokens before a term invert it and reduce its
+//!   magnitude by one (`not good` → −2);
+//! * repeated-letter emphasis (`soooo`) and a following exclamation mark
+//!   strengthen a term by one; an all-caps term likewise;
+//! * emoticons contribute ±2;
+//! * the text's **positive score** is the maximum positive term strength
+//!   (floor `1`), the **negative score** is the minimum negative term
+//!   strength (ceiling `-1`) — SentiStrength's dual output.
+
+use crate::lexicons;
+use crate::tokenizer::{Token, TokenKind};
+
+/// Dual sentiment score of a text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SentimentScore {
+    /// Positive strength in `1..=5` (`1` = no positive sentiment).
+    pub positive: i8,
+    /// Negative strength in `-5..=-1` (`-1` = no negative sentiment).
+    pub negative: i8,
+}
+
+impl SentimentScore {
+    /// The neutral score.
+    pub const NEUTRAL: SentimentScore = SentimentScore { positive: 1, negative: -1 };
+
+    /// Single scalar in `[-5, 5]`: whichever pole is stronger, signed
+    /// (ties → 0). Useful for compact reporting.
+    pub fn polarity(&self) -> i8 {
+        match self.positive.cmp(&(-self.negative)) {
+            std::cmp::Ordering::Greater => self.positive,
+            std::cmp::Ordering::Less => self.negative,
+            std::cmp::Ordering::Equal => 0,
+        }
+    }
+}
+
+/// Collapse letter runs longer than two (`coooool` → `cool`, `coool` →
+/// `cool`) and report whether any run of three or more was present.
+fn squeeze_repeats(word: &str) -> (String, bool) {
+    let mut out = String::with_capacity(word.len());
+    let mut prev: Option<char> = None;
+    let mut run = 0usize;
+    let mut emphasized = false;
+    for c in word.chars() {
+        if Some(c) == prev {
+            run += 1;
+            if run >= 3 {
+                emphasized = true;
+            }
+            if run <= 2 {
+                out.push(c);
+            }
+        } else {
+            prev = Some(c);
+            run = 1;
+            out.push(c);
+        }
+    }
+    (out, emphasized)
+}
+
+fn lookup_valence(lower: &str) -> Option<i8> {
+    let map = lexicons::sentiment_map();
+    if let Some(&v) = map.get(lower) {
+        return Some(v);
+    }
+    // Try the double-letter and single-letter squeezed forms so emphasized
+    // spellings ("looooove", "baaad") still hit the lexicon.
+    let (squeezed, _) = squeeze_repeats(lower);
+    if squeezed != lower {
+        if let Some(&v) = map.get(squeezed.as_str()) {
+            return Some(v);
+        }
+    }
+    let fully: String = {
+        let mut s = String::with_capacity(lower.len());
+        let mut prev = None;
+        for c in lower.chars() {
+            if Some(c) != prev {
+                s.push(c);
+            }
+            prev = Some(c);
+        }
+        s
+    };
+    if fully != lower {
+        if let Some(&v) = map.get(fully.as_str()) {
+            return Some(v);
+        }
+    }
+    None
+}
+
+fn clamp_strength(v: i32) -> i8 {
+    if v > 0 {
+        v.clamp(2, 5) as i8
+    } else if v < 0 {
+        v.clamp(-5, -2) as i8
+    } else {
+        0
+    }
+}
+
+/// Score pre-tokenized text.
+///
+/// `tokens` must come from [`crate::tokenizer::tokenize`] on the *raw* text:
+/// punctuation and emoticons carry signal here, so sentiment is computed
+/// before the pipeline's cleaning step.
+pub fn score_tokens(tokens: &[Token<'_>]) -> SentimentScore {
+    let mut max_pos: i8 = 1;
+    let mut min_neg: i8 = -1;
+
+    // Lowercased word texts for context lookups (boosters/negators).
+    let lowers: Vec<Option<String>> = tokens
+        .iter()
+        .map(|t| (t.kind == TokenKind::Word).then(|| t.text.to_lowercase()))
+        .collect();
+
+    for (i, tok) in tokens.iter().enumerate() {
+        let base: i32 = match tok.kind {
+            TokenKind::Emoticon => {
+                // ASCII emoticons and emoji both score ±2; a variation
+                // selector may trail an emoji token.
+                let bare = tok.text.trim_end_matches('\u{FE0F}');
+                if lexicons::positive_emoticon_set().contains(tok.text)
+                    || lexicons::positive_emoji_set().contains(bare)
+                {
+                    2
+                } else if lexicons::negative_emoticon_set().contains(tok.text)
+                    || lexicons::negative_emoji_set().contains(bare)
+                {
+                    -2
+                } else {
+                    0
+                }
+            }
+            TokenKind::Word => {
+                let lower = lowers[i].as_deref().expect("word token has lowercase form");
+                match lookup_valence(lower) {
+                    Some(v) => v as i32,
+                    None => 0,
+                }
+            }
+            _ => 0,
+        };
+        if base == 0 {
+            continue;
+        }
+        let mut strength = base;
+        let sign = if base > 0 { 1 } else { -1 };
+
+        if tok.kind == TokenKind::Word {
+            // Booster / diminisher immediately before the term.
+            if i > 0 {
+                if let Some(prev) = lowers[i - 1].as_deref() {
+                    if let Some(&inc) = lexicons::booster_map().get(prev) {
+                        strength += sign * inc as i32;
+                    } else if lexicons::diminisher_set().contains(prev) {
+                        strength -= sign;
+                    }
+                }
+            }
+            // Negator within the two preceding word tokens inverts the term
+            // and reduces its magnitude by one.
+            let negated = (i.saturating_sub(2)..i).any(|j| {
+                lowers[j].as_deref().is_some_and(|w| lexicons::negator_set().contains(w))
+            });
+            if negated {
+                strength = -sign * (strength.abs() - 1);
+            }
+            // Emphasis: repeated letters or all-caps spelling.
+            let (_, emphasized) = squeeze_repeats(&tok.text.to_lowercase());
+            if emphasized || tok.is_shouting() {
+                strength += if strength > 0 { 1 } else { -1 };
+            }
+        }
+        // A following exclamation mark strengthens the term.
+        if tokens.get(i + 1).is_some_and(|t| t.kind == TokenKind::Punctuation && t.text == "!") {
+            strength += if strength > 0 { 1 } else { -1 };
+        }
+
+        let s = clamp_strength(strength);
+        if s > 0 {
+            max_pos = max_pos.max(s);
+        } else if s < 0 {
+            min_neg = min_neg.min(s);
+        }
+    }
+    SentimentScore { positive: max_pos, negative: min_neg }
+}
+
+/// Tokenize and score `text` in one call.
+pub fn score_text(text: &str) -> SentimentScore {
+    score_tokens(&crate::tokenizer::tokenize(text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neutral_text() {
+        let s = score_text("the table has four legs");
+        assert_eq!(s, SentimentScore::NEUTRAL);
+        assert_eq!(s.polarity(), 0);
+    }
+
+    #[test]
+    fn empty_text() {
+        assert_eq!(score_text(""), SentimentScore::NEUTRAL);
+    }
+
+    #[test]
+    fn simple_polarity() {
+        let s = score_text("what a wonderful day");
+        assert_eq!(s.positive, 4);
+        assert_eq!(s.negative, -1);
+        let s = score_text("this is terrible");
+        assert_eq!(s.positive, 1);
+        assert_eq!(s.negative, -4);
+    }
+
+    #[test]
+    fn dual_output_keeps_both_poles() {
+        let s = score_text("I love it but I hate the price");
+        assert_eq!(s.positive, 4);
+        assert_eq!(s.negative, -5);
+    }
+
+    #[test]
+    fn booster_strengthens() {
+        let plain = score_text("that was bad");
+        let boosted = score_text("that was very bad");
+        assert!(boosted.negative < plain.negative);
+        assert_eq!(boosted.negative, -4);
+    }
+
+    #[test]
+    fn booster_caps_at_scale_limit() {
+        let s = score_text("absolutely disgusting");
+        assert_eq!(s.negative, -5, "clamped to -5");
+    }
+
+    #[test]
+    fn diminisher_weakens() {
+        let plain = score_text("that was awful");
+        let dim = score_text("that was slightly awful");
+        assert!(dim.negative > plain.negative);
+    }
+
+    #[test]
+    fn negation_inverts() {
+        // "not good": good(+3) → inverted, magnitude-1 → -2.
+        let s = score_text("this is not good");
+        assert_eq!(s.positive, 1);
+        assert_eq!(s.negative, -2);
+        // "never hate": hate(-5) → +4.
+        let s = score_text("I could never hate you");
+        assert_eq!(s.positive, 4);
+        assert_eq!(s.negative, -1);
+    }
+
+    #[test]
+    fn negation_reaches_across_one_token() {
+        // Negator two words before the term still applies.
+        let s = score_text("not a good idea");
+        assert_eq!(s.negative, -2);
+    }
+
+    #[test]
+    fn exclamation_strengthens() {
+        let plain = score_text("that was bad");
+        let excl = score_text("that was bad !");
+        assert!(excl.negative < plain.negative);
+    }
+
+    #[test]
+    fn repeated_letters_hit_lexicon_and_emphasize() {
+        let s = score_text("I looooove this");
+        assert_eq!(s.positive, 5, "love(+4) + emphasis = 5");
+    }
+
+    #[test]
+    fn all_caps_emphasizes() {
+        let plain = score_text("you are pathetic");
+        let caps = score_text("you are PATHETIC");
+        assert!(caps.negative < plain.negative);
+    }
+
+    #[test]
+    fn emoticons_score() {
+        let s = score_text("meeting at noon :)");
+        assert_eq!(s.positive, 2);
+        let s = score_text("meeting at noon :(");
+        assert_eq!(s.negative, -2);
+    }
+
+    #[test]
+    fn emoji_score() {
+        let s = score_text("great job \u{1F389}");
+        assert_eq!(s.positive, 3, "word valence (great = +3) dominates the +2 emoji");
+        let s = score_text("meeting moved \u{1F621}");
+        assert_eq!(s.negative, -2, "angry emoji scores negative");
+        let s = score_text("ok \u{2764}\u{FE0F}");
+        assert_eq!(s.positive, 2, "heart with variation selector");
+    }
+
+    #[test]
+    fn scores_stay_on_scale() {
+        for text in [
+            "ABSOLUTELY DISGUSTING!!! you VILE wretched SCUM",
+            "incredibly absolutely magnificently wonderful amazing!!!",
+            "not not not good bad terrible love hate",
+        ] {
+            let s = score_text(text);
+            assert!((1..=5).contains(&s.positive), "{text}: {s:?}");
+            assert!((-5..=-1).contains(&s.negative), "{text}: {s:?}");
+        }
+    }
+
+    #[test]
+    fn polarity_scalar() {
+        assert_eq!(score_text("wonderful").polarity(), 4);
+        assert_eq!(score_text("terrible").polarity(), -4);
+        assert_eq!(score_text("ok fine whatever").polarity(), 0);
+    }
+
+    #[test]
+    fn squeeze_repeats_behaviour() {
+        assert_eq!(squeeze_repeats("cool"), ("cool".into(), false));
+        assert_eq!(squeeze_repeats("coool"), ("cool".into(), true));
+        assert_eq!(squeeze_repeats("cooooool"), ("cool".into(), true));
+        assert_eq!(squeeze_repeats(""), (String::new(), false));
+    }
+}

@@ -1,0 +1,421 @@
+//! Twitter-aware tokenizer.
+//!
+//! Splits raw tweet text into typed tokens: words, numbers, URLs, user
+//! mentions, hashtags, emoticons, and punctuation. The preprocessing step of
+//! the pipeline (Section III-A of the paper) drops URLs, mentions, hashtags,
+//! numbers, punctuation, and tweet abbreviations such as `RT`; emitting them
+//! as *typed* tokens here lets both the preprocessor and the basic text
+//! features (`numHashtags`, `numUrls`, `numUpperCases`) consume a single
+//! tokenization pass.
+
+use crate::lexicons;
+
+/// The syntactic category of a raw token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// An alphabetic word (may contain internal apostrophes, e.g. `don't`).
+    Word,
+    /// A run of digits, possibly with `.`/`,` separators (e.g. `3,000`).
+    Number,
+    /// A URL (`http://…`, `https://…`, or `www.…`).
+    Url,
+    /// A user mention (`@handle`).
+    Mention,
+    /// A hashtag (`#topic`).
+    Hashtag,
+    /// An emoticon from the emoticon lexicons (e.g. `:)`, `D:`).
+    Emoticon,
+    /// A single punctuation mark or symbol.
+    Punctuation,
+}
+
+/// A token slice borrowed from the input text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The token text, borrowed from the input.
+    pub text: &'a str,
+    /// Its syntactic category.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first byte in the input.
+    pub start: usize,
+}
+
+impl Token<'_> {
+    /// Byte offset one past the token's last byte.
+    pub fn end(&self) -> usize {
+        self.start + self.text.len()
+    }
+
+    /// True when every alphabetic character in the token is uppercase and
+    /// the token contains at least two alphabetic characters (the paper's
+    /// `numUpperCases` counts "uppercase words", i.e. shouting).
+    pub fn is_shouting(&self) -> bool {
+        let alpha_count = self.text.chars().filter(|c| c.is_alphabetic()).count();
+        alpha_count >= 2 && self.text.chars().filter(|c| c.is_alphabetic()).all(|c| c.is_uppercase())
+    }
+}
+
+/// Tokenize `text` into typed tokens.
+///
+/// The tokenizer is a single forward scan with longest-match rules for the
+/// multi-character token kinds (URL, mention, hashtag, emoticon, number).
+/// Whitespace separates tokens and is never emitted.
+pub fn tokenize(text: &str) -> Vec<Token<'_>> {
+    Tokenizer::new(text).collect()
+}
+
+/// Iterator form of [`tokenize`], for callers that want to stop early.
+pub struct Tokenizer<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Tokenizer<'a> {
+    /// Create a tokenizer over `text`.
+    pub fn new(text: &'a str) -> Self {
+        Tokenizer { text, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.text[self.pos..]
+    }
+
+    fn skip_whitespace(&mut self) {
+        let rest = self.rest();
+        let trimmed = rest.trim_start();
+        self.pos += rest.len() - trimmed.len();
+    }
+
+    /// Length in bytes of a URL starting at the current position, if any.
+    fn match_url(&self) -> Option<usize> {
+        let rest = self.rest();
+        let lower_prefix: String = rest.chars().take(8).collect::<String>().to_ascii_lowercase();
+        let is_url = lower_prefix.starts_with("http://")
+            || lower_prefix.starts_with("https://")
+            || lower_prefix.starts_with("www.");
+        if !is_url {
+            return None;
+        }
+        let end = rest.find(char::is_whitespace).unwrap_or(rest.len());
+        Some(end)
+    }
+
+    /// Length of a mention/hashtag starting at the current position.
+    fn match_sigil(&self, sigil: char) -> Option<usize> {
+        let rest = self.rest();
+        let mut chars = rest.char_indices();
+        let (_, first) = chars.next()?;
+        if first != sigil {
+            return None;
+        }
+        let mut end = sigil.len_utf8();
+        for (i, c) in chars {
+            if c.is_alphanumeric() || c == '_' {
+                end = i + c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        // A bare sigil with no body is punctuation, not a mention/hashtag.
+        (end > sigil.len_utf8()).then_some(end)
+    }
+
+    /// Length of an emoticon starting at the current position, if the
+    /// longest prefix match against the emoticon lexicons succeeds.
+    fn match_emoticon(&self) -> Option<usize> {
+        let rest = self.rest();
+        let mut best = None;
+        for table in [lexicons::POSITIVE_EMOTICONS, lexicons::NEGATIVE_EMOTICONS] {
+            for emo in table {
+                if rest.starts_with(emo) {
+                    // Require the emoticon to end at a boundary so `:pizza`
+                    // does not match `:p`.
+                    let after = rest.strip_prefix(emo).expect("starts_with checked");
+                    let boundary = after
+                        .chars()
+                        .next()
+                        .map_or(true, |c| c.is_whitespace() || !c.is_alphanumeric());
+                    if boundary && best.map_or(true, |b| emo.len() > b) {
+                        best = Some(emo.len());
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Length of a number starting at the current position.
+    #[allow(clippy::if_same_then_else)] // branches differ in lookahead condition, not effect
+    fn match_number(&self) -> Option<usize> {
+        let rest = self.rest();
+        let first = rest.chars().next()?;
+        if !first.is_ascii_digit() {
+            return None;
+        }
+        let mut end = 0;
+        let mut chars = rest.char_indices().peekable();
+        while let Some((i, c)) = chars.next() {
+            if c.is_ascii_digit() {
+                end = i + 1;
+            } else if (c == '.' || c == ',')
+                && chars.peek().is_some_and(|(_, n)| n.is_ascii_digit())
+            {
+                end = i + 1;
+            } else {
+                break;
+            }
+        }
+        Some(end)
+    }
+
+    /// Length of an alphabetic word starting at the current position.
+    /// Words may contain internal apostrophes (`don't`) and internal hyphens
+    /// (`self-aware`).
+    #[allow(clippy::if_same_then_else)] // branches differ in lookahead condition, not effect
+    fn match_word(&self) -> Option<usize> {
+        let rest = self.rest();
+        let first = rest.chars().next()?;
+        if !first.is_alphabetic() {
+            return None;
+        }
+        let mut end = 0;
+        let mut chars = rest.char_indices().peekable();
+        while let Some((i, c)) = chars.next() {
+            if c.is_alphabetic() {
+                end = i + c.len_utf8();
+            } else if (c == '\'' || c == '’' || c == '-')
+                && i > 0
+                && chars.peek().is_some_and(|(_, n)| n.is_alphabetic())
+            {
+                end = i + c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        Some(end)
+    }
+}
+
+impl<'a> Iterator for Tokenizer<'a> {
+    type Item = Token<'a>;
+
+    fn next(&mut self) -> Option<Token<'a>> {
+        self.skip_whitespace();
+        if self.pos >= self.text.len() {
+            return None;
+        }
+        let start = self.pos;
+        let (len, kind) = if let Some(len) = self.match_url() {
+            (len, TokenKind::Url)
+        } else if let Some(len) = self.match_sigil('@') {
+            (len, TokenKind::Mention)
+        } else if let Some(len) = self.match_sigil('#') {
+            (len, TokenKind::Hashtag)
+        } else if let Some(len) = self.match_emoticon() {
+            (len, TokenKind::Emoticon)
+        } else if let Some(len) = self.match_number() {
+            (len, TokenKind::Number)
+        } else if let Some(len) = self.match_word() {
+            (len, TokenKind::Word)
+        } else {
+            // Single punctuation/symbol character; emoji count as
+            // emoticons (they carry sentiment, not syntax).
+            let c = self.rest().chars().next().expect("non-empty rest");
+            let kind = if lexicons::is_emoji_char(c) {
+                TokenKind::Emoticon
+            } else {
+                TokenKind::Punctuation
+            };
+            // Absorb a trailing variation selector (U+FE0F) after emoji.
+            let mut len = c.len_utf8();
+            if kind == TokenKind::Emoticon {
+                if let Some(next) = self.rest()[len..].chars().next() {
+                    if next == '\u{FE0F}' {
+                        len += next.len_utf8();
+                    }
+                }
+            }
+            (len, kind)
+        };
+        self.pos = start + len;
+        Some(Token { text: &self.text[start..start + len], kind, start })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(text: &str) -> Vec<(String, TokenKind)> {
+        tokenize(text).into_iter().map(|t| (t.text.to_string(), t.kind)).collect()
+    }
+
+    #[test]
+    fn empty_and_whitespace_inputs() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n  ").is_empty());
+    }
+
+    #[test]
+    fn plain_words() {
+        let toks = kinds("hello world");
+        assert_eq!(
+            toks,
+            vec![
+                ("hello".into(), TokenKind::Word),
+                ("world".into(), TokenKind::Word)
+            ]
+        );
+    }
+
+    #[test]
+    fn urls_are_single_tokens() {
+        let toks = kinds("see http://t.co/abc123 now");
+        assert_eq!(toks[1], ("http://t.co/abc123".into(), TokenKind::Url));
+        let toks = kinds("HTTPS://EXAMPLE.COM/x");
+        assert_eq!(toks[0].1, TokenKind::Url);
+        let toks = kinds("www.example.com rocks");
+        assert_eq!(toks[0].1, TokenKind::Url);
+        assert_eq!(toks[1].1, TokenKind::Word);
+    }
+
+    #[test]
+    fn mentions_and_hashtags() {
+        let toks = kinds("@alice_99 check #MeanBirds2017 out");
+        assert_eq!(toks[0], ("@alice_99".into(), TokenKind::Mention));
+        assert_eq!(toks[2], ("#MeanBirds2017".into(), TokenKind::Hashtag));
+    }
+
+    #[test]
+    fn bare_sigils_are_punctuation() {
+        let toks = kinds("a @ b # c");
+        assert_eq!(toks[1], ("@".into(), TokenKind::Punctuation));
+        assert_eq!(toks[3], ("#".into(), TokenKind::Punctuation));
+    }
+
+    #[test]
+    fn emoticons() {
+        let toks = kinds("great :) awful :(");
+        assert_eq!(toks[1], (":)".into(), TokenKind::Emoticon));
+        assert_eq!(toks[3], (":(".into(), TokenKind::Emoticon));
+    }
+
+    #[test]
+    fn longest_emoticon_wins() {
+        // ":-)" should match as one emoticon, not ":" + "-" + ")".
+        let toks = kinds(":-)");
+        assert_eq!(toks, vec![(":-)".into(), TokenKind::Emoticon)]);
+    }
+
+    #[test]
+    fn emoticon_requires_boundary() {
+        // ":pizza" must not match the ":p" emoticon.
+        let toks = kinds(":pizza");
+        assert_eq!(toks[0], (":".into(), TokenKind::Punctuation));
+        assert_eq!(toks[1], ("pizza".into(), TokenKind::Word));
+    }
+
+    #[test]
+    fn numbers_with_separators() {
+        let toks = kinds("3,000 tweets and 2.5 hours");
+        assert_eq!(toks[0], ("3,000".into(), TokenKind::Number));
+        assert_eq!(toks[3], ("2.5".into(), TokenKind::Number));
+    }
+
+    #[test]
+    fn number_does_not_swallow_trailing_period() {
+        let toks = kinds("I saw 42.");
+        assert_eq!(toks[2], ("42".into(), TokenKind::Number));
+        assert_eq!(toks[3], (".".into(), TokenKind::Punctuation));
+    }
+
+    #[test]
+    fn contractions_and_hyphens_stay_whole() {
+        let toks = kinds("don't be self-aware");
+        assert_eq!(toks[0], ("don't".into(), TokenKind::Word));
+        assert_eq!(toks[2], ("self-aware".into(), TokenKind::Word));
+    }
+
+    #[test]
+    fn trailing_apostrophe_is_split() {
+        let toks = kinds("dogs' toys");
+        assert_eq!(toks[0], ("dogs".into(), TokenKind::Word));
+        assert_eq!(toks[1], ("'".into(), TokenKind::Punctuation));
+    }
+
+    #[test]
+    fn punctuation_is_individual() {
+        let toks = kinds("wow!!!");
+        assert_eq!(toks.len(), 4);
+        assert_eq!(toks[1].1, TokenKind::Punctuation);
+        assert_eq!(toks[3].1, TokenKind::Punctuation);
+    }
+
+    #[test]
+    fn offsets_are_correct() {
+        let text = "hi @you :) 42";
+        for tok in tokenize(text) {
+            assert_eq!(&text[tok.start..tok.end()], tok.text);
+        }
+    }
+
+    #[test]
+    fn unicode_words_do_not_panic() {
+        let toks = kinds("café naïve 日本語 ok");
+        assert_eq!(toks[0].1, TokenKind::Word);
+        assert_eq!(toks[2].1, TokenKind::Word);
+        assert_eq!(toks[3], ("ok".into(), TokenKind::Word));
+    }
+
+    #[test]
+    fn emoji_are_emoticon_tokens() {
+        let toks = tokenize("nice \u{1F600} work \u{2764}\u{FE0F} done");
+        let kinds: Vec<TokenKind> = toks.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::Word,
+                TokenKind::Emoticon,
+                TokenKind::Word,
+                TokenKind::Emoticon,
+                TokenKind::Word,
+            ]
+        );
+        // The variation selector is absorbed into the emoji token.
+        assert_eq!(toks[3].text, "\u{2764}\u{FE0F}");
+        // Offsets stay valid.
+        let text = "nice \u{1F600} work \u{2764}\u{FE0F} done";
+        for t in tokenize(text) {
+            assert_eq!(&text[t.start..t.end()], t.text);
+        }
+    }
+
+    #[test]
+    fn shouting_detection() {
+        let toks = tokenize("YOU are THE WORST ok A");
+        let shouting: Vec<_> = toks.iter().filter(|t| t.is_shouting()).map(|t| t.text).collect();
+        // Single-letter "A" is not shouting; lowercase words are not.
+        assert_eq!(shouting, vec!["YOU", "THE", "WORST"]);
+    }
+
+    #[test]
+    fn realistic_tweet() {
+        let toks = kinds("RT @victim: you're PATHETIC!! http://t.co/x #loser :(");
+        let kinds_only: Vec<TokenKind> = toks.iter().map(|(_, k)| *k).collect();
+        assert_eq!(
+            kinds_only,
+            vec![
+                TokenKind::Word,        // RT
+                TokenKind::Mention,     // @victim
+                TokenKind::Punctuation, // :
+                TokenKind::Word,        // you're
+                TokenKind::Word,        // PATHETIC
+                TokenKind::Punctuation, // !
+                TokenKind::Punctuation, // !
+                TokenKind::Url,
+                TokenKind::Hashtag,
+                TokenKind::Emoticon,
+            ]
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the NLP substrate (see DESIGN.md §5).
+
+use proptest::prelude::*;
+use redhanded_nlp::sentiment::score_text;
+use redhanded_nlp::tokenizer::{tokenize, TokenKind};
+use redhanded_nlp::{split_sentences, tag_word};
+
+proptest! {
+    /// Every token is a non-empty slice of the input at its reported
+    /// offset, and token spans never overlap.
+    #[test]
+    fn tokens_are_nonempty_ordered_slices(text in "\\PC{0,200}") {
+        let tokens = tokenize(&text);
+        let mut last_end = 0usize;
+        for t in &tokens {
+            prop_assert!(!t.text.is_empty());
+            prop_assert_eq!(&text[t.start..t.end()], t.text);
+            prop_assert!(t.start >= last_end, "tokens overlap");
+            last_end = t.end();
+        }
+    }
+
+    /// Tokenization never panics on arbitrary unicode and consumes only
+    /// non-whitespace content.
+    #[test]
+    fn tokenizer_total_function(text in "\\PC{0,300}") {
+        let tokens = tokenize(&text);
+        let token_bytes: usize = tokens.iter().map(|t| t.text.len()).sum();
+        let non_ws: usize = text.chars().filter(|c| !c.is_whitespace()).map(char::len_utf8).sum();
+        // Tokens cover at most the non-whitespace bytes (some separators
+        // like whitespace are skipped; nothing is invented).
+        prop_assert!(token_bytes <= non_ws + tokens.len());
+    }
+
+    /// Concatenating two texts with a space yields at least the tokens of
+    /// the halves (boundary effects can only merge at the seam, which the
+    /// space prevents).
+    #[test]
+    fn concatenation_safety(a in "[a-zA-Z0-9#@ ]{0,80}", b in "[a-zA-Z0-9#@ ]{0,80}") {
+        let whole = format!("{a} {b}");
+        let n_whole = tokenize(&whole).len();
+        let n_parts = tokenize(&a).len() + tokenize(&b).len();
+        prop_assert_eq!(n_whole, n_parts);
+    }
+
+    /// Sentence splitting returns non-empty trimmed slices that appear in
+    /// order in the input.
+    #[test]
+    fn sentences_are_ordered_slices(text in "\\PC{0,200}") {
+        let sentences = split_sentences(&text);
+        let mut cursor = 0usize;
+        for s in sentences {
+            prop_assert!(!s.is_empty());
+            prop_assert_eq!(s.trim(), s);
+            let pos = text[cursor..].find(s).map(|p| p + cursor);
+            prop_assert!(pos.is_some(), "sentence {s:?} not found in order");
+            cursor = pos.unwrap() + s.len();
+        }
+    }
+
+    /// Sentiment scores are always on SentiStrength's dual scale.
+    #[test]
+    fn sentiment_on_scale(text in "\\PC{0,300}") {
+        let s = score_text(&text);
+        prop_assert!((1..=5).contains(&s.positive));
+        prop_assert!((-5..=-1).contains(&s.negative));
+        prop_assert!((-5..=5).contains(&s.polarity()));
+    }
+
+    /// Adding an exclamation mark never weakens the negative pole.
+    #[test]
+    fn exclamation_monotone(word in prop::sample::select(vec![
+        "bad", "terrible", "awful", "disgusting", "hate",
+    ])) {
+        let plain = score_text(&format!("that is {word}"));
+        let loud = score_text(&format!("that is {word} !"));
+        prop_assert!(loud.negative <= plain.negative);
+    }
+
+    /// POS tagging is total and case-insensitive.
+    #[test]
+    fn pos_tagging_case_insensitive(word in "[a-zA-Z]{1,15}") {
+        let lower = tag_word(&word.to_lowercase());
+        let upper = tag_word(&word.to_uppercase());
+        prop_assert_eq!(lower, upper);
+    }
+
+    /// Mentions and hashtags keep their sigil and body.
+    #[test]
+    fn sigil_tokens_well_formed(body in "[a-zA-Z0-9_]{1,20}") {
+        let text = format!("@{body} #{body}");
+        let tokens = tokenize(&text);
+        prop_assert_eq!(tokens.len(), 2);
+        prop_assert_eq!(tokens[0].kind, TokenKind::Mention);
+        let expected = format!("@{body}");
+        prop_assert_eq!(tokens[0].text, expected.as_str());
+        prop_assert_eq!(tokens[1].kind, TokenKind::Hashtag);
+    }
+}

@@ -1,0 +1,304 @@
+//! ADWIN — ADaptive WINdowing drift detector (Bifet & Gavaldà, 2007).
+//!
+//! The Adaptive Random Forest (Section III-C of the paper; Gomes et al.,
+//! 2017) attaches one ADWIN *warning* detector and one *drift* detector to
+//! each ensemble member's error stream. ADWIN maintains a variable-length
+//! window of recent values using an exponential histogram of buckets and
+//! cuts the window whenever two sub-windows have means that differ by more
+//! than a Hoeffding-style bound — evidence the underlying distribution
+//! changed.
+//!
+//! This is the standard bucket-compressed implementation: memory is
+//! O(M · log(W/M)) for window length `W` with `M` buckets per row.
+
+/// Maximum number of buckets per exponential-histogram row.
+const MAX_BUCKETS: usize = 5;
+
+/// One row of the exponential histogram: up to [`MAX_BUCKETS`] buckets, each
+/// summarizing `2^row` values by their sum (and implicit count).
+#[derive(Debug, Clone, Default)]
+struct BucketRow {
+    /// Sums of each bucket in insertion order (oldest first).
+    sums: Vec<f64>,
+    /// Sums of squares, for the variance bookkeeping.
+    sq_sums: Vec<f64>,
+}
+
+/// ADWIN change detector over a stream of bounded values (typically 0/1
+/// error indicators).
+#[derive(Debug, Clone)]
+pub struct Adwin {
+    delta: f64,
+    rows: Vec<BucketRow>,
+    /// Total number of values in the window.
+    width: u64,
+    /// Sum of values in the window.
+    total: f64,
+    /// Sum of squares in the window.
+    sq_total: f64,
+    /// Detections so far.
+    num_detections: u64,
+    /// Check for cuts only every `clock` insertions (MOA default 32).
+    clock: u64,
+    ticks: u64,
+}
+
+impl Adwin {
+    /// Create a detector with confidence parameter `delta` (smaller =
+    /// fewer false alarms; MOA's default is 0.002).
+    pub fn new(delta: f64) -> Self {
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        Adwin {
+            delta,
+            rows: vec![BucketRow::default()],
+            width: 0,
+            total: 0.0,
+            sq_total: 0.0,
+            num_detections: 0,
+            clock: 32,
+            ticks: 0,
+        }
+    }
+
+    /// Detector with MOA's default confidence (0.002).
+    pub fn with_default_delta() -> Self {
+        Self::new(0.002)
+    }
+
+    /// Number of values currently in the adaptive window.
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Mean of the values currently in the window.
+    pub fn mean(&self) -> f64 {
+        if self.width == 0 {
+            0.0
+        } else {
+            self.total / self.width as f64
+        }
+    }
+
+    /// Total number of cuts (drift detections) so far.
+    pub fn num_detections(&self) -> u64 {
+        self.num_detections
+    }
+
+    /// Add a value; returns `true` when a change was detected (the window
+    /// was cut).
+    pub fn update(&mut self, value: f64) -> bool {
+        self.insert(value);
+        self.ticks += 1;
+        if self.ticks % self.clock == 0 && self.width > 10 {
+            self.detect_and_cut()
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, value: f64) {
+        self.rows[0].sums.insert(0, value);
+        self.rows[0].sq_sums.insert(0, value * value);
+        self.width += 1;
+        self.total += value;
+        self.sq_total += value * value;
+        self.compress();
+    }
+
+    /// Merge the two oldest buckets of any overfull row into the next row.
+    fn compress(&mut self) {
+        let mut row = 0;
+        while row < self.rows.len() {
+            if self.rows[row].sums.len() > MAX_BUCKETS {
+                if row + 1 == self.rows.len() {
+                    self.rows.push(BucketRow::default());
+                }
+                // Oldest two buckets are at the tail.
+                let n = self.rows[row].sums.len();
+                let s1 = self.rows[row].sums.remove(n - 1);
+                let s2 = self.rows[row].sums.remove(n - 2);
+                let q1 = self.rows[row].sq_sums.remove(n - 1);
+                let q2 = self.rows[row].sq_sums.remove(n - 2);
+                self.rows[row + 1].sums.insert(0, s1 + s2);
+                self.rows[row + 1].sq_sums.insert(0, q1 + q2);
+            }
+            row += 1;
+        }
+    }
+
+    /// Scan all bucket boundaries oldest-first; cut if any split point shows
+    /// a significant difference in means.
+    fn detect_and_cut(&mut self) -> bool {
+        let mut detected = false;
+        // Repeat until no cut is found (MOA loops too).
+        loop {
+            let mut cut = false;
+            // Running totals of the *older* sub-window (suffix), scanned from
+            // the oldest bucket toward the newest.
+            let mut w0: f64 = 0.0;
+            let mut s0: f64 = 0.0;
+            let total_w = self.width as f64;
+            'scan: for row in (0..self.rows.len()).rev() {
+                let count_per_bucket = (1u64 << row) as f64;
+                for b in (0..self.rows[row].sums.len()).rev() {
+                    w0 += count_per_bucket;
+                    s0 += self.rows[row].sums[b];
+                    let w1 = total_w - w0;
+                    if w1 < 1.0 || w0 < 1.0 {
+                        continue;
+                    }
+                    let mean0 = s0 / w0;
+                    let mean1 = (self.total - s0) / w1;
+                    if self.significant(w0, w1, (mean0 - mean1).abs()) {
+                        cut = true;
+                        detected = true;
+                        self.drop_oldest_bucket();
+                        break 'scan;
+                    }
+                }
+            }
+            if !cut {
+                break;
+            }
+        }
+        if detected {
+            self.num_detections += 1;
+        }
+        detected
+    }
+
+    /// The ADWIN significance test with variance-aware bound.
+    fn significant(&self, w0: f64, w1: f64, mean_diff: f64) -> bool {
+        let n = self.width as f64;
+        let variance = (self.sq_total / n) - (self.total / n).powi(2);
+        let variance = variance.max(0.0);
+        let m = 1.0 / (1.0 / w0 + 1.0 / w1);
+        let delta_prime = self.delta / n.ln().max(1.0);
+        let ln_term = (2.0 / delta_prime).ln();
+        let eps = (2.0 / m * variance * ln_term).sqrt() + 2.0 / (3.0 * m) * ln_term;
+        mean_diff > eps
+    }
+
+    /// Remove the oldest bucket from the histogram (the cut).
+    fn drop_oldest_bucket(&mut self) {
+        for row in (0..self.rows.len()).rev() {
+            if let Some(s) = self.rows[row].sums.pop() {
+                let q = self.rows[row].sq_sums.pop().expect("parallel vectors");
+                let count = 1u64 << row;
+                self.width -= count.min(self.width);
+                self.total -= s;
+                self.sq_total -= q;
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift PRNG for test streams.
+    struct Rng(u64);
+    impl Rng {
+        fn next_f64(&mut self) -> f64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            (self.0 >> 11) as f64 / (1u64 << 53) as f64
+        }
+        fn bernoulli(&mut self, p: f64) -> f64 {
+            if self.next_f64() < p {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+
+    #[test]
+    fn no_detection_on_stationary_stream() {
+        let mut adwin = Adwin::with_default_delta();
+        let mut rng = Rng(42);
+        let mut detections = 0;
+        for _ in 0..10_000 {
+            if adwin.update(rng.bernoulli(0.2)) {
+                detections += 1;
+            }
+        }
+        assert!(detections <= 1, "stationary stream produced {detections} detections");
+        assert!((adwin.mean() - 0.2).abs() < 0.05);
+    }
+
+    #[test]
+    fn detects_abrupt_shift() {
+        let mut adwin = Adwin::with_default_delta();
+        let mut rng = Rng(7);
+        for _ in 0..3000 {
+            adwin.update(rng.bernoulli(0.1));
+        }
+        let before = adwin.num_detections();
+        let mut detected_at = None;
+        for i in 0..3000 {
+            if adwin.update(rng.bernoulli(0.7)) && detected_at.is_none() {
+                detected_at = Some(i);
+            }
+        }
+        assert!(adwin.num_detections() > before, "shift not detected");
+        let lag = detected_at.expect("detected");
+        assert!(lag < 1000, "detection lag {lag} too large");
+        // After the cut the window mean should track the new regime.
+        assert!(adwin.mean() > 0.4, "post-cut mean {}", adwin.mean());
+    }
+
+    #[test]
+    fn window_shrinks_after_detection() {
+        let mut adwin = Adwin::with_default_delta();
+        let mut rng = Rng(99);
+        for _ in 0..4000 {
+            adwin.update(rng.bernoulli(0.05));
+        }
+        let w_before = adwin.width();
+        for _ in 0..2000 {
+            adwin.update(rng.bernoulli(0.9));
+        }
+        assert!(adwin.width() < w_before + 2000, "window was cut");
+    }
+
+    #[test]
+    fn width_tracks_insertions_without_drift() {
+        let mut adwin = Adwin::new(1e-9); // essentially never cut
+        for i in 0..500 {
+            adwin.update(if i % 2 == 0 { 1.0 } else { 0.0 });
+        }
+        assert_eq!(adwin.width(), 500);
+        assert!((adwin.mean() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_detector() {
+        let adwin = Adwin::with_default_delta();
+        assert_eq!(adwin.width(), 0);
+        assert_eq!(adwin.mean(), 0.0);
+        assert_eq!(adwin.num_detections(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in (0,1)")]
+    fn rejects_bad_delta() {
+        let _ = Adwin::new(0.0);
+    }
+
+    #[test]
+    fn memory_is_logarithmic() {
+        let mut adwin = Adwin::new(1e-9);
+        for _ in 0..100_000 {
+            adwin.update(0.5);
+        }
+        // 100k values compress into O(log) rows of ≤ MAX_BUCKETS+1 buckets.
+        assert!(adwin.rows.len() < 25, "{} rows", adwin.rows.len());
+        for row in &adwin.rows {
+            assert!(row.sums.len() <= MAX_BUCKETS + 1);
+        }
+    }
+}

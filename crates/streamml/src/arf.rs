@@ -1,0 +1,648 @@
+//! Adaptive Random Forest of Hoeffding Trees (Gomes et al., Machine
+//! Learning 2017; Section III-C of the paper).
+//!
+//! ARF adapts the classical Random Forest to evolving streams:
+//!
+//! * **online bagging** — each ensemble member trains on each instance with
+//!   a Poisson(λ = 6) replicate weight (Oza & Russell's online bootstrap);
+//! * **random feature subsets** — each member's tree considers only a
+//!   random subset of features per leaf (default ⌈√M⌉ + 1);
+//! * **drift adaptation** — each member carries an ADWIN *warning* detector
+//!   (sensitive) and a *drift* detector (conservative) on its prequential
+//!   error. A warning starts a background tree trained in parallel; a drift
+//!   replaces the member with its background tree (or a fresh one).
+//!
+//! Votes are weighted by each member's running accuracy.
+
+use crate::classifier::{argmax, normalize_proba, StreamingClassifier};
+use crate::drift::{ChangeDetector, DetectorKind};
+use crate::hoeffding::{HoeffdingTree, HoeffdingTreeConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use redhanded_types::{Error, Instance, Result};
+
+/// Adaptive Random Forest hyperparameters (Table I of the paper).
+#[derive(Debug, Clone)]
+pub struct ArfConfig {
+    /// Number of ensemble members (paper selects 10).
+    pub ensemble_size: usize,
+    /// Configuration of the member Hoeffding Trees (subspace is filled in
+    /// with ⌈√M⌉ + 1 when unset).
+    pub tree_config: HoeffdingTreeConfig,
+    /// Poisson parameter for online bagging (ARF uses 6).
+    pub lambda: f64,
+    /// The (sensitive) warning detector.
+    pub warning_detector: DetectorKind,
+    /// The (conservative) drift detector.
+    pub drift_detector: DetectorKind,
+    /// Disable to ablate drift adaptation (the `arf_drift` bench).
+    pub enable_drift_detection: bool,
+    /// Seed for bagging and subspace sampling.
+    pub seed: u64,
+}
+
+impl ArfConfig {
+    /// The paper's selected hyperparameters for a problem shape.
+    pub fn paper_defaults(num_classes: usize, num_features: usize) -> Self {
+        let mut tree_config = HoeffdingTreeConfig::paper_defaults(num_classes, num_features);
+        tree_config.subspace = Some(subspace_size(num_features));
+        ArfConfig {
+            ensemble_size: 10,
+            tree_config,
+            lambda: 6.0,
+            warning_detector: DetectorKind::Adwin { delta: 0.01 },
+            drift_detector: DetectorKind::Adwin { delta: 0.001 },
+            enable_drift_detection: true,
+            seed: 0xF0DE57,
+        }
+    }
+}
+
+/// ARF's default per-leaf feature-subset size: ⌈√M⌉ + 1, capped at M.
+pub fn subspace_size(num_features: usize) -> usize {
+    (((num_features as f64).sqrt().ceil() as usize) + 1).min(num_features)
+}
+
+/// One ensemble member: tree + detectors + optional background tree.
+#[derive(Debug, Clone)]
+struct ArfMember {
+    tree: HoeffdingTree,
+    background: Option<HoeffdingTree>,
+    warning: Box<dyn ChangeDetector>,
+    drift: Box<dyn ChangeDetector>,
+    /// Running (weighted) correct prediction count, for vote weighting.
+    correct: f64,
+    /// Running (weighted) prediction count.
+    total: f64,
+    /// Set by `accumulate` when the drift detector fired; applied by
+    /// `finalize_batch` so structure never changes mid-batch.
+    pending_drift: bool,
+    /// Set when the warning detector fired and no background tree exists.
+    pending_warning: bool,
+    /// Drift events applied over the member's lifetime.
+    drifts_applied: u64,
+    /// In a distributed-protocol fork: a read-only copy of the global tree
+    /// used for prequential scoring (the fork's own `tree` holds only the
+    /// partition's statistics delta and cannot predict).
+    reference: Option<Box<HoeffdingTree>>,
+}
+
+impl ArfMember {
+    fn new(config: &ArfConfig, seed: u64) -> Result<Self> {
+        let mut tree_config = config.tree_config.clone();
+        tree_config.seed = seed;
+        Ok(ArfMember {
+            tree: HoeffdingTree::new(tree_config)?,
+            background: None,
+            warning: config.warning_detector.build(),
+            drift: config.drift_detector.build(),
+            correct: 0.0,
+            total: 0.0,
+            pending_drift: false,
+            pending_warning: false,
+            drifts_applied: 0,
+            reference: None,
+        })
+    }
+
+    /// Zero-statistics fork for per-partition delta accumulation.
+    fn fork(&self, config: &ArfConfig) -> ArfMember {
+        ArfMember {
+            tree: self.tree.fork(),
+            background: self.background.as_ref().map(HoeffdingTree::fork),
+            warning: config.warning_detector.build(),
+            drift: config.drift_detector.build(),
+            correct: 0.0,
+            total: 0.0,
+            pending_drift: false,
+            pending_warning: false,
+            drifts_applied: 0,
+            reference: Some(Box::new(self.tree.clone())),
+        }
+    }
+
+    fn vote_weight(&self) -> f64 {
+        if self.total < 1.0 {
+            1.0
+        } else {
+            (self.correct / self.total).max(0.01)
+        }
+    }
+
+    /// Test-then-train on one instance with bagging weight `k`.
+    fn observe(
+        &mut self,
+        instance: &Instance,
+        class: usize,
+        k: f64,
+        drift_detection: bool,
+    ) -> Result<()> {
+        // Prequential scoring before learning (in a distributed fork, the
+        // broadcast global tree predicts; the fork only holds deltas).
+        let scorer = self.reference.as_deref().unwrap_or(&self.tree);
+        let pred = argmax(&scorer.predict_proba(&instance.features)?);
+        let err = if pred == class { 0.0 } else { 1.0 };
+        if err == 0.0 {
+            self.correct += instance.weight;
+        }
+        self.total += instance.weight;
+        if drift_detection {
+            if self.warning.update(err) && self.background.is_none() {
+                self.pending_warning = true;
+            }
+            if self.drift.update(err) {
+                self.pending_drift = true;
+            }
+        }
+        if k > 0.0 {
+            let weighted = instance.clone().with_weight(instance.weight * k);
+            HoeffdingTree::accumulate(&mut self.tree, &weighted)?;
+            if let Some(bg) = &mut self.background {
+                HoeffdingTree::accumulate(bg, &weighted)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply deferred structural updates: splits, background creation, and
+    /// drift replacement.
+    fn finalize(&mut self, config: &ArfConfig, seed: u64) -> Result<()> {
+        if self.pending_drift {
+            self.pending_drift = false;
+            self.pending_warning = false;
+            self.drifts_applied += 1;
+            let replacement = match self.background.take() {
+                Some(bg) => bg,
+                None => {
+                    let mut tc = config.tree_config.clone();
+                    tc.seed = seed;
+                    HoeffdingTree::new(tc)?
+                }
+            };
+            self.tree = replacement;
+            self.warning = config.warning_detector.build();
+            self.drift = config.drift_detector.build();
+            self.correct = 0.0;
+            self.total = 0.0;
+        } else if self.pending_warning {
+            self.pending_warning = false;
+            let mut tc = config.tree_config.clone();
+            tc.seed = seed ^ 0x9E3779B97F4A7C15;
+            self.background = Some(HoeffdingTree::new(tc)?);
+        }
+        self.tree.attempt_splits();
+        if let Some(bg) = &mut self.background {
+            bg.attempt_splits();
+        }
+        Ok(())
+    }
+}
+
+/// The Adaptive Random Forest streaming classifier.
+#[derive(Debug, Clone)]
+pub struct AdaptiveRandomForest {
+    config: ArfConfig,
+    members: Vec<ArfMember>,
+    rng: SmallRng,
+}
+
+impl AdaptiveRandomForest {
+    /// Create a forest with the given configuration.
+    pub fn new(config: ArfConfig) -> Result<Self> {
+        if config.ensemble_size == 0 {
+            return Err(Error::InvalidConfig("ensemble_size must be positive".into()));
+        }
+        if config.lambda <= 0.0 {
+            return Err(Error::InvalidConfig("lambda must be positive".into()));
+        }
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let members = (0..config.ensemble_size)
+            .map(|_| ArfMember::new(&config, rng.gen()))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(AdaptiveRandomForest { config, members, rng })
+    }
+
+    /// Forest with the paper's Table I hyperparameters.
+    pub fn with_paper_defaults(num_classes: usize, num_features: usize) -> Self {
+        Self::new(ArfConfig::paper_defaults(num_classes, num_features))
+            .expect("paper defaults are valid")
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ArfConfig {
+        &self.config
+    }
+
+    /// Number of ensemble members.
+    pub fn ensemble_size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Total drift replacements applied across all members.
+    pub fn drifts_applied(&self) -> u64 {
+        self.members.iter().map(|m| m.drifts_applied).sum()
+    }
+
+    /// Number of members currently growing a background tree.
+    pub fn background_trees(&self) -> usize {
+        self.members.iter().filter(|m| m.background.is_some()).count()
+    }
+
+    /// Sample a Poisson(λ) replicate count (Knuth's algorithm; λ ≤ ~30 in
+    /// practice here so the O(λ) loop is fine).
+    fn poisson(rng: &mut SmallRng, lambda: f64) -> u32 {
+        let limit = (-lambda).exp();
+        let mut product: f64 = rng.gen();
+        let mut k = 0u32;
+        while product > limit {
+            product *= rng.gen::<f64>();
+            k += 1;
+        }
+        k
+    }
+
+    fn check_instance(&self, instance: &Instance) -> Result<Option<usize>> {
+        let Some(class) = instance.label else { return Ok(None) };
+        if instance.features.len() != self.config.tree_config.num_features {
+            return Err(Error::DimensionMismatch {
+                expected: self.config.tree_config.num_features,
+                actual: instance.features.len(),
+            });
+        }
+        if class >= self.config.tree_config.num_classes {
+            return Err(Error::InvalidClass {
+                class,
+                num_classes: self.config.tree_config.num_classes,
+            });
+        }
+        Ok(Some(class))
+    }
+}
+
+impl StreamingClassifier for AdaptiveRandomForest {
+    fn num_classes(&self) -> usize {
+        self.config.tree_config.num_classes
+    }
+
+    fn train(&mut self, instance: &Instance) -> Result<()> {
+        self.accumulate(instance)?;
+        self.finalize_batch()
+    }
+
+    fn accumulate(&mut self, instance: &Instance) -> Result<()> {
+        let Some(class) = self.check_instance(instance)? else { return Ok(()) };
+        let lambda = self.config.lambda;
+        let drift_detection = self.config.enable_drift_detection;
+        for member in &mut self.members {
+            let k = Self::poisson(&mut self.rng, lambda) as f64;
+            member.observe(instance, class, k, drift_detection)?;
+        }
+        Ok(())
+    }
+
+    fn finalize_batch(&mut self) -> Result<()> {
+        let config = self.config.clone();
+        for member in &mut self.members {
+            let seed = self.rng.gen();
+            member.finalize(&config, seed)?;
+        }
+        Ok(())
+    }
+
+    fn predict_proba(&self, features: &[f64]) -> Result<Vec<f64>> {
+        let mut combined = vec![0.0; self.num_classes()];
+        for member in &self.members {
+            let proba = member.tree.predict_proba(features)?;
+            let w = member.vote_weight();
+            for (acc, p) in combined.iter_mut().zip(&proba) {
+                *acc += w * p;
+            }
+        }
+        normalize_proba(&mut combined);
+        Ok(combined)
+    }
+
+    /// Member-wise statistics merge. Detector and vote-weight state keeps
+    /// `self`'s view (ADWIN windows cannot be merged exactly); the engine
+    /// re-estimates them from the merged error stream in subsequent batches.
+    fn merge(&mut self, other: &dyn StreamingClassifier) -> Result<()> {
+        let other = other
+            .as_any()
+            .downcast_ref::<AdaptiveRandomForest>()
+            .ok_or_else(|| Error::InvalidConfig("cannot merge ARF with non-ARF".into()))?;
+        if other.members.len() != self.members.len() {
+            return Err(Error::InvalidConfig("ensemble sizes differ".into()));
+        }
+        for (a, b) in self.members.iter_mut().zip(&other.members) {
+            StreamingClassifier::merge(&mut a.tree, &b.tree as &dyn StreamingClassifier)?;
+            if let (Some(abg), Some(bbg)) = (&mut a.background, &b.background) {
+                StreamingClassifier::merge(abg, bbg as &dyn StreamingClassifier)?;
+            }
+            a.correct += b.correct;
+            a.total += b.total;
+            a.pending_drift |= b.pending_drift;
+            a.pending_warning |= b.pending_warning;
+        }
+        Ok(())
+    }
+
+    fn clone_box(&self) -> Box<dyn StreamingClassifier> {
+        Box::new(self.clone())
+    }
+
+    fn local_copy(&self) -> Box<dyn StreamingClassifier> {
+        let members = self.members.iter().map(|m| m.fork(&self.config)).collect();
+        Box::new(AdaptiveRandomForest {
+            config: self.config.clone(),
+            members,
+            rng: self.rng.clone(),
+        })
+    }
+
+    /// Sum member-wise statistics deltas, feed each member's drift
+    /// detectors one update at micro-batch granularity (the mean error
+    /// rate over the batch — ADWIN operates on bounded reals), then apply
+    /// deferred structural updates.
+    fn merge_locals(&mut self, locals: Vec<Box<dyn StreamingClassifier>>) -> Result<()> {
+        let mut batch_correct = vec![0.0; self.members.len()];
+        let mut batch_total = vec![0.0; self.members.len()];
+        for local in &locals {
+            let local = local
+                .as_any()
+                .downcast_ref::<AdaptiveRandomForest>()
+                .ok_or_else(|| Error::InvalidConfig("cannot merge ARF with non-ARF".into()))?;
+            if local.members.len() != self.members.len() {
+                return Err(Error::InvalidConfig("ensemble sizes differ".into()));
+            }
+            for (i, (a, b)) in self.members.iter_mut().zip(&local.members).enumerate() {
+                StreamingClassifier::merge(&mut a.tree, &b.tree as &dyn StreamingClassifier)?;
+                if let (Some(abg), Some(bbg)) = (&mut a.background, &b.background) {
+                    StreamingClassifier::merge(abg, bbg as &dyn StreamingClassifier)?;
+                }
+                a.correct += b.correct;
+                a.total += b.total;
+                batch_correct[i] += b.correct;
+                batch_total[i] += b.total;
+            }
+        }
+        if self.config.enable_drift_detection {
+            for (i, member) in self.members.iter_mut().enumerate() {
+                if batch_total[i] > 0.0 {
+                    let err_rate = 1.0 - batch_correct[i] / batch_total[i];
+                    if member.warning.update(err_rate) && member.background.is_none() {
+                        member.pending_warning = true;
+                    }
+                    if member.drift.update(err_rate) {
+                        member.pending_drift = true;
+                    }
+                }
+            }
+        }
+        self.finalize_batch()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "ARF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable(i: u64) -> Instance {
+        let x0 = (i % 11) as f64;
+        let x1 = ((i * 7) % 13) as f64;
+        let x2 = ((i * 3) % 5) as f64;
+        Instance::labeled(vec![x0, x1, x2], usize::from(x0 > 5.0))
+    }
+
+    #[test]
+    fn subspace_size_formula() {
+        assert_eq!(subspace_size(17), 6); // ceil(sqrt(17)) + 1 = 5 + 1
+        assert_eq!(subspace_size(4), 3);
+        assert_eq!(subspace_size(1), 1, "capped at M");
+        assert_eq!(subspace_size(2), 2);
+    }
+
+    #[test]
+    fn learns_separable_concept() {
+        let mut arf = AdaptiveRandomForest::with_paper_defaults(2, 3);
+        for i in 0..4000 {
+            arf.train(&separable(i)).unwrap();
+        }
+        let correct = (0..500)
+            .filter(|&i| {
+                let t = separable(i + 12345);
+                arf.predict(&t.features).unwrap() == t.label.unwrap()
+            })
+            .count();
+        assert!(correct > 460, "accuracy {correct}/500");
+    }
+
+    #[test]
+    fn ensemble_has_configured_size() {
+        let arf = AdaptiveRandomForest::with_paper_defaults(2, 3);
+        assert_eq!(arf.ensemble_size(), 10);
+        assert_eq!(arf.num_classes(), 2);
+        assert_eq!(arf.name(), "ARF");
+    }
+
+    #[test]
+    fn poisson_mean_is_lambda() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 20_000;
+        let sum: u64 = (0..n)
+            .map(|_| AdaptiveRandomForest::poisson(&mut rng, 6.0) as u64)
+            .sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 6.0).abs() < 0.1, "poisson mean {mean}");
+    }
+
+    #[test]
+    fn adapts_to_abrupt_drift() {
+        let mut arf = AdaptiveRandomForest::with_paper_defaults(2, 3);
+        // Phase 1: concept A.
+        for i in 0..4000 {
+            arf.train(&separable(i)).unwrap();
+        }
+        // Phase 2: inverted concept.
+        let inverted = |i: u64| {
+            let mut inst = separable(i);
+            inst.label = Some(1 - inst.label.unwrap());
+            inst
+        };
+        for i in 0..6000 {
+            arf.train(&inverted(i)).unwrap();
+        }
+        assert!(arf.drifts_applied() > 0, "no drift replacements happened");
+        let correct = (0..500)
+            .filter(|&i| {
+                let t = inverted(i + 999);
+                arf.predict(&t.features).unwrap() == t.label.unwrap()
+            })
+            .count();
+        assert!(correct > 420, "post-drift accuracy {correct}/500");
+    }
+
+    #[test]
+    fn drift_detection_can_be_disabled() {
+        let mut cfg = ArfConfig::paper_defaults(2, 3);
+        cfg.enable_drift_detection = false;
+        let mut arf = AdaptiveRandomForest::new(cfg).unwrap();
+        for i in 0..2000 {
+            arf.train(&separable(i)).unwrap();
+        }
+        let inverted = |i: u64| {
+            let mut inst = separable(i);
+            inst.label = Some(1 - inst.label.unwrap());
+            inst
+        };
+        for i in 0..2000 {
+            arf.train(&inverted(i)).unwrap();
+        }
+        assert_eq!(arf.drifts_applied(), 0);
+        assert_eq!(arf.background_trees(), 0);
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        let mut arf = AdaptiveRandomForest::with_paper_defaults(3, 3);
+        for i in 0..1000 {
+            arf.train(&Instance::labeled(
+                vec![(i % 9) as f64, 1.0, 2.0],
+                (i % 3) as usize,
+            ))
+            .unwrap();
+        }
+        let p = arf.predict_proba(&[4.0, 1.0, 2.0]).unwrap();
+        assert_eq!(p.len(), 3);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = ArfConfig::paper_defaults(2, 3);
+        cfg.ensemble_size = 0;
+        assert!(AdaptiveRandomForest::new(cfg).is_err());
+        let mut cfg = ArfConfig::paper_defaults(2, 3);
+        cfg.lambda = 0.0;
+        assert!(AdaptiveRandomForest::new(cfg).is_err());
+    }
+
+    #[test]
+    fn errors_on_bad_instances() {
+        let mut arf = AdaptiveRandomForest::with_paper_defaults(2, 3);
+        assert!(arf.train(&Instance::labeled(vec![1.0], 0)).is_err());
+        assert!(arf.train(&Instance::labeled(vec![1.0, 2.0, 3.0], 5)).is_err());
+        // Unlabeled: no-op.
+        arf.train(&Instance::unlabeled(vec![1.0, 2.0, 3.0])).unwrap();
+    }
+
+    #[test]
+    fn members_are_diverse() {
+        let mut arf = AdaptiveRandomForest::with_paper_defaults(2, 3);
+        for i in 0..3000 {
+            arf.train(&separable(i)).unwrap();
+        }
+        // Different subspaces + bagging → members should have different
+        // amounts of accumulated weight.
+        let weights: Vec<f64> = arf.members.iter().map(|m| m.tree.weight_seen()).collect();
+        let first = weights[0];
+        assert!(
+            weights.iter().any(|w| (w - first).abs() > 1.0),
+            "bagging produced identical members: {weights:?}"
+        );
+    }
+
+    #[test]
+    fn distributed_protocol_learns() {
+        let mut global: Box<dyn StreamingClassifier> =
+            Box::new(AdaptiveRandomForest::with_paper_defaults(2, 3));
+        let stream: Vec<Instance> = (0..3000).map(separable).collect();
+        for batch in stream.chunks(500) {
+            let mut local_a = global.local_copy();
+            let mut local_b = global.local_copy();
+            for (i, inst) in batch.iter().enumerate() {
+                if i % 2 == 0 {
+                    local_a.accumulate(inst).unwrap();
+                } else {
+                    local_b.accumulate(inst).unwrap();
+                }
+            }
+            global.merge_locals(vec![local_a, local_b]).unwrap();
+        }
+        let correct = (0..500)
+            .filter(|&i| {
+                let t = separable(i + 4242);
+                global.predict(&t.features).unwrap() == t.label.unwrap()
+            })
+            .count();
+        assert!(correct > 440, "distributed ARF accuracy {correct}/500");
+    }
+
+    #[test]
+    fn fork_scores_with_the_global_reference() {
+        let mut arf = AdaptiveRandomForest::with_paper_defaults(2, 3);
+        for i in 0..2000 {
+            arf.train(&separable(i)).unwrap();
+        }
+        let mut fork = arf.local_copy();
+        // Accumulating into the fork records prequential outcomes scored by
+        // the (accurate) global reference, so per-member correct-counts
+        // should be high.
+        for i in 0..200 {
+            fork.accumulate(&separable(i + 9000)).unwrap();
+        }
+        let fork = fork.as_any().downcast_ref::<AdaptiveRandomForest>().unwrap();
+        for member in &fork.members {
+            assert!(member.total >= 200.0 - 1e-9);
+            assert!(
+                member.correct / member.total > 0.7,
+                "member scored {} / {}",
+                member.correct,
+                member.total
+            );
+        }
+    }
+
+    #[test]
+    fn ddm_detectors_also_adapt_to_drift() {
+        let mut cfg = ArfConfig::paper_defaults(2, 3);
+        cfg.warning_detector = DetectorKind::Ddm;
+        cfg.drift_detector = DetectorKind::Ddm;
+        let mut arf = AdaptiveRandomForest::new(cfg).unwrap();
+        for i in 0..3000 {
+            arf.train(&separable(i)).unwrap();
+        }
+        let inverted = |i: u64| {
+            let mut inst = separable(i);
+            inst.label = Some(1 - inst.label.unwrap());
+            inst
+        };
+        for i in 0..5000 {
+            arf.train(&inverted(i)).unwrap();
+        }
+        assert!(arf.drifts_applied() > 0, "DDM triggered member replacement");
+        let correct = (0..500)
+            .filter(|&i| {
+                let t = inverted(i + 999);
+                arf.predict(&t.features).unwrap() == t.label.unwrap()
+            })
+            .count();
+        assert!(correct > 400, "post-drift accuracy {correct}/500 with DDM");
+    }
+
+    #[test]
+    fn merge_requires_same_ensemble_size() {
+        let mut a = AdaptiveRandomForest::with_paper_defaults(2, 3);
+        let mut cfg = ArfConfig::paper_defaults(2, 3);
+        cfg.ensemble_size = 5;
+        let b = AdaptiveRandomForest::new(cfg).unwrap();
+        assert!(StreamingClassifier::merge(&mut a, &b as &dyn StreamingClassifier).is_err());
+    }
+}

@@ -1,0 +1,278 @@
+//! OzaBag — online bagging of an arbitrary base learner (Oza & Russell,
+//! "Online Bagging and Boosting", AISTATS 2001).
+//!
+//! The batch bootstrap draws each instance `Binomial(n, 1/n)` times, which
+//! converges to `Poisson(1)` as the stream grows; OzaBag therefore trains
+//! each ensemble member on every instance with an independent Poisson(1)
+//! replicate weight. This is the resampling core the Adaptive Random
+//! Forest builds on (with λ = 6 and drift detection); exposed standalone
+//! it turns *any* [`StreamingClassifier`] into a variance-reduced
+//! ensemble — a useful middle ground between a single Hoeffding Tree and
+//! the full ARF.
+
+use crate::classifier::{normalize_proba, StreamingClassifier};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use redhanded_types::{Error, Instance, Result};
+
+/// Online bagging ensemble over clones of a base learner.
+pub struct OzaBag {
+    members: Vec<Box<dyn StreamingClassifier>>,
+    lambda: f64,
+    rng: SmallRng,
+}
+
+impl OzaBag {
+    /// Create an ensemble of `size` clones of `base` with Poisson(λ)
+    /// online bootstrap weights (classic OzaBag uses λ = 1).
+    pub fn new(
+        base: &dyn StreamingClassifier,
+        size: usize,
+        lambda: f64,
+        seed: u64,
+    ) -> Result<Self> {
+        if size == 0 {
+            return Err(Error::InvalidConfig("ensemble size must be positive".into()));
+        }
+        if lambda <= 0.0 {
+            return Err(Error::InvalidConfig("lambda must be positive".into()));
+        }
+        Ok(OzaBag {
+            members: (0..size).map(|_| base.clone_box()).collect(),
+            lambda,
+            rng: SmallRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Classic OzaBag: Poisson(1) weights.
+    pub fn classic(base: &dyn StreamingClassifier, size: usize, seed: u64) -> Result<Self> {
+        Self::new(base, size, 1.0, seed)
+    }
+
+    /// Number of ensemble members.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    fn poisson(rng: &mut SmallRng, lambda: f64) -> u32 {
+        let limit = (-lambda).exp();
+        let mut product: f64 = rng.gen();
+        let mut k = 0u32;
+        while product > limit {
+            product *= rng.gen::<f64>();
+            k += 1;
+        }
+        k
+    }
+}
+
+impl Clone for OzaBag {
+    fn clone(&self) -> Self {
+        OzaBag {
+            members: self.members.iter().map(|m| m.clone_box()).collect(),
+            lambda: self.lambda,
+            rng: self.rng.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for OzaBag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OzaBag")
+            .field("size", &self.members.len())
+            .field("lambda", &self.lambda)
+            .field("base", &self.members.first().map(|m| m.name()))
+            .finish()
+    }
+}
+
+impl StreamingClassifier for OzaBag {
+    fn num_classes(&self) -> usize {
+        self.members[0].num_classes()
+    }
+
+    fn train(&mut self, instance: &Instance) -> Result<()> {
+        if instance.label.is_none() {
+            return Ok(());
+        }
+        for member in &mut self.members {
+            let k = Self::poisson(&mut self.rng, self.lambda);
+            if k > 0 {
+                let weighted =
+                    instance.clone().with_weight(instance.weight * f64::from(k));
+                member.train(&weighted)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn accumulate(&mut self, instance: &Instance) -> Result<()> {
+        if instance.label.is_none() {
+            return Ok(());
+        }
+        for member in &mut self.members {
+            let k = Self::poisson(&mut self.rng, self.lambda);
+            if k > 0 {
+                let weighted =
+                    instance.clone().with_weight(instance.weight * f64::from(k));
+                member.accumulate(&weighted)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn finalize_batch(&mut self) -> Result<()> {
+        for member in &mut self.members {
+            member.finalize_batch()?;
+        }
+        Ok(())
+    }
+
+    fn predict_proba(&self, features: &[f64]) -> Result<Vec<f64>> {
+        let mut combined = vec![0.0; self.num_classes()];
+        for member in &self.members {
+            let p = member.predict_proba(features)?;
+            for (acc, v) in combined.iter_mut().zip(&p) {
+                *acc += v;
+            }
+        }
+        normalize_proba(&mut combined);
+        Ok(combined)
+    }
+
+    fn merge(&mut self, other: &dyn StreamingClassifier) -> Result<()> {
+        let other = other
+            .as_any()
+            .downcast_ref::<OzaBag>()
+            .ok_or_else(|| Error::InvalidConfig("cannot merge OzaBag with non-OzaBag".into()))?;
+        if other.members.len() != self.members.len() {
+            return Err(Error::InvalidConfig("ensemble sizes differ".into()));
+        }
+        for (a, b) in self.members.iter_mut().zip(&other.members) {
+            a.merge(b.as_ref())?;
+        }
+        Ok(())
+    }
+
+    fn local_copy(&self) -> Box<dyn StreamingClassifier> {
+        Box::new(OzaBag {
+            members: self.members.iter().map(|m| m.local_copy()).collect(),
+            lambda: self.lambda,
+            rng: self.rng.clone(),
+        })
+    }
+
+    fn clone_box(&self) -> Box<dyn StreamingClassifier> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "OzaBag"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hoeffding::HoeffdingTree;
+    use crate::nb::StreamingNaiveBayes;
+
+    fn inst(i: u64) -> Instance {
+        let x0 = (i % 11) as f64;
+        let x1 = ((i * 7) % 13) as f64;
+        Instance::labeled(vec![x0, x1], usize::from(x0 > 5.0))
+    }
+
+    fn accuracy(model: &dyn StreamingClassifier, offset: u64) -> f64 {
+        let correct = (0..500)
+            .filter(|&i| {
+                let t = inst(i + offset);
+                model.predict(&t.features).unwrap() == t.label.unwrap()
+            })
+            .count();
+        correct as f64 / 500.0
+    }
+
+    #[test]
+    fn bagged_trees_learn() {
+        let base = HoeffdingTree::with_paper_defaults(2, 2);
+        let mut bag = OzaBag::classic(&base, 8, 7).unwrap();
+        assert_eq!(bag.size(), 8);
+        assert_eq!(bag.num_classes(), 2);
+        for i in 0..4000 {
+            bag.train(&inst(i)).unwrap();
+        }
+        assert!(accuracy(&bag, 9999) > 0.93, "accuracy {}", accuracy(&bag, 9999));
+    }
+
+    #[test]
+    fn bagging_any_base_learner() {
+        let base = StreamingNaiveBayes::new(2, 2).unwrap();
+        let mut bag = OzaBag::classic(&base, 5, 3).unwrap();
+        for i in 0..2000 {
+            bag.train(&inst(i)).unwrap();
+        }
+        assert!(accuracy(&bag, 777) > 0.85);
+        let p = bag.predict_proba(&[3.0, 1.0]).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn members_diverge_through_resampling() {
+        let base = HoeffdingTree::with_paper_defaults(2, 2);
+        let mut bag = OzaBag::classic(&base, 4, 11).unwrap();
+        for i in 0..3000 {
+            bag.train(&inst(i)).unwrap();
+        }
+        let weights: Vec<f64> = bag
+            .members
+            .iter()
+            .map(|m| {
+                m.as_any().downcast_ref::<HoeffdingTree>().unwrap().weight_seen()
+            })
+            .collect();
+        let first = weights[0];
+        assert!(weights.iter().any(|w| (w - first).abs() > 1.0), "{weights:?}");
+    }
+
+    #[test]
+    fn distributed_protocol_works() {
+        let base = HoeffdingTree::with_paper_defaults(2, 2);
+        let mut global: Box<dyn StreamingClassifier> =
+            Box::new(OzaBag::classic(&base, 4, 5).unwrap());
+        let stream: Vec<Instance> = (0..3000).map(inst).collect();
+        for batch in stream.chunks(500) {
+            let mut a = global.local_copy();
+            let mut b = global.local_copy();
+            for (i, x) in batch.iter().enumerate() {
+                if i % 2 == 0 {
+                    a.accumulate(x).unwrap();
+                } else {
+                    b.accumulate(x).unwrap();
+                }
+            }
+            global.merge_locals(vec![a, b]).unwrap();
+        }
+        assert!(accuracy(global.as_ref(), 5555) > 0.9);
+    }
+
+    #[test]
+    fn invalid_configs() {
+        let base = HoeffdingTree::with_paper_defaults(2, 2);
+        assert!(OzaBag::classic(&base, 0, 1).is_err());
+        assert!(OzaBag::new(&base, 3, 0.0, 1).is_err());
+    }
+
+    #[test]
+    fn unlabeled_is_noop() {
+        let base = HoeffdingTree::with_paper_defaults(2, 2);
+        let mut bag = OzaBag::classic(&base, 3, 1).unwrap();
+        bag.train(&Instance::unlabeled(vec![1.0, 2.0])).unwrap();
+        let p = bag.predict_proba(&[1.0, 2.0]).unwrap();
+        assert!((p[0] - 0.5).abs() < 1e-12, "still uniform");
+    }
+}

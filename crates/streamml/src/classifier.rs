@@ -1,0 +1,163 @@
+//! The streaming-classifier abstraction.
+//!
+//! Streaming (online) learners process each labeled instance exactly once —
+//! "the instance is used to update the model and then discarded" (Section
+//! III-A of the paper) — and can predict at any point in the stream. The
+//! distributed engine additionally needs to *merge* local models trained on
+//! different partitions of a micro-batch back into the global model
+//! (Figure 2, op #3), so merging is part of the contract.
+
+use redhanded_types::{Instance, Result};
+
+/// An incremental classifier over dense feature vectors.
+pub trait StreamingClassifier: Send + Sync {
+    /// Number of classes the model predicts.
+    fn num_classes(&self) -> usize;
+
+    /// Update the model with one labeled instance. Instances with
+    /// `label == None` are ignored (training consumes the labeled stream
+    /// only). The instance's `weight` scales its contribution.
+    fn train(&mut self, instance: &Instance) -> Result<()>;
+
+    /// Class-probability estimates for a feature vector. The returned vector
+    /// has `num_classes()` entries summing to 1 (uniform before any
+    /// training).
+    fn predict_proba(&self, features: &[f64]) -> Result<Vec<f64>>;
+
+    /// The most probable class for a feature vector.
+    fn predict(&self, features: &[f64]) -> Result<usize> {
+        let proba = self.predict_proba(features)?;
+        Ok(argmax(&proba))
+    }
+
+    /// Update statistics from one labeled instance *without* any structural
+    /// model change — the parallel-task half of the distributed training
+    /// protocol (Figure 2, op #3, first part). Models whose training is
+    /// purely statistical (e.g. SGD) may treat this the same as
+    /// [`StreamingClassifier::train`], which is the default.
+    fn accumulate(&mut self, instance: &Instance) -> Result<()> {
+        self.train(instance)
+    }
+
+    /// Apply deferred structural updates (tree splits, drift handling)
+    /// after local models have been merged — the driver half of the
+    /// distributed training protocol (Figure 2, op #3, second part).
+    fn finalize_batch(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Fold another model of the same kind (trained on a different data
+    /// partition) into this one. Implementations document their merge
+    /// semantics; the distributed engine calls this to combine per-task
+    /// local models into the global model at every micro-batch boundary.
+    fn merge(&mut self, other: &dyn StreamingClassifier) -> Result<()>;
+
+    /// Clone into a boxed trait object (models are replicated to every task
+    /// at the start of a micro-batch).
+    fn clone_box(&self) -> Box<dyn StreamingClassifier>;
+
+    /// A per-partition local model for the distributed training protocol.
+    ///
+    /// Statistics-merged models (trees) return a **zero-statistics fork**
+    /// sharing the global model's structure, so what the task accumulates
+    /// is exactly the partition's *delta* and [`merge_locals`] can sum
+    /// deltas without double-counting. Parameter-averaged models (SGD)
+    /// return a full clone. The default is a full clone.
+    ///
+    /// [`merge_locals`]: StreamingClassifier::merge_locals
+    fn local_copy(&self) -> Box<dyn StreamingClassifier> {
+        self.clone_box()
+    }
+
+    /// Fold the per-partition local models of one micro-batch back into
+    /// this global model, then apply deferred structural updates
+    /// (Figure 2, op #3 second half). The default sums every local via
+    /// [`merge`] and calls [`finalize_batch`] — correct for delta-forks.
+    ///
+    /// [`merge`]: StreamingClassifier::merge
+    /// [`finalize_batch`]: StreamingClassifier::finalize_batch
+    fn merge_locals(&mut self, locals: Vec<Box<dyn StreamingClassifier>>) -> Result<()> {
+        for local in &locals {
+            self.merge(local.as_ref())?;
+        }
+        self.finalize_batch()
+    }
+
+    /// Downcasting support for [`StreamingClassifier::merge`]
+    /// implementations.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Short human-readable name (`HT`, `ARF`, `SLR`) used in reports.
+    fn name(&self) -> &'static str;
+}
+
+impl Clone for Box<dyn StreamingClassifier> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Index of the largest value (first one on ties). Empty input returns 0.
+pub fn argmax(values: &[f64]) -> usize {
+    let mut best = 0;
+    let mut best_v = f64::NEG_INFINITY;
+    for (i, &v) in values.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Normalize `values` into a probability distribution in place. If the total
+/// mass is not positive, fall back to the uniform distribution.
+pub fn normalize_proba(values: &mut [f64]) {
+    let sum: f64 = values.iter().sum();
+    if sum > 0.0 && sum.is_finite() {
+        for v in values.iter_mut() {
+            *v /= sum;
+        }
+    } else if !values.is_empty() {
+        let u = 1.0 / values.len() as f64;
+        for v in values.iter_mut() {
+            *v = u;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_basic() {
+        assert_eq!(argmax(&[0.1, 0.7, 0.2]), 1);
+        assert_eq!(argmax(&[0.5, 0.5]), 0, "first wins ties");
+        assert_eq!(argmax(&[]), 0);
+    }
+
+    #[test]
+    fn normalize_proba_sums_to_one() {
+        let mut v = vec![2.0, 6.0];
+        normalize_proba(&mut v);
+        assert!((v[0] - 0.25).abs() < 1e-12);
+        assert!((v[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_proba_zero_mass_is_uniform() {
+        let mut v = vec![0.0, 0.0, 0.0, 0.0];
+        normalize_proba(&mut v);
+        for x in v {
+            assert!((x - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normalize_proba_empty_is_noop() {
+        let mut v: Vec<f64> = vec![];
+        normalize_proba(&mut v);
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Split criteria for decision-tree induction.
+//!
+//! Table I of the paper tunes the Hoeffding Tree's split criterion over
+//! {Gini, InfoGain} and selects InfoGain. Both are expressed here as an
+//! *impurity* function so split merit is uniformly "impurity reduction",
+//! and each reports the range `R` of its merit, which the Hoeffding bound
+//! needs (`R = log2(c)` for information gain, `R = 1` for Gini).
+
+/// A split criterion: impurity measure + merit range for the Hoeffding bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitCriterion {
+    /// Gini impurity, `1 - Σ p²`.
+    Gini,
+    /// Shannon entropy in bits, `-Σ p log2 p` (the paper's selected option).
+    #[default]
+    InfoGain,
+}
+
+impl SplitCriterion {
+    /// Impurity of a (possibly unnormalized) class-count distribution.
+    pub fn impurity(self, counts: &[f64]) -> f64 {
+        let total: f64 = counts.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        match self {
+            SplitCriterion::Gini => {
+                1.0 - counts.iter().map(|&c| (c / total).powi(2)).sum::<f64>()
+            }
+            SplitCriterion::InfoGain => counts
+                .iter()
+                .filter(|&&c| c > 0.0)
+                .map(|&c| {
+                    let p = c / total;
+                    -p * p.log2()
+                })
+                .sum(),
+        }
+    }
+
+    /// Range of the merit (impurity reduction) for `num_classes` classes,
+    /// as required by the Hoeffding bound.
+    pub fn range(self, num_classes: usize) -> f64 {
+        match self {
+            SplitCriterion::Gini => 1.0,
+            SplitCriterion::InfoGain => (num_classes.max(2) as f64).log2(),
+        }
+    }
+}
+
+/// The Hoeffding bound: with probability `1 - delta`, the true mean of a
+/// random variable with range `r` is within `eps` of the sample mean of `n`
+/// observations (Domingos & Hulten, 2000).
+pub fn hoeffding_bound(range: f64, delta: f64, n: f64) -> f64 {
+    ((range * range * (1.0 / delta).ln()) / (2.0 * n)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_reference_values() {
+        let c = SplitCriterion::InfoGain;
+        assert_eq!(c.impurity(&[10.0, 0.0]), 0.0, "pure node");
+        assert!((c.impurity(&[5.0, 5.0]) - 1.0).abs() < 1e-12, "50/50 = 1 bit");
+        assert!((c.impurity(&[1.0, 1.0, 1.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(c.impurity(&[]), 0.0);
+        assert_eq!(c.impurity(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn gini_reference_values() {
+        let c = SplitCriterion::Gini;
+        assert_eq!(c.impurity(&[10.0, 0.0]), 0.0);
+        assert!((c.impurity(&[5.0, 5.0]) - 0.5).abs() < 1e-12);
+        assert!((c.impurity(&[1.0, 1.0, 1.0]) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn impurity_is_maximal_at_uniform() {
+        for criterion in [SplitCriterion::Gini, SplitCriterion::InfoGain] {
+            let uniform = criterion.impurity(&[1.0, 1.0, 1.0]);
+            let skewed = criterion.impurity(&[5.0, 1.0, 0.5]);
+            assert!(uniform > skewed, "{criterion:?}");
+        }
+    }
+
+    #[test]
+    fn ranges() {
+        assert_eq!(SplitCriterion::Gini.range(2), 1.0);
+        assert_eq!(SplitCriterion::Gini.range(5), 1.0);
+        assert_eq!(SplitCriterion::InfoGain.range(2), 1.0);
+        assert_eq!(SplitCriterion::InfoGain.range(4), 2.0);
+        assert_eq!(SplitCriterion::InfoGain.range(0), 1.0, "degenerate clamps to 2 classes");
+    }
+
+    #[test]
+    fn hoeffding_bound_monotonicity() {
+        // ε shrinks with more observations.
+        let e100 = hoeffding_bound(1.0, 0.01, 100.0);
+        let e1000 = hoeffding_bound(1.0, 0.01, 1000.0);
+        assert!(e1000 < e100);
+        // ε shrinks with higher confidence parameter (larger delta).
+        let tight = hoeffding_bound(1.0, 0.001, 100.0);
+        let loose = hoeffding_bound(1.0, 0.1, 100.0);
+        assert!(tight > loose);
+        // ε grows with range.
+        assert!(hoeffding_bound(2.0, 0.01, 100.0) > e100);
+    }
+
+    #[test]
+    fn hoeffding_bound_reference_value() {
+        // ε = sqrt(R² ln(1/δ) / 2n): R=1, δ=0.05, n=1000 → ~0.0387
+        let eps = hoeffding_bound(1.0, 0.05, 1000.0);
+        assert!((eps - 0.03871).abs() < 1e-4, "{eps}");
+    }
+}

@@ -1,0 +1,295 @@
+//! Change-detector abstraction and the DDM detector.
+//!
+//! The Adaptive Random Forest pairs each member with drift detectors on
+//! its prequential error stream. ADWIN ([`crate::adwin`]) is the paper's
+//! (and ARF's) default; this module adds the other classic, **DDM** (Gama
+//! et al., "Learning with Drift Detection", SBIA 2004), behind a common
+//! [`ChangeDetector`] trait so the choice is an ablation knob
+//! (`ArfConfig::detector`).
+//!
+//! DDM models the error count as a Bernoulli process: with `p̂` the running
+//! error rate after `n` observations and `s = sqrt(p̂(1-p̂)/n)`, it tracks
+//! the minimum of `p̂ + s` and signals *warning* at `p̂ + s ≥ p_min + 2
+//! s_min` and *drift* at `p̂ + s ≥ p_min + 3 s_min`, resetting afterwards.
+
+use crate::adwin::Adwin;
+
+/// A detector over a bounded error stream.
+pub trait ChangeDetector: Send + Sync + std::fmt::Debug {
+    /// Feed one value (typically a 0/1 error indicator or a batch error
+    /// rate); returns `true` when a change is signalled.
+    fn update(&mut self, value: f64) -> bool;
+
+    /// Estimated mean of the current (post-change) regime.
+    fn mean(&self) -> f64;
+
+    /// Number of changes signalled so far.
+    fn num_detections(&self) -> u64;
+
+    /// Clone into a boxed trait object.
+    fn clone_box(&self) -> Box<dyn ChangeDetector>;
+}
+
+impl Clone for Box<dyn ChangeDetector> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+impl ChangeDetector for Adwin {
+    fn update(&mut self, value: f64) -> bool {
+        Adwin::update(self, value)
+    }
+
+    fn mean(&self) -> f64 {
+        Adwin::mean(self)
+    }
+
+    fn num_detections(&self) -> u64 {
+        Adwin::num_detections(self)
+    }
+
+    fn clone_box(&self) -> Box<dyn ChangeDetector> {
+        Box::new(self.clone())
+    }
+}
+
+/// The DDM drift detector.
+#[derive(Debug, Clone)]
+pub struct Ddm {
+    /// Observations since the last reset.
+    n: f64,
+    /// Running error-probability estimate.
+    p: f64,
+    /// `min(p + s)` seen since the last reset.
+    p_min: f64,
+    /// `s` at the minimum.
+    s_min: f64,
+    /// Warning threshold in `s_min` units (Gama et al.: 2).
+    warning_sigmas: f64,
+    /// Drift threshold in `s_min` units (Gama et al.: 3).
+    drift_sigmas: f64,
+    /// Minimum observations before thresholds apply.
+    min_observations: f64,
+    in_warning: bool,
+    detections: u64,
+}
+
+impl Ddm {
+    /// A detector with Gama et al.'s 2σ/3σ thresholds.
+    pub fn new() -> Self {
+        Ddm {
+            n: 0.0,
+            p: 0.0,
+            p_min: f64::INFINITY,
+            s_min: f64::INFINITY,
+            warning_sigmas: 2.0,
+            drift_sigmas: 3.0,
+            min_observations: 30.0,
+            in_warning: false,
+            detections: 0,
+        }
+    }
+
+    /// Whether the detector is currently between the warning and drift
+    /// levels.
+    pub fn in_warning_zone(&self) -> bool {
+        self.in_warning
+    }
+
+    fn reset(&mut self) {
+        self.n = 0.0;
+        self.p = 0.0;
+        self.p_min = f64::INFINITY;
+        self.s_min = f64::INFINITY;
+        self.in_warning = false;
+    }
+}
+
+impl Default for Ddm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChangeDetector for Ddm {
+    fn update(&mut self, value: f64) -> bool {
+        let value = value.clamp(0.0, 1.0);
+        self.n += 1.0;
+        // Incremental mean of the Bernoulli error stream.
+        self.p += (value - self.p) / self.n;
+        if self.n < self.min_observations {
+            return false;
+        }
+        let s = (self.p * (1.0 - self.p) / self.n).sqrt();
+        if self.p + s < self.p_min + self.s_min {
+            // (p + s) is at a new minimum: the learner is improving.
+            if self.p + s < self.p_min {
+                self.p_min = self.p;
+                self.s_min = s;
+            }
+        }
+        let level = self.p + s;
+        if level >= self.p_min + self.drift_sigmas * self.s_min {
+            self.detections += 1;
+            self.reset();
+            return true;
+        }
+        self.in_warning = level >= self.p_min + self.warning_sigmas * self.s_min;
+        false
+    }
+
+    fn mean(&self) -> f64 {
+        self.p
+    }
+
+    fn num_detections(&self) -> u64 {
+        self.detections
+    }
+
+    fn clone_box(&self) -> Box<dyn ChangeDetector> {
+        Box::new(self.clone())
+    }
+}
+
+/// Which change detector an ensemble uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DetectorKind {
+    /// ADWIN with the given confidence δ (the paper's / ARF's default).
+    Adwin {
+        /// Confidence parameter (smaller = fewer false alarms).
+        delta: f64,
+    },
+    /// DDM with the standard 2σ/3σ levels.
+    Ddm,
+}
+
+impl DetectorKind {
+    /// Instantiate the detector.
+    pub fn build(&self) -> Box<dyn ChangeDetector> {
+        match self {
+            DetectorKind::Adwin { delta } => Box::new(Adwin::new(*delta)),
+            DetectorKind::Ddm => Box::new(Ddm::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Rng(u64);
+    impl Rng {
+        fn bernoulli(&mut self, p: f64) -> f64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            if ((self.0 >> 11) as f64 / (1u64 << 53) as f64) < p {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+
+    #[test]
+    fn ddm_quiet_on_stationary_stream() {
+        let mut ddm = Ddm::new();
+        let mut rng = Rng(5);
+        let mut detections = 0;
+        for _ in 0..20_000 {
+            if ddm.update(rng.bernoulli(0.15)) {
+                detections += 1;
+            }
+        }
+        assert!(detections <= 2, "{detections} false alarms");
+        assert!((ChangeDetector::mean(&ddm) - 0.15).abs() < 0.05);
+    }
+
+    #[test]
+    fn ddm_detects_error_increase() {
+        let mut ddm = Ddm::new();
+        let mut rng = Rng(9);
+        for _ in 0..3000 {
+            ddm.update(rng.bernoulli(0.05));
+        }
+        let mut detected_at = None;
+        for i in 0..3000 {
+            if ddm.update(rng.bernoulli(0.5)) {
+                detected_at = Some(i);
+                break;
+            }
+        }
+        let lag = detected_at.expect("drift detected");
+        assert!(lag < 500, "detection lag {lag}");
+    }
+
+    #[test]
+    fn ddm_warning_precedes_drift() {
+        let mut ddm = Ddm::new();
+        let mut rng = Rng(13);
+        for _ in 0..3000 {
+            ddm.update(rng.bernoulli(0.05));
+        }
+        let mut warned_before_drift = false;
+        for _ in 0..3000 {
+            if ddm.update(rng.bernoulli(0.4)) {
+                break;
+            }
+            if ddm.in_warning_zone() {
+                warned_before_drift = true;
+            }
+        }
+        assert!(warned_before_drift);
+    }
+
+    #[test]
+    fn ddm_resets_after_detection() {
+        let mut ddm = Ddm::new();
+        let mut rng = Rng(21);
+        for _ in 0..2000 {
+            ddm.update(rng.bernoulli(0.05));
+        }
+        for _ in 0..2000 {
+            if ddm.update(rng.bernoulli(0.6)) {
+                break;
+            }
+        }
+        assert_eq!(ChangeDetector::num_detections(&ddm), 1);
+        // After reset the estimator re-learns the new regime quietly.
+        let mut post = 0;
+        for _ in 0..2000 {
+            if ddm.update(rng.bernoulli(0.6)) {
+                post += 1;
+            }
+        }
+        assert!(post <= 1, "{post} repeat detections on the new stationary regime");
+    }
+
+    #[test]
+    fn detector_kind_builds_both() {
+        let mut adwin = DetectorKind::Adwin { delta: 0.002 }.build();
+        let mut ddm = DetectorKind::Ddm.build();
+        for i in 0..200 {
+            adwin.update(f64::from(i % 3 == 0));
+            ddm.update(f64::from(i % 3 == 0));
+        }
+        assert!(adwin.mean() > 0.2 && adwin.mean() < 0.5);
+        assert!(ddm.mean() > 0.2 && ddm.mean() < 0.5);
+        // Boxed clone works.
+        let _ = adwin.clone();
+    }
+
+    #[test]
+    fn adwin_satisfies_the_trait() {
+        let mut d: Box<dyn ChangeDetector> = Box::new(Adwin::with_default_delta());
+        let mut rng = Rng(33);
+        for _ in 0..2000 {
+            d.update(rng.bernoulli(0.1));
+        }
+        for _ in 0..2000 {
+            d.update(rng.bernoulli(0.8));
+        }
+        assert!(d.num_detections() > 0);
+    }
+}

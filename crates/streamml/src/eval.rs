@@ -1,0 +1,479 @@
+//! Prequential evaluation (Section V-A of the paper).
+//!
+//! The paper uses the popular *prequential* scheme for the streaming
+//! setting: each labeled instance is first used to **test** the model, then
+//! to **train** it. The evaluation step accumulates the confusion matrix
+//! and derives accuracy, precision, recall, and F1 (the paper reports the
+//! weighted averages, WEKA-style — note that in Table II recall equals
+//! accuracy, which is the weighted-average identity).
+//!
+//! [`PrequentialEvaluator`] supports both cumulative metrics and a sliding
+//! window (the fluctuating curves of Figures 6–12 reflect recent
+//! performance), and records an F1-over-instances series for the figures.
+
+use crate::classifier::StreamingClassifier;
+use redhanded_types::{Instance, Result};
+use std::collections::VecDeque;
+
+/// A `c × c` confusion matrix over weighted predictions.
+#[derive(Debug, Clone)]
+pub struct ConfusionMatrix {
+    num_classes: usize,
+    /// `counts[actual][predicted]`.
+    counts: Vec<Vec<f64>>,
+    total: f64,
+}
+
+impl ConfusionMatrix {
+    /// An empty matrix over `num_classes` classes.
+    pub fn new(num_classes: usize) -> Self {
+        ConfusionMatrix { num_classes, counts: vec![vec![0.0; num_classes]; num_classes], total: 0.0 }
+    }
+
+    /// Record one prediction with weight `w`.
+    pub fn add(&mut self, actual: usize, predicted: usize, w: f64) {
+        self.counts[actual][predicted] += w;
+        self.total += w;
+    }
+
+    /// Remove one previously recorded prediction (sliding windows).
+    pub fn remove(&mut self, actual: usize, predicted: usize, w: f64) {
+        self.counts[actual][predicted] -= w;
+        self.total -= w;
+    }
+
+    /// Merge another matrix (distributed metric aggregation — Figure 2,
+    /// op #6).
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        debug_assert_eq!(self.num_classes, other.num_classes);
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+        self.total += other.total;
+    }
+
+    /// Total recorded weight.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Raw cell `counts[actual][predicted]`.
+    pub fn count(&self, actual: usize, predicted: usize) -> f64 {
+        self.counts[actual][predicted]
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        if self.total <= 0.0 {
+            return 0.0;
+        }
+        let correct: f64 = (0..self.num_classes).map(|c| self.counts[c][c]).sum();
+        correct / self.total
+    }
+
+    /// Precision of class `c`: TP / (TP + FP). Zero when nothing was
+    /// predicted as `c`.
+    pub fn precision(&self, c: usize) -> f64 {
+        let predicted: f64 = (0..self.num_classes).map(|a| self.counts[a][c]).sum();
+        if predicted <= 0.0 {
+            0.0
+        } else {
+            self.counts[c][c] / predicted
+        }
+    }
+
+    /// Recall of class `c`: TP / (TP + FN). Zero when class `c` never
+    /// occurred.
+    pub fn recall(&self, c: usize) -> f64 {
+        let actual: f64 = self.counts[c].iter().sum();
+        if actual <= 0.0 {
+            0.0
+        } else {
+            self.counts[c][c] / actual
+        }
+    }
+
+    /// F1 of class `c`: harmonic mean of precision and recall.
+    pub fn f1(&self, c: usize) -> f64 {
+        let p = self.precision(c);
+        let r = self.recall(c);
+        if p + r <= 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Class support (weighted count of actual instances of class `c`).
+    pub fn support(&self, c: usize) -> f64 {
+        self.counts[c].iter().sum()
+    }
+
+    fn weighted_avg(&self, per_class: impl Fn(usize) -> f64) -> f64 {
+        if self.total <= 0.0 {
+            return 0.0;
+        }
+        (0..self.num_classes).map(|c| self.support(c) * per_class(c)).sum::<f64>() / self.total
+    }
+
+    fn macro_avg(&self, per_class: impl Fn(usize) -> f64) -> f64 {
+        if self.num_classes == 0 {
+            return 0.0;
+        }
+        (0..self.num_classes).map(per_class).sum::<f64>() / self.num_classes as f64
+    }
+
+    /// Cohen's kappa: agreement beyond chance, MOA's standard streaming
+    /// metric for imbalanced problems. Zero when the classifier does no
+    /// better than the chance agreement implied by its own prediction
+    /// marginals.
+    pub fn kappa(&self) -> f64 {
+        if self.total <= 0.0 {
+            return 0.0;
+        }
+        let po = self.accuracy();
+        let pe: f64 = (0..self.num_classes)
+            .map(|c| {
+                let actual: f64 = self.counts[c].iter().sum::<f64>() / self.total;
+                let predicted: f64 =
+                    (0..self.num_classes).map(|a| self.counts[a][c]).sum::<f64>() / self.total;
+                actual * predicted
+            })
+            .sum();
+        if (1.0 - pe).abs() < 1e-12 {
+            0.0
+        } else {
+            (po - pe) / (1.0 - pe)
+        }
+    }
+
+    /// Summary metrics (the paper's Table II row set).
+    pub fn metrics(&self) -> Metrics {
+        Metrics {
+            accuracy: self.accuracy(),
+            precision: self.weighted_avg(|c| self.precision(c)),
+            recall: self.weighted_avg(|c| self.recall(c)),
+            f1: self.weighted_avg(|c| self.f1(c)),
+            macro_f1: self.macro_avg(|c| self.f1(c)),
+            kappa: self.kappa(),
+            total: self.total,
+        }
+    }
+}
+
+/// Summary classification metrics. `precision`, `recall`, and `f1` are
+/// support-weighted averages (WEKA's "weighted avg" row).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Metrics {
+    /// Overall accuracy.
+    pub accuracy: f64,
+    /// Weighted-average precision.
+    pub precision: f64,
+    /// Weighted-average recall (equals accuracy by construction).
+    pub recall: f64,
+    /// Weighted-average F1.
+    pub f1: f64,
+    /// Unweighted macro F1.
+    pub macro_f1: f64,
+    /// Cohen's kappa (agreement beyond chance).
+    pub kappa: f64,
+    /// Total weight evaluated.
+    pub total: f64,
+}
+
+/// A point on a metric-over-stream curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// Number of instances processed when the point was recorded.
+    pub instances: u64,
+    /// Metrics at that point (cumulative or windowed, per configuration).
+    pub metrics: Metrics,
+}
+
+/// Prequential (test-then-train) evaluator.
+#[derive(Debug, Clone)]
+pub struct PrequentialEvaluator {
+    cumulative: ConfusionMatrix,
+    windowed: ConfusionMatrix,
+    window: Option<usize>,
+    recent: VecDeque<(usize, usize, f64)>,
+    instances: u64,
+    record_every: u64,
+    series: Vec<SeriesPoint>,
+}
+
+impl PrequentialEvaluator {
+    /// Create an evaluator.
+    ///
+    /// * `window` — when `Some(w)`, the recorded series reflects the last
+    ///   `w` instances (the figures' fluctuating curves); cumulative
+    ///   metrics are always maintained too.
+    /// * `record_every` — series granularity in instances (0 = no series).
+    pub fn new(num_classes: usize, window: Option<usize>, record_every: u64) -> Self {
+        PrequentialEvaluator {
+            cumulative: ConfusionMatrix::new(num_classes),
+            windowed: ConfusionMatrix::new(num_classes),
+            window,
+            recent: VecDeque::new(),
+            instances: 0,
+            record_every,
+            series: Vec::new(),
+        }
+    }
+
+    /// Record a prediction outcome directly (when the caller has already
+    /// run the model).
+    pub fn record(&mut self, actual: usize, predicted: usize, weight: f64) {
+        self.cumulative.add(actual, predicted, weight);
+        self.windowed.add(actual, predicted, weight);
+        if let Some(w) = self.window {
+            self.recent.push_back((actual, predicted, weight));
+            while self.recent.len() > w {
+                let (a, p, wt) = self.recent.pop_front().expect("non-empty");
+                self.windowed.remove(a, p, wt);
+            }
+        }
+        self.instances += 1;
+        if self.record_every > 0 && self.instances % self.record_every == 0 {
+            self.series.push(SeriesPoint {
+                instances: self.instances,
+                metrics: self.current_metrics(),
+            });
+        }
+    }
+
+    /// Test-then-train: predict the instance, record the outcome, then
+    /// update the model. Unlabeled instances are ignored.
+    pub fn step(
+        &mut self,
+        model: &mut dyn StreamingClassifier,
+        instance: &Instance,
+    ) -> Result<()> {
+        let Some(actual) = instance.label else { return Ok(()) };
+        let predicted = model.predict(&instance.features)?;
+        self.record(actual, predicted, instance.weight);
+        model.train(instance)
+    }
+
+    /// Metrics of the configured flavor (windowed when a window is set).
+    pub fn current_metrics(&self) -> Metrics {
+        if self.window.is_some() {
+            self.windowed.metrics()
+        } else {
+            self.cumulative.metrics()
+        }
+    }
+
+    /// Cumulative metrics over the whole stream.
+    pub fn cumulative_metrics(&self) -> Metrics {
+        self.cumulative.metrics()
+    }
+
+    /// The cumulative confusion matrix.
+    pub fn confusion(&self) -> &ConfusionMatrix {
+        &self.cumulative
+    }
+
+    /// The recorded series.
+    pub fn series(&self) -> &[SeriesPoint] {
+        &self.series
+    }
+
+    /// Number of labeled instances evaluated.
+    pub fn instances(&self) -> u64 {
+        self.instances
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hoeffding::HoeffdingTree;
+
+    #[test]
+    fn perfect_predictions() {
+        let mut m = ConfusionMatrix::new(2);
+        for _ in 0..10 {
+            m.add(0, 0, 1.0);
+            m.add(1, 1, 1.0);
+        }
+        let metrics = m.metrics();
+        assert_eq!(metrics.accuracy, 1.0);
+        assert_eq!(metrics.precision, 1.0);
+        assert_eq!(metrics.recall, 1.0);
+        assert_eq!(metrics.f1, 1.0);
+        assert_eq!(metrics.macro_f1, 1.0);
+    }
+
+    #[test]
+    fn known_matrix_values() {
+        // actual 0: 8 correct, 2 predicted as 1
+        // actual 1: 3 predicted as 0, 7 correct
+        let mut m = ConfusionMatrix::new(2);
+        m.add(0, 0, 8.0);
+        m.add(0, 1, 2.0);
+        m.add(1, 0, 3.0);
+        m.add(1, 1, 7.0);
+        assert!((m.accuracy() - 0.75).abs() < 1e-12);
+        assert!((m.precision(0) - 8.0 / 11.0).abs() < 1e-12);
+        assert!((m.recall(0) - 0.8).abs() < 1e-12);
+        assert!((m.precision(1) - 7.0 / 9.0).abs() < 1e-12);
+        assert!((m.recall(1) - 0.7).abs() < 1e-12);
+        let f1_0 = 2.0 * (8.0 / 11.0) * 0.8 / (8.0 / 11.0 + 0.8);
+        assert!((m.f1(0) - f1_0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_recall_equals_accuracy() {
+        // The identity the paper's Table II exhibits.
+        let mut m = ConfusionMatrix::new(3);
+        let mut x: u64 = 3;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let actual = (x >> 33) as usize % 3;
+            let predicted = (x >> 13) as usize % 3;
+            m.add(actual, predicted, 1.0);
+        }
+        let metrics = m.metrics();
+        assert!((metrics.recall - metrics.accuracy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_are_bounded() {
+        let mut m = ConfusionMatrix::new(3);
+        m.add(0, 1, 5.0);
+        m.add(2, 2, 1.0);
+        m.add(1, 0, 2.0);
+        let metrics = m.metrics();
+        for v in [metrics.accuracy, metrics.precision, metrics.recall, metrics.f1, metrics.macro_f1] {
+            assert!((0.0..=1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_zero() {
+        let m = ConfusionMatrix::new(2);
+        let metrics = m.metrics();
+        assert_eq!(metrics.accuracy, 0.0);
+        assert_eq!(metrics.f1, 0.0);
+        assert_eq!(m.precision(0), 0.0);
+        assert_eq!(m.recall(1), 0.0);
+        assert_eq!(m.f1(0), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let mut a = ConfusionMatrix::new(2);
+        let mut b = ConfusionMatrix::new(2);
+        a.add(0, 0, 5.0);
+        b.add(1, 1, 5.0);
+        b.add(0, 1, 2.0);
+        a.merge(&b);
+        assert_eq!(a.total(), 12.0);
+        assert_eq!(a.count(0, 0), 5.0);
+        assert_eq!(a.count(1, 1), 5.0);
+        assert_eq!(a.count(0, 1), 2.0);
+    }
+
+    #[test]
+    fn kappa_reference_values() {
+        // Perfect agreement → kappa 1.
+        let mut m = ConfusionMatrix::new(2);
+        m.add(0, 0, 50.0);
+        m.add(1, 1, 50.0);
+        assert!((m.kappa() - 1.0).abs() < 1e-12);
+        // Majority-class guessing on imbalanced data → kappa 0 despite high
+        // accuracy (the reason MOA reports kappa).
+        let mut m = ConfusionMatrix::new(2);
+        m.add(0, 0, 90.0);
+        m.add(1, 0, 10.0);
+        assert!(m.accuracy() > 0.89);
+        assert!(m.kappa().abs() < 1e-12, "kappa {}", m.kappa());
+        // Systematic disagreement → negative kappa.
+        let mut m = ConfusionMatrix::new(2);
+        m.add(0, 1, 50.0);
+        m.add(1, 0, 50.0);
+        assert!(m.kappa() < 0.0);
+    }
+
+    #[test]
+    fn kappa_in_metrics_struct() {
+        let mut m = ConfusionMatrix::new(3);
+        m.add(0, 0, 10.0);
+        m.add(1, 1, 10.0);
+        m.add(2, 0, 5.0);
+        let metrics = m.metrics();
+        assert!((metrics.kappa - m.kappa()).abs() < 1e-12);
+        assert!(metrics.kappa > 0.0 && metrics.kappa < 1.0);
+    }
+
+    #[test]
+    fn prequential_series_is_recorded() {
+        let mut eval = PrequentialEvaluator::new(2, None, 10);
+        for i in 0..100u64 {
+            eval.record(0, (i % 2) as usize, 1.0);
+        }
+        assert_eq!(eval.series().len(), 10);
+        assert_eq!(eval.series()[0].instances, 10);
+        assert_eq!(eval.instances(), 100);
+        assert!((eval.cumulative_metrics().accuracy - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sliding_window_forgets_old_mistakes() {
+        let mut eval = PrequentialEvaluator::new(2, Some(50), 0);
+        // 100 wrong predictions, then 100 correct.
+        for _ in 0..100 {
+            eval.record(0, 1, 1.0);
+        }
+        for _ in 0..100 {
+            eval.record(0, 0, 1.0);
+        }
+        assert_eq!(eval.current_metrics().accuracy, 1.0, "window holds only correct");
+        assert!((eval.cumulative_metrics().accuracy - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_tests_before_training() {
+        // First instance must be scored by the *untrained* model.
+        let mut ht = HoeffdingTree::with_paper_defaults(2, 1);
+        let mut eval = PrequentialEvaluator::new(2, None, 0);
+        eval.step(&mut ht, &Instance::labeled(vec![0.0], 1)).unwrap();
+        assert_eq!(eval.instances(), 1);
+        // Untrained uniform prediction → argmax picks class 0 → a miss was
+        // recorded for actual class 1.
+        assert_eq!(eval.confusion().count(1, 0), 1.0);
+    }
+
+    #[test]
+    fn step_skips_unlabeled() {
+        let mut ht = HoeffdingTree::with_paper_defaults(2, 1);
+        let mut eval = PrequentialEvaluator::new(2, None, 0);
+        eval.step(&mut ht, &Instance::unlabeled(vec![0.0])).unwrap();
+        assert_eq!(eval.instances(), 0);
+    }
+
+    #[test]
+    fn prequential_on_learnable_stream_improves() {
+        let mut ht = HoeffdingTree::with_paper_defaults(2, 2);
+        let mut eval = PrequentialEvaluator::new(2, Some(500), 500);
+        for i in 0..5000u64 {
+            let x0 = (i % 11) as f64;
+            let inst =
+                Instance::labeled(vec![x0, (i % 3) as f64], usize::from(x0 > 5.0));
+            eval.step(&mut ht, &inst).unwrap();
+        }
+        let series = eval.series();
+        let first = series.first().unwrap().metrics.f1;
+        let last = series.last().unwrap().metrics.f1;
+        assert!(last > first, "F1 should improve: {first} → {last}");
+        assert!(last > 0.9, "final windowed F1 {last}");
+    }
+}

@@ -1,0 +1,398 @@
+//! Per-class Gaussian attribute observers for numeric features.
+//!
+//! The Hoeffding Tree needs, at every leaf and for every feature, an
+//! estimate of the class-conditional distribution of that feature so it can
+//! evaluate candidate binary splits without buffering instances. Following
+//! MOA's `GaussianNumericAttributeClassObserver`, each (feature, class) pair
+//! keeps a weighted Gaussian summary (Welford mean/variance) plus the exact
+//! min/max, and candidate thresholds are taken at equally spaced points
+//! between the observed bounds.
+
+use crate::criterion::SplitCriterion;
+
+/// Weighted running Gaussian summary of one feature under one class.
+#[derive(Debug, Clone, Default)]
+pub struct GaussianEstimator {
+    weight: f64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl GaussianEstimator {
+    /// An empty estimator.
+    pub fn new() -> Self {
+        GaussianEstimator { weight: 0.0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Observe `x` with weight `w`.
+    pub fn update(&mut self, x: f64, w: f64) {
+        if w <= 0.0 {
+            return;
+        }
+        self.weight += w;
+        let delta = x - self.mean;
+        self.mean += delta * w / self.weight;
+        self.m2 += w * delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Total observed weight.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Running mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        if self.weight > 0.0 {
+            (self.m2 / self.weight).max(0.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observed value (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observed value (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge `other` into `self` (Chan et al. parallel update).
+    pub fn merge(&mut self, other: &GaussianEstimator) {
+        if other.weight <= 0.0 {
+            return;
+        }
+        if self.weight <= 0.0 {
+            *self = other.clone();
+            return;
+        }
+        let w1 = self.weight;
+        let w2 = other.weight;
+        let delta = other.mean - self.mean;
+        let total = w1 + w2;
+        self.mean += delta * w2 / total;
+        self.m2 += other.m2 + delta * delta * w1 * w2 / total;
+        self.weight = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Estimated probability mass strictly below `t`, clamped by the
+    /// observed bounds so degenerate distributions behave sensibly.
+    pub fn mass_below(&self, t: f64) -> f64 {
+        if self.weight <= 0.0 {
+            return 0.0;
+        }
+        if t <= self.min {
+            return 0.0;
+        }
+        if t > self.max {
+            return 1.0;
+        }
+        let sd = self.std_dev();
+        if sd <= f64::EPSILON {
+            return if t > self.mean { 1.0 } else { 0.0 };
+        }
+        normal_cdf((t - self.mean) / sd)
+    }
+
+    /// Gaussian density at `x`, with a variance floor so zero-variance
+    /// summaries still yield finite likelihoods for naive Bayes.
+    pub fn log_density(&self, x: f64) -> f64 {
+        if self.weight <= 0.0 {
+            return 0.0;
+        }
+        let sd = self.std_dev().max(1e-3);
+        let z = (x - self.mean) / sd;
+        -0.5 * z * z - sd.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+    }
+}
+
+/// Standard normal CDF via the Abramowitz & Stegun 7.1.26 erf approximation
+/// (|error| < 1.5e-7).
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Per-class Gaussian summaries of one feature at one leaf.
+#[derive(Debug, Clone)]
+pub struct AttributeObserver {
+    per_class: Vec<GaussianEstimator>,
+}
+
+impl AttributeObserver {
+    /// An observer over `num_classes` classes.
+    pub fn new(num_classes: usize) -> Self {
+        AttributeObserver { per_class: (0..num_classes).map(|_| GaussianEstimator::new()).collect() }
+    }
+
+    /// Observe feature value `x` for class `class` with weight `w`.
+    pub fn update(&mut self, x: f64, class: usize, w: f64) {
+        self.per_class[class].update(x, w);
+    }
+
+    /// The per-class estimators.
+    pub fn estimators(&self) -> &[GaussianEstimator] {
+        &self.per_class
+    }
+
+    /// Merge another observer (same feature, same classes).
+    pub fn merge(&mut self, other: &AttributeObserver) {
+        debug_assert_eq!(self.per_class.len(), other.per_class.len());
+        for (a, b) in self.per_class.iter_mut().zip(&other.per_class) {
+            a.merge(b);
+        }
+    }
+
+    /// Evaluate the best binary split of this feature.
+    ///
+    /// Candidate thresholds are `num_candidates` equally spaced points
+    /// strictly between the overall observed min and max. Returns the
+    /// `(threshold, merit)` pair with the highest impurity-reduction merit
+    /// under `criterion`, or `None` when the feature has no usable range.
+    /// Splits sending less than `min_branch_frac` of the total weight to
+    /// either side are rejected.
+    pub fn best_split(
+        &self,
+        criterion: SplitCriterion,
+        num_candidates: usize,
+        min_branch_frac: f64,
+    ) -> Option<(f64, f64)> {
+        let lo = self.per_class.iter().map(|e| e.min()).fold(f64::INFINITY, f64::min);
+        let hi = self.per_class.iter().map(|e| e.max()).fold(f64::NEG_INFINITY, f64::max);
+        if !lo.is_finite() || !hi.is_finite() || hi <= lo {
+            return None;
+        }
+        let parent: Vec<f64> = self.per_class.iter().map(|e| e.weight()).collect();
+        let total: f64 = parent.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let parent_impurity = criterion.impurity(&parent);
+        let mut best: Option<(f64, f64)> = None;
+        for i in 1..=num_candidates {
+            let t = lo + (hi - lo) * i as f64 / (num_candidates + 1) as f64;
+            let mut left = vec![0.0; self.per_class.len()];
+            let mut right = vec![0.0; self.per_class.len()];
+            for (c, est) in self.per_class.iter().enumerate() {
+                let below = est.mass_below(t) * est.weight();
+                left[c] = below;
+                right[c] = est.weight() - below;
+            }
+            let wl: f64 = left.iter().sum();
+            let wr: f64 = right.iter().sum();
+            if wl < min_branch_frac * total || wr < min_branch_frac * total {
+                continue;
+            }
+            let child_impurity =
+                (wl * criterion.impurity(&left) + wr * criterion.impurity(&right)) / total;
+            let merit = parent_impurity - child_impurity;
+            if best.map_or(true, |(_, m)| merit > m) {
+                best = Some((t, merit));
+            }
+        }
+        best
+    }
+
+    /// Projected class distributions of the two children of a split at `t`
+    /// (used to prime fresh leaves after a split).
+    pub fn project_split(&self, t: f64) -> (Vec<f64>, Vec<f64>) {
+        let mut left = vec![0.0; self.per_class.len()];
+        let mut right = vec![0.0; self.per_class.len()];
+        for (c, est) in self.per_class.iter().enumerate() {
+            let below = est.mass_below(t) * est.weight();
+            left[c] = below;
+            right[c] = est.weight() - below;
+        }
+        (left, right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimator_matches_closed_form() {
+        let mut e = GaussianEstimator::new();
+        for x in [2.0, 4.0, 6.0, 8.0] {
+            e.update(x, 1.0);
+        }
+        assert_eq!(e.weight(), 4.0);
+        assert!((e.mean() - 5.0).abs() < 1e-12);
+        assert!((e.variance() - 5.0).abs() < 1e-12);
+        assert_eq!(e.min(), 2.0);
+        assert_eq!(e.max(), 8.0);
+    }
+
+    #[test]
+    fn weighted_updates() {
+        let mut a = GaussianEstimator::new();
+        a.update(1.0, 3.0);
+        a.update(5.0, 1.0);
+        // Weighted mean = (3*1 + 1*5)/4 = 2.0
+        assert!((a.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(a.weight(), 4.0);
+        // Zero/negative weights are ignored.
+        a.update(100.0, 0.0);
+        assert_eq!(a.weight(), 4.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let mut a = GaussianEstimator::new();
+        let mut b = GaussianEstimator::new();
+        let mut all = GaussianEstimator::new();
+        for x in [1.0, 2.0, 3.0] {
+            a.update(x, 1.0);
+            all.update(x, 1.0);
+        }
+        for x in [10.0, 20.0] {
+            b.update(x, 2.0);
+            all.update(x, 2.0);
+        }
+        a.merge(&b);
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(8.0) > 0.999999);
+        assert!(normal_cdf(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn mass_below_respects_bounds() {
+        let mut e = GaussianEstimator::new();
+        for x in [0.0, 1.0, 2.0, 3.0, 4.0] {
+            e.update(x, 1.0);
+        }
+        assert_eq!(e.mass_below(-1.0), 0.0);
+        assert_eq!(e.mass_below(0.0), 0.0, "at-or-below min is zero");
+        assert_eq!(e.mass_below(5.0), 1.0);
+        let mid = e.mass_below(2.0);
+        assert!((mid - 0.5).abs() < 0.1, "mass below mean ≈ 0.5, got {mid}");
+    }
+
+    #[test]
+    fn mass_below_degenerate_distribution() {
+        let mut e = GaussianEstimator::new();
+        e.update(3.0, 10.0);
+        assert_eq!(e.mass_below(2.9), 0.0);
+        assert_eq!(e.mass_below(3.1), 1.0);
+    }
+
+    #[test]
+    fn observer_finds_separating_threshold() {
+        // Class 0 clustered near 0, class 1 near 10: the best split must
+        // fall between them with near-total impurity reduction.
+        let mut obs = AttributeObserver::new(2);
+        let mut x: u64 = 5;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let noise = ((x >> 33) % 100) as f64 / 100.0;
+            obs.update(noise, 0, 1.0);
+            obs.update(10.0 + noise, 1, 1.0);
+        }
+        let (t, merit) = obs.best_split(SplitCriterion::InfoGain, 10, 0.01).unwrap();
+        assert!(t > 0.95 && t < 10.0, "threshold {t}");
+        assert!(merit > 0.9, "merit {merit} (max 1.0 for 2 classes)");
+        let (t_g, merit_g) = obs.best_split(SplitCriterion::Gini, 10, 0.01).unwrap();
+        assert!(t_g > 0.95 && t_g < 10.0);
+        assert!(merit_g > 0.4, "gini merit {merit_g} (max 0.5)");
+    }
+
+    #[test]
+    fn observer_rejects_constant_feature() {
+        let mut obs = AttributeObserver::new(2);
+        for _ in 0..100 {
+            obs.update(1.0, 0, 1.0);
+            obs.update(1.0, 1, 1.0);
+        }
+        assert!(obs.best_split(SplitCriterion::InfoGain, 10, 0.01).is_none());
+    }
+
+    #[test]
+    fn observer_empty() {
+        let obs = AttributeObserver::new(3);
+        assert!(obs.best_split(SplitCriterion::InfoGain, 10, 0.01).is_none());
+    }
+
+    #[test]
+    fn uninformative_feature_has_low_merit() {
+        // Same distribution for both classes → merit near zero.
+        let mut obs = AttributeObserver::new(2);
+        let mut x: u64 = 77;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = ((x >> 33) % 100) as f64;
+            obs.update(v, (x % 2) as usize, 1.0);
+        }
+        if let Some((_, merit)) = obs.best_split(SplitCriterion::InfoGain, 10, 0.01) {
+            assert!(merit < 0.05, "merit {merit} should be near zero");
+        }
+    }
+
+    #[test]
+    fn project_split_partitions_weight() {
+        let mut obs = AttributeObserver::new(2);
+        for i in 0..100 {
+            obs.update(i as f64, (i % 2) as usize, 1.0);
+        }
+        let (l, r) = obs.project_split(50.0);
+        let total: f64 = l.iter().sum::<f64>() + r.iter().sum::<f64>();
+        assert!((total - 100.0).abs() < 1e-9);
+        assert!(l.iter().sum::<f64>() > 30.0 && r.iter().sum::<f64>() > 30.0);
+    }
+
+    #[test]
+    fn log_density_is_finite_and_peaked_at_mean() {
+        let mut e = GaussianEstimator::new();
+        for x in [1.0, 2.0, 3.0] {
+            e.update(x, 1.0);
+        }
+        let at_mean = e.log_density(2.0);
+        let far = e.log_density(50.0);
+        assert!(at_mean.is_finite() && far.is_finite());
+        assert!(at_mean > far);
+        // Degenerate estimator still yields finite densities.
+        let mut d = GaussianEstimator::new();
+        d.update(5.0, 3.0);
+        assert!(d.log_density(5.0).is_finite());
+        assert!(d.log_density(6.0).is_finite());
+    }
+}

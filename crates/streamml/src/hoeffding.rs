@@ -1,0 +1,921 @@
+//! Hoeffding Tree — incremental decision-tree learner for data streams
+//! (Domingos & Hulten, "Mining High-Speed Data Streams", KDD 2000).
+//!
+//! A tree node is expanded as soon as there is sufficient statistical
+//! evidence, based on the distribution-independent Hoeffding bound, that an
+//! optimal splitting feature exists (Section III-C of the paper). The model
+//! learned is asymptotically nearly identical to that of a batch learner
+//! given enough data.
+//!
+//! Implemented options mirror Table I of the paper: split criterion
+//! (Gini / InfoGain), split confidence, tie threshold, grace period, and
+//! maximum tree depth. Leaves predict with majority class, naive Bayes, or
+//! the *adaptive* strategy that tracks which of the two performs better at
+//! each leaf (MOA's default, used here).
+//!
+//! ## Distributed training protocol
+//!
+//! Parallel tasks in the stream engine call [`HoeffdingTree::accumulate`],
+//! which updates leaf statistics but never restructures the tree. Local
+//! models are then folded together with `merge` (statistics are summed
+//! leaf-by-leaf — structures are identical because they all started from
+//! the same broadcast global model), and the driver finally calls
+//! [`HoeffdingTree::attempt_splits`] to grow the merged tree. Sequential
+//! callers just use `train`, which does both per instance.
+
+use crate::classifier::{argmax, normalize_proba, StreamingClassifier};
+use crate::criterion::{hoeffding_bound, SplitCriterion};
+use crate::gaussian::AttributeObserver;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use redhanded_types::{Error, Instance, Result};
+
+/// How a leaf turns its statistics into a prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LeafPrediction {
+    /// Normalized class counts.
+    MajorityClass,
+    /// Gaussian naive Bayes over the leaf's attribute observers.
+    NaiveBayes,
+    /// Whichever of the two has been more accurate at this leaf so far.
+    #[default]
+    NBAdaptive,
+}
+
+/// Hoeffding Tree hyperparameters (Table I of the paper).
+#[derive(Debug, Clone)]
+pub struct HoeffdingTreeConfig {
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Number of features.
+    pub num_features: usize,
+    /// Split criterion (paper selects InfoGain).
+    pub split_criterion: SplitCriterion,
+    /// Split confidence δ (paper selects 0.01).
+    pub split_confidence: f64,
+    /// Tie threshold τ (paper selects 0.05).
+    pub tie_threshold: f64,
+    /// Grace period: weight a leaf must accumulate between split attempts
+    /// (paper selects 200).
+    pub grace_period: f64,
+    /// Maximum tree depth (paper selects 20). Leaves at this depth stop
+    /// splitting but keep learning their class distribution.
+    pub max_depth: usize,
+    /// Leaf prediction strategy.
+    pub leaf_prediction: LeafPrediction,
+    /// Number of candidate thresholds evaluated per numeric feature.
+    pub num_candidates: usize,
+    /// Minimum fraction of a leaf's weight each split branch must receive.
+    pub min_branch_frac: f64,
+    /// When `Some(k)`, each new leaf observes only `k` randomly chosen
+    /// features — the per-node feature subsetting of the Adaptive Random
+    /// Forest. `None` observes all features.
+    pub subspace: Option<usize>,
+    /// Seed for subspace sampling.
+    pub seed: u64,
+}
+
+impl HoeffdingTreeConfig {
+    /// The paper's selected hyperparameters (Table I) for a problem shape.
+    pub fn paper_defaults(num_classes: usize, num_features: usize) -> Self {
+        HoeffdingTreeConfig {
+            num_classes,
+            num_features,
+            split_criterion: SplitCriterion::InfoGain,
+            split_confidence: 0.01,
+            tie_threshold: 0.05,
+            grace_period: 200.0,
+            max_depth: 20,
+            leaf_prediction: LeafPrediction::NBAdaptive,
+            num_candidates: 10,
+            min_branch_frac: 0.01,
+            subspace: None,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.num_classes < 2 {
+            return Err(Error::InvalidConfig("need at least 2 classes".into()));
+        }
+        if self.num_features == 0 {
+            return Err(Error::InvalidConfig("need at least 1 feature".into()));
+        }
+        if !(0.0..1.0).contains(&self.split_confidence) || self.split_confidence <= 0.0 {
+            return Err(Error::InvalidConfig("split_confidence must be in (0,1)".into()));
+        }
+        if let Some(k) = self.subspace {
+            if k == 0 || k > self.num_features {
+                return Err(Error::InvalidConfig(format!(
+                    "subspace size {k} out of range 1..={}",
+                    self.num_features
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A leaf: class counts, per-feature observers, and NB-adaptive bookkeeping.
+#[derive(Debug, Clone)]
+struct LeafNode {
+    class_counts: Vec<f64>,
+    /// `None` for features outside this leaf's random subspace.
+    observers: Vec<Option<AttributeObserver>>,
+    /// Weight accumulated since the last split attempt.
+    weight_since_attempt: f64,
+    /// Weighted count of correct majority-class predictions at this leaf.
+    mc_correct: f64,
+    /// Weighted count of correct naive-Bayes predictions at this leaf.
+    nb_correct: f64,
+    depth: usize,
+}
+
+impl LeafNode {
+    fn new(config: &HoeffdingTreeConfig, depth: usize, rng: &mut SmallRng) -> Self {
+        Self::with_counts(config, depth, rng, vec![0.0; config.num_classes])
+    }
+
+    fn with_counts(
+        config: &HoeffdingTreeConfig,
+        depth: usize,
+        rng: &mut SmallRng,
+        class_counts: Vec<f64>,
+    ) -> Self {
+        let observers = match config.subspace {
+            None => (0..config.num_features)
+                .map(|_| Some(AttributeObserver::new(config.num_classes)))
+                .collect(),
+            Some(k) => {
+                // Sample k distinct feature indices (Floyd's algorithm keeps
+                // this O(k) regardless of num_features).
+                let mut chosen = vec![false; config.num_features];
+                for j in (config.num_features - k)..config.num_features {
+                    let t = rng.gen_range(0..=j);
+                    if chosen[t] {
+                        chosen[j] = true;
+                    } else {
+                        chosen[t] = true;
+                    }
+                }
+                chosen
+                    .into_iter()
+                    .map(|c| c.then(|| AttributeObserver::new(config.num_classes)))
+                    .collect()
+            }
+        };
+        LeafNode {
+            class_counts,
+            observers,
+            weight_since_attempt: 0.0,
+            mc_correct: 0.0,
+            nb_correct: 0.0,
+            depth,
+        }
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.class_counts.iter().sum()
+    }
+
+    fn majority_proba(&self) -> Vec<f64> {
+        let mut p = self.class_counts.clone();
+        normalize_proba(&mut p);
+        p
+    }
+
+    fn naive_bayes_proba(&self, features: &[f64]) -> Vec<f64> {
+        let total = self.total_weight();
+        if total <= 0.0 {
+            return self.majority_proba();
+        }
+        let mut log_scores: Vec<f64> = self
+            .class_counts
+            .iter()
+            .map(|&c| ((c + 1.0) / (total + self.class_counts.len() as f64)).ln())
+            .collect();
+        for (f, obs) in self.observers.iter().enumerate() {
+            let Some(obs) = obs else { continue };
+            for (c, est) in obs.estimators().iter().enumerate() {
+                if est.weight() > 0.0 {
+                    log_scores[c] += est.log_density(features[f]);
+                }
+            }
+        }
+        // Softmax over log scores.
+        let max = log_scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut p: Vec<f64> = log_scores.iter().map(|&s| (s - max).exp()).collect();
+        normalize_proba(&mut p);
+        p
+    }
+
+    fn predict_proba(&self, features: &[f64], strategy: LeafPrediction) -> Vec<f64> {
+        match strategy {
+            LeafPrediction::MajorityClass => self.majority_proba(),
+            LeafPrediction::NaiveBayes => self.naive_bayes_proba(features),
+            LeafPrediction::NBAdaptive => {
+                if self.nb_correct > self.mc_correct {
+                    self.naive_bayes_proba(features)
+                } else {
+                    self.majority_proba()
+                }
+            }
+        }
+    }
+
+    fn accumulate(&mut self, features: &[f64], class: usize, weight: f64) {
+        // NB-adaptive bookkeeping: score both strategies on this instance
+        // *before* learning from it (test-then-train at leaf granularity).
+        if argmax(&self.class_counts) == class {
+            self.mc_correct += weight;
+        }
+        if self.total_weight() > 0.0 && argmax(&self.naive_bayes_proba(features)) == class {
+            self.nb_correct += weight;
+        }
+        self.class_counts[class] += weight;
+        self.weight_since_attempt += weight;
+        for (f, obs) in self.observers.iter_mut().enumerate() {
+            if let Some(obs) = obs {
+                obs.update(features[f], class, weight);
+            }
+        }
+    }
+
+    fn is_pure(&self) -> bool {
+        self.class_counts.iter().filter(|&&c| c > 0.0).count() <= 1
+    }
+
+    /// A zero-statistics copy preserving the observer subspace pattern and
+    /// depth, so partition deltas accumulate into mergeable shape.
+    fn fork(&self, num_classes: usize) -> LeafNode {
+        LeafNode {
+            class_counts: vec![0.0; self.class_counts.len()],
+            observers: self
+                .observers
+                .iter()
+                .map(|o| o.as_ref().map(|_| AttributeObserver::new(num_classes)))
+                .collect(),
+            weight_since_attempt: 0.0,
+            mc_correct: 0.0,
+            nb_correct: 0.0,
+            depth: self.depth,
+        }
+    }
+
+    fn merge(&mut self, other: &LeafNode) {
+        for (a, b) in self.class_counts.iter_mut().zip(&other.class_counts) {
+            *a += b;
+        }
+        for (a, b) in self.observers.iter_mut().zip(&other.observers) {
+            match (a, b) {
+                (Some(a), Some(b)) => a.merge(b),
+                (a @ None, Some(b)) => *a = Some(b.clone()),
+                _ => {}
+            }
+        }
+        self.weight_since_attempt += other.weight_since_attempt;
+        self.mc_correct += other.mc_correct;
+        self.nb_correct += other.nb_correct;
+    }
+}
+
+/// An internal binary split on `feature <= threshold`.
+#[derive(Debug, Clone)]
+struct SplitNode {
+    feature: usize,
+    threshold: f64,
+    /// Impurity reduction × leaf weight at split time — summed per feature
+    /// for streaming split-gain importances.
+    weighted_gain: f64,
+    left: Box<Node>,
+    right: Box<Node>,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(LeafNode),
+    Split(SplitNode),
+}
+
+impl Node {
+    fn accumulate(&mut self, features: &[f64], class: usize, weight: f64) {
+        match self {
+            Node::Leaf(leaf) => leaf.accumulate(features, class, weight),
+            Node::Split(split) => {
+                let child = if features[split.feature] <= split.threshold {
+                    &mut split.left
+                } else {
+                    &mut split.right
+                };
+                child.accumulate(features, class, weight);
+            }
+        }
+    }
+
+    /// Sequential training: route the instance to its leaf, update it, and
+    /// attempt a split **at that leaf only** once its grace period has
+    /// elapsed (Domingos & Hulten's algorithm — unlike the batch-boundary
+    /// [`Node::attempt_splits`] sweep, no other leaf is visited). Returns
+    /// the number of splits performed (0 or 1).
+    fn train(
+        &mut self,
+        features: &[f64],
+        class: usize,
+        weight: f64,
+        config: &HoeffdingTreeConfig,
+        rng: &mut SmallRng,
+    ) -> u64 {
+        match self {
+            Node::Leaf(leaf) => {
+                leaf.accumulate(features, class, weight);
+                if leaf.weight_since_attempt >= config.grace_period {
+                    // attempt_splits on a leaf node evaluates just this leaf.
+                    self.attempt_splits(config, rng)
+                } else {
+                    0
+                }
+            }
+            Node::Split(split) => {
+                let child = if features[split.feature] <= split.threshold {
+                    &mut split.left
+                } else {
+                    &mut split.right
+                };
+                child.train(features, class, weight, config, rng)
+            }
+        }
+    }
+
+    fn predict_proba(&self, features: &[f64], strategy: LeafPrediction) -> Vec<f64> {
+        match self {
+            Node::Leaf(leaf) => leaf.predict_proba(features, strategy),
+            Node::Split(split) => {
+                let child = if features[split.feature] <= split.threshold {
+                    &split.left
+                } else {
+                    &split.right
+                };
+                child.predict_proba(features, strategy)
+            }
+        }
+    }
+
+    /// Attempt splits at every eligible leaf of this subtree. Returns the
+    /// number of splits performed.
+    fn attempt_splits(&mut self, config: &HoeffdingTreeConfig, rng: &mut SmallRng) -> u64 {
+        match self {
+            Node::Split(split) => {
+                split.left.attempt_splits(config, rng) + split.right.attempt_splits(config, rng)
+            }
+            Node::Leaf(leaf) => {
+                if leaf.weight_since_attempt < config.grace_period
+                    || leaf.depth >= config.max_depth
+                {
+                    return 0;
+                }
+                leaf.weight_since_attempt = 0.0;
+                if leaf.is_pure() {
+                    return 0;
+                }
+                let mut candidates: Vec<(usize, f64, f64)> = Vec::new();
+                for (f, obs) in leaf.observers.iter().enumerate() {
+                    let Some(obs) = obs else { continue };
+                    if let Some((t, merit)) = obs.best_split(
+                        config.split_criterion,
+                        config.num_candidates,
+                        config.min_branch_frac,
+                    ) {
+                        candidates.push((f, t, merit));
+                    }
+                }
+                let Some(&(best_f, best_t, best_merit)) = candidates
+                    .iter()
+                    .max_by(|a, b| a.2.partial_cmp(&b.2).expect("finite merits"))
+                else {
+                    return 0;
+                };
+                if best_merit <= 0.0 {
+                    return 0;
+                }
+                let second_merit = candidates
+                    .iter()
+                    .filter(|&&(f, _, _)| f != best_f)
+                    .map(|&(_, _, m)| m)
+                    .fold(0.0_f64, f64::max);
+                let n = leaf.total_weight();
+                let eps = hoeffding_bound(
+                    config.split_criterion.range(config.num_classes),
+                    config.split_confidence,
+                    n,
+                );
+                if best_merit - second_merit > eps || eps < config.tie_threshold {
+                    let obs = leaf.observers[best_f].as_ref().expect("candidate observer");
+                    let (left_counts, right_counts) = obs.project_split(best_t);
+                    let depth = leaf.depth + 1;
+                    let left =
+                        Node::Leaf(LeafNode::with_counts(config, depth, rng, left_counts));
+                    let right =
+                        Node::Leaf(LeafNode::with_counts(config, depth, rng, right_counts));
+                    *self = Node::Split(SplitNode {
+                        feature: best_f,
+                        threshold: best_t,
+                        weighted_gain: best_merit * n,
+                        left: Box::new(left),
+                        right: Box::new(right),
+                    });
+                    1
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    fn merge(&mut self, other: &Node) -> Result<()> {
+        match (self, other) {
+            (Node::Leaf(a), Node::Leaf(b)) => {
+                a.merge(b);
+                Ok(())
+            }
+            (Node::Split(a), Node::Split(b))
+                if a.feature == b.feature && a.threshold == b.threshold =>
+            {
+                a.left.merge(&b.left)?;
+                a.right.merge(&b.right)
+            }
+            _ => Err(Error::InvalidConfig(
+                "cannot merge Hoeffding trees with diverged structure; use the \
+                 accumulate/merge/attempt_splits protocol"
+                    .into(),
+            )),
+        }
+    }
+
+    fn fork(&self, num_classes: usize) -> Node {
+        match self {
+            Node::Leaf(leaf) => Node::Leaf(leaf.fork(num_classes)),
+            Node::Split(s) => Node::Split(SplitNode {
+                feature: s.feature,
+                threshold: s.threshold,
+                weighted_gain: s.weighted_gain,
+                left: Box::new(s.left.fork(num_classes)),
+                right: Box::new(s.right.fork(num_classes)),
+            }),
+        }
+    }
+
+    fn accumulate_importances(&self, out: &mut [f64]) {
+        if let Node::Split(s) = self {
+            out[s.feature] += s.weighted_gain;
+            s.left.accumulate_importances(out);
+            s.right.accumulate_importances(out);
+        }
+    }
+
+    fn count_nodes(&self) -> (usize, usize) {
+        match self {
+            Node::Leaf(_) => (1, 0),
+            Node::Split(s) => {
+                let (l1, s1) = s.left.count_nodes();
+                let (l2, s2) = s.right.count_nodes();
+                (l1 + l2, s1 + s2 + 1)
+            }
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf(l) => l.depth,
+            Node::Split(s) => s.left.depth().max(s.right.depth()),
+        }
+    }
+}
+
+/// The Hoeffding Tree streaming classifier.
+#[derive(Debug, Clone)]
+pub struct HoeffdingTree {
+    config: HoeffdingTreeConfig,
+    root: Node,
+    rng: SmallRng,
+    weight_seen: f64,
+    splits_performed: u64,
+}
+
+impl HoeffdingTree {
+    /// Create a tree with the given configuration.
+    pub fn new(config: HoeffdingTreeConfig) -> Result<Self> {
+        config.validate()?;
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let root = Node::Leaf(LeafNode::new(&config, 0, &mut rng));
+        Ok(HoeffdingTree { config, root, rng, weight_seen: 0.0, splits_performed: 0 })
+    }
+
+    /// Tree with the paper's Table I hyperparameters.
+    pub fn with_paper_defaults(num_classes: usize, num_features: usize) -> Self {
+        Self::new(HoeffdingTreeConfig::paper_defaults(num_classes, num_features))
+            .expect("paper defaults are valid")
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &HoeffdingTreeConfig {
+        &self.config
+    }
+
+    /// Update leaf statistics without attempting any split — the
+    /// distributed-task half of the training protocol.
+    pub fn accumulate(&mut self, instance: &Instance) -> Result<()> {
+        let Some(class) = instance.label else { return Ok(()) };
+        if instance.features.len() != self.config.num_features {
+            return Err(Error::DimensionMismatch {
+                expected: self.config.num_features,
+                actual: instance.features.len(),
+            });
+        }
+        if class >= self.config.num_classes {
+            return Err(Error::InvalidClass {
+                class,
+                num_classes: self.config.num_classes,
+            });
+        }
+        self.weight_seen += instance.weight;
+        self.root.accumulate(&instance.features, class, instance.weight);
+        Ok(())
+    }
+
+    /// Attempt splits at all leaves whose grace period has elapsed — the
+    /// driver half of the training protocol. Returns how many splits were
+    /// performed.
+    pub fn attempt_splits(&mut self) -> u64 {
+        let n = self.root.attempt_splits(&self.config, &mut self.rng);
+        self.splits_performed += n;
+        n
+    }
+
+    /// `(num_leaves, num_split_nodes)` of the current tree.
+    pub fn node_counts(&self) -> (usize, usize) {
+        self.root.count_nodes()
+    }
+
+    /// Current tree depth (0 = single leaf).
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+
+    /// Total weight of training instances observed.
+    pub fn weight_seen(&self) -> f64 {
+        self.weight_seen
+    }
+
+    /// Total number of splits performed over the tree's lifetime.
+    pub fn splits_performed(&self) -> u64 {
+        self.splits_performed
+    }
+
+    /// Normalized split-gain feature importances of the tree grown so far:
+    /// each feature's total (weight × impurity-reduction) across all split
+    /// nodes, scaled to sum to 1. The streaming counterpart of Figure 5's
+    /// batch Gini importances; all zeros before the first split.
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let mut imp = vec![0.0; self.config.num_features];
+        self.root.accumulate_importances(&mut imp);
+        let total: f64 = imp.iter().sum();
+        if total > 0.0 {
+            for v in imp.iter_mut() {
+                *v /= total;
+            }
+        }
+        imp
+    }
+
+    /// A zero-statistics fork sharing this tree's structure — the
+    /// per-partition local model of the distributed protocol. Accumulating
+    /// into a fork yields exactly the partition's statistics *delta*, which
+    /// `merge` then sums into the global tree without double-counting.
+    pub fn fork(&self) -> HoeffdingTree {
+        HoeffdingTree {
+            config: self.config.clone(),
+            root: self.root.fork(self.config.num_classes),
+            rng: self.rng.clone(),
+            weight_seen: 0.0,
+            splits_performed: 0,
+        }
+    }
+}
+
+impl StreamingClassifier for HoeffdingTree {
+    fn num_classes(&self) -> usize {
+        self.config.num_classes
+    }
+
+    fn train(&mut self, instance: &Instance) -> Result<()> {
+        let Some(class) = instance.label else { return Ok(()) };
+        if instance.features.len() != self.config.num_features {
+            return Err(Error::DimensionMismatch {
+                expected: self.config.num_features,
+                actual: instance.features.len(),
+            });
+        }
+        if class >= self.config.num_classes {
+            return Err(Error::InvalidClass { class, num_classes: self.config.num_classes });
+        }
+        self.weight_seen += instance.weight;
+        // Sequential semantics: update the reached leaf and attempt a split
+        // there (and only there) once its grace period elapses.
+        self.splits_performed +=
+            self.root.train(&instance.features, class, instance.weight, &self.config, &mut self.rng);
+        Ok(())
+    }
+
+    fn accumulate(&mut self, instance: &Instance) -> Result<()> {
+        HoeffdingTree::accumulate(self, instance)
+    }
+
+    fn finalize_batch(&mut self) -> Result<()> {
+        self.attempt_splits();
+        Ok(())
+    }
+
+    fn predict_proba(&self, features: &[f64]) -> Result<Vec<f64>> {
+        if features.len() != self.config.num_features {
+            return Err(Error::DimensionMismatch {
+                expected: self.config.num_features,
+                actual: features.len(),
+            });
+        }
+        Ok(self.root.predict_proba(features, self.config.leaf_prediction))
+    }
+
+    fn merge(&mut self, other: &dyn StreamingClassifier) -> Result<()> {
+        let other = other
+            .as_any()
+            .downcast_ref::<HoeffdingTree>()
+            .ok_or_else(|| Error::InvalidConfig("cannot merge HT with non-HT".into()))?;
+        self.root.merge(&other.root)?;
+        self.weight_seen += other.weight_seen;
+        Ok(())
+    }
+
+    fn clone_box(&self) -> Box<dyn StreamingClassifier> {
+        Box::new(self.clone())
+    }
+
+    fn local_copy(&self) -> Box<dyn StreamingClassifier> {
+        Box::new(self.fork())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "HT"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic linearly separable 2-class stream: class = x0 > 5.
+    fn separable_instance(i: u64) -> Instance {
+        let x0 = (i % 11) as f64; // 0..=10
+        let x1 = ((i * 7) % 13) as f64; // noise
+        let label = usize::from(x0 > 5.0);
+        Instance::labeled(vec![x0, x1], label)
+    }
+
+    fn train_tree(n: u64) -> HoeffdingTree {
+        let mut ht = HoeffdingTree::with_paper_defaults(2, 2);
+        for i in 0..n {
+            ht.train(&separable_instance(i)).unwrap();
+        }
+        ht
+    }
+
+    #[test]
+    fn learns_separable_concept() {
+        let ht = train_tree(3000);
+        assert!(ht.splits_performed() >= 1, "tree should have split");
+        let mut correct = 0;
+        for i in 0..1000 {
+            let inst = separable_instance(i + 9999);
+            if ht.predict(&inst.features).unwrap() == inst.label.unwrap() {
+                correct += 1;
+            }
+        }
+        assert!(correct > 950, "accuracy {correct}/1000");
+    }
+
+    #[test]
+    fn split_uses_the_informative_feature() {
+        let ht = train_tree(3000);
+        match &ht.root {
+            Node::Split(s) => {
+                assert_eq!(s.feature, 0, "split on the signal feature");
+                assert!(s.threshold > 4.0 && s.threshold < 7.0, "threshold {}", s.threshold);
+            }
+            Node::Leaf(_) => panic!("root should have split"),
+        }
+    }
+
+    #[test]
+    fn untrained_tree_predicts_uniform() {
+        let ht = HoeffdingTree::with_paper_defaults(3, 2);
+        let p = ht.predict_proba(&[1.0, 2.0]).unwrap();
+        assert_eq!(p.len(), 3);
+        for x in p {
+            assert!((x - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn grace_period_delays_splitting() {
+        let mut ht = HoeffdingTree::with_paper_defaults(2, 2);
+        for i in 0..150 {
+            ht.train(&separable_instance(i)).unwrap();
+        }
+        assert_eq!(ht.splits_performed(), 0, "below grace period");
+        assert_eq!(ht.node_counts(), (1, 0));
+    }
+
+    #[test]
+    fn pure_stream_never_splits() {
+        let mut ht = HoeffdingTree::with_paper_defaults(2, 2);
+        for i in 0..2000 {
+            ht.train(&Instance::labeled(vec![(i % 10) as f64, 0.0], 0)).unwrap();
+        }
+        assert_eq!(ht.splits_performed(), 0);
+    }
+
+    #[test]
+    fn max_depth_is_respected() {
+        let mut cfg = HoeffdingTreeConfig::paper_defaults(2, 2);
+        cfg.max_depth = 1;
+        cfg.grace_period = 50.0;
+        let mut ht = HoeffdingTree::new(cfg).unwrap();
+        // A concept needing depth 2: xor-ish on two features.
+        for i in 0..20_000u64 {
+            let x0 = (i % 10) as f64;
+            let x1 = ((i / 10) % 10) as f64;
+            let label = usize::from((x0 > 5.0) ^ (x1 > 5.0));
+            ht.train(&Instance::labeled(vec![x0, x1], label)).unwrap();
+        }
+        assert!(ht.depth() <= 1, "depth {} exceeds max", ht.depth());
+    }
+
+    #[test]
+    fn dimension_and_class_errors() {
+        let mut ht = HoeffdingTree::with_paper_defaults(2, 3);
+        let bad_dim = Instance::labeled(vec![1.0], 0);
+        assert!(matches!(ht.train(&bad_dim), Err(Error::DimensionMismatch { .. })));
+        let bad_class = Instance::labeled(vec![1.0, 2.0, 3.0], 7);
+        assert!(matches!(ht.train(&bad_class), Err(Error::InvalidClass { .. })));
+        assert!(ht.predict_proba(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn unlabeled_instances_are_ignored_by_train() {
+        let mut ht = HoeffdingTree::with_paper_defaults(2, 2);
+        for _ in 0..500 {
+            ht.train(&Instance::unlabeled(vec![1.0, 2.0])).unwrap();
+        }
+        assert_eq!(ht.weight_seen(), 0.0);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = HoeffdingTreeConfig::paper_defaults(2, 2);
+        cfg.num_classes = 1;
+        assert!(HoeffdingTree::new(cfg).is_err());
+        let mut cfg = HoeffdingTreeConfig::paper_defaults(2, 2);
+        cfg.subspace = Some(5);
+        assert!(HoeffdingTree::new(cfg).is_err());
+        let mut cfg = HoeffdingTreeConfig::paper_defaults(2, 2);
+        cfg.split_confidence = 0.0;
+        assert!(HoeffdingTree::new(cfg).is_err());
+    }
+
+    #[test]
+    fn fork_has_zero_statistics_and_same_structure() {
+        let ht = train_tree(3000);
+        let fork = ht.fork();
+        assert_eq!(fork.weight_seen(), 0.0);
+        assert_eq!(fork.node_counts(), ht.node_counts());
+        assert_eq!(fork.depth(), ht.depth());
+        // A fork predicts uniformly (no statistics).
+        let p = fork.predict_proba(&[3.0, 1.0]).unwrap();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distributed_protocol_learns_like_sequential() {
+        // The engine's protocol: per micro-batch, each task accumulates
+        // into a zero-statistics fork of the broadcast global tree; the
+        // driver sums the deltas and attempts splits.
+        let mut global: Box<dyn StreamingClassifier> =
+            Box::new(HoeffdingTree::with_paper_defaults(2, 2));
+        let stream: Vec<Instance> = (0..4000).map(separable_instance).collect();
+        for batch in stream.chunks(500) {
+            let mut local_a = global.local_copy();
+            let mut local_b = global.local_copy();
+            for (i, inst) in batch.iter().enumerate() {
+                if i % 2 == 0 {
+                    local_a.accumulate(inst).unwrap();
+                } else {
+                    local_b.accumulate(inst).unwrap();
+                }
+            }
+            global.merge_locals(vec![local_a, local_b]).unwrap();
+        }
+        let mut correct = 0;
+        for i in 0..1000 {
+            let inst = separable_instance(i + 5555);
+            if global.predict(&inst.features).unwrap() == inst.label.unwrap() {
+                correct += 1;
+            }
+        }
+        assert!(correct > 930, "distributed protocol accuracy {correct}/1000");
+        // The merged totals match the stream size exactly (no
+        // double-counting of the broadcast global statistics).
+        let ht = global.as_any().downcast_ref::<HoeffdingTree>().unwrap();
+        assert_eq!(ht.weight_seen(), 4000.0);
+    }
+
+    #[test]
+    fn merge_rejects_diverged_structure() {
+        let mut a = train_tree(3000);
+        let b = HoeffdingTree::with_paper_defaults(2, 2);
+        // a has split, b has not: structures differ.
+        let err = StreamingClassifier::merge(&mut a, &b as &dyn StreamingClassifier);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn subspace_restricts_observed_features() {
+        let mut cfg = HoeffdingTreeConfig::paper_defaults(2, 10);
+        cfg.subspace = Some(3);
+        let ht = HoeffdingTree::new(cfg).unwrap();
+        match &ht.root {
+            Node::Leaf(leaf) => {
+                let active = leaf.observers.iter().filter(|o| o.is_some()).count();
+                assert_eq!(active, 3);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn nb_adaptive_beats_majority_on_conditional_structure() {
+        // Two features jointly informative within one leaf: NB leaves can
+        // exploit them before any split happens.
+        let mut cfg = HoeffdingTreeConfig::paper_defaults(2, 2);
+        cfg.grace_period = 1e12; // never split: isolate leaf prediction
+        cfg.leaf_prediction = LeafPrediction::NBAdaptive;
+        let mut nb_tree = HoeffdingTree::new(cfg.clone()).unwrap();
+        cfg.leaf_prediction = LeafPrediction::MajorityClass;
+        let mut mc_tree = HoeffdingTree::new(cfg).unwrap();
+        let gen = |i: u64| {
+            let x0 = ((i * 31) % 17) as f64;
+            let label = usize::from(x0 > 8.0);
+            Instance::labeled(vec![x0, 1.0], label)
+        };
+        for i in 0..2000 {
+            let inst = gen(i);
+            nb_tree.train(&inst).unwrap();
+            mc_tree.train(&inst).unwrap();
+        }
+        let acc = |t: &HoeffdingTree| {
+            (0..500)
+                .filter(|&i| {
+                    let inst = gen(i + 7777);
+                    t.predict(&inst.features).unwrap() == inst.label.unwrap()
+                })
+                .count()
+        };
+        let nb_acc = acc(&nb_tree);
+        let mc_acc = acc(&mc_tree);
+        assert!(nb_acc > mc_acc, "NB-adaptive {nb_acc} vs majority {mc_acc}");
+        assert!(nb_acc > 450);
+    }
+
+    #[test]
+    fn feature_importances_credit_the_signal_feature() {
+        let ht = train_tree(3000);
+        let imp = ht.feature_importances();
+        assert_eq!(imp.len(), 2);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[0] > imp[1], "signal feature dominates: {imp:?}");
+        // Untrained tree: all zeros.
+        let fresh = HoeffdingTree::with_paper_defaults(2, 2);
+        assert!(fresh.feature_importances().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn clone_box_is_independent() {
+        let ht = train_tree(1000);
+        let mut boxed = ht.clone_box();
+        boxed.train(&separable_instance(1)).unwrap();
+        assert_eq!(ht.name(), "HT");
+        assert!(boxed.as_any().downcast_ref::<HoeffdingTree>().is_some());
+    }
+}

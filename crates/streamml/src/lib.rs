@@ -1,0 +1,45 @@
+//! Streaming machine learning for the `redhanded` framework.
+//!
+//! From-scratch implementations of the streaming classifiers the paper
+//! evaluates (Section III-C) and their supporting machinery:
+//!
+//! * [`hoeffding`] — the Hoeffding Tree (Domingos & Hulten, 2000);
+//! * [`arf`] — the Adaptive Random Forest (Gomes et al., 2017) with online
+//!   bagging, per-leaf feature subsets, and ADWIN-driven drift adaptation;
+//! * [`slr`] — Streaming Logistic Regression with SGD;
+//! * [`adwin`] — the ADWIN change detector (Bifet & Gavaldà, 2007);
+//! * [`gaussian`] — per-class Gaussian attribute observers for numeric
+//!   split evaluation;
+//! * [`criterion`] — Gini / information-gain split criteria and the
+//!   Hoeffding bound;
+//! * [`eval`] — prequential (test-then-train) evaluation, confusion
+//!   matrices, and the metric series behind the paper's figures;
+//! * [`classifier`] — the [`StreamingClassifier`] trait, including the
+//!   accumulate / merge / finalize protocol used for distributed training
+//!   (Figure 2 of the paper).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adwin;
+pub mod arf;
+pub mod bagging;
+pub mod classifier;
+pub mod criterion;
+pub mod drift;
+pub mod eval;
+pub mod gaussian;
+pub mod hoeffding;
+pub mod nb;
+pub mod slr;
+
+pub use adwin::Adwin;
+pub use arf::{AdaptiveRandomForest, ArfConfig};
+pub use bagging::OzaBag;
+pub use classifier::StreamingClassifier;
+pub use criterion::{hoeffding_bound, SplitCriterion};
+pub use drift::{ChangeDetector, Ddm, DetectorKind};
+pub use eval::{ConfusionMatrix, Metrics, PrequentialEvaluator, SeriesPoint};
+pub use hoeffding::{HoeffdingTree, HoeffdingTreeConfig, LeafPrediction};
+pub use nb::StreamingNaiveBayes;
+pub use slr::{Regularizer, SlrConfig, StreamingLogisticRegression};

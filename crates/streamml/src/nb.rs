@@ -1,0 +1,231 @@
+//! Streaming Gaussian naive Bayes — the classic lightweight baseline every
+//! streaming-ML toolkit (MOA, streamDM, SAMOA) ships alongside the
+//! Hoeffding Tree. Not part of the paper's headline comparison, but
+//! useful as a floor baseline and as the leaf model the HT's NB-adaptive
+//! leaves are built from.
+//!
+//! Per class, each feature keeps a running Gaussian summary; prediction is
+//! `argmax_c log P(c) + Σ_f log N(x_f; μ_{c,f}, σ_{c,f})`. Training is
+//! O(features) per instance and trivially mergeable — the distributed
+//! protocol sums the per-class summaries.
+
+use crate::classifier::{normalize_proba, StreamingClassifier};
+use crate::gaussian::GaussianEstimator;
+use redhanded_types::{Error, Instance, Result};
+
+/// The streaming Gaussian naive Bayes classifier.
+#[derive(Debug, Clone)]
+pub struct StreamingNaiveBayes {
+    num_classes: usize,
+    num_features: usize,
+    /// Weighted class priors.
+    class_weights: Vec<f64>,
+    /// `[class][feature]` Gaussian summaries.
+    summaries: Vec<Vec<GaussianEstimator>>,
+}
+
+impl StreamingNaiveBayes {
+    /// Create a model for a problem shape.
+    pub fn new(num_classes: usize, num_features: usize) -> Result<Self> {
+        if num_classes < 2 {
+            return Err(Error::InvalidConfig("need at least 2 classes".into()));
+        }
+        if num_features == 0 {
+            return Err(Error::InvalidConfig("need at least 1 feature".into()));
+        }
+        Ok(StreamingNaiveBayes {
+            num_classes,
+            num_features,
+            class_weights: vec![0.0; num_classes],
+            summaries: (0..num_classes)
+                .map(|_| (0..num_features).map(|_| GaussianEstimator::new()).collect())
+                .collect(),
+        })
+    }
+
+    /// Total weight of training instances observed.
+    pub fn weight_seen(&self) -> f64 {
+        self.class_weights.iter().sum()
+    }
+}
+
+impl StreamingClassifier for StreamingNaiveBayes {
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn train(&mut self, instance: &Instance) -> Result<()> {
+        let Some(class) = instance.label else { return Ok(()) };
+        if instance.features.len() != self.num_features {
+            return Err(Error::DimensionMismatch {
+                expected: self.num_features,
+                actual: instance.features.len(),
+            });
+        }
+        if class >= self.num_classes {
+            return Err(Error::InvalidClass { class, num_classes: self.num_classes });
+        }
+        self.class_weights[class] += instance.weight;
+        for (est, &x) in self.summaries[class].iter_mut().zip(&instance.features) {
+            est.update(x, instance.weight);
+        }
+        Ok(())
+    }
+
+    fn predict_proba(&self, features: &[f64]) -> Result<Vec<f64>> {
+        if features.len() != self.num_features {
+            return Err(Error::DimensionMismatch {
+                expected: self.num_features,
+                actual: features.len(),
+            });
+        }
+        let total = self.weight_seen();
+        if total <= 0.0 {
+            return Ok(vec![1.0 / self.num_classes as f64; self.num_classes]);
+        }
+        let mut log_scores: Vec<f64> = self
+            .class_weights
+            .iter()
+            .map(|&w| ((w + 1.0) / (total + self.num_classes as f64)).ln())
+            .collect();
+        for (c, score) in log_scores.iter_mut().enumerate() {
+            for (est, &x) in self.summaries[c].iter().zip(features) {
+                if est.weight() > 0.0 {
+                    *score += est.log_density(x);
+                }
+            }
+        }
+        let max = log_scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut p: Vec<f64> = log_scores.iter().map(|&s| (s - max).exp()).collect();
+        normalize_proba(&mut p);
+        Ok(p)
+    }
+
+    fn merge(&mut self, other: &dyn StreamingClassifier) -> Result<()> {
+        let other = other
+            .as_any()
+            .downcast_ref::<StreamingNaiveBayes>()
+            .ok_or_else(|| Error::InvalidConfig("cannot merge NB with non-NB".into()))?;
+        for (a, b) in self.class_weights.iter_mut().zip(&other.class_weights) {
+            *a += b;
+        }
+        for (row_a, row_b) in self.summaries.iter_mut().zip(&other.summaries) {
+            for (a, b) in row_a.iter_mut().zip(row_b) {
+                a.merge(b);
+            }
+        }
+        Ok(())
+    }
+
+    fn local_copy(&self) -> Box<dyn StreamingClassifier> {
+        // Zero-statistics fork: NB statistics sum, so deltas merge exactly.
+        Box::new(
+            StreamingNaiveBayes::new(self.num_classes, self.num_features)
+                .expect("shape already validated"),
+        )
+    }
+
+    fn clone_box(&self) -> Box<dyn StreamingClassifier> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "NB"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(i: u64) -> Instance {
+        // Class 0 near 0, class 1 near 10 on feature 0; feature 1 is noise.
+        let label = (i % 2) as usize;
+        let x0 = label as f64 * 10.0 + ((i * 13) % 30) as f64 / 10.0;
+        let x1 = ((i * 7) % 50) as f64;
+        Instance::labeled(vec![x0, x1], label)
+    }
+
+    #[test]
+    fn learns_gaussian_classes() {
+        let mut nb = StreamingNaiveBayes::new(2, 2).unwrap();
+        for i in 0..2000 {
+            nb.train(&inst(i)).unwrap();
+        }
+        let correct = (0..500)
+            .filter(|&i| {
+                let t = inst(i + 9999);
+                nb.predict(&t.features).unwrap() == t.label.unwrap()
+            })
+            .count();
+        assert!(correct > 480, "accuracy {correct}/500");
+        assert_eq!(nb.weight_seen(), 2000.0);
+    }
+
+    #[test]
+    fn untrained_is_uniform() {
+        let nb = StreamingNaiveBayes::new(3, 2).unwrap();
+        let p = nb.predict_proba(&[1.0, 2.0]).unwrap();
+        for x in p {
+            assert!((x - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn priors_matter_for_imbalanced_data() {
+        let mut nb = StreamingNaiveBayes::new(2, 1).unwrap();
+        // 95% class 0, same feature distribution for both classes.
+        for i in 0..1000u64 {
+            let label = usize::from(i % 20 == 0);
+            nb.train(&Instance::labeled(vec![(i % 10) as f64], label)).unwrap();
+        }
+        let p = nb.predict_proba(&[5.0]).unwrap();
+        assert!(p[0] > 0.8, "majority prior dominates: {p:?}");
+    }
+
+    #[test]
+    fn distributed_protocol_exact() {
+        // NB deltas merge exactly: distributed == sequential.
+        let mut sequential = StreamingNaiveBayes::new(2, 2).unwrap();
+        let mut global: Box<dyn StreamingClassifier> =
+            Box::new(StreamingNaiveBayes::new(2, 2).unwrap());
+        let stream: Vec<Instance> = (0..1000).map(inst).collect();
+        for batch in stream.chunks(200) {
+            let mut a = global.local_copy();
+            let mut b = global.local_copy();
+            for (i, x) in batch.iter().enumerate() {
+                sequential.train(x).unwrap();
+                if i % 2 == 0 {
+                    a.accumulate(x).unwrap();
+                } else {
+                    b.accumulate(x).unwrap();
+                }
+            }
+            global.merge_locals(vec![a, b]).unwrap();
+        }
+        for i in 0..100 {
+            let q = inst(i + 5000);
+            let ps = sequential.predict_proba(&q.features).unwrap();
+            let pg = global.predict_proba(&q.features).unwrap();
+            for (x, y) in ps.iter().zip(&pg) {
+                assert!((x - y).abs() < 1e-9, "{ps:?} vs {pg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(StreamingNaiveBayes::new(1, 2).is_err());
+        assert!(StreamingNaiveBayes::new(2, 0).is_err());
+        let mut nb = StreamingNaiveBayes::new(2, 2).unwrap();
+        assert!(nb.train(&Instance::labeled(vec![1.0], 0)).is_err());
+        assert!(nb.train(&Instance::labeled(vec![1.0, 2.0], 5)).is_err());
+        assert!(nb.predict_proba(&[1.0]).is_err());
+        nb.train(&Instance::unlabeled(vec![1.0, 2.0])).unwrap();
+        assert_eq!(nb.weight_seen(), 0.0);
+    }
+}

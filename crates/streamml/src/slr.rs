@@ -1,0 +1,466 @@
+//! Streaming Logistic Regression with stochastic gradient descent
+//! (Section III-C of the paper).
+//!
+//! A multinomial (softmax) logistic model whose parameters are updated
+//! online as new data arrives; SGD optimizes the cross-entropy objective
+//! with an optional L1 or L2 penalty. The hyperparameters mirror Table I:
+//! λ (the SGD step size, selected 0.1), the regularizer (selected L2), and
+//! the regularization strength (selected 0.01).
+//!
+//! Distributed training merges local models by *parameter averaging*
+//! weighted by the number of instances each local model consumed — the
+//! standard mini-batch SGD model-averaging scheme used by Spark MLlib's
+//! streaming linear models.
+
+use crate::classifier::{normalize_proba, StreamingClassifier};
+use redhanded_types::{Error, Instance, Result};
+
+/// Penalty applied to the weights at each SGD step (Table I options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Regularizer {
+    /// No penalty.
+    Zero,
+    /// Lasso penalty (subgradient `sign(w)`).
+    L1,
+    /// Ridge penalty (gradient `w`) — the paper's selected option.
+    #[default]
+    L2,
+}
+
+/// Streaming Logistic Regression hyperparameters.
+#[derive(Debug, Clone)]
+pub struct SlrConfig {
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Number of features.
+    pub num_features: usize,
+    /// SGD step size λ (paper selects 0.1).
+    pub learning_rate: f64,
+    /// Penalty type (paper selects L2).
+    pub regularizer: Regularizer,
+    /// Penalty strength (paper selects 0.01).
+    pub reg_param: f64,
+}
+
+impl SlrConfig {
+    /// The paper's selected hyperparameters (Table I) for a problem shape.
+    pub fn paper_defaults(num_classes: usize, num_features: usize) -> Self {
+        SlrConfig {
+            num_classes,
+            num_features,
+            learning_rate: 0.1,
+            regularizer: Regularizer::L2,
+            reg_param: 0.01,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.num_classes < 2 {
+            return Err(Error::InvalidConfig("need at least 2 classes".into()));
+        }
+        if self.num_features == 0 {
+            return Err(Error::InvalidConfig("need at least 1 feature".into()));
+        }
+        if self.learning_rate <= 0.0 {
+            return Err(Error::InvalidConfig("learning_rate must be positive".into()));
+        }
+        if self.reg_param < 0.0 {
+            return Err(Error::InvalidConfig("reg_param must be non-negative".into()));
+        }
+        Ok(())
+    }
+}
+
+/// The streaming multinomial logistic regression model.
+#[derive(Debug, Clone)]
+pub struct StreamingLogisticRegression {
+    config: SlrConfig,
+    /// Row-major `[class][feature]` weight matrix.
+    weights: Vec<Vec<f64>>,
+    /// Per-class bias terms (never regularized).
+    bias: Vec<f64>,
+    /// Weighted count of training instances consumed.
+    instances_seen: f64,
+}
+
+impl StreamingLogisticRegression {
+    /// Create a model with the given configuration.
+    pub fn new(config: SlrConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(StreamingLogisticRegression {
+            weights: vec![vec![0.0; config.num_features]; config.num_classes],
+            bias: vec![0.0; config.num_classes],
+            instances_seen: 0.0,
+            config,
+        })
+    }
+
+    /// Model with the paper's Table I hyperparameters.
+    pub fn with_paper_defaults(num_classes: usize, num_features: usize) -> Self {
+        Self::new(SlrConfig::paper_defaults(num_classes, num_features))
+            .expect("paper defaults are valid")
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SlrConfig {
+        &self.config
+    }
+
+    /// Weighted count of training instances consumed.
+    pub fn instances_seen(&self) -> f64 {
+        self.instances_seen
+    }
+
+    /// Read access to the weight matrix (`[class][feature]`).
+    pub fn weights(&self) -> &[Vec<f64>] {
+        &self.weights
+    }
+
+    fn softmax(&self, features: &[f64]) -> Vec<f64> {
+        let mut scores: Vec<f64> = self
+            .weights
+            .iter()
+            .zip(&self.bias)
+            .map(|(w, b)| b + w.iter().zip(features).map(|(wi, xi)| wi * xi).sum::<f64>())
+            .collect();
+        let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for s in scores.iter_mut() {
+            *s = (*s - max).exp();
+        }
+        normalize_proba(&mut scores);
+        scores
+    }
+}
+
+impl StreamingClassifier for StreamingLogisticRegression {
+    fn num_classes(&self) -> usize {
+        self.config.num_classes
+    }
+
+    fn train(&mut self, instance: &Instance) -> Result<()> {
+        let Some(class) = instance.label else { return Ok(()) };
+        if instance.features.len() != self.config.num_features {
+            return Err(Error::DimensionMismatch {
+                expected: self.config.num_features,
+                actual: instance.features.len(),
+            });
+        }
+        if class >= self.config.num_classes {
+            return Err(Error::InvalidClass { class, num_classes: self.config.num_classes });
+        }
+        let proba = self.softmax(&instance.features);
+        let lr = self.config.learning_rate * instance.weight;
+        let reg = self.config.reg_param;
+        for (c, &p_c) in proba.iter().enumerate() {
+            // Cross-entropy gradient: (p_c - 1{c == y}) * x.
+            let err = p_c - if c == class { 1.0 } else { 0.0 };
+            let w = &mut self.weights[c];
+            for (wi, &xi) in w.iter_mut().zip(&instance.features) {
+                let penalty = match self.config.regularizer {
+                    Regularizer::Zero => 0.0,
+                    Regularizer::L1 => reg * wi.signum(),
+                    Regularizer::L2 => reg * *wi,
+                };
+                *wi -= lr * (err * xi + penalty);
+            }
+            self.bias[c] -= lr * err;
+        }
+        self.instances_seen += instance.weight;
+        Ok(())
+    }
+
+    fn predict_proba(&self, features: &[f64]) -> Result<Vec<f64>> {
+        if features.len() != self.config.num_features {
+            return Err(Error::DimensionMismatch {
+                expected: self.config.num_features,
+                actual: features.len(),
+            });
+        }
+        Ok(self.softmax(features))
+    }
+
+    /// Parameter averaging weighted by instances seen.
+    fn merge(&mut self, other: &dyn StreamingClassifier) -> Result<()> {
+        let other = other
+            .as_any()
+            .downcast_ref::<StreamingLogisticRegression>()
+            .ok_or_else(|| Error::InvalidConfig("cannot merge SLR with non-SLR".into()))?;
+        let w1 = self.instances_seen;
+        let w2 = other.instances_seen;
+        let total = w1 + w2;
+        if total <= 0.0 {
+            return Ok(());
+        }
+        let (a, b) = (w1 / total, w2 / total);
+        for (wc, oc) in self.weights.iter_mut().zip(&other.weights) {
+            for (wi, oi) in wc.iter_mut().zip(oc) {
+                *wi = a * *wi + b * *oi;
+            }
+        }
+        for (bi, oi) in self.bias.iter_mut().zip(&other.bias) {
+            *bi = a * *bi + b * *oi;
+        }
+        self.instances_seen = total;
+        Ok(())
+    }
+
+    /// Parameter averaging across full local clones (each local diverged
+    /// from the same broadcast global model by SGD on its partition): the
+    /// global parameters become the instance-weighted average of the
+    /// locals — Spark MLlib's streaming linear-model scheme.
+    fn merge_locals(&mut self, locals: Vec<Box<dyn StreamingClassifier>>) -> Result<()> {
+        let mut refs: Vec<&StreamingLogisticRegression> = Vec::with_capacity(locals.len());
+        for l in &locals {
+            refs.push(l.as_any().downcast_ref::<StreamingLogisticRegression>().ok_or_else(
+                || Error::InvalidConfig("cannot merge SLR with non-SLR".into()),
+            )?);
+        }
+        let total: f64 = refs.iter().map(|r| r.instances_seen).sum();
+        if total <= 0.0 {
+            return Ok(());
+        }
+        let base = self.instances_seen;
+        let mut weights = vec![vec![0.0; self.config.num_features]; self.config.num_classes];
+        let mut bias = vec![0.0; self.config.num_classes];
+        for r in &refs {
+            let share = r.instances_seen / total;
+            for (wc, oc) in weights.iter_mut().zip(&r.weights) {
+                for (wi, oi) in wc.iter_mut().zip(oc) {
+                    *wi += share * oi;
+                }
+            }
+            for (bi, oi) in bias.iter_mut().zip(&r.bias) {
+                *bi += share * oi;
+            }
+        }
+        self.weights = weights;
+        self.bias = bias;
+        // Each local's count includes the inherited global count; the new
+        // global count is the base plus the genuinely new instances.
+        let new_instances: f64 =
+            refs.iter().map(|r| (r.instances_seen - base).max(0.0)).sum();
+        self.instances_seen = base + new_instances;
+        Ok(())
+    }
+
+    fn clone_box(&self) -> Box<dyn StreamingClassifier> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "SLR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linearly separable normalized stream with a margin: class 0 has
+    /// x0 ∈ [0, 0.4), class 1 has x0 ∈ [0.6, 1.0).
+    fn inst(i: u64) -> Instance {
+        let label = (i % 2) as usize;
+        let x0 = label as f64 * 0.6 + ((i * 13) % 40) as f64 / 100.0;
+        let x1 = ((i * 29) % 100) as f64 / 100.0;
+        Instance::labeled(vec![x0, x1], label)
+    }
+
+    fn accuracy(model: &StreamingLogisticRegression, n: u64, offset: u64) -> f64 {
+        let correct = (0..n)
+            .filter(|&i| {
+                let t = inst(i + offset);
+                model.predict(&t.features).unwrap() == t.label.unwrap()
+            })
+            .count();
+        correct as f64 / n as f64
+    }
+
+    #[test]
+    fn learns_linear_concept() {
+        let mut slr = StreamingLogisticRegression::with_paper_defaults(2, 2);
+        for i in 0..20_000 {
+            slr.train(&inst(i)).unwrap();
+        }
+        let acc = accuracy(&slr, 1000, 77);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn untrained_predicts_uniform() {
+        let slr = StreamingLogisticRegression::with_paper_defaults(4, 3);
+        let p = slr.predict_proba(&[1.0, 2.0, 3.0]).unwrap();
+        for x in &p {
+            assert!((x - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn three_class_concept() {
+        // Three margin-separated bands on one feature.
+        let mut slr = StreamingLogisticRegression::with_paper_defaults(3, 1);
+        let gen = |i: u64| {
+            let label = (i % 3) as usize;
+            // Bands: [0, 0.2), [0.4, 0.6), [0.8, 1.0).
+            let x = label as f64 * 0.4 + ((i * 13) % 20) as f64 / 100.0;
+            Instance::labeled(vec![x], label)
+        };
+        for i in 0..60_000 {
+            slr.train(&gen(i)).unwrap();
+        }
+        let correct = (0..300)
+            .filter(|&i| {
+                let t = gen(i);
+                slr.predict(&t.features).unwrap() == t.label.unwrap()
+            })
+            .count();
+        assert!(correct > 240, "3-class accuracy {correct}/300");
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut slr = StreamingLogisticRegression::with_paper_defaults(3, 2);
+        for i in 0..500 {
+            slr.train(&Instance::labeled(vec![(i % 7) as f64, 1.0], (i % 3) as usize))
+                .unwrap();
+        }
+        let p = slr.predict_proba(&[3.0, 1.0]).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn l2_shrinks_weights_vs_zero() {
+        let mut cfg = SlrConfig::paper_defaults(2, 2);
+        cfg.regularizer = Regularizer::Zero;
+        let mut plain = StreamingLogisticRegression::new(cfg.clone()).unwrap();
+        cfg.regularizer = Regularizer::L2;
+        cfg.reg_param = 0.1;
+        let mut ridge = StreamingLogisticRegression::new(cfg).unwrap();
+        for i in 0..5000 {
+            plain.train(&inst(i)).unwrap();
+            ridge.train(&inst(i)).unwrap();
+        }
+        let norm = |m: &StreamingLogisticRegression| -> f64 {
+            m.weights().iter().flatten().map(|w| w * w).sum::<f64>().sqrt()
+        };
+        assert!(norm(&ridge) < norm(&plain), "{} !< {}", norm(&ridge), norm(&plain));
+    }
+
+    #[test]
+    fn l1_drives_uninformative_weights_toward_zero() {
+        let mut cfg = SlrConfig::paper_defaults(2, 2);
+        cfg.regularizer = Regularizer::L1;
+        cfg.reg_param = 0.05;
+        let mut lasso = StreamingLogisticRegression::new(cfg).unwrap();
+        for i in 0..20_000 {
+            lasso.train(&inst(i)).unwrap();
+        }
+        // Feature 1 is noise: its weight magnitude should be small relative
+        // to the informative feature 0.
+        let w0 = lasso.weights()[1][0].abs();
+        let w1 = lasso.weights()[1][1].abs();
+        assert!(w1 < w0 / 2.0, "noise weight {w1} vs signal weight {w0}");
+    }
+
+    #[test]
+    fn instance_weight_scales_updates() {
+        let mut a = StreamingLogisticRegression::with_paper_defaults(2, 1);
+        let mut b = StreamingLogisticRegression::with_paper_defaults(2, 1);
+        a.train(&Instance::labeled(vec![1.0], 1).with_weight(2.0)).unwrap();
+        b.train(&Instance::labeled(vec![1.0], 1)).unwrap();
+        assert!(a.weights()[1][0] > b.weights()[1][0]);
+        assert_eq!(a.instances_seen(), 2.0);
+    }
+
+    #[test]
+    fn merge_averages_parameters() {
+        let mut a = StreamingLogisticRegression::with_paper_defaults(2, 2);
+        let mut b = StreamingLogisticRegression::with_paper_defaults(2, 2);
+        for i in 0..10_000 {
+            // Alternate pairs so both halves see both classes.
+            if (i / 2) % 2 == 0 {
+                a.train(&inst(i)).unwrap();
+            } else {
+                b.train(&inst(i)).unwrap();
+            }
+        }
+        let wa = a.weights()[1][0];
+        let wb = b.weights()[1][0];
+        StreamingClassifier::merge(&mut a, &b as &dyn StreamingClassifier).unwrap();
+        let merged = a.weights()[1][0];
+        assert!(
+            (merged - (wa + wb) / 2.0).abs() < 1e-9,
+            "equal-weight average: {merged} vs {}",
+            (wa + wb) / 2.0
+        );
+        assert_eq!(a.instances_seen(), 10_000.0);
+        // The merged model still classifies well.
+        assert!(accuracy(&a, 500, 3) > 0.9);
+    }
+
+    #[test]
+    fn merge_with_untrained_is_identity_scaled() {
+        let mut a = StreamingLogisticRegression::with_paper_defaults(2, 2);
+        for i in 0..1000 {
+            a.train(&inst(i)).unwrap();
+        }
+        let before = a.weights()[1][0];
+        let b = StreamingLogisticRegression::with_paper_defaults(2, 2);
+        StreamingClassifier::merge(&mut a, &b as &dyn StreamingClassifier).unwrap();
+        assert!((a.weights()[1][0] - before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_locals_parameter_averaging() {
+        let mut global: Box<dyn StreamingClassifier> =
+            Box::new(StreamingLogisticRegression::with_paper_defaults(2, 2));
+        let stream: Vec<Instance> = (0..8000).map(inst).collect();
+        for batch in stream.chunks(1000) {
+            let mut local_a = global.local_copy();
+            let mut local_b = global.local_copy();
+            for (i, inst) in batch.iter().enumerate() {
+                // Alternate pairs so both locals see both classes.
+                if (i / 2) % 2 == 0 {
+                    local_a.accumulate(inst).unwrap();
+                } else {
+                    local_b.accumulate(inst).unwrap();
+                }
+            }
+            global.merge_locals(vec![local_a, local_b]).unwrap();
+        }
+        let slr = global.as_any().downcast_ref::<StreamingLogisticRegression>().unwrap();
+        assert_eq!(slr.instances_seen(), 8000.0, "no double counting");
+        let correct = (0..500)
+            .filter(|&i| {
+                let t = inst(i + 31);
+                global.predict(&t.features).unwrap() == t.label.unwrap()
+            })
+            .count();
+        assert!(correct > 470, "distributed SLR accuracy {correct}/500");
+    }
+
+    #[test]
+    fn errors() {
+        let mut slr = StreamingLogisticRegression::with_paper_defaults(2, 2);
+        assert!(slr.train(&Instance::labeled(vec![1.0], 0)).is_err());
+        assert!(slr.train(&Instance::labeled(vec![1.0, 2.0], 9)).is_err());
+        assert!(slr.predict_proba(&[1.0]).is_err());
+        let mut cfg = SlrConfig::paper_defaults(2, 2);
+        cfg.learning_rate = 0.0;
+        assert!(StreamingLogisticRegression::new(cfg).is_err());
+        let mut cfg = SlrConfig::paper_defaults(2, 2);
+        cfg.num_classes = 1;
+        assert!(StreamingLogisticRegression::new(cfg).is_err());
+    }
+
+    #[test]
+    fn unlabeled_is_noop() {
+        let mut slr = StreamingLogisticRegression::with_paper_defaults(2, 2);
+        slr.train(&Instance::unlabeled(vec![1.0, 1.0])).unwrap();
+        assert_eq!(slr.instances_seen(), 0.0);
+    }
+}

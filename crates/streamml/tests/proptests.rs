@@ -1,0 +1,171 @@
+//! Property-based tests for the streaming ML crate (see DESIGN.md §5).
+
+use proptest::prelude::*;
+use redhanded_streamml::classifier::normalize_proba;
+use redhanded_streamml::{
+    hoeffding_bound, Adwin, AdaptiveRandomForest, ConfusionMatrix, HoeffdingTree,
+    SplitCriterion, StreamingClassifier, StreamingLogisticRegression,
+};
+use redhanded_types::Instance;
+
+fn arb_counts() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1e4, 2..6)
+}
+
+proptest! {
+    /// Impurity is non-negative, zero on pure nodes, and bounded by the
+    /// criterion's declared range.
+    #[test]
+    fn impurity_bounds(counts in arb_counts()) {
+        for criterion in [SplitCriterion::Gini, SplitCriterion::InfoGain] {
+            let imp = criterion.impurity(&counts);
+            prop_assert!(imp >= 0.0);
+            prop_assert!(imp <= criterion.range(counts.len()) + 1e-9);
+        }
+    }
+
+    /// The Hoeffding bound is monotone: shrinking in n, growing in range,
+    /// shrinking in delta.
+    #[test]
+    fn hoeffding_bound_monotone(
+        n in 1.0f64..1e6,
+        extra in 1.0f64..1e6,
+        range in 0.1f64..8.0,
+        delta in 1e-6f64..0.5,
+    ) {
+        let base = hoeffding_bound(range, delta, n);
+        prop_assert!(hoeffding_bound(range, delta, n + extra) <= base);
+        prop_assert!(hoeffding_bound(range * 2.0, delta, n) >= base);
+        prop_assert!(hoeffding_bound(range, delta / 2.0, n) >= base);
+        prop_assert!(base >= 0.0);
+    }
+
+    /// Confusion-matrix metrics are bounded and weighted recall equals
+    /// accuracy for any prediction pattern.
+    #[test]
+    fn metrics_invariants(outcomes in prop::collection::vec((0usize..3, 0usize..3), 1..300)) {
+        let mut m = ConfusionMatrix::new(3);
+        for (actual, predicted) in &outcomes {
+            m.add(*actual, *predicted, 1.0);
+        }
+        let metrics = m.metrics();
+        for v in [metrics.accuracy, metrics.precision, metrics.recall, metrics.f1, metrics.macro_f1] {
+            prop_assert!((0.0..=1.0).contains(&v), "{v}");
+        }
+        prop_assert!((metrics.recall - metrics.accuracy).abs() < 1e-12);
+        // Per-class F1 is the harmonic mean of precision and recall.
+        for c in 0..3 {
+            let (p, r, f1) = (m.precision(c), m.recall(c), m.f1(c));
+            if p + r > 0.0 {
+                prop_assert!((f1 - 2.0 * p * r / (p + r)).abs() < 1e-12);
+            } else {
+                prop_assert_eq!(f1, 0.0);
+            }
+        }
+    }
+
+    /// Matrix merging is equivalent to recording everything in one matrix.
+    #[test]
+    fn matrix_merge_equivalence(
+        a in prop::collection::vec((0usize..3, 0usize..3), 0..100),
+        b in prop::collection::vec((0usize..3, 0usize..3), 0..100),
+    ) {
+        let mut ma = ConfusionMatrix::new(3);
+        let mut mb = ConfusionMatrix::new(3);
+        let mut all = ConfusionMatrix::new(3);
+        for (x, y) in &a { ma.add(*x, *y, 1.0); all.add(*x, *y, 1.0); }
+        for (x, y) in &b { mb.add(*x, *y, 1.0); all.add(*x, *y, 1.0); }
+        ma.merge(&mb);
+        prop_assert_eq!(ma.total(), all.total());
+        for x in 0..3 {
+            for y in 0..3 {
+                prop_assert_eq!(ma.count(x, y), all.count(x, y));
+            }
+        }
+    }
+
+    /// Model predictions are always valid probability distributions, no
+    /// matter what (labeled) data the models were fed.
+    #[test]
+    fn predictions_are_distributions(
+        data in prop::collection::vec(
+            (prop::collection::vec(-100.0f64..100.0, 3), 0usize..2),
+            1..80,
+        ),
+        query in prop::collection::vec(-100.0f64..100.0, 3),
+    ) {
+        let mut models: Vec<Box<dyn StreamingClassifier>> = vec![
+            Box::new(HoeffdingTree::with_paper_defaults(2, 3)),
+            Box::new(StreamingLogisticRegression::with_paper_defaults(2, 3)),
+        ];
+        for model in &mut models {
+            for (features, label) in &data {
+                model.train(&Instance::labeled(features.clone(), *label)).unwrap();
+            }
+            let p = model.predict_proba(&query).unwrap();
+            prop_assert_eq!(p.len(), 2);
+            let sum: f64 = p.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "{}: {p:?}", model.name());
+            prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    /// normalize_proba output always sums to one for non-empty input.
+    #[test]
+    fn normalize_proba_invariant(mut v in prop::collection::vec(0.0f64..1e9, 1..10)) {
+        normalize_proba(&mut v);
+        let sum: f64 = v.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    /// ADWIN width never exceeds the number of insertions and the mean
+    /// stays within the observed value range.
+    #[test]
+    fn adwin_window_sane(values in prop::collection::vec(0.0f64..1.0, 1..500)) {
+        let mut adwin = Adwin::with_default_delta();
+        for (i, &v) in values.iter().enumerate() {
+            adwin.update(v);
+            prop_assert!(adwin.width() <= (i + 1) as u64);
+        }
+        prop_assert!((0.0..=1.0).contains(&adwin.mean()));
+    }
+
+    /// Online bagging: ARF training with arbitrary instance weights never
+    /// produces invalid ensembles.
+    #[test]
+    fn arf_weighted_training_stable(
+        weights in prop::collection::vec(0.1f64..5.0, 1..30),
+    ) {
+        let mut arf = AdaptiveRandomForest::with_paper_defaults(2, 2);
+        for (i, &w) in weights.iter().enumerate() {
+            let inst = Instance::labeled(vec![(i % 7) as f64, 1.0], i % 2)
+                .with_weight(w);
+            arf.train(&inst).unwrap();
+        }
+        let p = arf.predict_proba(&[3.0, 1.0]).unwrap();
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    /// SLR merge (parameter averaging) is order-insensitive.
+    #[test]
+    fn slr_merge_commutative(
+        a in prop::collection::vec((0.0f64..1.0, 0usize..2), 1..40),
+        b in prop::collection::vec((0.0f64..1.0, 0usize..2), 1..40),
+    ) {
+        let train = |data: &[(f64, usize)]| {
+            let mut m = StreamingLogisticRegression::with_paper_defaults(2, 1);
+            for (x, y) in data {
+                m.train(&Instance::labeled(vec![*x], *y)).unwrap();
+            }
+            m
+        };
+        let (ma, mb) = (train(&a), train(&b));
+        let mut ab = ma.clone();
+        StreamingClassifier::merge(&mut ab, &mb as &dyn StreamingClassifier).unwrap();
+        let mut ba = mb.clone();
+        StreamingClassifier::merge(&mut ba, &ma as &dyn StreamingClassifier).unwrap();
+        for (wa, wb) in ab.weights().iter().flatten().zip(ba.weights().iter().flatten()) {
+            prop_assert!((wa - wb).abs() < 1e-9);
+        }
+    }
+}

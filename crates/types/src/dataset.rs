@@ -1,0 +1,179 @@
+//! In-memory datasets of extracted instances with day-segment structure.
+
+use crate::{ClassScheme, Instance};
+use serde::{Deserialize, Serialize};
+
+/// A contiguous range of instances belonging to one collection day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DaySegment {
+    /// Zero-based day index.
+    pub day: u32,
+    /// Start index (inclusive) into the dataset's instance vector.
+    pub start: usize,
+    /// End index (exclusive).
+    pub end: usize,
+}
+
+impl DaySegment {
+    /// Number of instances in the segment.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the segment holds no instances.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// An ordered collection of instances under a single class scheme.
+///
+/// Instances are stored in stream arrival order; the paper's dataset was
+/// collected over 10 consecutive days of roughly 8–9k tweets each, and the
+/// batch-vs-streaming comparison (Figures 13–14) trains and tests on day
+/// boundaries, so the day structure is first-class here.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// The class scheme the labels are encoded under.
+    pub scheme: ClassScheme,
+    instances: Vec<Instance>,
+}
+
+impl Dataset {
+    /// An empty dataset under `scheme`.
+    pub fn new(scheme: ClassScheme) -> Self {
+        Dataset { scheme, instances: Vec::new() }
+    }
+
+    /// Build a dataset from pre-extracted instances.
+    pub fn from_instances(scheme: ClassScheme, instances: Vec<Instance>) -> Self {
+        Dataset { scheme, instances }
+    }
+
+    /// Append one instance, preserving arrival order.
+    pub fn push(&mut self, instance: Instance) {
+        self.instances.push(instance);
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// True when the dataset holds no instances.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// All instances in arrival order.
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// Mutable access to the instances (e.g. for in-place normalization).
+    pub fn instances_mut(&mut self) -> &mut [Instance] {
+        &mut self.instances
+    }
+
+    /// Consume the dataset, yielding its instances.
+    pub fn into_instances(self) -> Vec<Instance> {
+        self.instances
+    }
+
+    /// Per-class instance counts (ignoring unlabeled instances).
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.scheme.num_classes()];
+        for inst in &self.instances {
+            if let Some(l) = inst.label {
+                if l < counts.len() {
+                    counts[l] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Contiguous day segments in day order.
+    ///
+    /// Instances are assumed grouped by day in arrival order (as a real
+    /// stream is); a new segment starts whenever the day field changes.
+    pub fn day_segments(&self) -> Vec<DaySegment> {
+        let mut segments = Vec::new();
+        let mut start = 0usize;
+        for i in 1..=self.instances.len() {
+            let boundary =
+                i == self.instances.len() || self.instances[i].day != self.instances[start].day;
+            if boundary {
+                segments.push(DaySegment { day: self.instances[start].day, start, end: i });
+                start = i;
+            }
+        }
+        segments
+    }
+
+    /// Instances of one day segment.
+    pub fn day_slice(&self, segment: DaySegment) -> &[Instance] {
+        &self.instances[segment.start..segment.end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClassScheme;
+
+    fn inst(label: usize, day: u32) -> Instance {
+        Instance::labeled(vec![0.0], label).with_day(day)
+    }
+
+    #[test]
+    fn class_counts_ignore_unlabeled() {
+        let mut ds = Dataset::new(ClassScheme::ThreeClass);
+        ds.push(inst(0, 0));
+        ds.push(inst(1, 0));
+        ds.push(inst(1, 0));
+        ds.push(Instance::unlabeled(vec![0.0]));
+        assert_eq!(ds.class_counts(), vec![1, 2, 0]);
+        assert_eq!(ds.len(), 4);
+    }
+
+    #[test]
+    fn day_segments_split_on_boundaries() {
+        let mut ds = Dataset::new(ClassScheme::TwoClass);
+        for day in 0..3u32 {
+            for _ in 0..(day + 1) {
+                ds.push(inst(0, day));
+            }
+        }
+        let segs = ds.day_segments();
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0], DaySegment { day: 0, start: 0, end: 1 });
+        assert_eq!(segs[1], DaySegment { day: 1, start: 1, end: 3 });
+        assert_eq!(segs[2], DaySegment { day: 2, start: 3, end: 6 });
+        assert_eq!(ds.day_slice(segs[2]).len(), 3);
+        assert_eq!(segs[2].len(), 3);
+        assert!(!segs[2].is_empty());
+    }
+
+    #[test]
+    fn empty_dataset_has_no_segments() {
+        let ds = Dataset::new(ClassScheme::TwoClass);
+        assert!(ds.is_empty());
+        assert!(ds.day_segments().is_empty());
+    }
+
+    #[test]
+    fn from_instances_preserves_order() {
+        let v = vec![inst(0, 0), inst(1, 0)];
+        let ds = Dataset::from_instances(ClassScheme::TwoClass, v.clone());
+        assert_eq!(ds.instances(), v.as_slice());
+        assert_eq!(ds.into_instances(), v);
+    }
+
+    #[test]
+    fn out_of_range_labels_do_not_panic_in_counts() {
+        let mut ds = Dataset::new(ClassScheme::TwoClass);
+        ds.push(inst(9, 0));
+        assert_eq!(ds.class_counts(), vec![0, 0]);
+    }
+}

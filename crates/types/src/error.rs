@@ -1,0 +1,103 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Convenience alias for results produced by `redhanded` crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the `redhanded` framework.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A JSON payload could not be parsed into a [`crate::Tweet`] or related type.
+    Json(serde_json::Error),
+    /// An instance had a different number of features than the model expects.
+    DimensionMismatch {
+        /// Number of features the component was configured for.
+        expected: usize,
+        /// Number of features actually observed.
+        actual: usize,
+    },
+    /// A label index was outside the class scheme's range.
+    InvalidClass {
+        /// The offending class index.
+        class: usize,
+        /// Number of classes in the scheme.
+        num_classes: usize,
+    },
+    /// A component was used before it observed any data.
+    Untrained(&'static str),
+    /// Configuration rejected at construction time.
+    InvalidConfig(String),
+    /// An I/O failure while reading or writing datasets.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Json(e) => write!(f, "malformed tweet JSON: {e}"),
+            Error::DimensionMismatch { expected, actual } => {
+                write!(f, "feature dimension mismatch: expected {expected}, got {actual}")
+            }
+            Error::InvalidClass { class, num_classes } => {
+                write!(f, "class index {class} out of range for {num_classes}-class scheme")
+            }
+            Error::Untrained(what) => write!(f, "{what} has not observed any training data"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Json(e) => Some(e),
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for Error {
+    fn from(e: serde_json::Error) -> Self {
+        Error::Json(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::DimensionMismatch { expected: 17, actual: 16 };
+        assert!(e.to_string().contains("expected 17"));
+        let e = Error::InvalidClass { class: 5, num_classes: 3 };
+        assert!(e.to_string().contains("3-class"));
+        let e = Error::Untrained("HoeffdingTree");
+        assert!(e.to_string().contains("HoeffdingTree"));
+    }
+
+    #[test]
+    fn json_error_converts() {
+        let parse_err = serde_json::from_str::<serde_json::Value>("{invalid").unwrap_err();
+        let e: Error = parse_err.into();
+        assert!(matches!(e, Error::Json(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+    }
+}

@@ -1,0 +1,163 @@
+//! Feature-vector instances — the unit of work after feature extraction.
+
+use serde::{Deserialize, Serialize};
+
+/// Names and arity of a feature vector layout.
+///
+/// Shared between the extractor (which produces vectors in this order), the
+/// models (which report per-feature statistics such as Gini importance), and
+/// the experiment harness (which prints feature names in figures).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureSet {
+    names: Vec<String>,
+}
+
+impl FeatureSet {
+    /// Create a feature set from an ordered list of names.
+    pub fn new<S: Into<String>>(names: impl IntoIterator<Item = S>) -> Self {
+        FeatureSet { names: names.into_iter().map(Into::into).collect() }
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the set contains no features.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Name of feature `i`.
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// All names in order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Index of the feature called `name`, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+}
+
+/// A dense feature vector with an optional class label.
+///
+/// Instances flow from feature extraction through normalization into the
+/// streaming model. Labeled instances additionally drive training and
+/// prequential evaluation; unlabeled instances drive alerting and sampling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    /// Dense feature values, in [`FeatureSet`] order.
+    pub features: Vec<f64>,
+    /// Dense class index under the active [`crate::ClassScheme`], if the
+    /// instance came from the labeled stream.
+    pub label: Option<usize>,
+    /// Importance weight (1.0 for plain instances; online bagging in the
+    /// Adaptive Random Forest re-weights per tree).
+    pub weight: f64,
+    /// Zero-based day segment the instance belongs to (the paper's dataset
+    /// spans 10 consecutive days; Figures 13–14 train/test on day boundaries).
+    pub day: u32,
+    /// The id of the originating tweet, for alerting and sampling.
+    pub tweet_id: u64,
+    /// The id of the posting user, for per-user alert history.
+    pub user_id: u64,
+}
+
+impl Instance {
+    /// An unlabeled instance with unit weight.
+    pub fn unlabeled(features: Vec<f64>) -> Self {
+        Instance { features, label: None, weight: 1.0, day: 0, tweet_id: 0, user_id: 0 }
+    }
+
+    /// A labeled instance with unit weight.
+    pub fn labeled(features: Vec<f64>, label: usize) -> Self {
+        Instance { features, label: Some(label), weight: 1.0, day: 0, tweet_id: 0, user_id: 0 }
+    }
+
+    /// Builder-style setter for the day segment.
+    pub fn with_day(mut self, day: u32) -> Self {
+        self.day = day;
+        self
+    }
+
+    /// Builder-style setter for the originating ids.
+    pub fn with_ids(mut self, tweet_id: u64, user_id: u64) -> Self {
+        self.tweet_id = tweet_id;
+        self.user_id = user_id;
+        self
+    }
+
+    /// Builder-style setter for the instance weight.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Number of features.
+    pub fn dim(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True when the instance carries a label.
+    pub fn is_labeled(&self) -> bool {
+        self.label.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_set_lookup() {
+        let fs = FeatureSet::new(["a", "b", "c"]);
+        assert_eq!(fs.len(), 3);
+        assert!(!fs.is_empty());
+        assert_eq!(fs.name(1), "b");
+        assert_eq!(fs.index_of("c"), Some(2));
+        assert_eq!(fs.index_of("zz"), None);
+    }
+
+    #[test]
+    fn empty_feature_set() {
+        let fs = FeatureSet::new(Vec::<String>::new());
+        assert!(fs.is_empty());
+        assert_eq!(fs.len(), 0);
+    }
+
+    #[test]
+    fn instance_builders() {
+        let i = Instance::labeled(vec![1.0, 2.0], 1)
+            .with_day(3)
+            .with_ids(10, 20)
+            .with_weight(2.5);
+        assert_eq!(i.dim(), 2);
+        assert!(i.is_labeled());
+        assert_eq!(i.label, Some(1));
+        assert_eq!(i.day, 3);
+        assert_eq!(i.tweet_id, 10);
+        assert_eq!(i.user_id, 20);
+        assert!((i.weight - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unlabeled_instance_defaults() {
+        let i = Instance::unlabeled(vec![0.0; 5]);
+        assert!(!i.is_labeled());
+        assert_eq!(i.weight, 1.0);
+        assert_eq!(i.day, 0);
+    }
+
+    #[test]
+    fn instance_serde_roundtrip() {
+        let i = Instance::labeled(vec![1.5, -2.0, 0.0], 2).with_day(7);
+        let json = serde_json::to_string(&i).unwrap();
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        assert_eq!(i, back);
+    }
+}

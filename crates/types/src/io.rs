@@ -1,0 +1,137 @@
+//! JSONL (one JSON payload per line) dataset I/O.
+//!
+//! The wire format of the paper's input streams (Section III-A) doubles as
+//! the on-disk dataset format: `redhanded generate` emits it, the CLI's
+//! `detect`/`evaluate` consume it, and these helpers read/write it in bulk
+//! so generated datasets can be persisted and shared between runs.
+
+use crate::{LabeledTweet, Result, Tweet};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Write labeled tweets as JSONL.
+pub fn write_labeled_jsonl<W: Write>(writer: W, tweets: &[LabeledTweet]) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    for t in tweets {
+        writeln!(w, "{}", t.to_json())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Write unlabeled tweets as JSONL.
+pub fn write_unlabeled_jsonl<W: Write>(writer: W, tweets: &[Tweet]) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    for t in tweets {
+        writeln!(w, "{}", t.to_json())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read labeled tweets from JSONL. Blank lines are skipped; a malformed
+/// line is an error (datasets are machine-written).
+pub fn read_labeled_jsonl<R: Read>(reader: R) -> Result<Vec<LabeledTweet>> {
+    let mut out = Vec::new();
+    for line in BufReader::new(reader).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(LabeledTweet::from_json(&line)?);
+    }
+    Ok(out)
+}
+
+/// Read unlabeled tweets from JSONL (labels on a line, if any, are
+/// ignored — a labeled file downgrades cleanly to an unlabeled stream).
+pub fn read_unlabeled_jsonl<R: Read>(reader: R) -> Result<Vec<Tweet>> {
+    let mut out = Vec::new();
+    for line in BufReader::new(reader).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(Tweet::from_json(&line)?);
+    }
+    Ok(out)
+}
+
+/// Write labeled tweets to a file path.
+pub fn save_labeled(path: impl AsRef<Path>, tweets: &[LabeledTweet]) -> Result<()> {
+    write_labeled_jsonl(std::fs::File::create(path)?, tweets)
+}
+
+/// Read labeled tweets from a file path.
+pub fn load_labeled(path: impl AsRef<Path>) -> Result<Vec<LabeledTweet>> {
+    read_labeled_jsonl(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClassLabel, TwitterUser};
+
+    fn tweets(n: u64) -> Vec<LabeledTweet> {
+        (0..n)
+            .map(|i| LabeledTweet {
+                tweet: Tweet {
+                    id: i,
+                    text: format!("tweet number {i} with ünïcode"),
+                    timestamp_ms: i * 1000,
+                    is_retweet: i % 2 == 0,
+                    is_reply: false,
+                    user: TwitterUser::synthetic(i),
+                },
+                label: if i % 3 == 0 { ClassLabel::Abusive } else { ClassLabel::Normal },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn labeled_roundtrip_through_memory() {
+        let original = tweets(25);
+        let mut buf = Vec::new();
+        write_labeled_jsonl(&mut buf, &original).unwrap();
+        let back = read_labeled_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(original, back);
+    }
+
+    #[test]
+    fn labeled_file_downgrades_to_unlabeled() {
+        let original = tweets(5);
+        let mut buf = Vec::new();
+        write_labeled_jsonl(&mut buf, &original).unwrap();
+        let plain = read_unlabeled_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(plain.len(), 5);
+        assert_eq!(plain[3], original[3].tweet);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_and_garbage_is_an_error() {
+        let mut buf = Vec::new();
+        write_labeled_jsonl(&mut buf, &tweets(2)).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        assert_eq!(read_labeled_jsonl(buf.as_slice()).unwrap().len(), 2);
+        buf.extend_from_slice(b"{not json}\n");
+        assert!(read_labeled_jsonl(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("redhanded_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.jsonl");
+        let original = tweets(10);
+        save_labeled(&path, &original).unwrap();
+        let back = load_labeled(&path).unwrap();
+        assert_eq!(original, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = load_labeled("/definitely/not/a/path.jsonl").unwrap_err();
+        assert!(matches!(err, crate::Error::Io(_)));
+    }
+}

@@ -1,0 +1,241 @@
+//! Annotation labels and class schemes.
+//!
+//! The paper's main dataset labels tweets as *normal*, *abusive*, *hateful*,
+//! or *spam* (spam is filtered out before classification, Section IV-A). The
+//! evaluation considers both a 3-class problem (normal / abusive / hateful)
+//! and a 2-class problem where abusive and hateful collapse into a single
+//! *aggressive* class. Section V-F additionally evaluates a sarcasm dataset
+//! (sarcastic vs. not) and an offensive dataset (racist / sexist / none).
+//!
+//! A [`ClassScheme`] maps a [`ClassLabel`] onto a dense class index in
+//! `0..num_classes`, which is what classifiers operate on.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A human-assigned annotation on a tweet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum ClassLabel {
+    /// Benign content.
+    Normal,
+    /// Abusive content (strongly impolite, rude, or hurtful language).
+    Abusive,
+    /// Hateful content (attacks on protected characteristics).
+    Hateful,
+    /// Spam — removed before classification in the paper (Section IV-A).
+    Spam,
+    /// Sarcastic tweet (the Sarcasm dataset of Section V-F).
+    Sarcastic,
+    /// Racist tweet (the Offensive dataset of Section V-F).
+    Racist,
+    /// Sexist tweet (the Offensive dataset of Section V-F).
+    Sexist,
+}
+
+impl ClassLabel {
+    /// Whether the label counts as *aggressive* in the 2-class collapse
+    /// (abusive or hateful, Section V-A).
+    pub fn is_aggressive(self) -> bool {
+        matches!(self, ClassLabel::Abusive | ClassLabel::Hateful)
+    }
+
+    /// Canonical lowercase name, matching the JSON encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClassLabel::Normal => "normal",
+            ClassLabel::Abusive => "abusive",
+            ClassLabel::Hateful => "hateful",
+            ClassLabel::Spam => "spam",
+            ClassLabel::Sarcastic => "sarcastic",
+            ClassLabel::Racist => "racist",
+            ClassLabel::Sexist => "sexist",
+        }
+    }
+
+    /// Parse a canonical lowercase name back into a label.
+    pub fn parse(name: &str) -> Option<Self> {
+        Some(match name {
+            "normal" => ClassLabel::Normal,
+            "abusive" => ClassLabel::Abusive,
+            "hateful" => ClassLabel::Hateful,
+            "spam" => ClassLabel::Spam,
+            "sarcastic" => ClassLabel::Sarcastic,
+            "racist" => ClassLabel::Racist,
+            "sexist" => ClassLabel::Sexist,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ClassLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Maps annotation labels onto dense class indices for a classification task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClassScheme {
+    /// 2-class problem: class 0 = normal, class 1 = aggressive
+    /// (abusive ∪ hateful). Spam is excluded.
+    TwoClass,
+    /// 3-class problem: class 0 = normal, 1 = abusive, 2 = hateful.
+    /// Spam is excluded.
+    ThreeClass,
+    /// Sarcasm dataset: class 0 = not sarcastic (normal), 1 = sarcastic.
+    Sarcasm,
+    /// Offensive dataset: class 0 = none (normal), 1 = racist, 2 = sexist.
+    Offensive,
+}
+
+impl ClassScheme {
+    /// Number of dense classes in this scheme.
+    pub fn num_classes(self) -> usize {
+        match self {
+            ClassScheme::TwoClass | ClassScheme::Sarcasm => 2,
+            ClassScheme::ThreeClass | ClassScheme::Offensive => 3,
+        }
+    }
+
+    /// Dense class index for `label`, or `None` if the label does not belong
+    /// to this scheme (e.g. spam, which the paper filters out).
+    pub fn index_of(self, label: ClassLabel) -> Option<usize> {
+        match (self, label) {
+            (ClassScheme::TwoClass, ClassLabel::Normal) => Some(0),
+            (ClassScheme::TwoClass, l) if l.is_aggressive() => Some(1),
+            (ClassScheme::ThreeClass, ClassLabel::Normal) => Some(0),
+            (ClassScheme::ThreeClass, ClassLabel::Abusive) => Some(1),
+            (ClassScheme::ThreeClass, ClassLabel::Hateful) => Some(2),
+            (ClassScheme::Sarcasm, ClassLabel::Normal) => Some(0),
+            (ClassScheme::Sarcasm, ClassLabel::Sarcastic) => Some(1),
+            (ClassScheme::Offensive, ClassLabel::Normal) => Some(0),
+            (ClassScheme::Offensive, ClassLabel::Racist) => Some(1),
+            (ClassScheme::Offensive, ClassLabel::Sexist) => Some(2),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name of a dense class index.
+    ///
+    /// # Panics
+    /// Panics if `class >= self.num_classes()`.
+    pub fn class_name(self, class: usize) -> &'static str {
+        let names: &[&'static str] = match self {
+            ClassScheme::TwoClass => &["normal", "aggressive"],
+            ClassScheme::ThreeClass => &["normal", "abusive", "hateful"],
+            ClassScheme::Sarcasm => &["normal", "sarcastic"],
+            ClassScheme::Offensive => &["none", "racist", "sexist"],
+        };
+        names[class]
+    }
+
+    /// Class indices considered "positive" when computing macro F1 restricted
+    /// to the minority/interest classes. For all schemes this is every class
+    /// except the benign class 0.
+    pub fn positive_classes(self) -> impl Iterator<Item = usize> {
+        1..self.num_classes()
+    }
+}
+
+impl fmt::Display for ClassScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ClassScheme::TwoClass => "2-class",
+            ClassScheme::ThreeClass => "3-class",
+            ClassScheme::Sarcasm => "sarcasm",
+            ClassScheme::Offensive => "offensive",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggressive_collapse() {
+        assert!(ClassLabel::Abusive.is_aggressive());
+        assert!(ClassLabel::Hateful.is_aggressive());
+        assert!(!ClassLabel::Normal.is_aggressive());
+        assert!(!ClassLabel::Spam.is_aggressive());
+    }
+
+    #[test]
+    fn two_class_mapping() {
+        let s = ClassScheme::TwoClass;
+        assert_eq!(s.num_classes(), 2);
+        assert_eq!(s.index_of(ClassLabel::Normal), Some(0));
+        assert_eq!(s.index_of(ClassLabel::Abusive), Some(1));
+        assert_eq!(s.index_of(ClassLabel::Hateful), Some(1));
+        assert_eq!(s.index_of(ClassLabel::Spam), None);
+        assert_eq!(s.index_of(ClassLabel::Sarcastic), None);
+    }
+
+    #[test]
+    fn three_class_mapping() {
+        let s = ClassScheme::ThreeClass;
+        assert_eq!(s.num_classes(), 3);
+        assert_eq!(s.index_of(ClassLabel::Normal), Some(0));
+        assert_eq!(s.index_of(ClassLabel::Abusive), Some(1));
+        assert_eq!(s.index_of(ClassLabel::Hateful), Some(2));
+        assert_eq!(s.index_of(ClassLabel::Spam), None);
+    }
+
+    #[test]
+    fn related_behavior_mappings() {
+        assert_eq!(ClassScheme::Sarcasm.index_of(ClassLabel::Sarcastic), Some(1));
+        assert_eq!(ClassScheme::Sarcasm.index_of(ClassLabel::Normal), Some(0));
+        assert_eq!(ClassScheme::Sarcasm.index_of(ClassLabel::Racist), None);
+        assert_eq!(ClassScheme::Offensive.index_of(ClassLabel::Racist), Some(1));
+        assert_eq!(ClassScheme::Offensive.index_of(ClassLabel::Sexist), Some(2));
+        assert_eq!(ClassScheme::Offensive.index_of(ClassLabel::Sarcastic), None);
+    }
+
+    #[test]
+    fn class_names_cover_all_indices() {
+        for scheme in [
+            ClassScheme::TwoClass,
+            ClassScheme::ThreeClass,
+            ClassScheme::Sarcasm,
+            ClassScheme::Offensive,
+        ] {
+            for c in 0..scheme.num_classes() {
+                assert!(!scheme.class_name(c).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn positive_classes_exclude_benign() {
+        let pos: Vec<_> = ClassScheme::ThreeClass.positive_classes().collect();
+        assert_eq!(pos, vec![1, 2]);
+        let pos: Vec<_> = ClassScheme::TwoClass.positive_classes().collect();
+        assert_eq!(pos, vec![1]);
+    }
+
+    #[test]
+    fn name_parse_roundtrip() {
+        for l in [
+            ClassLabel::Normal,
+            ClassLabel::Abusive,
+            ClassLabel::Hateful,
+            ClassLabel::Spam,
+            ClassLabel::Sarcastic,
+            ClassLabel::Racist,
+            ClassLabel::Sexist,
+        ] {
+            assert_eq!(ClassLabel::parse(l.name()), Some(l));
+        }
+        assert_eq!(ClassLabel::parse("bogus"), None);
+    }
+
+    #[test]
+    fn serde_uses_lowercase_names() {
+        let json = serde_json::to_string(&ClassLabel::Hateful).unwrap();
+        assert_eq!(json, "\"hateful\"");
+        let back: ClassLabel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ClassLabel::Hateful);
+    }
+}

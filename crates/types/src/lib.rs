@@ -1,0 +1,36 @@
+//! Shared data model for the `redhanded` framework.
+//!
+//! This crate defines the vocabulary types used across every other crate in
+//! the workspace:
+//!
+//! * [`Tweet`] / [`TwitterUser`] — the raw social-media payload, mirroring the
+//!   JSON format delivered by the Twitter Streaming API (the system input in
+//!   Section III-A of the paper).
+//! * [`ClassLabel`] / [`ClassScheme`] — annotation labels and the mapping from
+//!   labels to dense class indices for the 2-class, 3-class, and
+//!   related-behavior (sarcasm / offensive) problems.
+//! * [`Instance`] — a dense feature vector with an optional label, the unit of
+//!   work flowing through the streaming pipeline after feature extraction.
+//! * [`Dataset`] — an in-memory collection of instances with day-segment
+//!   structure (the paper's dataset spans 10 consecutive days).
+//! * [`FeatureSet`] — feature-name metadata shared by extraction, model
+//!   inspection, and the Gini-importance experiment.
+//! * [`io`] — JSONL persistence of tweet streams (the wire format doubles
+//!   as the on-disk dataset format).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dataset;
+mod error;
+mod instance;
+pub mod io;
+mod label;
+mod tweet;
+
+pub use dataset::{Dataset, DaySegment};
+pub use error::{Error, Result};
+pub use io::{load_labeled, read_labeled_jsonl, read_unlabeled_jsonl, save_labeled, write_labeled_jsonl, write_unlabeled_jsonl};
+pub use instance::{FeatureSet, Instance};
+pub use label::{ClassLabel, ClassScheme};
+pub use tweet::{LabeledTweet, Tweet, TwitterUser};

@@ -1,0 +1,169 @@
+//! Raw tweet payloads, mirroring the Twitter Streaming API JSON format.
+//!
+//! The system input (Section III-A of the paper) is a stream of JSON payloads
+//! carrying the tweet text plus metadata about the tweet and the posting
+//! user. A second stream carries the same payloads with an added class label
+//! (the labeled stream used for training). [`Tweet`] models the former and
+//! [`LabeledTweet`] the latter.
+
+use crate::ClassLabel;
+use serde::{Deserialize, Serialize};
+
+/// The user profile embedded in a tweet payload.
+///
+/// Only the fields the feature extractor consumes are modeled: account
+/// creation age, activity counts, and the network-degree counts used as
+/// popularity features (Section IV-B).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TwitterUser {
+    /// Stable numeric user id.
+    pub id: u64,
+    /// Screen name (informational; not a model feature).
+    pub screen_name: String,
+    /// Days since the account was created, relative to the tweet's post time.
+    ///
+    /// The paper's `accountAge` profile feature. Stored pre-resolved in days
+    /// rather than as a raw timestamp so generated datasets are
+    /// self-contained.
+    pub account_age_days: f64,
+    /// Total number of statuses the user has posted (`cntPosts`).
+    pub statuses_count: u64,
+    /// Number of public lists the user is a member of (`cntLists`).
+    pub listed_count: u64,
+    /// Number of followers — in-degree centrality (`cntFollowers`).
+    pub followers_count: u64,
+    /// Number of accounts the user follows — out-degree centrality
+    /// (`cntFriends`).
+    pub friends_count: u64,
+}
+
+impl TwitterUser {
+    /// A minimal synthetic user, useful in tests.
+    pub fn synthetic(id: u64) -> Self {
+        TwitterUser {
+            id,
+            screen_name: format!("user{id}"),
+            account_age_days: 1000.0,
+            statuses_count: 5000,
+            listed_count: 10,
+            followers_count: 300,
+            friends_count: 200,
+        }
+    }
+}
+
+/// A single tweet as delivered by the streaming input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tweet {
+    /// Stable numeric tweet id.
+    pub id: u64,
+    /// The raw tweet text, before any preprocessing.
+    pub text: String,
+    /// Posting timestamp in milliseconds since an arbitrary stream epoch.
+    pub timestamp_ms: u64,
+    /// Whether the tweet is a retweet.
+    #[serde(default)]
+    pub is_retweet: bool,
+    /// Whether the tweet is a reply.
+    #[serde(default)]
+    pub is_reply: bool,
+    /// The posting user's profile.
+    pub user: TwitterUser,
+}
+
+impl Tweet {
+    /// Parse a tweet from its JSON wire format.
+    pub fn from_json(json: &str) -> crate::Result<Self> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Serialize the tweet to its JSON wire format.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("tweet serialization is infallible")
+    }
+}
+
+/// A tweet from the labeled input stream: the same JSON payload as [`Tweet`]
+/// plus a `label` attribute (Section III-A, "Data Input").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledTweet {
+    /// The tweet payload.
+    #[serde(flatten)]
+    pub tweet: Tweet,
+    /// The human-assigned class label.
+    pub label: ClassLabel,
+}
+
+impl LabeledTweet {
+    /// Parse a labeled tweet from its JSON wire format.
+    pub fn from_json(json: &str) -> crate::Result<Self> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Serialize the labeled tweet to its JSON wire format.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("tweet serialization is infallible")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tweet() -> Tweet {
+        Tweet {
+            id: 42,
+            text: "RT @victim you are THE WORST http://t.co/abc #mean".to_string(),
+            timestamp_ms: 1_600_000_000_000,
+            is_retweet: true,
+            is_reply: false,
+            user: TwitterUser::synthetic(7),
+        }
+    }
+
+    #[test]
+    fn tweet_json_roundtrip() {
+        let t = sample_tweet();
+        let json = t.to_json();
+        let back = Tweet::from_json(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn labeled_tweet_json_roundtrip_and_flattening() {
+        let lt = LabeledTweet { tweet: sample_tweet(), label: ClassLabel::Abusive };
+        let json = lt.to_json();
+        // The label is flattened next to the tweet fields, matching the
+        // paper's "same JSON format plus a label attribute".
+        assert!(json.contains("\"label\":\"abusive\""));
+        assert!(json.contains("\"text\""));
+        let back = LabeledTweet::from_json(&json).unwrap();
+        assert_eq!(lt, back);
+    }
+
+    #[test]
+    fn unlabeled_json_parses_as_tweet_but_not_labeled() {
+        let json = sample_tweet().to_json();
+        assert!(Tweet::from_json(&json).is_ok());
+        assert!(LabeledTweet::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn retweet_and_reply_flags_default_to_false() {
+        let json = r#"{
+            "id": 1, "text": "hello", "timestamp_ms": 0,
+            "user": {"id": 2, "screen_name": "u", "account_age_days": 1.0,
+                     "statuses_count": 0, "listed_count": 0,
+                     "followers_count": 0, "friends_count": 0}
+        }"#;
+        let t = Tweet::from_json(json).unwrap();
+        assert!(!t.is_retweet);
+        assert!(!t.is_reply);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(Tweet::from_json("{not json").is_err());
+        assert!(Tweet::from_json("{}").is_err());
+    }
+}

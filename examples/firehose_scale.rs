@@ -1,0 +1,45 @@
+//! Firehose scale-out: deploy the pipeline on the four system flavors of
+//! Section V-E and check which ones can absorb the Twitter Firehose's
+//! ~9k tweets/second with how many machines — the paper's headline
+//! scalability claim (3 commodity machines suffice).
+//!
+//! Run with: `cargo run --release --example firehose_scale`
+//! (pass a tweet count to override the default 200k, e.g.
+//! `cargo run --release --example firehose_scale -- 500000`)
+
+use redhanded_core::experiments::{run_scalability, FIREHOSE_TWEETS_PER_SEC};
+use redhanded_core::SystemFlavor;
+
+fn main() {
+    let tweets: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(200_000);
+    let labeled = (tweets / 10).clamp(1_000, 86_000);
+    println!("streaming {tweets} unlabeled + {labeled} labeled tweets through each system\n");
+
+    let systems = SystemFlavor::paper_set();
+    let out = run_scalability(&[tweets], labeled, &systems, 10_000, 99)
+        .expect("scalability sweep");
+
+    println!(
+        "{:>14} {:>14} {:>14} {:>18} {:>10}",
+        "system", "tweets", "time (s)", "throughput (tw/s)", "firehose?"
+    );
+    for p in &out.points {
+        let ok = if p.throughput >= FIREHOSE_TWEETS_PER_SEC { "YES" } else { "no" };
+        println!(
+            "{:>14} {:>14} {:>14.2} {:>18.0} {:>10}",
+            p.system,
+            p.tweets,
+            p.elapsed.as_secs_f64(),
+            p.throughput,
+            ok
+        );
+    }
+    println!("\nFirehose reference rate: {FIREHOSE_TWEETS_PER_SEC:.0} tweets/sec");
+    println!(
+        "(the Spark flavors report simulated cluster time from really-measured\n\
+         task durations — see redhanded-dspe's virtual scheduler and DESIGN.md)"
+    );
+}

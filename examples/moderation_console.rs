@@ -1,0 +1,70 @@
+//! Moderation console: the workload the paper's introduction motivates —
+//! a moderator-facing deployment that watches a mixed labeled/unlabeled
+//! stream, raises real-time alerts on aggressive tweets, tracks repeat
+//! offenders toward suspension, and collects a boosted labeling sample for
+//! the next annotation round.
+//!
+//! Run with: `cargo run --release --example moderation_console`
+
+use redhanded_core::{intermix, DetectionPipeline, ModelKind, PipelineConfig};
+use redhanded_datagen::{generate_abusive, generate_unlabeled, AbusiveConfig};
+use redhanded_types::ClassScheme;
+
+fn main() {
+    // Warm-up corpus (annotated) + live traffic (unannotated), interleaved
+    // as they would arrive from the two input streams of Figure 1.
+    let labeled = generate_abusive(&AbusiveConfig::small(12_000, 7));
+    let live = generate_unlabeled(8_000, 8);
+    let stream = intermix(labeled, live);
+
+    let mut config = PipelineConfig::paper(ClassScheme::ThreeClass, ModelKind::ht());
+    config.alert_threshold = 0.7; // only confident alerts reach moderators
+    config.suspend_after = 3;
+    config.sample_rate = 0.005;
+    config.sample_boost = 20.0;
+    let mut pipeline = DetectionPipeline::new(config).expect("valid configuration");
+
+    for item in &stream {
+        pipeline.process(item).expect("pipeline step");
+    }
+
+    println!("=== moderation console ===");
+    println!("stream: {} items ({} labeled for training)", stream.len(), pipeline.labeled_seen());
+    let m = pipeline.cumulative_metrics();
+    println!("model quality so far: accuracy {:.3}, F1 {:.3}\n", m.accuracy, m.f1);
+
+    let alerts = pipeline.alerts();
+    println!("--- alert queue: {} alerts ---", alerts.len());
+    for alert in alerts.iter().take(8) {
+        println!(
+            "tweet {:>6} by user {:>6}: {:<8} (confidence {:.2}, offense #{})",
+            alert.tweet_id, alert.user_id, alert.class_name, alert.confidence, alert.user_alert_count
+        );
+    }
+    if alerts.len() > 8 {
+        println!("... and {} more", alerts.len() - 8);
+    }
+
+    let suspended = pipeline.alerter().suspended_users();
+    println!("\n--- users flagged for suspension (≥3 offenses): {} ---", suspended.len());
+    for user in suspended.iter().take(5) {
+        println!(
+            "user {:>6}: {} alerts",
+            user,
+            pipeline.alerter().user_alert_count(*user)
+        );
+    }
+
+    let sample = pipeline.sampler().sample();
+    let boosted = sample.iter().filter(|s| s.boosted).count();
+    println!(
+        "\n--- labeling sample: {} tweets ({} boosted as likely-aggressive) ---",
+        sample.len(),
+        boosted
+    );
+    println!(
+        "the boosted sampler enriches the minority class: {:.0}% of the sample is\n\
+         predicted-aggressive vs ~37% of raw traffic",
+        100.0 * boosted as f64 / sample.len().max(1) as f64
+    );
+}

@@ -1,0 +1,109 @@
+//! End-to-end tests of the `redhanded` CLI binary: generate → evaluate /
+//! detect over real pipes, exactly as a user would run it.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_redhanded")
+}
+
+fn generate(args: &[&str]) -> Vec<u8> {
+    let out = Command::new(bin())
+        .arg("generate")
+        .args(args)
+        .output()
+        .expect("generate runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    out.stdout
+}
+
+fn run_with_stdin(args: &[&str], stdin: &[u8]) -> (String, String) {
+    let mut child = Command::new(bin())
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("cli spawns");
+    child.stdin.as_mut().expect("stdin").write_all(stdin).expect("write stdin");
+    let out = child.wait_with_output().expect("cli finishes");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn generate_emits_parseable_jsonl() {
+    let stdout = generate(&["--total", "200", "--seed", "5"]);
+    let lines: Vec<&str> = std::str::from_utf8(&stdout)
+        .unwrap()
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .collect();
+    assert_eq!(lines.len(), 200);
+    for line in &lines {
+        redhanded_types::LabeledTweet::from_json(line).expect("valid labeled payload");
+    }
+}
+
+#[test]
+fn generate_unlabeled_omits_labels() {
+    let stdout = generate(&["--total", "50", "--seed", "6", "--unlabeled"]);
+    for line in std::str::from_utf8(&stdout).unwrap().lines() {
+        assert!(redhanded_types::LabeledTweet::from_json(line).is_err());
+        redhanded_types::Tweet::from_json(line).expect("valid unlabeled payload");
+    }
+}
+
+#[test]
+fn generate_pipes_into_evaluate() {
+    let data = generate(&["--total", "3000", "--seed", "7"]);
+    let (stdout, _) =
+        run_with_stdin(&["evaluate", "--scheme", "2", "--every", "1000"], &data);
+    assert!(stdout.contains("accuracy"), "{stdout}");
+    assert!(stdout.contains("(cumulative)"), "{stdout}");
+    // Final cumulative accuracy is a sane number on the synthetic stream.
+    let final_line = stdout.lines().last().unwrap();
+    let fields: Vec<&str> = final_line.split_whitespace().collect();
+    let accuracy: f64 = fields[1].parse().unwrap();
+    assert!(accuracy > 0.7, "final accuracy {accuracy}");
+}
+
+#[test]
+fn detect_emits_alert_json_on_mixed_stream() {
+    // Labeled warm-up followed by unlabeled traffic in one stream.
+    let mut data = generate(&["--total", "3000", "--seed", "8"]);
+    data.extend_from_slice(&generate(&["--total", "500", "--seed", "9", "--unlabeled"]));
+    let (stdout, stderr) =
+        run_with_stdin(&["detect", "--scheme", "2", "--threshold", "0.6"], &data);
+    assert!(stderr.contains("processed: 3000 labeled"), "{stderr}");
+    assert!(stderr.contains("adaptive BoW"), "{stderr}");
+    // Every emitted alert is valid JSON with the documented fields.
+    let mut alerts = 0;
+    for line in stdout.lines().filter(|l| !l.trim().is_empty()) {
+        let v: serde_json::Value = serde_json::from_str(line).expect("alert is JSON");
+        assert!(v["tweet_id"].is_u64());
+        assert!(v["user_id"].is_u64());
+        assert!(v["class"].is_string());
+        assert!(v["confidence"].as_f64().unwrap() >= 0.6);
+        alerts += 1;
+    }
+    assert!(alerts > 0, "aggressive synthetic traffic raises alerts");
+}
+
+#[test]
+fn bad_arguments_fail_cleanly() {
+    let out = Command::new(bin()).arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = Command::new(bin()).args(["evaluate", "--model", "xgboost"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let out = Command::new(bin()).arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}

@@ -1,0 +1,130 @@
+//! Integration tests for the deployment layer: the micro-batch engine, the
+//! per-record operator engine, and the four system flavors, driven with
+//! the real detection pipeline.
+
+use redhanded_core::{
+    intermix, run_system, ModelKind, PipelineConfig, SparkConfig, SparkDetector, StreamItem,
+    SystemFlavor,
+};
+use redhanded_datagen::{generate_abusive, generate_unlabeled, AbusiveConfig};
+use redhanded_dspe::{EngineConfig, OperatorPipeline, Topology};
+use redhanded_features::{AdaptiveBow, FeatureExtractor};
+use redhanded_types::{ClassScheme, LabeledTweet};
+
+fn labeled(n: usize, seed: u64) -> Vec<LabeledTweet> {
+    generate_abusive(&AbusiveConfig::small(n, seed))
+}
+
+/// Figure 3's task-oriented dataflow on the per-record operator engine:
+/// extract features in parallel, filter labeled, accumulate per-task local
+/// class counts — and the partials merge to the stream's class totals.
+#[test]
+fn operator_engine_runs_the_figure3_dataflow() {
+    let tweets = labeled(2000, 1);
+    let expected_aggressive =
+        tweets.iter().filter(|t| t.label.is_aggressive()).count();
+
+    let locals = OperatorPipeline::<LabeledTweet, LabeledTweet>::source()
+        .map(2, |lt: LabeledTweet| {
+            // "extract features" task: run real extraction, pass through.
+            let extractor = FeatureExtractor::default();
+            let bow = AdaptiveBow::with_defaults();
+            let _ = extractor.extract(&lt.tweet, &bow);
+            lt
+        })
+        .filter(2, |lt| lt.label.is_aggressive())
+        .aggregate(3, || 0usize, |acc, _| *acc += 1)
+        .run(tweets);
+
+    assert_eq!(locals.len(), 3, "one local count per task");
+    assert_eq!(locals.iter().sum::<usize>(), expected_aggressive);
+}
+
+/// The distributed detector and the MOA flavor see the same stream and
+/// land within a few points of F1 of each other.
+#[test]
+fn flavors_agree_on_quality() {
+    let items: Vec<StreamItem> =
+        labeled(5000, 2).into_iter().map(StreamItem::from).collect();
+    let pipeline = PipelineConfig::paper(ClassScheme::TwoClass, ModelKind::ht());
+    let moa = run_system(SystemFlavor::Moa, pipeline.clone(), items.clone(), 250).unwrap();
+    let cluster = run_system(
+        SystemFlavor::SparkCluster { nodes: 3, slots_per_node: 8 },
+        pipeline,
+        items,
+        250,
+    )
+    .unwrap();
+    assert!(moa.metrics.f1 > 0.8, "MOA F1 {}", moa.metrics.f1);
+    assert!(
+        (moa.metrics.f1 - cluster.metrics.f1).abs() < 0.08,
+        "MOA {} vs cluster {}",
+        moa.metrics.f1,
+        cluster.metrics.f1
+    );
+}
+
+/// Simulated execution time scales down as slots are added, with
+/// diminishing returns past the partition count.
+#[test]
+fn simulated_time_scales_with_slots() {
+    let items: Vec<StreamItem> =
+        labeled(4000, 3).into_iter().map(StreamItem::from).collect();
+    let pipeline = PipelineConfig::paper(ClassScheme::ThreeClass, ModelKind::ht());
+    let mut times = Vec::new();
+    for slots in [1usize, 4, 16] {
+        let report = run_system(
+            SystemFlavor::SparkLocal { slots },
+            pipeline.clone(),
+            items.clone(),
+            1000,
+        )
+        .unwrap();
+        times.push((slots, report.elapsed));
+    }
+    assert!(times[1].1 < times[0].1, "4 slots beat 1: {times:?}");
+    assert!(times[2].1 <= times[1].1, "16 slots no worse than 4: {times:?}");
+    let speedup = times[0].1.as_secs_f64() / times[1].1.as_secs_f64();
+    assert!(speedup > 2.0, "4-slot speedup {speedup}");
+}
+
+/// The SparkDetector handles a mixed stream end to end and its alerting
+/// matches the sequential pipeline's behavior in kind.
+#[test]
+fn mixed_stream_through_spark_detector() {
+    let items = intermix(labeled(3000, 4), generate_unlabeled(3000, 5));
+    let mut engine = EngineConfig::for_topology(Topology::local(4));
+    engine.microbatch_size = 500;
+    let mut detector = SparkDetector::new(SparkConfig::new(
+        PipelineConfig::paper(ClassScheme::TwoClass, ModelKind::ht()),
+        engine,
+    ))
+    .unwrap();
+    let report = detector.run(items).unwrap();
+    assert_eq!(report.stream.records, 6000);
+    assert!(report.alerts > 0, "aggressive unlabeled tweets alerted");
+    assert!(detector.sampler().seen() > 0);
+    assert!(report.metrics.total > 0.0);
+    assert!(report.stream.simulated.as_secs_f64() > 0.0);
+}
+
+/// Engine semantics: the same stream in different micro-batch sizes gives
+/// identical *labeled-instance counts* (quality differs only through model
+/// staleness, never through lost or duplicated records).
+#[test]
+fn microbatch_size_never_loses_records() {
+    let items: Vec<StreamItem> =
+        labeled(3000, 6).into_iter().map(StreamItem::from).collect();
+    for batch in [100usize, 700, 3000, 10_000] {
+        let mut engine = EngineConfig::for_topology(Topology::local(2));
+        engine.microbatch_size = batch;
+        let mut detector = SparkDetector::new(SparkConfig::new(
+            PipelineConfig::paper(ClassScheme::TwoClass, ModelKind::ht()),
+            engine,
+        ))
+        .unwrap();
+        let report = detector.run(items.clone()).unwrap();
+        assert_eq!(report.stream.records, 3000, "batch={batch}");
+        assert_eq!(report.metrics.total, 3000.0, "batch={batch}");
+    }
+}

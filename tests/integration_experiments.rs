@@ -1,0 +1,162 @@
+//! Reduced-scale smoke runs of every experiment driver, asserting the
+//! qualitative shapes the paper reports (the full-scale numbers live in
+//! EXPERIMENTS.md).
+
+use redhanded_core::experiments::{
+    feature_pdfs, gini_importance_ranking, prepare_instances, run_ablation,
+    run_batch_vs_stream, run_related, run_scalability, tune_slr, AblationSpec,
+    RelatedDataset,
+};
+use redhanded_core::{ModelKind, SystemFlavor};
+use redhanded_features::NormalizationKind;
+use redhanded_types::ClassScheme;
+
+const N: usize = 3000;
+
+#[test]
+fn figure4_shape_class_conditional_orderings() {
+    let pdfs = feature_pdfs(
+        &["accountAge", "cntSwearWords", "wordsPerSentence"],
+        N,
+        11,
+        20,
+    )
+    .unwrap();
+    let mean = |feature: &str, class: &str| {
+        pdfs.iter()
+            .find(|p| p.feature == feature && p.class_name == class)
+            .unwrap()
+            .mean
+    };
+    // Figure 4a: normal accounts oldest, abusive youngest.
+    assert!(mean("accountAge", "normal") > mean("accountAge", "abusive"));
+    // Figure 4f: abusive > hateful > normal swear counts.
+    assert!(mean("cntSwearWords", "abusive") > mean("cntSwearWords", "hateful"));
+    assert!(mean("cntSwearWords", "hateful") > mean("cntSwearWords", "normal"));
+    // Figure 4d: normal longest sentences, abusive shortest.
+    assert!(mean("wordsPerSentence", "normal") > mean("wordsPerSentence", "abusive"));
+}
+
+#[test]
+fn figure5_shape_swear_features_dominate() {
+    let ranking = gini_importance_ranking(N, 12).unwrap();
+    let rank_of = |f: &str| ranking.iter().position(|e| e.feature == f).unwrap();
+    // The paper's most important feature is the swear count (our bowScore
+    // coincides with it on a static extraction); hashtags/URLs rank last.
+    assert!(rank_of("cntSwearWords").min(rank_of("bowScore")) <= 2);
+    assert!(rank_of("numUrls") >= 12);
+    assert!(rank_of("numHashtags") >= 10);
+}
+
+#[test]
+fn table2_shape_two_class_beats_three_class_for_every_model() {
+    let n = NormalizationKind::MinMaxNoOutliers;
+    for model in [ModelKind::ht(), ModelKind::slr()] {
+        let c3 = run_ablation(
+            &AblationSpec::new(model.clone(), ClassScheme::ThreeClass, true, n, true),
+            N,
+            13,
+        )
+        .unwrap();
+        let c2 = run_ablation(
+            &AblationSpec::new(model.clone(), ClassScheme::TwoClass, true, n, true),
+            N,
+            13,
+        )
+        .unwrap();
+        assert!(
+            c2.metrics.f1 > c3.metrics.f1,
+            "{}: 2-class {} vs 3-class {}",
+            model.name(),
+            c2.metrics.f1,
+            c3.metrics.f1
+        );
+    }
+}
+
+#[test]
+fn figure8_shape_normalization_gap_is_large_for_slr() {
+    let on = run_ablation(
+        &AblationSpec::new(
+            ModelKind::slr(),
+            ClassScheme::TwoClass,
+            true,
+            NormalizationKind::MinMaxNoOutliers,
+            true,
+        ),
+        N,
+        14,
+    )
+    .unwrap();
+    let off = run_ablation(
+        &AblationSpec::new(
+            ModelKind::slr(),
+            ClassScheme::TwoClass,
+            true,
+            NormalizationKind::None,
+            true,
+        ),
+        N,
+        14,
+    )
+    .unwrap();
+    assert!(
+        on.metrics.f1 - off.metrics.f1 > 0.1,
+        "normalization gap: {} vs {}",
+        on.metrics.f1,
+        off.metrics.f1
+    );
+}
+
+#[test]
+fn figures13_14_shape_batch_comparison_runs_both_schemes() {
+    for scheme in [ClassScheme::ThreeClass, ClassScheme::TwoClass] {
+        let out = run_batch_vs_stream(scheme, N, 15).unwrap();
+        assert_eq!(out.streaming_daily.len(), 10);
+        assert_eq!(out.batch_first_day.len(), 9);
+        assert_eq!(out.batch_daily_retrain.len(), 9);
+    }
+}
+
+#[test]
+fn figures15_16_shape_cluster_dominates() {
+    // Large enough that parallel compute dominates the cluster's broadcast
+    // overhead (at toy scale a cluster genuinely loses to one machine —
+    // the figures sweep 250k-2M tweets for the same reason).
+    let out = run_scalability(
+        &[6000],
+        1000,
+        &[
+            SystemFlavor::SparkSingle,
+            SystemFlavor::SparkLocal { slots: 8 },
+            SystemFlavor::SparkCluster { nodes: 3, slots_per_node: 8 },
+        ],
+        2000,
+        16,
+    )
+    .unwrap();
+    let t = |s: &str| out.system_points(s)[0].throughput;
+    assert!(t("SparkLocal") > t("SparkSingle") * 2.0);
+    assert!(t("SparkCluster") > t("SparkLocal"));
+}
+
+#[test]
+fn figure17_shape_streaming_approaches_batch_on_related_data() {
+    let out = run_related(RelatedDataset::Sarcasm, 5000, 17).unwrap();
+    assert!(out.streaming_final > 0.8);
+    assert!(out.streaming_final > out.batch_cv - 0.12);
+    let out = run_related(RelatedDataset::Offensive, 5000, 18).unwrap();
+    assert!(out.streaming_final > 0.5);
+}
+
+#[test]
+fn table1_machinery_grid_search_is_consistent() {
+    let instances = prepare_instances(ClassScheme::TwoClass, 1500, 19).unwrap();
+    let outcome = tune_slr(&instances, ClassScheme::TwoClass).unwrap();
+    assert_eq!(outcome.results.len(), 27);
+    // Every score is a valid F1 and the ranking is sorted.
+    for w in outcome.results.windows(2) {
+        assert!(w[0].score >= w[1].score);
+        assert!((0.0..=1.0).contains(&w[0].score));
+    }
+}

@@ -1,0 +1,181 @@
+//! End-to-end integration tests: JSON wire format → full pipeline →
+//! alerts / samples / labeling loop, spanning every crate.
+
+use redhanded_core::{
+    DetectionPipeline, Labeler, ModelKind, OracleLabeler, PipelineConfig, StreamItem,
+};
+use redhanded_datagen::{generate_abusive, generate_unlabeled, AbusiveConfig};
+use redhanded_features::{AdaptiveBow, FeatureExtractor, FEATURE_NAMES};
+use redhanded_types::{ClassScheme, LabeledTweet};
+
+/// The pipeline consumes the exact JSON wire format the paper describes:
+/// tweets as JSON payloads, labeled tweets as the same payload plus a
+/// `label` attribute.
+#[test]
+fn pipeline_over_the_json_wire_format() {
+    let tweets = generate_abusive(&AbusiveConfig::small(2000, 1));
+    // Serialize to the wire, then re-ingest through the JSON dispatcher.
+    let wire: Vec<String> = tweets.iter().map(|t| t.to_json()).collect();
+    let mut pipeline =
+        DetectionPipeline::new(PipelineConfig::paper(ClassScheme::TwoClass, ModelKind::ht()))
+            .unwrap();
+    for line in &wire {
+        let item = StreamItem::from_json(line).expect("valid wire payload");
+        assert!(item.is_labeled());
+        pipeline.process(&item).unwrap();
+    }
+    assert_eq!(pipeline.labeled_seen(), 2000);
+    assert!(pipeline.cumulative_metrics().accuracy > 0.6);
+}
+
+/// The full human-in-the-loop cycle of Figure 1: classify unlabeled
+/// traffic, sample it (boosted), label the sample via the labeler
+/// interface, and feed the fresh labels back into training.
+#[test]
+fn sampling_labeling_feedback_loop() {
+    // Ground truth known to the oracle but initially hidden from the model.
+    let hidden = generate_abusive(&AbusiveConfig::small(4000, 2));
+    let mut oracle = OracleLabeler::from_labeled(&hidden);
+
+    let mut config = PipelineConfig::paper(ClassScheme::TwoClass, ModelKind::ht());
+    config.sample_rate = 0.05;
+    config.sample_boost = 10.0;
+    let mut pipeline = DetectionPipeline::new(config).unwrap();
+
+    // Warm up on a small labeled set so predictions are non-trivial.
+    for lt in generate_abusive(&AbusiveConfig::small(2000, 3)) {
+        pipeline.process(&StreamItem::from(lt)).unwrap();
+    }
+    let trained_after_warmup = pipeline.labeled_seen();
+
+    // Classify the hidden tweets as unlabeled traffic.
+    let by_id: std::collections::HashMap<u64, &LabeledTweet> =
+        hidden.iter().map(|lt| (lt.tweet.id, lt)).collect();
+    for lt in &hidden {
+        pipeline.process(&StreamItem::from(lt.tweet.clone())).unwrap();
+    }
+    let sample = pipeline.sampler().sample().to_vec();
+    assert!(!sample.is_empty(), "sampler selected tweets for labeling");
+
+    // Label the sampled tweets and feed them back.
+    let sampled_tweets: Vec<_> =
+        sample.iter().map(|s| by_id[&s.tweet_id].tweet.clone()).collect();
+    let labeled_batch = oracle.label_batch(&sampled_tweets);
+    assert_eq!(labeled_batch.len(), sampled_tweets.len(), "oracle knows them all");
+    for lt in labeled_batch {
+        pipeline.process(&StreamItem::from(lt)).unwrap();
+    }
+    assert!(pipeline.labeled_seen() > trained_after_warmup, "model kept learning");
+}
+
+/// Alert history escalates to suspension as a user repeats offenses.
+#[test]
+fn repeat_offender_workflow() {
+    let mut config = PipelineConfig::paper(ClassScheme::TwoClass, ModelKind::ht());
+    config.alert_threshold = 0.5;
+    config.suspend_after = 2;
+    let mut pipeline = DetectionPipeline::new(config).unwrap();
+    // Train until the model is confident.
+    for lt in generate_abusive(&AbusiveConfig::small(6000, 4)) {
+        pipeline.process(&StreamItem::from(lt)).unwrap();
+    }
+    // One user posts a burst of clearly aggressive tweets.
+    let mut burst = generate_abusive(&AbusiveConfig::small(3000, 5));
+    burst.retain(|lt| lt.label.is_aggressive());
+    for (i, lt) in burst.iter().take(20).enumerate() {
+        let mut t = lt.tweet.clone();
+        t.id = 900_000 + i as u64;
+        t.user.id = 4242;
+        pipeline.process(&StreamItem::from(t)).unwrap();
+    }
+    let alerts_for_user = pipeline.alerts().iter().filter(|a| a.user_id == 4242).count();
+    assert!(alerts_for_user >= 2, "burst raised {alerts_for_user} alerts");
+    assert!(
+        pipeline.alerter().suspended_users().contains(&4242),
+        "repeat offender flagged for suspension"
+    );
+}
+
+/// Feature extraction agrees with the NLP substrate end to end: counting a
+/// tweet's swear words through the extractor equals counting them via the
+/// tokenizer + lexicon directly.
+#[test]
+fn extractor_agrees_with_nlp_substrate() {
+    let tweets = generate_abusive(&AbusiveConfig::small(300, 6));
+    let extractor = FeatureExtractor::default();
+    let bow = AdaptiveBow::with_defaults();
+    let swear_idx = FEATURE_NAMES.iter().position(|n| *n == "cntSwearWords").unwrap();
+    let hashtag_idx = FEATURE_NAMES.iter().position(|n| *n == "numHashtags").unwrap();
+    for lt in &tweets {
+        let ext = extractor.extract(&lt.tweet, &bow);
+        let direct_swears = redhanded_nlp::tokenize(&lt.tweet.text)
+            .iter()
+            .filter(|t| t.kind == redhanded_nlp::TokenKind::Word)
+            .filter(|t| redhanded_nlp::lexicons::is_swear(&t.text.to_lowercase()))
+            .count();
+        assert_eq!(ext.features[swear_idx] as usize, direct_swears, "{}", lt.tweet.text);
+        let direct_hashtags = lt.tweet.text.matches('#').count();
+        assert!(ext.features[hashtag_idx] as usize <= direct_hashtags);
+    }
+}
+
+/// Unlabeled traffic influences only normalization statistics — never the
+/// model, the evaluator, or the BoW.
+#[test]
+fn unlabeled_traffic_does_not_train() {
+    let mut pipeline =
+        DetectionPipeline::new(PipelineConfig::paper(ClassScheme::TwoClass, ModelKind::ht()))
+            .unwrap();
+    for t in generate_unlabeled(1000, 7) {
+        pipeline.process(&StreamItem::from(t)).unwrap();
+    }
+    assert_eq!(pipeline.labeled_seen(), 0);
+    assert_eq!(pipeline.cumulative_metrics().total, 0.0);
+    assert_eq!(pipeline.bow_len(), 347, "BoW unchanged by unlabeled traffic");
+}
+
+/// Session-level detection (the Section VI extension): a user's burst of
+/// aggressive tweets within a time window is flagged as a bullying
+/// session, while scattered aggression is not.
+#[test]
+fn session_level_detection_end_to_end() {
+    use redhanded_core::SessionConfig;
+    let mut config = PipelineConfig::paper(ClassScheme::TwoClass, ModelKind::ht());
+    config.session = Some(SessionConfig {
+        window_ms: 60_000,
+        min_tweets: 4,
+        aggression_threshold: 0.55,
+    });
+    let mut pipeline = DetectionPipeline::new(config).unwrap();
+    // Train to confidence.
+    for lt in generate_abusive(&AbusiveConfig::small(6000, 8)) {
+        pipeline.process(&StreamItem::from(lt)).unwrap();
+    }
+    // A bullying session: one user fires aggressive tweets seconds apart.
+    let mut pool = generate_abusive(&AbusiveConfig::small(3000, 9));
+    pool.retain(|lt| lt.label.is_aggressive());
+    for (i, lt) in pool.iter().take(10).enumerate() {
+        let mut t = lt.tweet.clone();
+        t.id = 800_000 + i as u64;
+        t.user.id = 777;
+        t.timestamp_ms = 1_000_000 + i as u64 * 5_000;
+        pipeline.process(&StreamItem::from(t)).unwrap();
+    }
+    let session = pipeline.session().expect("enabled");
+    assert!(
+        session.alerts().iter().any(|a| a.user_id == 777),
+        "bullying session flagged: {:?}",
+        session.alerts()
+    );
+    // Scattered normal traffic from another user is not flagged.
+    let mut normal_pool = generate_abusive(&AbusiveConfig::small(2000, 10));
+    normal_pool.retain(|lt| !lt.label.is_aggressive());
+    for (i, lt) in normal_pool.iter().take(10).enumerate() {
+        let mut t = lt.tweet.clone();
+        t.id = 810_000 + i as u64;
+        t.user.id = 888;
+        t.timestamp_ms = 2_000_000 + i as u64 * 5_000;
+        pipeline.process(&StreamItem::from(t)).unwrap();
+    }
+    assert!(pipeline.session().unwrap().alerts().iter().all(|a| a.user_id != 888));
+}
