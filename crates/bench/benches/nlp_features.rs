@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use redhanded_datagen::{generate_abusive, AbusiveConfig};
-use redhanded_features::{AdaptiveBow, FeatureExtractor};
+use redhanded_features::{AdaptiveBow, ExtractScratch, FeatureExtractor};
 use redhanded_nlp::{score_text, tokenize};
 use redhanded_types::LabeledTweet;
 use std::hint::black_box;
@@ -60,10 +60,36 @@ fn bench_extraction(c: &mut Criterion) {
     group.throughput(Throughput::Elements(tweets.len() as u64));
     group.sample_size(20);
 
+    // Pre-refactor allocating path (see `redhanded_bench::seed_baseline`):
+    // per-word heap Strings, allocating sentiment/POS lookups. This is the
+    // "before" of the scratch/interning rewrite.
+    group.bench_function("allocating_baseline_1k_tweets", |b| {
+        b.iter(|| {
+            for lt in &tweets {
+                black_box(redhanded_bench::seed_baseline::extract(&lt.tweet, &bow));
+            }
+        })
+    });
+
+    // Current convenience wrapper: a fresh scratch per call plus the
+    // `Extraction` materialization (this is also what a
+    // fresh-scratch-per-tweet costs, since `extract` wraps `extract_into`).
     group.bench_function("full_feature_vector_1k_tweets", |b| {
         b.iter(|| {
             for lt in &tweets {
                 black_box(extractor.extract(&lt.tweet, &bow));
+            }
+        })
+    });
+
+    // Scratch-reuse path: one `ExtractScratch` amortized over the stream —
+    // the configuration the sequential pipeline and the DSPE tasks run.
+    group.bench_function("extract_into_scratch_reuse_1k_tweets", |b| {
+        let mut scratch = ExtractScratch::new();
+        b.iter(|| {
+            for lt in &tweets {
+                extractor.extract_into(&lt.tweet, &bow, &mut scratch);
+                black_box(scratch.features());
             }
         })
     });
@@ -83,5 +109,35 @@ fn bench_extraction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_nlp, bench_extraction);
+fn bench_bow_observe(c: &mut Criterion) {
+    let tweets = sample_tweets(1000);
+    let extractor = FeatureExtractor::default();
+    let seed_bow = AdaptiveBow::with_defaults();
+    // Pre-extract the word sequences so the bench isolates `observe`
+    // (interning + document-frequency counting), not extraction.
+    let word_lists: Vec<Vec<String>> =
+        tweets.iter().map(|lt| extractor.extract(&lt.tweet, &seed_bow).words).collect();
+
+    let mut group = c.benchmark_group("bow");
+    group.throughput(Throughput::Elements(word_lists.len() as u64));
+    group.sample_size(20);
+
+    group.bench_function("bow_observe_interned_1k_tweets", |b| {
+        let mut bow = AdaptiveBow::with_defaults();
+        // Warm the interner with the full vocabulary so iterations measure
+        // the steady state (already-seen words, integer-keyed updates).
+        for (i, words) in word_lists.iter().enumerate() {
+            bow.observe(words.iter().map(String::as_str), i % 2 == 0);
+        }
+        b.iter(|| {
+            for (i, words) in word_lists.iter().enumerate() {
+                bow.observe(words.iter().map(String::as_str), i % 2 == 0);
+            }
+            black_box(bow.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nlp, bench_extraction, bench_bow_observe);
 criterion_main!(benches);

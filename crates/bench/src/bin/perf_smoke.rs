@@ -1,0 +1,72 @@
+//! Quick end-to-end throughput smoke test for the sequential pipeline.
+//!
+//! Runs the full detection pipeline (extraction → normalization →
+//! prequential train/test → adaptive BoW) over 50k generated labeled
+//! tweets on one thread and reports wall-clock tweets/sec against the
+//! paper's Twitter Firehose reference rate (~9k tweets/sec, Section VI-C).
+//! Unlike the Criterion micro-benchmarks this measures the whole hot path
+//! in one number, making before/after comparisons of pipeline-level
+//! changes (e.g. the scratch-buffer extraction path) a single command:
+//!
+//! ```text
+//! cargo run --release -p redhanded-bench --bin perf_smoke
+//! ```
+//!
+//! Results land in `results/BENCH_pipeline.json`.
+
+use redhanded_bench::run_scale;
+use redhanded_core::config::ModelKind;
+use redhanded_core::{DetectionPipeline, PipelineConfig, StreamItem};
+use redhanded_datagen::{generate_abusive, AbusiveConfig};
+use redhanded_types::ClassScheme;
+use std::fs;
+use std::time::Instant;
+
+/// Firehose reference rate from the paper (tweets/sec).
+const FIREHOSE_RATE: f64 = 9000.0;
+
+fn main() {
+    let scale = run_scale();
+    let n = ((50_000.0 * scale) as usize).max(1_000);
+
+    eprintln!("perf_smoke: generating {n} labeled tweets...");
+    let items: Vec<StreamItem> = generate_abusive(&AbusiveConfig::small(n, 0xF1FE))
+        .into_iter()
+        .map(StreamItem::from)
+        .collect();
+
+    let mut pipeline =
+        DetectionPipeline::new(PipelineConfig::paper(ClassScheme::TwoClass, ModelKind::ht()))
+            .expect("pipeline builds");
+
+    eprintln!("perf_smoke: running the sequential pipeline...");
+    let start = Instant::now();
+    pipeline.run(&items).expect("stream runs");
+    let wall = start.elapsed();
+
+    let wall_seconds = wall.as_secs_f64();
+    let tweets_per_second = n as f64 / wall_seconds;
+    let f1 = pipeline.cumulative_metrics().f1;
+
+    eprintln!(
+        "perf_smoke: {n} tweets in {wall_seconds:.2}s = {tweets_per_second:.0} tweets/s \
+         ({:.1}x the Firehose rate), cumulative F1 {f1:.3}",
+        tweets_per_second / FIREHOSE_RATE
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"sequential_pipeline\",\n  \"model\": \"ht\",\n  \
+         \"scheme\": \"2-class\",\n  \"tweets\": {n},\n  \
+         \"wall_seconds\": {wall_seconds:.4},\n  \
+         \"tweets_per_second\": {tweets_per_second:.1},\n  \
+         \"paper_firehose_tweets_per_second\": {FIREHOSE_RATE},\n  \
+         \"cumulative_f1\": {f1:.4}\n}}\n"
+    );
+    if fs::create_dir_all("results").is_ok() {
+        match fs::write("results/BENCH_pipeline.json", &json) {
+            Ok(()) => eprintln!("perf_smoke: wrote results/BENCH_pipeline.json"),
+            Err(e) => eprintln!("perf_smoke: could not write results: {e}"),
+        }
+    }
+    println!("{json}");
+}

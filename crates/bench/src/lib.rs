@@ -10,6 +10,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod seed_baseline;
+
 use std::fmt::Display;
 use std::fs;
 use std::io::Write;

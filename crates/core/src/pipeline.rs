@@ -15,7 +15,7 @@ use crate::config::PipelineConfig;
 use crate::item::StreamItem;
 use crate::sample::BoostedSampler;
 use crate::session::SessionDetector;
-use redhanded_features::{AdaptiveBow, FeatureExtractor, Normalizer, NUM_FEATURES};
+use redhanded_features::{AdaptiveBow, ExtractScratch, FeatureExtractor, Normalizer, NUM_FEATURES};
 use redhanded_streamml::classifier::argmax;
 use redhanded_streamml::{Metrics, PrequentialEvaluator, SeriesPoint, StreamingClassifier};
 use redhanded_types::{Result, Tweet};
@@ -46,6 +46,9 @@ pub struct Classified {
 pub struct DetectionPipeline {
     config: PipelineConfig,
     extractor: FeatureExtractor,
+    /// Reusable extraction buffers: one tweet at a time flows through the
+    /// sequential pipeline, so a single scratch serves every item.
+    scratch: ExtractScratch,
     bow: AdaptiveBow,
     normalizer: Normalizer,
     model: Box<dyn StreamingClassifier>,
@@ -64,6 +67,7 @@ impl DetectionPipeline {
         let model = config.model.build(config.scheme)?;
         Ok(DetectionPipeline {
             extractor: FeatureExtractor::new(config.extractor_config()),
+            scratch: ExtractScratch::new(),
             bow: AdaptiveBow::new(config.bow_config()),
             normalizer: Normalizer::new(config.normalization, NUM_FEATURES),
             evaluator: PrequentialEvaluator::new(
@@ -97,11 +101,12 @@ impl DetectionPipeline {
     pub fn process(&mut self, item: &StreamItem) -> Result<Option<Classified>> {
         match item {
             StreamItem::Labeled(lt) => {
-                let Some((mut inst, words)) = self.extractor.labeled_instance(
+                let Some(mut inst) = self.extractor.labeled_instance_into(
                     lt,
                     self.config.scheme,
                     &self.bow,
                     item.day(),
+                    &mut self.scratch,
                 ) else {
                     self.skipped += 1;
                     return Ok(None);
@@ -118,7 +123,7 @@ impl DetectionPipeline {
                     .index_of(lt.label)
                     .map(|c| c > 0)
                     .unwrap_or(false);
-                self.bow.observe(words.iter().map(String::as_str), aggressive);
+                self.bow.observe(self.scratch.words(), aggressive);
                 self.labeled_seen += 1;
                 if self.config.record_every > 0
                     && self.labeled_seen % self.config.record_every == 0
@@ -143,7 +148,7 @@ impl DetectionPipeline {
     }
 
     fn classify_unlabeled(&mut self, tweet: &Tweet, day: u32) -> Result<Classified> {
-        let mut inst = self.extractor.instance(tweet, &self.bow, day);
+        let mut inst = self.extractor.instance_into(tweet, &self.bow, day, &mut self.scratch);
         self.normalizer.process(&mut inst)?;
         let proba = self.model.predict_proba(&inst.features)?;
         let predicted = argmax(&proba);

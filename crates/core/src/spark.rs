@@ -22,7 +22,7 @@ use crate::config::PipelineConfig;
 use crate::item::StreamItem;
 use crate::sample::BoostedSampler;
 use redhanded_dspe::{EngineConfig, MicroBatchEngine, StreamReport};
-use redhanded_features::{AdaptiveBow, FeatureExtractor, Normalizer, NUM_FEATURES};
+use redhanded_features::{AdaptiveBow, ExtractScratch, FeatureExtractor, Normalizer, NUM_FEATURES};
 use redhanded_streamml::classifier::argmax;
 use redhanded_streamml::{ConfusionMatrix, Metrics, SeriesPoint, StreamingClassifier};
 use redhanded_types::{Error, Result};
@@ -154,6 +154,11 @@ impl SparkDetector {
         let snapshot_model_ref = snapshot_model.as_ref();
         let task_outputs: Vec<Result<TaskOutput>> =
             ctx.map_partitions(&items_pd, |_, part| {
+                // One scratch per partition task: buffers are reused across
+                // every tweet the task processes (the words of the current
+                // tweet stay readable until the next extraction, which is
+                // exactly the lifetime the BoW-observe step needs).
+                let mut scratch = ExtractScratch::new();
                 let mut out = TaskOutput {
                     model: snapshot_model_ref.local_copy(),
                     bow: snapshot_bow.fork(),
@@ -165,17 +170,18 @@ impl SparkDetector {
                     let day = item.day();
                     let entry = match item {
                         StreamItem::Labeled(lt) => extractor
-                            .labeled_instance(lt, scheme, &snapshot_bow, day)
-                            .map(|(inst, words)| {
+                            .labeled_instance_into(lt, scheme, &snapshot_bow, day, &mut scratch)
+                            .map(|inst| {
                                 let aggressive =
                                     inst.label.map(|c| c > 0).unwrap_or(false);
-                                (inst, words, aggressive)
+                                (inst, aggressive)
                             }),
-                        StreamItem::Unlabeled(t) => {
-                            Some((extractor.instance(t, &snapshot_bow, day), Vec::new(), false))
-                        }
+                        StreamItem::Unlabeled(t) => Some((
+                            extractor.instance_into(t, &snapshot_bow, day, &mut scratch),
+                            false,
+                        )),
                     };
-                    let Some((mut inst, words, aggressive)) = entry else {
+                    let Some((mut inst, aggressive)) = entry else {
                         continue; // out-of-scheme label (spam)
                     };
                     out.norm.observe(&inst.features)?;
@@ -185,8 +191,7 @@ impl SparkDetector {
                         Some(actual) => {
                             out.matrix.add(actual, argmax(&proba), inst.weight);
                             out.model.accumulate(&inst)?;
-                            out.bow
-                                .observe_only(words.iter().map(String::as_str), aggressive);
+                            out.bow.observe_only(scratch.words(), aggressive);
                         }
                         None => out.classified.push((inst.tweet_id, inst.user_id, proba)),
                     }

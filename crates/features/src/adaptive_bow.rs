@@ -13,9 +13,17 @@
 //! The rolling statistics are exponentially decayed at every maintenance
 //! round so old vocabulary loses weight — this is what makes the list
 //! *adaptive* rather than cumulative.
+//!
+//! All bookkeeping is keyed by interned [`WordId`]s rather than `String`s:
+//! each distinct word is allocated once on first sighting, and from then on
+//! `observe`, maintenance, forking, and merging hash and move plain
+//! integers. The interner grows with the observed vocabulary (the decayed
+//! count tables stay bounded); at tweet-stream vocabulary sizes this is a
+//! few hundred kilobytes traded for an allocation-free steady state.
 
+use redhanded_nlp::fxhash::{FxHashMap, FxHashSet};
+use redhanded_nlp::intern::{WordId, WordInterner};
 use redhanded_nlp::lexicons;
-use std::collections::{HashMap, HashSet};
 
 /// Configuration for the adaptive BoW maintenance rules.
 #[derive(Debug, Clone)]
@@ -59,36 +67,48 @@ impl Default for AdaptiveBowConfig {
 #[derive(Debug, Clone)]
 pub struct AdaptiveBow {
     config: AdaptiveBowConfig,
+    /// Lowercased word ↔ dense id. The 347 seed words occupy the id prefix
+    /// `0..seed_count` (see [`WordInterner::with_swear_lexicon`]), so seed
+    /// protection during demotion is an integer comparison.
+    interner: WordInterner,
+    /// Number of seed-lexicon ids at the front of the interner.
+    seed_count: u32,
     /// Current membership.
-    words: HashSet<String>,
-    /// Seed lexicon (used to protect seeds from demotion by default and to
-    /// reset).
-    seeds: HashSet<&'static str>,
+    words: FxHashSet<WordId>,
     /// Rolling per-word occurrence counts in aggressive tweets.
-    aggressive_counts: HashMap<String, f64>,
+    aggressive_counts: FxHashMap<WordId, f64>,
     /// Rolling per-word occurrence counts in normal tweets.
-    normal_counts: HashMap<String, f64>,
+    normal_counts: FxHashMap<WordId, f64>,
     /// Rolling number of aggressive tweets observed.
     aggressive_tweets: f64,
     /// Rolling number of normal tweets observed.
     normal_tweets: f64,
     /// Labeled tweets since the last maintenance round.
     since_update: u64,
+    /// Reusable per-tweet dedup scratch for `observe` (document frequency).
+    seen: Vec<WordId>,
 }
 
 impl AdaptiveBow {
     /// A BoW seeded with the built-in 347-entry swear-word lexicon.
     pub fn new(config: AdaptiveBowConfig) -> Self {
-        let seeds: HashSet<&'static str> = lexicons::SWEAR_WORDS.iter().copied().collect();
+        let interner = WordInterner::with_swear_lexicon();
+        let seed_count = interner.len() as u32;
+        let words = lexicons::SWEAR_WORDS
+            .iter()
+            .map(|w| interner.get(w).expect("seed word interned"))
+            .collect();
         AdaptiveBow {
             config,
-            words: seeds.iter().map(|s| s.to_string()).collect(),
-            seeds,
-            aggressive_counts: HashMap::new(),
-            normal_counts: HashMap::new(),
+            interner,
+            seed_count,
+            words,
+            aggressive_counts: FxHashMap::default(),
+            normal_counts: FxHashMap::default(),
             aggressive_tweets: 0.0,
             normal_tweets: 0.0,
             since_update: 0,
+            seen: Vec::new(),
         }
     }
 
@@ -109,44 +129,97 @@ impl AdaptiveBow {
 
     /// Membership test for an (already lowercased) word.
     pub fn contains(&self, word: &str) -> bool {
-        self.words.contains(word)
+        self.interner.get(word).is_some_and(|id| self.words.contains(&id))
     }
 
     /// Number of `words` present in the BoW — the feature value for a tweet.
     pub fn score<'a>(&self, words: impl IntoIterator<Item = &'a str>) -> usize {
-        words.into_iter().filter(|w| self.words.contains(*w)).count()
+        words.into_iter().filter(|w| self.contains(w)).count()
+    }
+
+    /// Count `cntSwearWords` and `bowScore` in one pass with a single
+    /// interner probe per word.
+    ///
+    /// Because the 347-entry profanity lexicon occupies the interner's id
+    /// prefix, "is a seed swear word" is `id.index() < seed_count` —
+    /// equivalent to `lexicons::is_swear` — and BoW membership is the same
+    /// id against the membership set. A word the interner has never seen is
+    /// in neither.
+    pub fn swear_and_bow_counts<'a>(
+        &self,
+        words: impl IntoIterator<Item = &'a str>,
+    ) -> (usize, usize) {
+        let mut swears = 0usize;
+        let mut members = 0usize;
+        for w in words {
+            if let Some(id) = self.interner.get(w) {
+                if id.index() < self.seed_count as usize {
+                    swears += 1;
+                }
+                if self.words.contains(&id) {
+                    members += 1;
+                }
+            }
+        }
+        (swears, members)
+    }
+
+    /// The interner backing this BoW (lowercased word ↔ dense id).
+    pub fn interner(&self) -> &WordInterner {
+        &self.interner
     }
 
     /// Record the (lowercased, preprocessed) words of one labeled tweet.
     ///
     /// `aggressive` is the 2-class collapse of the label: abusive and
     /// hateful tweets count as aggressive, normal as not. Runs maintenance
-    /// every `update_interval` labeled tweets.
+    /// every `update_interval` labeled tweets. Allocation-free in the
+    /// steady state: already-interned words only touch integer-keyed maps.
     pub fn observe<'a>(&mut self, words: impl IntoIterator<Item = &'a str>, aggressive: bool) {
         if !self.config.adaptive {
             return;
         }
-        let (counts, tweets) = if aggressive {
-            (&mut self.aggressive_counts, &mut self.aggressive_tweets)
-        } else {
-            (&mut self.normal_counts, &mut self.normal_tweets)
-        };
-        *tweets += 1.0;
-        // Count each distinct word once per tweet (document frequency), so a
-        // single spammy tweet cannot promote a word by itself.
-        let mut seen = HashSet::new();
-        for w in words {
-            if w.len() < 2 || lexicons::is_stopword(w) {
-                continue;
-            }
-            if seen.insert(w) {
-                *counts.entry(w.to_string()).or_insert(0.0) += 1.0;
-            }
-        }
+        self.record(words, aggressive);
         self.since_update += 1;
         if self.since_update >= self.config.update_interval {
             self.maintain();
             self.since_update = 0;
+        }
+    }
+
+    /// Record words without triggering periodic maintenance — used by
+    /// distributed forks, whose maintenance happens globally at the
+    /// micro-batch boundary.
+    pub fn observe_only<'a>(&mut self, words: impl IntoIterator<Item = &'a str>, aggressive: bool) {
+        if !self.config.adaptive {
+            return;
+        }
+        self.record(words, aggressive);
+    }
+
+    fn record<'a>(&mut self, words: impl IntoIterator<Item = &'a str>, aggressive: bool) {
+        let AdaptiveBow { interner, seen, aggressive_counts, normal_counts, aggressive_tweets, normal_tweets, .. } =
+            self;
+        let (counts, tweets) = if aggressive {
+            (aggressive_counts, aggressive_tweets)
+        } else {
+            (normal_counts, normal_tweets)
+        };
+        *tweets += 1.0;
+        // Count each distinct word once per tweet (document frequency), so a
+        // single spammy tweet cannot promote a word by itself. Tweets carry
+        // a few dozen words at most, so a linear scan over the dedup scratch
+        // beats hashing.
+        seen.clear();
+        for w in words {
+            if w.len() < 2 || lexicons::is_stopword(w) {
+                continue;
+            }
+            let id = interner.intern(w);
+            if !seen.contains(&id) {
+                seen.push(id);
+                *counts.entry(id).or_insert(0.0) += 1.0;
+            }
         }
     }
 
@@ -157,35 +230,34 @@ impl AdaptiveBow {
 
         // Promotion: frequent in aggressive tweets, not high-occurring in
         // normal tweets.
-        for (word, &agg_count) in &self.aggressive_counts {
-            if self.words.contains(word) {
+        for (&id, &agg_count) in &self.aggressive_counts {
+            if self.words.contains(&id) {
                 continue;
             }
             let agg_rate = agg_count / agg_total;
-            let norm_rate =
-                self.normal_counts.get(word).copied().unwrap_or(0.0) / norm_total;
+            let norm_rate = self.normal_counts.get(&id).copied().unwrap_or(0.0) / norm_total;
             if agg_count >= self.config.min_count
                 && agg_rate >= self.config.min_aggressive_rate
                 && agg_rate >= self.config.promote_ratio * norm_rate.max(1.0 / norm_total)
             {
-                self.words.insert(word.clone());
+                self.words.insert(id);
             }
         }
 
         // Demotion: popular in normal tweets, losing traction in aggressive
         // ones. Seed words are kept — they remain the curated floor of the
         // lexicon (and keep the BoW's size series monotone-ish, as in
-        // Figure 10).
+        // Figure 10). Seeds occupy the interner's id prefix.
         let demote_ratio = self.config.demote_ratio;
+        let seed_count = self.seed_count as usize;
         let normal_counts = &self.normal_counts;
         let aggressive_counts = &self.aggressive_counts;
-        let seeds = &self.seeds;
-        self.words.retain(|word| {
-            if seeds.contains(word.as_str()) {
+        self.words.retain(|id| {
+            if id.index() < seed_count {
                 return true;
             }
-            let norm_rate = normal_counts.get(word).copied().unwrap_or(0.0) / norm_total;
-            let agg_rate = aggressive_counts.get(word).copied().unwrap_or(0.0) / agg_total;
+            let norm_rate = normal_counts.get(id).copied().unwrap_or(0.0) / norm_total;
+            let agg_rate = aggressive_counts.get(id).copied().unwrap_or(0.0) / agg_total;
             !(norm_rate > 0.0 && norm_rate >= demote_ratio * agg_rate)
         });
 
@@ -212,63 +284,50 @@ impl AdaptiveBow {
     /// the per-partition local accumulator of the distributed protocol.
     /// Scoring through a fork sees the same membership as the global BoW,
     /// while its rolling counts start empty so [`AdaptiveBow::merge`] sums
-    /// pure deltas.
+    /// pure deltas. The interner clone shares word storage (`Arc`-backed),
+    /// so forking copies ids and reference counts, not strings.
     pub fn fork(&self) -> AdaptiveBow {
         AdaptiveBow {
             config: self.config.clone(),
+            interner: self.interner.clone(),
+            seed_count: self.seed_count,
             words: self.words.clone(),
-            seeds: self.seeds.clone(),
-            aggressive_counts: HashMap::new(),
-            normal_counts: HashMap::new(),
+            aggressive_counts: FxHashMap::default(),
+            normal_counts: FxHashMap::default(),
             aggressive_tweets: 0.0,
             normal_tweets: 0.0,
             since_update: 0,
-        }
-    }
-
-    /// Record words without triggering periodic maintenance — used by
-    /// distributed forks, whose maintenance happens globally at the
-    /// micro-batch boundary.
-    pub fn observe_only<'a>(&mut self, words: impl IntoIterator<Item = &'a str>, aggressive: bool) {
-        if !self.config.adaptive {
-            return;
-        }
-        let (counts, tweets) = if aggressive {
-            (&mut self.aggressive_counts, &mut self.aggressive_tweets)
-        } else {
-            (&mut self.normal_counts, &mut self.normal_tweets)
-        };
-        *tweets += 1.0;
-        let mut seen = HashSet::new();
-        for w in words {
-            if w.len() < 2 || lexicons::is_stopword(w) {
-                continue;
-            }
-            if seen.insert(w) {
-                *counts.entry(w.to_string()).or_insert(0.0) += 1.0;
-            }
+            seen: Vec::new(),
         }
     }
 
     /// Merge another BoW's rolling statistics and membership into this one
     /// (used when combining per-task local state in the distributed engine).
+    ///
+    /// Ids are only meaningful relative to their own interner, so every id
+    /// crossing the boundary is translated by resolving through `other`'s
+    /// interner and re-interning here. For forks of `self` the translation
+    /// is a map hit; genuinely new words intern once.
     pub fn merge(&mut self, other: &AdaptiveBow) {
-        for (w, c) in &other.aggressive_counts {
-            *self.aggressive_counts.entry(w.clone()).or_insert(0.0) += c;
+        for (&id, c) in &other.aggressive_counts {
+            let mine = self.interner.intern(other.interner.resolve(id));
+            *self.aggressive_counts.entry(mine).or_insert(0.0) += c;
         }
-        for (w, c) in &other.normal_counts {
-            *self.normal_counts.entry(w.clone()).or_insert(0.0) += c;
+        for (&id, c) in &other.normal_counts {
+            let mine = self.interner.intern(other.interner.resolve(id));
+            *self.normal_counts.entry(mine).or_insert(0.0) += c;
         }
         self.aggressive_tweets += other.aggressive_tweets;
         self.normal_tweets += other.normal_tweets;
-        for w in &other.words {
-            self.words.insert(w.clone());
+        for &id in &other.words {
+            let mine = self.interner.intern(other.interner.resolve(id));
+            self.words.insert(mine);
         }
     }
 
     /// Iterate over the current members (unspecified order).
     pub fn words(&self) -> impl Iterator<Item = &str> {
-        self.words.iter().map(String::as_str)
+        self.words.iter().map(|&id| self.interner.resolve(id))
     }
 }
 
@@ -284,6 +343,15 @@ mod tests {
 
     fn fast_config() -> AdaptiveBowConfig {
         AdaptiveBowConfig { update_interval: 50, min_count: 3.0, ..Default::default() }
+    }
+
+    /// Rolling aggressive count of `word`, 0.0 when never recorded.
+    fn agg_count(bow: &AdaptiveBow, word: &str) -> f64 {
+        bow.interner
+            .get(word)
+            .and_then(|id| bow.aggressive_counts.get(&id))
+            .copied()
+            .unwrap_or(0.0)
     }
 
     #[test]
@@ -379,7 +447,18 @@ mod tests {
         let mut bow = AdaptiveBow::new(fast_config());
         // One tweet repeating a word many times must count once.
         bow.observe(vec!["spamword"; 100], true);
-        assert_eq!(bow.aggressive_counts["spamword"], 1.0);
+        assert_eq!(agg_count(&bow, "spamword"), 1.0);
+    }
+
+    #[test]
+    fn observe_interns_each_word_once() {
+        let mut bow = AdaptiveBow::new(fast_config());
+        bow.observe(["zorgon", "weather"], true);
+        let vocab = bow.interner.len();
+        for _ in 0..10 {
+            bow.observe(["zorgon", "weather"], false);
+        }
+        assert_eq!(bow.interner.len(), vocab, "re-observing allocates no new entries");
     }
 
     #[test]
@@ -388,12 +467,28 @@ mod tests {
         let mut b = AdaptiveBow::new(fast_config());
         a.observe(["zorgon"], true);
         b.observe(["blarg"], true);
-        b.words.insert("blarg".to_string());
+        let blarg = b.interner.intern("blarg");
+        b.words.insert(blarg);
         a.merge(&b);
         assert!(a.contains("blarg"));
-        assert_eq!(a.aggressive_counts["zorgon"], 1.0);
-        assert_eq!(a.aggressive_counts["blarg"], 1.0);
+        assert_eq!(agg_count(&a, "zorgon"), 1.0);
+        assert_eq!(agg_count(&a, "blarg"), 1.0);
         assert_eq!(a.aggressive_tweets, 2.0);
+    }
+
+    #[test]
+    fn merge_translates_ids_across_interners() {
+        // Divergent interners assign the same word different ids; the merge
+        // must go through strings, not raw ids.
+        let mut a = AdaptiveBow::new(fast_config());
+        let mut b = AdaptiveBow::new(fast_config());
+        a.observe(["alpha", "shared"], true); // "shared" id differs in a vs b
+        b.observe(["beta", "gamma", "shared"], true);
+        assert_ne!(a.interner.get("shared"), b.interner.get("shared"));
+        a.merge(&b);
+        assert_eq!(agg_count(&a, "shared"), 2.0, "counts for the same word combined");
+        assert_eq!(agg_count(&a, "beta"), 1.0);
+        assert_eq!(agg_count(&a, "alpha"), 1.0);
     }
 
     #[test]

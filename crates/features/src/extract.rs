@@ -5,19 +5,27 @@
 //! syntactic, stylistic, sentiment, swear-word, and network features) plus
 //! the adaptive bag-of-words match count.
 //!
-//! Counting features (`numHashtags`, `numUrls`, `numUpperCases`) and
+//! Counting features (`numHashtags`, `numUpperCases`, `numUrls`) and
 //! sentiment are always computed on the raw text — they measure content the
 //! cleaning step removes. The word-level features (POS counts, stylistic
 //! statistics, swear/BoW counts) are computed on the *preprocessed* word
 //! sequence when preprocessing is enabled, and on all raw word tokens when
 //! it is disabled (the `p=OFF` ablation of Figure 6).
+//!
+//! Extraction comes in two forms. [`FeatureExtractor::extract`] allocates
+//! its result per call — convenient for tests and one-off use.
+//! [`FeatureExtractor::extract_into`] writes into a caller-owned
+//! [`ExtractScratch`], whose token buffer, word arena, sentiment scratch,
+//! and feature vector are reused across calls: after warm-up a stream
+//! consumer extracts tweets without touching the allocator.
 
 use crate::adaptive_bow::AdaptiveBow;
 use crate::preprocess;
-use redhanded_nlp::sentence::count_word_sentences;
-use redhanded_nlp::sentiment::score_tokens;
-use redhanded_nlp::tokenizer::{tokenize, TokenKind};
-use redhanded_nlp::{count_pos, lexicons};
+use redhanded_nlp::intern::push_lowercase;
+use redhanded_nlp::sentence::count_word_sentences_spans;
+use redhanded_nlp::sentiment::{score_spans, SentimentScratch};
+use redhanded_nlp::tokenizer::{tokenize_into, TokenKind, TokenSpan};
+use redhanded_nlp::count_pos;
 use redhanded_types::{ClassScheme, FeatureSet, Instance, LabeledTweet, Tweet};
 
 /// Canonical feature names, in vector order.
@@ -68,6 +76,53 @@ pub struct Extraction {
     pub words: Vec<String>,
 }
 
+/// Reusable working memory for [`FeatureExtractor::extract_into`].
+///
+/// Owns every buffer the per-tweet hot path needs: the token-span vector,
+/// the lowercased-word arena (one `String` holding all words back to back,
+/// addressed by byte ranges), the sentiment scorer's scratch, and the
+/// output feature vector. All buffers are cleared — never shrunk — between
+/// tweets, so after the first few tweets a steady-state consumer performs
+/// no allocations at all.
+#[derive(Debug, Default)]
+pub struct ExtractScratch {
+    /// Raw token spans of the current tweet.
+    tokens: Vec<TokenSpan>,
+    /// Byte ranges into `arena`, one per surviving lowercased word.
+    words: Vec<(u32, u32)>,
+    /// Concatenated lowercased word text.
+    arena: String,
+    /// Sentiment scorer working memory.
+    sentiment: SentimentScratch,
+    /// The 17-dimensional output vector of the last extraction.
+    features: Vec<f64>,
+}
+
+impl ExtractScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The feature vector written by the last `extract_into` call, in
+    /// [`FEATURE_NAMES`] order.
+    pub fn features(&self) -> &[f64] {
+        &self.features
+    }
+
+    /// The lowercased words of the last `extract_into` call, in tweet
+    /// order. The iterator borrows the scratch, so the BoW-observe step
+    /// consumes it without materializing a `Vec<String>`.
+    pub fn words(&self) -> impl Iterator<Item = &str> + Clone {
+        self.words.iter().map(|&(s, e)| &self.arena[s as usize..e as usize])
+    }
+
+    /// Number of words of the last `extract_into` call.
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+}
+
 /// Stateless tweet-to-vector feature extractor.
 ///
 /// The adaptive BoW is passed in per call rather than owned, because its
@@ -94,61 +149,73 @@ impl FeatureExtractor {
         self.config.preprocess
     }
 
-    /// Extract the feature vector and word sequence for one tweet.
-    pub fn extract(&self, tweet: &Tweet, bow: &AdaptiveBow) -> Extraction {
-        let tokens = tokenize(&tweet.text);
+    /// Extract one tweet into `scratch`, reusing its buffers.
+    ///
+    /// Results are read back via [`ExtractScratch::features`] and
+    /// [`ExtractScratch::words`]; they stay valid until the next call. The
+    /// produced values are bit-identical to [`FeatureExtractor::extract`].
+    pub fn extract_into(&self, tweet: &Tweet, bow: &AdaptiveBow, scratch: &mut ExtractScratch) {
+        let text = tweet.text.as_str();
+        tokenize_into(text, &mut scratch.tokens);
 
         // Basic text features on the raw token stream.
         let mut num_hashtags = 0usize;
         let mut num_urls = 0usize;
         let mut num_upper = 0usize;
-        for t in &tokens {
+        for t in &scratch.tokens {
             match t.kind {
                 TokenKind::Hashtag => num_hashtags += 1,
                 TokenKind::Url => num_urls += 1,
-                TokenKind::Word if t.is_shouting() => num_upper += 1,
+                TokenKind::Word if t.is_shouting(text) => num_upper += 1,
                 _ => {}
             }
         }
 
         // Sentiment on the raw token stream (punctuation and emoticons carry
         // signal; see the sentiment module docs).
-        let sentiment = score_tokens(&tokens);
+        let sentiment = score_spans(text, &scratch.tokens, &mut scratch.sentiment);
 
         // Word-level features on the cleaned (or raw) word sequence. With
         // preprocessing disabled, everything that cleaning would have
         // removed — URLs, mentions, hashtags, numbers, abbreviations like
         // RT — stays in the word stream and pollutes the word-derived
         // features, exactly the instability Figure 6 measures.
-        let words: Vec<String> = if self.config.preprocess {
-            preprocess::preprocess_tokens(&tokens)
-                .into_iter()
-                .map(|t| t.text.to_lowercase())
-                .collect()
-        } else {
-            tokens
-                .iter()
-                .filter(|t| !matches!(t.kind, TokenKind::Punctuation | TokenKind::Emoticon))
-                .map(|t| t.text.to_lowercase())
-                .collect()
-        };
+        scratch.words.clear();
+        scratch.arena.clear();
+        for span in &scratch.tokens {
+            let keep = if self.config.preprocess {
+                preprocess::keep_span(text, span)
+            } else {
+                !matches!(span.kind, TokenKind::Punctuation | TokenKind::Emoticon)
+            };
+            if keep {
+                scratch.words.push(push_lowercase(&mut scratch.arena, span.text(text)));
+            }
+        }
 
-        let pos = count_pos(words.iter().map(String::as_str));
+        let pos = count_pos(scratch.words());
         // Only word-bearing segments count as sentences — trailing
         // hashtag/URL fragments would otherwise skew `wordsPerSentence`
         // class-dependently (see redhanded_nlp::count_word_sentences).
-        let num_sentences = count_word_sentences(&tweet.text, &tokens).max(1);
-        let words_per_sentence = words.len() as f64 / num_sentences as f64;
-        let mean_word_length = if words.is_empty() {
+        let num_sentences = count_word_sentences_spans(text, &scratch.tokens).max(1);
+        let num_words = scratch.words.len();
+        let words_per_sentence = num_words as f64 / num_sentences as f64;
+        let mean_word_length = if num_words == 0 {
             0.0
         } else {
-            words.iter().map(|w| w.chars().count()).sum::<usize>() as f64 / words.len() as f64
+            scratch
+                .words()
+                .map(|w| if w.is_ascii() { w.len() } else { w.chars().count() })
+                .sum::<usize>() as f64
+                / num_words as f64
         };
-        let swears = words.iter().filter(|w| lexicons::is_swear(w)).count();
-        let bow_score = bow.score(words.iter().map(String::as_str));
+        // One interner probe per word covers both `cntSwearWords` (seed-id
+        // prefix) and `bowScore` (membership) — see `swear_and_bow_counts`.
+        let (swears, bow_score) = bow.swear_and_bow_counts(scratch.words());
 
         let user = &tweet.user;
-        let features = vec![
+        scratch.features.clear();
+        scratch.features.extend([
             user.account_age_days,
             user.statuses_count as f64,
             user.listed_count as f64,
@@ -166,15 +233,59 @@ impl FeatureExtractor {
             sentiment.negative as f64,
             swears as f64,
             bow_score as f64,
-        ];
-        debug_assert_eq!(features.len(), NUM_FEATURES);
-        Extraction { features, words }
+        ]);
+        debug_assert_eq!(scratch.features.len(), NUM_FEATURES);
+    }
+
+    /// Extract the feature vector and word sequence for one tweet,
+    /// allocating a fresh result (thin wrapper over `extract_into`).
+    pub fn extract(&self, tweet: &Tweet, bow: &AdaptiveBow) -> Extraction {
+        let mut scratch = ExtractScratch::new();
+        self.extract_into(tweet, bow, &mut scratch);
+        Extraction {
+            features: std::mem::take(&mut scratch.features),
+            words: scratch.words().map(str::to_string).collect(),
+        }
+    }
+
+    /// [`FeatureExtractor::instance`] through a reusable scratch. The word
+    /// sequence of the tweet remains readable from `scratch` afterwards.
+    pub fn instance_into(
+        &self,
+        tweet: &Tweet,
+        bow: &AdaptiveBow,
+        day: u32,
+        scratch: &mut ExtractScratch,
+    ) -> Instance {
+        self.extract_into(tweet, bow, scratch);
+        Instance::unlabeled(scratch.features().to_vec())
+            .with_day(day)
+            .with_ids(tweet.id, tweet.user.id)
     }
 
     /// Extract an unlabeled [`Instance`] from a tweet.
     pub fn instance(&self, tweet: &Tweet, bow: &AdaptiveBow, day: u32) -> Instance {
-        let ext = self.extract(tweet, bow);
-        Instance::unlabeled(ext.features).with_day(day).with_ids(tweet.id, tweet.user.id)
+        self.instance_into(tweet, bow, day, &mut ExtractScratch::new())
+    }
+
+    /// [`FeatureExtractor::labeled_instance`] through a reusable scratch.
+    /// On `Some`, the tweet's word sequence remains readable from `scratch`
+    /// (for the BoW-observe step) without allocating a `Vec<String>`.
+    pub fn labeled_instance_into(
+        &self,
+        tweet: &LabeledTweet,
+        scheme: ClassScheme,
+        bow: &AdaptiveBow,
+        day: u32,
+        scratch: &mut ExtractScratch,
+    ) -> Option<Instance> {
+        let class = scheme.index_of(tweet.label)?;
+        self.extract_into(&tweet.tweet, bow, scratch);
+        Some(
+            Instance::labeled(scratch.features().to_vec(), class)
+                .with_day(day)
+                .with_ids(tweet.tweet.id, tweet.tweet.user.id),
+        )
     }
 
     /// Extract a labeled [`Instance`] from a labeled tweet under `scheme`.
@@ -188,12 +299,9 @@ impl FeatureExtractor {
         bow: &AdaptiveBow,
         day: u32,
     ) -> Option<(Instance, Vec<String>)> {
-        let class = scheme.index_of(tweet.label)?;
-        let ext = self.extract(&tweet.tweet, bow);
-        let inst = Instance::labeled(ext.features, class)
-            .with_day(day)
-            .with_ids(tweet.tweet.id, tweet.tweet.user.id);
-        Some((inst, ext.words))
+        let mut scratch = ExtractScratch::new();
+        let inst = self.labeled_instance_into(tweet, scheme, bow, day, &mut scratch)?;
+        Some((inst, scratch.words().map(str::to_string).collect()))
     }
 }
 
@@ -311,6 +419,32 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_matches_fresh_extraction() {
+        let bow = AdaptiveBow::with_defaults();
+        let texts = [
+            "you are an ASSHOLE!! http://t.co/x #angry :(",
+            "RT @a: lovely day, isn't it?",
+            "",
+            "Τι ΚΑΝΕΙΣ; 😀 numbers 42 here",
+        ];
+        for ex in [
+            FeatureExtractor::new(ExtractorConfig { preprocess: true }),
+            FeatureExtractor::new(ExtractorConfig { preprocess: false }),
+        ] {
+            let mut scratch = ExtractScratch::new();
+            for text in texts {
+                let t = tweet(text);
+                ex.extract_into(&t, &bow, &mut scratch);
+                let fresh = ex.extract(&t, &bow);
+                assert_eq!(scratch.features(), fresh.features.as_slice(), "text {text:?}");
+                let words: Vec<&str> = scratch.words().collect();
+                assert_eq!(words, fresh.words, "text {text:?}");
+                assert_eq!(scratch.num_words(), fresh.words.len());
+            }
+        }
+    }
+
+    #[test]
     fn labeled_instance_maps_label() {
         let lt = LabeledTweet { tweet: tweet("you asshole"), label: ClassLabel::Abusive };
         let bow = AdaptiveBow::with_defaults();
@@ -333,6 +467,10 @@ mod tests {
         let ex = FeatureExtractor::default();
         assert!(ex.labeled_instance(&lt, ClassScheme::ThreeClass, &bow, 0).is_none());
         assert!(ex.labeled_instance(&lt, ClassScheme::TwoClass, &bow, 0).is_none());
+        let mut scratch = ExtractScratch::new();
+        assert!(ex
+            .labeled_instance_into(&lt, ClassScheme::TwoClass, &bow, 0, &mut scratch)
+            .is_none());
     }
 
     #[test]

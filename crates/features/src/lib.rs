@@ -22,7 +22,9 @@ pub mod preprocess;
 pub mod stats;
 
 pub use adaptive_bow::{AdaptiveBow, AdaptiveBowConfig};
-pub use extract::{Extraction, ExtractorConfig, FeatureExtractor, FEATURE_NAMES, NUM_FEATURES};
+pub use extract::{
+    ExtractScratch, Extraction, ExtractorConfig, FeatureExtractor, FEATURE_NAMES, NUM_FEATURES,
+};
 pub use normalize::{NormalizationKind, Normalizer};
 pub use preprocess::preprocess;
 pub use stats::{OnlineStats, P2Quantile};

@@ -6,7 +6,7 @@
 //! The output is the whitespace-joined sequence of surviving words.
 
 use redhanded_nlp::lexicons;
-use redhanded_nlp::tokenizer::{tokenize, Token, TokenKind};
+use redhanded_nlp::tokenizer::{tokenize, Token, TokenKind, TokenSpan};
 
 /// Tweet-specific abbreviations removed during cleaning (compared
 /// case-insensitively).
@@ -23,10 +23,20 @@ fn is_abbreviation(word: &str) -> bool {
 /// boundary, so `xD5` yields a *word* `xD` that a second tokenization pass
 /// would reclassify — filtering them here keeps preprocessing idempotent.
 pub fn keep_token(token: &Token<'_>) -> bool {
-    token.kind == TokenKind::Word
-        && !is_abbreviation(token.text)
-        && !lexicons::positive_emoticon_set().contains(token.text)
-        && !lexicons::negative_emoticon_set().contains(token.text)
+    keep(token.kind, token.text)
+}
+
+/// [`keep_token`] for offset-based spans against their source text — the
+/// form used by the scratch-based extraction path.
+pub fn keep_span(source: &str, span: &TokenSpan) -> bool {
+    keep(span.kind, span.text(source))
+}
+
+fn keep(kind: TokenKind, text: &str) -> bool {
+    kind == TokenKind::Word
+        && !is_abbreviation(text)
+        && !lexicons::positive_emoticon_set().contains(text)
+        && !lexicons::negative_emoticon_set().contains(text)
 }
 
 /// Clean `text`, returning the surviving words joined by single spaces.

@@ -1,0 +1,62 @@
+//! Allocation accounting for the adaptive BoW's hot path.
+//!
+//! `AdaptiveBow::observe` runs once per labeled tweet; with word interning
+//! it must not allocate for vocabulary it has already seen. This test pins
+//! that property with a counting global allocator: warm the BoW (interning
+//! allocates exactly once per distinct word), then re-observe the same
+//! words and assert the allocation counter does not move.
+//!
+//! Lives in an integration test because a `#[global_allocator]` is
+//! process-wide — and because the library itself forbids `unsafe`, while
+//! the allocator shim necessarily uses it.
+
+use redhanded_features::{AdaptiveBow, AdaptiveBowConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn observing_seen_words_does_not_allocate() {
+    // Large interval so no maintenance round fires mid-test (promotion and
+    // decay legitimately touch the heap).
+    let mut bow = AdaptiveBow::new(AdaptiveBowConfig {
+        update_interval: 1_000_000,
+        ..AdaptiveBowConfig::default()
+    });
+    let words = ["zorgon", "ruined", "everything", "completely", "zorgon"];
+
+    // Warm-up: interns the novel words, initializes the lazy stopword set,
+    // and grows the count tables and dedup scratch to steady-state size.
+    for i in 0..8 {
+        bow.observe(words, i % 2 == 0);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..100 {
+        bow.observe(words, i % 2 == 0);
+    }
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(delta, 0, "observe allocated {delta} times for already-interned words");
+}

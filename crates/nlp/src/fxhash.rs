@@ -1,0 +1,124 @@
+//! A fast, non-cryptographic hasher for the per-token lookup tables.
+//!
+//! Every word of every tweet is probed against several lexicon tables
+//! (valence, POS classes, profanity, stopwords) plus the interner, so the
+//! hash function sits squarely on the hot path. The standard library's
+//! default SipHash defends against adversarial collisions — protection the
+//! lexicon tables (static, trusted keys) and `WordId` maps (dense integer
+//! keys) do not need, and whose cost they cannot afford at Firehose rates.
+//!
+//! This is the multiply-rotate-xor scheme used by the Rust compiler
+//! ("FxHash"): one rotate, one xor, and one multiply per 8-byte chunk. It
+//! is implemented here because the workspace builds offline (see
+//! `DESIGN.md` §7 on vendored dependencies).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// The rustc/Firefox multiply-rotate-xor hasher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while let Some(chunk) = bytes.first_chunk::<8>() {
+            self.add_to_hash(u64::from_le_bytes(*chunk));
+            bytes = &bytes[8..];
+        }
+        if let Some(chunk) = bytes.first_chunk::<4>() {
+            self.add_to_hash(u64::from(u32::from_le_bytes(*chunk)));
+            bytes = &bytes[4..];
+        }
+        if let Some(chunk) = bytes.first_chunk::<2>() {
+            self.add_to_hash(u64::from(u16::from_le_bytes(*chunk)));
+            bytes = &bytes[2..];
+        }
+        if let Some(&b) = bytes.first() {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of(v: impl Hash) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(hash_of("asshole"), hash_of("asshole"));
+        assert_ne!(hash_of("asshole"), hash_of("asshola"));
+        assert_ne!(hash_of(""), hash_of("a"));
+        assert_ne!(hash_of(1u32), hash_of(2u32));
+        // Words differing only past the 8-byte chunk boundary.
+        assert_ne!(hash_of("aaaaaaaab"), hash_of("aaaaaaaac"));
+    }
+
+    #[test]
+    fn maps_and_sets_behave() {
+        let mut m: FxHashMap<&str, i8> = FxHashMap::default();
+        m.insert("hate", -5);
+        m.insert("love", 4);
+        assert_eq!(m.get("hate"), Some(&-5));
+        assert_eq!(m.get("like"), None);
+
+        let s: FxHashSet<u32> = (0..1000).collect();
+        assert_eq!(s.len(), 1000);
+        assert!(s.contains(&999));
+        assert!(!s.contains(&1000));
+    }
+}

@@ -1,0 +1,182 @@
+//! Word interning and lowercase-arena utilities for the per-tweet hot path.
+//!
+//! The adaptive bag-of-words keys its rolling statistics by word. With
+//! `String` keys, every observed word costs a heap clone plus a full string
+//! hash on each map touch. The [`WordInterner`] maps each distinct
+//! (already lowercased) word to a stable dense [`WordId`] exactly once;
+//! downstream bookkeeping then hashes and stores plain integers, and the
+//! only string allocation left in the steady state is the first sighting of
+//! a genuinely new word.
+//!
+//! By convention the 347-entry profanity lexicon is interned first (see
+//! [`WordInterner::with_swear_lexicon`]), so seed membership — the BoW's
+//! protected floor and the `cntSwearWords` feature — is an id-range test.
+
+use std::sync::Arc;
+
+use crate::fxhash::FxHashMap;
+use crate::lexicons;
+
+/// Dense identifier of an interned word.
+///
+/// Ids are assigned in interning order starting at 0 and are only
+/// meaningful relative to the [`WordInterner`] that produced them; maps
+/// keyed by `WordId` must translate through both interners when merging
+/// state across interners (see `AdaptiveBow::merge` in the features crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WordId(u32);
+
+impl WordId {
+    /// The dense index value (interning order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only bidirectional map between words and dense [`WordId`]s.
+///
+/// Each word's bytes are stored once behind an `Arc<str>` shared by the
+/// forward map and the id table, so cloning an interner (e.g. when forking
+/// per-partition BoW state in the distributed engine) copies reference
+/// counts, not strings.
+#[derive(Debug, Clone, Default)]
+pub struct WordInterner {
+    ids: FxHashMap<Arc<str>, WordId>,
+    words: Vec<Arc<str>>,
+}
+
+impl WordInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An interner pre-loaded with the 347-entry profanity lexicon, in
+    /// lexicon order: ids `0..lexicons::SWEAR_WORDS.len()` are exactly the
+    /// seed swear words.
+    pub fn with_swear_lexicon() -> Self {
+        let mut interner = WordInterner::default();
+        for w in lexicons::SWEAR_WORDS {
+            interner.intern(w);
+        }
+        interner
+    }
+
+    /// The id of `word`, interning it first if it was never seen. Allocates
+    /// only on the first sighting of a word.
+    pub fn intern(&mut self, word: &str) -> WordId {
+        if let Some(&id) = self.ids.get(word) {
+            return id;
+        }
+        let id = WordId(self.words.len() as u32);
+        let shared: Arc<str> = Arc::from(word);
+        self.words.push(Arc::clone(&shared));
+        self.ids.insert(shared, id);
+        id
+    }
+
+    /// The id of `word`, if it has been interned. Never allocates.
+    pub fn get(&self, word: &str) -> Option<WordId> {
+        self.ids.get(word).copied()
+    }
+
+    /// The word behind `id`.
+    ///
+    /// # Panics
+    /// Panics when `id` did not come from this interner (or a clone of it).
+    pub fn resolve(&self, id: WordId) -> &str {
+        &self.words[id.index()]
+    }
+
+    /// Number of interned words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+/// Append the lowercase form of `text` to `arena`, returning the appended
+/// byte range.
+///
+/// Pure-ASCII text — the overwhelming majority of tweet words — is lowered
+/// byte-wise with no intermediate allocation. Anything else falls back to
+/// [`str::to_lowercase`], preserving its context-sensitive mappings (final
+/// sigma, expanding ligatures), so the arena contents are byte-identical to
+/// per-word `to_lowercase()` calls.
+pub fn push_lowercase(arena: &mut String, text: &str) -> (u32, u32) {
+    let start = arena.len() as u32;
+    if text.is_ascii() {
+        if text.bytes().any(|b| b.is_ascii_uppercase()) {
+            arena.extend(text.bytes().map(|b| b.to_ascii_lowercase() as char));
+        } else {
+            // Already lowercase — a straight copy (tweet words usually are).
+            arena.push_str(text);
+        }
+    } else {
+        arena.push_str(&text.to_lowercase());
+    }
+    (start, arena.len() as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut it = WordInterner::new();
+        assert!(it.is_empty());
+        let a = it.intern("alpha");
+        let b = it.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(it.intern("alpha"), a, "re-interning returns the same id");
+        assert_eq!(it.len(), 2);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(it.resolve(a), "alpha");
+        assert_eq!(it.resolve(b), "beta");
+        assert_eq!(it.get("alpha"), Some(a));
+        assert_eq!(it.get("gamma"), None);
+    }
+
+    #[test]
+    fn swear_lexicon_occupies_the_id_prefix() {
+        let mut it = WordInterner::with_swear_lexicon();
+        assert_eq!(it.len(), lexicons::SWEAR_WORDS.len());
+        for (i, w) in lexicons::SWEAR_WORDS.iter().enumerate() {
+            assert_eq!(it.get(w).unwrap().index(), i);
+            assert!(lexicons::is_swear(it.resolve(WordId(i as u32))));
+        }
+        let extra = it.intern("zorgon");
+        assert_eq!(extra.index(), lexicons::SWEAR_WORDS.len());
+        assert!(!lexicons::is_swear(it.resolve(extra)));
+    }
+
+    #[test]
+    fn clones_share_ids() {
+        let mut a = WordInterner::new();
+        let id = a.intern("word");
+        let b = a.clone();
+        assert_eq!(b.get("word"), Some(id));
+        assert_eq!(b.resolve(id), "word");
+    }
+
+    #[test]
+    fn push_lowercase_matches_to_lowercase() {
+        let mut arena = String::new();
+        for text in ["HELLO", "don't", "Καλά", "ΟΔΟΣ", "İstanbul", "ﬁn", "mixedCASE123"] {
+            let (s, e) = push_lowercase(&mut arena, text);
+            assert_eq!(&arena[s as usize..e as usize], text.to_lowercase(), "{text}");
+        }
+        // Ranges tile the arena without gaps.
+        let mut arena2 = String::new();
+        let r1 = push_lowercase(&mut arena2, "ABC");
+        let r2 = push_lowercase(&mut arena2, "DeF");
+        assert_eq!((r1, r2), ((0, 3), (3, 6)));
+        assert_eq!(arena2, "abcdef");
+    }
+}

@@ -13,18 +13,18 @@ pub use data::{
     SENTIMENT_VALENCES, STOPWORDS, SWEAR_WORDS, VERBS,
 };
 
-use std::collections::{HashMap, HashSet};
+use crate::fxhash::{FxHashMap, FxHashSet};
 use std::sync::OnceLock;
 
-fn set_of(words: &'static [&'static str]) -> HashSet<&'static str> {
+fn set_of(words: &'static [&'static str]) -> FxHashSet<&'static str> {
     words.iter().copied().collect()
 }
 
 macro_rules! lazy_set {
     ($fn_name:ident, $table:ident, $doc:literal) => {
         #[doc = $doc]
-        pub fn $fn_name() -> &'static HashSet<&'static str> {
-            static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+        pub fn $fn_name() -> &'static FxHashSet<&'static str> {
+            static SET: OnceLock<FxHashSet<&'static str>> = OnceLock::new();
             SET.get_or_init(|| set_of($table))
         }
     };
@@ -47,15 +47,15 @@ lazy_set!(negative_emoticon_set, NEGATIVE_EMOTICONS, "Negative emoticons as a se
 
 /// Sentiment valence lookup: term → strength on the SentiStrength scale
 /// (positive `2..=5`, negative `-5..=-2`).
-pub fn sentiment_map() -> &'static HashMap<&'static str, i8> {
-    static MAP: OnceLock<HashMap<&'static str, i8>> = OnceLock::new();
+pub fn sentiment_map() -> &'static FxHashMap<&'static str, i8> {
+    static MAP: OnceLock<FxHashMap<&'static str, i8>> = OnceLock::new();
     MAP.get_or_init(|| SENTIMENT_VALENCES.iter().copied().collect())
 }
 
 /// Booster strength lookup: booster word → increment it adds to a following
 /// sentiment term.
-pub fn booster_map() -> &'static HashMap<&'static str, i8> {
-    static MAP: OnceLock<HashMap<&'static str, i8>> = OnceLock::new();
+pub fn booster_map() -> &'static FxHashMap<&'static str, i8> {
+    static MAP: OnceLock<FxHashMap<&'static str, i8>> = OnceLock::new();
     MAP.get_or_init(|| BOOSTERS.iter().copied().collect())
 }
 

@@ -13,18 +13,38 @@
 //!   [-5, 5] scale (`sentimentScorePos`, `sentimentScoreNeg`);
 //! * [`lexicons`] — the static word lists backing all of the above,
 //!   including the 347-entry profanity list that seeds the adaptive
-//!   bag-of-words.
+//!   bag-of-words;
+//! * [`intern`] — word interning (string → dense `u32` id) and the
+//!   lowercase-arena helper behind the allocation-free extraction path;
+//! * [`fxhash`] — the fast non-cryptographic hasher backing every lexicon
+//!   table and id-keyed map on the per-token hot path.
+//!
+//! The tokenizer, sentiment scorer, and sentence counter each come in two
+//! forms: a convenience API that allocates per call ([`tokenize`],
+//! [`score_tokens`], [`count_word_sentences`]) and a scratch/span API
+//! ([`tokenize_into`], [`score_spans`], [`count_word_sentences_spans`])
+//! that reuses caller-owned buffers so a steady-state stream consumer
+//! performs no per-tweet allocations.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod fxhash;
+pub mod intern;
 pub mod lexicons;
 pub mod pos;
 pub mod sentence;
 pub mod sentiment;
 pub mod tokenizer;
 
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
+pub use intern::{push_lowercase, WordId, WordInterner};
 pub use pos::{count_pos, tag_word, PosCounts, PosTag};
-pub use sentence::{count_word_sentences, split_sentences, stylistic_stats, StylisticStats};
-pub use sentiment::{score_text, score_tokens, SentimentScore};
-pub use tokenizer::{tokenize, Token, TokenKind, Tokenizer};
+pub use sentence::{
+    count_word_sentences, count_word_sentences_spans, split_sentences, stylistic_stats,
+    StylisticStats,
+};
+pub use sentiment::{
+    score_spans, score_text, score_tokens, score_tokens_with, SentimentScore, SentimentScratch,
+};
+pub use tokenizer::{tokenize, tokenize_into, Token, TokenKind, TokenSpan, Tokenizer};

@@ -16,7 +16,9 @@
 //!    `-ous`/`-ful`/`-ive`/… → adjective),
 //! 4. default: noun.
 
+use crate::fxhash::FxHashMap;
 use crate::lexicons;
+use std::sync::OnceLock;
 
 /// Part-of-speech tag.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -47,31 +49,56 @@ const VERB_SUFFIXES: &[&str] = &["ing", "ed", "ize", "ise", "ify", "ate"];
 
 /// Tag a single word (case-insensitive).
 pub fn tag_word(word: &str) -> PosTag {
-    let lower = word.to_lowercase();
-    let w = lower.as_str();
-    if lexicons::pronoun_set().contains(w) {
-        return PosTag::Pronoun;
+    // ASCII fast path: almost every tweet word lowercases without
+    // allocating — either it is already lowercase, or it fits a stack
+    // buffer. ASCII lowercasing agrees with `str::to_lowercase` on ASCII
+    // input, so the tag is identical.
+    if word.is_ascii() {
+        if !word.bytes().any(|b| b.is_ascii_uppercase()) {
+            return tag_lower(word);
+        }
+        let mut buf = [0u8; 64];
+        if let Some(buf) = buf.get_mut(..word.len()) {
+            buf.copy_from_slice(word.as_bytes());
+            buf.make_ascii_lowercase();
+            return tag_lower(std::str::from_utf8(buf).expect("ascii stays utf-8"));
+        }
     }
-    if lexicons::determiner_set().contains(w) {
-        return PosTag::Determiner;
-    }
-    if lexicons::preposition_set().contains(w) {
-        return PosTag::Preposition;
-    }
-    if lexicons::conjunction_set().contains(w) {
-        return PosTag::Conjunction;
-    }
-    if lexicons::interjection_set().contains(w) {
-        return PosTag::Interjection;
-    }
-    if lexicons::adverb_set().contains(w) {
-        return PosTag::Adverb;
-    }
-    if lexicons::adjective_set().contains(w) {
-        return PosTag::Adjective;
-    }
-    if lexicons::verb_set().contains(w) {
-        return PosTag::Verb;
+    tag_lower(&word.to_lowercase())
+}
+
+/// Unified lexicon lookup: one probe instead of eight sequential set
+/// probes per word. Built by inserting the class tables in the documented
+/// lookup order with first-wins semantics, so ambiguous words (e.g.
+/// "well", both adverb and adjective) resolve exactly as the sequential
+/// checks did.
+fn lexicon_map() -> &'static FxHashMap<&'static str, PosTag> {
+    static MAP: OnceLock<FxHashMap<&'static str, PosTag>> = OnceLock::new();
+    MAP.get_or_init(|| {
+        let classes: [(&'static [&'static str], PosTag); 8] = [
+            (lexicons::PRONOUNS, PosTag::Pronoun),
+            (lexicons::DETERMINERS, PosTag::Determiner),
+            (lexicons::PREPOSITIONS, PosTag::Preposition),
+            (lexicons::CONJUNCTIONS, PosTag::Conjunction),
+            (lexicons::INTERJECTIONS, PosTag::Interjection),
+            (lexicons::ADVERBS, PosTag::Adverb),
+            (lexicons::ADJECTIVES, PosTag::Adjective),
+            (lexicons::VERBS, PosTag::Verb),
+        ];
+        let mut map = FxHashMap::default();
+        for (table, tag) in classes {
+            for &w in table {
+                map.entry(w).or_insert(tag);
+            }
+        }
+        map
+    })
+}
+
+/// Tag an already-lowercased word.
+fn tag_lower(w: &str) -> PosTag {
+    if let Some(&tag) = lexicon_map().get(w) {
+        return tag;
     }
     // Suffix heuristics, longest-context first. Require a minimal stem so
     // short words like "red" or "king" don't get misparsed.

@@ -5,7 +5,7 @@
 //! contain elaborate sentence structure, so a boundary-character splitter
 //! (`.` `!` `?` `\n`, with runs collapsed) is sufficient and fast.
 
-use crate::tokenizer::{Token, TokenKind};
+use crate::tokenizer::{Token, TokenKind, TokenSpan};
 
 /// Split `text` into sentences, returning the non-empty trimmed slices.
 ///
@@ -45,41 +45,49 @@ pub fn split_sentences(text: &str) -> Vec<&str> {
 /// counts only segments that contribute actual words, using the byte
 /// offsets of an existing tokenization pass.
 pub fn count_word_sentences(text: &str, tokens: &[Token<'_>]) -> usize {
-    let word_starts: Vec<usize> =
-        tokens.iter().filter(|t| t.kind == TokenKind::Word).map(|t| t.start).collect();
-    if word_starts.is_empty() {
-        return 0;
-    }
+    count_with_word_starts(
+        text,
+        tokens.iter().filter(|t| t.kind == TokenKind::Word).map(|t| t.start),
+    )
+}
+
+/// [`count_word_sentences`] over offset-based token spans — the
+/// allocation-free form used by the feature extractor's hot path.
+pub fn count_word_sentences_spans(text: &str, spans: &[TokenSpan]) -> usize {
+    count_with_word_starts(
+        text,
+        spans.iter().filter(|s| s.kind == TokenKind::Word).map(|s| s.start as usize),
+    )
+}
+
+/// Single-scan core: walk the text once, consuming the ascending stream of
+/// word-token start offsets in lockstep, and count the segments between
+/// terminator runs that contain at least one word start. Word tokens never
+/// begin on a terminator character, so every start falls strictly inside a
+/// segment.
+fn count_with_word_starts(text: &str, word_starts: impl IntoIterator<Item = usize>) -> usize {
+    let mut starts = word_starts.into_iter().peekable();
     let mut count = 0usize;
-    let mut seg_start = 0usize;
     let mut in_terminator = false;
-    let mut wi = 0usize;
-    let close_segment = |start: usize, end: usize, wi: &mut usize, count: &mut usize| {
-        // Advance over word starts inside [start, end); count the segment
-        // if it contains any.
-        let mut has_word = false;
-        while *wi < word_starts.len() && word_starts[*wi] < end {
-            if word_starts[*wi] >= start {
-                has_word = true;
-            }
-            *wi += 1;
-        }
-        if has_word {
-            *count += 1;
-        }
-    };
+    let mut has_word = false;
     for (i, c) in text.char_indices() {
+        if starts.peek() == Some(&i) {
+            starts.next();
+            has_word = true;
+        }
         let is_term = matches!(c, '.' | '!' | '?' | '\n');
         if is_term && !in_terminator {
-            close_segment(seg_start, i, &mut wi, &mut count);
+            if has_word {
+                count += 1;
+            }
+            has_word = false;
             in_terminator = true;
         } else if !is_term && in_terminator {
-            seg_start = i;
             in_terminator = false;
         }
     }
-    if !in_terminator {
-        close_segment(seg_start, text.len(), &mut wi, &mut count);
+    if !in_terminator && has_word {
+        count += 1;
     }
     count
 }
@@ -195,6 +203,28 @@ mod tests {
         let text = "you are the worst. @someone http://x.co";
         let toks = tokenize(text);
         assert_eq!(count_word_sentences(text, &toks), 1);
+    }
+
+    #[test]
+    fn span_variant_agrees_with_token_variant() {
+        let mut spans = Vec::new();
+        for text in [
+            "Real words here. More words! #tag #tag2 http://t.co/xyz",
+            "RT @a: you are the worst. via @someone",
+            "one. two. three.",
+            "#only #tags http://t.co/x",
+            "Wait... what?! ok",
+            "",
+            "...",
+        ] {
+            let toks = tokenize(text);
+            crate::tokenizer::tokenize_into(text, &mut spans);
+            assert_eq!(
+                count_word_sentences_spans(text, &spans),
+                count_word_sentences(text, &toks),
+                "{text:?}"
+            );
+        }
     }
 
     #[test]

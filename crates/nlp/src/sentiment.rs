@@ -17,8 +17,9 @@
 //!   (floor `1`), the **negative score** is the minimum negative term
 //!   strength (ceiling `-1`) — SentiStrength's dual output.
 
+use crate::intern::push_lowercase;
 use crate::lexicons;
-use crate::tokenizer::{Token, TokenKind};
+use crate::tokenizer::{is_shouting_text, Token, TokenKind, TokenSpan};
 
 /// Dual sentiment score of a text.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,9 +46,9 @@ impl SentimentScore {
 }
 
 /// Collapse letter runs longer than two (`coooool` → `cool`, `coool` →
-/// `cool`) and report whether any run of three or more was present.
-fn squeeze_repeats(word: &str) -> (String, bool) {
-    let mut out = String::with_capacity(word.len());
+/// `cool`) into `out`, reporting whether any run of three or more was
+/// present.
+fn squeeze_repeats_into(word: &str, out: &mut String) -> bool {
     let mut prev: Option<char> = None;
     let mut run = 0usize;
     let mut emphasized = false;
@@ -66,35 +67,82 @@ fn squeeze_repeats(word: &str) -> (String, bool) {
             out.push(c);
         }
     }
+    emphasized
+}
+
+/// Allocating form of [`squeeze_repeats_into`].
+#[cfg(test)]
+fn squeeze_repeats(word: &str) -> (String, bool) {
+    let mut out = String::with_capacity(word.len());
+    let emphasized = squeeze_repeats_into(word, &mut out);
     (out, emphasized)
 }
 
-fn lookup_valence(lower: &str) -> Option<i8> {
+/// True when `word` contains a run of three or more identical characters —
+/// the emphasis flag of [`squeeze_repeats`] without building the squeezed
+/// spelling.
+fn has_triple_repeat(word: &str) -> bool {
+    let mut prev: Option<char> = None;
+    let mut run = 0usize;
+    for c in word.chars() {
+        if Some(c) == prev {
+            run += 1;
+            if run >= 3 {
+                return true;
+            }
+        } else {
+            prev = Some(c);
+            run = 1;
+        }
+    }
+    false
+}
+
+/// True when `word` contains two identical adjacent characters — the
+/// precondition for either fallback spelling of [`lookup_valence_with`] to
+/// differ from the raw one.
+fn has_adjacent_repeat(word: &str) -> bool {
+    let mut prev: Option<char> = None;
+    for c in word.chars() {
+        if Some(c) == prev {
+            return true;
+        }
+        prev = Some(c);
+    }
+    false
+}
+
+/// Valence of a lowercased word, trying the raw spelling, then the
+/// double-letter squeezed form, then the fully deduplicated form so
+/// emphasized spellings ("looooove", "baaad") still hit the lexicon.
+/// `squeeze` and `dedup` are reusable work buffers (overwritten).
+fn lookup_valence_with(lower: &str, squeeze: &mut String, dedup: &mut String) -> Option<i8> {
     let map = lexicons::sentiment_map();
     if let Some(&v) = map.get(lower) {
         return Some(v);
     }
-    // Try the double-letter and single-letter squeezed forms so emphasized
-    // spellings ("looooove", "baaad") still hit the lexicon.
-    let (squeezed, _) = squeeze_repeats(lower);
-    if squeezed != lower {
-        if let Some(&v) = map.get(squeezed.as_str()) {
+    // Without a doubled character both fallback spellings equal `lower`,
+    // which already missed.
+    if !has_adjacent_repeat(lower) {
+        return None;
+    }
+    squeeze.clear();
+    squeeze_repeats_into(lower, squeeze);
+    if squeeze.as_str() != lower {
+        if let Some(&v) = map.get(squeeze.as_str()) {
             return Some(v);
         }
     }
-    let fully: String = {
-        let mut s = String::with_capacity(lower.len());
-        let mut prev = None;
-        for c in lower.chars() {
-            if Some(c) != prev {
-                s.push(c);
-            }
-            prev = Some(c);
+    dedup.clear();
+    let mut prev = None;
+    for c in lower.chars() {
+        if Some(c) != prev {
+            dedup.push(c);
         }
-        s
-    };
-    if fully != lower {
-        if let Some(&v) = map.get(fully.as_str()) {
+        prev = Some(c);
+    }
+    if dedup.as_str() != lower {
+        if let Some(&v) = map.get(dedup.as_str()) {
             return Some(v);
         }
     }
@@ -111,32 +159,66 @@ fn clamp_strength(v: i32) -> i8 {
     }
 }
 
-/// Score pre-tokenized text.
+/// Reusable buffers for the sentiment scorer.
 ///
-/// `tokens` must come from [`crate::tokenizer::tokenize`] on the *raw* text:
-/// punctuation and emoticons carry signal here, so sentiment is computed
-/// before the pipeline's cleaning step.
-pub fn score_tokens(tokens: &[Token<'_>]) -> SentimentScore {
+/// One scratch amortizes the per-tweet allocations of the scoring pass —
+/// the lowercased-word table and the squeezed-spelling work strings —
+/// across a whole stream. Only non-ASCII word tokens still allocate (the
+/// Unicode lowercasing fallback of [`push_lowercase`]).
+#[derive(Debug, Clone, Default)]
+pub struct SentimentScratch {
+    /// Per-token byte range of the lowercased form in `arena` (words only).
+    lowers: Vec<Option<(u32, u32)>>,
+    /// Lowercase arena backing `lowers`.
+    arena: String,
+    /// Work buffer for the double-letter squeezed spelling.
+    squeeze: String,
+    /// Work buffer for the fully deduplicated spelling.
+    dedup: String,
+}
+
+impl SentimentScratch {
+    /// An empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The scoring algorithm, generic over how token texts are accessed:
+/// `tok(i)` returns the `i`-th token's text and kind. Both the borrowed
+/// [`Token`] slice and the offset-based [`TokenSpan`] slice provide it.
+fn score_core<'t>(
+    n: usize,
+    tok: &dyn Fn(usize) -> (&'t str, TokenKind),
+    scratch: &mut SentimentScratch,
+) -> SentimentScore {
+    let SentimentScratch { lowers, arena, squeeze, dedup } = scratch;
     let mut max_pos: i8 = 1;
     let mut min_neg: i8 = -1;
 
     // Lowercased word texts for context lookups (boosters/negators).
-    let lowers: Vec<Option<String>> = tokens
-        .iter()
-        .map(|t| (t.kind == TokenKind::Word).then(|| t.text.to_lowercase()))
-        .collect();
+    lowers.clear();
+    arena.clear();
+    for i in 0..n {
+        let (text, kind) = tok(i);
+        lowers.push((kind == TokenKind::Word).then(|| push_lowercase(arena, text)));
+    }
+    fn lower_of<'a>(ranges: &[Option<(u32, u32)>], arena: &'a str, j: usize) -> Option<&'a str> {
+        ranges[j].map(|(s, e)| &arena[s as usize..e as usize])
+    }
 
-    for (i, tok) in tokens.iter().enumerate() {
-        let base: i32 = match tok.kind {
+    for i in 0..n {
+        let (text, kind) = tok(i);
+        let base: i32 = match kind {
             TokenKind::Emoticon => {
                 // ASCII emoticons and emoji both score ±2; a variation
                 // selector may trail an emoji token.
-                let bare = tok.text.trim_end_matches('\u{FE0F}');
-                if lexicons::positive_emoticon_set().contains(tok.text)
+                let bare = text.trim_end_matches('\u{FE0F}');
+                if lexicons::positive_emoticon_set().contains(text)
                     || lexicons::positive_emoji_set().contains(bare)
                 {
                     2
-                } else if lexicons::negative_emoticon_set().contains(tok.text)
+                } else if lexicons::negative_emoticon_set().contains(text)
                     || lexicons::negative_emoji_set().contains(bare)
                 {
                     -2
@@ -145,8 +227,8 @@ pub fn score_tokens(tokens: &[Token<'_>]) -> SentimentScore {
                 }
             }
             TokenKind::Word => {
-                let lower = lowers[i].as_deref().expect("word token has lowercase form");
-                match lookup_valence(lower) {
+                let lower = lower_of(lowers, arena, i).expect("word token has lowercase form");
+                match lookup_valence_with(lower, squeeze, dedup) {
                     Some(v) => v as i32,
                     None => 0,
                 }
@@ -159,10 +241,10 @@ pub fn score_tokens(tokens: &[Token<'_>]) -> SentimentScore {
         let mut strength = base;
         let sign = if base > 0 { 1 } else { -1 };
 
-        if tok.kind == TokenKind::Word {
+        if kind == TokenKind::Word {
             // Booster / diminisher immediately before the term.
             if i > 0 {
-                if let Some(prev) = lowers[i - 1].as_deref() {
+                if let Some(prev) = lower_of(lowers, arena, i - 1) {
                     if let Some(&inc) = lexicons::booster_map().get(prev) {
                         strength += sign * inc as i32;
                     } else if lexicons::diminisher_set().contains(prev) {
@@ -173,20 +255,24 @@ pub fn score_tokens(tokens: &[Token<'_>]) -> SentimentScore {
             // Negator within the two preceding word tokens inverts the term
             // and reduces its magnitude by one.
             let negated = (i.saturating_sub(2)..i).any(|j| {
-                lowers[j].as_deref().is_some_and(|w| lexicons::negator_set().contains(w))
+                lower_of(lowers, arena, j).is_some_and(|w| lexicons::negator_set().contains(w))
             });
             if negated {
                 strength = -sign * (strength.abs() - 1);
             }
-            // Emphasis: repeated letters or all-caps spelling.
-            let (_, emphasized) = squeeze_repeats(&tok.text.to_lowercase());
-            if emphasized || tok.is_shouting() {
+            // Emphasis: repeated letters or all-caps spelling. Repeat runs
+            // survive lowercasing, so the arena form is checked.
+            let lower = lower_of(lowers, arena, i).expect("word token has lowercase form");
+            if has_triple_repeat(lower) || is_shouting_text(text) {
                 strength += if strength > 0 { 1 } else { -1 };
             }
         }
         // A following exclamation mark strengthens the term.
-        if tokens.get(i + 1).is_some_and(|t| t.kind == TokenKind::Punctuation && t.text == "!") {
-            strength += if strength > 0 { 1 } else { -1 };
+        if i + 1 < n {
+            let (next_text, next_kind) = tok(i + 1);
+            if next_kind == TokenKind::Punctuation && next_text == "!" {
+                strength += if strength > 0 { 1 } else { -1 };
+            }
         }
 
         let s = clamp_strength(strength);
@@ -197,6 +283,33 @@ pub fn score_tokens(tokens: &[Token<'_>]) -> SentimentScore {
         }
     }
     SentimentScore { positive: max_pos, negative: min_neg }
+}
+
+/// Score pre-tokenized text.
+///
+/// `tokens` must come from [`crate::tokenizer::tokenize`] on the *raw* text:
+/// punctuation and emoticons carry signal here, so sentiment is computed
+/// before the pipeline's cleaning step. Allocates a fresh
+/// [`SentimentScratch`] per call — hot loops should hold one and call
+/// [`score_tokens_with`] or [`score_spans`] instead.
+pub fn score_tokens(tokens: &[Token<'_>]) -> SentimentScore {
+    score_tokens_with(tokens, &mut SentimentScratch::new())
+}
+
+/// [`score_tokens`] with caller-provided scratch buffers.
+pub fn score_tokens_with(tokens: &[Token<'_>], scratch: &mut SentimentScratch) -> SentimentScore {
+    score_core(tokens.len(), &|i| (tokens[i].text, tokens[i].kind), scratch)
+}
+
+/// Score offset-based token spans against their source `text` with
+/// caller-provided scratch buffers — the allocation-free form used by the
+/// feature extractor's hot path.
+pub fn score_spans(
+    text: &str,
+    spans: &[TokenSpan],
+    scratch: &mut SentimentScratch,
+) -> SentimentScore {
+    score_core(spans.len(), &|i| (spans[i].text(text), spans[i].kind), scratch)
 }
 
 /// Tokenize and score `text` in one call.
@@ -333,6 +446,29 @@ mod tests {
         assert_eq!(score_text("wonderful").polarity(), 4);
         assert_eq!(score_text("terrible").polarity(), -4);
         assert_eq!(score_text("ok fine whatever").polarity(), 0);
+    }
+
+    #[test]
+    fn scratch_and_span_paths_match_allocating_path() {
+        let mut scratch = SentimentScratch::new();
+        let mut spans = Vec::new();
+        for text in [
+            "what a wonderful day",
+            "this is not good !",
+            "ABSOLUTELY DISGUSTING!!! you VILE wretched SCUM",
+            "I looooove this :) but haaaate that :(",
+            "great job \u{1F389} ok \u{2764}\u{FE0F}",
+            "Καλά VERY bad day",
+            "",
+        ] {
+            let tokens = crate::tokenizer::tokenize(text);
+            crate::tokenizer::tokenize_into(text, &mut spans);
+            let expected = score_tokens(&tokens);
+            // The same scratch is reused across inputs on purpose: stale
+            // state from the previous text must never leak into the next.
+            assert_eq!(score_tokens_with(&tokens, &mut scratch), expected, "{text:?}");
+            assert_eq!(score_spans(text, &spans, &mut scratch), expected, "{text:?}");
+        }
     }
 
     #[test]

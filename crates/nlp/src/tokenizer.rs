@@ -9,6 +9,24 @@
 //! tokenization pass.
 
 use crate::lexicons;
+use std::sync::OnceLock;
+
+/// Bitmap over the first byte of every known emoticon, so the tokenizer can
+/// rule out an emoticon match with one array load instead of scanning both
+/// emoticon tables at every token start (most tokens begin with a letter
+/// that no emoticon starts with).
+fn emoticon_first_bytes() -> &'static [bool; 256] {
+    static TABLE: OnceLock<[bool; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [false; 256];
+        for table in [lexicons::POSITIVE_EMOTICONS, lexicons::NEGATIVE_EMOTICONS] {
+            for emo in table {
+                t[emo.as_bytes()[0] as usize] = true;
+            }
+        }
+        t
+    })
+}
 
 /// The syntactic category of a raw token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -50,8 +68,54 @@ impl Token<'_> {
     /// the token contains at least two alphabetic characters (the paper's
     /// `numUpperCases` counts "uppercase words", i.e. shouting).
     pub fn is_shouting(&self) -> bool {
-        let alpha_count = self.text.chars().filter(|c| c.is_alphabetic()).count();
-        alpha_count >= 2 && self.text.chars().filter(|c| c.is_alphabetic()).all(|c| c.is_uppercase())
+        is_shouting_text(self.text)
+    }
+}
+
+pub(crate) fn is_shouting_text(text: &str) -> bool {
+    let alpha_count = text.chars().filter(|c| c.is_alphabetic()).count();
+    alpha_count >= 2 && text.chars().filter(|c| c.is_alphabetic()).all(|c| c.is_uppercase())
+}
+
+/// A token identified by byte offsets into its source text.
+///
+/// The lifetime-free form of [`Token`]: spans can live in long-lived
+/// scratch buffers (`Vec<TokenSpan>`) that are refilled tweet after tweet
+/// without borrowing the tweet's text. Offsets are `u32` — tweets are
+/// bounded at a few kilobytes, and the narrow layout keeps scratch buffers
+/// dense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TokenSpan {
+    /// Byte offset of the token's first byte in the source text.
+    pub start: u32,
+    /// Byte offset one past the token's last byte.
+    pub end: u32,
+    /// Its syntactic category.
+    pub kind: TokenKind,
+}
+
+impl TokenSpan {
+    /// The token text within its source.
+    pub fn text<'a>(&self, source: &'a str) -> &'a str {
+        &source[self.start as usize..self.end as usize]
+    }
+
+    /// See [`Token::is_shouting`].
+    pub fn is_shouting(&self, source: &str) -> bool {
+        is_shouting_text(self.text(source))
+    }
+}
+
+/// Tokenize `text` into a reusable span buffer (cleared first).
+///
+/// Produces exactly the token stream of [`tokenize`], as offsets instead of
+/// borrowed slices: reusing `out` across calls amortizes the token vector,
+/// the one per-tweet allocation [`tokenize`] cannot avoid. `text` must be
+/// shorter than 4 GiB so offsets fit in `u32` (any real tweet is).
+pub fn tokenize_into(text: &str, out: &mut Vec<TokenSpan>) {
+    out.clear();
+    for t in Tokenizer::new(text) {
+        out.push(TokenSpan { start: t.start as u32, end: t.end() as u32, kind: t.kind });
     }
 }
 
@@ -89,10 +153,9 @@ impl<'a> Tokenizer<'a> {
     /// Length in bytes of a URL starting at the current position, if any.
     fn match_url(&self) -> Option<usize> {
         let rest = self.rest();
-        let lower_prefix: String = rest.chars().take(8).collect::<String>().to_ascii_lowercase();
-        let is_url = lower_prefix.starts_with("http://")
-            || lower_prefix.starts_with("https://")
-            || lower_prefix.starts_with("www.");
+        let bytes = rest.as_bytes();
+        let has_prefix = |p: &[u8]| bytes.len() >= p.len() && bytes[..p.len()].eq_ignore_ascii_case(p);
+        let is_url = has_prefix(b"http://") || has_prefix(b"https://") || has_prefix(b"www.");
         if !is_url {
             return None;
         }
@@ -124,6 +187,9 @@ impl<'a> Tokenizer<'a> {
     /// longest prefix match against the emoticon lexicons succeeds.
     fn match_emoticon(&self) -> Option<usize> {
         let rest = self.rest();
+        if !emoticon_first_bytes()[*rest.as_bytes().first()? as usize] {
+            return None;
+        }
         let mut best = None;
         for table in [lexicons::POSITIVE_EMOTICONS, lexicons::NEGATIVE_EMOTICONS] {
             for emo in table {
@@ -396,6 +462,32 @@ mod tests {
         let shouting: Vec<_> = toks.iter().filter(|t| t.is_shouting()).map(|t| t.text).collect();
         // Single-letter "A" is not shouting; lowercase words are not.
         assert_eq!(shouting, vec!["YOU", "THE", "WORST"]);
+    }
+
+    #[test]
+    fn spans_mirror_tokens() {
+        let texts = [
+            "RT @victim: you're PATHETIC!! http://t.co/x #loser :(",
+            "nice \u{1F600} work \u{2764}\u{FE0F} done",
+            "3,000 tweets... WWW.SITE.COM",
+            "",
+        ];
+        let mut spans = Vec::new();
+        for text in texts {
+            tokenize_into(text, &mut spans);
+            let tokens = tokenize(text);
+            assert_eq!(spans.len(), tokens.len(), "{text:?}");
+            for (s, t) in spans.iter().zip(&tokens) {
+                assert_eq!(s.text(text), t.text);
+                assert_eq!(s.kind, t.kind);
+                assert_eq!(s.start as usize, t.start);
+                assert_eq!(s.end as usize, t.end());
+                assert_eq!(s.is_shouting(text), t.is_shouting());
+            }
+        }
+        // The buffer is cleared per call, so reuse never leaks old tokens.
+        tokenize_into("one", &mut spans);
+        assert_eq!(spans.len(), 1);
     }
 
     #[test]

@@ -1,10 +1,9 @@
 //! In-memory datasets of extracted instances with day-segment structure.
 
 use crate::{ClassScheme, Instance};
-use serde::{Deserialize, Serialize};
 
 /// A contiguous range of instances belonging to one collection day.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DaySegment {
     /// Zero-based day index.
     pub day: u32,
@@ -32,7 +31,7 @@ impl DaySegment {
 /// collected over 10 consecutive days of roughly 8–9k tweets each, and the
 /// batch-vs-streaming comparison (Figures 13–14) trains and tests on day
 /// boundaries, so the day structure is first-class here.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     /// The class scheme the labels are encoded under.
     pub scheme: ClassScheme,

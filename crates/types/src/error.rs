@@ -10,7 +10,7 @@ pub type Result<T> = std::result::Result<T, Error>;
 #[non_exhaustive]
 pub enum Error {
     /// A JSON payload could not be parsed into a [`crate::Tweet`] or related type.
-    Json(serde_json::Error),
+    Json(crate::json::JsonError),
     /// An instance had a different number of features than the model expects.
     DimensionMismatch {
         /// Number of features the component was configured for.
@@ -60,8 +60,8 @@ impl std::error::Error for Error {
     }
 }
 
-impl From<serde_json::Error> for Error {
-    fn from(e: serde_json::Error) -> Self {
+impl From<crate::json::JsonError> for Error {
+    fn from(e: crate::json::JsonError) -> Self {
         Error::Json(e)
     }
 }
@@ -88,7 +88,7 @@ mod tests {
 
     #[test]
     fn json_error_converts() {
-        let parse_err = serde_json::from_str::<serde_json::Value>("{invalid").unwrap_err();
+        let parse_err = crate::json::Value::parse("{invalid").unwrap_err();
         let e: Error = parse_err.into();
         assert!(matches!(e, Error::Json(_)));
         assert!(std::error::Error::source(&e).is_some());

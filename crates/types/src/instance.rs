@@ -1,13 +1,13 @@
 //! Feature-vector instances — the unit of work after feature extraction.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{self, Value};
 
 /// Names and arity of a feature vector layout.
 ///
 /// Shared between the extractor (which produces vectors in this order), the
 /// models (which report per-feature statistics such as Gini importance), and
 /// the experiment harness (which prints feature names in figures).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FeatureSet {
     names: Vec<String>,
 }
@@ -49,7 +49,7 @@ impl FeatureSet {
 /// Instances flow from feature extraction through normalization into the
 /// streaming model. Labeled instances additionally drive training and
 /// prequential evaluation; unlabeled instances drive alerting and sampling.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Instance {
     /// Dense feature values, in [`FeatureSet`] order.
     pub features: Vec<f64>,
@@ -107,6 +107,63 @@ impl Instance {
     pub fn is_labeled(&self) -> bool {
         self.label.is_some()
     }
+
+    /// Serialize the instance to a single JSON line.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(64 + self.features.len() * 8);
+        out.push_str("{\"features\":[");
+        for (i, f) in self.features.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_f64(*f, &mut out);
+        }
+        out.push_str("],\"label\":");
+        match self.label {
+            Some(l) => {
+                let _ = write!(out, "{l}");
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"weight\":");
+        json::write_f64(self.weight, &mut out);
+        let _ = write!(
+            out,
+            ",\"day\":{},\"tweet_id\":{},\"user_id\":{}}}",
+            self.day, self.tweet_id, self.user_id
+        );
+        out
+    }
+
+    /// Parse an instance from its JSON line format.
+    pub fn from_json(text: &str) -> crate::Result<Self> {
+        let v = Value::parse(text)?;
+        let features = match json::required(&v, "features")? {
+            Value::Array(items) => items
+                .iter()
+                .map(|x| {
+                    x.as_f64()
+                        .ok_or_else(|| json::JsonError::type_mismatch("features", "numbers"))
+                })
+                .collect::<Result<Vec<f64>, _>>()?,
+            _ => return Err(json::JsonError::type_mismatch("features", "an array").into()),
+        };
+        let label = match json::required(&v, "label")? {
+            Value::Null => None,
+            other => Some(other.as_u64().ok_or_else(|| {
+                json::JsonError::type_mismatch("label", "an unsigned integer or null")
+            })? as usize),
+        };
+        Ok(Instance {
+            features,
+            label,
+            weight: json::req_f64(&v, "weight")?,
+            day: json::req_u64(&v, "day")? as u32,
+            tweet_id: json::req_u64(&v, "tweet_id")?,
+            user_id: json::req_u64(&v, "user_id")?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -154,10 +211,12 @@ mod tests {
     }
 
     #[test]
-    fn instance_serde_roundtrip() {
+    fn instance_json_roundtrip() {
         let i = Instance::labeled(vec![1.5, -2.0, 0.0], 2).with_day(7);
-        let json = serde_json::to_string(&i).unwrap();
-        let back: Instance = serde_json::from_str(&json).unwrap();
+        let back = Instance::from_json(&i.to_json()).unwrap();
         assert_eq!(i, back);
+        let u = Instance::unlabeled(vec![0.25]).with_ids(9, 11);
+        assert!(u.to_json().contains("\"label\":null"));
+        assert_eq!(Instance::from_json(&u.to_json()).unwrap(), u);
     }
 }

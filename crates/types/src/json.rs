@@ -1,0 +1,577 @@
+//! Minimal JSON parser and writer for the tweet wire format.
+//!
+//! The workspace builds offline, so instead of `serde_json` the wire types
+//! serialize through this hand-rolled module. It implements the full JSON
+//! grammar on the read side (objects, arrays, strings with escapes and
+//! surrogate pairs, numbers, literals) and serde_json-compatible output on
+//! the write side (same escaping rules, floats always carry a decimal
+//! point, object fields in declaration order).
+
+use std::fmt;
+
+/// Error produced when a JSON payload fails to parse or is missing fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    message: String,
+    /// Byte offset of the failure in the input (0 for semantic errors).
+    pub position: usize,
+}
+
+impl JsonError {
+    fn syntax(message: impl Into<String>, position: usize) -> Self {
+        JsonError { message: message.into(), position }
+    }
+
+    /// A required object field was absent.
+    pub fn missing_field(name: &str) -> Self {
+        JsonError { message: format!("missing field `{name}`"), position: 0 }
+    }
+
+    /// A field was present but held the wrong JSON type.
+    pub fn type_mismatch(name: &str, expected: &str) -> Self {
+        JsonError { message: format!("field `{name}` is not {expected}"), position: 0 }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.position > 0 {
+            write!(f, "{} at byte {}", self.message, self.position)
+        } else {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// A parsed JSON number, preserving integer exactness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Any number written with a fraction or exponent, or out of integer
+    /// range.
+    Float(f64),
+}
+
+/// A JSON document value.
+///
+/// Objects preserve insertion order (a `Vec` of pairs — payloads here are
+/// small, so linear key lookup beats hashing).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string literal.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object as an ordered key–value list.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Parse a complete JSON document (trailing whitespace allowed).
+    pub fn parse(input: &str) -> Result<Value, JsonError> {
+        let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(JsonError::syntax("trailing characters", parser.pos));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (None for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => {
+                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// True for numbers representable as `u64`.
+    pub fn is_u64(&self) -> bool {
+        matches!(self, Value::Number(Number::PosInt(_)))
+    }
+
+    /// True for string values.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    /// Numeric value as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::PosInt(n)) => Some(*n as f64),
+            Value::Number(Number::NegInt(n)) => Some(*n as f64),
+            Value::Number(Number::Float(x)) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::PosInt(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean contents, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// serde_json-style indexing: `v["key"]` yields `Null` for anything absent.
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        const NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::syntax(
+                format!("expected `{}`", char::from(b)),
+                self.pos,
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(JsonError::syntax(format!("expected `{word}`"), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(JsonError::syntax("expected a JSON value", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(JsonError::syntax("expected `,` or `}`", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(JsonError::syntax("expected `,` or `]`", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err(JsonError::syntax("unterminated string", start)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| JsonError::syntax("unterminated escape", self.pos))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require a trailing \uXXXX.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(JsonError::syntax(
+                                        "unpaired surrogate",
+                                        self.pos,
+                                    ));
+                                }
+                                self.pos += 1;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(JsonError::syntax(
+                                        "invalid low surrogate",
+                                        self.pos,
+                                    ));
+                                }
+                                let code =
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| {
+                                JsonError::syntax("invalid unicode escape", self.pos)
+                            })?);
+                        }
+                        _ => {
+                            return Err(JsonError::syntax("invalid escape", self.pos - 1))
+                        }
+                    }
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(JsonError::syntax("control character in string", self.pos))
+                }
+                Some(_) => {
+                    // Copy a whole UTF-8 scalar (input is a valid &str).
+                    let run_start = self.pos;
+                    self.pos += 1;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|&b| b != b'"' && b != b'\\' && b >= 0x20)
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[run_start..self.pos])
+                            .expect("input is valid UTF-8"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(JsonError::syntax("truncated unicode escape", self.pos));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| JsonError::syntax("invalid unicode escape", self.pos))?;
+        let code = u32::from_str_radix(hex, 16)
+            .map_err(|_| JsonError::syntax("invalid unicode escape", self.pos))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        if !self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            return Err(JsonError::syntax("expected a digit", self.pos));
+        }
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                return Err(JsonError::syntax("expected a fraction digit", self.pos));
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                return Err(JsonError::syntax("expected an exponent digit", self.pos));
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number chars are ASCII");
+        if !is_float {
+            if let Some(digits) = text.strip_prefix('-') {
+                if let Ok(n) = digits.parse::<u64>() {
+                    if n <= i64::MAX as u64 + 1 {
+                        return Ok(Value::Number(Number::NegInt((n as i64).wrapping_neg())));
+                    }
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(n)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|x| Value::Number(Number::Float(x)))
+            .map_err(|_| JsonError::syntax("invalid number", start))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+/// Append `s` as a JSON string literal (quotes included), using serde_json's
+/// escaping rules: short escapes where defined, `\u00XX` for other control
+/// characters, raw UTF-8 for everything else.
+pub fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a float in serde_json style: integral values keep a `.0` suffix so
+/// the token stays unambiguously a float.
+pub fn write_f64(value: f64, out: &mut String) {
+    use std::fmt::Write;
+    if value.is_finite() && value == value.trunc() && value.abs() < 1e16 {
+        let _ = write!(out, "{value:.1}");
+    } else {
+        let _ = write!(out, "{value}");
+    }
+}
+
+/// Extract a required field from a parsed object.
+pub fn required<'v>(obj: &'v Value, name: &str) -> Result<&'v Value, JsonError> {
+    obj.get(name).ok_or_else(|| JsonError::missing_field(name))
+}
+
+/// Extract a required `u64` field.
+pub fn req_u64(obj: &Value, name: &str) -> Result<u64, JsonError> {
+    required(obj, name)?
+        .as_u64()
+        .ok_or_else(|| JsonError::type_mismatch(name, "an unsigned integer"))
+}
+
+/// Extract a required numeric field as `f64`.
+pub fn req_f64(obj: &Value, name: &str) -> Result<f64, JsonError> {
+    required(obj, name)?
+        .as_f64()
+        .ok_or_else(|| JsonError::type_mismatch(name, "a number"))
+}
+
+/// Extract a required string field.
+pub fn req_str<'v>(obj: &'v Value, name: &str) -> Result<&'v str, JsonError> {
+    required(obj, name)?
+        .as_str()
+        .ok_or_else(|| JsonError::type_mismatch(name, "a string"))
+}
+
+/// Extract an optional boolean field, defaulting to `false` when absent
+/// (serde's `#[serde(default)]` semantics).
+pub fn opt_bool_default(obj: &Value, name: &str) -> Result<bool, JsonError> {
+    match obj.get(name) {
+        None => Ok(false),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| JsonError::type_mismatch(name, "a boolean")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let v = Value::parse(
+            r#"{"a": 1, "b": -2.5, "c": "x", "d": [true, false, null], "e": {"f": 1e3}}"#,
+        )
+        .unwrap();
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert!(v["a"].is_u64());
+        assert_eq!(v["b"].as_f64(), Some(-2.5));
+        assert_eq!(v["c"].as_str(), Some("x"));
+        assert!(v["c"].is_string());
+        match &v["d"] {
+            Value::Array(items) => {
+                assert_eq!(items.len(), 3);
+                assert_eq!(items[0].as_bool(), Some(true));
+                assert_eq!(items[2], Value::Null);
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert_eq!(v["e"]["f"].as_f64(), Some(1000.0));
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn integer_exactness_preserved() {
+        let v = Value::parse("[18446744073709551615, -9223372036854775808, 1.0]").unwrap();
+        match &v {
+            Value::Array(items) => {
+                assert_eq!(items[0].as_u64(), Some(u64::MAX));
+                assert_eq!(items[1].as_f64(), Some(i64::MIN as f64));
+                assert!(!items[2].is_u64(), "1.0 is a float, not a u64");
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = "quote:\" back:\\ nl:\n tab:\t bell:\u{7} emoji:😀 pair:𝄞";
+        let mut encoded = String::new();
+        write_escaped(original, &mut encoded);
+        let back = Value::parse(&encoded).unwrap();
+        assert_eq!(back.as_str(), Some(original));
+        // Explicit escape forms parse too, including surrogate pairs.
+        let v = Value::parse(r#""\u0041\u00e9\ud834\udd1e\/""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aé𝄞/"));
+    }
+
+    #[test]
+    fn float_formatting_matches_serde_style() {
+        let mut s = String::new();
+        write_f64(1000.0, &mut s);
+        assert_eq!(s, "1000.0");
+        s.clear();
+        write_f64(1234.5678, &mut s);
+        assert_eq!(s, "1234.5678");
+        s.clear();
+        write_f64(-0.5, &mut s);
+        assert_eq!(s, "-0.5");
+    }
+
+    #[test]
+    fn malformed_inputs_error_not_panic() {
+        for bad in [
+            "", "{", "{\"a\"}", "{\"a\":}", "[1,]", "\"abc", "01x", "nul",
+            "{\"a\":1} extra", "\"\\u12\"", "\"\\ud800\"", "{1:2}", "tru",
+            "-", "1.", "1e", "[\u{1}]",
+        ] {
+            assert!(Value::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn field_helpers_enforce_presence_and_type() {
+        let v = Value::parse(r#"{"n": 3, "s": "hi", "f": 2.5, "b": true}"#).unwrap();
+        assert_eq!(req_u64(&v, "n").unwrap(), 3);
+        assert_eq!(req_str(&v, "s").unwrap(), "hi");
+        assert_eq!(req_f64(&v, "f").unwrap(), 2.5);
+        assert_eq!(req_f64(&v, "n").unwrap(), 3.0);
+        assert!(opt_bool_default(&v, "b").unwrap());
+        assert!(!opt_bool_default(&v, "zz").unwrap());
+        assert!(req_u64(&v, "zz").is_err());
+        assert!(req_u64(&v, "s").is_err());
+        assert!(req_str(&v, "n").is_err());
+    }
+}

@@ -10,12 +10,10 @@
 //! A [`ClassScheme`] maps a [`ClassLabel`] onto a dense class index in
 //! `0..num_classes`, which is what classifiers operate on.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A human-assigned annotation on a tweet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(rename_all = "lowercase")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ClassLabel {
     /// Benign content.
     Normal,
@@ -75,7 +73,7 @@ impl fmt::Display for ClassLabel {
 }
 
 /// Maps annotation labels onto dense class indices for a classification task.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ClassScheme {
     /// 2-class problem: class 0 = normal, class 1 = aggressive
     /// (abusive ∪ hateful). Spam is excluded.
@@ -232,10 +230,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_uses_lowercase_names() {
-        let json = serde_json::to_string(&ClassLabel::Hateful).unwrap();
-        assert_eq!(json, "\"hateful\"");
-        let back: ClassLabel = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, ClassLabel::Hateful);
+    fn wire_format_uses_lowercase_names() {
+        assert_eq!(ClassLabel::Hateful.name(), "hateful");
+        assert_eq!(ClassLabel::parse("hateful"), Some(ClassLabel::Hateful));
+        assert_eq!(ClassLabel::parse("Hateful"), None, "wire names are lowercase");
     }
 }

@@ -25,6 +25,7 @@ mod dataset;
 mod error;
 mod instance;
 pub mod io;
+pub mod json;
 mod label;
 mod tweet;
 

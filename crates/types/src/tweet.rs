@@ -6,15 +6,15 @@
 //! (the labeled stream used for training). [`Tweet`] models the former and
 //! [`LabeledTweet`] the latter.
 
+use crate::json::{self, Value};
 use crate::ClassLabel;
-use serde::{Deserialize, Serialize};
 
 /// The user profile embedded in a tweet payload.
 ///
 /// Only the fields the feature extractor consumes are modeled: account
 /// creation age, activity counts, and the network-degree counts used as
 /// popularity features (Section IV-B).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TwitterUser {
     /// Stable numeric user id.
     pub id: u64,
@@ -52,8 +52,37 @@ impl TwitterUser {
     }
 }
 
+impl TwitterUser {
+    fn write_json(&self, out: &mut String) {
+        use std::fmt::Write;
+        out.push_str("{\"id\":");
+        let _ = write!(out, "{}", self.id);
+        out.push_str(",\"screen_name\":");
+        json::write_escaped(&self.screen_name, out);
+        out.push_str(",\"account_age_days\":");
+        json::write_f64(self.account_age_days, out);
+        let _ = write!(
+            out,
+            ",\"statuses_count\":{},\"listed_count\":{},\"followers_count\":{},\"friends_count\":{}}}",
+            self.statuses_count, self.listed_count, self.followers_count, self.friends_count
+        );
+    }
+
+    fn from_value(v: &Value) -> Result<Self, json::JsonError> {
+        Ok(TwitterUser {
+            id: json::req_u64(v, "id")?,
+            screen_name: json::req_str(v, "screen_name")?.to_string(),
+            account_age_days: json::req_f64(v, "account_age_days")?,
+            statuses_count: json::req_u64(v, "statuses_count")?,
+            listed_count: json::req_u64(v, "listed_count")?,
+            followers_count: json::req_u64(v, "followers_count")?,
+            friends_count: json::req_u64(v, "friends_count")?,
+        })
+    }
+}
+
 /// A single tweet as delivered by the streaming input.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tweet {
     /// Stable numeric tweet id.
     pub id: u64,
@@ -61,34 +90,61 @@ pub struct Tweet {
     pub text: String,
     /// Posting timestamp in milliseconds since an arbitrary stream epoch.
     pub timestamp_ms: u64,
-    /// Whether the tweet is a retweet.
-    #[serde(default)]
+    /// Whether the tweet is a retweet (defaults to false when absent).
     pub is_retweet: bool,
-    /// Whether the tweet is a reply.
-    #[serde(default)]
+    /// Whether the tweet is a reply (defaults to false when absent).
     pub is_reply: bool,
     /// The posting user's profile.
     pub user: TwitterUser,
 }
 
 impl Tweet {
+    /// Writes the tweet's fields, without the enclosing braces, so the
+    /// labeled wire format can flatten them next to its `label` attribute.
+    fn write_fields(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(out, "\"id\":{},\"text\":", self.id);
+        json::write_escaped(&self.text, out);
+        let _ = write!(
+            out,
+            ",\"timestamp_ms\":{},\"is_retweet\":{},\"is_reply\":{},\"user\":",
+            self.timestamp_ms, self.is_retweet, self.is_reply
+        );
+        self.user.write_json(out);
+    }
+
+    fn from_value(v: &Value) -> Result<Self, json::JsonError> {
+        Ok(Tweet {
+            id: json::req_u64(v, "id")?,
+            text: json::req_str(v, "text")?.to_string(),
+            timestamp_ms: json::req_u64(v, "timestamp_ms")?,
+            is_retweet: json::opt_bool_default(v, "is_retweet")?,
+            is_reply: json::opt_bool_default(v, "is_reply")?,
+            user: TwitterUser::from_value(json::required(v, "user")?)?,
+        })
+    }
+
     /// Parse a tweet from its JSON wire format.
     pub fn from_json(json: &str) -> crate::Result<Self> {
-        Ok(serde_json::from_str(json)?)
+        Ok(Tweet::from_value(&Value::parse(json)?)?)
     }
 
     /// Serialize the tweet to its JSON wire format.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("tweet serialization is infallible")
+        let mut out = String::with_capacity(192 + self.text.len());
+        out.push('{');
+        self.write_fields(&mut out);
+        out.push('}');
+        out
     }
 }
 
 /// A tweet from the labeled input stream: the same JSON payload as [`Tweet`]
-/// plus a `label` attribute (Section III-A, "Data Input").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// plus a `label` attribute flattened next to the tweet fields
+/// (Section III-A, "Data Input").
+#[derive(Debug, Clone, PartialEq)]
 pub struct LabeledTweet {
     /// The tweet payload.
-    #[serde(flatten)]
     pub tweet: Tweet,
     /// The human-assigned class label.
     pub label: ClassLabel,
@@ -97,12 +153,23 @@ pub struct LabeledTweet {
 impl LabeledTweet {
     /// Parse a labeled tweet from its JSON wire format.
     pub fn from_json(json: &str) -> crate::Result<Self> {
-        Ok(serde_json::from_str(json)?)
+        let v = Value::parse(json)?;
+        let name = crate::json::req_str(&v, "label")?;
+        let label = ClassLabel::parse(name).ok_or_else(|| {
+            crate::json::JsonError::type_mismatch("label", "a known class label")
+        })?;
+        Ok(LabeledTweet { tweet: Tweet::from_value(&v)?, label })
     }
 
     /// Serialize the labeled tweet to its JSON wire format.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("tweet serialization is infallible")
+        let mut out = String::with_capacity(208 + self.tweet.text.len());
+        out.push('{');
+        self.tweet.write_fields(&mut out);
+        out.push_str(",\"label\":\"");
+        out.push_str(self.label.name());
+        out.push_str("\"}");
+        out
     }
 }
 

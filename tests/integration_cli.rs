@@ -84,7 +84,7 @@ fn detect_emits_alert_json_on_mixed_stream() {
     // Every emitted alert is valid JSON with the documented fields.
     let mut alerts = 0;
     for line in stdout.lines().filter(|l| !l.trim().is_empty()) {
-        let v: serde_json::Value = serde_json::from_str(line).expect("alert is JSON");
+        let v = redhanded_types::json::Value::parse(line).expect("alert is JSON");
         assert!(v["tweet_id"].is_u64());
         assert!(v["user_id"].is_u64());
         assert!(v["class"].is_string());

@@ -1,0 +1,418 @@
+//! Golden parity: the scratch-based extraction path must be bit-identical
+//! to the original allocating implementation.
+//!
+//! The scratch/interning refactor rewrote the internals of sentiment
+//! scoring, sentence counting, POS lowercasing, and feature extraction, so
+//! comparing `extract_into` against today's `extract` alone would not catch
+//! a regression both paths share. This test therefore *transcribes the
+//! seed implementations verbatim* (the pre-refactor `score_tokens`,
+//! `count_word_sentences`, `tag_word`, and `FeatureExtractor::extract`,
+//! expressed through public lexicon/tokenizer APIs) and checks both library
+//! paths against that golden reference over a generated corpus — 3-class
+//! and 2-class labels, preprocessing ON and OFF, with exact `f64` equality.
+
+use redhanded_datagen::{generate_abusive, AbusiveConfig};
+use redhanded_features::{
+    AdaptiveBow, ExtractScratch, ExtractorConfig, FeatureExtractor, NUM_FEATURES,
+};
+use redhanded_nlp::lexicons;
+use redhanded_nlp::tokenizer::{tokenize, tokenize_into, Token, TokenKind, TokenSpan};
+use redhanded_nlp::PosTag;
+use redhanded_types::{ClassScheme, Tweet};
+
+// ---------------------------------------------------------------------------
+// Seed transcriptions (pre-refactor implementations, kept verbatim modulo
+// visibility: private helpers are inlined, lexicon access goes through the
+// unchanged public API).
+// ---------------------------------------------------------------------------
+
+fn seed_squeeze_repeats(word: &str) -> (String, bool) {
+    let mut out = String::with_capacity(word.len());
+    let mut prev: Option<char> = None;
+    let mut run = 0usize;
+    let mut emphasized = false;
+    for c in word.chars() {
+        if Some(c) == prev {
+            run += 1;
+            if run >= 3 {
+                emphasized = true;
+            }
+            if run <= 2 {
+                out.push(c);
+            }
+        } else {
+            prev = Some(c);
+            run = 1;
+            out.push(c);
+        }
+    }
+    (out, emphasized)
+}
+
+fn seed_lookup_valence(lower: &str) -> Option<i8> {
+    let map = lexicons::sentiment_map();
+    if let Some(&v) = map.get(lower) {
+        return Some(v);
+    }
+    let (squeezed, _) = seed_squeeze_repeats(lower);
+    if squeezed != lower {
+        if let Some(&v) = map.get(squeezed.as_str()) {
+            return Some(v);
+        }
+    }
+    let fully: String = {
+        let mut s = String::with_capacity(lower.len());
+        let mut prev = None;
+        for c in lower.chars() {
+            if Some(c) != prev {
+                s.push(c);
+            }
+            prev = Some(c);
+        }
+        s
+    };
+    if fully != lower {
+        if let Some(&v) = map.get(fully.as_str()) {
+            return Some(v);
+        }
+    }
+    None
+}
+
+fn seed_clamp_strength(v: i32) -> i8 {
+    if v > 0 {
+        v.clamp(2, 5) as i8
+    } else if v < 0 {
+        v.clamp(-5, -2) as i8
+    } else {
+        0
+    }
+}
+
+/// The seed `score_tokens` (positive strength, negative strength).
+fn seed_score_tokens(tokens: &[Token<'_>]) -> (i8, i8) {
+    let mut max_pos: i8 = 1;
+    let mut min_neg: i8 = -1;
+    let lowers: Vec<Option<String>> = tokens
+        .iter()
+        .map(|t| (t.kind == TokenKind::Word).then(|| t.text.to_lowercase()))
+        .collect();
+    for (i, tok) in tokens.iter().enumerate() {
+        let base: i32 = match tok.kind {
+            TokenKind::Emoticon => {
+                let bare = tok.text.trim_end_matches('\u{FE0F}');
+                if lexicons::positive_emoticon_set().contains(tok.text)
+                    || lexicons::positive_emoji_set().contains(bare)
+                {
+                    2
+                } else if lexicons::negative_emoticon_set().contains(tok.text)
+                    || lexicons::negative_emoji_set().contains(bare)
+                {
+                    -2
+                } else {
+                    0
+                }
+            }
+            TokenKind::Word => {
+                let lower = lowers[i].as_deref().expect("word token has lowercase form");
+                match seed_lookup_valence(lower) {
+                    Some(v) => v as i32,
+                    None => 0,
+                }
+            }
+            _ => 0,
+        };
+        if base == 0 {
+            continue;
+        }
+        let mut strength = base;
+        let sign = if base > 0 { 1 } else { -1 };
+        if tok.kind == TokenKind::Word {
+            if i > 0 {
+                if let Some(prev) = lowers[i - 1].as_deref() {
+                    if let Some(&inc) = lexicons::booster_map().get(prev) {
+                        strength += sign * inc as i32;
+                    } else if lexicons::diminisher_set().contains(prev) {
+                        strength -= sign;
+                    }
+                }
+            }
+            let negated = (i.saturating_sub(2)..i).any(|j| {
+                lowers[j].as_deref().is_some_and(|w| lexicons::negator_set().contains(w))
+            });
+            if negated {
+                strength = -sign * (strength.abs() - 1);
+            }
+            let (_, emphasized) = seed_squeeze_repeats(&tok.text.to_lowercase());
+            if emphasized || tok.is_shouting() {
+                strength += if strength > 0 { 1 } else { -1 };
+            }
+        }
+        if tokens.get(i + 1).is_some_and(|t| t.kind == TokenKind::Punctuation && t.text == "!") {
+            strength += if strength > 0 { 1 } else { -1 };
+        }
+        let s = seed_clamp_strength(strength);
+        if s > 0 {
+            max_pos = max_pos.max(s);
+        } else if s < 0 {
+            min_neg = min_neg.min(s);
+        }
+    }
+    (max_pos, min_neg)
+}
+
+/// The seed `count_word_sentences` (segment-close bookkeeping variant).
+fn seed_count_word_sentences(text: &str, tokens: &[Token<'_>]) -> usize {
+    let word_starts: Vec<usize> =
+        tokens.iter().filter(|t| t.kind == TokenKind::Word).map(|t| t.start).collect();
+    if word_starts.is_empty() {
+        return 0;
+    }
+    let mut count = 0usize;
+    let mut seg_start = 0usize;
+    let mut in_terminator = false;
+    let mut wi = 0usize;
+    let close_segment = |start: usize, end: usize, wi: &mut usize, count: &mut usize| {
+        let mut has_word = false;
+        while *wi < word_starts.len() && word_starts[*wi] < end {
+            if word_starts[*wi] >= start {
+                has_word = true;
+            }
+            *wi += 1;
+        }
+        if has_word {
+            *count += 1;
+        }
+    };
+    for (i, c) in text.char_indices() {
+        let is_term = matches!(c, '.' | '!' | '?' | '\n');
+        if is_term && !in_terminator {
+            close_segment(seg_start, i, &mut wi, &mut count);
+            in_terminator = true;
+        } else if !is_term && in_terminator {
+            seg_start = i;
+            in_terminator = false;
+        }
+    }
+    if !in_terminator {
+        close_segment(seg_start, text.len(), &mut wi, &mut count);
+    }
+    count
+}
+
+const SEED_ADJ_SUFFIXES: &[&str] =
+    &["ous", "ful", "ive", "able", "ible", "al", "ic", "less", "ish", "ary", "est"];
+const SEED_VERB_SUFFIXES: &[&str] = &["ing", "ed", "ize", "ise", "ify", "ate"];
+
+/// The seed `tag_word` (unconditional `to_lowercase`).
+fn seed_tag_word(word: &str) -> PosTag {
+    let lower = word.to_lowercase();
+    let w = lower.as_str();
+    if lexicons::pronoun_set().contains(w) {
+        return PosTag::Pronoun;
+    }
+    if lexicons::determiner_set().contains(w) {
+        return PosTag::Determiner;
+    }
+    if lexicons::preposition_set().contains(w) {
+        return PosTag::Preposition;
+    }
+    if lexicons::conjunction_set().contains(w) {
+        return PosTag::Conjunction;
+    }
+    if lexicons::interjection_set().contains(w) {
+        return PosTag::Interjection;
+    }
+    if lexicons::adverb_set().contains(w) {
+        return PosTag::Adverb;
+    }
+    if lexicons::adjective_set().contains(w) {
+        return PosTag::Adjective;
+    }
+    if lexicons::verb_set().contains(w) {
+        return PosTag::Verb;
+    }
+    if w.len() > 4 && w.ends_with("ly") {
+        return PosTag::Adverb;
+    }
+    for suf in SEED_VERB_SUFFIXES {
+        if w.len() > suf.len() + 2 && w.ends_with(suf) {
+            return PosTag::Verb;
+        }
+    }
+    for suf in SEED_ADJ_SUFFIXES {
+        if w.len() > suf.len() + 2 && w.ends_with(suf) {
+            return PosTag::Adjective;
+        }
+    }
+    PosTag::Noun
+}
+
+/// The seed `FeatureExtractor::extract`: feature vector + lowercased words.
+fn seed_extract(tweet: &Tweet, bow: &AdaptiveBow, preprocess: bool) -> (Vec<f64>, Vec<String>) {
+    let tokens = tokenize(&tweet.text);
+    let mut num_hashtags = 0usize;
+    let mut num_urls = 0usize;
+    let mut num_upper = 0usize;
+    for t in &tokens {
+        match t.kind {
+            TokenKind::Hashtag => num_hashtags += 1,
+            TokenKind::Url => num_urls += 1,
+            TokenKind::Word if t.is_shouting() => num_upper += 1,
+            _ => {}
+        }
+    }
+    let (sent_pos, sent_neg) = seed_score_tokens(&tokens);
+    let words: Vec<String> = if preprocess {
+        redhanded_features::preprocess::preprocess_tokens(&tokens)
+            .into_iter()
+            .map(|t| t.text.to_lowercase())
+            .collect()
+    } else {
+        tokens
+            .iter()
+            .filter(|t| !matches!(t.kind, TokenKind::Punctuation | TokenKind::Emoticon))
+            .map(|t| t.text.to_lowercase())
+            .collect()
+    };
+    let mut adjectives = 0usize;
+    let mut adverbs = 0usize;
+    let mut verbs = 0usize;
+    for w in &words {
+        match seed_tag_word(w) {
+            PosTag::Adjective => adjectives += 1,
+            PosTag::Adverb => adverbs += 1,
+            PosTag::Verb => verbs += 1,
+            _ => {}
+        }
+    }
+    let num_sentences = seed_count_word_sentences(&tweet.text, &tokens).max(1);
+    let words_per_sentence = words.len() as f64 / num_sentences as f64;
+    let mean_word_length = if words.is_empty() {
+        0.0
+    } else {
+        words.iter().map(|w| w.chars().count()).sum::<usize>() as f64 / words.len() as f64
+    };
+    let swears = words.iter().filter(|w| lexicons::is_swear(w)).count();
+    let bow_score = bow.score(words.iter().map(String::as_str));
+    let user = &tweet.user;
+    let features = vec![
+        user.account_age_days,
+        user.statuses_count as f64,
+        user.listed_count as f64,
+        user.followers_count as f64,
+        user.friends_count as f64,
+        num_hashtags as f64,
+        num_upper as f64,
+        num_urls as f64,
+        adjectives as f64,
+        adverbs as f64,
+        verbs as f64,
+        words_per_sentence,
+        mean_word_length,
+        sent_pos as f64,
+        sent_neg as f64,
+        swears as f64,
+        bow_score as f64,
+    ];
+    (features, words)
+}
+
+// ---------------------------------------------------------------------------
+// The parity checks.
+// ---------------------------------------------------------------------------
+
+/// A BoW whose membership extends beyond the seed lexicon, so the parity
+/// run also exercises `bowScore` against promoted vocabulary.
+fn grown_bow() -> AdaptiveBow {
+    let mut bow = AdaptiveBow::with_defaults();
+    for _ in 0..2000 {
+        bow.observe(["zorgon", "sod"], true);
+        bow.observe(["weather", "tea"], false);
+    }
+    bow
+}
+
+#[test]
+fn extract_matches_seed_implementation_over_corpus() {
+    let corpus = generate_abusive(&AbusiveConfig::small(1000, 0x90_1D));
+    let bow = grown_bow();
+    for preprocess in [true, false] {
+        let extractor = FeatureExtractor::new(ExtractorConfig { preprocess });
+        let mut scratch = ExtractScratch::new();
+        for lt in &corpus {
+            let (golden_features, golden_words) = seed_extract(&lt.tweet, &bow, preprocess);
+            assert_eq!(golden_features.len(), NUM_FEATURES);
+
+            // Allocating path (itself a wrapper over the scratch path).
+            let ext = extractor.extract(&lt.tweet, &bow);
+            assert_eq!(
+                ext.features, golden_features,
+                "extract() diverged from seed (preprocess={preprocess}): {:?}",
+                lt.tweet.text
+            );
+            assert_eq!(ext.words, golden_words, "word sequence diverged: {:?}", lt.tweet.text);
+
+            // Scratch path with buffer reuse across the whole corpus.
+            extractor.extract_into(&lt.tweet, &bow, &mut scratch);
+            assert_eq!(
+                scratch.features(),
+                golden_features.as_slice(),
+                "extract_into() diverged from seed (preprocess={preprocess}): {:?}",
+                lt.tweet.text
+            );
+            let words: Vec<&str> = scratch.words().collect();
+            assert_eq!(words, golden_words, "scratch words diverged: {:?}", lt.tweet.text);
+        }
+    }
+}
+
+#[test]
+fn token_spans_mirror_owned_tokens_over_corpus() {
+    let corpus = generate_abusive(&AbusiveConfig::small(1000, 0xC0FFE));
+    let mut spans: Vec<TokenSpan> = Vec::new();
+    for lt in &corpus {
+        let text = lt.tweet.text.as_str();
+        let tokens = tokenize(text);
+        tokenize_into(text, &mut spans);
+        assert_eq!(spans.len(), tokens.len(), "token count mismatch: {text:?}");
+        for (span, tok) in spans.iter().zip(&tokens) {
+            assert_eq!(span.text(text), tok.text);
+            assert_eq!(span.kind, tok.kind);
+            assert_eq!(span.start as usize, tok.start);
+        }
+    }
+}
+
+#[test]
+fn labeled_instances_agree_across_schemes() {
+    let corpus = generate_abusive(&AbusiveConfig::small(200, 0x5EED));
+    let bow = grown_bow();
+    let extractor = FeatureExtractor::default();
+    let mut scratch = ExtractScratch::new();
+    for scheme in [ClassScheme::TwoClass, ClassScheme::ThreeClass] {
+        for lt in &corpus {
+            let legacy = extractor.labeled_instance(lt, scheme, &bow, 3);
+            let through_scratch =
+                extractor.labeled_instance_into(lt, scheme, &bow, 3, &mut scratch);
+            match (legacy, through_scratch) {
+                (None, None) => {} // out-of-scheme label on both paths
+                (Some((inst, words)), Some(inst2)) => {
+                    assert_eq!(inst.features, inst2.features);
+                    assert_eq!(inst.label, inst2.label);
+                    assert_eq!(inst.label, scheme.index_of(lt.label));
+                    assert_eq!(inst.day, inst2.day);
+                    assert_eq!(inst.tweet_id, inst2.tweet_id);
+                    assert_eq!(inst.user_id, inst2.user_id);
+                    let scratch_words: Vec<&str> = scratch.words().collect();
+                    assert_eq!(words, scratch_words);
+                }
+                (a, b) => panic!(
+                    "paths disagree on scheme membership: legacy={:?} scratch={:?}",
+                    a.is_some(),
+                    b.is_some()
+                ),
+            }
+        }
+    }
+}

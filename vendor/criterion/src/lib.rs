@@ -1,0 +1,329 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! The workspace builds in environments without a crates.io mirror, so this
+//! vendored crate implements the surface the `crates/bench` benchmarks use:
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, throughput, bench_function, finish}`,
+//! `Criterion::bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, and `Throughput`.
+//!
+//! Unlike a pure shim, this is a working wall-clock harness: each benchmark
+//! is warmed up, auto-calibrated to a per-sample iteration count, measured
+//! over `sample_size` samples, and reported as median time per iteration
+//! plus derived throughput — enough to compare variants (e.g. scratch reuse
+//! vs fresh allocation) with low noise. It does not do criterion's
+//! statistical regression analysis or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Declared work per iteration, used to derive throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup (sizing is advisory in this harness).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Harness configuration and top-level entry point.
+pub struct Criterion {
+    /// Target wall-clock duration of one measured sample.
+    sample_target: Duration,
+    warm_up: Duration,
+    default_sample_size: usize,
+    benchmarks_run: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_target: Duration::from_millis(10),
+            warm_up: Duration::from_millis(150),
+            default_sample_size: 30,
+            benchmarks_run: 0,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        self.run_one(&name, None, None, f);
+        self
+    }
+
+    pub fn final_summary(&self) {
+        eprintln!("\n{} benchmarks complete", self.benchmarks_run);
+    }
+
+    fn run_one(
+        &mut self,
+        name: &str,
+        throughput: Option<Throughput>,
+        sample_size: Option<usize>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        let samples = sample_size.unwrap_or(self.default_sample_size).max(2);
+
+        // Calibration: grow iterations-per-sample until one sample is long
+        // enough for the clock to resolve it well.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let mut bencher = Bencher::new(iters_per_sample);
+            f(&mut bencher);
+            let elapsed = bencher.elapsed();
+            if elapsed >= self.sample_target || iters_per_sample >= (1 << 30) {
+                break;
+            }
+            let grown = if elapsed < self.sample_target / 8 {
+                iters_per_sample.saturating_mul(8)
+            } else {
+                iters_per_sample.saturating_mul(2)
+            };
+            iters_per_sample = grown.max(iters_per_sample + 1);
+        }
+
+        // Warm-up at the calibrated size.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            let mut bencher = Bencher::new(iters_per_sample);
+            f(&mut bencher);
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut bencher = Bencher::new(iters_per_sample);
+            f(&mut bencher);
+            per_iter.push(bencher.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = per_iter[per_iter.len() / 2];
+        let lo = per_iter[0];
+        let hi = per_iter[per_iter.len() - 1];
+
+        let mut line = format!(
+            "{name:<44} time: [{} {} {}]",
+            fmt_time(lo),
+            fmt_time(median),
+            fmt_time(hi)
+        );
+        if let Some(t) = throughput {
+            let (units, label) = match t {
+                Throughput::Elements(n) => (n as f64, "elem/s"),
+                Throughput::Bytes(n) => (n as f64, "B/s"),
+            };
+            if median > 0.0 {
+                line.push_str(&format!(
+                    " thrpt: [{}]",
+                    fmt_rate(units / median, label)
+                ));
+            }
+        }
+        eprintln!("{line}");
+        self.benchmarks_run += 1;
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+fn fmt_rate(rate: f64, label: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.3} G{label}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.3} M{label}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.3} K{label}", rate / 1e3)
+    } else {
+        format!("{rate:.1} {label}")
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        self.criterion
+            .run_one(&full, self.throughput, self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; accumulates timed iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    ran: bool,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Bencher { iters, elapsed: Duration::ZERO, ran: false }
+    }
+
+    fn elapsed(&self) -> Duration {
+        assert!(self.ran, "benchmark closure never called iter/iter_batched");
+        self.elapsed
+    }
+
+    /// Times `routine` over the whole batch with one clock read pair.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.ran = true;
+    }
+
+    /// Times `routine` only, excluding `setup`, per iteration.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            let output = routine(input);
+            self.elapsed += start.elapsed();
+            black_box(output);
+        }
+        self.ran = true;
+    }
+}
+
+/// Groups benchmark target functions under one callable name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(criterion: &mut $crate::Criterion) {
+            $(($target)(criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $(($group)(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_nonzero_time() {
+        let mut b = Bencher::new(100);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(b.elapsed() > Duration::ZERO);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        // Setup is ~1000x the routine; if it leaked into the measurement the
+        // batched time would dwarf the plain-iter time of the same routine.
+        let mut batched = Bencher::new(50);
+        batched.iter_batched(
+            || (0..20_000u64).map(|i| i * i).collect::<Vec<_>>(),
+            |v| v[0],
+            BatchSize::LargeInput,
+        );
+        let mut plain = Bencher::new(50);
+        let v: Vec<u64> = (0..20_000).map(|i| i * i).collect();
+        plain.iter(|| v[0]);
+        assert!(
+            batched.elapsed() < plain.elapsed() * 200 + Duration::from_millis(5),
+            "setup time leaked into measurement: {:?} vs {:?}",
+            batched.elapsed(),
+            plain.elapsed()
+        );
+    }
+
+    #[test]
+    fn full_harness_runs_and_counts() {
+        let mut c = Criterion {
+            sample_target: Duration::from_micros(200),
+            warm_up: Duration::from_millis(1),
+            default_sample_size: 3,
+            benchmarks_run: 0,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("f", |b| b.iter(|| 1 + 1));
+        group.finish();
+        c.bench_function("top", |b| {
+            b.iter_batched(|| 5u32, |x| x * 2, BatchSize::LargeInput)
+        });
+        assert_eq!(c.benchmarks_run, 2);
+    }
+}

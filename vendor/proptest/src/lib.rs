@@ -1,0 +1,583 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The workspace builds in environments without a crates.io mirror, so this
+//! vendored crate implements the property-testing surface the workspace's
+//! `tests/proptests.rs` files use: the `proptest!` macro, `prop_assert!` /
+//! `prop_assert_eq!`, `any::<T>()`, numeric range strategies, a small
+//! regex-subset string strategy (char classes and `\PC` with `{m,n}`
+//! repetition), `prop::collection::vec`, `prop::sample::select`, tuple
+//! strategies, and `ProptestConfig::with_cases`.
+//!
+//! Differences from upstream: inputs are drawn from a deterministic
+//! per-test RNG (seeded from the test name, so failures reproduce across
+//! runs), and there is no shrinking — a failing case panics with the
+//! assertion message directly.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator driving all strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, bound) via rejection (unbiased).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let zone = bound.wrapping_neg() % bound;
+        loop {
+            let v = self.next_u64();
+            if v >= zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform in [0, 1) with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a hash used to derive a per-test seed from the test's name.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runner configuration (subset: number of cases).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A source of random values of an associated type.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+// Strategies compose by reference (e.g. a vec element strategy).
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A / 0, B / 1);
+    (A / 0, B / 1, C / 2);
+    (A / 0, B / 1, C / 2, D / 3);
+    (A / 0, B / 1, C / 2, D / 3, E / 4);
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite values across a wide magnitude range (no NaN/inf, which the
+    /// workspace's numeric code rejects by contract).
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        let magnitude = rng.unit_f64() * 600.0 - 300.0; // exponent in [-300, 300)
+        let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+        sign * rng.unit_f64() * 10f64.powf(magnitude / 10.0)
+    }
+}
+
+/// Whole-domain strategy handle returned by `any`.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategy: `"[a-z]{2,8}"`, `"\\PC{0,200}"`, …
+// ---------------------------------------------------------------------------
+
+/// One parsed atom of the pattern: the set of chars it can produce.
+#[derive(Debug, Clone)]
+enum CharSet {
+    /// Explicit alternatives from a `[...]` class.
+    Explicit(Vec<(char, char)>),
+    /// `\PC`: any char outside Unicode category C. Sampled from curated
+    /// non-control ranges covering ASCII, Latin-1, Greek, Cyrillic, CJK,
+    /// emoji, and the variation selector the tokenizer special-cases.
+    NotControl,
+}
+
+impl CharSet {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharSet::Explicit(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                    .sum();
+                let mut idx = rng.below(total);
+                for (lo, hi) in ranges {
+                    let span = (*hi as u64) - (*lo as u64) + 1;
+                    if idx < span {
+                        return char::from_u32(*lo as u32 + idx as u32)
+                            .expect("class range holds valid chars");
+                    }
+                    idx -= span;
+                }
+                unreachable!("index within total span")
+            }
+            CharSet::NotControl => {
+                // (start, end) inclusive ranges of printable chars.
+                const POOLS: &[(u32, u32)] = &[
+                    (0x20, 0x7E),       // ASCII printable (weighted 4x below)
+                    (0x20, 0x7E),
+                    (0x20, 0x7E),
+                    (0x20, 0x7E),
+                    (0xA1, 0xFF),       // Latin-1 supplement
+                    (0x370, 0x3FF),     // Greek
+                    (0x400, 0x4FF),     // Cyrillic
+                    (0x4E00, 0x4FFF),   // CJK ideographs (subset)
+                    (0x1F300, 0x1F5FF), // emoji: misc symbols & pictographs
+                    (0x1F600, 0x1F64F), // emoji: emoticons
+                    (0x2600, 0x26FF),   // misc symbols
+                    (0xFE0F, 0xFE0F),   // variation selector-16
+                ];
+                let (lo, hi) = POOLS[rng.below(POOLS.len() as u64) as usize];
+                let c = char::from_u32(lo + rng.below((hi - lo + 1) as u64) as u32)
+                    .expect("pool ranges avoid surrogates");
+                debug_assert!(!c.is_control());
+                c
+            }
+        }
+    }
+}
+
+/// A string strategy parsed from a supported regex subset.
+#[derive(Debug, Clone)]
+pub struct StringStrategy {
+    set: CharSet,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> StringStrategy {
+    let mut chars = pattern.chars().peekable();
+    let set = match chars.next() {
+        Some('[') => {
+            let mut ranges = Vec::new();
+            let mut pending: Option<char> = None;
+            loop {
+                match chars.next() {
+                    Some(']') => break,
+                    Some('-') if pending.is_some() && chars.peek() != Some(&']') => {
+                        let lo = pending.take().expect("checked");
+                        let hi = chars.next().expect("range end");
+                        assert!(lo <= hi, "bad class range in {pattern:?}");
+                        ranges.push((lo, hi));
+                    }
+                    Some(c) => {
+                        if let Some(p) = pending.replace(c) {
+                            ranges.push((p, p));
+                        }
+                    }
+                    None => panic!("unterminated char class in {pattern:?}"),
+                }
+            }
+            if let Some(p) = pending {
+                ranges.push((p, p));
+            }
+            assert!(!ranges.is_empty(), "empty char class in {pattern:?}");
+            CharSet::Explicit(ranges)
+        }
+        Some('\\') => match (chars.next(), chars.next()) {
+            (Some('P'), Some('C')) => CharSet::NotControl,
+            other => panic!("unsupported escape {other:?} in {pattern:?}"),
+        },
+        other => panic!("unsupported pattern start {other:?} in {pattern:?}"),
+    };
+    let (min, max) = match chars.next() {
+        None => (1, 1),
+        Some('{') => {
+            let rest: String = chars.collect();
+            let body = rest.strip_suffix('}').expect("unterminated repetition");
+            let (lo, hi) = body.split_once(',').unwrap_or((body, body));
+            (
+                lo.trim().parse().expect("repetition min"),
+                hi.trim().parse().expect("repetition max"),
+            )
+        }
+        Some(c) => panic!("unsupported pattern suffix {c:?} in {pattern:?}"),
+    };
+    assert!(min <= max, "bad repetition in {pattern:?}");
+    StringStrategy { set, min, max }
+}
+
+impl Strategy for StringStrategy {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let len = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+        (0..len).map(|_| self.set.sample(rng)).collect()
+    }
+}
+
+impl Strategy for str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        parse_pattern(self).sample(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// prop::collection / prop::sample
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Sizes accepted by `vec`: a fixed length or a `Range<usize>`.
+    pub trait IntoSizeRange {
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// `prop::collection::vec(element_strategy, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// `prop::sample::select(options)`: one uniformly chosen element.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Property-test assertion; panics with the failing expression rendered.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the upstream surface the workspace uses: an optional leading
+/// `#![proptest_config(...)]`, doc comments, and `pat in strategy` argument
+/// lists. Each test runs `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($argpat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::new($crate::seed_from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            )));
+            for _case in 0..config.cases {
+                $(let $argpat = $crate::Strategy::sample(&($strat), &mut rng);)+
+                // A closure isolates `return`s in the body to one case.
+                #[allow(clippy::redundant_closure_call)]
+                (|| -> () { $body })();
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestRng,
+    };
+    /// Upstream exposes the crate root as `prop` in the prelude.
+    pub use crate as prop;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_patterns_respect_class_and_length() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[a-z]{2,8}", &mut rng);
+            assert!((2..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+
+            let t = Strategy::sample(&"[a-zA-Z0-9#@ ]{0,80}", &mut rng);
+            assert!(t.chars().count() <= 80);
+            assert!(t
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '#' || c == '@' || c == ' '));
+
+            let u = Strategy::sample(&"\\PC{0,200}", &mut rng);
+            assert!(u.chars().count() <= 200);
+            assert!(u.chars().all(|c| !c.is_control()), "{u:?}");
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_strategies_compose() {
+        let mut rng = TestRng::new(2);
+        let strat = prop::collection::vec((0usize..3, -1.0f64..1.0), 1..40);
+        for _ in 0..100 {
+            let v = Strategy::sample(&strat, &mut rng);
+            assert!((1..40).contains(&v.len()));
+            for (a, b) in v {
+                assert!(a < 3);
+                assert!((-1.0..1.0).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn select_draws_only_listed_options() {
+        let mut rng = TestRng::new(3);
+        let strat = prop::sample::select(vec!["lol", "omg"]);
+        for _ in 0..50 {
+            let w = Strategy::sample(&strat, &mut rng);
+            assert!(w == "lol" || w == "omg");
+        }
+    }
+
+    #[test]
+    fn per_test_sequences_are_deterministic() {
+        let seed = seed_from_name_roundtrip();
+        let mut a = TestRng::new(seed);
+        let mut b = TestRng::new(seed);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    fn seed_from_name_roundtrip() -> u64 {
+        crate::seed_from_name("vendor::proptest::example")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: strategies bind, asserts work, mut binds work.
+        #[test]
+        fn macro_end_to_end(x in 1usize..10, mut v in prop::collection::vec(0u8..4, 0..5)) {
+            prop_assert!(x >= 1 && x < 10);
+            v.push(0);
+            prop_assert!(v.len() <= 5);
+            prop_assert_eq!(*v.last().unwrap(), 0);
+        }
+    }
+}
