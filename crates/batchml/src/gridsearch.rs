@@ -68,7 +68,8 @@ pub fn grid_search(
         let score = score_fn(&point)?;
         results.push(GridResult { point, score });
     }
-    results.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    // total_cmp: a NaN score sorts last instead of panicking the sweep.
+    results.sort_by(|a, b| b.score.total_cmp(&a.score));
     Ok(results)
 }
 

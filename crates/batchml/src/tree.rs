@@ -167,9 +167,7 @@ impl DecisionTree {
         parent_counts: &[f64],
     ) -> Option<(f64, f64)> {
         idx.sort_by(|&a, &b| {
-            data[a].features[feature]
-                .partial_cmp(&data[b].features[feature])
-                .expect("finite feature values")
+            data[a].features[feature].total_cmp(&data[b].features[feature])
         });
         let total: f64 = parent_counts.iter().sum();
         let parent_impurity = self.config.criterion.impurity(parent_counts);

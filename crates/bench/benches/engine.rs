@@ -34,7 +34,7 @@ fn bench_model_merge(c: &mut Criterion) {
     // The driver-side cost of Figure 2's op #3 second half: merging N
     // partition-local HT forks into the global tree.
     let insts = prepare_instances(ClassScheme::ThreeClass, 4_000, 0xBE7C7).expect("prepare");
-    let mut global = HoeffdingTree::with_paper_defaults(3, 17);
+    let mut global = HoeffdingTree::with_paper_defaults(3, 17).unwrap();
     for inst in &insts[..2_000] {
         global.train(inst).expect("train");
     }
@@ -68,7 +68,7 @@ fn bench_model_merge(c: &mut Criterion) {
 fn bench_broadcast_clone(c: &mut Criterion) {
     // The per-batch cost of snapshotting the global model for broadcast.
     let insts = prepare_instances(ClassScheme::ThreeClass, 4_000, 0xBE7C8).expect("prepare");
-    let mut global = HoeffdingTree::with_paper_defaults(3, 17);
+    let mut global = HoeffdingTree::with_paper_defaults(3, 17).unwrap();
     for inst in &insts {
         global.train(inst).expect("train");
     }

@@ -16,9 +16,9 @@ fn instances() -> Vec<Instance> {
 
 fn models() -> Vec<Box<dyn StreamingClassifier>> {
     vec![
-        Box::new(HoeffdingTree::with_paper_defaults(3, 17)),
-        Box::new(AdaptiveRandomForest::with_paper_defaults(3, 17)),
-        Box::new(StreamingLogisticRegression::with_paper_defaults(3, 17)),
+        Box::new(HoeffdingTree::with_paper_defaults(3, 17).unwrap()),
+        Box::new(AdaptiveRandomForest::with_paper_defaults(3, 17).unwrap()),
+        Box::new(StreamingLogisticRegression::with_paper_defaults(3, 17).unwrap()),
     ]
 }
 

@@ -59,7 +59,7 @@ pub fn print_series(x_label: &str, series: &[(String, Vec<(f64, f64)>)]) {
     }
     println!();
     let mut xs: Vec<f64> = series.iter().flat_map(|(_, s)| s.iter().map(|(x, _)| *x)).collect();
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+    xs.sort_by(|a, b| a.total_cmp(b));
     xs.dedup();
     for x in xs {
         print!("{x:>14.0}");

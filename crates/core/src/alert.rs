@@ -8,7 +8,7 @@
 //! this queue.
 
 use redhanded_types::ClassScheme;
-use std::collections::HashMap;
+use redhanded_nlp::FxHashMap;
 
 /// One raised alert.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,7 +33,7 @@ pub struct Alerter {
     scheme: ClassScheme,
     threshold: f64,
     suspend_after: u32,
-    history: HashMap<u64, u32>,
+    history: FxHashMap<u64, u32>,
     alerts: Vec<Alert>,
     suspended: Vec<u64>,
 }
@@ -46,7 +46,7 @@ impl Alerter {
             scheme,
             threshold,
             suspend_after,
-            history: HashMap::new(),
+            history: FxHashMap::default(),
             alerts: Vec::new(),
             suspended: Vec::new(),
         }
@@ -69,11 +69,15 @@ impl Alerter {
             return None;
         }
         // Report the strongest aggressive class.
+        // total_cmp: a NaN probability degrades the ranking instead of
+        // panicking; an (impossible) empty scheme yields no alert rather
+        // than aborting the stream.
         let class = self
             .scheme
             .positive_classes()
-            .max_by(|&a, &b| proba[a].partial_cmp(&proba[b]).expect("finite proba"))
-            .expect("schemes have at least one positive class");
+            .max_by(|&a, &b| {
+                proba.get(a).copied().unwrap_or(0.0).total_cmp(&proba.get(b).copied().unwrap_or(0.0))
+            })?;
         let count = self.history.entry(user_id).or_insert(0);
         *count += 1;
         if *count == self.suspend_after {

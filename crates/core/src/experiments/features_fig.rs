@@ -121,7 +121,7 @@ pub fn gini_importance_ranking(total: usize, seed: u64) -> Result<Vec<Importance
         .zip(imp)
         .map(|(f, importance)| ImportanceEntry { feature: f.to_string(), importance })
         .collect();
-    entries.sort_by(|a, b| b.importance.partial_cmp(&a.importance).expect("finite"));
+    entries.sort_by(|a, b| b.importance.total_cmp(&a.importance));
     Ok(entries)
 }
 

@@ -10,7 +10,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use redhanded_types::{ClassLabel, LabeledTweet, Tweet};
-use std::collections::HashMap;
+use redhanded_nlp::FxHashMap;
 
 /// Something that can turn sampled tweets into labeled tweets.
 pub trait Labeler {
@@ -32,7 +32,7 @@ pub trait Labeler {
 /// the generator's labels).
 #[derive(Debug, Clone, Default)]
 pub struct OracleLabeler {
-    truth: HashMap<u64, ClassLabel>,
+    truth: FxHashMap<u64, ClassLabel>,
 }
 
 impl OracleLabeler {

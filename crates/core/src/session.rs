@@ -14,7 +14,8 @@
 //! aggressive tweet. Each user is flagged at most once per quiet period
 //! (the flag re-arms after the user's window empties).
 
-use std::collections::{HashMap, VecDeque};
+use redhanded_nlp::FxHashMap;
+use std::collections::VecDeque;
 
 /// Configuration of the session-level detector.
 #[derive(Debug, Clone)]
@@ -61,14 +62,14 @@ struct UserWindow {
 #[derive(Debug, Clone)]
 pub struct SessionDetector {
     config: SessionConfig,
-    users: HashMap<u64, UserWindow>,
+    users: FxHashMap<u64, UserWindow>,
     alerts: Vec<SessionAlert>,
 }
 
 impl SessionDetector {
     /// Create a detector.
     pub fn new(config: SessionConfig) -> Self {
-        SessionDetector { config, users: HashMap::new(), alerts: Vec::new() }
+        SessionDetector { config, users: FxHashMap::default(), alerts: Vec::new() }
     }
 
     /// Detector with default configuration (1-hour window, ≥5 tweets,

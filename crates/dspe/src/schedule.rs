@@ -110,11 +110,12 @@ pub fn stage_makespan(
     for d in durations {
         let us = d.as_secs_f64() * 1e6 + per_task_overhead_us;
         // Earliest-available slot.
-        let (idx, _) = slot_time
+        let idx = slot_time
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
-            .expect("at least one slot");
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
         slot_time[idx] += us;
     }
     let makespan = slot_time.iter().copied().fold(0.0f64, f64::max);

@@ -49,7 +49,7 @@ impl P2Quantile {
             self.initial[self.count] = x;
             self.count += 1;
             if self.count == 5 {
-                self.initial.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+                self.initial.sort_by(|a, b| a.total_cmp(b));
                 self.q = self.initial;
             }
             return;
@@ -120,7 +120,7 @@ impl P2Quantile {
         }
         if self.count < 5 {
             let mut seen = self.initial[..self.count].to_vec();
-            seen.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+            seen.sort_by(|a, b| a.total_cmp(b));
             let rank = (self.p * (seen.len() - 1) as f64).round() as usize;
             return seen[rank];
         }

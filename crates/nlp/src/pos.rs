@@ -61,7 +61,10 @@ pub fn tag_word(word: &str) -> PosTag {
         if let Some(buf) = buf.get_mut(..word.len()) {
             buf.copy_from_slice(word.as_bytes());
             buf.make_ascii_lowercase();
-            return tag_lower(std::str::from_utf8(buf).expect("ascii stays utf-8"));
+            // ASCII stays UTF-8; fall through to the allocating path if not.
+            if let Ok(lower) = std::str::from_utf8(buf) {
+                return tag_lower(lower);
+            }
         }
     }
     tag_lower(&word.to_lowercase())

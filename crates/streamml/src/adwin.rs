@@ -183,7 +183,10 @@ impl Adwin {
     fn drop_oldest_bucket(&mut self) {
         for row in (0..self.rows.len()).rev() {
             if let Some(s) = self.rows[row].sums.pop() {
-                let q = self.rows[row].sq_sums.pop().expect("parallel vectors");
+                // The vectors grow in lockstep; an empty sq_sums here would
+                // mean corrupted state — drop a zero contribution rather
+                // than panic the detector.
+                let q = self.rows[row].sq_sums.pop().unwrap_or(0.0);
                 let count = 1u64 << row;
                 self.width -= count.min(self.width);
                 self.total -= s;

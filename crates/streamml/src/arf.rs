@@ -223,9 +223,8 @@ impl AdaptiveRandomForest {
     }
 
     /// Forest with the paper's Table I hyperparameters.
-    pub fn with_paper_defaults(num_classes: usize, num_features: usize) -> Self {
+    pub fn with_paper_defaults(num_classes: usize, num_features: usize) -> Result<Self> {
         Self::new(ArfConfig::paper_defaults(num_classes, num_features))
-            .expect("paper defaults are valid")
     }
 
     /// The configuration in use.
@@ -431,7 +430,7 @@ mod tests {
 
     #[test]
     fn learns_separable_concept() {
-        let mut arf = AdaptiveRandomForest::with_paper_defaults(2, 3);
+        let mut arf = AdaptiveRandomForest::with_paper_defaults(2, 3).unwrap();
         for i in 0..4000 {
             arf.train(&separable(i)).unwrap();
         }
@@ -446,7 +445,7 @@ mod tests {
 
     #[test]
     fn ensemble_has_configured_size() {
-        let arf = AdaptiveRandomForest::with_paper_defaults(2, 3);
+        let arf = AdaptiveRandomForest::with_paper_defaults(2, 3).unwrap();
         assert_eq!(arf.ensemble_size(), 10);
         assert_eq!(arf.num_classes(), 2);
         assert_eq!(arf.name(), "ARF");
@@ -465,7 +464,7 @@ mod tests {
 
     #[test]
     fn adapts_to_abrupt_drift() {
-        let mut arf = AdaptiveRandomForest::with_paper_defaults(2, 3);
+        let mut arf = AdaptiveRandomForest::with_paper_defaults(2, 3).unwrap();
         // Phase 1: concept A.
         for i in 0..4000 {
             arf.train(&separable(i)).unwrap();
@@ -511,7 +510,7 @@ mod tests {
 
     #[test]
     fn probabilities_are_valid() {
-        let mut arf = AdaptiveRandomForest::with_paper_defaults(3, 3);
+        let mut arf = AdaptiveRandomForest::with_paper_defaults(3, 3).unwrap();
         for i in 0..1000 {
             arf.train(&Instance::labeled(
                 vec![(i % 9) as f64, 1.0, 2.0],
@@ -536,7 +535,7 @@ mod tests {
 
     #[test]
     fn errors_on_bad_instances() {
-        let mut arf = AdaptiveRandomForest::with_paper_defaults(2, 3);
+        let mut arf = AdaptiveRandomForest::with_paper_defaults(2, 3).unwrap();
         assert!(arf.train(&Instance::labeled(vec![1.0], 0)).is_err());
         assert!(arf.train(&Instance::labeled(vec![1.0, 2.0, 3.0], 5)).is_err());
         // Unlabeled: no-op.
@@ -545,7 +544,7 @@ mod tests {
 
     #[test]
     fn members_are_diverse() {
-        let mut arf = AdaptiveRandomForest::with_paper_defaults(2, 3);
+        let mut arf = AdaptiveRandomForest::with_paper_defaults(2, 3).unwrap();
         for i in 0..3000 {
             arf.train(&separable(i)).unwrap();
         }
@@ -562,7 +561,7 @@ mod tests {
     #[test]
     fn distributed_protocol_learns() {
         let mut global: Box<dyn StreamingClassifier> =
-            Box::new(AdaptiveRandomForest::with_paper_defaults(2, 3));
+            Box::new(AdaptiveRandomForest::with_paper_defaults(2, 3).unwrap());
         let stream: Vec<Instance> = (0..3000).map(separable).collect();
         for batch in stream.chunks(500) {
             let mut local_a = global.local_copy();
@@ -587,7 +586,7 @@ mod tests {
 
     #[test]
     fn fork_scores_with_the_global_reference() {
-        let mut arf = AdaptiveRandomForest::with_paper_defaults(2, 3);
+        let mut arf = AdaptiveRandomForest::with_paper_defaults(2, 3).unwrap();
         for i in 0..2000 {
             arf.train(&separable(i)).unwrap();
         }
@@ -639,7 +638,7 @@ mod tests {
 
     #[test]
     fn merge_requires_same_ensemble_size() {
-        let mut a = AdaptiveRandomForest::with_paper_defaults(2, 3);
+        let mut a = AdaptiveRandomForest::with_paper_defaults(2, 3).unwrap();
         let mut cfg = ArfConfig::paper_defaults(2, 3);
         cfg.ensemble_size = 5;
         let b = AdaptiveRandomForest::new(cfg).unwrap();

@@ -199,7 +199,7 @@ mod tests {
 
     #[test]
     fn bagged_trees_learn() {
-        let base = HoeffdingTree::with_paper_defaults(2, 2);
+        let base = HoeffdingTree::with_paper_defaults(2, 2).unwrap();
         let mut bag = OzaBag::classic(&base, 8, 7).unwrap();
         assert_eq!(bag.size(), 8);
         assert_eq!(bag.num_classes(), 2);
@@ -223,7 +223,7 @@ mod tests {
 
     #[test]
     fn members_diverge_through_resampling() {
-        let base = HoeffdingTree::with_paper_defaults(2, 2);
+        let base = HoeffdingTree::with_paper_defaults(2, 2).unwrap();
         let mut bag = OzaBag::classic(&base, 4, 11).unwrap();
         for i in 0..3000 {
             bag.train(&inst(i)).unwrap();
@@ -241,7 +241,7 @@ mod tests {
 
     #[test]
     fn distributed_protocol_works() {
-        let base = HoeffdingTree::with_paper_defaults(2, 2);
+        let base = HoeffdingTree::with_paper_defaults(2, 2).unwrap();
         let mut global: Box<dyn StreamingClassifier> =
             Box::new(OzaBag::classic(&base, 4, 5).unwrap());
         let stream: Vec<Instance> = (0..3000).map(inst).collect();
@@ -262,14 +262,14 @@ mod tests {
 
     #[test]
     fn invalid_configs() {
-        let base = HoeffdingTree::with_paper_defaults(2, 2);
+        let base = HoeffdingTree::with_paper_defaults(2, 2).unwrap();
         assert!(OzaBag::classic(&base, 0, 1).is_err());
         assert!(OzaBag::new(&base, 3, 0.0, 1).is_err());
     }
 
     #[test]
     fn unlabeled_is_noop() {
-        let base = HoeffdingTree::with_paper_defaults(2, 2);
+        let base = HoeffdingTree::with_paper_defaults(2, 2).unwrap();
         let mut bag = OzaBag::classic(&base, 3, 1).unwrap();
         bag.train(&Instance::unlabeled(vec![1.0, 2.0])).unwrap();
         let p = bag.predict_proba(&[1.0, 2.0]).unwrap();

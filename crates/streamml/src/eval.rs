@@ -236,7 +236,7 @@ impl PrequentialEvaluator {
         if let Some(w) = self.window {
             self.recent.push_back((actual, predicted, weight));
             while self.recent.len() > w {
-                let (a, p, wt) = self.recent.pop_front().expect("non-empty");
+                let Some((a, p, wt)) = self.recent.pop_front() else { break };
                 self.windowed.remove(a, p, wt);
             }
         }
@@ -443,7 +443,7 @@ mod tests {
     #[test]
     fn step_tests_before_training() {
         // First instance must be scored by the *untrained* model.
-        let mut ht = HoeffdingTree::with_paper_defaults(2, 1);
+        let mut ht = HoeffdingTree::with_paper_defaults(2, 1).unwrap();
         let mut eval = PrequentialEvaluator::new(2, None, 0);
         eval.step(&mut ht, &Instance::labeled(vec![0.0], 1)).unwrap();
         assert_eq!(eval.instances(), 1);
@@ -454,7 +454,7 @@ mod tests {
 
     #[test]
     fn step_skips_unlabeled() {
-        let mut ht = HoeffdingTree::with_paper_defaults(2, 1);
+        let mut ht = HoeffdingTree::with_paper_defaults(2, 1).unwrap();
         let mut eval = PrequentialEvaluator::new(2, None, 0);
         eval.step(&mut ht, &Instance::unlabeled(vec![0.0])).unwrap();
         assert_eq!(eval.instances(), 0);
@@ -462,7 +462,7 @@ mod tests {
 
     #[test]
     fn prequential_on_learnable_stream_improves() {
-        let mut ht = HoeffdingTree::with_paper_defaults(2, 2);
+        let mut ht = HoeffdingTree::with_paper_defaults(2, 2).unwrap();
         let mut eval = PrequentialEvaluator::new(2, Some(500), 500);
         for i in 0..5000u64 {
             let x0 = (i % 11) as f64;

@@ -390,7 +390,7 @@ impl Node {
                 }
                 let Some(&(best_f, best_t, best_merit)) = candidates
                     .iter()
-                    .max_by(|a, b| a.2.partial_cmp(&b.2).expect("finite merits"))
+                    .max_by(|a, b| a.2.total_cmp(&b.2))
                 else {
                     return 0;
                 };
@@ -409,7 +409,9 @@ impl Node {
                     n,
                 );
                 if best_merit - second_merit > eps || eps < config.tie_threshold {
-                    let obs = leaf.observers[best_f].as_ref().expect("candidate observer");
+                    // The candidate came from this observer slot; a missing
+                    // observer means no split rather than a panic.
+                    let Some(obs) = leaf.observers[best_f].as_ref() else { return 0 };
                     let (left_counts, right_counts) = obs.project_split(best_t);
                     let depth = leaf.depth + 1;
                     let left =
@@ -511,9 +513,8 @@ impl HoeffdingTree {
     }
 
     /// Tree with the paper's Table I hyperparameters.
-    pub fn with_paper_defaults(num_classes: usize, num_features: usize) -> Self {
+    pub fn with_paper_defaults(num_classes: usize, num_features: usize) -> Result<Self> {
         Self::new(HoeffdingTreeConfig::paper_defaults(num_classes, num_features))
-            .expect("paper defaults are valid")
     }
 
     /// The configuration in use.
@@ -685,7 +686,7 @@ mod tests {
     }
 
     fn train_tree(n: u64) -> HoeffdingTree {
-        let mut ht = HoeffdingTree::with_paper_defaults(2, 2);
+        let mut ht = HoeffdingTree::with_paper_defaults(2, 2).unwrap();
         for i in 0..n {
             ht.train(&separable_instance(i)).unwrap();
         }
@@ -720,7 +721,7 @@ mod tests {
 
     #[test]
     fn untrained_tree_predicts_uniform() {
-        let ht = HoeffdingTree::with_paper_defaults(3, 2);
+        let ht = HoeffdingTree::with_paper_defaults(3, 2).unwrap();
         let p = ht.predict_proba(&[1.0, 2.0]).unwrap();
         assert_eq!(p.len(), 3);
         for x in p {
@@ -730,7 +731,7 @@ mod tests {
 
     #[test]
     fn grace_period_delays_splitting() {
-        let mut ht = HoeffdingTree::with_paper_defaults(2, 2);
+        let mut ht = HoeffdingTree::with_paper_defaults(2, 2).unwrap();
         for i in 0..150 {
             ht.train(&separable_instance(i)).unwrap();
         }
@@ -740,7 +741,7 @@ mod tests {
 
     #[test]
     fn pure_stream_never_splits() {
-        let mut ht = HoeffdingTree::with_paper_defaults(2, 2);
+        let mut ht = HoeffdingTree::with_paper_defaults(2, 2).unwrap();
         for i in 0..2000 {
             ht.train(&Instance::labeled(vec![(i % 10) as f64, 0.0], 0)).unwrap();
         }
@@ -765,7 +766,7 @@ mod tests {
 
     #[test]
     fn dimension_and_class_errors() {
-        let mut ht = HoeffdingTree::with_paper_defaults(2, 3);
+        let mut ht = HoeffdingTree::with_paper_defaults(2, 3).unwrap();
         let bad_dim = Instance::labeled(vec![1.0], 0);
         assert!(matches!(ht.train(&bad_dim), Err(Error::DimensionMismatch { .. })));
         let bad_class = Instance::labeled(vec![1.0, 2.0, 3.0], 7);
@@ -775,7 +776,7 @@ mod tests {
 
     #[test]
     fn unlabeled_instances_are_ignored_by_train() {
-        let mut ht = HoeffdingTree::with_paper_defaults(2, 2);
+        let mut ht = HoeffdingTree::with_paper_defaults(2, 2).unwrap();
         for _ in 0..500 {
             ht.train(&Instance::unlabeled(vec![1.0, 2.0])).unwrap();
         }
@@ -813,7 +814,7 @@ mod tests {
         // into a zero-statistics fork of the broadcast global tree; the
         // driver sums the deltas and attempts splits.
         let mut global: Box<dyn StreamingClassifier> =
-            Box::new(HoeffdingTree::with_paper_defaults(2, 2));
+            Box::new(HoeffdingTree::with_paper_defaults(2, 2).unwrap());
         let stream: Vec<Instance> = (0..4000).map(separable_instance).collect();
         for batch in stream.chunks(500) {
             let mut local_a = global.local_copy();
@@ -844,7 +845,7 @@ mod tests {
     #[test]
     fn merge_rejects_diverged_structure() {
         let mut a = train_tree(3000);
-        let b = HoeffdingTree::with_paper_defaults(2, 2);
+        let b = HoeffdingTree::with_paper_defaults(2, 2).unwrap();
         // a has split, b has not: structures differ.
         let err = StreamingClassifier::merge(&mut a, &b as &dyn StreamingClassifier);
         assert!(err.is_err());
@@ -906,7 +907,7 @@ mod tests {
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(imp[0] > imp[1], "signal feature dominates: {imp:?}");
         // Untrained tree: all zeros.
-        let fresh = HoeffdingTree::with_paper_defaults(2, 2);
+        let fresh = HoeffdingTree::with_paper_defaults(2, 2).unwrap();
         assert!(fresh.feature_importances().iter().all(|&v| v == 0.0));
     }
 

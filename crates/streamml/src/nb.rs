@@ -119,10 +119,13 @@ impl StreamingClassifier for StreamingNaiveBayes {
 
     fn local_copy(&self) -> Box<dyn StreamingClassifier> {
         // Zero-statistics fork: NB statistics sum, so deltas merge exactly.
-        Box::new(
-            StreamingNaiveBayes::new(self.num_classes, self.num_features)
-                .expect("shape already validated"),
-        )
+        // The shape was validated at construction; if re-validation fails
+        // anyway, fall back to a full clone (correct, merely non-zeroed)
+        // rather than panicking the engine.
+        match StreamingNaiveBayes::new(self.num_classes, self.num_features) {
+            Ok(fork) => Box::new(fork),
+            Err(_) => self.clone_box(),
+        }
     }
 
     fn clone_box(&self) -> Box<dyn StreamingClassifier> {

@@ -96,9 +96,8 @@ impl StreamingLogisticRegression {
     }
 
     /// Model with the paper's Table I hyperparameters.
-    pub fn with_paper_defaults(num_classes: usize, num_features: usize) -> Self {
+    pub fn with_paper_defaults(num_classes: usize, num_features: usize) -> Result<Self> {
         Self::new(SlrConfig::paper_defaults(num_classes, num_features))
-            .expect("paper defaults are valid")
     }
 
     /// The configuration in use.
@@ -281,7 +280,7 @@ mod tests {
 
     #[test]
     fn learns_linear_concept() {
-        let mut slr = StreamingLogisticRegression::with_paper_defaults(2, 2);
+        let mut slr = StreamingLogisticRegression::with_paper_defaults(2, 2).unwrap();
         for i in 0..20_000 {
             slr.train(&inst(i)).unwrap();
         }
@@ -291,7 +290,7 @@ mod tests {
 
     #[test]
     fn untrained_predicts_uniform() {
-        let slr = StreamingLogisticRegression::with_paper_defaults(4, 3);
+        let slr = StreamingLogisticRegression::with_paper_defaults(4, 3).unwrap();
         let p = slr.predict_proba(&[1.0, 2.0, 3.0]).unwrap();
         for x in &p {
             assert!((x - 0.25).abs() < 1e-12);
@@ -301,7 +300,7 @@ mod tests {
     #[test]
     fn three_class_concept() {
         // Three margin-separated bands on one feature.
-        let mut slr = StreamingLogisticRegression::with_paper_defaults(3, 1);
+        let mut slr = StreamingLogisticRegression::with_paper_defaults(3, 1).unwrap();
         let gen = |i: u64| {
             let label = (i % 3) as usize;
             // Bands: [0, 0.2), [0.4, 0.6), [0.8, 1.0).
@@ -322,7 +321,7 @@ mod tests {
 
     #[test]
     fn probabilities_sum_to_one() {
-        let mut slr = StreamingLogisticRegression::with_paper_defaults(3, 2);
+        let mut slr = StreamingLogisticRegression::with_paper_defaults(3, 2).unwrap();
         for i in 0..500 {
             slr.train(&Instance::labeled(vec![(i % 7) as f64, 1.0], (i % 3) as usize))
                 .unwrap();
@@ -368,8 +367,8 @@ mod tests {
 
     #[test]
     fn instance_weight_scales_updates() {
-        let mut a = StreamingLogisticRegression::with_paper_defaults(2, 1);
-        let mut b = StreamingLogisticRegression::with_paper_defaults(2, 1);
+        let mut a = StreamingLogisticRegression::with_paper_defaults(2, 1).unwrap();
+        let mut b = StreamingLogisticRegression::with_paper_defaults(2, 1).unwrap();
         a.train(&Instance::labeled(vec![1.0], 1).with_weight(2.0)).unwrap();
         b.train(&Instance::labeled(vec![1.0], 1)).unwrap();
         assert!(a.weights()[1][0] > b.weights()[1][0]);
@@ -378,8 +377,8 @@ mod tests {
 
     #[test]
     fn merge_averages_parameters() {
-        let mut a = StreamingLogisticRegression::with_paper_defaults(2, 2);
-        let mut b = StreamingLogisticRegression::with_paper_defaults(2, 2);
+        let mut a = StreamingLogisticRegression::with_paper_defaults(2, 2).unwrap();
+        let mut b = StreamingLogisticRegression::with_paper_defaults(2, 2).unwrap();
         for i in 0..10_000 {
             // Alternate pairs so both halves see both classes.
             if (i / 2) % 2 == 0 {
@@ -404,12 +403,12 @@ mod tests {
 
     #[test]
     fn merge_with_untrained_is_identity_scaled() {
-        let mut a = StreamingLogisticRegression::with_paper_defaults(2, 2);
+        let mut a = StreamingLogisticRegression::with_paper_defaults(2, 2).unwrap();
         for i in 0..1000 {
             a.train(&inst(i)).unwrap();
         }
         let before = a.weights()[1][0];
-        let b = StreamingLogisticRegression::with_paper_defaults(2, 2);
+        let b = StreamingLogisticRegression::with_paper_defaults(2, 2).unwrap();
         StreamingClassifier::merge(&mut a, &b as &dyn StreamingClassifier).unwrap();
         assert!((a.weights()[1][0] - before).abs() < 1e-12);
     }
@@ -417,7 +416,7 @@ mod tests {
     #[test]
     fn merge_locals_parameter_averaging() {
         let mut global: Box<dyn StreamingClassifier> =
-            Box::new(StreamingLogisticRegression::with_paper_defaults(2, 2));
+            Box::new(StreamingLogisticRegression::with_paper_defaults(2, 2).unwrap());
         let stream: Vec<Instance> = (0..8000).map(inst).collect();
         for batch in stream.chunks(1000) {
             let mut local_a = global.local_copy();
@@ -445,7 +444,7 @@ mod tests {
 
     #[test]
     fn errors() {
-        let mut slr = StreamingLogisticRegression::with_paper_defaults(2, 2);
+        let mut slr = StreamingLogisticRegression::with_paper_defaults(2, 2).unwrap();
         assert!(slr.train(&Instance::labeled(vec![1.0], 0)).is_err());
         assert!(slr.train(&Instance::labeled(vec![1.0, 2.0], 9)).is_err());
         assert!(slr.predict_proba(&[1.0]).is_err());
@@ -459,7 +458,7 @@ mod tests {
 
     #[test]
     fn unlabeled_is_noop() {
-        let mut slr = StreamingLogisticRegression::with_paper_defaults(2, 2);
+        let mut slr = StreamingLogisticRegression::with_paper_defaults(2, 2).unwrap();
         slr.train(&Instance::unlabeled(vec![1.0, 1.0])).unwrap();
         assert_eq!(slr.instances_seen(), 0.0);
     }

@@ -95,8 +95,8 @@ proptest! {
         query in prop::collection::vec(-100.0f64..100.0, 3),
     ) {
         let mut models: Vec<Box<dyn StreamingClassifier>> = vec![
-            Box::new(HoeffdingTree::with_paper_defaults(2, 3)),
-            Box::new(StreamingLogisticRegression::with_paper_defaults(2, 3)),
+            Box::new(HoeffdingTree::with_paper_defaults(2, 3).unwrap()),
+            Box::new(StreamingLogisticRegression::with_paper_defaults(2, 3).unwrap()),
         ];
         for model in &mut models {
             for (features, label) in &data {
@@ -136,7 +136,7 @@ proptest! {
     fn arf_weighted_training_stable(
         weights in prop::collection::vec(0.1f64..5.0, 1..30),
     ) {
-        let mut arf = AdaptiveRandomForest::with_paper_defaults(2, 2);
+        let mut arf = AdaptiveRandomForest::with_paper_defaults(2, 2).unwrap();
         for (i, &w) in weights.iter().enumerate() {
             let inst = Instance::labeled(vec![(i % 7) as f64, 1.0], i % 2)
                 .with_weight(w);
@@ -153,7 +153,7 @@ proptest! {
         b in prop::collection::vec((0.0f64..1.0, 0usize..2), 1..40),
     ) {
         let train = |data: &[(f64, usize)]| {
-            let mut m = StreamingLogisticRegression::with_paper_defaults(2, 1);
+            let mut m = StreamingLogisticRegression::with_paper_defaults(2, 1).unwrap();
             for (x, y) in data {
                 m.train(&Instance::labeled(vec![*x], *y)).unwrap();
             }

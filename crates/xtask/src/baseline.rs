@@ -1,0 +1,204 @@
+//! The committed violation baseline: `lint/baseline.toml`.
+//!
+//! Pre-existing violations are recorded as `(file, rule, symbol) → count`
+//! entries. The gate then enforces a ratchet:
+//!
+//! * actual count **above** the recorded count → new violations, **fail**;
+//! * actual count **below** the recorded count (or the group gone) → the
+//!   entry is **stale**, fail until the baseline is regenerated — so debt
+//!   paid down can never silently come back;
+//! * equal → suppressed, but still surfaced in `results/LINT_report.json`
+//!   so the burn-down is trackable.
+//!
+//! The file is a restricted TOML subset (`[[entry]]` tables with string /
+//! integer keys and `#` comments) parsed by hand — the workspace builds
+//! offline, so no `toml` crate.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Grouping key for baseline accounting.
+pub type Key = (String, String, String); // (file, rule, symbol)
+
+/// One baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Rule name (kebab-case).
+    pub rule: String,
+    /// Offending symbol (`unwrap`, `Vec::new`, ...).
+    pub symbol: String,
+    /// Number of accepted pre-existing violations.
+    pub count: usize,
+}
+
+/// The parsed baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// Entries keyed by `(file, rule, symbol)`.
+    pub entries: BTreeMap<Key, usize>,
+}
+
+/// A baseline parse failure, with the offending line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line in `baseline.toml`.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "baseline.toml:{}: {}", self.line, self.message)
+    }
+}
+
+fn unquote(value: &str, line: usize) -> Result<String, ParseError> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(ParseError { line, message: format!("expected a quoted string, got `{v}`") })
+    }
+}
+
+impl Baseline {
+    /// Parse the baseline file contents.
+    pub fn parse(text: &str) -> Result<Baseline, ParseError> {
+        let mut entries = BTreeMap::new();
+        let mut current: Option<Entry> = None;
+        let mut flush = |e: Option<Entry>, line: usize| -> Result<(), ParseError> {
+            let Some(e) = e else { return Ok(()) };
+            if e.file.is_empty() || e.rule.is_empty() || e.symbol.is_empty() || e.count == 0 {
+                return Err(ParseError {
+                    line,
+                    message: "entry needs non-empty file, rule, symbol and count > 0".into(),
+                });
+            }
+            if entries.insert((e.file.clone(), e.rule.clone(), e.symbol.clone()), e.count).is_some()
+            {
+                return Err(ParseError {
+                    line,
+                    message: format!(
+                        "duplicate entry for {} / {} / {}",
+                        e.file, e.rule, e.symbol
+                    ),
+                });
+            }
+            Ok(())
+        };
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[entry]]" {
+                flush(current.take(), lineno)?;
+                current = Some(Entry {
+                    file: String::new(),
+                    rule: String::new(),
+                    symbol: String::new(),
+                    count: 0,
+                });
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ParseError {
+                    line: lineno,
+                    message: format!("expected `key = value` or `[[entry]]`, got `{line}`"),
+                });
+            };
+            let Some(entry) = current.as_mut() else {
+                return Err(ParseError {
+                    line: lineno,
+                    message: "key outside of an [[entry]] table".into(),
+                });
+            };
+            match key.trim() {
+                "file" => entry.file = unquote(value, lineno)?,
+                "rule" => entry.rule = unquote(value, lineno)?,
+                "symbol" => entry.symbol = unquote(value, lineno)?,
+                "count" => {
+                    entry.count = value.trim().parse().map_err(|_| ParseError {
+                        line: lineno,
+                        message: format!("count must be a positive integer, got `{}`", value.trim()),
+                    })?;
+                }
+                other => {
+                    return Err(ParseError {
+                        line: lineno,
+                        message: format!("unknown key `{other}`"),
+                    });
+                }
+            }
+        }
+        let last = text.lines().count();
+        flush(current.take(), last)?;
+        Ok(Baseline { entries })
+    }
+
+    /// Serialize counts into the committed file format (deterministic
+    /// order: file, then rule, then symbol).
+    pub fn render(counts: &BTreeMap<Key, usize>) -> String {
+        let mut out = String::from(
+            "# Pre-existing lint violations accepted as baseline debt.\n\
+             # Regenerate with: cargo run -p xtask -- lint --update-baseline\n\
+             # The gate fails on any NEW violation and on any STALE entry here,\n\
+             # so this file can only ever shrink. See DESIGN.md \"Machine-checked\n\
+             # invariants\".\n",
+        );
+        for ((file, rule, symbol), count) in counts {
+            let _ = write!(
+                out,
+                "\n[[entry]]\nfile = \"{file}\"\nrule = \"{rule}\"\nsymbol = \"{symbol}\"\ncount = {count}\n"
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut counts = BTreeMap::new();
+        counts.insert(("a.rs".into(), "no-panic".into(), "unwrap".into()), 3);
+        counts.insert(("b.rs".into(), "wall-clock".into(), "Instant::now".into()), 1);
+        let text = Baseline::render(&counts);
+        let parsed = Baseline::parse(&text).expect("round trip");
+        assert_eq!(parsed.entries, counts);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Baseline::parse("file = \"a.rs\"").is_err(), "key outside entry");
+        assert!(Baseline::parse("[[entry]]\nfile = \"a.rs\"").is_err(), "incomplete entry");
+        assert!(Baseline::parse("[[entry]]\nwat = 3").is_err(), "unknown key");
+        let dup = "[[entry]]\nfile = \"a\"\nrule = \"r\"\nsymbol = \"s\"\ncount = 1\n\
+                   [[entry]]\nfile = \"a\"\nrule = \"r\"\nsymbol = \"s\"\ncount = 2\n";
+        assert!(Baseline::parse(dup).is_err(), "duplicate key");
+        assert!(
+            Baseline::parse("[[entry]]\nfile = \"a\"\nrule = \"r\"\nsymbol = \"s\"\ncount = 0\n")
+                .is_err(),
+            "zero count is meaningless"
+        );
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\n[[entry]] # trailing\nfile = \"a\" # c\nrule = \"r\"\nsymbol = \"s\"\ncount = 2\n";
+        let parsed = Baseline::parse(text).expect("parses");
+        assert_eq!(parsed.entries.get(&("a".into(), "r".into(), "s".into())), Some(&2));
+    }
+
+    #[test]
+    fn empty_is_valid() {
+        assert!(Baseline::parse("# nothing\n").expect("ok").entries.is_empty());
+        assert!(Baseline::parse("").expect("ok").entries.is_empty());
+    }
+}

@@ -1,0 +1,232 @@
+//! Rule definitions and scoping policy.
+//!
+//! Scoping encodes the operational model of the pipeline (DESIGN.md
+//! "Machine-checked invariants"):
+//!
+//! * library code must not panic — but benchmark harnesses and CLI entry
+//!   points (`crates/bench`, any `src/bin/`) may, and test code always may;
+//! * `partial_cmp(..).unwrap()` is banned *everywhere* non-test (a NaN
+//!   feature value must degrade a score, never abort the stream);
+//! * the per-tweet hot path (a per-file allowlist of functions) must not
+//!   allocate;
+//! * hot crates must not touch SipHash tables (`FxHashMap`/`FxHashSet`
+//!   from `redhanded-nlp` instead);
+//! * wall-clock reads live only in the DSPE timing layer and benches, so
+//!   everything else stays deterministic and replayable.
+
+/// The five invariant rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// `unwrap`/`expect`/`panic!`/`todo!`/`unreachable!`/`unimplemented!`
+    /// in non-test library code.
+    NoPanic,
+    /// `partial_cmp(..).unwrap()`/`.expect(..)` — NaN-unsafe comparison.
+    NanUnsafeCmp,
+    /// Allocating calls inside a designated hot-path function.
+    HotPathAlloc,
+    /// `std::collections::HashMap`/`HashSet` in a hot crate.
+    SipHash,
+    /// `Instant::now`/`SystemTime::now` outside the DSPE timing layer.
+    WallClock,
+}
+
+/// What a rule's violations do to the exit status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Non-baselined violations fail the lint gate.
+    Deny,
+    /// Reported but never fails the gate.
+    Warn,
+}
+
+impl Rule {
+    /// All rules, in report order.
+    pub const ALL: [Rule; 5] = [
+        Rule::NoPanic,
+        Rule::NanUnsafeCmp,
+        Rule::HotPathAlloc,
+        Rule::SipHash,
+        Rule::WallClock,
+    ];
+
+    /// Stable kebab-case name (used in diagnostics, the baseline file, and
+    /// the JSON report).
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "no-panic",
+            Rule::NanUnsafeCmp => "nan-unsafe-cmp",
+            Rule::HotPathAlloc => "hot-path-alloc",
+            Rule::SipHash => "sip-hash",
+            Rule::WallClock => "wall-clock",
+        }
+    }
+
+    /// Parse a rule from its stable name.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+
+    /// One-line explanation appended to diagnostics.
+    pub fn message(self) -> &'static str {
+        match self {
+            Rule::NoPanic => {
+                "panicking call in library code: a 24/7 stream must degrade, not abort \
+                 (return a typed `redhanded_types::Result` instead)"
+            }
+            Rule::NanUnsafeCmp => {
+                "NaN-unsafe comparison: use `f64::total_cmp` (or handle NaN explicitly) \
+                 so a NaN feature value cannot panic the pipeline"
+            }
+            Rule::HotPathAlloc => {
+                "allocation in a designated per-tweet hot function: reuse scratch \
+                 buffers (see `ExtractScratch`) instead"
+            }
+            Rule::SipHash => {
+                "SipHash table in a hot crate: use `redhanded_nlp::{FxHashMap, FxHashSet}`"
+            }
+            Rule::WallClock => {
+                "wall-clock read outside the DSPE timing layer breaks deterministic replay"
+            }
+        }
+    }
+
+    /// The rule's severity.
+    pub fn severity(self) -> Severity {
+        Severity::Deny
+    }
+}
+
+/// Scoping + token tables for one lint run. [`LintConfig::default`] is the
+/// production policy; tests build custom configs to exercise the engine.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Path substrings exempt from `no-panic` (bench harness, CLI bins).
+    pub no_panic_exempt: &'static [&'static str],
+    /// Crates whose code must use FxHash tables.
+    pub sip_hash_crates: &'static [&'static str],
+    /// Path substrings exempt from `sip-hash` (the FxHash shim itself,
+    /// CLI flag parsing).
+    pub sip_hash_exempt: &'static [&'static str],
+    /// Path substrings exempt from `wall-clock` (DSPE timing, benches).
+    pub wall_clock_exempt: &'static [&'static str],
+    /// Per-file designated hot-path functions for `hot-path-alloc`.
+    pub hot_path_functions: &'static [(&'static str, &'static [&'static str])],
+    /// Method names that allocate (flagged as `.name(` calls in hot code).
+    pub alloc_methods: &'static [&'static str],
+    /// `Type::method` pairs that allocate.
+    pub alloc_paths: &'static [(&'static str, &'static str)],
+    /// Macros that allocate (`format!`, `vec!`).
+    pub alloc_macros: &'static [&'static str],
+}
+
+/// The designated per-tweet hot path, as established by PR 1: tokenizer →
+/// preprocessing → POS/sentiment → interner/BoW → `extract_into`, plus the
+/// DSPE map task that drives it per partition.
+const HOT_PATH_FUNCTIONS: &[(&str, &[&str])] = &[
+    ("crates/features/src/extract.rs", &["extract_into"]),
+    (
+        "crates/features/src/adaptive_bow.rs",
+        &["contains", "score", "swear_and_bow_counts", "observe", "observe_only", "record"],
+    ),
+    ("crates/nlp/src/tokenizer.rs", &["tokenize_into", "next"]),
+    ("crates/nlp/src/sentiment.rs", &["score_tokens_with", "score_spans", "score_core"]),
+    ("crates/nlp/src/pos.rs", &["tag_word", "tag_lower", "count_pos"]),
+    ("crates/nlp/src/intern.rs", &["get", "push_lowercase"]),
+    ("crates/core/src/spark.rs", &["process_batch"]),
+];
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            no_panic_exempt: &["crates/bench/", "/src/bin/"],
+            sip_hash_crates: &["nlp", "features", "streamml", "dspe", "core"],
+            sip_hash_exempt: &["crates/nlp/src/fxhash.rs", "/src/bin/"],
+            wall_clock_exempt: &[
+                "crates/bench/",
+                "crates/dspe/src/engine.rs",
+                "crates/dspe/src/executor.rs",
+                "/src/bin/",
+            ],
+            hot_path_functions: HOT_PATH_FUNCTIONS,
+            alloc_methods: &[
+                "to_string",
+                "to_owned",
+                "to_vec",
+                "to_lowercase",
+                "to_uppercase",
+                "collect",
+                "clone",
+            ],
+            alloc_paths: &[
+                ("Vec", "new"),
+                ("Vec", "with_capacity"),
+                ("Box", "new"),
+                ("String", "new"),
+                ("String", "from"),
+                ("String", "with_capacity"),
+            ],
+            alloc_macros: &["format", "vec"],
+        }
+    }
+}
+
+impl LintConfig {
+    /// The crate name a `crates/<name>/...` path belongs to.
+    fn crate_of(file: &str) -> &str {
+        file.strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next())
+            .unwrap_or("")
+    }
+
+    /// Whether `rule` applies at all to `file` (test regions are excluded
+    /// separately, token by token).
+    pub fn applies(&self, rule: Rule, file: &str) -> bool {
+        match rule {
+            Rule::NoPanic => !self.no_panic_exempt.iter().any(|e| file.contains(e)),
+            Rule::NanUnsafeCmp => true,
+            Rule::HotPathAlloc => !self.hot_functions(file).is_empty(),
+            Rule::SipHash => {
+                self.sip_hash_crates.contains(&Self::crate_of(file))
+                    && !self.sip_hash_exempt.iter().any(|e| file.contains(e))
+            }
+            Rule::WallClock => !self.wall_clock_exempt.iter().any(|e| file.contains(e)),
+        }
+    }
+
+    /// The designated hot functions for `file` (empty for most files).
+    pub fn hot_functions(&self, file: &str) -> Vec<&'static str> {
+        self.hot_path_functions
+            .iter()
+            .filter(|(f, _)| *f == file)
+            .flat_map(|(_, fns)| fns.iter().copied())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_names_round_trip() {
+        for rule in Rule::ALL {
+            assert_eq!(Rule::from_name(rule.name()), Some(rule));
+        }
+        assert_eq!(Rule::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn scoping_matches_policy() {
+        let c = LintConfig::default();
+        assert!(c.applies(Rule::NoPanic, "crates/streamml/src/arf.rs"));
+        assert!(!c.applies(Rule::NoPanic, "crates/bench/src/lib.rs"));
+        assert!(!c.applies(Rule::NoPanic, "crates/core/src/bin/redhanded.rs"));
+        assert!(c.applies(Rule::SipHash, "crates/core/src/alert.rs"));
+        assert!(!c.applies(Rule::SipHash, "crates/nlp/src/fxhash.rs"));
+        assert!(!c.applies(Rule::SipHash, "crates/batchml/src/cv.rs"));
+        assert!(c.applies(Rule::WallClock, "crates/core/src/deploy.rs"));
+        assert!(!c.applies(Rule::WallClock, "crates/dspe/src/engine.rs"));
+        assert!(c.applies(Rule::HotPathAlloc, "crates/features/src/extract.rs"));
+        assert!(!c.applies(Rule::HotPathAlloc, "crates/features/src/stats.rs"));
+    }
+}

@@ -1,0 +1,336 @@
+//! A lightweight Rust lexer for the lint pass.
+//!
+//! The linter only needs a token stream — identifiers, punctuation, and
+//! literal boundaries with line numbers — not a syntax tree, so this is a
+//! few hundred lines of hand-rolled scanning rather than a `syn`
+//! dependency (the workspace builds offline; see DESIGN.md §7). The
+//! important property is that comments, strings (including raw and byte
+//! strings), char literals, and lifetimes are classified correctly:
+//! `"unwrap"` inside a string or a doc comment must never look like a
+//! method call.
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unwrap`, `fn`, `HashMap`, ...).
+    Ident,
+    /// A single punctuation byte (`.`, `:`, `{`, `!`, ...).
+    Punct(u8),
+    /// A string, char, byte, or numeric literal (contents opaque).
+    Literal,
+    /// A lifetime such as `'a` (distinct from a char literal).
+    Lifetime,
+}
+
+/// One token: classification plus source span and 1-based line number.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// Byte offset of the token's first byte.
+    pub start: usize,
+    /// Byte offset one past the token's last byte.
+    pub end: usize,
+}
+
+impl Tok {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Count newlines in `src[start..end]` (to keep line numbers exact across
+/// multi-line literals and comments).
+fn newlines(b: &[u8], start: usize, end: usize) -> u32 {
+    b[start..end.min(b.len())].iter().filter(|&&c| c == b'\n').count() as u32
+}
+
+/// Skip a normal (escaping) string starting at the opening quote `i`.
+/// Returns the index one past the closing quote.
+fn skip_escaped_string(b: &[u8], mut i: usize, quote: u8) -> usize {
+    i += 1; // opening quote
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            c if c == quote => return i + 1,
+            _ => i += 1,
+        }
+    }
+    b.len()
+}
+
+/// Skip a raw string `r##"..."##` whose opening quote is at `quote_idx`
+/// with `hashes` leading `#`s. Returns the index one past the final `#`.
+fn skip_raw_string(b: &[u8], quote_idx: usize, hashes: usize) -> usize {
+    let mut i = quote_idx + 1;
+    while i < b.len() {
+        if b[i] == b'"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if b.get(i + 1 + k) != Some(&b'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    b.len()
+}
+
+/// If `i` starts a string-literal prefix (`"`, `b"`, `c"`, `r"`, `r#"`,
+/// `br##"`, ...), return `(index_of_quote, raw_hash_count, is_raw)`.
+fn string_prefix(b: &[u8], i: usize) -> Option<(usize, usize, bool)> {
+    let mut j = i;
+    // Optional byte/C-string marker.
+    if matches!(b.get(j), Some(b'b') | Some(b'c')) {
+        j += 1;
+    }
+    let raw = b.get(j) == Some(&b'r');
+    if raw {
+        j += 1;
+        let mut hashes = 0;
+        while b.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if b.get(j) == Some(&b'"') {
+            return Some((j, hashes, true));
+        }
+        return None; // `r#ident` raw identifier or plain ident starting with r
+    }
+    if b.get(j) == Some(&b'"') && j > i {
+        return Some((j, 0, false)); // b"..." / c"..."
+    }
+    if j == i && b.get(j) == Some(&b'"') {
+        return Some((j, 0, false));
+    }
+    None
+}
+
+/// Lex `src` into a token stream. Comments and whitespace are dropped;
+/// literals are emitted as opaque [`TokKind::Literal`] tokens.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        // Whitespace.
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let start = i;
+            let mut depth = 1usize;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            line += newlines(b, start, i);
+            continue;
+        }
+        // String-ish literals (plain, byte, C, raw — with prefix handling).
+        if c == b'"' || ((c == b'b' || c == b'c' || c == b'r') && string_prefix(b, i).is_some()) {
+            if let Some((quote_idx, hashes, raw)) = string_prefix(b, i) {
+                let start = i;
+                let end = if raw {
+                    skip_raw_string(b, quote_idx, hashes)
+                } else {
+                    skip_escaped_string(b, quote_idx, b'"')
+                };
+                toks.push(Tok { kind: TokKind::Literal, line, start, end });
+                line += newlines(b, start, end);
+                i = end;
+                continue;
+            }
+        }
+        // Raw identifier `r#ident`.
+        if c == b'r'
+            && b.get(i + 1) == Some(&b'#')
+            && b.get(i + 2).copied().is_some_and(is_ident_start)
+        {
+            let start = i + 2;
+            let mut j = start;
+            while j < b.len() && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            toks.push(Tok { kind: TokKind::Ident, line, start, end: j });
+            i = j;
+            continue;
+        }
+        // Lifetime vs char literal.
+        if c == b'\'' {
+            let next = b.get(i + 1).copied().unwrap_or(0);
+            let after = b.get(i + 2).copied().unwrap_or(0);
+            if is_ident_start(next) && after != b'\'' {
+                // Lifetime: consume the identifier.
+                let mut j = i + 1;
+                while j < b.len() && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                toks.push(Tok { kind: TokKind::Lifetime, line, start: i, end: j });
+                i = j;
+                continue;
+            }
+            let start = i;
+            let end = skip_escaped_string(b, i, b'\'');
+            toks.push(Tok { kind: TokKind::Literal, line, start, end });
+            line += newlines(b, start, end);
+            i = end;
+            continue;
+        }
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let start = i;
+            let mut j = i;
+            while j < b.len() && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            toks.push(Tok { kind: TokKind::Ident, line, start, end: j });
+            i = j;
+            continue;
+        }
+        // Numeric literals (consume `1_000`, `0xFF`, `1.5e3`; a trailing
+        // `.` is only eaten when followed by a digit, so `0..n` and tuple
+        // indexing stay punctuated).
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i + 1;
+            while j < b.len() {
+                let d = b[j];
+                if is_ident_continue(d) {
+                    j += 1;
+                } else if d == b'.'
+                    && b.get(j + 1).copied().is_some_and(|n| n.is_ascii_digit())
+                {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok { kind: TokKind::Literal, line, start, end: j });
+            i = j;
+            continue;
+        }
+        // Everything else: single punctuation byte.
+        toks.push(Tok { kind: TokKind::Punct(c), line, start: i, end: i + 1 });
+        i += 1;
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text(src).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = r###"
+            // x.unwrap() in a comment
+            /* and /* nested */ x.expect("no") */
+            let s = "calls .unwrap() inside";
+            let r = r#"raw .expect("x")"#;
+            let b = b"bytes .unwrap()";
+            real.unwrap();
+        "###;
+        let ids = idents(src);
+        assert_eq!(
+            ids.iter().filter(|w| w.as_str() == "unwrap").count(),
+            1,
+            "only the real call site should produce an `unwrap` ident: {ids:?}"
+        );
+        assert!(!ids.iter().any(|w| w == "expect"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'a' }";
+        let toks = lex(src);
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal && t.text(src).starts_with('\''))
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let src = r"let q = '\''; x.unwrap();";
+        assert_eq!(idents(src), vec!["let", "q", "x", "unwrap"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_literals() {
+        let src = "let s = \"a\nb\nc\";\nx.unwrap();";
+        let toks = lex(src);
+        let unwrap = toks
+            .iter()
+            .find(|t| t.kind == TokKind::Ident && t.text(src) == "unwrap")
+            .map(|t| t.line);
+        assert_eq!(unwrap, Some(4));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(idents("let r#fn = 3;"), vec!["let", "fn"]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let src = "for i in 0..n { a.0 = 1.5e3; }";
+        let ids = idents(src);
+        assert!(ids.contains(&"n".to_string()));
+        let dots = lex(src)
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Punct(b'.')))
+            .count();
+        assert_eq!(dots, 3, "two range dots and one field access");
+    }
+}

@@ -1,0 +1,233 @@
+//! `redhanded-lint` — in-repo static analysis for the pipeline's
+//! operational invariants.
+//!
+//! The paper's headline claim is *sustained* real-time operation: 24/7
+//! classification at Firehose rates. In that regime a single `unwrap()` on
+//! a NaN score or a stray allocation in the per-tweet path is an outage,
+//! not a bug report. PR 1 established the hot-path invariants (zero
+//! allocation in `extract_into`/`observe`, FxHash everywhere, no
+//! wall-clock reads in deterministic code); this crate turns them into
+//! machine-checked rules that gate every future PR.
+//!
+//! Run as `cargo run -p xtask -- lint`; the fixed tier-1 command
+//! (`cargo test -q`) enforces the same gate through `tests/lint_gate.rs`,
+//! which calls [`run_lint`] in-process.
+
+pub mod baseline;
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod scan;
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+pub use baseline::Baseline;
+pub use config::{LintConfig, Rule, Severity};
+pub use scan::{analyze_source, Violation};
+
+/// Where the committed baseline lives, relative to the workspace root.
+pub const BASELINE_PATH: &str = "lint/baseline.toml";
+
+/// Where the machine-readable report is written, relative to the root.
+pub const REPORT_PATH: &str = "results/LINT_report.json";
+
+/// A baseline entry that no longer matches reality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleEntry {
+    /// The entry's `(file, rule, symbol)` key.
+    pub key: baseline::Key,
+    /// Count recorded in the baseline.
+    pub recorded: usize,
+    /// Violations actually found (strictly less than `recorded`).
+    pub actual: usize,
+}
+
+/// The result of one lint run over the workspace.
+#[derive(Debug, Default)]
+pub struct LintOutcome {
+    /// Deny-severity violations not covered by the baseline. Non-empty
+    /// fails the gate.
+    pub new_violations: Vec<Violation>,
+    /// Warn-severity violations not covered by the baseline (reported,
+    /// never fatal).
+    pub warnings: Vec<Violation>,
+    /// Baseline entries whose debt has shrunk — the baseline must be
+    /// regenerated (the ratchet only turns one way). Non-empty fails.
+    pub stale_entries: Vec<StaleEntry>,
+    /// Violations suppressed by the baseline, grouped per key.
+    pub baselined: BTreeMap<baseline::Key, usize>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintOutcome {
+    /// Whether the gate passes.
+    pub fn is_clean(&self) -> bool {
+        self.new_violations.is_empty() && self.stale_entries.is_empty()
+    }
+
+    /// Human-readable diagnostics for everything that fails the gate.
+    pub fn render_failures(&self) -> String {
+        let mut out = String::new();
+        for v in &self.new_violations {
+            let _ = writeln!(out, "error: {}", v.render());
+        }
+        for s in &self.stale_entries {
+            let (file, rule, symbol) = &s.key;
+            let _ = writeln!(
+                out,
+                "stale baseline entry: {file} / {rule} / `{symbol}`: recorded {}, found {} — \
+                 debt was paid down; regenerate with `cargo run -p xtask -- lint --update-baseline`",
+                s.recorded, s.actual
+            );
+        }
+        if !self.new_violations.is_empty() {
+            let _ = writeln!(
+                out,
+                "{} new violation(s). Fix them (preferred), or — only for debt that \
+                 genuinely cannot be paid now — record them with \
+                 `cargo run -p xtask -- lint --update-baseline`.",
+                self.new_violations.len()
+            );
+        }
+        out
+    }
+}
+
+/// Collect every `crates/*/src/**/*.rs` file under `root`, sorted, as
+/// `(workspace-relative path with forward slashes, absolute path)`.
+fn collect_sources(root: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            walk(&src, &mut files)?;
+        }
+    }
+    let mut out: Vec<(String, PathBuf)> = files
+        .into_iter()
+        .filter_map(|abs| {
+            let rel = abs.strip_prefix(root).ok()?;
+            let rel = rel
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            Some((rel, abs))
+        })
+        .collect();
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk(&path, files)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Run every rule over the workspace at `root` and reconcile against the
+/// committed baseline. Pure analysis: writes nothing (the CLI layers
+/// report/baseline writing on top), so the test gate can call it from
+/// parallel test processes.
+pub fn run_lint(root: &Path, config: &LintConfig) -> Result<LintOutcome, String> {
+    let sources = collect_sources(root)
+        .map_err(|e| format!("cannot walk {}/crates: {e}", root.display()))?;
+    if sources.is_empty() {
+        return Err(format!("no sources found under {}/crates/*/src", root.display()));
+    }
+
+    let mut all: Vec<Violation> = Vec::new();
+    for (rel, abs) in &sources {
+        let src = std::fs::read_to_string(abs)
+            .map_err(|e| format!("cannot read {}: {e}", abs.display()))?;
+        all.extend(analyze_source(config, rel, &src));
+    }
+
+    let baseline_file = root.join(BASELINE_PATH);
+    let baseline = if baseline_file.exists() {
+        let text = std::fs::read_to_string(&baseline_file)
+            .map_err(|e| format!("cannot read {}: {e}", baseline_file.display()))?;
+        Baseline::parse(&text).map_err(|e| e.to_string())?
+    } else {
+        Baseline::default()
+    };
+
+    Ok(reconcile(all, &baseline, sources.len()))
+}
+
+/// Group violations by `(file, rule, symbol)` and apply the baseline
+/// ratchet. Within a group with a recorded count `n`, the first `n`
+/// violations (in line order) are suppressed; any beyond that are new.
+pub fn reconcile(violations: Vec<Violation>, baseline: &Baseline, files_scanned: usize) -> LintOutcome {
+    let mut groups: BTreeMap<baseline::Key, Vec<Violation>> = BTreeMap::new();
+    for v in violations {
+        let key = (v.file.clone(), v.rule.name().to_string(), v.symbol.clone());
+        groups.entry(key).or_default().push(v);
+    }
+
+    let mut outcome = LintOutcome { files_scanned, ..LintOutcome::default() };
+    for (key, group) in &groups {
+        let recorded = baseline.entries.get(key).copied().unwrap_or(0);
+        let actual = group.len();
+        if actual < recorded {
+            outcome.stale_entries.push(StaleEntry { key: key.clone(), recorded, actual });
+        }
+        let suppressed = actual.min(recorded);
+        if suppressed > 0 {
+            outcome.baselined.insert(key.clone(), suppressed);
+        }
+        for v in group.iter().skip(suppressed) {
+            match v.severity {
+                Severity::Deny => outcome.new_violations.push(v.clone()),
+                Severity::Warn => outcome.warnings.push(v.clone()),
+            }
+        }
+    }
+    // Baseline entries with no remaining violations at all are stale too.
+    for (key, &recorded) in &baseline.entries {
+        if !groups.contains_key(key) {
+            outcome.stale_entries.push(StaleEntry { key: key.clone(), recorded, actual: 0 });
+        }
+    }
+    outcome.stale_entries.sort_by(|a, b| a.key.cmp(&b.key));
+    outcome
+        .new_violations
+        .sort_by(|a, b| (&a.file, a.line, a.rule.name()).cmp(&(&b.file, b.line, b.rule.name())));
+    outcome
+}
+
+/// Compute the exact baseline that would make the current tree clean
+/// (used by `--update-baseline`).
+pub fn current_counts(root: &Path, config: &LintConfig) -> Result<BTreeMap<baseline::Key, usize>, String> {
+    let sources = collect_sources(root)
+        .map_err(|e| format!("cannot walk {}/crates: {e}", root.display()))?;
+    let mut counts: BTreeMap<baseline::Key, usize> = BTreeMap::new();
+    for (rel, abs) in &sources {
+        let src = std::fs::read_to_string(abs)
+            .map_err(|e| format!("cannot read {}: {e}", abs.display()))?;
+        for v in analyze_source(config, rel, &src) {
+            *counts
+                .entry((v.file.clone(), v.rule.name().to_string(), v.symbol.clone()))
+                .or_insert(0) += 1;
+        }
+    }
+    Ok(counts)
+}

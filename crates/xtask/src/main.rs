@@ -1,0 +1,117 @@
+//! `cargo run -p xtask -- lint` — the workspace lint gate CLI.
+//!
+//! Subcommands:
+//!
+//! * `lint` — run the analyzer, reconcile against `lint/baseline.toml`,
+//!   write `results/LINT_report.json`, exit non-zero on any new violation
+//!   or stale baseline entry.
+//! * `lint --update-baseline` — rewrite the baseline to match the current
+//!   tree (for recording genuinely unpayable debt; shrinking is automatic
+//!   because stale entries fail the gate until regenerated).
+//!
+//! Flags: `--root <dir>` (default: the workspace containing this crate),
+//! `--json <path>` (default: `results/LINT_report.json` under the root),
+//! `--quiet` (suppress the summary on success).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::{config::LintConfig, report, Baseline, BASELINE_PATH, REPORT_PATH};
+
+struct Args {
+    update_baseline: bool,
+    root: PathBuf,
+    json: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        return Err("usage: cargo run -p xtask -- lint [--update-baseline] [--root DIR] [--json PATH] [--quiet]".into());
+    };
+    if cmd != "lint" {
+        return Err(format!("unknown subcommand `{cmd}` (only `lint` is supported)"));
+    }
+    let default_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let mut parsed = Args { update_baseline: false, root: default_root, json: None, quiet: false };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--update-baseline" => parsed.update_baseline = true,
+            "--quiet" => parsed.quiet = true,
+            "--root" => {
+                parsed.root = PathBuf::from(
+                    args.next().ok_or_else(|| "--root needs a directory".to_string())?,
+                );
+            }
+            "--json" => {
+                parsed.json =
+                    Some(PathBuf::from(args.next().ok_or_else(|| "--json needs a path".to_string())?));
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let config = LintConfig::default();
+
+    if args.update_baseline {
+        let counts = xtask::current_counts(&args.root, &config)?;
+        let path = args.root.join(BASELINE_PATH);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+        }
+        std::fs::write(&path, Baseline::render(&counts))
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!(
+            "baseline regenerated: {} entries, {} accepted violations -> {}",
+            counts.len(),
+            counts.values().sum::<usize>(),
+            path.display()
+        );
+    }
+
+    let outcome = xtask::run_lint(&args.root, &config)?;
+
+    let json_path = args.json.clone().unwrap_or_else(|| args.root.join(REPORT_PATH));
+    if let Some(dir) = json_path.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    }
+    std::fs::write(&json_path, report::render(&outcome))
+        .map_err(|e| format!("write {}: {e}", json_path.display()))?;
+
+    for w in &outcome.warnings {
+        eprintln!("warning: {}", w.render());
+    }
+    if !outcome.is_clean() {
+        eprint!("{}", outcome.render_failures());
+        return Ok(false);
+    }
+    if !args.quiet {
+        println!(
+            "redhanded-lint: clean ({} files, {} baselined violation(s) remaining; report: {})",
+            outcome.files_scanned,
+            outcome.baselined.values().sum::<usize>(),
+            json_path.display()
+        );
+    }
+    Ok(true)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Machine-readable lint report: `results/LINT_report.json`.
+//!
+//! One JSON object per run with per-rule active/baselined counts, so
+//! future PRs can track the baseline burning down without parsing human
+//! diagnostics. Hand-serialized (offline workspace, no serde); every key
+//! is emitted in deterministic order.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::config::Rule;
+use crate::LintOutcome;
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the report JSON for one lint outcome.
+pub fn render(outcome: &LintOutcome) -> String {
+    // Per-rule totals.
+    let mut active: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut baselined: BTreeMap<&str, usize> = BTreeMap::new();
+    for rule in Rule::ALL {
+        active.insert(rule.name(), 0);
+        baselined.insert(rule.name(), 0);
+    }
+    for v in outcome.new_violations.iter().chain(&outcome.warnings) {
+        *active.entry(v.rule.name()).or_insert(0) += 1;
+    }
+    for ((_, rule, _), n) in &outcome.baselined {
+        *baselined.entry(Rule::from_name(rule).map(Rule::name).unwrap_or("unknown")).or_insert(0) +=
+            n;
+    }
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"tool\": \"redhanded-lint\",");
+    let _ = writeln!(out, "  \"files_scanned\": {},", outcome.files_scanned);
+    let _ = writeln!(out, "  \"clean\": {},", outcome.is_clean());
+    let _ = writeln!(out, "  \"rules\": {{");
+    let names: Vec<&str> = Rule::ALL.iter().map(|r| r.name()).collect();
+    for (i, name) in names.iter().enumerate() {
+        let comma = if i + 1 == names.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    \"{}\": {{ \"active\": {}, \"baselined\": {} }}{comma}",
+            name,
+            active.get(name).copied().unwrap_or(0),
+            baselined.get(name).copied().unwrap_or(0)
+        );
+    }
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(
+        out,
+        "  \"total_baselined\": {},",
+        outcome.baselined.values().sum::<usize>()
+    );
+    let _ = writeln!(out, "  \"stale_baseline_entries\": {},", outcome.stale_entries.len());
+    let _ = writeln!(out, "  \"new_violations\": [");
+    for (i, v) in outcome.new_violations.iter().enumerate() {
+        let comma = if i + 1 == outcome.new_violations.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{ \"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"symbol\": \"{}\" }}{comma}",
+            escape(&v.file),
+            v.line,
+            v.rule.name(),
+            escape(&v.symbol)
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Severity;
+    use crate::scan::Violation;
+
+    #[test]
+    fn report_counts_rules() {
+        let mut outcome = LintOutcome { files_scanned: 3, ..LintOutcome::default() };
+        outcome.new_violations.push(Violation {
+            rule: Rule::NoPanic,
+            symbol: "unwrap".into(),
+            file: "crates/a/src/lib.rs".into(),
+            line: 7,
+            severity: Severity::Deny,
+        });
+        outcome
+            .baselined
+            .insert(("crates/b/src/lib.rs".into(), "wall-clock".into(), "Instant::now".into()), 2);
+        let json = render(&outcome);
+        assert!(json.contains("\"no-panic\": { \"active\": 1, \"baselined\": 0 }"));
+        assert!(json.contains("\"wall-clock\": { \"active\": 0, \"baselined\": 2 }"));
+        assert!(json.contains("\"clean\": false"));
+        assert!(json.contains("\"total_baselined\": 2"));
+        assert!(json.contains("\"line\": 7"));
+    }
+
+    #[test]
+    fn escapes_json_strings() {
+        assert_eq!(escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+    }
+}

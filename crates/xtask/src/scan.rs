@@ -1,0 +1,300 @@
+//! Token-stream analysis: test-region marking, function-scope tracking,
+//! and the five invariant rules.
+//!
+//! The rules operate on the lexed token stream with two per-token context
+//! bits computed first:
+//!
+//! * **test region** — tokens inside an item annotated `#[cfg(test)]` or
+//!   `#[test]` (the annotated item's body is skipped by every rule: test
+//!   code may unwrap freely);
+//! * **hot region** — tokens inside one of the designated hot-path
+//!   functions (per-file allowlist in [`crate::config`]), including any
+//!   closures nested in them.
+
+use crate::config::{LintConfig, Rule, Severity};
+use crate::lexer::{lex, Tok, TokKind};
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// The offending symbol (`unwrap`, `Vec::new`, `panic!`, ...). Baseline
+    /// entries are keyed by `(file, rule, symbol)`.
+    pub symbol: String,
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Rule severity (deny fails the gate, warn only reports).
+    pub severity: Severity,
+}
+
+impl Violation {
+    /// `file:line: rule [symbol]` rendering used by diagnostics.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] `{}` — {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.symbol,
+            self.rule.message()
+        )
+    }
+}
+
+fn is_punct(toks: &[Tok], i: usize, c: u8) -> bool {
+    toks.get(i).is_some_and(|t| t.kind == TokKind::Punct(c))
+}
+
+fn ident_at<'a>(toks: &[Tok], i: usize, src: &'a str) -> Option<&'a str> {
+    toks.get(i).filter(|t| t.kind == TokKind::Ident).map(|t| t.text(src))
+}
+
+/// Find the matching close token for the open token at `open` (which must
+/// be `open_c`), counting only `open_c`/`close_c`. Returns the index of the
+/// close token, or `toks.len()` when unbalanced.
+fn matching(toks: &[Tok], open: usize, open_c: u8, close_c: u8) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        if is_punct(toks, i, open_c) {
+            depth += 1;
+        } else if is_punct(toks, i, close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Mark every token that belongs to a `#[cfg(test)]`/`#[test]`-gated item.
+///
+/// `#[cfg(not(test))]` and `#[cfg_attr(...)]` are conservatively treated as
+/// *non*-test (the attribute contains `not`/`cfg_attr`, so skipping would
+/// hide production code from the linter).
+fn mark_test_regions(toks: &[Tok], src: &str) -> Vec<bool> {
+    let mut in_test = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(is_punct(toks, i, b'#') && is_punct(toks, i + 1, b'[')) {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let close = matching(toks, i + 1, b'[', b']');
+        let mut has_test = false;
+        let mut negated = false;
+        for j in (i + 2)..close {
+            match ident_at(toks, j, src) {
+                Some("test") => has_test = true,
+                Some("not") | Some("cfg_attr") => negated = true,
+                _ => {}
+            }
+        }
+        if !(has_test && !negated) {
+            i = close + 1;
+            continue;
+        }
+        // Skip any further attributes on the same item, then the item
+        // itself: up to the first `;` at bracket depth zero, or the body's
+        // balanced `{...}` block. A `}` before either means we ran out of
+        // the enclosing scope (e.g. an annotated field) — stop there.
+        let mut k = close + 1;
+        while is_punct(toks, k, b'#') && is_punct(toks, k + 1, b'[') {
+            k = matching(toks, k + 1, b'[', b']') + 1;
+        }
+        let mut depth = 0i32;
+        let item_end = loop {
+            let Some(t) = toks.get(k) else { break toks.len() };
+            match t.kind {
+                TokKind::Punct(b'(') | TokKind::Punct(b'[') => depth += 1,
+                TokKind::Punct(b')') | TokKind::Punct(b']') => depth -= 1,
+                TokKind::Punct(b';') if depth == 0 => break k,
+                TokKind::Punct(b'{') if depth == 0 => break matching(toks, k, b'{', b'}'),
+                TokKind::Punct(b'}') if depth == 0 => break k.saturating_sub(1),
+                _ => {}
+            }
+            k += 1;
+        };
+        for flag in in_test.iter_mut().take((item_end + 1).min(toks.len())).skip(attr_start) {
+            *flag = true;
+        }
+        i = item_end + 1;
+    }
+    in_test
+}
+
+/// Mark every token inside one of this file's designated hot functions
+/// (body tokens, including nested closures and nested fns).
+fn mark_hot_regions(toks: &[Tok], src: &str, hot_fns: &[&str]) -> Vec<bool> {
+    let mut hot = vec![false; toks.len()];
+    if hot_fns.is_empty() {
+        return hot;
+    }
+    // Stack of (is_hot, brace_depth_at_open).
+    let mut stack: Vec<(bool, i32)> = Vec::new();
+    let mut depth = 0i32;
+    let mut pending: Option<bool> = None;
+    let mut sig_depth = 0i32; // (){}[] nesting inside a pending signature
+    let mut i = 0usize;
+    while i < toks.len() {
+        match toks[i].kind {
+            TokKind::Ident if toks[i].text(src) == "fn" => {
+                if let Some(name) = ident_at(toks, i + 1, src) {
+                    pending = Some(hot_fns.contains(&name));
+                    sig_depth = 0;
+                }
+            }
+            TokKind::Punct(b'(') | TokKind::Punct(b'[') if pending.is_some() => sig_depth += 1,
+            TokKind::Punct(b')') | TokKind::Punct(b']') if pending.is_some() => sig_depth -= 1,
+            TokKind::Punct(b';') if pending.is_some() && sig_depth == 0 => pending = None,
+            TokKind::Punct(b'{') => {
+                if let Some(is_hot) = pending.take() {
+                    stack.push((is_hot, depth));
+                }
+                depth += 1;
+            }
+            TokKind::Punct(b'}') => {
+                depth -= 1;
+                if stack.last().is_some_and(|&(_, d)| d == depth) {
+                    stack.pop();
+                }
+            }
+            _ => {}
+        }
+        hot[i] = stack.iter().any(|&(h, _)| h);
+        i += 1;
+    }
+    hot
+}
+
+/// Whether token `i` is a method-call name: `.name(` or `.name::<...>(`.
+fn is_method_call(toks: &[Tok], i: usize) -> bool {
+    if !is_punct(toks, i.wrapping_sub(1), b'.') {
+        return false;
+    }
+    is_punct(toks, i + 1, b'(')
+        || (is_punct(toks, i + 1, b':') && is_punct(toks, i + 2, b':'))
+}
+
+/// Whether tokens at `i` spell `First::second` for the given pair.
+fn is_path_call(toks: &[Tok], i: usize, src: &str, first: &str, second: &str) -> bool {
+    ident_at(toks, i, src) == Some(first)
+        && is_punct(toks, i + 1, b':')
+        && is_punct(toks, i + 2, b':')
+        && ident_at(toks, i + 3, src) == Some(second)
+}
+
+/// Run every applicable rule over one file. `file` is the
+/// workspace-relative path with forward slashes (used for rule scoping).
+pub fn analyze_source(config: &LintConfig, file: &str, src: &str) -> Vec<Violation> {
+    let toks = lex(src);
+    let in_test = mark_test_regions(&toks, src);
+    let hot_fns = config.hot_functions(file);
+    let hot = mark_hot_regions(&toks, src, &hot_fns);
+
+    let no_panic = config.applies(Rule::NoPanic, file);
+    let nan_cmp = config.applies(Rule::NanUnsafeCmp, file);
+    let hot_alloc = config.applies(Rule::HotPathAlloc, file);
+    let sip_hash = config.applies(Rule::SipHash, file);
+    let wall_clock = config.applies(Rule::WallClock, file);
+
+    let mut out = Vec::new();
+    // Token indices whose `unwrap`/`expect` was already reported by the
+    // (more specific) nan-unsafe-cmp rule.
+    let mut nan_consumed = vec![false; toks.len()];
+
+    let mut push = |rule: Rule, symbol: String, tok: &Tok| {
+        out.push(Violation {
+            rule,
+            symbol,
+            file: file.to_string(),
+            line: tok.line,
+            severity: rule.severity(),
+        });
+    };
+
+    // Pass 1: nan-unsafe-cmp — `partial_cmp(...)` chained into
+    // `.unwrap()`/`.expect(`. Runs first so no-panic can skip the same
+    // token instead of double-reporting.
+    if nan_cmp {
+        for i in 0..toks.len() {
+            if in_test[i] || ident_at(&toks, i, src) != Some("partial_cmp") {
+                continue;
+            }
+            if !is_punct(&toks, i + 1, b'(') {
+                continue;
+            }
+            let close = matching(&toks, i + 1, b'(', b')');
+            if is_punct(&toks, close + 1, b'.') {
+                if let Some(name @ ("unwrap" | "expect")) = ident_at(&toks, close + 2, src) {
+                    if is_punct(&toks, close + 3, b'(') {
+                        nan_consumed[close + 2] = true;
+                        push(
+                            Rule::NanUnsafeCmp,
+                            format!("partial_cmp().{name}"),
+                            &toks[close + 2],
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    for i in 0..toks.len() {
+        if in_test[i] {
+            continue;
+        }
+        let Some(word) = ident_at(&toks, i, src) else { continue };
+
+        if no_panic && !nan_consumed[i] {
+            match word {
+                "unwrap" | "expect" if is_method_call(&toks, i) => {
+                    push(Rule::NoPanic, word.to_string(), &toks[i]);
+                }
+                "panic" | "todo" | "unreachable" | "unimplemented"
+                    if is_punct(&toks, i + 1, b'!') =>
+                {
+                    push(Rule::NoPanic, format!("{word}!"), &toks[i]);
+                }
+                _ => {}
+            }
+        }
+
+        if hot_alloc && hot[i] {
+            if config.alloc_methods.contains(&word) && is_method_call(&toks, i) {
+                push(Rule::HotPathAlloc, word.to_string(), &toks[i]);
+            } else if config.alloc_macros.contains(&word) && is_punct(&toks, i + 1, b'!') {
+                push(Rule::HotPathAlloc, format!("{word}!"), &toks[i]);
+            } else {
+                for &(ty, method) in config.alloc_paths {
+                    if is_path_call(&toks, i, src, ty, method) {
+                        push(Rule::HotPathAlloc, format!("{ty}::{method}"), &toks[i]);
+                    }
+                }
+            }
+        }
+
+        if sip_hash && matches!(word, "HashMap" | "HashSet") {
+            push(Rule::SipHash, word.to_string(), &toks[i]);
+        }
+
+        if wall_clock
+            && (is_path_call(&toks, i, src, "Instant", "now")
+                || is_path_call(&toks, i, src, "SystemTime", "now"))
+        {
+            push(Rule::WallClock, format!("{word}::now"), &toks[i]);
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.rule.name(), a.symbol.as_str()).cmp(&(
+        b.line,
+        b.rule.name(),
+        b.symbol.as_str(),
+    )));
+    out
+}

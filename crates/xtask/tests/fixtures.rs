@@ -1,0 +1,291 @@
+//! Rule-engine fixtures: for each rule, a passing snippet, a violating
+//! snippet, a violating-but-baselined snippet (suppressed via
+//! [`xtask::reconcile`]), and a `#[cfg(test)]`-gated snippet that must be
+//! skipped — plus baseline ratchet semantics (stale-entry detection).
+
+use xtask::baseline::Baseline;
+use xtask::{analyze_source, reconcile, LintConfig, Rule, Violation};
+
+fn run(file: &str, src: &str) -> Vec<Violation> {
+    analyze_source(&LintConfig::default(), file, src)
+}
+
+fn rules(vs: &[Violation]) -> Vec<Rule> {
+    vs.iter().map(|v| v.rule).collect()
+}
+
+// A library-code path subject to no-panic/nan-unsafe-cmp but none of the
+// crate-scoped rules.
+const LIB: &str = "crates/batchml/src/fixture.rs";
+
+#[test]
+fn no_panic_flags_unwrap_expect_and_macros() {
+    let src = r#"
+        pub fn f(x: Option<u32>) -> u32 {
+            let a = x.unwrap();
+            let b = x.expect("present");
+            if a == 0 { panic!("zero"); }
+            if b == 1 { todo!(); }
+            if a == 2 { unreachable!(); }
+            a + b
+        }
+    "#;
+    let vs = run(LIB, src);
+    let symbols: Vec<&str> = vs.iter().map(|v| v.symbol.as_str()).collect();
+    assert_eq!(symbols, ["unwrap", "expect", "panic!", "todo!", "unreachable!"]);
+    assert!(vs.iter().all(|v| v.rule == Rule::NoPanic));
+    assert_eq!(vs[0].line, 3);
+}
+
+#[test]
+fn no_panic_passes_clean_code() {
+    let src = r#"
+        pub fn f(x: Option<u32>) -> Option<u32> {
+            // Mentions in comments ("just unwrap() it") and strings are not
+            // calls: "call .unwrap() here".
+            let msg = "never unwrap() in library code";
+            x.map(|v| v + msg.len() as u32)
+        }
+    "#;
+    assert!(run(LIB, src).is_empty());
+}
+
+#[test]
+fn no_panic_skips_cfg_test_items() {
+    let src = r#"
+        pub fn f(x: Option<u32>) -> Option<u32> { x }
+
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn t() {
+                let v: Option<u32> = Some(1);
+                assert_eq!(v.unwrap(), 1);
+                std::panic::catch_unwind(|| panic!("fine in tests")).ok();
+            }
+        }
+    "#;
+    assert!(run(LIB, src).is_empty());
+}
+
+#[test]
+fn no_panic_skips_bench_and_bin_paths() {
+    let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+    assert_eq!(run(LIB, src).len(), 1);
+    assert!(run("crates/bench/src/lib.rs", src).is_empty());
+    assert!(run("crates/core/src/bin/redhanded.rs", src).is_empty());
+}
+
+#[test]
+fn nan_unsafe_cmp_supersedes_no_panic() {
+    let src = r#"
+        pub fn sort(xs: &mut Vec<f64>) {
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        }
+    "#;
+    let vs = run(LIB, src);
+    // Exactly one violation: the nan rule, not a second no-panic report for
+    // the same `unwrap` token.
+    assert_eq!(rules(&vs), [Rule::NanUnsafeCmp]);
+    assert_eq!(vs[0].symbol, "partial_cmp().unwrap");
+
+    let expect_src = r#"
+        pub fn max(xs: &[f64]) -> Option<f64> {
+            xs.iter().copied().max_by(|a, b| a.partial_cmp(b).expect("no NaN"))
+        }
+    "#;
+    let vs = run(LIB, expect_src);
+    assert_eq!(rules(&vs), [Rule::NanUnsafeCmp]);
+    assert_eq!(vs[0].symbol, "partial_cmp().expect");
+}
+
+#[test]
+fn nan_unsafe_cmp_passes_total_cmp_and_handled_partial_cmp() {
+    let src = r#"
+        pub fn sort(xs: &mut Vec<f64>) {
+            xs.sort_by(|a, b| a.total_cmp(b));
+        }
+        pub fn cmp_or_less(a: f64, b: f64) -> std::cmp::Ordering {
+            a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Less)
+        }
+    "#;
+    assert!(run(LIB, src).is_empty());
+}
+
+#[test]
+fn nan_unsafe_cmp_applies_even_where_no_panic_is_exempt() {
+    let src = "pub fn f(a: f64, b: f64) { let _ = a.partial_cmp(&b).unwrap(); }";
+    let vs = run("crates/bench/src/lib.rs", src);
+    assert_eq!(rules(&vs), [Rule::NanUnsafeCmp]);
+}
+
+#[test]
+fn hot_path_alloc_flags_designated_function_only() {
+    let src = r#"
+        pub fn extract_into(out: &mut Vec<f64>, words: &[&str]) {
+            let joined = words.to_vec();
+            let s = format!("{}", joined.len());
+            out.push(s.len() as f64);
+        }
+        pub fn cold_setup() -> Vec<f64> {
+            let v = Vec::with_capacity(64);
+            let _s = "x".to_string();
+            v
+        }
+    "#;
+    let vs = run("crates/features/src/extract.rs", src);
+    let symbols: Vec<&str> = vs.iter().map(|v| v.symbol.as_str()).collect();
+    // Only the allocations inside `extract_into` fire (in line order);
+    // `cold_setup` is not a designated hot function.
+    assert_eq!(symbols, ["to_vec", "format!"]);
+    assert!(vs.iter().all(|v| v.rule == Rule::HotPathAlloc && v.line <= 5));
+}
+
+#[test]
+fn hot_path_alloc_covers_closures_nested_in_hot_fns() {
+    let src = r#"
+        pub fn extract_into(out: &mut Vec<f64>, words: &[&str]) {
+            let total: usize = words.iter().map(|w| w.to_owned().len()).sum();
+            out.push(total as f64);
+        }
+    "#;
+    let vs = run("crates/features/src/extract.rs", src);
+    assert_eq!(rules(&vs), [Rule::HotPathAlloc]);
+    assert_eq!(vs[0].symbol, "to_owned");
+}
+
+#[test]
+fn hot_path_alloc_ignores_undesignated_files() {
+    let src = r#"
+        pub fn extract_into(out: &mut Vec<String>) {
+            out.push(String::new());
+        }
+    "#;
+    // Same function name, wrong file: the allowlist is per-file.
+    assert!(run("crates/features/src/stats.rs", src).is_empty());
+}
+
+#[test]
+fn sip_hash_scopes_to_hot_crates() {
+    let src = r#"
+        use std::collections::HashMap;
+        pub struct S { m: HashMap<u64, u32> }
+    "#;
+    let vs = run("crates/core/src/fixture.rs", src);
+    assert_eq!(rules(&vs), [Rule::SipHash, Rule::SipHash]);
+    assert!(vs.iter().all(|v| v.symbol == "HashMap"));
+    // batchml is offline training code — SipHash there is acceptable.
+    assert!(run("crates/batchml/src/fixture.rs", src).is_empty());
+    // The shim file itself must be allowed to re-export std's types.
+    assert!(run("crates/nlp/src/fxhash.rs", src).is_empty());
+}
+
+#[test]
+fn sip_hash_passes_fx_tables() {
+    let src = r#"
+        use redhanded_nlp::{FxHashMap, FxHashSet};
+        pub struct S { m: FxHashMap<u64, u32>, s: FxHashSet<u64> }
+    "#;
+    assert!(run("crates/core/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn wall_clock_scopes_to_timing_layer() {
+    let src = r#"
+        use std::time::Instant;
+        pub fn stamp() -> Instant { Instant::now() }
+        pub fn epoch() -> std::time::SystemTime { std::time::SystemTime::now() }
+    "#;
+    let vs = run("crates/core/src/fixture.rs", src);
+    let symbols: Vec<&str> = vs.iter().map(|v| v.symbol.as_str()).collect();
+    assert_eq!(symbols, ["Instant::now", "SystemTime::now"]);
+    assert!(vs.iter().all(|v| v.rule == Rule::WallClock));
+    // The DSPE timing layer and benches own the clock.
+    assert!(run("crates/dspe/src/engine.rs", src).is_empty());
+    assert!(run("crates/bench/src/timer.rs", src).is_empty());
+}
+
+// --- baseline ratchet semantics ---------------------------------------
+
+fn baseline_with(file: &str, rule: &str, symbol: &str, count: usize) -> Baseline {
+    let mut b = Baseline::default();
+    b.entries.insert((file.to_string(), rule.to_string(), symbol.to_string()), count);
+    b
+}
+
+#[test]
+fn baselined_violation_is_suppressed_but_tracked() {
+    let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+    let vs = run(LIB, src);
+    assert_eq!(vs.len(), 1);
+    let baseline = baseline_with(LIB, "no-panic", "unwrap", 1);
+    let outcome = reconcile(vs, &baseline, 1);
+    assert!(outcome.is_clean());
+    assert!(outcome.new_violations.is_empty());
+    assert!(outcome.stale_entries.is_empty());
+    assert_eq!(
+        outcome.baselined.get(&(LIB.into(), "no-panic".into(), "unwrap".into())),
+        Some(&1)
+    );
+}
+
+#[test]
+fn violations_beyond_the_recorded_count_are_new() {
+    let src = r#"
+        pub fn f(x: Option<u32>, y: Option<u32>) -> u32 {
+            x.unwrap() + y.unwrap()
+        }
+    "#;
+    let vs = run(LIB, src);
+    assert_eq!(vs.len(), 2);
+    let baseline = baseline_with(LIB, "no-panic", "unwrap", 1);
+    let outcome = reconcile(vs, &baseline, 1);
+    assert!(!outcome.is_clean());
+    // The first (by line order) is suppressed; the second is new debt.
+    assert_eq!(outcome.new_violations.len(), 1);
+    assert!(outcome.stale_entries.is_empty());
+}
+
+#[test]
+fn paid_down_debt_makes_the_entry_stale() {
+    // The file is now clean but the baseline still records one unwrap:
+    // the ratchet must force a regenerate.
+    let src = "pub fn f(x: Option<u32>) -> Option<u32> { x }";
+    let vs = run(LIB, src);
+    assert!(vs.is_empty());
+    let baseline = baseline_with(LIB, "no-panic", "unwrap", 1);
+    let outcome = reconcile(vs, &baseline, 1);
+    assert!(!outcome.is_clean());
+    assert_eq!(outcome.stale_entries.len(), 1);
+    assert_eq!(outcome.stale_entries[0].recorded, 1);
+    assert_eq!(outcome.stale_entries[0].actual, 0);
+}
+
+#[test]
+fn partially_paid_debt_is_also_stale() {
+    let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+    let vs = run(LIB, src);
+    let baseline = baseline_with(LIB, "no-panic", "unwrap", 3);
+    let outcome = reconcile(vs, &baseline, 1);
+    assert!(!outcome.is_clean());
+    assert_eq!(outcome.stale_entries.len(), 1);
+    assert_eq!(outcome.stale_entries[0].recorded, 3);
+    assert_eq!(outcome.stale_entries[0].actual, 1);
+    // The one real violation is still suppressed (it is within the count).
+    assert!(outcome.new_violations.is_empty());
+}
+
+#[test]
+fn baseline_round_trips_through_render_and_parse() {
+    let mut b = Baseline::default();
+    b.entries.insert((LIB.into(), "no-panic".into(), "unwrap".into()), 2);
+    b.entries.insert(
+        ("crates/core/src/spark.rs".into(), "hot-path-alloc".into(), "clone".into()),
+        1,
+    );
+    let rendered = Baseline::render(&b.entries);
+    match Baseline::parse(&rendered) {
+        Ok(parsed) => assert_eq!(parsed.entries, b.entries),
+        Err(e) => panic!("rendered baseline failed to parse: {e}"),
+    }
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full local gate: build everything, run the static-analysis pass, run the
+# test suite (which re-runs the lint gate in-process via tests/lint_gate.rs).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, all targets) =="
+cargo build --release --workspace --all-targets
+
+echo "== redhanded-lint =="
+cargo run -q -p xtask -- lint
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== OK =="

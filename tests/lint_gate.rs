@@ -1,0 +1,68 @@
+//! Tier-1 gate: `cargo test -q` fails if any workspace source violates a
+//! lint rule without a baseline entry, or if the baseline carries stale
+//! (already-paid-down) debt.
+//!
+//! This runs the same analysis as `cargo run -p xtask -- lint`, in-process,
+//! so the invariant gate needs no extra CI wiring beyond the fixed tier-1
+//! command.
+
+use std::path::Path;
+use xtask::{run_lint, LintConfig};
+
+fn workspace_root() -> &'static Path {
+    // This integration test is wired into crates/xtask via a [[test]] path
+    // entry, so the manifest dir is crates/xtask.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().and_then(Path::parent);
+    match root {
+        Some(r) => {
+            assert!(r.join("Cargo.toml").exists(), "workspace root not found at {}", r.display());
+            // Leak is fine: one test process, one path.
+            Box::leak(r.to_path_buf().into_boxed_path())
+        }
+        None => panic!("crates/xtask has no grandparent directory"),
+    }
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let outcome = match run_lint(workspace_root(), &LintConfig::default()) {
+        Ok(o) => o,
+        Err(e) => panic!("lint run failed: {e}"),
+    };
+    assert!(outcome.files_scanned > 50, "suspiciously few files scanned: {}", outcome.files_scanned);
+    assert!(
+        outcome.is_clean(),
+        "lint gate failed ({} new violation(s), {} stale baseline entr(ies)):\n{}",
+        outcome.new_violations.len(),
+        outcome.stale_entries.len(),
+        outcome.render_failures()
+    );
+}
+
+#[test]
+fn baseline_parses_and_matches_disk() {
+    // The committed baseline must parse and must be byte-identical to what
+    // `--update-baseline` would regenerate, so reviewers never see diffs
+    // caused by hand edits or drifted counts.
+    let root = workspace_root();
+    let path = root.join(xtask::BASELINE_PATH);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => panic!("cannot read {}: {e}", path.display()),
+    };
+    let parsed = match xtask::Baseline::parse(&text) {
+        Ok(b) => b,
+        Err(e) => panic!("baseline does not parse: {e}"),
+    };
+    let counts = match xtask::current_counts(root, &LintConfig::default()) {
+        Ok(c) => c,
+        Err(e) => panic!("cannot recount violations: {e}"),
+    };
+    assert_eq!(
+        parsed.entries, counts,
+        "lint/baseline.toml is out of sync with the tree; \
+         regenerate with `cargo run -p xtask -- lint --update-baseline`"
+    );
+    let regenerated = xtask::Baseline::render(&counts);
+    assert_eq!(text, regenerated, "baseline file formatting drifted from the canonical renderer");
+}
