@@ -1,0 +1,126 @@
+//! Checkpoint-overhead benchmark for the fault-tolerant deployment.
+//!
+//! Runs the distributed detector (`SparkDetector`) over the same generated
+//! traffic four times — once with checkpointing disabled, then through
+//! `run_with_recovery` at checkpoint cadences M = 1, 4, 16 batches — and
+//! reports the throughput lost to snapshotting at each cadence. The
+//! acceptance budget (DESIGN.md §9) is < 15% overhead at the default
+//! cadence of 4:
+//!
+//! ```text
+//! cargo run --release -p redhanded-bench --bin perf_recovery
+//! ```
+//!
+//! Results land in `results/BENCH_recovery.json`.
+
+use redhanded_bench::run_scale;
+use redhanded_core::config::ModelKind;
+use redhanded_core::{
+    intermix, run_with_recovery, PipelineConfig, SparkConfig, SparkDetector, StreamItem,
+};
+use redhanded_datagen::{generate_abusive, generate_unlabeled, AbusiveConfig};
+use redhanded_dspe::{CostModel, EngineConfig, FaultPlan, MemoryCheckpointStore, Topology};
+use redhanded_types::ClassScheme;
+use std::fmt::Write as _;
+use std::fs;
+use std::time::Instant;
+
+/// Checkpoint cadences to measure (batches between snapshots).
+const CADENCES: [u64; 3] = [1, 4, 16];
+
+/// The overhead budget at the default cadence of 4 (percent).
+const BUDGET_PERCENT: f64 = 15.0;
+
+const RUNS: usize = 3;
+
+fn detector() -> SparkDetector {
+    let pipeline = PipelineConfig::paper(ClassScheme::TwoClass, ModelKind::ht());
+    let mut engine = EngineConfig::for_topology(Topology::local(4));
+    engine.microbatch_size = 500;
+    engine.cost_model = CostModel::default();
+    engine.faults = FaultPlan::none();
+    SparkDetector::new(SparkConfig::new(pipeline, engine)).expect("detector builds")
+}
+
+/// Best-of-`RUNS` wall seconds for one configuration (`every == 0` means
+/// a plain uncheckpointed `run()`). The checkpoint count is the snapshots
+/// *taken*, not the (bounded) number the store retains.
+fn measure(items: &[StreamItem], every: u64) -> (f64, usize) {
+    let mut best = f64::INFINITY;
+    let mut checkpoints = 0usize;
+    for _ in 0..RUNS {
+        let mut d = detector();
+        let start = Instant::now();
+        if every == 0 {
+            d.run(items.to_vec()).expect("plain run");
+        } else {
+            let mut store = MemoryCheckpointStore::new(2);
+            run_with_recovery(&mut d, items.to_vec(), &mut store, every)
+                .expect("checkpointed run");
+            checkpoints = store.saves();
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, checkpoints)
+}
+
+fn main() {
+    let scale = run_scale();
+    let n = ((30_000.0 * scale) as usize).max(2_000);
+
+    eprintln!("perf_recovery: generating {n} mixed items...");
+    let items = intermix(
+        generate_abusive(&AbusiveConfig::small(n / 2, 0xC4A0)),
+        generate_unlabeled(n / 2, 0xC4A1),
+    );
+    let n = items.len();
+
+    eprintln!("perf_recovery: baseline (no checkpoints)...");
+    let (base_wall, _) = measure(&items, 0);
+    let base_rate = n as f64 / base_wall;
+    eprintln!("perf_recovery: baseline {base_rate:.0} tweets/s ({base_wall:.2}s)");
+
+    let mut rows = String::new();
+    let mut overhead_at_4 = f64::NAN;
+    for (i, &every) in CADENCES.iter().enumerate() {
+        let (wall, checkpoints) = measure(&items, every);
+        let rate = n as f64 / wall;
+        let overhead = (wall - base_wall) / base_wall * 100.0;
+        if every == 4 {
+            overhead_at_4 = overhead;
+        }
+        eprintln!(
+            "perf_recovery: M={every}: {rate:.0} tweets/s, {checkpoints} checkpoint(s), \
+             {overhead:+.1}% vs baseline"
+        );
+        let comma = if i + 1 == CADENCES.len() { "" } else { "," };
+        let _ = writeln!(
+            rows,
+            "    {{ \"every_batches\": {every}, \"wall_seconds\": {wall:.4}, \
+             \"tweets_per_second\": {rate:.1}, \"checkpoints\": {checkpoints}, \
+             \"overhead_percent\": {overhead:.2} }}{comma}"
+        );
+    }
+
+    let within_budget = overhead_at_4 < BUDGET_PERCENT;
+    eprintln!(
+        "perf_recovery: M=4 overhead {overhead_at_4:.1}% vs {BUDGET_PERCENT}% budget — {}",
+        if within_budget { "OK" } else { "OVER BUDGET" }
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"checkpoint_recovery\",\n  \"model\": \"ht\",\n  \
+         \"scheme\": \"2-class\",\n  \"tweets\": {n},\n  \
+         \"baseline_wall_seconds\": {base_wall:.4},\n  \
+         \"baseline_tweets_per_second\": {base_rate:.1},\n  \
+         \"budget_percent_at_4\": {BUDGET_PERCENT},\n  \
+         \"within_budget\": {within_budget},\n  \"cadences\": [\n{rows}  ]\n}}\n"
+    );
+    if fs::create_dir_all("results").is_ok() {
+        match fs::write("results/BENCH_recovery.json", &json) {
+            Ok(()) => eprintln!("perf_recovery: wrote results/BENCH_recovery.json"),
+            Err(e) => eprintln!("perf_recovery: could not write results: {e}"),
+        }
+    }
+    println!("{json}");
+}

@@ -7,8 +7,9 @@
 //! (human moderation, automatic warning, automatic removal) all consume
 //! this queue.
 
-use redhanded_types::ClassScheme;
 use redhanded_nlp::FxHashMap;
+use redhanded_types::snapshot::{Checkpoint, SnapshotReader, SnapshotWriter};
+use redhanded_types::{ClassScheme, Error, Result};
 
 /// One raised alert.
 #[derive(Debug, Clone, PartialEq)]
@@ -116,6 +117,74 @@ impl Alerter {
     }
 }
 
+impl Checkpoint for Alerter {
+    fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        // `scheme`, `threshold`, and `suspend_after` are construction-time
+        // configuration. The per-user history is serialized sorted by user
+        // id so identical state always yields identical bytes; `class_name`
+        // is omitted and re-derived from the scheme on restore.
+        let mut history: Vec<(u64, u32)> =
+            self.history.iter().map(|(&user, &count)| (user, count)).collect();
+        history.sort_unstable_by_key(|&(user, _)| user);
+        w.write_usize(history.len());
+        for (user, count) in history {
+            w.write_u64(user);
+            w.write_u32(count);
+        }
+        w.write_usize(self.alerts.len());
+        for alert in &self.alerts {
+            w.write_u64(alert.tweet_id);
+            w.write_u64(alert.user_id);
+            w.write_usize(alert.class);
+            w.write_f64(alert.confidence);
+            w.write_u32(alert.user_alert_count);
+        }
+        w.write_usize(self.suspended.len());
+        for &user in &self.suspended {
+            w.write_u64(user);
+        }
+    }
+
+    fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
+        let history_len = r.read_usize()?;
+        self.history.clear();
+        for _ in 0..history_len {
+            let user = r.read_u64()?;
+            let count = r.read_u32()?;
+            self.history.insert(user, count);
+        }
+        let alerts_len = r.read_usize()?;
+        self.alerts.clear();
+        for _ in 0..alerts_len {
+            let tweet_id = r.read_u64()?;
+            let user_id = r.read_u64()?;
+            let class = r.read_usize()?;
+            if class >= self.scheme.num_classes() {
+                return Err(Error::Snapshot(format!(
+                    "alert class {class} out of range for {} classes",
+                    self.scheme.num_classes()
+                )));
+            }
+            let confidence = r.read_f64()?;
+            let user_alert_count = r.read_u32()?;
+            self.alerts.push(Alert {
+                tweet_id,
+                user_id,
+                class,
+                class_name: self.scheme.class_name(class),
+                confidence,
+                user_alert_count,
+            });
+        }
+        let suspended_len = r.read_usize()?;
+        self.suspended.clear();
+        for _ in 0..suspended_len {
+            self.suspended.push(r.read_u64()?);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +231,42 @@ mod tests {
         assert!(a.observe(2, 1, &[0.3, 0.7]).is_some());
         let alert = &a.alerts()[0];
         assert_eq!(alert.class_name, "aggressive");
+    }
+
+    #[test]
+    fn checkpoint_round_trip_is_bit_identical() {
+        let mut a = alerter();
+        for i in 0..20u64 {
+            a.observe(i, i % 4, &[0.1, 0.6, 0.3]);
+        }
+        let bytes = a.snapshot();
+        let mut restored = alerter();
+        let mut r = redhanded_types::snapshot::SnapshotReader::new(&bytes);
+        restored.restore_from(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored.alerts(), a.alerts());
+        assert_eq!(restored.suspended_users(), a.suspended_users());
+        assert_eq!(restored.user_alert_count(2), a.user_alert_count(2));
+        assert_eq!(restored.snapshot(), bytes);
+        // Post-restore behavior matches: same alert for the same tweet.
+        let x = a.observe(100, 2, &[0.0, 0.9, 0.1]).cloned();
+        let y = restored.observe(100, 2, &[0.0, 0.9, 0.1]).cloned();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn corrupt_class_index_is_rejected() {
+        let mut a = alerter();
+        a.observe(1, 1, &[0.0, 1.0, 0.0]);
+        let mut w = redhanded_types::snapshot::SnapshotWriter::new();
+        a.snapshot_into(&mut w);
+        let mut bytes = w.into_bytes();
+        // history(len=1: u64+u32) then alerts len, then tweet/user/class.
+        let class_off = 8 + 12 + 8 + 8 + 8;
+        bytes[class_off] = 99;
+        let mut restored = alerter();
+        let mut r = redhanded_types::snapshot::SnapshotReader::new(&bytes);
+        assert!(restored.restore_from(&mut r).is_err());
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod experiments;
 pub mod item;
 pub mod label;
 pub mod pipeline;
+pub mod recovery;
 pub mod sample;
 pub mod session;
 pub mod spark;
@@ -52,6 +53,7 @@ pub use deploy::{run_system, DeployReport, SystemFlavor};
 pub use item::{intermix, StreamItem};
 pub use label::{Labeler, NoisyLabeler, OracleLabeler};
 pub use pipeline::{BowSizePoint, Classified, DetectionPipeline};
+pub use recovery::{run_with_recovery, RecoveryReport};
 pub use sample::{BoostedSampler, SampledTweet};
 pub use session::{SessionAlert, SessionConfig, SessionDetector};
 pub use spark::{SparkConfig, SparkDetector, SparkRunReport};

@@ -1,0 +1,198 @@
+//! Driver recovery for the distributed deployment (DESIGN.md §9).
+//!
+//! Spark Streaming recovers a failed driver by restarting it from the
+//! last checkpoint and replaying the batches received since. This module
+//! reproduces that loop for [`SparkDetector`]: run a driver incarnation
+//! with periodic checkpointing; when a (injected) driver kill ends the
+//! incarnation, restore the latest checkpoint — or reset to a clean
+//! detector when none was taken yet — and re-run the stream from the
+//! first unckeckpointed record under the original global batch numbers.
+//!
+//! Exactly-once semantics follow from determinism, as in Spark's lineage
+//! model: every replayed batch re-executes with the same global batch
+//! index, hence the same seeded scatter, the same broadcast model state,
+//! and the same (restored) sampler RNG — so the recovered run's
+//! predictions, metric series, alerts, and sample are bit-identical to a
+//! fault-free run. The chaos harness (`tests/chaos_recovery.rs`) asserts
+//! exactly that.
+
+use crate::item::StreamItem;
+use crate::spark::{SparkDetector, SparkRunReport};
+use redhanded_dspe::{CheckpointStore, FaultStats};
+use redhanded_types::snapshot::{Checkpoint, SnapshotReader};
+use redhanded_types::{Error, Result};
+
+/// Upper bound on driver incarnations: the fault plan carries a single
+/// driver kill, so hitting this means the recovery loop is not making
+/// progress (e.g. a kill that re-arms before the next checkpoint).
+const MAX_RESTARTS: u32 = 64;
+
+/// Outcome of a run driven through the recovery loop.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Report of the final (completed) incarnation. Quality fields cover
+    /// the whole stream — detector state accumulates across restarts —
+    /// while `run.stream` times only the final incarnation's segment.
+    pub run: SparkRunReport,
+    /// Driver kills recovered from.
+    pub restarts: u32,
+    /// Batches that had completed before a kill and were re-executed
+    /// because they post-dated the restored checkpoint.
+    pub batches_replayed: u64,
+    /// Checkpoints retained in the store when the run completed.
+    pub checkpoints: usize,
+    /// Task-level fault activity summed over every incarnation.
+    pub faults: FaultStats,
+}
+
+/// Run `items` through `detector` with checkpoints every `every` completed
+/// batches, restarting from the latest checkpoint after every driver kill
+/// until the stream completes.
+///
+/// The detector's own fault plan (in its engine configuration) supplies
+/// the kills; a fired kill is disarmed before the next incarnation, the
+/// way a real chaos fault is consumed once.
+pub fn run_with_recovery(
+    detector: &mut SparkDetector,
+    items: Vec<StreamItem>,
+    store: &mut dyn CheckpointStore,
+    every: u64,
+) -> Result<RecoveryReport> {
+    let mut restarts = 0u32;
+    let mut batches_replayed = 0u64;
+    let mut faults = FaultStats::default();
+    let mut prev_killed: Option<u64> = None;
+
+    loop {
+        // Resume point: the latest checkpoint, or a clean slate when the
+        // kill predates the first checkpoint.
+        let (first_batch, records_done) = match store.latest()? {
+            Some((meta, payload)) => {
+                let mut r = SnapshotReader::new(&payload);
+                detector.restore_from(&mut r)?;
+                r.finish()?;
+                (meta.batches_done, meta.records_done)
+            }
+            None => {
+                detector.reset()?;
+                (0, 0)
+            }
+        };
+        if let Some(killed) = prev_killed.take() {
+            batches_replayed += (killed + 1).saturating_sub(first_batch);
+        }
+
+        let segment: Vec<StreamItem> = items[records_done as usize..].to_vec();
+        let report = detector.run_segment(segment, first_batch, records_done, Some((store, every)))?;
+        let f = report.stream.faults;
+        faults.task_failures += f.task_failures;
+        faults.task_retries += f.task_retries;
+        faults.stragglers += f.stragglers;
+        faults.blacklisted = faults.blacklisted.max(f.blacklisted);
+        faults.max_attempts = faults.max_attempts.max(f.max_attempts);
+
+        match report.stream.killed_at_batch {
+            None => {
+                return Ok(RecoveryReport {
+                    run: report,
+                    restarts,
+                    batches_replayed,
+                    checkpoints: store.count(),
+                    faults,
+                });
+            }
+            Some(killed) => {
+                restarts += 1;
+                if restarts >= MAX_RESTARTS {
+                    return Err(Error::InvalidConfig(format!(
+                        "driver recovery made no progress after {restarts} restarts"
+                    )));
+                }
+                prev_killed = Some(killed);
+                // The kill is consumed: the replacement driver must not
+                // die at the same batch again.
+                detector.engine_config_mut().faults.disarm_driver_kill();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ModelKind, PipelineConfig};
+    use crate::spark::SparkConfig;
+    use redhanded_datagen::{generate_abusive, AbusiveConfig};
+    use redhanded_dspe::{CostModel, EngineConfig, MemoryCheckpointStore, Topology};
+    use redhanded_types::ClassScheme;
+
+    fn detector(kill_after: Option<u64>) -> SparkDetector {
+        let pipeline = PipelineConfig::paper(ClassScheme::TwoClass, ModelKind::ht());
+        let mut engine = EngineConfig::for_topology(Topology::local(4));
+        engine.microbatch_size = 500;
+        engine.cost_model = CostModel::default();
+        if let Some(b) = kill_after {
+            engine.faults = engine.faults.kill_driver_after(b);
+        }
+        SparkDetector::new(SparkConfig::new(pipeline, engine)).unwrap()
+    }
+
+    fn stream(n: usize) -> Vec<StreamItem> {
+        generate_abusive(&AbusiveConfig::small(n, 11))
+            .into_iter()
+            .map(StreamItem::from)
+            .collect()
+    }
+
+    #[test]
+    fn fault_free_recovery_run_is_a_plain_run() {
+        let items = stream(3000);
+        let mut plain = detector(None);
+        let plain_report = plain.run(items.clone()).unwrap();
+
+        let mut checked = detector(None);
+        let mut store = MemoryCheckpointStore::new(2);
+        let report = run_with_recovery(&mut checked, items, &mut store, 2).unwrap();
+        assert_eq!(report.restarts, 0);
+        assert_eq!(report.batches_replayed, 0);
+        assert!(report.checkpoints > 0, "checkpoints were taken");
+        assert_eq!(report.run.metrics, plain_report.metrics);
+        assert_eq!(report.run.series, plain_report.series);
+        assert_eq!(checked.alerter().alerts(), plain.alerter().alerts());
+    }
+
+    #[test]
+    fn driver_kill_recovers_bit_identically() {
+        let items = stream(3000);
+        let mut plain = detector(None);
+        let plain_report = plain.run(items.clone()).unwrap();
+
+        // Six batches, checkpoints after batch 2 (cadence 3), kill after
+        // batch 4: batches 3 and 4 post-date the checkpoint → replayed.
+        let mut chaos = detector(Some(4));
+        let mut store = MemoryCheckpointStore::new(2);
+        let report = run_with_recovery(&mut chaos, items, &mut store, 3).unwrap();
+        assert_eq!(report.restarts, 1);
+        assert_eq!(report.batches_replayed, 2);
+        assert_eq!(report.run.metrics, plain_report.metrics);
+        assert_eq!(report.run.series, plain_report.series);
+        assert_eq!(chaos.alerter().alerts(), plain.alerter().alerts());
+        assert_eq!(chaos.sampler().sample(), plain.sampler().sample());
+    }
+
+    #[test]
+    fn kill_before_first_checkpoint_restarts_clean() {
+        let items = stream(2000);
+        let mut plain = detector(None);
+        let plain_report = plain.run(items.clone()).unwrap();
+
+        // Kill after batch 0, checkpoint cadence 4 → nothing saved yet.
+        let mut chaos = detector(Some(0));
+        let mut store = MemoryCheckpointStore::new(2);
+        let report = run_with_recovery(&mut chaos, items, &mut store, 4).unwrap();
+        assert_eq!(report.restarts, 1);
+        assert_eq!(report.batches_replayed, 1, "batch 0 re-ran from scratch");
+        assert_eq!(report.run.metrics, plain_report.metrics);
+        assert_eq!(report.run.series, plain_report.series);
+    }
+}

@@ -21,10 +21,15 @@ use crate::alert::Alerter;
 use crate::config::PipelineConfig;
 use crate::item::StreamItem;
 use crate::sample::BoostedSampler;
-use redhanded_dspe::{EngineConfig, MicroBatchEngine, StreamReport};
+use redhanded_dspe::{
+    CheckpointMeta, CheckpointStore, EngineConfig, MicroBatchEngine, StreamReport,
+};
 use redhanded_features::{AdaptiveBow, ExtractScratch, FeatureExtractor, Normalizer, NUM_FEATURES};
 use redhanded_streamml::classifier::argmax;
-use redhanded_streamml::{ConfusionMatrix, Metrics, SeriesPoint, StreamingClassifier};
+use redhanded_streamml::{
+    restore_series, snapshot_series, ConfusionMatrix, Metrics, SeriesPoint, StreamingClassifier,
+};
+use redhanded_types::snapshot::{Checkpoint, SnapshotReader, SnapshotWriter};
 use redhanded_types::{Error, Result};
 
 /// Configuration of a distributed deployment.
@@ -108,14 +113,51 @@ impl SparkDetector {
     /// Run a stream through the distributed pipeline, returning timing and
     /// quality reports.
     pub fn run(&mut self, items: Vec<StreamItem>) -> Result<SparkRunReport> {
+        self.run_segment(items, 0, 0, None)
+    }
+
+    /// Run one driver incarnation over `items`, numbering its micro-batches
+    /// globally from `first_batch` (with `records_before` stream records
+    /// already consumed by earlier incarnations).
+    ///
+    /// When `sink` is `Some((store, every))` with `every > 0`, all mutable
+    /// detector state is checkpointed to `store` after every `every`-th
+    /// completed batch; the snapshot cost is charged to the simulated clock
+    /// as driver work. [`crate::recovery::run_with_recovery`] drives this
+    /// across driver kills; a fault-free caller uses [`SparkDetector::run`].
+    pub fn run_segment(
+        &mut self,
+        items: Vec<StreamItem>,
+        first_batch: u64,
+        records_before: u64,
+        mut sink: Option<(&mut dyn CheckpointStore, u64)>,
+    ) -> Result<SparkRunReport> {
         let engine = MicroBatchEngine::new(self.config.engine.clone());
         let mut first_error: Option<Error> = None;
-        let stream = engine.run_stream(items, |ctx, batch| {
+        let mut records_done = records_before;
+        let stream = engine.run_stream_from(first_batch, items, |ctx, batch| {
             if first_error.is_some() {
                 return;
             }
+            let batch_records = batch.len() as u64;
             if let Err(e) = self.process_batch(ctx, batch) {
                 first_error = Some(e);
+                return;
+            }
+            records_done += batch_records;
+            let completed = ctx.batch_index() + 1;
+            if let Some((store, every)) = sink.as_mut() {
+                if *every > 0 && completed % *every == 0 {
+                    let payload = ctx.driver(|| Checkpoint::snapshot(&*self));
+                    let meta = CheckpointMeta {
+                        seq: completed,
+                        batches_done: completed,
+                        records_done,
+                    };
+                    if let Err(e) = store.save(meta, &payload) {
+                        first_error = Some(e);
+                    }
+                }
             }
         });
         if let Some(e) = first_error {
@@ -197,7 +239,7 @@ impl SparkDetector {
                     }
                 }
                 Ok(out)
-            });
+            })?;
 
         // Split the per-task outputs.
         let mut models = Vec::with_capacity(task_outputs.len());
@@ -261,6 +303,30 @@ impl SparkDetector {
         self.matrix.metrics()
     }
 
+    /// The deployment configuration.
+    pub fn config(&self) -> &SparkConfig {
+        &self.config
+    }
+
+    /// Mutable access to the engine configuration. Driver recovery uses
+    /// this to disarm a fired driver-kill fault between incarnations.
+    pub fn engine_config_mut(&mut self) -> &mut EngineConfig {
+        &mut self.config.engine
+    }
+
+    /// The per-batch metric series recorded so far.
+    pub fn series(&self) -> &[SeriesPoint] {
+        &self.series
+    }
+
+    /// Discard all mutable state, returning to a freshly-constructed
+    /// detector. Driver recovery with no checkpoint available restarts
+    /// the stream from the first record on this clean slate.
+    pub fn reset(&mut self) -> Result<()> {
+        *self = SparkDetector::new(self.config.clone())?;
+        Ok(())
+    }
+
     /// The alerting component.
     pub fn alerter(&self) -> &Alerter {
         &self.alerter
@@ -279,6 +345,34 @@ impl SparkDetector {
     /// The global model (for inspection).
     pub fn model(&self) -> &dyn StreamingClassifier {
         self.model.as_ref()
+    }
+}
+
+impl Checkpoint for SparkDetector {
+    fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        // `config` and `extractor` are construction-time; everything the
+        // per-batch dataflow mutates is captured below — this is exactly
+        // the state Spark Streaming would lose on a driver failure.
+        self.model.snapshot_into(w);
+        self.bow.snapshot_into(w);
+        self.normalizer.snapshot_into(w);
+        self.matrix.snapshot_into(w);
+        snapshot_series(&self.series, w);
+        self.alerter.snapshot_into(w);
+        self.sampler.snapshot_into(w);
+        w.write_u64(self.labeled_seen);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
+        self.model.restore_from(r)?;
+        self.bow.restore_from(r)?;
+        self.normalizer.restore_from(r)?;
+        self.matrix.restore_from(r)?;
+        self.series = restore_series(r)?;
+        self.alerter.restore_from(r)?;
+        self.sampler.restore_from(r)?;
+        self.labeled_seen = r.read_u64()?;
+        Ok(())
     }
 }
 

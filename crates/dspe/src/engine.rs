@@ -15,9 +15,17 @@
 //! `SparkCluster`. (See DESIGN.md: the paper's cluster hardware is
 //! substituted by this calibrated simulation.)
 
-use crate::executor::{available_threads, partition, run_partitioned};
+use crate::executor::{available_threads, partition, partition_seeded, run_selected};
+use crate::fault::{call_guarded, FaultPlan, FaultStats, InjectedFault, RetryPolicy};
 use crate::schedule::{CostModel, SimClock, Topology};
+use redhanded_types::{Error, Result};
 use std::time::{Duration, Instant};
+
+/// Default seed for the scatter partitioner (see
+/// [`crate::executor::partition_seeded`]): an arbitrary odd constant, mixed
+/// with the global batch index so each micro-batch scatters differently but
+/// reproducibly.
+pub const DEFAULT_PARTITION_SEED: u64 = 0x52ED_4A4D_ED05_EED5;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -33,6 +41,14 @@ pub struct EngineConfig {
     pub real_threads: usize,
     /// Records per micro-batch.
     pub microbatch_size: usize,
+    /// Task-failure handling: attempts, backoff, blacklisting.
+    pub retry: RetryPolicy,
+    /// `Some(seed)`: micro-batches are partitioned by the deterministic
+    /// seeded scatter (balanced, stream-position-decorrelated — the
+    /// default). `None`: plain round-robin.
+    pub partition_seed: Option<u64>,
+    /// Deterministic fault schedule for chaos testing (empty = no faults).
+    pub faults: FaultPlan,
 }
 
 impl EngineConfig {
@@ -44,6 +60,9 @@ impl EngineConfig {
             num_partitions: topology.total_slots(),
             real_threads: available_threads(),
             microbatch_size: 10_000,
+            retry: RetryPolicy::default(),
+            partition_seed: Some(DEFAULT_PARTITION_SEED),
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -82,16 +101,35 @@ impl<T> PData<T> {
 }
 
 /// Execution context of one micro-batch: runs transformations as parallel
-/// task sets and charges their scheduled cost to the batch's clock.
+/// task sets — retrying failed tasks from lineage — and charges their
+/// scheduled cost to the batch's clock.
 pub struct BatchContext<'a> {
     config: &'a EngineConfig,
     clock: &'a mut SimClock,
+    /// Global index of this micro-batch (continues across driver restarts).
+    batch: u64,
+    /// Next stage number within this batch.
+    stage: u32,
+    stats: &'a mut FaultStats,
 }
 
 impl BatchContext<'_> {
+    /// Global index of the micro-batch this context is executing.
+    pub fn batch_index(&self) -> u64 {
+        self.batch
+    }
+
     /// Partition a record vector into this batch's RDD.
     pub fn parallelize<T>(&mut self, records: Vec<T>) -> PData<T> {
-        PData { partitions: partition(records, self.config.num_partitions) }
+        let partitions = match self.config.partition_seed {
+            Some(seed) => partition_seeded(
+                records,
+                self.config.num_partitions,
+                seed ^ self.batch.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
+            None => partition(records, self.config.num_partitions),
+        };
+        PData { partitions }
     }
 
     /// Wrap already-partitioned data (the output of a previous stage) as an
@@ -104,11 +142,123 @@ impl BatchContext<'_> {
         &mut self,
         data: &PData<T>,
         f: impl Fn(usize, &[T]) -> U + Sync,
-    ) -> Vec<U> {
-        let results = run_partitioned(&data.partitions, self.config.real_threads, f);
-        let durations: Vec<Duration> = results.iter().map(|(_, d)| *d).collect();
-        self.clock.record_stage(&durations, self.config.topology, &self.config.cost_model);
-        results.into_iter().map(|(u, _)| u).collect()
+    ) -> Result<Vec<U>> {
+        let stage = self.stage;
+        self.stage += 1;
+        let n = data.partitions.len();
+        // Scratch for the retry loop; the loop itself
+        // (`execute_with_retries`) is allocation-free.
+        let mut outputs: Vec<Option<U>> = (0..n).map(|_| None).collect();
+        let mut attempts: Vec<u32> = vec![0; n];
+        let mut failures: Vec<u32> = vec![0; n];
+        let mut pending: Vec<usize> = (0..n).collect();
+        let mut retry_queue: Vec<usize> = Vec::new();
+        let mut durations: Vec<Duration> = Vec::with_capacity(n);
+        self.execute_with_retries(
+            data,
+            &f,
+            stage,
+            &mut outputs,
+            &mut attempts,
+            &mut failures,
+            &mut pending,
+            &mut retry_queue,
+            &mut durations,
+        )?;
+        let collected: Vec<U> = outputs.into_iter().flatten().collect();
+        debug_assert_eq!(collected.len(), n, "every partition produced an output");
+        Ok(collected)
+    }
+
+    /// Drive every pending task of one stage to completion.
+    ///
+    /// Each wave resubmits the still-pending partitions as one task set
+    /// (`run_selected`), converts caught panics into failures, and
+    /// reschedules them Spark-style: bounded attempts per task
+    /// ([`RetryPolicy::max_task_attempts`]), exponential backoff charged to
+    /// the simulated clock before each retry wave, and blacklisting —
+    /// repeatedly failing tasks shrink the slot pool their retry waves
+    /// schedule onto. Re-execution is pure lineage replay: the input
+    /// partition is immutable and `f` is pure, so a retried task produces
+    /// exactly what the failed attempt would have.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_with_retries<T: Sync, U: Send>(
+        &mut self,
+        data: &PData<T>,
+        f: &(impl Fn(usize, &[T]) -> U + Sync),
+        stage: u32,
+        outputs: &mut [Option<U>],
+        attempts: &mut [u32],
+        failures: &mut [u32],
+        pending: &mut Vec<usize>,
+        retry_queue: &mut Vec<usize>,
+        durations: &mut Vec<Duration>,
+    ) -> Result<()> {
+        let config = self.config;
+        let retry = config.retry;
+        let batch = self.batch;
+        let mut wave = 0u32;
+        while !pending.is_empty() {
+            if wave > 0 {
+                self.clock.advance_us(retry.backoff_us(wave));
+            }
+            wave += 1;
+            for &i in pending.iter() {
+                attempts[i] += 1;
+            }
+            let attempts_now: &[u32] = attempts;
+            let wave_results =
+                run_selected(&data.partitions, pending, config.real_threads, |i, part| {
+                    let attempt = attempts_now[i];
+                    let site = InjectedFault { batch, stage, partition: i, attempt };
+                    call_guarded(config.faults.decision(batch, stage, i, attempt), site, || {
+                        f(i, part)
+                    })
+                });
+            // Blacklisted slots (executors hosting repeated failures) are
+            // excluded from this wave's scheduling.
+            let blacklisted = failures.iter().filter(|&&c| c >= retry.blacklist_after).count();
+            let slots = config.topology.total_slots().saturating_sub(blacklisted).max(1);
+            self.stats.blacklisted = self.stats.blacklisted.max(blacklisted as u64);
+            durations.clear();
+            retry_queue.clear();
+            let mut fatal: Option<Error> = None;
+            for (&i, ((outcome, straggle), measured)) in pending.iter().zip(wave_results) {
+                // A failed or straggling attempt still occupied a slot for
+                // its full measured (plus injected) duration.
+                durations.push(measured + straggle);
+                if !straggle.is_zero() {
+                    self.stats.stragglers += 1;
+                }
+                self.stats.max_attempts = self.stats.max_attempts.max(attempts[i]);
+                match outcome {
+                    Ok(v) => outputs[i] = Some(v),
+                    Err(_failure) => {
+                        self.stats.task_failures += 1;
+                        failures[i] += 1;
+                        if attempts[i] >= retry.max_task_attempts {
+                            if fatal.is_none() {
+                                fatal = Some(Error::TaskFailed {
+                                    batch,
+                                    stage,
+                                    partition: i,
+                                    attempts: attempts[i],
+                                });
+                            }
+                        } else {
+                            self.stats.task_retries += 1;
+                            retry_queue.push(i);
+                        }
+                    }
+                }
+            }
+            self.clock.record_stage_on(durations, slots, &config.cost_model);
+            if let Some(e) = fatal {
+                return Err(e);
+            }
+            std::mem::swap(pending, retry_queue);
+        }
+        Ok(())
     }
 
     /// Element-wise map, one task per partition (Figure 2, op #1/#4).
@@ -116,9 +266,9 @@ impl BatchContext<'_> {
         &mut self,
         data: &PData<T>,
         f: impl Fn(&T) -> U + Sync,
-    ) -> PData<U> {
-        let partitions = self.run_stage(data, |_, part| part.iter().map(&f).collect());
-        PData { partitions }
+    ) -> Result<PData<U>> {
+        let partitions = self.run_stage(data, |_, part| part.iter().map(&f).collect())?;
+        Ok(PData { partitions })
     }
 
     /// Element-wise filter (Figure 2, op #2).
@@ -126,10 +276,10 @@ impl BatchContext<'_> {
         &mut self,
         data: &PData<T>,
         pred: impl Fn(&T) -> bool + Sync,
-    ) -> PData<T> {
+    ) -> Result<PData<T>> {
         let partitions =
-            self.run_stage(data, |_, part| part.iter().filter(|t| pred(t)).cloned().collect());
-        PData { partitions }
+            self.run_stage(data, |_, part| part.iter().filter(|t| pred(t)).cloned().collect())?;
+        Ok(PData { partitions })
     }
 
     /// Whole-partition map: one output per partition. This is how fused
@@ -139,7 +289,7 @@ impl BatchContext<'_> {
         &mut self,
         data: &PData<T>,
         f: impl Fn(usize, &[T]) -> U + Sync,
-    ) -> Vec<U> {
+    ) -> Result<Vec<U>> {
         self.run_stage(data, f)
     }
 
@@ -151,9 +301,9 @@ impl BatchContext<'_> {
         data: &PData<T>,
         local: impl Fn(usize, &[T]) -> A + Sync,
         merge: impl FnMut(A, A) -> A,
-    ) -> Option<A> {
-        let locals = self.run_stage(data, local);
-        self.driver(|| locals.into_iter().reduce(merge))
+    ) -> Result<Option<A>> {
+        let locals = self.run_stage(data, local)?;
+        Ok(self.driver(|| locals.into_iter().reduce(merge)))
     }
 
     /// Parallel tree reduction (Spark's `treeAggregate`): pairwise-combine
@@ -257,6 +407,11 @@ pub struct StreamReport {
     pub real: Duration,
     /// Per-micro-batch simulated latency distribution.
     pub batch_latency: LatencyStats,
+    /// `Some(batch)` when the fault plan killed the driver after that
+    /// global batch; the stream stopped with records unprocessed.
+    pub killed_at_batch: Option<u64>,
+    /// Faults absorbed during the run (all zero for a clean run).
+    pub faults: FaultStats,
 }
 
 impl StreamReport {
@@ -290,13 +445,36 @@ impl MicroBatchEngine {
 
     /// Consume `records` as a stream of micro-batches, invoking `handler`
     /// once per batch with a fresh [`BatchContext`] sharing one clock.
-    pub fn run_stream<R, F>(&self, records: impl IntoIterator<Item = R>, mut handler: F) -> StreamReport
+    pub fn run_stream<R, F>(&self, records: impl IntoIterator<Item = R>, handler: F) -> StreamReport
     where
         F: FnMut(&mut BatchContext<'_>, Vec<R>),
     {
+        self.run_stream_from(0, records, handler)
+    }
+
+    /// [`Self::run_stream`] with global batch numbering starting at
+    /// `first_batch` — the recovery path: a restarted driver replays the
+    /// uncheckpointed tail of the stream with the original batch indices,
+    /// so per-batch decisions (scatter partitioning, fault schedules)
+    /// reproduce exactly.
+    pub fn run_stream_from<R, F>(
+        &self,
+        first_batch: u64,
+        records: impl IntoIterator<Item = R>,
+        mut handler: F,
+    ) -> StreamReport
+    where
+        F: FnMut(&mut BatchContext<'_>, Vec<R>),
+    {
+        if !self.config.faults.is_empty() {
+            crate::fault::silence_injected_panics();
+        }
         let started = Instant::now();
         let mut clock = SimClock::new();
+        let mut stats = FaultStats::default();
+        let mut killed_at_batch = None;
         let mut batches = 0u64;
+        let mut batch_index = first_batch;
         let mut total_records = 0u64;
         let mut batch_durations: Vec<Duration> = Vec::new();
         let mut buffer: Vec<R> = Vec::with_capacity(self.config.microbatch_size);
@@ -316,10 +494,21 @@ impl MicroBatchEngine {
             total_records += buffer.len() as u64;
             let batch_start_us = clock.elapsed_us();
             clock.advance_us(self.config.cost_model.microbatch_overhead_us);
-            let mut ctx = BatchContext { config: &self.config, clock: &mut clock };
+            let mut ctx = BatchContext {
+                config: &self.config,
+                clock: &mut clock,
+                batch: batch_index,
+                stage: 0,
+                stats: &mut stats,
+            };
             handler(&mut ctx, std::mem::take(&mut buffer));
             batch_durations
                 .push(Duration::from_secs_f64((clock.elapsed_us() - batch_start_us) / 1e6));
+            if self.config.faults.driver_kill_after == Some(batch_index) {
+                killed_at_batch = Some(batch_index);
+                break;
+            }
+            batch_index += 1;
         }
         StreamReport {
             batches,
@@ -327,6 +516,8 @@ impl MicroBatchEngine {
             simulated: clock.elapsed(),
             real: started.elapsed(),
             batch_latency: LatencyStats::from_durations(batch_durations),
+            killed_at_batch,
+            faults: stats,
         }
     }
 }
@@ -357,10 +548,11 @@ mod tests {
         let mut got = 0i64;
         let report = engine.run_stream(input, |ctx, batch| {
             let data = ctx.parallelize(batch);
-            let doubled = ctx.map(&data, |x| x * 2);
-            let kept = ctx.filter(&doubled, |x| x % 3 == 0);
-            if let Some(sum) =
-                ctx.aggregate(&kept, |_, part| part.iter().sum::<i64>(), |a, b| a + b)
+            let doubled = ctx.map(&data, |x| x * 2).unwrap();
+            let kept = ctx.filter(&doubled, |x| x % 3 == 0).unwrap();
+            if let Some(sum) = ctx
+                .aggregate(&kept, |_, part| part.iter().sum::<i64>(), |a, b| a + b)
+                .unwrap()
             {
                 got += sum;
             }
@@ -382,9 +574,10 @@ mod tests {
             let mut total = 0;
             engine.run_stream(input.clone(), |ctx, batch| {
                 let data = ctx.parallelize(batch);
-                let sq = ctx.map(&data, |x| x * x);
+                let sq = ctx.map(&data, |x| x * x).unwrap();
                 total += ctx
                     .aggregate(&sq, |_, p| p.iter().sum::<i64>(), |a, b| a + b)
+                    .unwrap()
                     .unwrap_or(0);
             });
             total
@@ -406,9 +599,11 @@ mod tests {
             engine
                 .run_stream(input.clone(), |ctx, batch| {
                     let data = ctx.parallelize(batch);
-                    let _ = ctx.map_partitions(&data, |_, part| {
-                        part.iter().fold(0u64, |a, &n| a.wrapping_add(busy_work(n)))
-                    });
+                    let _ = ctx
+                        .map_partitions(&data, |_, part| {
+                            part.iter().fold(0u64, |a, &n| a.wrapping_add(busy_work(n)))
+                        })
+                        .unwrap();
                 })
                 .simulated
         };
@@ -442,9 +637,11 @@ mod tests {
         let engine = MicroBatchEngine::new(cfg);
         let report = engine.run_stream(input.clone(), |ctx, batch| {
             let data = ctx.parallelize(batch);
-            let _ = ctx.map_partitions(&data, |_, part| {
-                part.iter().fold(0u64, |a, &n| a.wrapping_add(busy_work(n)))
-            });
+            let _ = ctx
+                .map_partitions(&data, |_, part| {
+                    part.iter().fold(0u64, |a, &n| a.wrapping_add(busy_work(n)))
+                })
+                .unwrap();
         });
         // Bare sequential loop (MOA equivalent).
         let start = Instant::now();
@@ -473,7 +670,7 @@ mod tests {
         let run = |e: &MicroBatchEngine| {
             e.run_stream(vec![1u64; 100], |ctx, batch| {
                 let data = ctx.parallelize(batch);
-                let _ = ctx.map(&data, |x| x + 1);
+                let _ = ctx.map(&data, |x| x + 1).unwrap();
                 ctx.broadcast(1 << 20);
             })
             .simulated
@@ -522,6 +719,8 @@ mod tests {
             simulated: Duration::from_secs(2),
             real: Duration::from_secs(1),
             batch_latency: LatencyStats::default(),
+            killed_at_batch: None,
+            faults: FaultStats::default(),
         };
         assert!((report.throughput() - 2500.0).abs() < 1e-9);
     }
@@ -542,7 +741,7 @@ mod tests {
         let engine = engine(Topology::local(2));
         let report = engine.run_stream(0..1000i64, |ctx, batch| {
             let data = ctx.parallelize(batch);
-            let _ = ctx.map(&data, |x| x + 1);
+            let _ = ctx.map(&data, |x| x + 1).unwrap();
         });
         assert_eq!(report.batches, 10);
         assert!(report.batch_latency.mean > Duration::ZERO);
@@ -552,5 +751,161 @@ mod tests {
         let approx_total = report.batch_latency.mean * report.batches as u32;
         let ratio = approx_total.as_secs_f64() / report.simulated.as_secs_f64();
         assert!((0.8..=1.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    /// Sum 0..1000 through map+aggregate under `faults`, returning the
+    /// total and the run report.
+    fn faulty_sum(faults: FaultPlan) -> (i64, StreamReport) {
+        let mut cfg = EngineConfig::for_topology(Topology::local(4));
+        cfg.microbatch_size = 250;
+        cfg.retry.backoff_base_us = 100.0;
+        cfg.faults = faults;
+        let engine = MicroBatchEngine::new(cfg);
+        let mut total = 0i64;
+        let report = engine.run_stream(0..1000i64, |ctx, batch| {
+            let data = ctx.parallelize(batch);
+            let sq = ctx.map(&data, |x| x * 3).unwrap();
+            total += ctx
+                .aggregate(&sq, |_, p| p.iter().sum::<i64>(), |a, b| a + b)
+                .unwrap()
+                .unwrap_or(0);
+        });
+        (total, report)
+    }
+
+    #[test]
+    fn injected_crashes_are_retried_and_masked() {
+        let (clean, clean_report) = faulty_sum(FaultPlan::none());
+        assert!(clean_report.faults.is_clean());
+        // Partition 1 of batch 0 stage 0 crashes twice; partition 2 of
+        // batch 2 stage 1 crashes once.
+        let plan = FaultPlan::none().crash(0, 0, 1, 2).crash(2, 1, 2, 1);
+        let (faulty, report) = faulty_sum(plan);
+        assert_eq!(faulty, clean, "retries reproduce the lost task outputs");
+        assert_eq!(report.faults.task_failures, 3);
+        assert_eq!(report.faults.task_retries, 3);
+        assert_eq!(report.faults.max_attempts, 3, "worst task needed 3 attempts");
+        assert_eq!(report.killed_at_batch, None);
+    }
+
+    #[test]
+    fn exhausted_retries_fail_the_stage() {
+        let mut cfg = EngineConfig::for_topology(Topology::local(2));
+        cfg.microbatch_size = 100;
+        cfg.retry.max_task_attempts = 3;
+        cfg.retry.backoff_base_us = 10.0;
+        cfg.faults = FaultPlan::none().crash(0, 0, 0, 99);
+        let engine = MicroBatchEngine::new(cfg);
+        let mut err = None;
+        engine.run_stream(0..100i64, |ctx, batch| {
+            let data = ctx.parallelize(batch);
+            if let Err(e) = ctx.map(&data, |x| x + 1) {
+                err = Some(e);
+            }
+        });
+        match err {
+            Some(Error::TaskFailed { batch: 0, stage: 0, partition: 0, attempts: 3 }) => {}
+            other => panic!("expected TaskFailed after 3 attempts, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stragglers_cost_simulated_time_but_not_correctness() {
+        let (clean, clean_report) = faulty_sum(FaultPlan::none());
+        let plan = FaultPlan::none().straggle(1, 0, 0, Duration::from_millis(400));
+        let (slowed, report) = faulty_sum(plan);
+        assert_eq!(slowed, clean);
+        assert_eq!(report.faults.stragglers, 1);
+        assert_eq!(report.faults.task_failures, 0);
+        assert!(
+            report.simulated >= clean_report.simulated + Duration::from_millis(300),
+            "straggler delay charged: {:?} vs {:?}",
+            report.simulated,
+            clean_report.simulated
+        );
+    }
+
+    #[test]
+    fn repeated_failures_blacklist_slots() {
+        // Same task fails enough times to trip the blacklist threshold.
+        let plan = FaultPlan::none().crash(0, 0, 1, 3);
+        let (total, report) = faulty_sum(plan);
+        let (clean, _) = faulty_sum(FaultPlan::none());
+        assert_eq!(total, clean);
+        assert!(report.faults.blacklisted >= 1, "{:?}", report.faults);
+    }
+
+    #[test]
+    fn driver_kill_stops_the_stream_after_its_batch() {
+        let (_, report) = faulty_sum(FaultPlan::none().kill_driver_after(1));
+        assert_eq!(report.killed_at_batch, Some(1));
+        assert_eq!(report.batches, 2, "batches 0 and 1 completed");
+        assert_eq!(report.records, 500);
+    }
+
+    #[test]
+    fn run_stream_from_preserves_global_batch_numbering() {
+        let mut cfg = EngineConfig::for_topology(Topology::local(2));
+        cfg.microbatch_size = 100;
+        let engine = MicroBatchEngine::new(cfg);
+        let mut seen = Vec::new();
+        let report = engine.run_stream_from(5, 0..300i64, |ctx, _| {
+            seen.push(ctx.batch_index());
+        });
+        assert_eq!(seen, vec![5, 6, 7]);
+        assert_eq!(report.batches, 3);
+    }
+
+    #[test]
+    fn seeded_scatter_preserves_aggregate_semantics() {
+        // The default config scatters; disabling the seed falls back to
+        // round-robin. Both must agree on any partition-invariant result.
+        let input: Vec<i64> = (0..997).collect();
+        let run = |seed: Option<u64>| -> i64 {
+            let mut cfg = EngineConfig::for_topology(Topology::local(4));
+            cfg.microbatch_size = 250;
+            cfg.partition_seed = seed;
+            let engine = MicroBatchEngine::new(cfg);
+            let mut total = 0;
+            engine.run_stream(input.clone(), |ctx, batch| {
+                let data = ctx.parallelize(batch);
+                total += ctx
+                    .aggregate(&data, |_, p| p.iter().sum::<i64>(), |a, b| a + b)
+                    .unwrap()
+                    .unwrap_or(0);
+            });
+            total
+        };
+        assert_eq!(run(None), run(Some(DEFAULT_PARTITION_SEED)));
+        assert_eq!(run(Some(1)), run(Some(2)));
+    }
+
+    #[test]
+    fn faults_on_replayed_batches_refire_identically() {
+        // The same plan applied to a tail replay (run_stream_from) hits the
+        // same (batch, stage, partition) — the chaos-recovery invariant.
+        let mut cfg = EngineConfig::for_topology(Topology::local(4));
+        cfg.microbatch_size = 250;
+        cfg.retry.backoff_base_us = 100.0;
+        cfg.faults = FaultPlan::none().crash(2, 0, 1, 1);
+        let engine = MicroBatchEngine::new(cfg);
+        // Full run: fault fires in batch 2.
+        let full = engine.run_stream(0..1000i64, |ctx, batch| {
+            let data = ctx.parallelize(batch);
+            let _ = ctx.map(&data, |x| x + 1).unwrap();
+        });
+        assert_eq!(full.faults.task_failures, 1);
+        // Tail replay starting at batch 2: same fault fires again.
+        let tail = engine.run_stream_from(2, 500..1000i64, |ctx, batch| {
+            let data = ctx.parallelize(batch);
+            let _ = ctx.map(&data, |x| x + 1).unwrap();
+        });
+        assert_eq!(tail.faults.task_failures, 1);
+        // A tail that skips batch 2 sees no fault.
+        let later = engine.run_stream_from(3, 750..1000i64, |ctx, batch| {
+            let data = ctx.parallelize(batch);
+            let _ = ctx.map(&data, |x| x + 1).unwrap();
+        });
+        assert_eq!(later.faults.task_failures, 0);
     }
 }

@@ -32,19 +32,41 @@ where
     U: Send,
     F: Fn(usize, &[T]) -> U + Sync,
 {
-    let n = data.len();
+    let all: Vec<usize> = (0..data.len()).collect();
+    run_selected(data, &all, real_threads, f)
+}
+
+/// Execute one task per *selected* partition of `data`, returning each
+/// task's output and measured duration in `selected` order. This is the
+/// retry-wave primitive: after failures, the engine resubmits only the
+/// failed partitions.
+///
+/// `f` receives `(partition_index, partition_slice)` — the original
+/// partition index, not the position within `selected`. At most
+/// `real_threads` tasks run concurrently.
+pub fn run_selected<T, U, F>(
+    data: &[Vec<T>],
+    selected: &[usize],
+    real_threads: usize,
+    f: F,
+) -> Vec<(U, Duration)>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &[T]) -> U + Sync,
+{
+    let n = selected.len();
     if n == 0 {
         return Vec::new();
     }
     let threads = real_threads.clamp(1, n);
     if threads == 1 {
         // Fast path: no thread spawn cost for sequential execution.
-        return data
+        return selected
             .iter()
-            .enumerate()
-            .map(|(i, part)| {
+            .map(|&i| {
                 let start = Instant::now();
-                let out = f(i, part);
+                let out = f(i, &data[i]);
                 (out, start.elapsed())
             })
             .collect();
@@ -56,14 +78,15 @@ where
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= n {
                     break;
                 }
+                let i = selected[k];
                 let start = Instant::now();
                 let out = f(i, &data[i]);
                 let elapsed = start.elapsed();
-                **slots[i].lock().expect("slot lock") = Some((out, elapsed));
+                **slots[k].lock().expect("slot lock") = Some((out, elapsed));
             });
         }
     });
@@ -77,6 +100,45 @@ pub fn partition<T>(records: Vec<T>, num_partitions: usize) -> Vec<Vec<T>> {
     let p = num_partitions.max(1);
     let mut parts: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
     for (i, r) in records.into_iter().enumerate() {
+        parts[i % p].push(r);
+    }
+    parts
+}
+
+/// SplitMix64 — the standard 64-bit finalizer used to key the seeded
+/// scatter partitioner.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Split `records` into `num_partitions` balanced partitions by a seeded
+/// scatter: each record position is keyed with SplitMix64, records are
+/// ordered by key, then dealt round-robin.
+///
+/// Like Spark's hash repartition this decorrelates partition membership
+/// from stream position — plain round-robin sends every `p`-th record to
+/// the same partition, so any periodic structure in the stream (bursty
+/// labels, per-user runs) lands unevenly and per-partition local models
+/// diverge. Partition sizes still differ by at most one, and the
+/// assignment is a pure function of `(seed, len)` — identical on replay.
+pub fn partition_seeded<T>(records: Vec<T>, num_partitions: usize, seed: u64) -> Vec<Vec<T>> {
+    let p = num_partitions.max(1);
+    if p == 1 {
+        return vec![records];
+    }
+    let mut keyed: Vec<(u64, T)> = records
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| (splitmix64(seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407)), r))
+        .collect();
+    // Stable sort: positions with colliding keys keep stream order, so the
+    // scatter stays a pure function of (seed, len).
+    keyed.sort_by_key(|&(k, _)| k);
+    let mut parts: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+    for (i, (_, r)) in keyed.into_iter().enumerate() {
         parts[i % p].push(r);
     }
     parts
@@ -137,6 +199,57 @@ mod tests {
         let data: Vec<Vec<i32>> = vec![];
         let results = run_partitioned(&data, 4, |_, _| 0);
         assert!(results.is_empty());
+    }
+
+    #[test]
+    fn run_selected_runs_only_chosen_partitions() {
+        let data = partition((0..60).collect::<Vec<i64>>(), 6);
+        for threads in [1, 4] {
+            let results = run_selected(&data, &[4, 1], threads, |i, part| {
+                (i, part.iter().sum::<i64>())
+            });
+            assert_eq!(results.len(), 2);
+            assert_eq!(results[0].0, (4, data[4].iter().sum::<i64>()));
+            assert_eq!(results[1].0, (1, data[1].iter().sum::<i64>()));
+        }
+    }
+
+    #[test]
+    fn partition_seeded_is_balanced_and_lossless() {
+        let parts = partition_seeded((0..100).collect::<Vec<i32>>(), 7, 42);
+        assert_eq!(parts.len(), 7);
+        let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+        assert!(sizes.iter().all(|&s| s == 14 || s == 15), "{sizes:?}");
+        let mut all: Vec<i32> = parts.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn partition_seeded_is_deterministic_per_seed() {
+        let a = partition_seeded((0..50).collect::<Vec<i32>>(), 4, 7);
+        let b = partition_seeded((0..50).collect::<Vec<i32>>(), 4, 7);
+        assert_eq!(a, b, "same seed → same assignment");
+        let c = partition_seeded((0..50).collect::<Vec<i32>>(), 4, 8);
+        assert_ne!(a, c, "different seed → different scatter");
+    }
+
+    #[test]
+    fn partition_seeded_decorrelates_periodic_structure() {
+        // A stream whose every 4th record is "special": round-robin into 4
+        // partitions puts all specials in one partition; the scatter
+        // spreads them.
+        let records: Vec<u32> = (0..400).map(|i| u32::from(i % 4 == 0)).collect();
+        let scattered = partition_seeded(records, 4, 12345);
+        let counts: Vec<u32> = scattered.iter().map(|p| p.iter().sum()).collect();
+        assert!(counts.iter().all(|&c| c > 0), "specials spread: {counts:?}");
+        assert!(counts.iter().all(|&c| c < 100), "no partition holds all specials");
+    }
+
+    #[test]
+    fn partition_seeded_single_partition_passthrough() {
+        let parts = partition_seeded(vec![3, 1, 2], 1, 99);
+        assert_eq!(parts, vec![vec![3, 1, 2]]);
     }
 
     #[test]

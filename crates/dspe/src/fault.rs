@@ -1,0 +1,441 @@
+//! Deterministic fault injection for the micro-batch engine.
+//!
+//! Spark tolerates task failures by re-executing the failed task from its
+//! lineage (the input partition is immutable, the task closure is pure), and
+//! tolerates driver failures by restarting from a checkpoint. To *test*
+//! those paths deterministically, this module provides a [`FaultPlan`]: a
+//! seeded schedule of faults keyed by `(batch, stage, partition, attempt)`,
+//! so the same plan produces byte-identical failure behaviour on every run.
+//!
+//! Two fault kinds are modelled:
+//!
+//! * [`FaultKind::Crash`] — the task panics at its boundary before doing
+//!   any work, exactly like an executor JVM dying mid-task. The panic is
+//!   caught by [`call_guarded`] (the **only** `catch_unwind` site in the
+//!   workspace, enforced by `redhanded-lint`'s `catch-unwind-boundary`
+//!   rule) and converted into a [`TaskFailure`] that the engine's retry
+//!   loop handles.
+//! * [`FaultKind::Straggle`] — the task completes normally but *appears*
+//!   slower to the virtual scheduler by the given delay. No wall-clock
+//!   sleeping is involved; the delay is added to the task's measured
+//!   duration, so stragglers cost simulated time without slowing tests.
+//!
+//! A plan can also kill the driver after a chosen batch
+//! ([`FaultPlan::kill_driver_after`]), which stops the stream mid-flight —
+//! the checkpoint/recovery layer (see `crate::checkpoint` and the core
+//! crate's recovery driver) then restores model state and replays the tail.
+
+use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
+use std::sync::Once;
+use std::time::Duration;
+
+/// What an injected fault does to its task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic at the task boundary (an executor crash). The engine retries
+    /// the task from lineage, up to [`RetryPolicy::max_task_attempts`].
+    Crash,
+    /// Complete normally but appear this much slower to the scheduler.
+    Straggle(Duration),
+}
+
+/// One scheduled fault: fires on task `(batch, stage, partition)` while its
+/// attempt number (1-based) is `<= attempts`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Global micro-batch index the fault targets.
+    pub batch: u64,
+    /// Stage index within the batch (stages are numbered in execution
+    /// order, starting at 0).
+    pub stage: u32,
+    /// Input partition (= task index) the fault targets.
+    pub partition: usize,
+    /// Number of consecutive attempts that fail, starting at attempt 1.
+    /// `attempts = 2` means the first two attempts fail and the third runs
+    /// clean.
+    pub attempts: u32,
+    /// What happens to the targeted attempts.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of faults for one streaming run.
+///
+/// The default plan is empty (no faults). Plans are value types: clone one,
+/// disarm its driver kill, and hand it to the next incarnation of a
+/// recovering driver.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+    /// Kill the driver immediately after this global batch completes (its
+    /// results are produced, but no later batch starts). `None` = never.
+    pub driver_kill_after: Option<u64>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty() && self.driver_kill_after.is_none()
+    }
+
+    /// Schedule a crash of `(batch, stage, partition)` on its first
+    /// `attempts` attempts.
+    pub fn crash(mut self, batch: u64, stage: u32, partition: usize, attempts: u32) -> Self {
+        self.specs.push(FaultSpec { batch, stage, partition, attempts, kind: FaultKind::Crash });
+        self
+    }
+
+    /// Schedule a straggler: `(batch, stage, partition)`'s first attempt
+    /// appears `delay` slower to the scheduler.
+    pub fn straggle(mut self, batch: u64, stage: u32, partition: usize, delay: Duration) -> Self {
+        self.specs.push(FaultSpec {
+            batch,
+            stage,
+            partition,
+            attempts: 1,
+            kind: FaultKind::Straggle(delay),
+        });
+        self
+    }
+
+    /// Kill the driver after `batch` completes.
+    pub fn kill_driver_after(mut self, batch: u64) -> Self {
+        self.driver_kill_after = Some(batch);
+        self
+    }
+
+    /// Remove the driver kill (a driver failure is a one-time event: the
+    /// recovery loop disarms it before relaunching, while task faults
+    /// re-fire identically during replay and are absorbed by retries).
+    pub fn disarm_driver_kill(&mut self) {
+        self.driver_kill_after = None;
+    }
+
+    /// The scheduled faults.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// The fault (if any) scheduled for this exact task attempt.
+    pub fn decision(
+        &self,
+        batch: u64,
+        stage: u32,
+        partition: usize,
+        attempt: u32,
+    ) -> Option<FaultKind> {
+        self.specs
+            .iter()
+            .find(|s| {
+                s.batch == batch
+                    && s.stage == stage
+                    && s.partition == partition
+                    && attempt <= s.attempts
+            })
+            .map(|s| s.kind)
+    }
+}
+
+/// How the engine reacts to task failures — the knobs Spark exposes as
+/// `spark.task.maxFailures` and the blacklist/backoff settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Attempts per task before the whole job is failed (Spark's
+    /// `spark.task.maxFailures`, default 4).
+    pub max_task_attempts: u32,
+    /// Simulated delay before the first retry wave, in microseconds.
+    pub backoff_base_us: f64,
+    /// Multiplier applied to the backoff for each further retry wave.
+    pub backoff_factor: f64,
+    /// Failures on the same task before its executor slot is considered
+    /// blacklisted; each blacklisted slot shrinks the parallelism available
+    /// to subsequent retry waves of that stage.
+    pub blacklist_after: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_task_attempts: 4,
+            backoff_base_us: 1_000.0,
+            backoff_factor: 2.0,
+            blacklist_after: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Simulated scheduling delay charged before retry wave `wave`
+    /// (1-based: the wave re-running first-failure tasks is wave 1).
+    pub fn backoff_us(&self, wave: u32) -> f64 {
+        self.backoff_base_us * self.backoff_factor.powi(wave.saturating_sub(1) as i32)
+    }
+}
+
+/// Counters describing the faults a streaming run absorbed; reported in
+/// `StreamReport` so tests can assert the plan actually fired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Task attempts that ended in a (caught) panic.
+    pub task_failures: u64,
+    /// Failed tasks that were resubmitted for another attempt.
+    pub task_retries: u64,
+    /// Task attempts that were artificially delayed.
+    pub stragglers: u64,
+    /// Peak number of blacklisted executor slots observed in any wave.
+    pub blacklisted: u64,
+    /// Highest attempt number any task needed (1 = everything first-try).
+    pub max_attempts: u32,
+}
+
+impl FaultStats {
+    /// True when no fault of any kind was observed (`max_attempts` of 0 or
+    /// 1 both count as clean — 1 just means tasks ran).
+    pub fn is_clean(&self) -> bool {
+        self.task_failures == 0
+            && self.task_retries == 0
+            && self.stragglers == 0
+            && self.blacklisted == 0
+            && self.max_attempts <= 1
+    }
+}
+
+/// Panic payload used for injected crashes, carrying the task identity so
+/// the panic hook can tell injected faults from genuine bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Global micro-batch index of the crashed attempt.
+    pub batch: u64,
+    /// Stage index of the crashed attempt.
+    pub stage: u32,
+    /// Partition (task index) of the crashed attempt.
+    pub partition: usize,
+    /// 1-based attempt number that crashed.
+    pub attempt: u32,
+}
+
+/// A task attempt that panicked and was caught at the boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskFailure {
+    /// True when the panic payload was an [`InjectedFault`] (chaos
+    /// injection); false for a genuine panic escaping the task closure.
+    pub injected: bool,
+}
+
+/// Run one task attempt under the engine's panic boundary.
+///
+/// This is the single place the workspace is allowed to call
+/// `catch_unwind` (enforced by the `catch-unwind-boundary` lint): tasks
+/// are pure functions of an immutable input partition, so unwinding here
+/// cannot leave shared state torn — the engine simply re-runs the closure
+/// from lineage. Returns the task outcome plus any extra simulated
+/// duration an injected straggler adds to the measured task time.
+pub fn call_guarded<U>(
+    fault: Option<FaultKind>,
+    site: InjectedFault,
+    f: impl FnOnce() -> U,
+) -> (std::result::Result<U, TaskFailure>, Duration) {
+    let mut extra = Duration::ZERO;
+    let crash = match fault {
+        Some(FaultKind::Crash) => true,
+        Some(FaultKind::Straggle(d)) => {
+            extra = d;
+            false
+        }
+        None => false,
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if crash {
+            panic_any(site);
+        }
+        f()
+    }));
+    match outcome {
+        Ok(v) => (Ok(v), extra),
+        Err(payload) => {
+            let injected = payload.is::<InjectedFault>();
+            (Err(TaskFailure { injected }), extra)
+        }
+    }
+}
+
+/// Install (once, process-wide) a panic hook that suppresses the default
+/// "thread panicked" report for [`InjectedFault`] payloads — chaos tests
+/// inject hundreds of crashes and the noise would drown real output — while
+/// delegating every genuine panic to the previously installed hook.
+pub fn silence_injected_panics() {
+    static QUIET: Once = Once::new();
+    QUIET.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedFault>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Test rig for chaos experiments: runs the same workload fault-free and
+/// under a fault plan, so callers can assert the faults were *masked* —
+/// the observable output of the faulty run is identical to the clean one.
+///
+/// The workload receives the plan to install; the harness guarantees the
+/// clean run really is clean (an empty plan) and quiets the injected-panic
+/// noise before either run starts.
+#[derive(Debug, Clone)]
+pub struct ChaosHarness {
+    plan: FaultPlan,
+}
+
+impl ChaosHarness {
+    /// A harness around `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        silence_injected_panics();
+        ChaosHarness { plan }
+    }
+
+    /// The plan under test.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Run `workload` twice — fault-free, then under the plan — returning
+    /// `(clean, chaotic)` outputs for comparison.
+    pub fn run_both<T>(&self, mut workload: impl FnMut(FaultPlan) -> T) -> (T, T) {
+        let clean = workload(FaultPlan::none());
+        let chaotic = workload(self.plan.clone());
+        (clean, chaotic)
+    }
+
+    /// Run `workload` twice and panic unless the outputs are identical.
+    /// Returns the (shared) output on success.
+    #[track_caller]
+    pub fn assert_masked<T: PartialEq + std::fmt::Debug>(
+        &self,
+        workload: impl FnMut(FaultPlan) -> T,
+    ) -> T {
+        let (clean, chaotic) = self.run_both(workload);
+        assert_eq!(clean, chaotic, "fault plan changed observable output");
+        clean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(batch: u64, stage: u32, partition: usize, attempt: u32) -> InjectedFault {
+        InjectedFault { batch, stage, partition, attempt }
+    }
+
+    #[test]
+    fn empty_plan_decides_nothing() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert_eq!(plan.decision(0, 0, 0, 1), None);
+    }
+
+    #[test]
+    fn crash_fires_on_exact_task_for_first_attempts() {
+        let plan = FaultPlan::none().crash(3, 1, 2, 2);
+        assert_eq!(plan.decision(3, 1, 2, 1), Some(FaultKind::Crash));
+        assert_eq!(plan.decision(3, 1, 2, 2), Some(FaultKind::Crash));
+        assert_eq!(plan.decision(3, 1, 2, 3), None, "third attempt runs clean");
+        assert_eq!(plan.decision(3, 1, 1, 1), None, "other partition untouched");
+        assert_eq!(plan.decision(3, 0, 2, 1), None, "other stage untouched");
+        assert_eq!(plan.decision(2, 1, 2, 1), None, "other batch untouched");
+    }
+
+    #[test]
+    fn straggle_targets_first_attempt_only() {
+        let d = Duration::from_millis(50);
+        let plan = FaultPlan::none().straggle(0, 0, 0, d);
+        assert_eq!(plan.decision(0, 0, 0, 1), Some(FaultKind::Straggle(d)));
+        assert_eq!(plan.decision(0, 0, 0, 2), None);
+    }
+
+    #[test]
+    fn driver_kill_is_disarmable() {
+        let mut plan = FaultPlan::none().kill_driver_after(7);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.driver_kill_after, Some(7));
+        plan.disarm_driver_kill();
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn chaos_harness_passes_the_plan_only_to_the_chaotic_run() {
+        let harness = ChaosHarness::new(FaultPlan::none().crash(3, 1, 2, 1));
+        let (clean, chaotic) = harness.run_both(|plan| plan.specs().len());
+        assert_eq!(clean, 0, "baseline runs fault-free");
+        assert_eq!(chaotic, 1, "chaotic run receives the plan");
+        assert_eq!(harness.plan().specs().len(), 1);
+    }
+
+    #[test]
+    fn chaos_harness_accepts_identical_outputs() {
+        let harness = ChaosHarness::new(FaultPlan::none().crash(0, 0, 0, 1));
+        assert_eq!(harness.assert_masked(|_| 42), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault plan changed observable output")]
+    fn chaos_harness_rejects_diverging_outputs() {
+        let harness = ChaosHarness::new(FaultPlan::none().crash(0, 0, 0, 1));
+        harness.assert_masked(|plan| plan.specs().len());
+    }
+
+    #[test]
+    fn guarded_call_passes_through_success() {
+        let (out, extra) = call_guarded(None, site(0, 0, 0, 1), || 41 + 1);
+        assert_eq!(out.unwrap(), 42);
+        assert_eq!(extra, Duration::ZERO);
+    }
+
+    #[test]
+    fn guarded_call_converts_injected_crash() {
+        silence_injected_panics();
+        let (out, _) = call_guarded(Some(FaultKind::Crash), site(1, 0, 3, 1), || 42);
+        assert_eq!(out.unwrap_err(), TaskFailure { injected: true });
+    }
+
+    #[test]
+    fn guarded_call_catches_genuine_panics_as_uninjected() {
+        silence_injected_panics();
+        let (out, _) = call_guarded(None, site(0, 0, 0, 1), || {
+            if [1].len() == 1 {
+                panic!("task bug");
+            }
+            0
+        });
+        assert_eq!(out.unwrap_err(), TaskFailure { injected: false });
+    }
+
+    #[test]
+    fn straggle_reports_extra_duration_without_failing() {
+        let d = Duration::from_millis(250);
+        let (out, extra) = call_guarded(Some(FaultKind::Straggle(d)), site(0, 0, 0, 1), || 7);
+        assert_eq!(out.unwrap(), 7);
+        assert_eq!(extra, d);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = RetryPolicy::default();
+        assert!((p.backoff_us(1) - 1_000.0).abs() < 1e-9);
+        assert!((p.backoff_us(2) - 2_000.0).abs() < 1e-9);
+        assert!((p.backoff_us(3) - 4_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_stats_cleanliness() {
+        let mut s = FaultStats::default();
+        assert!(s.is_clean());
+        s.task_failures = 1;
+        assert!(!s.is_clean());
+    }
+}

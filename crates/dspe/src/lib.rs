@@ -15,17 +15,28 @@
 //!   scheduler that replay really-measured task durations onto the
 //!   `SparkSingle` / `SparkLocal` / `SparkCluster` topologies of Figures
 //!   15–16 (see DESIGN.md for the hardware substitution rationale);
-//! * [`executor`] — bounded real-thread execution with per-task timing.
+//! * [`executor`] — bounded real-thread execution with per-task timing;
+//! * [`fault`] — deterministic fault injection (task crashes, stragglers,
+//!   driver kills) with Spark-style bounded retry, backoff, and
+//!   blacklisting (DESIGN.md §9);
+//! * [`checkpoint`] — checkpoint stores for driver recovery.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod engine;
 pub mod executor;
+pub mod fault;
 pub mod operator;
 pub mod schedule;
 
-pub use engine::{BatchContext, EngineConfig, LatencyStats, MicroBatchEngine, PData, StreamReport};
-pub use executor::{available_threads, partition, run_partitioned};
+pub use checkpoint::{CheckpointMeta, CheckpointStore, DiskCheckpointStore, MemoryCheckpointStore};
+pub use engine::{
+    BatchContext, EngineConfig, LatencyStats, MicroBatchEngine, PData, StreamReport,
+    DEFAULT_PARTITION_SEED,
+};
+pub use executor::{available_threads, partition, partition_seeded, run_partitioned, run_selected};
+pub use fault::{ChaosHarness, FaultKind, FaultPlan, FaultSpec, FaultStats, RetryPolicy};
 pub use operator::OperatorPipeline;
 pub use schedule::{stage_makespan, CostModel, SimClock, Topology};

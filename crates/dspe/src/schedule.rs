@@ -153,7 +153,14 @@ impl SimClock {
         topology: Topology,
         cost: &CostModel,
     ) {
-        let makespan = stage_makespan(durations, topology.total_slots(), cost.task_overhead_us);
+        self.record_stage_on(durations, topology.total_slots(), cost);
+    }
+
+    /// Record one scheduled stage onto an explicit slot count — used by the
+    /// retry path, where blacklisted executors shrink the slots available
+    /// to a resubmission wave below the topology's total.
+    pub fn record_stage_on(&mut self, durations: &[Duration], slots: usize, cost: &CostModel) {
+        let makespan = stage_makespan(durations, slots, cost.task_overhead_us);
         self.advance(makespan);
         self.stages += 1;
         self.tasks += durations.len() as u64;
@@ -259,5 +266,16 @@ mod tests {
         assert_eq!(clock.tasks(), 4);
         clock.advance_us(500.0);
         assert!((clock.elapsed_us() - 30_500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reduced_slots_lengthen_a_recorded_stage() {
+        let mut full = SimClock::new();
+        let mut reduced = SimClock::new();
+        let d = vec![ms(10); 8];
+        full.record_stage_on(&d, 8, &CostModel::free());
+        reduced.record_stage_on(&d, 4, &CostModel::free());
+        assert_eq!(full.elapsed(), ms(10));
+        assert_eq!(reduced.elapsed(), ms(20), "blacklisted slots halve parallelism");
     }
 }

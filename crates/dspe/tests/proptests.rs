@@ -52,10 +52,11 @@ proptest! {
         let mut got = 0i64;
         let report = engine.run_stream(records.clone(), |ctx, chunk| {
             let data = ctx.parallelize(chunk);
-            let mapped = ctx.map(&data, |x| x * 3 + 1);
-            let kept = ctx.filter(&mapped, |x| x % 2 == 0);
+            let mapped = ctx.map(&data, |x| x * 3 + 1).unwrap();
+            let kept = ctx.filter(&mapped, |x| x % 2 == 0).unwrap();
             got += ctx
                 .aggregate(&kept, |_, part| part.iter().sum::<i64>(), |a, b| a + b)
+                .unwrap()
                 .unwrap_or(0);
         });
         prop_assert_eq!(got, expected);

@@ -1,0 +1,125 @@
+//! Property tests for the fault-injection layer (DESIGN.md §9): for *any*
+//! seeded fault plan whose per-task failure count stays within the retry
+//! budget, the engine's observable output is identical to the fault-free
+//! run (exactly-once effects), and no task ever consumes more attempts
+//! than the configured bound.
+
+use proptest::prelude::*;
+use redhanded_dspe::{
+    CostModel, EngineConfig, FaultPlan, MicroBatchEngine, RetryPolicy, Topology,
+};
+use redhanded_types::Error;
+use std::time::Duration;
+
+const MAX_ATTEMPTS: u32 = 4;
+
+/// The reference workload: map ∘ filter ∘ aggregate over a micro-batched
+/// stream. Returns (sum, records, batches, observed max attempts).
+fn run_sum(
+    records: Vec<i64>,
+    partitions: usize,
+    batch: usize,
+    plan: FaultPlan,
+) -> (i64, u64, u64, u32) {
+    let mut cfg = EngineConfig::for_topology(Topology::local(4));
+    cfg.num_partitions = partitions;
+    cfg.real_threads = 2;
+    cfg.microbatch_size = batch;
+    cfg.cost_model = CostModel::free();
+    cfg.retry = RetryPolicy { max_task_attempts: MAX_ATTEMPTS, ..RetryPolicy::default() };
+    cfg.faults = plan;
+    let engine = MicroBatchEngine::new(cfg);
+    let mut got = 0i64;
+    let report = engine.run_stream(records, |ctx, chunk| {
+        let data = ctx.parallelize(chunk);
+        let mapped = ctx.map(&data, |x| x * 3 + 1).unwrap();
+        let kept = ctx.filter(&mapped, |x| x % 2 == 0).unwrap();
+        got += ctx
+            .aggregate(&kept, |_, part| part.iter().sum::<i64>(), |a, b| a + b)
+            .unwrap()
+            .unwrap_or(0);
+    });
+    (got, report.records, report.batches, report.faults.max_attempts)
+}
+
+proptest! {
+    /// Any mix of crash and straggler specs with at most `MAX_ATTEMPTS - 1`
+    /// injected failures per task is fully masked: same sum, same record
+    /// and batch counts, and the attempt bound holds.
+    #[test]
+    fn recoverable_fault_plans_are_masked(
+        records in prop::collection::vec(-1000i64..1000, 1..300),
+        partitions in 1usize..8,
+        batch in 50usize..200,
+        crashes in prop::collection::vec(
+            (0u64..4, 0u32..3, 0usize..8, 1..MAX_ATTEMPTS), 0..6),
+        straggles in prop::collection::vec(
+            (0u64..4, 0u32..3, 0usize..8, 1u64..5), 0..4),
+    ) {
+        let mut plan = FaultPlan::none();
+        for &(b, s, p, a) in &crashes {
+            plan = plan.crash(b, s, p % partitions, a);
+        }
+        for &(b, s, p, ms) in &straggles {
+            plan = plan.straggle(b, s, p % partitions, Duration::from_millis(ms));
+        }
+        let (clean_sum, clean_records, clean_batches, clean_attempts) =
+            run_sum(records.clone(), partitions, batch, FaultPlan::none());
+        let (chaos_sum, chaos_records, chaos_batches, chaos_attempts) =
+            run_sum(records, partitions, batch, plan);
+        prop_assert_eq!(chaos_sum, clean_sum, "faults changed the output");
+        prop_assert_eq!(chaos_records, clean_records);
+        prop_assert_eq!(chaos_batches, clean_batches);
+        prop_assert!(clean_attempts <= 1, "fault-free run retried");
+        prop_assert!(
+            chaos_attempts <= MAX_ATTEMPTS,
+            "a task used {chaos_attempts} attempts, budget is {MAX_ATTEMPTS}"
+        );
+    }
+
+    /// A crash spec that outlives the retry budget always surfaces as
+    /// `Error::TaskFailed` naming the poisoned task, with exactly the
+    /// budgeted number of attempts consumed — never a silent drop.
+    #[test]
+    fn unrecoverable_crashes_name_the_poisoned_task(
+        partitions in 1usize..6,
+        target in 0usize..6,
+        stage in 0u32..3,
+        budget in 1u32..4,
+    ) {
+        let target = target % partitions;
+        let plan = FaultPlan::none().crash(0, stage, target, u32::MAX);
+        let mut cfg = EngineConfig::for_topology(Topology::local(4));
+        cfg.num_partitions = partitions;
+        cfg.real_threads = 2;
+        cfg.microbatch_size = 64;
+        cfg.cost_model = CostModel::free();
+        cfg.retry = RetryPolicy { max_task_attempts: budget, ..RetryPolicy::default() };
+        cfg.faults = plan;
+        let engine = MicroBatchEngine::new(cfg);
+        let mut first_error: Option<Error> = None;
+        engine.run_stream(0i64..64, |ctx, chunk| {
+            if first_error.is_some() {
+                return;
+            }
+            let data = ctx.parallelize(chunk);
+            let result = (|| {
+                let mapped = ctx.map(&data, |x| x + 1)?;
+                let kept = ctx.filter(&mapped, |x| x % 2 == 0)?;
+                ctx.aggregate(&kept, |_, part| part.len(), |a, b| a + b)?;
+                Ok::<(), Error>(())
+            })();
+            if let Err(e) = result {
+                first_error = Some(e);
+            }
+        });
+        match first_error {
+            Some(Error::TaskFailed { batch: 0, stage: s, partition, attempts }) => {
+                prop_assert_eq!(s, stage);
+                prop_assert_eq!(partition, target);
+                prop_assert_eq!(attempts, budget, "budget exhausted exactly");
+            }
+            other => prop_assert!(false, "expected TaskFailed, got {other:?}"),
+        }
+    }
+}

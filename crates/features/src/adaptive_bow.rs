@@ -24,6 +24,8 @@
 use redhanded_nlp::fxhash::{FxHashMap, FxHashSet};
 use redhanded_nlp::intern::{WordId, WordInterner};
 use redhanded_nlp::lexicons;
+use redhanded_types::snapshot::{Checkpoint, SnapshotReader, SnapshotWriter};
+use redhanded_types::{Error, Result};
 
 /// Configuration for the adaptive BoW maintenance rules.
 #[derive(Debug, Clone)]
@@ -328,6 +330,105 @@ impl AdaptiveBow {
     /// Iterate over the current members (unspecified order).
     pub fn words(&self) -> impl Iterator<Item = &str> {
         self.words.iter().map(|&id| self.interner.resolve(id))
+    }
+}
+
+impl Checkpoint for AdaptiveBow {
+    /// Serialization is canonical: id-keyed sets and maps are walked in
+    /// dense interner-id order rather than hash order, so equal state
+    /// always produces equal bytes (and the walk never allocates — ids
+    /// stream straight from the interner).
+    fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        w.write_u32(self.seed_count);
+        w.write_usize(self.interner.len());
+        for (id, word) in self.interner.iter() {
+            if id.index() >= self.seed_count as usize {
+                w.write_str(word);
+            }
+        }
+        w.write_usize(self.words.len());
+        w.write_usize(self.aggressive_counts.len());
+        w.write_usize(self.normal_counts.len());
+        for (id, _) in self.interner.iter() {
+            if self.words.contains(&id) {
+                w.write_u32(id.index() as u32);
+            }
+        }
+        for (id, _) in self.interner.iter() {
+            if let Some(&c) = self.aggressive_counts.get(&id) {
+                w.write_u32(id.index() as u32);
+                w.write_f64(c);
+            }
+        }
+        for (id, _) in self.interner.iter() {
+            if let Some(&c) = self.normal_counts.get(&id) {
+                w.write_u32(id.index() as u32);
+                w.write_f64(c);
+            }
+        }
+        w.write_f64(self.aggressive_tweets);
+        w.write_f64(self.normal_tweets);
+        w.write_u64(self.since_update);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
+        let seed_count = r.read_u32()?;
+        if seed_count != self.seed_count {
+            return Err(Error::Snapshot(format!(
+                "BoW snapshot has {seed_count} seed words, lexicon has {}",
+                self.seed_count
+            )));
+        }
+        // Rebuild the interner so ids are dense in snapshot order: the seed
+        // prefix from the lexicon, then the recorded vocabulary.
+        let vocab = r.read_usize()?;
+        if vocab < seed_count as usize {
+            return Err(Error::Snapshot(format!(
+                "BoW snapshot vocabulary {vocab} smaller than its seed prefix {seed_count}"
+            )));
+        }
+        let mut interner = WordInterner::with_swear_lexicon();
+        for _ in seed_count as usize..vocab {
+            interner.intern(&r.read_str()?);
+        }
+        if interner.len() != vocab {
+            return Err(Error::Snapshot(format!(
+                "BoW snapshot vocabulary collapsed to {} of {vocab} words on re-interning",
+                interner.len()
+            )));
+        }
+        let members = r.read_usize()?;
+        let agg_entries = r.read_usize()?;
+        let norm_entries = r.read_usize()?;
+        let read_id = |r: &mut SnapshotReader| -> Result<WordId> {
+            let index = r.read_u32()? as usize;
+            interner.id_at(index).ok_or_else(|| {
+                Error::Snapshot(format!("BoW snapshot id {index} out of vocabulary {vocab}"))
+            })
+        };
+        let mut words = FxHashSet::default();
+        for _ in 0..members {
+            words.insert(read_id(r)?);
+        }
+        let mut aggressive_counts = FxHashMap::default();
+        for _ in 0..agg_entries {
+            let id = read_id(r)?;
+            aggressive_counts.insert(id, r.read_f64()?);
+        }
+        let mut normal_counts = FxHashMap::default();
+        for _ in 0..norm_entries {
+            let id = read_id(r)?;
+            normal_counts.insert(id, r.read_f64()?);
+        }
+        self.interner = interner;
+        self.words = words;
+        self.aggressive_counts = aggressive_counts;
+        self.normal_counts = normal_counts;
+        self.aggressive_tweets = r.read_f64()?;
+        self.normal_tweets = r.read_f64()?;
+        self.since_update = r.read_u64()?;
+        self.seen.clear();
+        Ok(())
     }
 }
 

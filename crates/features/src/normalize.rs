@@ -15,6 +15,7 @@
 //! no look-ahead over the stream is needed.
 
 use crate::stats::OnlineStats;
+use redhanded_types::snapshot::{Checkpoint, SnapshotReader, SnapshotWriter};
 use redhanded_types::{Error, Instance, Result};
 
 /// Which normalization transform to apply.
@@ -119,6 +120,31 @@ impl Normalizer {
     pub fn process(&mut self, instance: &mut Instance) -> Result<()> {
         self.observe(&instance.features)?;
         self.transform(&mut instance.features)
+    }
+}
+
+impl Checkpoint for Normalizer {
+    fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        // `kind` is construction-time configuration; the per-feature count
+        // is recorded so restore can reject a differently shaped normalizer.
+        w.write_usize(self.stats.len());
+        for stat in &self.stats {
+            stat.snapshot_into(w);
+        }
+    }
+
+    fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
+        let n = r.read_usize()?;
+        if n != self.stats.len() {
+            return Err(Error::Snapshot(format!(
+                "normalizer snapshot has {n} features, built for {}",
+                self.stats.len()
+            )));
+        }
+        for stat in &mut self.stats {
+            stat.restore_from(r)?;
+        }
+        Ok(())
     }
 }
 

@@ -7,6 +7,9 @@
 //! with the P² algorithm (Jain & Chlamtac, 1985) so the *minmax without
 //! outliers* variant can rescale its bounds without buffering the stream.
 
+use redhanded_types::snapshot::{Checkpoint, SnapshotReader, SnapshotWriter};
+use redhanded_types::Result;
+
 /// P² (piecewise-parabolic) streaming quantile estimator for one quantile.
 ///
 /// Maintains five markers whose heights approximate the `p`-quantile without
@@ -130,6 +133,43 @@ impl P2Quantile {
     /// Number of observations so far.
     pub fn count(&self) -> usize {
         self.count
+    }
+}
+
+impl Checkpoint for P2Quantile {
+    fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        // `p` and the derived increments `dn` are construction-time
+        // configuration; everything the updates mutate is recorded.
+        for &q in &self.q {
+            w.write_f64(q);
+        }
+        for &n in &self.n {
+            w.write_f64(n);
+        }
+        for &np in &self.np {
+            w.write_f64(np);
+        }
+        w.write_usize(self.count);
+        for &x in &self.initial {
+            w.write_f64(x);
+        }
+    }
+
+    fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
+        for q in &mut self.q {
+            *q = r.read_f64()?;
+        }
+        for n in &mut self.n {
+            *n = r.read_f64()?;
+        }
+        for np in &mut self.np {
+            *np = r.read_f64()?;
+        }
+        self.count = r.read_usize()?;
+        for x in &mut self.initial {
+            *x = r.read_f64()?;
+        }
+        Ok(())
     }
 }
 
@@ -261,6 +301,28 @@ impl OnlineStats {
             self.q_low = other.q_low.clone();
             self.q_high = other.q_high.clone();
         }
+    }
+}
+
+impl Checkpoint for OnlineStats {
+    fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        w.write_u64(self.count);
+        w.write_f64(self.mean);
+        w.write_f64(self.m2);
+        w.write_f64(self.min);
+        w.write_f64(self.max);
+        self.q_low.snapshot_into(w);
+        self.q_high.snapshot_into(w);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
+        self.count = r.read_u64()?;
+        self.mean = r.read_f64()?;
+        self.m2 = r.read_f64()?;
+        self.min = r.read_f64()?;
+        self.max = r.read_f64()?;
+        self.q_low.restore_from(r)?;
+        self.q_high.restore_from(r)
     }
 }
 

@@ -88,6 +88,24 @@ impl WordInterner {
         &self.words[id.index()]
     }
 
+    /// The id at dense `index` (interning order), if one has been assigned.
+    /// The inverse of [`WordId::index`], used when deserializing id-keyed
+    /// state against a rebuilt interner.
+    pub fn id_at(&self, index: usize) -> Option<WordId> {
+        if index < self.words.len() {
+            Some(WordId(index as u32))
+        } else {
+            None
+        }
+    }
+
+    /// Iterate `(id, word)` pairs in dense id order (interning order).
+    /// Never allocates — the canonical traversal for serializing id-keyed
+    /// state deterministically.
+    pub fn iter(&self) -> impl Iterator<Item = (WordId, &str)> {
+        self.words.iter().enumerate().map(|(i, w)| (WordId(i as u32), w.as_ref()))
+    }
+
     /// Number of interned words.
     pub fn len(&self) -> usize {
         self.words.len()

@@ -11,6 +11,9 @@
 //! This is the standard bucket-compressed implementation: memory is
 //! O(M · log(W/M)) for window length `W` with `M` buckets per row.
 
+use redhanded_types::snapshot::{Checkpoint, SnapshotReader, SnapshotWriter};
+use redhanded_types::Result;
+
 /// Maximum number of buckets per exponential-histogram row.
 const MAX_BUCKETS: usize = 5;
 
@@ -194,6 +197,38 @@ impl Adwin {
                 return;
             }
         }
+    }
+}
+
+impl Checkpoint for Adwin {
+    fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        // `delta` and `clock` are construction-time configuration; only the
+        // window contents and counters are mutable state.
+        w.write_usize(self.rows.len());
+        for row in &self.rows {
+            w.write_f64s(&row.sums);
+            w.write_f64s(&row.sq_sums);
+        }
+        w.write_u64(self.width);
+        w.write_f64(self.total);
+        w.write_f64(self.sq_total);
+        w.write_u64(self.num_detections);
+        w.write_u64(self.ticks);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
+        let num_rows = r.read_usize()?;
+        let mut rows = Vec::with_capacity(num_rows.min(64));
+        for _ in 0..num_rows {
+            rows.push(BucketRow { sums: r.read_f64s()?, sq_sums: r.read_f64s()? });
+        }
+        self.rows = rows;
+        self.width = r.read_u64()?;
+        self.total = r.read_f64()?;
+        self.sq_total = r.read_f64()?;
+        self.num_detections = r.read_u64()?;
+        self.ticks = r.read_u64()?;
+        Ok(())
     }
 }
 

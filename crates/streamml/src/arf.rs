@@ -15,10 +15,11 @@
 //! Votes are weighted by each member's running accuracy.
 
 use crate::classifier::{argmax, normalize_proba, StreamingClassifier};
-use crate::drift::{ChangeDetector, DetectorKind};
+use crate::drift::{restore_detector, snapshot_detector, ChangeDetector, DetectorKind};
 use crate::hoeffding::{HoeffdingTree, HoeffdingTreeConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use redhanded_types::snapshot::{Checkpoint, SnapshotReader, SnapshotWriter};
 use redhanded_types::{Error, Instance, Result};
 
 /// Adaptive Random Forest hyperparameters (Table I of the paper).
@@ -198,6 +199,51 @@ impl ArfMember {
     }
 }
 
+impl Checkpoint for ArfMember {
+    fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        // `reference` is only set on per-partition forks, which are never
+        // checkpointed — the master model is snapshotted at the driver.
+        Checkpoint::snapshot_into(&self.tree, w);
+        match &self.background {
+            Some(bg) => {
+                w.write_bool(true);
+                Checkpoint::snapshot_into(bg, w);
+            }
+            None => w.write_bool(false),
+        }
+        snapshot_detector(self.warning.as_ref(), w);
+        snapshot_detector(self.drift.as_ref(), w);
+        w.write_f64(self.correct);
+        w.write_f64(self.total);
+        w.write_bool(self.pending_drift);
+        w.write_bool(self.pending_warning);
+        w.write_u64(self.drifts_applied);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
+        Checkpoint::restore_from(&mut self.tree, r)?;
+        self.background = if r.read_bool()? {
+            // Build a shape-correct tree from the member's config, then
+            // overwrite its state (the seed is immediately replaced by the
+            // snapshot's RNG state).
+            let mut bg = HoeffdingTree::new(self.tree.config().clone())?;
+            Checkpoint::restore_from(&mut bg, r)?;
+            Some(bg)
+        } else {
+            None
+        };
+        restore_detector(self.warning.as_mut(), r)?;
+        restore_detector(self.drift.as_mut(), r)?;
+        self.correct = r.read_f64()?;
+        self.total = r.read_f64()?;
+        self.pending_drift = r.read_bool()?;
+        self.pending_warning = r.read_bool()?;
+        self.drifts_applied = r.read_u64()?;
+        self.reference = None;
+        Ok(())
+    }
+}
+
 /// The Adaptive Random Forest streaming classifier.
 #[derive(Debug, Clone)]
 pub struct AdaptiveRandomForest {
@@ -275,6 +321,37 @@ impl AdaptiveRandomForest {
             });
         }
         Ok(Some(class))
+    }
+}
+
+impl Checkpoint for AdaptiveRandomForest {
+    fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        w.write_usize(self.members.len());
+        for member in &self.members {
+            member.snapshot_into(w);
+        }
+        for word in self.rng.state() {
+            w.write_u64(word);
+        }
+    }
+
+    fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
+        let n = r.read_usize()?;
+        if n != self.members.len() {
+            return Err(Error::Snapshot(format!(
+                "ensemble size {} != snapshot {n}",
+                self.members.len()
+            )));
+        }
+        for member in &mut self.members {
+            member.restore_from(r)?;
+        }
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.read_u64()?;
+        }
+        self.rng = SmallRng::from_state(state);
+        Ok(())
     }
 }
 
@@ -398,6 +475,14 @@ impl StreamingClassifier for AdaptiveRandomForest {
             }
         }
         self.finalize_batch()
+    }
+
+    fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        Checkpoint::snapshot_into(self, w);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
+        Checkpoint::restore_from(self, r)
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -13,6 +13,7 @@
 use crate::classifier::{normalize_proba, StreamingClassifier};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use redhanded_types::snapshot::{SnapshotReader, SnapshotWriter};
 use redhanded_types::{Error, Instance, Result};
 
 /// Online bagging ensemble over clones of a base learner.
@@ -164,6 +165,37 @@ impl StreamingClassifier for OzaBag {
 
     fn clone_box(&self) -> Box<dyn StreamingClassifier> {
         Box::new(self.clone())
+    }
+
+    fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        // `lambda` is construction-time configuration; member count is
+        // recorded so restore can reject a differently sized ensemble.
+        w.write_usize(self.members.len());
+        for member in &self.members {
+            member.snapshot_into(w);
+        }
+        for word in self.rng.state() {
+            w.write_u64(word);
+        }
+    }
+
+    fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
+        let n = r.read_usize()?;
+        if n != self.members.len() {
+            return Err(Error::Snapshot(format!(
+                "OzaBag snapshot has {n} members, ensemble built with {}",
+                self.members.len()
+            )));
+        }
+        for member in &mut self.members {
+            member.restore_from(r)?;
+        }
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.read_u64()?;
+        }
+        self.rng = SmallRng::from_state(state);
+        Ok(())
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

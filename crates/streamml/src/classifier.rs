@@ -7,6 +7,7 @@
 //! different partitions of a micro-batch back into the global model
 //! (Figure 2, op #3), so merging is part of the contract.
 
+use redhanded_types::snapshot::{SnapshotReader, SnapshotWriter};
 use redhanded_types::{Instance, Result};
 
 /// An incremental classifier over dense feature vectors.
@@ -82,6 +83,18 @@ pub trait StreamingClassifier: Send + Sync {
         }
         self.finalize_batch()
     }
+
+    /// Serialize all mutable model state for checkpointing — the
+    /// object-safe face of [`redhanded_types::Checkpoint`], so the driver
+    /// can snapshot a `Box<dyn StreamingClassifier>` without downcasting.
+    /// Round-trip law: a model restored into a freshly configured instance
+    /// must produce bit-identical predictions and training trajectories.
+    fn snapshot_into(&self, w: &mut SnapshotWriter);
+
+    /// Restore mutable model state captured by
+    /// [`StreamingClassifier::snapshot_into`] into this (freshly
+    /// configured) model.
+    fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()>;
 
     /// Downcasting support for [`StreamingClassifier::merge`]
     /// implementations.

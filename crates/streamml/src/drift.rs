@@ -13,6 +13,8 @@
 //! s_min` and *drift* at `p̂ + s ≥ p_min + 3 s_min`, resetting afterwards.
 
 use crate::adwin::Adwin;
+use redhanded_types::snapshot::{Checkpoint, SnapshotReader, SnapshotWriter};
+use redhanded_types::{Error, Result};
 
 /// A detector over a bounded error stream.
 pub trait ChangeDetector: Send + Sync + std::fmt::Debug {
@@ -28,6 +30,37 @@ pub trait ChangeDetector: Send + Sync + std::fmt::Debug {
 
     /// Clone into a boxed trait object.
     fn clone_box(&self) -> Box<dyn ChangeDetector>;
+
+    /// Stable one-byte tag identifying the implementation in snapshots
+    /// (0 = ADWIN, 1 = DDM).
+    fn kind_tag(&self) -> u8;
+
+    /// Serialize mutable detector state ([`Checkpoint`] by another name,
+    /// object-safe on the trait object).
+    fn snapshot_state(&self, w: &mut SnapshotWriter);
+
+    /// Restore mutable detector state captured by
+    /// [`ChangeDetector::snapshot_state`].
+    fn restore_state(&mut self, r: &mut SnapshotReader) -> Result<()>;
+}
+
+/// Snapshot a boxed detector with its kind tag prepended.
+pub fn snapshot_detector(d: &dyn ChangeDetector, w: &mut SnapshotWriter) {
+    w.write_u8(d.kind_tag());
+    d.snapshot_state(w);
+}
+
+/// Restore a boxed detector, verifying the recorded kind matches the one
+/// the caller rebuilt from configuration.
+pub fn restore_detector(d: &mut dyn ChangeDetector, r: &mut SnapshotReader) -> Result<()> {
+    let tag = r.read_u8()?;
+    if tag != d.kind_tag() {
+        return Err(Error::Snapshot(format!(
+            "detector kind mismatch: snapshot has tag {tag}, configuration built {}",
+            d.kind_tag()
+        )));
+    }
+    d.restore_state(r)
 }
 
 impl Clone for Box<dyn ChangeDetector> {
@@ -51,6 +84,18 @@ impl ChangeDetector for Adwin {
 
     fn clone_box(&self) -> Box<dyn ChangeDetector> {
         Box::new(self.clone())
+    }
+
+    fn kind_tag(&self) -> u8 {
+        0
+    }
+
+    fn snapshot_state(&self, w: &mut SnapshotWriter) {
+        Checkpoint::snapshot_into(self, w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapshotReader) -> Result<()> {
+        Checkpoint::restore_from(self, r)
     }
 }
 
@@ -149,6 +194,41 @@ impl ChangeDetector for Ddm {
 
     fn clone_box(&self) -> Box<dyn ChangeDetector> {
         Box::new(self.clone())
+    }
+
+    fn kind_tag(&self) -> u8 {
+        1
+    }
+
+    fn snapshot_state(&self, w: &mut SnapshotWriter) {
+        Checkpoint::snapshot_into(self, w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapshotReader) -> Result<()> {
+        Checkpoint::restore_from(self, r)
+    }
+}
+
+impl Checkpoint for Ddm {
+    fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        // Thresholds (`warning_sigmas`, `drift_sigmas`, `min_observations`)
+        // are construction-time configuration.
+        w.write_f64(self.n);
+        w.write_f64(self.p);
+        w.write_f64(self.p_min);
+        w.write_f64(self.s_min);
+        w.write_bool(self.in_warning);
+        w.write_u64(self.detections);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
+        self.n = r.read_f64()?;
+        self.p = r.read_f64()?;
+        self.p_min = r.read_f64()?;
+        self.s_min = r.read_f64()?;
+        self.in_warning = r.read_bool()?;
+        self.detections = r.read_u64()?;
+        Ok(())
     }
 }
 

@@ -12,7 +12,8 @@
 //! performance), and records an F1-over-instances series for the figures.
 
 use crate::classifier::StreamingClassifier;
-use redhanded_types::{Instance, Result};
+use redhanded_types::snapshot::{Checkpoint, SnapshotReader, SnapshotWriter};
+use redhanded_types::{Error, Instance, Result};
 use std::collections::VecDeque;
 
 /// A `c × c` confusion matrix over weighted predictions.
@@ -289,6 +290,104 @@ impl PrequentialEvaluator {
     /// Number of labeled instances evaluated.
     pub fn instances(&self) -> u64 {
         self.instances
+    }
+}
+
+impl Checkpoint for ConfusionMatrix {
+    fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        // `num_classes` is construction-time shape.
+        for row in &self.counts {
+            w.write_f64s(row);
+        }
+        w.write_f64(self.total);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
+        for row in &mut self.counts {
+            let restored = r.read_f64s()?;
+            if restored.len() != self.num_classes {
+                return Err(Error::Snapshot(format!(
+                    "confusion-matrix snapshot row has {} classes, matrix built for {}",
+                    restored.len(),
+                    self.num_classes
+                )));
+            }
+            *row = restored;
+        }
+        self.total = r.read_f64()?;
+        Ok(())
+    }
+}
+
+/// Serialize a metric-over-stream series into a snapshot. Shared by
+/// [`PrequentialEvaluator`] and the distributed detector's checkpoint so
+/// both sides use one wire format.
+pub fn snapshot_series(series: &[SeriesPoint], w: &mut SnapshotWriter) {
+    w.write_usize(series.len());
+    for point in series {
+        w.write_u64(point.instances);
+        let m = point.metrics;
+        w.write_f64(m.accuracy);
+        w.write_f64(m.precision);
+        w.write_f64(m.recall);
+        w.write_f64(m.f1);
+        w.write_f64(m.macro_f1);
+        w.write_f64(m.kappa);
+        w.write_f64(m.total);
+    }
+}
+
+/// Deserialize a series written by [`snapshot_series`].
+pub fn restore_series(r: &mut SnapshotReader) -> Result<Vec<SeriesPoint>> {
+    let len = r.read_usize()?;
+    // Cap pre-allocation by what the buffer could actually hold (8 u64s
+    // per point), so a corrupt length prefix cannot trigger a huge alloc.
+    let mut series = Vec::with_capacity(len.min(r.remaining() / 64 + 1));
+    for _ in 0..len {
+        let instances = r.read_u64()?;
+        let metrics = Metrics {
+            accuracy: r.read_f64()?,
+            precision: r.read_f64()?,
+            recall: r.read_f64()?,
+            f1: r.read_f64()?,
+            macro_f1: r.read_f64()?,
+            kappa: r.read_f64()?,
+            total: r.read_f64()?,
+        };
+        series.push(SeriesPoint { instances, metrics });
+    }
+    Ok(series)
+}
+
+impl Checkpoint for PrequentialEvaluator {
+    fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        // `window` and `record_every` are construction-time configuration.
+        self.cumulative.snapshot_into(w);
+        self.windowed.snapshot_into(w);
+        w.write_usize(self.recent.len());
+        for &(actual, predicted, weight) in &self.recent {
+            w.write_usize(actual);
+            w.write_usize(predicted);
+            w.write_f64(weight);
+        }
+        w.write_u64(self.instances);
+        snapshot_series(&self.series, w);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
+        self.cumulative.restore_from(r)?;
+        self.windowed.restore_from(r)?;
+        let recent_len = r.read_usize()?;
+        self.recent.clear();
+        for _ in 0..recent_len {
+            let actual = r.read_usize()?;
+            let predicted = r.read_usize()?;
+            let weight = r.read_f64()?;
+            self.recent.push_back((actual, predicted, weight));
+        }
+        self.instances = r.read_u64()?;
+        self.series = restore_series(r)?;
+        Ok(())
     }
 }
 

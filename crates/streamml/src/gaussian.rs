@@ -9,6 +9,8 @@
 //! between the observed bounds.
 
 use crate::criterion::SplitCriterion;
+use redhanded_types::snapshot::{Checkpoint, SnapshotReader, SnapshotWriter};
+use redhanded_types::{Error, Result};
 
 /// Weighted running Gaussian summary of one feature under one class.
 #[derive(Debug, Clone, Default)]
@@ -124,6 +126,25 @@ impl GaussianEstimator {
     }
 }
 
+impl Checkpoint for GaussianEstimator {
+    fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        w.write_f64(self.weight);
+        w.write_f64(self.mean);
+        w.write_f64(self.m2);
+        w.write_f64(self.min);
+        w.write_f64(self.max);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
+        self.weight = r.read_f64()?;
+        self.mean = r.read_f64()?;
+        self.m2 = r.read_f64()?;
+        self.min = r.read_f64()?;
+        self.max = r.read_f64()?;
+        Ok(())
+    }
+}
+
 /// Standard normal CDF via the Abramowitz & Stegun 7.1.26 erf approximation
 /// (|error| < 1.5e-7).
 pub fn normal_cdf(z: f64) -> f64 {
@@ -233,6 +254,29 @@ impl AttributeObserver {
             right[c] = est.weight() - below;
         }
         (left, right)
+    }
+}
+
+impl Checkpoint for AttributeObserver {
+    fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        w.write_usize(self.per_class.len());
+        for est in &self.per_class {
+            est.snapshot_into(w);
+        }
+    }
+
+    fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
+        let n = r.read_usize()?;
+        if n != self.per_class.len() {
+            return Err(Error::Snapshot(format!(
+                "attribute observer class count {} != snapshot {n}",
+                self.per_class.len()
+            )));
+        }
+        for est in &mut self.per_class {
+            est.restore_from(r)?;
+        }
+        Ok(())
     }
 }
 

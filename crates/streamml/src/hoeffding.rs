@@ -28,6 +28,7 @@ use crate::criterion::{hoeffding_bound, SplitCriterion};
 use crate::gaussian::AttributeObserver;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use redhanded_types::snapshot::{Checkpoint, SnapshotReader, SnapshotWriter};
 use redhanded_types::{Error, Instance, Result};
 
 /// How a leaf turns its statistics into a prediction.
@@ -491,6 +492,100 @@ impl Node {
             Node::Split(s) => s.left.depth().max(s.right.depth()),
         }
     }
+
+    /// Serialize the subtree (pre-order, tagged: 0 = leaf, 1 = split).
+    fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        match self {
+            Node::Leaf(leaf) => {
+                w.write_u8(0);
+                w.write_f64s(&leaf.class_counts);
+                w.write_usize(leaf.observers.len());
+                for obs in &leaf.observers {
+                    match obs {
+                        Some(o) => {
+                            w.write_bool(true);
+                            o.snapshot_into(w);
+                        }
+                        None => w.write_bool(false),
+                    }
+                }
+                w.write_f64(leaf.weight_since_attempt);
+                w.write_f64(leaf.mc_correct);
+                w.write_f64(leaf.nb_correct);
+                w.write_usize(leaf.depth);
+            }
+            Node::Split(s) => {
+                w.write_u8(1);
+                w.write_usize(s.feature);
+                w.write_f64(s.threshold);
+                w.write_f64(s.weighted_gain);
+                s.left.snapshot_into(w);
+                s.right.snapshot_into(w);
+            }
+        }
+    }
+
+    /// Rebuild a subtree from its snapshot. Leaves carry their observer
+    /// subspace pattern in the snapshot, so no config or RNG is consulted.
+    fn restore(r: &mut SnapshotReader) -> Result<Node> {
+        match r.read_u8()? {
+            0 => {
+                let class_counts = r.read_f64s()?;
+                let num_classes = class_counts.len();
+                let num_observers = r.read_usize()?;
+                let mut observers = Vec::with_capacity(num_observers.min(4096));
+                for _ in 0..num_observers {
+                    if r.read_bool()? {
+                        let mut obs = AttributeObserver::new(num_classes);
+                        obs.restore_from(r)?;
+                        observers.push(Some(obs));
+                    } else {
+                        observers.push(None);
+                    }
+                }
+                Ok(Node::Leaf(LeafNode {
+                    class_counts,
+                    observers,
+                    weight_since_attempt: r.read_f64()?,
+                    mc_correct: r.read_f64()?,
+                    nb_correct: r.read_f64()?,
+                    depth: r.read_usize()?,
+                }))
+            }
+            1 => {
+                let feature = r.read_usize()?;
+                let threshold = r.read_f64()?;
+                let weighted_gain = r.read_f64()?;
+                let left = Box::new(Node::restore(r)?);
+                let right = Box::new(Node::restore(r)?);
+                Ok(Node::Split(SplitNode { feature, threshold, weighted_gain, left, right }))
+            }
+            t => Err(Error::Snapshot(format!("invalid node tag {t}"))),
+        }
+    }
+}
+
+impl Checkpoint for HoeffdingTree {
+    fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        self.root.snapshot_into(w);
+        for word in self.rng.state() {
+            w.write_u64(word);
+        }
+        w.write_f64(self.weight_seen);
+        w.write_u64(self.splits_performed);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
+        self.root = Node::restore(r)?;
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.read_u64()?;
+        }
+        self.rng = SmallRng::from_state(state);
+        self.weight_seen = r.read_f64()?;
+        self.splits_performed = r.read_u64()?;
+        Ok(())
+    }
 }
 
 /// The Hoeffding Tree streaming classifier.
@@ -662,6 +757,14 @@ impl StreamingClassifier for HoeffdingTree {
 
     fn local_copy(&self) -> Box<dyn StreamingClassifier> {
         Box::new(self.fork())
+    }
+
+    fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        Checkpoint::snapshot_into(self, w);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
+        Checkpoint::restore_from(self, r)
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

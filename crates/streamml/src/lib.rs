@@ -39,7 +39,9 @@ pub use bagging::OzaBag;
 pub use classifier::StreamingClassifier;
 pub use criterion::{hoeffding_bound, SplitCriterion};
 pub use drift::{ChangeDetector, Ddm, DetectorKind};
-pub use eval::{ConfusionMatrix, Metrics, PrequentialEvaluator, SeriesPoint};
+pub use eval::{
+    restore_series, snapshot_series, ConfusionMatrix, Metrics, PrequentialEvaluator, SeriesPoint,
+};
 pub use hoeffding::{HoeffdingTree, HoeffdingTreeConfig, LeafPrediction};
 pub use nb::StreamingNaiveBayes;
 pub use slr::{Regularizer, SlrConfig, StreamingLogisticRegression};

@@ -11,6 +11,7 @@
 
 use crate::classifier::{normalize_proba, StreamingClassifier};
 use crate::gaussian::GaussianEstimator;
+use redhanded_types::snapshot::{Checkpoint, SnapshotReader, SnapshotWriter};
 use redhanded_types::{Error, Instance, Result};
 
 /// The streaming Gaussian naive Bayes classifier.
@@ -132,12 +133,51 @@ impl StreamingClassifier for StreamingNaiveBayes {
         Box::new(self.clone())
     }
 
+    fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        Checkpoint::snapshot_into(self, w);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
+        Checkpoint::restore_from(self, r)
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
 
     fn name(&self) -> &'static str {
         "NB"
+    }
+}
+
+impl Checkpoint for StreamingNaiveBayes {
+    fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        // `num_classes` / `num_features` are construction-time shape; the
+        // restore target must be built for the same problem shape.
+        w.write_f64s(&self.class_weights);
+        for row in &self.summaries {
+            for est in row {
+                est.snapshot_into(w);
+            }
+        }
+    }
+
+    fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
+        let class_weights = r.read_f64s()?;
+        if class_weights.len() != self.num_classes {
+            return Err(Error::Snapshot(format!(
+                "NB snapshot has {} classes, model built for {}",
+                class_weights.len(),
+                self.num_classes
+            )));
+        }
+        self.class_weights = class_weights;
+        for row in &mut self.summaries {
+            for est in row {
+                est.restore_from(r)?;
+            }
+        }
+        Ok(())
     }
 }
 

@@ -13,6 +13,7 @@
 //! streaming linear models.
 
 use crate::classifier::{normalize_proba, StreamingClassifier};
+use redhanded_types::snapshot::{Checkpoint, SnapshotReader, SnapshotWriter};
 use redhanded_types::{Error, Instance, Result};
 
 /// Penalty applied to the weights at each SGD step (Table I options).
@@ -131,6 +132,49 @@ impl StreamingLogisticRegression {
     }
 }
 
+impl Checkpoint for StreamingLogisticRegression {
+    fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        w.write_usize(self.weights.len());
+        for row in &self.weights {
+            w.write_f64s(row);
+        }
+        w.write_f64s(&self.bias);
+        w.write_f64(self.instances_seen);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
+        let rows = r.read_usize()?;
+        if rows != self.weights.len() {
+            return Err(Error::Snapshot(format!(
+                "weight rows {} != snapshot {rows}",
+                self.weights.len()
+            )));
+        }
+        for row in &mut self.weights {
+            let restored = r.read_f64s()?;
+            if restored.len() != row.len() {
+                return Err(Error::Snapshot(format!(
+                    "weight row length {} != snapshot {}",
+                    row.len(),
+                    restored.len()
+                )));
+            }
+            *row = restored;
+        }
+        let bias = r.read_f64s()?;
+        if bias.len() != self.bias.len() {
+            return Err(Error::Snapshot(format!(
+                "bias length {} != snapshot {}",
+                self.bias.len(),
+                bias.len()
+            )));
+        }
+        self.bias = bias;
+        self.instances_seen = r.read_f64()?;
+        Ok(())
+    }
+}
+
 impl StreamingClassifier for StreamingLogisticRegression {
     fn num_classes(&self) -> usize {
         self.config.num_classes
@@ -244,6 +288,14 @@ impl StreamingClassifier for StreamingLogisticRegression {
 
     fn clone_box(&self) -> Box<dyn StreamingClassifier> {
         Box::new(self.clone())
+    }
+
+    fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        Checkpoint::snapshot_into(self, w);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
+        Checkpoint::restore_from(self, r)
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -31,6 +31,19 @@ pub enum Error {
     InvalidConfig(String),
     /// An I/O failure while reading or writing datasets.
     Io(std::io::Error),
+    /// A checkpoint snapshot could not be decoded (truncated or corrupt).
+    Snapshot(String),
+    /// A stream task kept failing after exhausting its retry budget.
+    TaskFailed {
+        /// Micro-batch (global index) in which the task ran.
+        batch: u64,
+        /// Stage index within the batch.
+        stage: u32,
+        /// Input partition the task was processing.
+        partition: usize,
+        /// Attempts consumed (= the configured maximum).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for Error {
@@ -46,6 +59,12 @@ impl fmt::Display for Error {
             Error::Untrained(what) => write!(f, "{what} has not observed any training data"),
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::Snapshot(msg) => write!(f, "corrupt snapshot: {msg}"),
+            Error::TaskFailed { batch, stage, partition, attempts } => write!(
+                f,
+                "task failed permanently: batch {batch} stage {stage} partition {partition} \
+                 after {attempts} attempts"
+            ),
         }
     }
 }

@@ -17,6 +17,8 @@
 //!   inspection, and the Gini-importance experiment.
 //! * [`io`] — JSONL persistence of tweet streams (the wire format doubles
 //!   as the on-disk dataset format).
+//! * [`snapshot`] — the [`Checkpoint`] trait and binary codec used by the
+//!   DSPE's fault-tolerance layer to capture and restore model state.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,6 +29,7 @@ mod instance;
 pub mod io;
 pub mod json;
 mod label;
+pub mod snapshot;
 mod tweet;
 
 pub use dataset::{Dataset, DaySegment};
@@ -34,4 +37,5 @@ pub use error::{Error, Result};
 pub use io::{load_labeled, read_labeled_jsonl, read_unlabeled_jsonl, save_labeled, write_labeled_jsonl, write_unlabeled_jsonl};
 pub use instance::{FeatureSet, Instance};
 pub use label::{ClassLabel, ClassScheme};
+pub use snapshot::{Checkpoint, SnapshotReader, SnapshotWriter};
 pub use tweet::{LabeledTweet, Tweet, TwitterUser};

@@ -1,0 +1,344 @@
+//! Checkpoint snapshots: a small hand-rolled binary codec plus the
+//! [`Checkpoint`] trait every stateful pipeline component implements.
+//!
+//! Spark Streaming checkpoints RDD lineage and updateStateByKey state to a
+//! reliable store; our single-process engine checkpoints *model state*
+//! (classifier statistics, the adaptive vocabulary, alert/session history)
+//! instead, which is what the paper's framework would lose on a driver
+//! failure. Snapshots must round-trip **bit-identically** — the chaos
+//! harness asserts recovered predictions equal a fault-free run — so
+//! floating-point values are encoded via [`f64::to_bits`] and every
+//! implementor serializes collections in a canonical order.
+//!
+//! The codec is deliberately minimal (little-endian fixed-width integers,
+//! length-prefixed byte strings): the workspace builds offline, so no serde.
+
+use crate::error::{Error, Result};
+
+/// Byte-buffer sink for snapshot encoding.
+///
+/// Writing is infallible; the writer only appends to its internal buffer.
+/// Components implement [`Checkpoint::snapshot_into`] against this type so
+/// nested state concatenates into one flat, self-describing byte stream.
+#[derive(Debug, Default)]
+pub struct SnapshotWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapshotWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        SnapshotWriter { buf: Vec::new() }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Borrow the encoded bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consume the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn write_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn write_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` (encoded as `u64` for cross-width stability).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Append an `f64` by its exact bit pattern (lossless round-trip,
+    /// including signed zeros, infinities, and NaN payloads).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Append a `bool` as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(u8::from(v));
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn write_str(&mut self, v: &str) {
+        self.write_usize(v.len());
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Append a length-prefixed raw byte string (used to nest an opaque
+    /// snapshot — e.g. a component payload inside a checkpoint file).
+    pub fn write_bytes(&mut self, v: &[u8]) {
+        self.write_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append a length-prefixed slice of `f64` bit patterns.
+    pub fn write_f64s(&mut self, vs: &[f64]) {
+        self.write_usize(vs.len());
+        for &v in vs {
+            self.write_f64(v);
+        }
+    }
+}
+
+/// Cursor over snapshot bytes; every read validates remaining length, so a
+/// truncated or corrupt snapshot surfaces as [`Error::Snapshot`] instead of
+/// a panic.
+#[derive(Debug)]
+pub struct SnapshotReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// A reader over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        SnapshotReader { buf: bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fail unless the snapshot was consumed exactly — catches encoder/
+    /// decoder drift where trailing garbage would otherwise pass silently.
+    pub fn finish(&self) -> Result<()> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(Error::Snapshot(format!("{} trailing bytes", self.remaining())))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Error::Snapshot(format!(
+                "truncated: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read one byte.
+    pub fn read_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn read_u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        let mut arr = [0u8; 4];
+        arr.copy_from_slice(b);
+        Ok(u32::from_le_bytes(arr))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn read_u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(b);
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// Read a `usize` (stored as `u64`).
+    pub fn read_usize(&mut self) -> Result<usize> {
+        let v = self.read_u64()?;
+        usize::try_from(v).map_err(|_| Error::Snapshot(format!("usize overflow: {v}")))
+    }
+
+    /// Read an `f64` bit pattern.
+    pub fn read_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.read_u64()?))
+    }
+
+    /// Read a `bool` (one byte; anything other than 0/1 is corrupt).
+    pub fn read_bool(&mut self) -> Result<bool> {
+        match self.read_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(Error::Snapshot(format!("invalid bool byte {b}"))),
+        }
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn read_str(&mut self) -> Result<String> {
+        let len = self.read_usize()?;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|e| Error::Snapshot(format!("invalid utf-8 in string: {e}")))
+    }
+
+    /// Read a length-prefixed raw byte string.
+    pub fn read_bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.read_usize()?;
+        self.take(len)
+    }
+
+    /// Read a length-prefixed `f64` vector.
+    pub fn read_f64s(&mut self) -> Result<Vec<f64>> {
+        let len = self.read_usize()?;
+        // Cap pre-allocation by what the buffer could actually hold.
+        let mut out = Vec::with_capacity(len.min(self.remaining() / 8 + 1));
+        for _ in 0..len {
+            out.push(self.read_f64()?);
+        }
+        Ok(out)
+    }
+}
+
+/// State that can be captured into, and restored from, a snapshot.
+///
+/// The restore contract is **restore-into-self**: callers first construct
+/// the component from its (non-serialized) configuration exactly as at the
+/// start of the original run, then `restore_from` overwrites the mutable
+/// state. This keeps configuration out of the wire format and guarantees a
+/// restored component is structurally identical to a freshly built one.
+///
+/// Round-trip law, asserted by the snapshot test suite for every
+/// implementor: `snapshot → restore → snapshot` yields identical bytes, and
+/// a restored component produces bit-identical outputs to the original.
+pub trait Checkpoint {
+    /// Serialize all mutable state into `w`, in a canonical order
+    /// (hash-map contents sorted by key, interned words by id).
+    fn snapshot_into(&self, w: &mut SnapshotWriter);
+
+    /// Overwrite this component's mutable state from `r`. On error the
+    /// component may be left partially restored; callers discard it.
+    fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()>;
+
+    /// Convenience: snapshot into a fresh byte vector.
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        self.snapshot_into(&mut w);
+        w.into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        let mut w = SnapshotWriter::new();
+        w.write_u8(7);
+        w.write_u32(0xDEAD_BEEF);
+        w.write_u64(u64::MAX);
+        w.write_usize(12345);
+        w.write_f64(-0.0);
+        w.write_f64(f64::NAN);
+        w.write_bool(true);
+        w.write_str("naïve α");
+        w.write_bytes(&[0xCA, 0xFE]);
+        w.write_f64s(&[1.5, -2.5, 0.0]);
+        let bytes = w.into_bytes();
+
+        let mut r = SnapshotReader::new(&bytes);
+        assert_eq!(r.read_u8().unwrap(), 7);
+        assert_eq!(r.read_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.read_u64().unwrap(), u64::MAX);
+        assert_eq!(r.read_usize().unwrap(), 12345);
+        assert_eq!(r.read_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.read_f64().unwrap().is_nan());
+        assert!(r.read_bool().unwrap());
+        assert_eq!(r.read_str().unwrap(), "naïve α");
+        assert_eq!(r.read_bytes().unwrap(), &[0xCA, 0xFE]);
+        assert_eq!(r.read_f64s().unwrap(), vec![1.5, -2.5, 0.0]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = SnapshotWriter::new();
+        w.write_u64(42);
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes[..5]);
+        assert!(matches!(r.read_u64(), Err(Error::Snapshot(_))));
+    }
+
+    #[test]
+    fn bad_bool_and_bad_utf8_are_errors() {
+        let mut r = SnapshotReader::new(&[9]);
+        assert!(matches!(r.read_bool(), Err(Error::Snapshot(_))));
+
+        let mut w = SnapshotWriter::new();
+        w.write_usize(2);
+        let mut bytes = w.into_bytes();
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        let mut r = SnapshotReader::new(&bytes);
+        assert!(matches!(r.read_str(), Err(Error::Snapshot(_))));
+    }
+
+    #[test]
+    fn finish_rejects_trailing_bytes() {
+        let bytes = [1u8, 2, 3];
+        let mut r = SnapshotReader::new(&bytes);
+        r.read_u8().unwrap();
+        assert!(matches!(r.finish(), Err(Error::Snapshot(_))));
+    }
+
+    #[test]
+    fn oversized_length_prefix_fails_cleanly() {
+        let mut w = SnapshotWriter::new();
+        w.write_usize(usize::MAX);
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        assert!(matches!(r.read_f64s(), Err(Error::Snapshot(_))));
+    }
+
+    struct Counter {
+        n: u64,
+    }
+
+    impl Checkpoint for Counter {
+        fn snapshot_into(&self, w: &mut SnapshotWriter) {
+            w.write_u64(self.n);
+        }
+
+        fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
+            self.n = r.read_u64()?;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn checkpoint_trait_round_trip() {
+        let a = Counter { n: 99 };
+        let bytes = a.snapshot();
+        let mut b = Counter { n: 0 };
+        let mut r = SnapshotReader::new(&bytes);
+        b.restore_from(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(b.n, 99);
+        assert_eq!(b.snapshot(), bytes, "snapshot → restore → snapshot is stable");
+    }
+}

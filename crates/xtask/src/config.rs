@@ -12,9 +12,13 @@
 //! * hot crates must not touch SipHash tables (`FxHashMap`/`FxHashSet`
 //!   from `redhanded-nlp` instead);
 //! * wall-clock reads live only in the DSPE timing layer and benches, so
-//!   everything else stays deterministic and replayable.
+//!   everything else stays deterministic and replayable;
+//! * `catch_unwind` lives only at the DSPE task boundary
+//!   (`crates/dspe/src/fault.rs`), so a panic is either an injected fault
+//!   handled by the retry machinery or a real abort — never swallowed
+//!   elsewhere.
 
-/// The five invariant rules.
+/// The six invariant rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rule {
     /// `unwrap`/`expect`/`panic!`/`todo!`/`unreachable!`/`unimplemented!`
@@ -28,6 +32,8 @@ pub enum Rule {
     SipHash,
     /// `Instant::now`/`SystemTime::now` outside the DSPE timing layer.
     WallClock,
+    /// `catch_unwind` outside the DSPE fault boundary.
+    CatchUnwindBoundary,
 }
 
 /// What a rule's violations do to the exit status.
@@ -41,12 +47,13 @@ pub enum Severity {
 
 impl Rule {
     /// All rules, in report order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::NoPanic,
         Rule::NanUnsafeCmp,
         Rule::HotPathAlloc,
         Rule::SipHash,
         Rule::WallClock,
+        Rule::CatchUnwindBoundary,
     ];
 
     /// Stable kebab-case name (used in diagnostics, the baseline file, and
@@ -58,6 +65,7 @@ impl Rule {
             Rule::HotPathAlloc => "hot-path-alloc",
             Rule::SipHash => "sip-hash",
             Rule::WallClock => "wall-clock",
+            Rule::CatchUnwindBoundary => "catch-unwind-boundary",
         }
     }
 
@@ -87,6 +95,11 @@ impl Rule {
             Rule::WallClock => {
                 "wall-clock read outside the DSPE timing layer breaks deterministic replay"
             }
+            Rule::CatchUnwindBoundary => {
+                "`catch_unwind` outside the DSPE fault boundary: tasks may only unwind \
+                 into `dspe::fault::call_guarded`, which converts the panic into a \
+                 retryable task failure"
+            }
         }
     }
 
@@ -109,6 +122,9 @@ pub struct LintConfig {
     pub sip_hash_exempt: &'static [&'static str],
     /// Path substrings exempt from `wall-clock` (DSPE timing, benches).
     pub wall_clock_exempt: &'static [&'static str],
+    /// Path substrings exempt from `catch-unwind-boundary` (the fault
+    /// boundary itself).
+    pub catch_unwind_exempt: &'static [&'static str],
     /// Per-file designated hot-path functions for `hot-path-alloc`.
     pub hot_path_functions: &'static [(&'static str, &'static [&'static str])],
     /// Method names that allocate (flagged as `.name(` calls in hot code).
@@ -126,13 +142,22 @@ const HOT_PATH_FUNCTIONS: &[(&str, &[&str])] = &[
     ("crates/features/src/extract.rs", &["extract_into"]),
     (
         "crates/features/src/adaptive_bow.rs",
-        &["contains", "score", "swear_and_bow_counts", "observe", "observe_only", "record"],
+        &[
+            "contains",
+            "score",
+            "swear_and_bow_counts",
+            "observe",
+            "observe_only",
+            "record",
+            "snapshot_into",
+        ],
     ),
     ("crates/nlp/src/tokenizer.rs", &["tokenize_into", "next"]),
     ("crates/nlp/src/sentiment.rs", &["score_tokens_with", "score_spans", "score_core"]),
     ("crates/nlp/src/pos.rs", &["tag_word", "tag_lower", "count_pos"]),
     ("crates/nlp/src/intern.rs", &["get", "push_lowercase"]),
     ("crates/core/src/spark.rs", &["process_batch"]),
+    ("crates/dspe/src/engine.rs", &["execute_with_retries"]),
 ];
 
 impl Default for LintConfig {
@@ -147,6 +172,7 @@ impl Default for LintConfig {
                 "crates/dspe/src/executor.rs",
                 "/src/bin/",
             ],
+            catch_unwind_exempt: &["crates/dspe/src/fault.rs"],
             hot_path_functions: HOT_PATH_FUNCTIONS,
             alloc_methods: &[
                 "to_string",
@@ -190,6 +216,9 @@ impl LintConfig {
                     && !self.sip_hash_exempt.iter().any(|e| file.contains(e))
             }
             Rule::WallClock => !self.wall_clock_exempt.iter().any(|e| file.contains(e)),
+            Rule::CatchUnwindBoundary => {
+                !self.catch_unwind_exempt.iter().any(|e| file.contains(e))
+            }
         }
     }
 
@@ -227,6 +256,10 @@ mod tests {
         assert!(c.applies(Rule::WallClock, "crates/core/src/deploy.rs"));
         assert!(!c.applies(Rule::WallClock, "crates/dspe/src/engine.rs"));
         assert!(c.applies(Rule::HotPathAlloc, "crates/features/src/extract.rs"));
+        assert!(c.applies(Rule::HotPathAlloc, "crates/dspe/src/engine.rs"));
         assert!(!c.applies(Rule::HotPathAlloc, "crates/features/src/stats.rs"));
+        assert!(c.applies(Rule::CatchUnwindBoundary, "crates/dspe/src/executor.rs"));
+        assert!(c.applies(Rule::CatchUnwindBoundary, "crates/core/src/spark.rs"));
+        assert!(!c.applies(Rule::CatchUnwindBoundary, "crates/dspe/src/fault.rs"));
     }
 }

@@ -1,5 +1,5 @@
 //! Token-stream analysis: test-region marking, function-scope tracking,
-//! and the five invariant rules.
+//! and the six invariant rules.
 //!
 //! The rules operate on the lexed token stream with two per-token context
 //! bits computed first:
@@ -203,6 +203,7 @@ pub fn analyze_source(config: &LintConfig, file: &str, src: &str) -> Vec<Violati
     let hot_alloc = config.applies(Rule::HotPathAlloc, file);
     let sip_hash = config.applies(Rule::SipHash, file);
     let wall_clock = config.applies(Rule::WallClock, file);
+    let unwind_boundary = config.applies(Rule::CatchUnwindBoundary, file);
 
     let mut out = Vec::new();
     // Token indices whose `unwrap`/`expect` was already reported by the
@@ -289,6 +290,12 @@ pub fn analyze_source(config: &LintConfig, file: &str, src: &str) -> Vec<Violati
                 || is_path_call(&toks, i, src, "SystemTime", "now"))
         {
             push(Rule::WallClock, format!("{word}::now"), &toks[i]);
+        }
+
+        // Any mention — call, `use` import, or re-export — claims the
+        // ability to swallow panics, so all of them are boundary breaches.
+        if unwind_boundary && word == "catch_unwind" {
+            push(Rule::CatchUnwindBoundary, word.to_string(), &toks[i]);
         }
     }
     out.sort_by(|a, b| (a.line, a.rule.name(), a.symbol.as_str()).cmp(&(

@@ -205,6 +205,44 @@ fn wall_clock_scopes_to_timing_layer() {
     assert!(run("crates/bench/src/timer.rs", src).is_empty());
 }
 
+#[test]
+fn catch_unwind_flags_use_outside_the_fault_boundary() {
+    let src = r#"
+        use std::panic::catch_unwind;
+        pub fn swallow(f: impl FnOnce() + std::panic::UnwindSafe) {
+            let _ = catch_unwind(f);
+        }
+    "#;
+    let vs = run("crates/dspe/src/executor.rs", src);
+    // Both the import and the call are breaches.
+    assert_eq!(rules(&vs), [Rule::CatchUnwindBoundary, Rule::CatchUnwindBoundary]);
+    assert!(vs.iter().all(|v| v.symbol == "catch_unwind"));
+}
+
+#[test]
+fn catch_unwind_is_allowed_at_the_fault_boundary_and_in_tests() {
+    let src = r#"
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        pub fn call_guarded<T>(f: impl FnOnce() -> T) -> Option<T> {
+            catch_unwind(AssertUnwindSafe(f)).ok()
+        }
+    "#;
+    assert!(run("crates/dspe/src/fault.rs", src).is_empty());
+
+    let test_src = r#"
+        pub fn f() {}
+
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn panics_are_observable() {
+                std::panic::catch_unwind(|| super::f()).ok();
+            }
+        }
+    "#;
+    assert!(run("crates/dspe/src/executor.rs", test_src).is_empty());
+}
+
 // --- baseline ratchet semantics ---------------------------------------
 
 fn baseline_with(file: &str, rule: &str, symbol: &str, count: usize) -> Baseline {

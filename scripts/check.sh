@@ -13,4 +13,7 @@ cargo run -q -p xtask -- lint
 echo "== tests =="
 cargo test -q --workspace
 
+echo "== chaos (seeded fault injection + recovery) =="
+cargo test -q --test chaos_recovery
+
 echo "== OK =="

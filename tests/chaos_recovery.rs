@@ -1,0 +1,161 @@
+//! Chaos harness for the distributed deployment (DESIGN.md §9): the full
+//! aggression pipeline runs under seeded fault schedules — task crashes,
+//! stragglers, and a mid-stream driver kill — and every observable output
+//! (predictions, metric series, F1, alert stream, labeling sample) must be
+//! **bit-identical** to a fault-free run. That is the exactly-once claim:
+//! retry masks task faults, checkpoint + deterministic replay masks driver
+//! faults, and nothing the moderator or labeler sees betrays that anything
+//! failed.
+
+use std::time::Duration;
+
+use redhanded_core::{
+    intermix, run_with_recovery, ModelKind, PipelineConfig, SparkConfig, SparkDetector,
+    StreamItem,
+};
+use redhanded_datagen::{generate_abusive, generate_unlabeled, AbusiveConfig};
+use redhanded_dspe::{
+    ChaosHarness, CostModel, DiskCheckpointStore, EngineConfig, FaultPlan, MemoryCheckpointStore,
+    Topology,
+};
+use redhanded_types::ClassScheme;
+
+/// 6000 mixed items → 12 micro-batches of 500 on a 4-slot local topology.
+fn stream() -> Vec<StreamItem> {
+    intermix(
+        generate_abusive(&AbusiveConfig::small(3000, 21)),
+        generate_unlabeled(3000, 22),
+    )
+}
+
+fn detector(plan: FaultPlan) -> SparkDetector {
+    let pipeline = PipelineConfig::paper(ClassScheme::TwoClass, ModelKind::ht());
+    let mut engine = EngineConfig::for_topology(Topology::local(4));
+    engine.microbatch_size = 500;
+    engine.cost_model = CostModel::default();
+    engine.faults = plan;
+    SparkDetector::new(SparkConfig::new(pipeline, engine)).unwrap()
+}
+
+/// The seeded schedule the acceptance criteria name: three distinct task
+/// crashes (different batches and partitions, one needing two retries), a
+/// straggler, and a driver kill mid-stream between two checkpoints.
+fn seeded_plan() -> FaultPlan {
+    FaultPlan::none()
+        .crash(1, 0, 0, 1)
+        .crash(3, 0, 2, 2)
+        .crash(5, 0, 1, 1)
+        .straggle(2, 0, 3, Duration::from_millis(20))
+        .kill_driver_after(4)
+}
+
+/// Flagship chaos test: recovered predictions, F1, metric series, alert
+/// stream, and labeling sample are bit-identical to the fault-free run —
+/// and the faults demonstrably fired.
+#[test]
+fn recovered_run_is_bit_identical_to_fault_free() {
+    let items = stream();
+    let harness = ChaosHarness::new(seeded_plan());
+    let ((clean_report, clean), (chaos_report, chaos)) = harness.run_both(|plan| {
+        let mut d = detector(plan);
+        let mut store = MemoryCheckpointStore::new(2);
+        let report = run_with_recovery(&mut d, items.clone(), &mut store, 3).unwrap();
+        (report, d)
+    });
+
+    // The faults really happened: every crash spec fired (one of them
+    // twice more on replay), the straggler delayed a task, and the driver
+    // died once mid-stream.
+    assert!(clean_report.faults.is_clean(), "baseline saw no faults");
+    assert_eq!(clean_report.restarts, 0);
+    assert_eq!(chaos_report.restarts, 1, "driver was killed and recovered");
+    assert!(
+        chaos_report.faults.task_failures >= 3,
+        "three distinct crash sites fired: {:?}",
+        chaos_report.faults
+    );
+    assert!(chaos_report.faults.stragglers >= 1, "{:?}", chaos_report.faults);
+    assert!(chaos_report.batches_replayed > 0, "kill fell between checkpoints");
+
+    // Exactly-once observable state: quality, series, alerts, sample.
+    assert_eq!(chaos_report.run.metrics, clean_report.run.metrics);
+    assert_eq!(chaos_report.run.series, clean_report.run.series);
+    assert_eq!(chaos.metrics().f1, clean.metrics().f1, "F1 bit-identical");
+    assert_eq!(chaos.alerter().alerts(), clean.alerter().alerts());
+    assert_eq!(chaos.alerter().suspended_users(), clean.alerter().suspended_users());
+    assert_eq!(chaos.sampler().sample(), clean.sampler().sample());
+    assert_eq!(chaos.bow_len(), clean.bow_len());
+
+    // The recovered *model* is the same function: both detectors classify
+    // a fresh 1k-tweet holdout identically, down to every alert's
+    // confidence and every sampling decision.
+    let holdout: Vec<StreamItem> =
+        generate_unlabeled(1000, 99).into_iter().map(StreamItem::from).collect();
+    let (mut clean, mut chaos) = (clean, chaos);
+    chaos.engine_config_mut().faults = FaultPlan::none();
+    clean.run(holdout.clone()).unwrap();
+    chaos.run(holdout).unwrap();
+    assert_eq!(chaos.alerter().alerts(), clean.alerter().alerts());
+    assert_eq!(chaos.sampler().sample(), clean.sampler().sample());
+}
+
+/// Checkpointing must be a pure observer: a fault-free run with
+/// checkpoints enabled produces exactly the outputs of a plain `run()` —
+/// the same path the seed-parity suite pins.
+#[test]
+fn fault_free_checkpointed_run_matches_plain_run() {
+    let items = stream();
+    let mut plain = detector(FaultPlan::none());
+    let plain_report = plain.run(items.clone()).unwrap();
+
+    let mut checked = detector(FaultPlan::none());
+    let mut store = MemoryCheckpointStore::new(2);
+    let report = run_with_recovery(&mut checked, items, &mut store, 4).unwrap();
+    assert_eq!(report.restarts, 0);
+    assert!(report.checkpoints > 0, "checkpoints were taken");
+    assert_eq!(report.run.metrics, plain_report.metrics);
+    assert_eq!(report.run.series, plain_report.series);
+    assert_eq!(report.run.alerts, plain_report.alerts);
+    assert_eq!(checked.alerter().alerts(), plain.alerter().alerts());
+    assert_eq!(checked.sampler().sample(), plain.sampler().sample());
+    assert_eq!(checked.bow_len(), plain.bow_len());
+}
+
+/// The same recovery guarantee holds end-to-end through the on-disk store:
+/// snapshots survive serialization to files and a restore from disk.
+#[test]
+fn disk_checkpoint_store_recovers_bit_identically() {
+    let items = stream();
+    let mut clean = detector(FaultPlan::none());
+    let clean_report = clean.run(items.clone()).unwrap();
+
+    let dir = std::env::temp_dir()
+        .join(format!("redhanded-chaos-{}", std::process::id()));
+    let mut store = DiskCheckpointStore::new(&dir, 2).unwrap();
+    let mut chaos = detector(FaultPlan::none().crash(2, 0, 1, 1).kill_driver_after(5));
+    let report = run_with_recovery(&mut chaos, items, &mut store, 3).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(report.restarts, 1);
+    assert_eq!(report.run.metrics, clean_report.metrics);
+    assert_eq!(report.run.series, clean_report.series);
+    assert_eq!(chaos.alerter().alerts(), clean.alerter().alerts());
+    assert_eq!(chaos.sampler().sample(), clean.sampler().sample());
+}
+
+/// Fatal faults are still honest: a task that fails more often than the
+/// retry budget surfaces as `Error::TaskFailed` instead of silently
+/// dropping the partition's updates.
+#[test]
+fn exhausted_retries_surface_as_an_error() {
+    let items = stream();
+    let mut d = detector(FaultPlan::none().crash(0, 0, 0, 99));
+    let err = d.run(items).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            redhanded_types::Error::TaskFailed { batch: 0, stage: 0, partition: 0, .. }
+        ),
+        "unexpected error: {err:?}"
+    );
+}

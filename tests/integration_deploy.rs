@@ -7,7 +7,9 @@ use redhanded_core::{
     SystemFlavor,
 };
 use redhanded_datagen::{generate_abusive, generate_unlabeled, AbusiveConfig};
-use redhanded_dspe::{EngineConfig, OperatorPipeline, Topology};
+use redhanded_dspe::{
+    partition_seeded, EngineConfig, OperatorPipeline, Topology, DEFAULT_PARTITION_SEED,
+};
 use redhanded_features::{AdaptiveBow, FeatureExtractor};
 use redhanded_types::{ClassScheme, LabeledTweet};
 
@@ -56,15 +58,38 @@ fn flavors_agree_on_quality() {
     )
     .unwrap();
     assert!(moa.metrics.f1 > 0.8, "MOA F1 {}", moa.metrics.f1);
-    // Tolerance calibrated against the vendored RNG's generated stream: the
-    // 24-slot cluster sees ~10 labeled items per partition per micro-batch,
-    // so its merge-trained model trails sequential MOA by several points.
+    // The seeded scatter partitioner decorrelates each partition from the
+    // stream's periodic structure, so every per-partition local model sees
+    // a class mix representative of the whole batch and the merge-trained
+    // cluster model tracks sequential MOA closely.
     assert!(
-        (moa.metrics.f1 - cluster.metrics.f1).abs() < 0.12,
+        (moa.metrics.f1 - cluster.metrics.f1).abs() < 0.08,
         "MOA {} vs cluster {}",
         moa.metrics.f1,
         cluster.metrics.f1
     );
+}
+
+/// Regression pin for the seeded scatter partitioner: the assignment for a
+/// fixed seed is part of the reproducibility contract. Checkpoint replay
+/// and the chaos harness rely on batch N scattering identically in every
+/// driver incarnation — and `flavors_agree_on_quality`'s 0.08 tolerance
+/// relies on the scatter decorrelating partitions from the stream's
+/// periodic class structure. If this assignment ever changes, both the
+/// recovery guarantee and that calibration are invalidated.
+#[test]
+fn seeded_scatter_assignment_is_pinned() {
+    let parts = partition_seeded((0..12u64).collect::<Vec<_>>(), 3, DEFAULT_PARTITION_SEED);
+    assert_eq!(
+        parts,
+        vec![vec![11, 3, 2, 8], vec![0, 1, 9, 5], vec![4, 6, 7, 10]],
+        "partition assignment for the default seed is pinned"
+    );
+    // Round-robin dealing keeps the scatter balanced even though the order
+    // is keyed: sizes differ by at most one for a non-divisible count.
+    let parts = partition_seeded((0..13u64).collect::<Vec<_>>(), 3, DEFAULT_PARTITION_SEED);
+    let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+    assert_eq!(sizes, vec![5, 4, 4]);
 }
 
 /// Simulated execution time scales down as slots are added, with

@@ -1,0 +1,137 @@
+//! Snapshot round-trips for every `Checkpoint` implementor the recovery
+//! path depends on, in the golden-parity style of `tests/parity_extract.rs`:
+//! train a component on real generated traffic, snapshot it, restore into a
+//! freshly-constructed twin, and demand **exact `f64` equality** of every
+//! observable output on the *next* 1000 tweets — then keep both sides
+//! running and demand their re-snapshots stay byte-identical, so hidden
+//! state (ARF's per-tree RNG, the BoW's decay counters) cannot silently
+//! diverge after a restore.
+
+use redhanded_core::ModelKind;
+use redhanded_datagen::{generate_abusive, AbusiveConfig};
+use redhanded_features::{AdaptiveBow, FeatureExtractor};
+use redhanded_types::snapshot::{Checkpoint, SnapshotReader, SnapshotWriter};
+use redhanded_types::{ClassScheme, Instance, LabeledTweet};
+
+fn corpus(n: usize, seed: u64) -> Vec<LabeledTweet> {
+    generate_abusive(&AbusiveConfig::small(n, seed))
+}
+
+/// Extract instances against a fixed BoW (feature extraction itself is
+/// stateless; the adaptive BoW gets its own round-trip test below).
+fn instances(tweets: &[LabeledTweet], scheme: ClassScheme) -> Vec<Instance> {
+    let extractor = FeatureExtractor::default();
+    let bow = AdaptiveBow::with_defaults();
+    tweets
+        .iter()
+        .filter_map(|lt| extractor.labeled_instance(lt, scheme, &bow, 3))
+        .map(|(inst, _)| inst)
+        .collect()
+}
+
+/// Train on 1000 tweets, snapshot → restore, then require bit-identical
+/// class distributions on the next 1000 and byte-identical snapshots after
+/// both sides train on them.
+fn roundtrip_classifier(kind: ModelKind, scheme: ClassScheme) {
+    let name = kind.name();
+    let tweets = corpus(2000, 0xCC_0000 + scheme.num_classes() as u64);
+    let all = instances(&tweets, scheme);
+    let (train, holdout) = all.split_at(all.len() / 2);
+    assert!(holdout.len() >= 900, "{name}: holdout has {} instances", holdout.len());
+
+    let mut original = kind.build(scheme).unwrap();
+    for inst in train {
+        original.train(inst).unwrap();
+    }
+
+    let mut w = SnapshotWriter::new();
+    original.snapshot_into(&mut w);
+    let bytes = w.into_bytes();
+    let mut restored = kind.build(scheme).unwrap();
+    let mut r = SnapshotReader::new(&bytes);
+    restored.restore_from(&mut r).unwrap();
+    r.finish().unwrap();
+
+    // Identical predictions on the next 1k tweets.
+    for inst in holdout {
+        let a = original.predict_proba(&inst.features).unwrap();
+        let b = restored.predict_proba(&inst.features).unwrap();
+        assert_eq!(a, b, "{name}: restored model diverged on holdout");
+    }
+
+    // Identical *evolution*: train both on the holdout and compare bytes,
+    // which covers state predict_proba doesn't reach (RNGs, drift
+    // detectors, split counters).
+    for inst in holdout {
+        original.train(inst).unwrap();
+        restored.train(inst).unwrap();
+    }
+    let mut wa = SnapshotWriter::new();
+    original.snapshot_into(&mut wa);
+    let mut wb = SnapshotWriter::new();
+    restored.snapshot_into(&mut wb);
+    assert_eq!(
+        wa.as_bytes(),
+        wb.as_bytes(),
+        "{name}: state diverged after post-restore training"
+    );
+}
+
+#[test]
+fn hoeffding_tree_roundtrip_predicts_identically() {
+    roundtrip_classifier(ModelKind::ht(), ClassScheme::TwoClass);
+    roundtrip_classifier(ModelKind::ht(), ClassScheme::ThreeClass);
+}
+
+#[test]
+fn adaptive_random_forest_roundtrip_predicts_identically() {
+    roundtrip_classifier(ModelKind::arf(), ClassScheme::TwoClass);
+}
+
+#[test]
+fn logistic_regression_roundtrip_predicts_identically() {
+    roundtrip_classifier(ModelKind::slr(), ClassScheme::TwoClass);
+    roundtrip_classifier(ModelKind::slr(), ClassScheme::ThreeClass);
+}
+
+/// The adaptive BoW: grow it on 1000 tweets, snapshot → restore, then
+/// require bit-identical feature vectors (`bowScore` included) on the next
+/// 1000 tweets and byte-identical snapshots after both keep adapting.
+#[test]
+fn adaptive_bow_roundtrip_scores_identically() {
+    let tweets = corpus(2000, 0xB0_0B0);
+    let (grow, holdout) = tweets.split_at(1000);
+    let extractor = FeatureExtractor::default();
+
+    let mut original = AdaptiveBow::with_defaults();
+    for lt in grow {
+        let ext = extractor.extract(&lt.tweet, &original);
+        original.observe(ext.words.iter().map(String::as_str), lt.label.is_aggressive());
+    }
+    original.force_maintain();
+
+    let bytes = original.snapshot();
+    let mut restored = AdaptiveBow::with_defaults();
+    let mut r = SnapshotReader::new(&bytes);
+    restored.restore_from(&mut r).unwrap();
+    r.finish().unwrap();
+    assert_eq!(restored.len(), original.len(), "vocabulary size survives");
+    assert_eq!(restored.snapshot(), bytes, "snapshot → restore → snapshot is stable");
+
+    for lt in holdout {
+        let a = extractor.extract(&lt.tweet, &original);
+        let b = extractor.extract(&lt.tweet, &restored);
+        assert_eq!(a.features, b.features, "features diverged: {:?}", lt.tweet.text);
+
+        // Both vocabularies keep adapting in lockstep.
+        original.observe(a.words.iter().map(String::as_str), lt.label.is_aggressive());
+        restored.observe(b.words.iter().map(String::as_str), lt.label.is_aggressive());
+    }
+    original.force_maintain();
+    restored.force_maintain();
+    assert_eq!(
+        original.snapshot(),
+        restored.snapshot(),
+        "BoW state diverged after post-restore adaptation"
+    );
+}
