@@ -12,12 +12,15 @@
 //! cargo run --release -p redhanded-bench --bin perf_smoke
 //! ```
 //!
-//! Results land in `results/BENCH_pipeline.json`.
+//! Results land in `results/BENCH_pipeline.json`, and the observability
+//! registry (per-step wall-clock spans, record/alert counters, event log)
+//! is dumped to `results/OBS_report.json` + `results/OBS_report.prom`.
 
 use redhanded_bench::run_scale;
 use redhanded_core::config::ModelKind;
 use redhanded_core::{DetectionPipeline, PipelineConfig, StreamItem};
 use redhanded_datagen::{generate_abusive, AbusiveConfig};
+use redhanded_obs::{obs_report_json, prometheus_text};
 use redhanded_types::ClassScheme;
 use std::fs;
 use std::time::Instant;
@@ -38,6 +41,10 @@ fn main() {
     let mut pipeline =
         DetectionPipeline::new(PipelineConfig::paper(ClassScheme::TwoClass, ModelKind::ht()))
             .expect("pipeline builds");
+    // Benchmarks are the one place wall-clock span timing is on: the
+    // per-step histograms (extract/normalize/classify/train) land in the
+    // OBS report alongside the headline tweets/sec number.
+    pipeline.enable_wall_timing();
 
     eprintln!("perf_smoke: running the sequential pipeline...");
     let start = Instant::now();
@@ -66,6 +73,16 @@ fn main() {
         match fs::write("results/BENCH_pipeline.json", &json) {
             Ok(()) => eprintln!("perf_smoke: wrote results/BENCH_pipeline.json"),
             Err(e) => eprintln!("perf_smoke: could not write results: {e}"),
+        }
+        let obs = pipeline.obs();
+        let report = obs_report_json("perf_smoke", obs.registry(), obs.events());
+        match fs::write("results/OBS_report.json", report) {
+            Ok(()) => eprintln!("perf_smoke: wrote results/OBS_report.json"),
+            Err(e) => eprintln!("perf_smoke: could not write OBS report: {e}"),
+        }
+        match fs::write("results/OBS_report.prom", prometheus_text(obs.registry())) {
+            Ok(()) => eprintln!("perf_smoke: wrote results/OBS_report.prom"),
+            Err(e) => eprintln!("perf_smoke: could not write Prometheus dump: {e}"),
         }
     }
     println!("{json}");

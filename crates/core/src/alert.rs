@@ -14,6 +14,10 @@ use redhanded_types::{ClassScheme, Error, Result};
 /// One raised alert.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Alert {
+    /// Monotonic sequence number (1-based, never reused — survives
+    /// [`Alerter::drain`] and checkpoint/recovery, so downstream consumers
+    /// can deduplicate at-least-once deliveries).
+    pub seq: u64,
     /// The offending tweet.
     pub tweet_id: u64,
     /// The posting user.
@@ -37,6 +41,10 @@ pub struct Alerter {
     history: FxHashMap<u64, u32>,
     alerts: Vec<Alert>,
     suspended: Vec<u64>,
+    /// Alerts ever raised (monotonic; also the last assigned `Alert::seq`).
+    raised_total: u64,
+    /// Alerts handed to a consumer via [`Alerter::drain`] (monotonic).
+    drained_total: u64,
 }
 
 impl Alerter {
@@ -50,6 +58,8 @@ impl Alerter {
             history: FxHashMap::default(),
             alerts: Vec::new(),
             suspended: Vec::new(),
+            raised_total: 0,
+            drained_total: 0,
         }
     }
 
@@ -84,20 +94,39 @@ impl Alerter {
         if *count == self.suspend_after {
             self.suspended.push(user_id);
         }
+        self.raised_total += 1;
         self.alerts.push(Alert {
+            seq: self.raised_total,
             tweet_id,
             user_id,
             class,
             class_name: self.scheme.class_name(class),
-            confidence: proba[class],
+            // Checked read: the model may emit a distribution shorter than
+            // the scheme (e.g. trailing zero classes truncated). A missing
+            // entry means zero mass, exactly as in the ranking above — an
+            // unchecked index here panicked the whole stream at the task
+            // boundary.
+            confidence: proba.get(class).copied().unwrap_or(0.0),
             user_alert_count: *count,
         });
         self.alerts.last()
     }
 
-    /// All alerts raised so far, in stream order.
+    /// Pending (not yet drained) alerts, in stream order.
     pub fn alerts(&self) -> &[Alert] {
         &self.alerts
+    }
+
+    /// Alerts ever raised, including drained ones — the exactly-once
+    /// monotonic count reported in [`crate::SparkRunReport`] and the
+    /// observability layer, immune to [`Alerter::drain`].
+    pub fn alerts_raised(&self) -> u64 {
+        self.raised_total
+    }
+
+    /// Alerts handed to a consumer via [`Alerter::drain`] so far.
+    pub fn alerts_drained(&self) -> u64 {
+        self.drained_total
     }
 
     /// Users flagged for suspension (reached `suspend_after` alerts), in
@@ -112,7 +141,17 @@ impl Alerter {
     }
 
     /// Drain the pending alert queue (moderator consumption).
+    ///
+    /// Drain vs checkpoint semantics (DESIGN.md §10): the queue holds
+    /// *pending* alerts only, and `raised_total`/`drained_total` are part
+    /// of the snapshot — so a checkpoint taken after a drain records the
+    /// drained alerts as consumed, and recovery neither resurrects nor
+    /// double-counts them. Delivery to the external consumer is
+    /// at-least-once across a driver failure (a drain whose effects were
+    /// not made durable is replayed); consumers deduplicate on
+    /// [`Alert::seq`], which is never reused.
     pub fn drain(&mut self) -> Vec<Alert> {
+        self.drained_total += self.alerts.len() as u64;
         std::mem::take(&mut self.alerts)
     }
 }
@@ -133,6 +172,7 @@ impl Checkpoint for Alerter {
         }
         w.write_usize(self.alerts.len());
         for alert in &self.alerts {
+            w.write_u64(alert.seq);
             w.write_u64(alert.tweet_id);
             w.write_u64(alert.user_id);
             w.write_usize(alert.class);
@@ -143,6 +183,10 @@ impl Checkpoint for Alerter {
         for &user in &self.suspended {
             w.write_u64(user);
         }
+        // Exactly-once totals: the queue above holds *pending* alerts
+        // only, so these monotonic counts are what survives a drain.
+        w.write_u64(self.raised_total);
+        w.write_u64(self.drained_total);
     }
 
     fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
@@ -156,6 +200,7 @@ impl Checkpoint for Alerter {
         let alerts_len = r.read_usize()?;
         self.alerts.clear();
         for _ in 0..alerts_len {
+            let seq = r.read_u64()?;
             let tweet_id = r.read_u64()?;
             let user_id = r.read_u64()?;
             let class = r.read_usize()?;
@@ -168,6 +213,7 @@ impl Checkpoint for Alerter {
             let confidence = r.read_f64()?;
             let user_alert_count = r.read_u32()?;
             self.alerts.push(Alert {
+                seq,
                 tweet_id,
                 user_id,
                 class,
@@ -180,6 +226,16 @@ impl Checkpoint for Alerter {
         self.suspended.clear();
         for _ in 0..suspended_len {
             self.suspended.push(r.read_u64()?);
+        }
+        self.raised_total = r.read_u64()?;
+        self.drained_total = r.read_u64()?;
+        if self.drained_total + self.alerts.len() as u64 != self.raised_total {
+            return Err(Error::Snapshot(format!(
+                "alert totals inconsistent: {} drained + {} pending != {} raised",
+                self.drained_total,
+                self.alerts.len(),
+                self.raised_total
+            )));
         }
         Ok(())
     }
@@ -261,8 +317,8 @@ mod tests {
         let mut w = redhanded_types::snapshot::SnapshotWriter::new();
         a.snapshot_into(&mut w);
         let mut bytes = w.into_bytes();
-        // history(len=1: u64+u32) then alerts len, then tweet/user/class.
-        let class_off = 8 + 12 + 8 + 8 + 8;
+        // history(len=1: u64+u32) then alerts len, then seq/tweet/user/class.
+        let class_off = 8 + 12 + 8 + 8 + 8 + 8;
         bytes[class_off] = 99;
         let mut restored = alerter();
         let mut r = redhanded_types::snapshot::SnapshotReader::new(&bytes);
@@ -277,5 +333,91 @@ mod tests {
         assert_eq!(drained.len(), 1);
         assert!(a.alerts().is_empty());
         assert_eq!(a.user_alert_count(7), 1, "history survives draining");
+        assert_eq!(a.alerts_raised(), 1, "raised count survives draining");
+        assert_eq!(a.alerts_drained(), 1);
+    }
+
+    /// Regression for the headline bug: the alert was built with an
+    /// unchecked `proba[class]` while every other read in `observe` used
+    /// the checked form. A model emitting a truncated distribution (here:
+    /// fewer entries than the scheme has classes) panicked the stream.
+    /// With threshold 0.0 the positive classes tie at zero mass, `max_by`
+    /// returns the last (highest) positive class index, and that index is
+    /// out of bounds for the short slice.
+    #[test]
+    fn short_proba_slice_must_not_panic() {
+        let mut two = Alerter::new(ClassScheme::TwoClass, 0.0, 3);
+        let alert = two.observe(1, 1, &[1.0]).cloned().unwrap();
+        assert_eq!(alert.class, 1, "strongest positive class under the scheme");
+        assert_eq!(alert.confidence, 0.0, "missing entry means zero mass");
+
+        let mut three = Alerter::new(ClassScheme::ThreeClass, 0.0, 3);
+        let alert = three.observe(2, 2, &[0.6]).cloned().unwrap();
+        assert_eq!(alert.class, 2);
+        assert_eq!(alert.confidence, 0.0);
+
+        // An empty distribution must not panic either.
+        assert!(two.observe(3, 3, &[]).is_some());
+    }
+
+    #[test]
+    fn seq_is_monotonic_and_survives_drain() {
+        let mut a = alerter();
+        for i in 0..3u64 {
+            a.observe(i, i, &[0.0, 1.0, 0.0]);
+        }
+        let drained = a.drain();
+        assert_eq!(drained.iter().map(|al| al.seq).collect::<Vec<_>>(), vec![1, 2, 3]);
+        a.observe(10, 10, &[0.0, 1.0, 0.0]);
+        a.observe(11, 11, &[0.0, 1.0, 0.0]);
+        assert_eq!(a.alerts().iter().map(|al| al.seq).collect::<Vec<_>>(), vec![4, 5]);
+        assert_eq!(a.alerts_raised(), 5);
+        assert_eq!(a.alerts_drained(), 3);
+    }
+
+    /// Drain vs checkpoint: a snapshot taken after a drain must not
+    /// resurrect or double-count the drained alerts on recovery, and a
+    /// replayed post-checkpoint observation reconstructs the same seq —
+    /// every alert ever raised appears exactly once in
+    /// (drained ∪ pending-after-recovery).
+    #[test]
+    fn snapshot_after_drain_does_not_resurrect_alerts() {
+        let mut a = alerter();
+        a.observe(1, 1, &[0.0, 1.0, 0.0]);
+        a.observe(2, 2, &[0.0, 1.0, 0.0]);
+        let drained = a.drain();
+        let bytes = a.snapshot();
+
+        // Post-checkpoint work that a recovery will replay.
+        a.observe(3, 3, &[0.0, 1.0, 0.0]);
+
+        let mut restored = alerter();
+        let mut r = redhanded_types::snapshot::SnapshotReader::new(&bytes);
+        restored.restore_from(&mut r).unwrap();
+        r.finish().unwrap();
+        assert!(restored.alerts().is_empty(), "drained alerts stay consumed");
+        assert_eq!(restored.alerts_raised(), 2);
+        assert_eq!(restored.alerts_drained(), 2);
+
+        // Deterministic replay of the lost observation.
+        restored.observe(3, 3, &[0.0, 1.0, 0.0]);
+        assert_eq!(restored.alerts_raised(), a.alerts_raised());
+        let mut seqs: Vec<u64> = drained.iter().map(|al| al.seq).collect();
+        seqs.extend(restored.alerts().iter().map(|al| al.seq));
+        assert_eq!(seqs, vec![1, 2, 3], "exactly-once coverage of every seq");
+        assert_eq!(restored.alerts(), a.alerts(), "replayed alert is bit-identical");
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_totals() {
+        let mut a = alerter();
+        a.observe(1, 1, &[0.0, 1.0, 0.0]);
+        let mut bytes = a.snapshot();
+        // Corrupt raised_total (last 16 bytes are raised, drained).
+        let n = bytes.len();
+        bytes[n - 16] = 7;
+        let mut restored = alerter();
+        let mut r = redhanded_types::snapshot::SnapshotReader::new(&bytes);
+        assert!(restored.restore_from(&mut r).is_err());
     }
 }

@@ -41,6 +41,7 @@ pub mod deploy;
 pub mod experiments;
 pub mod item;
 pub mod label;
+pub mod observe;
 pub mod pipeline;
 pub mod recovery;
 pub mod sample;
@@ -52,6 +53,7 @@ pub use config::{ModelKind, PipelineConfig};
 pub use deploy::{run_system, DeployReport, SystemFlavor};
 pub use item::{intermix, StreamItem};
 pub use label::{Labeler, NoisyLabeler, OracleLabeler};
+pub use observe::PipelineObs;
 pub use pipeline::{BowSizePoint, Classified, DetectionPipeline};
 pub use recovery::{run_with_recovery, RecoveryReport};
 pub use sample::{BoostedSampler, SampledTweet};

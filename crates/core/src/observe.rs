@@ -1,0 +1,330 @@
+//! Pipeline-level observability: the pre-registered metric/event set the
+//! detection pipeline and the distributed detector record into.
+//!
+//! Metrics split into two determinism classes (DESIGN.md §10):
+//!
+//! * [`Determinism::Deterministic`] — semantic exactly-once state: record /
+//!   labeled / classified / skipped counts, alert and suspension totals,
+//!   the alert-confidence histogram, the BoW-size and model-drift gauges.
+//!   These are part of the detector's [`Checkpoint`] state, so a run
+//!   recovered from a driver kill reports bit-identical values to a
+//!   fault-free run (`tests/obs_consistency.rs` asserts exactly that).
+//! * [`Determinism::Runtime`] — operational measurements: stage spans
+//!   (simulated clock in the distributed detector, optional wall clock in
+//!   the sequential pipeline) and checkpointing costs. Excluded from
+//!   snapshots and from chaos comparisons: a recovered run legitimately
+//!   checkpoints and re-executes more than a fault-free one.
+//!
+//! The bounded [`EventLog`] records deterministic stream events (drift,
+//! alerts, suspensions, drains) alongside operational ones (checkpoint
+//! saves/restores, driver kills); its deterministic digest filters to the
+//! former. Drains performed between batches are observed at the next
+//! batch boundary.
+
+use crate::alert::Alerter;
+use redhanded_obs::{
+    CounterId, Determinism, EventKind, EventLog, GaugeId, HistogramId, Registry, SpanClock,
+};
+use redhanded_types::snapshot::{Checkpoint, SnapshotReader, SnapshotWriter};
+use redhanded_types::Result;
+
+/// Ring capacity of the pipeline event log. Sized so deterministic events
+/// of the test-scale streams are never evicted by operational chatter.
+pub const EVENT_LOG_CAPACITY: usize = 4096;
+
+/// Pre-registered pipeline metrics + event log. Registration happens once
+/// in [`PipelineObs::new`]; every recording call on the per-tweet and
+/// per-batch paths is alloc-free.
+#[derive(Debug, Clone)]
+pub struct PipelineObs {
+    pub(crate) registry: Registry,
+    pub(crate) events: EventLog,
+    pub(crate) clock: SpanClock,
+    // Deterministic (checkpointed, chaos-compared).
+    pub(crate) records: CounterId,
+    pub(crate) labeled: CounterId,
+    pub(crate) skipped: CounterId,
+    pub(crate) classified: CounterId,
+    pub(crate) alerts_raised: CounterId,
+    pub(crate) alerts_drained: CounterId,
+    pub(crate) users_suspended: CounterId,
+    pub(crate) bow_size: GaugeId,
+    pub(crate) model_drifts: GaugeId,
+    pub(crate) alert_confidence: HistogramId,
+    // Runtime (operational, excluded from snapshots).
+    pub(crate) span_extract_us: HistogramId,
+    pub(crate) span_normalize_us: HistogramId,
+    pub(crate) span_classify_us: HistogramId,
+    pub(crate) span_train_us: HistogramId,
+    pub(crate) span_broadcast_us: HistogramId,
+    pub(crate) span_tasks_us: HistogramId,
+    pub(crate) span_merge_us: HistogramId,
+    pub(crate) span_driver_us: HistogramId,
+    pub(crate) checkpoint_saves: CounterId,
+    pub(crate) checkpoint_bytes: CounterId,
+    pub(crate) checkpoint_duration_us: HistogramId,
+}
+
+impl Default for PipelineObs {
+    fn default() -> Self {
+        PipelineObs::new()
+    }
+}
+
+impl PipelineObs {
+    /// Register the pipeline metric set in a fresh registry. Span timing
+    /// starts disabled (see [`PipelineObs::enable_wall_timing`]); the
+    /// distributed detector records simulated-clock spans regardless.
+    pub fn new() -> Self {
+        let mut registry = Registry::new();
+        let d = Determinism::Deterministic;
+        let r = Determinism::Runtime;
+        let records = registry.counter("pipeline_records_total", d);
+        let labeled = registry.counter("pipeline_labeled_total", d);
+        let skipped = registry.counter("pipeline_skipped_total", d);
+        let classified = registry.counter("pipeline_classified_total", d);
+        let alerts_raised = registry.counter("pipeline_alerts_raised_total", d);
+        let alerts_drained = registry.counter("pipeline_alerts_drained_total", d);
+        let users_suspended = registry.counter("pipeline_users_suspended_total", d);
+        let bow_size = registry.gauge("pipeline_bow_size", d);
+        let model_drifts = registry.gauge("pipeline_model_drifts", d);
+        let alert_confidence = registry.histogram("pipeline_alert_confidence_1e6", d);
+        let span_extract_us = registry.histogram("pipeline_span_extract_us", r);
+        let span_normalize_us = registry.histogram("pipeline_span_normalize_us", r);
+        let span_classify_us = registry.histogram("pipeline_span_classify_us", r);
+        let span_train_us = registry.histogram("pipeline_span_train_us", r);
+        let span_broadcast_us = registry.histogram("pipeline_span_broadcast_us", r);
+        let span_tasks_us = registry.histogram("pipeline_span_tasks_us", r);
+        let span_merge_us = registry.histogram("pipeline_span_merge_us", r);
+        let span_driver_us = registry.histogram("pipeline_span_driver_us", r);
+        let checkpoint_saves = registry.counter("pipeline_checkpoint_saves_total", r);
+        let checkpoint_bytes = registry.counter("pipeline_checkpoint_bytes_total", r);
+        let checkpoint_duration_us = registry.histogram("pipeline_checkpoint_duration_us", r);
+        PipelineObs {
+            registry,
+            events: EventLog::new(EVENT_LOG_CAPACITY),
+            clock: SpanClock::off(),
+            records,
+            labeled,
+            skipped,
+            classified,
+            alerts_raised,
+            alerts_drained,
+            users_suspended,
+            bow_size,
+            model_drifts,
+            alert_confidence,
+            span_extract_us,
+            span_normalize_us,
+            span_classify_us,
+            span_train_us,
+            span_broadcast_us,
+            span_tasks_us,
+            span_merge_us,
+            span_driver_us,
+            checkpoint_saves,
+            checkpoint_bytes,
+            checkpoint_duration_us,
+        }
+    }
+
+    /// The recorded metrics.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The structured event log.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// Switch the sequential pipeline's per-step spans to real wall-clock
+    /// timing (benchmarks only — the default is off so the hot path stays
+    /// free of syscalls and runs stay reproducible).
+    pub fn enable_wall_timing(&mut self) {
+        self.clock = SpanClock::wall();
+    }
+
+    /// Whether wall-clock span timing is on.
+    pub fn wall_timing_enabled(&self) -> bool {
+        self.clock.enabled()
+    }
+
+    /// Fold another registry (e.g. the engine's per-run metrics) into this
+    /// one.
+    pub fn merge_registry(&mut self, other: &Registry) {
+        self.registry.merge_from(other);
+    }
+
+    /// Record `id` as the span from `start_us` to now and return now.
+    /// No-op (returns 0) while wall timing is off.
+    pub(crate) fn span(&mut self, id: HistogramId, start_us: u64) -> u64 {
+        if !self.clock.enabled() {
+            return 0;
+        }
+        let now = self.clock.now_us();
+        self.registry.record(id, now.saturating_sub(start_us));
+        now
+    }
+
+    /// Sync alert/suspension state after `alerter` observed a batch of
+    /// classifications: count the new alerts and suspensions (raised since
+    /// `raised_before` / `suspended_before`), record their confidences, and
+    /// log the corresponding events stamped `stamp`. Also reconciles the
+    /// drained-alerts counter with the alerter's own exactly-once total, so
+    /// drains performed by the embedding application are observed at the
+    /// next batch boundary.
+    pub(crate) fn note_alerts(
+        &mut self,
+        stamp: u64,
+        alerter: &Alerter,
+        raised_before: u64,
+        suspended_before: usize,
+    ) {
+        let raised_after = alerter.alerts_raised();
+        let new = raised_after.saturating_sub(raised_before);
+        if new > 0 {
+            self.registry.add(self.alerts_raised, new);
+            let pending = alerter.alerts();
+            let start = pending.len().saturating_sub(new as usize);
+            for alert in &pending[start..] {
+                // Confidence lives in [0, 1]; scale to integer microunits
+                // so it fits the log2-bucket histogram.
+                let micros = (alert.confidence * 1e6) as u64;
+                self.registry.record(self.alert_confidence, micros);
+                self.events.push(stamp, EventKind::AlertRaised, alert.seq, alert.user_id);
+            }
+        }
+        let suspended = alerter.suspended_users();
+        if suspended.len() > suspended_before {
+            self.registry.add(
+                self.users_suspended,
+                (suspended.len() - suspended_before) as u64,
+            );
+            for user in &suspended[suspended_before..] {
+                self.events.push(stamp, EventKind::UserSuspended, *user, 0);
+            }
+        }
+        let drained = alerter.alerts_drained();
+        let seen = self.registry.counter_value(self.alerts_drained);
+        if drained > seen {
+            self.registry.add(self.alerts_drained, drained - seen);
+            self.events.push(stamp, EventKind::AlertsDrained, drained - seen, drained);
+        }
+    }
+
+    /// Sync the model-drift gauge to the model's cumulative drift count,
+    /// logging a [`EventKind::DriftDetected`] event when it advanced.
+    pub(crate) fn note_drifts(&mut self, stamp: u64, drifts: u64) {
+        let prev = self.registry.gauge_value(self.model_drifts) as u64;
+        if drifts > prev {
+            self.events.push(stamp, EventKind::DriftDetected, drifts - prev, drifts);
+        }
+        self.registry.set(self.model_drifts, drifts as f64);
+    }
+}
+
+impl Checkpoint for PipelineObs {
+    fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        // Deterministic metrics + the event log; runtime metrics and the
+        // span clock are operational and intentionally not captured.
+        self.registry.snapshot_into(w);
+        self.events.snapshot_into(w);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
+        self.registry.restore_from(r)?;
+        self.events.restore_from(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redhanded_types::ClassScheme;
+
+    #[test]
+    fn deterministic_and_runtime_metrics_are_partitioned() {
+        let o = PipelineObs::new();
+        let det = |n: &str| {
+            o.registry
+                .counters()
+                .chain(o.registry.gauges().map(|(n, d, _)| (n, d, 0u64)))
+                .find(|(name, _, _)| *name == n)
+                .map(|(_, d, _)| d)
+        };
+        assert_eq!(det("pipeline_records_total"), Some(Determinism::Deterministic));
+        assert_eq!(det("pipeline_checkpoint_saves_total"), Some(Determinism::Runtime));
+        for (name, d, _) in o.registry.histograms() {
+            let expect = if name == "pipeline_alert_confidence_1e6" {
+                Determinism::Deterministic
+            } else {
+                Determinism::Runtime
+            };
+            assert_eq!(d, expect, "{name}");
+        }
+    }
+
+    #[test]
+    fn note_alerts_counts_exactly_once_across_drain() {
+        let mut o = PipelineObs::new();
+        let mut alerter = Alerter::new(ClassScheme::TwoClass, 0.0, 1000);
+        let before = alerter.alerts_raised();
+        alerter.observe(1, 10, &[0.1, 0.9]);
+        alerter.observe(2, 11, &[0.2, 0.8]);
+        o.note_alerts(0, &alerter, before, 0);
+        assert_eq!(o.registry.counter_value(o.alerts_raised), 2);
+
+        // Drain between batches: observed at the next note_alerts call.
+        let drained = alerter.drain();
+        assert_eq!(drained.len(), 2);
+        let before = alerter.alerts_raised();
+        alerter.observe(3, 12, &[0.3, 0.7]);
+        o.note_alerts(1, &alerter, before, 0);
+        assert_eq!(o.registry.counter_value(o.alerts_raised), 3);
+        assert_eq!(o.registry.counter_value(o.alerts_drained), 2);
+        assert_eq!(o.events.count(EventKind::AlertRaised), 3);
+        assert_eq!(o.events.count(EventKind::AlertsDrained), 1);
+        // Confidence histogram saw every alert exactly once.
+        let h = o.registry.histogram_ref(o.alert_confidence).unwrap();
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_keeps_deterministic_state_only() {
+        let mut o = PipelineObs::new();
+        o.registry.add(o.records, 42);
+        o.registry.set(o.bow_size, 347.0);
+        o.registry.record(o.alert_confidence, 900_000);
+        o.registry.inc(o.checkpoint_saves); // runtime: not captured
+        o.events.push(3, EventKind::DriftDetected, 1, 1);
+        let bytes = Checkpoint::snapshot(&o);
+
+        let mut restored = PipelineObs::new();
+        restored.registry.inc(restored.checkpoint_saves);
+        restored.registry.inc(restored.checkpoint_saves);
+        let mut r = SnapshotReader::new(&bytes);
+        restored.restore_from(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored.registry.counter_value(restored.records), 42);
+        assert_eq!(restored.registry.gauge_value(restored.bow_size), 347.0);
+        assert_eq!(restored.events.count(EventKind::DriftDetected), 1);
+        // Runtime counters survive a restore untouched.
+        assert_eq!(restored.registry.counter_value(restored.checkpoint_saves), 2);
+        assert_eq!(
+            restored.registry.deterministic_digest(),
+            o.registry.deterministic_digest()
+        );
+    }
+
+    #[test]
+    fn drift_sync_logs_only_advances() {
+        let mut o = PipelineObs::new();
+        o.note_drifts(0, 0);
+        o.note_drifts(1, 2);
+        o.note_drifts(2, 2);
+        o.note_drifts(3, 5);
+        assert_eq!(o.events.count(EventKind::DriftDetected), 2);
+        assert_eq!(o.registry.gauge_value(o.model_drifts), 5.0);
+    }
+}

@@ -13,6 +13,7 @@
 use crate::alert::{Alert, Alerter};
 use crate::config::PipelineConfig;
 use crate::item::StreamItem;
+use crate::observe::PipelineObs;
 use crate::sample::BoostedSampler;
 use crate::session::SessionDetector;
 use redhanded_features::{AdaptiveBow, ExtractScratch, FeatureExtractor, Normalizer, NUM_FEATURES};
@@ -59,6 +60,7 @@ pub struct DetectionPipeline {
     bow_series: Vec<BowSizePoint>,
     labeled_seen: u64,
     skipped: u64,
+    obs: PipelineObs,
 }
 
 impl DetectionPipeline {
@@ -87,6 +89,7 @@ impl DetectionPipeline {
             bow_series: Vec::new(),
             labeled_seen: 0,
             skipped: 0,
+            obs: PipelineObs::new(),
             config,
         })
     }
@@ -99,8 +102,10 @@ impl DetectionPipeline {
     /// the item's label falls outside the class scheme (e.g. spam, which
     /// the paper filters out).
     pub fn process(&mut self, item: &StreamItem) -> Result<Option<Classified>> {
+        self.obs.registry.inc(self.obs.records);
         match item {
             StreamItem::Labeled(lt) => {
+                let t = self.obs.clock.now_us();
                 let Some(mut inst) = self.extractor.labeled_instance_into(
                     lt,
                     self.config.scheme,
@@ -109,14 +114,19 @@ impl DetectionPipeline {
                     &mut self.scratch,
                 ) else {
                     self.skipped += 1;
+                    self.obs.registry.inc(self.obs.skipped);
                     return Ok(None);
                 };
+                let t = self.obs.span(self.obs.span_extract_us, t);
                 self.normalizer.process(&mut inst)?;
+                let t = self.obs.span(self.obs.span_normalize_us, t);
                 let proba = self.model.predict_proba(&inst.features)?;
                 let predicted = argmax(&proba);
+                let t = self.obs.span(self.obs.span_classify_us, t);
                 let actual = inst.label.expect("labeled instance");
                 self.evaluator.record(actual, predicted, inst.weight);
                 self.model.train(&inst)?;
+                self.obs.span(self.obs.span_train_us, t);
                 let aggressive = self
                     .config
                     .scheme
@@ -125,6 +135,10 @@ impl DetectionPipeline {
                     .unwrap_or(false);
                 self.bow.observe(self.scratch.words(), aggressive);
                 self.labeled_seen += 1;
+                self.obs.registry.inc(self.obs.labeled);
+                self.obs.registry.set(self.obs.bow_size, self.bow.len() as f64);
+                let drifts = self.model.drifts();
+                self.obs.note_drifts(self.labeled_seen, drifts);
                 if self.config.record_every > 0
                     && self.labeled_seen % self.config.record_every == 0
                 {
@@ -148,12 +162,21 @@ impl DetectionPipeline {
     }
 
     fn classify_unlabeled(&mut self, tweet: &Tweet, day: u32) -> Result<Classified> {
+        let t = self.obs.clock.now_us();
         let mut inst = self.extractor.instance_into(tweet, &self.bow, day, &mut self.scratch);
+        let t = self.obs.span(self.obs.span_extract_us, t);
         self.normalizer.process(&mut inst)?;
+        let t = self.obs.span(self.obs.span_normalize_us, t);
         let proba = self.model.predict_proba(&inst.features)?;
         let predicted = argmax(&proba);
+        self.obs.span(self.obs.span_classify_us, t);
+        self.obs.registry.inc(self.obs.classified);
+        let raised_before = self.alerter.alerts_raised();
+        let suspended_before = self.alerter.suspended_users().len();
         self.alerter.observe(tweet.id, tweet.user.id, &proba);
         self.sampler.observe(tweet.id, &proba);
+        let stamp = self.obs.registry.counter_value(self.obs.records);
+        self.obs.note_alerts(stamp, &self.alerter, raised_before, suspended_before);
         if let Some(session) = &mut self.session {
             let aggressive_mass: f64 = self
                 .config
@@ -210,6 +233,11 @@ impl DetectionPipeline {
         &self.alerter
     }
 
+    /// Mutable alerting component (drain path for embedding applications).
+    pub fn alerter_mut(&mut self) -> &mut Alerter {
+        &mut self.alerter
+    }
+
     /// The labeling sampler.
     pub fn sampler(&self) -> &BoostedSampler {
         &self.sampler
@@ -239,6 +267,17 @@ impl DetectionPipeline {
     /// The pipeline configuration.
     pub fn config(&self) -> &PipelineConfig {
         &self.config
+    }
+
+    /// Recorded metrics and events.
+    pub fn obs(&self) -> &PipelineObs {
+        &self.obs
+    }
+
+    /// Switch per-step span timing to the real wall clock (benchmarks
+    /// only; see [`PipelineObs::enable_wall_timing`]).
+    pub fn enable_wall_timing(&mut self) {
+        self.obs.enable_wall_timing();
     }
 }
 
@@ -349,6 +388,41 @@ mod tests {
             "BoW should grow beyond its seed: {}",
             pipeline.bow_len()
         );
+    }
+
+    #[test]
+    fn observability_records_the_sequential_run() {
+        let mut pipeline = DetectionPipeline::new(PipelineConfig::paper(
+            ClassScheme::TwoClass,
+            ModelKind::ht(),
+        ))
+        .unwrap();
+        pipeline.run(&stream(3000, 7)).unwrap();
+        let unlabeled: Vec<StreamItem> = redhanded_datagen::generate_unlabeled(1000, 8)
+            .into_iter()
+            .map(StreamItem::from)
+            .collect();
+        pipeline.run(&unlabeled).unwrap();
+
+        let reg = pipeline.obs().registry();
+        assert_eq!(reg.counter_by_name("pipeline_records_total"), Some(4000));
+        assert_eq!(reg.counter_by_name("pipeline_labeled_total"), Some(3000));
+        assert_eq!(reg.counter_by_name("pipeline_classified_total"), Some(1000));
+        assert_eq!(
+            reg.counter_by_name("pipeline_alerts_raised_total"),
+            Some(pipeline.alerter().alerts_raised())
+        );
+        assert_eq!(
+            reg.gauge_by_name("pipeline_bow_size"),
+            Some(pipeline.bow_len() as f64)
+        );
+        // Wall spans stay empty unless explicitly enabled.
+        let extract = reg.histogram_by_name("pipeline_span_extract_us").unwrap();
+        assert_eq!(extract.count(), 0);
+        pipeline.enable_wall_timing();
+        pipeline.run(&stream(100, 9)).unwrap();
+        let extract = pipeline.obs().registry().histogram_by_name("pipeline_span_extract_us");
+        assert_eq!(extract.unwrap().count(), 100);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use crate::item::StreamItem;
 use crate::spark::{SparkDetector, SparkRunReport};
 use redhanded_dspe::{CheckpointStore, FaultStats};
+use redhanded_obs::EventKind;
 use redhanded_types::snapshot::{Checkpoint, SnapshotReader};
 use redhanded_types::{Error, Result};
 
@@ -66,20 +67,32 @@ pub fn run_with_recovery(
     loop {
         // Resume point: the latest checkpoint, or a clean slate when the
         // kill predates the first checkpoint.
-        let (first_batch, records_done) = match store.latest()? {
+        let (first_batch, records_done, restored) = match store.latest()? {
             Some((meta, payload)) => {
                 let mut r = SnapshotReader::new(&payload);
                 detector.restore_from(&mut r)?;
                 r.finish()?;
-                (meta.batches_done, meta.records_done)
+                (meta.batches_done, meta.records_done, true)
             }
             None => {
                 detector.reset()?;
-                (0, 0)
+                (0, 0, false)
             }
         };
         if let Some(killed) = prev_killed.take() {
             batches_replayed += (killed + 1).saturating_sub(first_batch);
+            // Operational recovery events, logged after the restore so the
+            // (overwritten) event log keeps them; a later checkpoint's
+            // restore discards them again, which is fine — they are
+            // runtime-class and never part of the deterministic digest.
+            let obs = &mut detector.obs;
+            obs.events.push(killed, EventKind::DriverKilled, killed, restarts as u64);
+            if restored {
+                obs.events
+                    .push(first_batch, EventKind::CheckpointRestored, first_batch, records_done);
+            } else {
+                obs.events.push(0, EventKind::RecoveryReset, 0, 0);
+            }
         }
 
         let segment: Vec<StreamItem> = items[records_done as usize..].to_vec();

@@ -20,10 +20,12 @@
 use crate::alert::Alerter;
 use crate::config::PipelineConfig;
 use crate::item::StreamItem;
+use crate::observe::PipelineObs;
 use crate::sample::BoostedSampler;
 use redhanded_dspe::{
-    CheckpointMeta, CheckpointStore, EngineConfig, MicroBatchEngine, StreamReport,
+    CheckpointMeta, CheckpointStore, EngineConfig, EngineMetrics, MicroBatchEngine, StreamReport,
 };
+use redhanded_obs::{EventKind, HistogramId};
 use redhanded_features::{AdaptiveBow, ExtractScratch, FeatureExtractor, Normalizer, NUM_FEATURES};
 use redhanded_streamml::classifier::argmax;
 use redhanded_streamml::{
@@ -90,6 +92,7 @@ pub struct SparkDetector {
     alerter: Alerter,
     sampler: BoostedSampler,
     labeled_seen: u64,
+    pub(crate) obs: PipelineObs,
 }
 
 impl SparkDetector {
@@ -106,6 +109,7 @@ impl SparkDetector {
             alerter: Alerter::new(p.scheme, p.alert_threshold, p.suspend_after),
             sampler: BoostedSampler::new(p.scheme, p.sample_rate, p.sample_boost, 0x5A11),
             labeled_seen: 0,
+            obs: PipelineObs::new(),
             config,
         })
     }
@@ -133,33 +137,51 @@ impl SparkDetector {
         mut sink: Option<(&mut dyn CheckpointStore, u64)>,
     ) -> Result<SparkRunReport> {
         let engine = MicroBatchEngine::new(self.config.engine.clone());
+        let mut engine_obs = EngineMetrics::new();
         let mut first_error: Option<Error> = None;
         let mut records_done = records_before;
-        let stream = engine.run_stream_from(first_batch, items, |ctx, batch| {
-            if first_error.is_some() {
-                return;
-            }
-            let batch_records = batch.len() as u64;
-            if let Err(e) = self.process_batch(ctx, batch) {
-                first_error = Some(e);
-                return;
-            }
-            records_done += batch_records;
-            let completed = ctx.batch_index() + 1;
-            if let Some((store, every)) = sink.as_mut() {
-                if *every > 0 && completed % *every == 0 {
-                    let payload = ctx.driver(|| Checkpoint::snapshot(&*self));
-                    let meta = CheckpointMeta {
-                        seq: completed,
-                        batches_done: completed,
-                        records_done,
-                    };
-                    if let Err(e) = store.save(meta, &payload) {
-                        first_error = Some(e);
+        let stream =
+            engine.run_stream_observed(first_batch, items, Some(&mut engine_obs), |ctx, batch| {
+                if first_error.is_some() {
+                    return;
+                }
+                let batch_records = batch.len() as u64;
+                if let Err(e) = self.process_batch(ctx, batch) {
+                    first_error = Some(e);
+                    return;
+                }
+                records_done += batch_records;
+                let completed = ctx.batch_index() + 1;
+                if let Some((store, every)) = sink.as_mut() {
+                    if *every > 0 && completed % *every == 0 {
+                        let save_start = ctx.elapsed_us();
+                        let payload = ctx.driver(|| Checkpoint::snapshot(&*self));
+                        let save_us = (ctx.elapsed_us() - save_start).max(0.0) as u64;
+                        let o = &mut self.obs;
+                        o.registry.inc(o.checkpoint_saves);
+                        o.registry.add(o.checkpoint_bytes, payload.len() as u64);
+                        o.registry.record(o.checkpoint_duration_us, save_us);
+                        o.events.push(
+                            ctx.batch_index(),
+                            EventKind::CheckpointSaved,
+                            completed,
+                            payload.len() as u64,
+                        );
+                        let meta = CheckpointMeta {
+                            seq: completed,
+                            batches_done: completed,
+                            records_done,
+                        };
+                        if let Err(e) = store.save(meta, &payload) {
+                            first_error = Some(e);
+                        }
                     }
                 }
-            }
-        });
+            });
+        // Engine-level metrics (task/stage timing, retries, stragglers) are
+        // runtime-class: folded into the detector's registry for reporting,
+        // never checkpointed.
+        self.obs.merge_registry(engine_obs.registry());
         if let Some(e) = first_error {
             return Err(e);
         }
@@ -167,8 +189,21 @@ impl SparkDetector {
             stream,
             metrics: self.matrix.metrics(),
             series: self.series.clone(),
-            alerts: self.alerter.alerts().len(),
+            alerts: self.alerter.alerts_raised() as usize,
         })
+    }
+
+    /// Record a simulated-clock span ending now and return now (for
+    /// chaining into the next span's start).
+    fn sim_span(
+        &mut self,
+        ctx: &redhanded_dspe::BatchContext<'_>,
+        id: HistogramId,
+        start_us: f64,
+    ) -> f64 {
+        let now = ctx.elapsed_us();
+        self.obs.registry.record(id, (now - start_us).max(0.0) as u64);
+        now
     }
 
     fn process_batch(
@@ -178,13 +213,18 @@ impl SparkDetector {
     ) -> Result<()> {
         let scheme = self.config.pipeline.scheme;
         let num_classes = scheme.num_classes();
+        let batch_idx = ctx.batch_index();
+        let batch_records = batch.len() as u64;
+        self.obs.registry.add(self.obs.records, batch_records);
 
         // Broadcast the batch-start global state (model "< 1 MB" + BoW +
         // normalization statistics). Clone cost is real driver work.
+        let span_start = ctx.elapsed_us();
         let (snapshot_model, snapshot_bow, snapshot_norm) = ctx.driver(|| {
             (self.model.clone_box(), self.bow.clone(), self.normalizer.clone())
         });
         ctx.broadcast(self.config.broadcast_bytes);
+        let span_start = self.sim_span(ctx, self.obs.span_broadcast_us, span_start);
 
         // Ops #1–#5, fused into one task set per the paper ("the map,
         // filter, and the first part of aggregate are grouped together and
@@ -241,14 +281,18 @@ impl SparkDetector {
                 Ok(out)
             })?;
 
+        let span_start = self.sim_span(ctx, self.obs.span_tasks_us, span_start);
+
         // Split the per-task outputs.
         let mut models = Vec::with_capacity(task_outputs.len());
         let mut batch_labeled = 0u64;
+        let mut batch_classified = 0u64;
         let mut rest = Vec::with_capacity(task_outputs.len());
         for r in task_outputs {
             let out = r?;
             models.push(out.model);
             batch_labeled += out.matrix.total() as u64;
+            batch_classified += out.classified.len() as u64;
             rest.push((out.bow, out.norm, out.matrix, out.classified));
         }
 
@@ -274,10 +318,13 @@ impl SparkDetector {
             }
             Ok(())
         })?;
+        let span_start = self.sim_span(ctx, self.obs.span_merge_us, span_start);
 
         // Op #6 — driver: merge the lightweight per-task state (BoW,
         // normalization, confusion counts) and run alerting + sampling on
         // the classified instances.
+        let raised_before = self.alerter.alerts_raised();
+        let suspended_before = self.alerter.suspended_users().len();
         ctx.driver(|| {
             for (bow, norm, matrix, classified) in &rest {
                 self.bow.merge(bow);
@@ -290,11 +337,21 @@ impl SparkDetector {
             }
             self.bow.force_maintain();
         });
+        self.sim_span(ctx, self.obs.span_driver_us, span_start);
         self.labeled_seen += batch_labeled;
         self.series.push(SeriesPoint {
             instances: self.labeled_seen,
             metrics: self.matrix.metrics(),
         });
+        let o = &mut self.obs;
+        o.registry.add(o.labeled, batch_labeled);
+        o.registry.add(o.classified, batch_classified);
+        o.registry
+            .add(o.skipped, batch_records.saturating_sub(batch_labeled + batch_classified));
+        o.registry.set(o.bow_size, self.bow.len() as f64);
+        o.note_alerts(batch_idx, &self.alerter, raised_before, suspended_before);
+        let drifts = self.model.drifts();
+        self.obs.note_drifts(batch_idx, drifts);
         Ok(())
     }
 
@@ -332,6 +389,14 @@ impl SparkDetector {
         &self.alerter
     }
 
+    /// Mutable alerting component — the moderation-console path for
+    /// draining pending alerts between micro-batches. See
+    /// [`Alerter::drain`] for the delivery semantics under
+    /// checkpoint/recovery.
+    pub fn alerter_mut(&mut self) -> &mut Alerter {
+        &mut self.alerter
+    }
+
     /// The sampling component.
     pub fn sampler(&self) -> &BoostedSampler {
         &self.sampler
@@ -345,6 +410,13 @@ impl SparkDetector {
     /// The global model (for inspection).
     pub fn model(&self) -> &dyn StreamingClassifier {
         self.model.as_ref()
+    }
+
+    /// Recorded metrics and events: per-batch pipeline counters, stage
+    /// spans charged to the simulated clock, merged engine metrics, and
+    /// the structured event log.
+    pub fn obs(&self) -> &PipelineObs {
+        &self.obs
     }
 }
 
@@ -361,6 +433,9 @@ impl Checkpoint for SparkDetector {
         self.alerter.snapshot_into(w);
         self.sampler.snapshot_into(w);
         w.write_u64(self.labeled_seen);
+        // Deterministic observability state rides along so a recovered
+        // run's counters/events are exactly-once (DESIGN.md §10).
+        self.obs.snapshot_into(w);
     }
 
     fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
@@ -372,6 +447,7 @@ impl Checkpoint for SparkDetector {
         self.alerter.restore_from(r)?;
         self.sampler.restore_from(r)?;
         self.labeled_seen = r.read_u64()?;
+        self.obs.restore_from(r)?;
         Ok(())
     }
 }
@@ -465,6 +541,58 @@ mod tests {
         assert_eq!(detector.bow_len(), 347);
         detector.run(labeled_stream(8000, 5)).unwrap();
         assert!(detector.bow_len() > 347, "BoW grew: {}", detector.bow_len());
+    }
+
+    #[test]
+    fn observability_records_the_distributed_run() {
+        let pipeline = PipelineConfig::paper(ClassScheme::TwoClass, ModelKind::ht());
+        let config =
+            SparkConfig::new(pipeline, engine_config(Topology::local(2), 2000));
+        let mut detector = SparkDetector::new(config).unwrap();
+        let items = intermix(
+            generate_abusive(&AbusiveConfig::small(3000, 9)),
+            generate_unlabeled(3000, 10),
+        );
+        let report = detector.run(items).unwrap();
+        let reg = detector.obs().registry();
+
+        // Deterministic counters reconcile with the detector's own state.
+        assert_eq!(reg.counter_by_name("pipeline_records_total"), Some(6000));
+        assert_eq!(
+            reg.counter_by_name("pipeline_labeled_total"),
+            Some(detector.labeled_seen)
+        );
+        assert_eq!(reg.counter_by_name("pipeline_classified_total"), Some(3000));
+        assert_eq!(
+            reg.counter_by_name("pipeline_alerts_raised_total"),
+            Some(report.alerts as u64)
+        );
+        assert_eq!(
+            reg.gauge_by_name("pipeline_bow_size"),
+            Some(detector.bow_len() as f64)
+        );
+        // Alert events carry the alert seqs; confidences hit the histogram.
+        assert_eq!(
+            detector.obs().events().count(EventKind::AlertRaised),
+            report.alerts
+        );
+        let conf = reg.histogram_by_name("pipeline_alert_confidence_1e6").unwrap();
+        assert_eq!(conf.count(), report.alerts as u64);
+        assert!(conf.max() <= 1_000_000, "confidence stays in [0, 1]");
+
+        // Simulated-clock spans fired once per batch; merged engine
+        // metrics are present.
+        for span in ["pipeline_span_broadcast_us", "pipeline_span_tasks_us",
+                     "pipeline_span_merge_us", "pipeline_span_driver_us"] {
+            let h = reg.histogram_by_name(span).unwrap();
+            assert_eq!(h.count(), report.stream.batches as u64, "{span}");
+            assert!(h.sum() > 0, "{span} saw simulated time");
+        }
+        assert_eq!(
+            reg.counter_by_name("dspe_batches_total"),
+            Some(report.stream.batches as u64)
+        );
+        assert!(reg.counter_by_name("dspe_task_attempts_total").unwrap() > 0);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 use crate::executor::{available_threads, partition, partition_seeded, run_selected};
 use crate::fault::{call_guarded, FaultPlan, FaultStats, InjectedFault, RetryPolicy};
+use crate::obs::EngineMetrics;
 use crate::schedule::{CostModel, SimClock, Topology};
 use redhanded_types::{Error, Result};
 use std::time::{Duration, Instant};
@@ -111,12 +112,21 @@ pub struct BatchContext<'a> {
     /// Next stage number within this batch.
     stage: u32,
     stats: &'a mut FaultStats,
+    /// Engine-level metrics sink (None = unobserved run). All samples
+    /// recorded through it are `Runtime`-class.
+    obs: Option<&'a mut EngineMetrics>,
 }
 
 impl BatchContext<'_> {
     /// Global index of the micro-batch this context is executing.
     pub fn batch_index(&self) -> u64 {
         self.batch
+    }
+
+    /// Simulated microseconds elapsed so far in the run — the clock that
+    /// span timings charge against (never wall time).
+    pub fn elapsed_us(&self) -> f64 {
+        self.clock.elapsed_us()
     }
 
     /// Partition a record vector into this batch's RDD.
@@ -231,6 +241,19 @@ impl BatchContext<'_> {
                     self.stats.stragglers += 1;
                 }
                 self.stats.max_attempts = self.stats.max_attempts.max(attempts[i]);
+                let failed = outcome.is_err();
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.registry.inc(o.task_attempts);
+                    o.registry
+                        .record(o.task_duration_us, (measured + straggle).as_micros() as u64);
+                    if !straggle.is_zero() {
+                        o.registry.inc(o.stragglers);
+                        o.registry.add(o.straggler_wait_us, straggle.as_micros() as u64);
+                    }
+                    if failed {
+                        o.registry.inc(o.task_failures);
+                    }
+                }
                 match outcome {
                     Ok(v) => outputs[i] = Some(v),
                     Err(_failure) => {
@@ -248,11 +271,20 @@ impl BatchContext<'_> {
                         } else {
                             self.stats.task_retries += 1;
                             retry_queue.push(i);
+                            if let Some(o) = self.obs.as_deref_mut() {
+                                o.registry.inc(o.task_retries);
+                            }
                         }
                     }
                 }
             }
+            let stage_start_us = self.clock.elapsed_us();
             self.clock.record_stage_on(durations, slots, &config.cost_model);
+            let stage_us = (self.clock.elapsed_us() - stage_start_us) as u64;
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.registry.record(o.stage_duration_us, stage_us);
+                o.registry.set_max(o.blacklisted_peak, blacklisted as f64);
+            }
             if let Some(e) = fatal {
                 return Err(e);
             }
@@ -370,12 +402,18 @@ pub struct LatencyStats {
     pub p50: Duration,
     /// 95th-percentile batch latency.
     pub p95: Duration,
+    /// 99th-percentile batch latency.
+    pub p99: Duration,
     /// Worst batch latency.
     pub max: Duration,
 }
 
 impl LatencyStats {
-    /// Summarize a set of batch durations (empty input → all zeros).
+    /// Summarize a set of batch durations.
+    ///
+    /// The zero-batch run is well-defined: an empty input yields all-zero
+    /// durations (never a division by zero or an out-of-bounds index), so
+    /// downstream reports and the OBS JSON always carry finite values.
     pub fn from_durations(mut durations: Vec<Duration>) -> Self {
         if durations.is_empty() {
             return LatencyStats::default();
@@ -383,11 +421,13 @@ impl LatencyStats {
         durations.sort_unstable();
         let n = durations.len();
         let total: Duration = durations.iter().sum();
+        // n >= 1 here, so the nearest-rank index is always in 0..n.
         let at = |q: f64| durations[((n - 1) as f64 * q).round() as usize];
         LatencyStats {
             mean: total / n as u32,
             p50: at(0.50),
             p95: at(0.95),
+            p99: at(0.99),
             max: durations[n - 1],
         }
     }
@@ -461,6 +501,23 @@ impl MicroBatchEngine {
         &self,
         first_batch: u64,
         records: impl IntoIterator<Item = R>,
+        handler: F,
+    ) -> StreamReport
+    where
+        F: FnMut(&mut BatchContext<'_>, Vec<R>),
+    {
+        self.run_stream_observed(first_batch, records, None, handler)
+    }
+
+    /// [`Self::run_stream_from`] with an optional [`EngineMetrics`] sink:
+    /// when present, per-task/per-stage durations, attempts, retries,
+    /// straggler waits, blacklist peaks, and batch latencies are recorded
+    /// into it (all `Runtime`-class — see `redhanded-obs`).
+    pub fn run_stream_observed<R, F>(
+        &self,
+        first_batch: u64,
+        records: impl IntoIterator<Item = R>,
+        mut obs: Option<&mut EngineMetrics>,
         mut handler: F,
     ) -> StreamReport
     where
@@ -491,7 +548,8 @@ impl MicroBatchEngine {
                 break;
             }
             batches += 1;
-            total_records += buffer.len() as u64;
+            let batch_records = buffer.len() as u64;
+            total_records += batch_records;
             let batch_start_us = clock.elapsed_us();
             clock.advance_us(self.config.cost_model.microbatch_overhead_us);
             let mut ctx = BatchContext {
@@ -500,10 +558,16 @@ impl MicroBatchEngine {
                 batch: batch_index,
                 stage: 0,
                 stats: &mut stats,
+                obs: obs.as_deref_mut(),
             };
             handler(&mut ctx, std::mem::take(&mut buffer));
-            batch_durations
-                .push(Duration::from_secs_f64((clock.elapsed_us() - batch_start_us) / 1e6));
+            let batch_us = clock.elapsed_us() - batch_start_us;
+            batch_durations.push(Duration::from_secs_f64(batch_us / 1e6));
+            if let Some(o) = obs.as_deref_mut() {
+                o.registry.inc(o.batches);
+                o.registry.add(o.records, batch_records);
+                o.registry.record(o.batch_latency_us, batch_us as u64);
+            }
             if self.config.faults.driver_kill_after == Some(batch_index) {
                 killed_at_batch = Some(batch_index);
                 break;
@@ -689,6 +753,22 @@ mod tests {
         assert_eq!(report.batches, 0);
         assert_eq!(report.records, 0);
         assert_eq!(report.throughput(), 0.0);
+        assert!(report.throughput().is_finite(), "zero-elapsed run must not produce NaN");
+        // Every percentile field of the zero-batch run is exactly zero —
+        // no divide-by-zero or empty-index path reaches the report.
+        assert_eq!(report.batch_latency.mean, Duration::ZERO);
+        assert_eq!(report.batch_latency.p50, Duration::ZERO);
+        assert_eq!(report.batch_latency.p95, Duration::ZERO);
+        assert_eq!(report.batch_latency.p99, Duration::ZERO);
+        assert_eq!(report.batch_latency.max, Duration::ZERO);
+        // And the serialized forms carry finite numbers, not NaN/inf.
+        let serialized = format!(
+            "{{\"throughput\": {}, \"p50_us\": {}, \"p99_us\": {}}}",
+            report.throughput(),
+            report.batch_latency.p50.as_micros(),
+            report.batch_latency.p99.as_micros()
+        );
+        assert!(!serialized.contains("NaN") && !serialized.contains("inf"), "{serialized}");
     }
 
     #[test]
@@ -733,7 +813,62 @@ mod tests {
         assert!((stats.mean.as_millis() as i64 - 50).abs() <= 1);
         assert!((stats.p50.as_millis() as i64 - 50).abs() <= 1);
         assert!((stats.p95.as_millis() as i64 - 95).abs() <= 1);
+        assert!((stats.p99.as_millis() as i64 - 99).abs() <= 1);
+        assert!(stats.p50 <= stats.p95 && stats.p95 <= stats.p99 && stats.p99 <= stats.max);
         assert_eq!(LatencyStats::from_durations(vec![]), LatencyStats::default());
+        // Single-element input: every percentile is that element.
+        let one = LatencyStats::from_durations(vec![Duration::from_millis(7)]);
+        assert_eq!(one.p50, Duration::from_millis(7));
+        assert_eq!(one.p99, Duration::from_millis(7));
+        assert_eq!(one.max, Duration::from_millis(7));
+    }
+
+    #[test]
+    fn observed_run_records_engine_metrics() {
+        let mut cfg = EngineConfig::for_topology(Topology::local(4));
+        cfg.microbatch_size = 250;
+        cfg.retry.backoff_base_us = 100.0;
+        cfg.faults = FaultPlan::none()
+            .crash(0, 0, 1, 2)
+            .straggle(1, 0, 0, Duration::from_millis(5));
+        let engine = MicroBatchEngine::new(cfg);
+        let mut obs = EngineMetrics::new();
+        let report =
+            engine.run_stream_observed(0, 0..1000i64, Some(&mut obs), |ctx, batch| {
+                let data = ctx.parallelize(batch);
+                let _ = ctx.map(&data, |x| x + 1).unwrap();
+            });
+        let reg = obs.registry();
+        assert_eq!(reg.counter_by_name("dspe_batches_total"), Some(report.batches));
+        assert_eq!(reg.counter_by_name("dspe_records_total"), Some(report.records));
+        assert_eq!(
+            reg.counter_by_name("dspe_task_failures_total"),
+            Some(report.faults.task_failures)
+        );
+        assert_eq!(
+            reg.counter_by_name("dspe_task_retries_total"),
+            Some(report.faults.task_retries)
+        );
+        assert_eq!(
+            reg.counter_by_name("dspe_stragglers_total"),
+            Some(report.faults.stragglers)
+        );
+        assert!(reg.counter_by_name("dspe_straggler_wait_us_total").unwrap() >= 5_000);
+        let tasks = reg.histogram_by_name("dspe_task_duration_us").unwrap();
+        assert_eq!(
+            tasks.count(),
+            reg.counter_by_name("dspe_task_attempts_total").unwrap(),
+            "one duration sample per attempt"
+        );
+        let lat = reg.histogram_by_name("dspe_batch_latency_us").unwrap();
+        assert_eq!(lat.count(), report.batches);
+        assert!(lat.max() > 0);
+        // An unobserved run takes the same path with a None sink.
+        let unobserved = engine.run_stream_from(0, 0..1000i64, |ctx, batch| {
+            let data = ctx.parallelize(batch);
+            let _ = ctx.map(&data, |x| x + 1).unwrap();
+        });
+        assert_eq!(unobserved.batches, report.batches);
     }
 
     #[test]

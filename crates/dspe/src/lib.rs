@@ -19,7 +19,10 @@
 //! * [`fault`] — deterministic fault injection (task crashes, stragglers,
 //!   driver kills) with Spark-style bounded retry, backoff, and
 //!   blacklisting (DESIGN.md §9);
-//! * [`checkpoint`] — checkpoint stores for driver recovery.
+//! * [`checkpoint`] — checkpoint stores for driver recovery;
+//! * [`obs`] — engine-level metrics ([`EngineMetrics`]) recorded into the
+//!   `redhanded-obs` registry: task/stage durations, attempts, retries,
+//!   straggler waits, blacklist peaks, and batch latency.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,6 +31,7 @@ pub mod checkpoint;
 pub mod engine;
 pub mod executor;
 pub mod fault;
+pub mod obs;
 pub mod operator;
 pub mod schedule;
 
@@ -38,5 +42,6 @@ pub use engine::{
 };
 pub use executor::{available_threads, partition, partition_seeded, run_partitioned, run_selected};
 pub use fault::{ChaosHarness, FaultKind, FaultPlan, FaultSpec, FaultStats, RetryPolicy};
+pub use obs::EngineMetrics;
 pub use operator::OperatorPipeline;
 pub use schedule::{stage_makespan, CostModel, SimClock, Topology};

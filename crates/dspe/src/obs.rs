@@ -1,0 +1,104 @@
+//! Engine-level observability: a pre-registered [`Registry`] view of what
+//! the micro-batch engine does per run.
+//!
+//! Everything recorded here is [`Determinism::Runtime`]-class: task and
+//! stage durations come from real measured executions replayed onto the
+//! simulated topology, retries and straggler waits depend on the fault
+//! plan, and none of it is part of the exactly-once semantic state. A
+//! caller (e.g. `redhanded-core`'s Spark detector) creates one
+//! [`EngineMetrics`] per engine run, threads it through
+//! [`crate::MicroBatchEngine::run_stream_observed`], and merges the
+//! resulting registry into its own.
+
+use redhanded_obs::{CounterId, Determinism, GaugeId, HistogramId, Registry};
+
+/// Pre-registered engine metrics. Registration happens once in
+/// [`EngineMetrics::new`]; every recording call on the hot path is
+/// alloc-free.
+#[derive(Debug, Clone)]
+pub struct EngineMetrics {
+    pub(crate) registry: Registry,
+    pub(crate) batches: CounterId,
+    pub(crate) records: CounterId,
+    pub(crate) task_attempts: CounterId,
+    pub(crate) task_failures: CounterId,
+    pub(crate) task_retries: CounterId,
+    pub(crate) stragglers: CounterId,
+    pub(crate) straggler_wait_us: CounterId,
+    pub(crate) blacklisted_peak: GaugeId,
+    pub(crate) task_duration_us: HistogramId,
+    pub(crate) stage_duration_us: HistogramId,
+    pub(crate) batch_latency_us: HistogramId,
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        EngineMetrics::new()
+    }
+}
+
+impl EngineMetrics {
+    /// Register the engine metric set in a fresh registry.
+    pub fn new() -> Self {
+        let mut registry = Registry::new();
+        let r = Determinism::Runtime;
+        let batches = registry.counter("dspe_batches_total", r);
+        let records = registry.counter("dspe_records_total", r);
+        let task_attempts = registry.counter("dspe_task_attempts_total", r);
+        let task_failures = registry.counter("dspe_task_failures_total", r);
+        let task_retries = registry.counter("dspe_task_retries_total", r);
+        let stragglers = registry.counter("dspe_stragglers_total", r);
+        let straggler_wait_us = registry.counter("dspe_straggler_wait_us_total", r);
+        let blacklisted_peak = registry.gauge("dspe_blacklisted_slots_peak", r);
+        let task_duration_us = registry.histogram("dspe_task_duration_us", r);
+        let stage_duration_us = registry.histogram("dspe_stage_duration_us", r);
+        let batch_latency_us = registry.histogram("dspe_batch_latency_us", r);
+        EngineMetrics {
+            registry,
+            batches,
+            records,
+            task_attempts,
+            task_failures,
+            task_retries,
+            stragglers,
+            straggler_wait_us,
+            blacklisted_peak,
+            task_duration_us,
+            stage_duration_us,
+            batch_latency_us,
+        }
+    }
+
+    /// The recorded metrics.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Consume into the underlying registry (for merging into a parent).
+    pub fn into_registry(self) -> Registry {
+        self.registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_are_registered_and_runtime_class() {
+        let m = EngineMetrics::new();
+        assert_eq!(m.registry().counter_by_name("dspe_batches_total"), Some(0));
+        assert!(m.registry().histogram_by_name("dspe_task_duration_us").is_some());
+        for (_, det, _) in m.registry().counters() {
+            assert_eq!(det, Determinism::Runtime);
+        }
+        for (_, det, _) in m.registry().histograms() {
+            assert_eq!(det, Determinism::Runtime);
+        }
+        // Runtime-only: the deterministic digest is empty-equivalent.
+        assert_eq!(
+            m.registry().deterministic_digest(),
+            Registry::new().deterministic_digest()
+        );
+    }
+}

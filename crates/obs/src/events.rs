@@ -1,0 +1,320 @@
+//! Bounded structured event log.
+//!
+//! Events are stamped with the **global batch index** and a monotonic
+//! sequence number — never wall time — so the log is replay-deterministic:
+//! a recovered run re-emits exactly the events of a fault-free run for the
+//! deterministic kinds (alerts, suspensions, drift, drains), while
+//! operational kinds (checkpoint saves/restores, driver kills) record what
+//! actually happened to *this* incarnation and are excluded from the
+//! chaos-comparison digest.
+//!
+//! Storage is a pre-allocated ring: `push` never allocates, and overflow
+//! drops the oldest events while counting how many were lost (silent
+//! truncation would read as "nothing happened").
+
+use redhanded_types::{Checkpoint, Error, Result, SnapshotReader, SnapshotWriter};
+
+/// What happened. The two payload words `a`/`b` are kind-specific (see
+/// each variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Concept drift fired in the model. `a` = cumulative drift count.
+    DriftDetected,
+    /// An alert was raised. `a` = alert seq, `b` = user id.
+    AlertRaised,
+    /// A user crossed the suspension threshold. `a` = user id.
+    UserSuspended,
+    /// `Alerter::drain` handed pending alerts to a consumer. `a` = number
+    /// drained, `b` = cumulative drained total.
+    AlertsDrained,
+    /// A checkpoint was written. `a` = checkpoint seq, `b` = bytes.
+    CheckpointSaved,
+    /// State was restored from a checkpoint. `a` = checkpoint seq,
+    /// `b` = records already done.
+    CheckpointRestored,
+    /// No checkpoint existed; recovery reset to a fresh detector.
+    RecoveryReset,
+    /// The driver was killed by fault injection after batch `a`.
+    DriverKilled,
+    /// A task failed and will be retried. `a` = packed stage/partition,
+    /// `b` = attempt number.
+    TaskRetried,
+}
+
+impl EventKind {
+    const ALL: [EventKind; 9] = [
+        EventKind::DriftDetected,
+        EventKind::AlertRaised,
+        EventKind::UserSuspended,
+        EventKind::AlertsDrained,
+        EventKind::CheckpointSaved,
+        EventKind::CheckpointRestored,
+        EventKind::RecoveryReset,
+        EventKind::DriverKilled,
+        EventKind::TaskRetried,
+    ];
+
+    /// Stable name used by the sinks.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::DriftDetected => "drift_detected",
+            EventKind::AlertRaised => "alert_raised",
+            EventKind::UserSuspended => "user_suspended",
+            EventKind::AlertsDrained => "alerts_drained",
+            EventKind::CheckpointSaved => "checkpoint_saved",
+            EventKind::CheckpointRestored => "checkpoint_restored",
+            EventKind::RecoveryReset => "recovery_reset",
+            EventKind::DriverKilled => "driver_killed",
+            EventKind::TaskRetried => "task_retried",
+        }
+    }
+
+    /// Deterministic kinds describe exactly-once semantic facts and are
+    /// included in [`EventLog::deterministic_digest`]; operational kinds
+    /// describe one incarnation's execution and are excluded.
+    pub fn deterministic(self) -> bool {
+        matches!(
+            self,
+            EventKind::DriftDetected
+                | EventKind::AlertRaised
+                | EventKind::UserSuspended
+                | EventKind::AlertsDrained
+        )
+    }
+
+    fn code(self) -> u8 {
+        EventKind::ALL.iter().position(|k| *k == self).unwrap_or(0) as u8
+    }
+
+    fn from_code(c: u8) -> Result<EventKind> {
+        EventKind::ALL
+            .get(c as usize)
+            .copied()
+            .ok_or_else(|| Error::Snapshot(format!("invalid event kind code {c}")))
+    }
+}
+
+/// One fixed-size log entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Global batch index at which the event occurred.
+    pub batch: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Kind-specific payload word.
+    pub a: u64,
+    /// Kind-specific payload word.
+    pub b: u64,
+}
+
+/// Pre-allocated ring buffer of [`Event`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventLog {
+    cap: usize,
+    buf: Vec<Event>,
+    /// Index of the chronologically oldest entry once the ring is full.
+    start: usize,
+    /// Events overwritten because the ring was full.
+    dropped: u64,
+    /// Total events ever pushed (monotonic; also the next sequence number).
+    total: u64,
+}
+
+impl EventLog {
+    /// A log holding at most `capacity` events (minimum 1), with the
+    /// backing storage allocated up front so [`EventLog::push`] is
+    /// alloc-free.
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        EventLog { cap, buf: Vec::with_capacity(cap), start: 0, dropped: 0, total: 0 }
+    }
+
+    /// Append an event, overwriting the oldest if full. Alloc-free.
+    pub fn push(&mut self, batch: u64, kind: EventKind, a: u64, b: u64) {
+        let e = Event { batch, kind, a, b };
+        if self.buf.len() < self.cap {
+            self.buf.push(e);
+        } else {
+            self.buf[self.start] = e;
+            self.start = (self.start + 1) % self.cap;
+            self.dropped += 1;
+        }
+        self.total += 1;
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum retained events.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events lost to ring overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever pushed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Retained events in chronological order.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.buf[self.start..].iter().chain(self.buf[..self.start].iter())
+    }
+
+    /// Number of retained events of `kind`.
+    pub fn count(&self, kind: EventKind) -> usize {
+        self.buf.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Stable byte digest of the retained **deterministic** events, in
+    /// chronological order — what the chaos harness compares between a
+    /// fault-free and a recovered run.
+    pub fn deterministic_digest(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        for e in self.iter().filter(|e| e.kind.deterministic()) {
+            w.write_u64(e.batch);
+            w.write_u8(e.kind.code());
+            w.write_u64(e.a);
+            w.write_u64(e.b);
+        }
+        w.into_bytes()
+    }
+}
+
+/// The full log state round-trips (all kinds, including operational ones):
+/// on recovery the restored log continues exactly where the checkpointed
+/// incarnation left off, so replayed deterministic events line up with a
+/// fault-free run's.
+impl Checkpoint for EventLog {
+    fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        w.write_usize(self.buf.len());
+        for e in self.iter() {
+            w.write_u64(e.batch);
+            w.write_u8(e.kind.code());
+            w.write_u64(e.a);
+            w.write_u64(e.b);
+        }
+        w.write_u64(self.dropped);
+        w.write_u64(self.total);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
+        let n = r.read_usize()?;
+        if n > self.cap {
+            return Err(Error::Snapshot(format!(
+                "event log snapshot holds {n} events but capacity is {}",
+                self.cap
+            )));
+        }
+        self.buf.clear();
+        self.start = 0;
+        for _ in 0..n {
+            let batch = r.read_u64()?;
+            let kind = EventKind::from_code(r.read_u8()?)?;
+            let a = r.read_u64()?;
+            let b = r.read_u64()?;
+            self.buf.push(Event { batch, kind, a, b });
+        }
+        self.dropped = r.read_u64()?;
+        self.total = r.read_u64()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for k in EventKind::ALL {
+            assert_eq!(EventKind::from_code(k.code()).unwrap(), k);
+        }
+        assert!(EventKind::from_code(200).is_err());
+    }
+
+    #[test]
+    fn push_and_iterate_in_order() {
+        let mut log = EventLog::new(8);
+        log.push(0, EventKind::AlertRaised, 1, 10);
+        log.push(1, EventKind::UserSuspended, 10, 0);
+        let got: Vec<_> = log.iter().map(|e| e.kind).collect();
+        assert_eq!(got, vec![EventKind::AlertRaised, EventKind::UserSuspended]);
+        assert_eq!(log.count(EventKind::AlertRaised), 1);
+        assert_eq!(log.total(), 2);
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let mut log = EventLog::new(3);
+        for i in 0..5u64 {
+            log.push(i, EventKind::AlertRaised, i, 0);
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        assert_eq!(log.total(), 5);
+        let batches: Vec<u64> = log.iter().map(|e| e.batch).collect();
+        assert_eq!(batches, vec![2, 3, 4], "oldest events were dropped");
+    }
+
+    #[test]
+    fn digest_filters_operational_kinds() {
+        let mut a = EventLog::new(16);
+        let mut b = EventLog::new(16);
+        a.push(0, EventKind::AlertRaised, 1, 7);
+        b.push(0, EventKind::AlertRaised, 1, 7);
+        // Operational noise only on one side.
+        b.push(1, EventKind::CheckpointSaved, 1, 4096);
+        b.push(2, EventKind::DriverKilled, 2, 0);
+        b.push(2, EventKind::CheckpointRestored, 1, 500);
+        b.push(2, EventKind::TaskRetried, 3, 1);
+        assert_eq!(a.deterministic_digest(), b.deterministic_digest());
+        b.push(3, EventKind::DriftDetected, 1, 0);
+        assert_ne!(a.deterministic_digest(), b.deterministic_digest());
+    }
+
+    #[test]
+    fn checkpoint_round_trip_including_wrapped_ring() {
+        let mut log = EventLog::new(4);
+        for i in 0..7u64 {
+            log.push(i, EventKind::AlertRaised, i, i * 2);
+        }
+        let bytes = log.snapshot();
+        let mut restored = EventLog::new(4);
+        let mut r = SnapshotReader::new(&bytes);
+        restored.restore_from(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored.dropped(), 3);
+        assert_eq!(restored.total(), 7);
+        assert_eq!(
+            restored.iter().collect::<Vec<_>>(),
+            log.iter().collect::<Vec<_>>(),
+            "chronological order survives the round trip"
+        );
+        assert_eq!(restored.snapshot(), bytes, "snapshot → restore → snapshot is stable");
+    }
+
+    #[test]
+    fn restore_rejects_oversized_snapshot() {
+        let mut big = EventLog::new(8);
+        for i in 0..6u64 {
+            big.push(i, EventKind::AlertRaised, i, 0);
+        }
+        let bytes = big.snapshot();
+        let mut small = EventLog::new(2);
+        let mut r = SnapshotReader::new(&bytes);
+        assert!(small.restore_from(&mut r).is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! Sinks: Prometheus text exposition and a hand-rolled JSON report.
+//!
+//! Both are pure string producers — callers (bench binaries, the chaos
+//! harness test) decide where the bytes go. No float formatted here is
+//! ever NaN or infinite: non-finite values are mapped to 0.0 before
+//! serialization, so `results/OBS_report.json` always parses.
+
+use crate::events::EventLog;
+use crate::metrics::{Determinism, Histogram, Registry};
+
+/// Map a possibly non-finite float to something JSON can carry.
+fn finite(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    // `{}` on a whole f64 prints without a decimal point ("42"), which is
+    // valid JSON (a number) and valid Prometheus exposition.
+    out.push_str(&format!("{}", finite(v)));
+}
+
+/// Render the registry in Prometheus text exposition format. Histograms
+/// emit cumulative `_bucket{le=...}` series up to the bucket containing
+/// the max, then `+Inf`, `_sum`, and `_count`. Every series carries a
+/// `class` label with the metric's determinism tag.
+pub fn prometheus_text(reg: &Registry) -> String {
+    let mut out = String::new();
+    for (name, det, v) in reg.counters() {
+        out.push_str(&format!("# TYPE {name} counter\n"));
+        out.push_str(&format!("{name}{{class=\"{}\"}} {v}\n", det.label()));
+    }
+    for (name, det, v) in reg.gauges() {
+        out.push_str(&format!("# TYPE {name} gauge\n"));
+        out.push_str(&format!("{name}{{class=\"{}\"}} ", det.label()));
+        push_f64(&mut out, v);
+        out.push('\n');
+    }
+    for (name, det, h) in reg.histograms() {
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let class = det.label();
+        let mut cum = 0u64;
+        for (b, &n) in h.buckets().iter().enumerate() {
+            cum = cum.saturating_add(n);
+            let le = if b + 1 >= crate::metrics::HISTOGRAM_BUCKETS {
+                u64::MAX
+            } else {
+                (1u64 << b) - 1
+            };
+            out.push_str(&format!("{name}_bucket{{class=\"{class}\",le=\"{le}\"}} {cum}\n"));
+            if le >= h.max() {
+                break;
+            }
+        }
+        out.push_str(&format!(
+            "{name}_bucket{{class=\"{class}\",le=\"+Inf\"}} {}\n",
+            h.count()
+        ));
+        out.push_str(&format!("{name}_sum{{class=\"{class}\"}} {}\n", h.sum()));
+        out.push_str(&format!("{name}_count{{class=\"{class}\"}} {}\n", h.count()));
+    }
+    out
+}
+
+fn histogram_json(h: &Histogram) -> String {
+    format!(
+        "{{\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+        h.count(),
+        h.sum(),
+        finite(h.mean()),
+        h.p50(),
+        h.p95(),
+        h.p99(),
+        h.max()
+    )
+}
+
+/// Render the full observability report as JSON: all metrics (with their
+/// determinism class), event totals per kind, and the tail of the event
+/// log. This is the payload written to `results/OBS_report.json`.
+pub fn obs_report_json(source: &str, reg: &Registry, events: &EventLog) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"source\": \"{source}\",\n"));
+
+    let class = |d: Determinism| d.label();
+
+    out.push_str("  \"counters\": {\n");
+    let counters: Vec<String> = reg
+        .counters()
+        .map(|(n, d, v)| format!("    \"{n}\": {{\"class\": \"{}\", \"value\": {v}}}", class(d)))
+        .collect();
+    out.push_str(&counters.join(",\n"));
+    out.push_str("\n  },\n");
+
+    out.push_str("  \"gauges\": {\n");
+    let gauges: Vec<String> = reg
+        .gauges()
+        .map(|(n, d, v)| {
+            format!("    \"{n}\": {{\"class\": \"{}\", \"value\": {}}}", class(d), finite(v))
+        })
+        .collect();
+    out.push_str(&gauges.join(",\n"));
+    out.push_str("\n  },\n");
+
+    out.push_str("  \"histograms\": {\n");
+    let hists: Vec<String> = reg
+        .histograms()
+        .map(|(n, d, h)| {
+            format!("    \"{n}\": {{\"class\": \"{}\", \"stats\": {}}}", class(d), histogram_json(h))
+        })
+        .collect();
+    out.push_str(&hists.join(",\n"));
+    out.push_str("\n  },\n");
+
+    out.push_str("  \"events\": {\n");
+    out.push_str(&format!("    \"total\": {},\n", events.total()));
+    out.push_str(&format!("    \"dropped\": {},\n", events.dropped()));
+    out.push_str("    \"counts\": {");
+    let mut kinds: Vec<(&'static str, usize)> = Vec::new();
+    for e in events.iter() {
+        match kinds.iter_mut().find(|(n, _)| *n == e.kind.name()) {
+            Some((_, c)) => *c += 1,
+            None => kinds.push((e.kind.name(), 1)),
+        }
+    }
+    let counts: Vec<String> = kinds.iter().map(|(n, c)| format!("\"{n}\": {c}")).collect();
+    out.push_str(&counts.join(", "));
+    out.push_str("},\n");
+    out.push_str("    \"tail\": [\n");
+    let len = events.len();
+    let tail: Vec<String> = events
+        .iter()
+        .skip(len.saturating_sub(20))
+        .map(|e| {
+            format!(
+                "      {{\"batch\": {}, \"kind\": \"{}\", \"a\": {}, \"b\": {}}}",
+                e.batch,
+                e.kind.name(),
+                e.a,
+                e.b
+            )
+        })
+        .collect();
+    out.push_str(&tail.join(",\n"));
+    out.push_str("\n    ]\n");
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventKind;
+
+    fn sample() -> (Registry, EventLog) {
+        let mut reg = Registry::new();
+        let c = reg.counter("pipeline_records_total", Determinism::Deterministic);
+        let g = reg.gauge("bow_size", Determinism::Deterministic);
+        let h = reg.histogram("span_classify_us", Determinism::Runtime);
+        reg.add(c, 1000);
+        reg.set(g, 512.0);
+        reg.record(h, 250);
+        reg.record(h, 1000);
+        let mut log = EventLog::new(64);
+        log.push(3, EventKind::AlertRaised, 1, 42);
+        log.push(5, EventKind::CheckpointSaved, 1, 4096);
+        (reg, log)
+    }
+
+    #[test]
+    fn prometheus_text_has_expected_series() {
+        let (reg, _) = sample();
+        let text = prometheus_text(&reg);
+        assert!(text.contains("# TYPE pipeline_records_total counter"));
+        assert!(text.contains("pipeline_records_total{class=\"deterministic\"} 1000"));
+        assert!(text.contains("# TYPE bow_size gauge"));
+        assert!(text.contains("# TYPE span_classify_us histogram"));
+        assert!(text.contains("span_classify_us_bucket{class=\"runtime\",le=\"+Inf\"} 2"));
+        assert!(text.contains("span_classify_us_sum{class=\"runtime\"} 1250"));
+        assert!(text.contains("span_classify_us_count{class=\"runtime\"} 2"));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let mut reg = Registry::new();
+        let h = reg.histogram("h_us", Determinism::Runtime);
+        reg.record(h, 1);
+        reg.record(h, 2);
+        reg.record(h, 3);
+        let text = prometheus_text(&reg);
+        // Bucket le="1" holds the single value 1; le="3" holds all three.
+        assert!(text.contains("h_us_bucket{class=\"runtime\",le=\"1\"} 1"));
+        assert!(text.contains("h_us_bucket{class=\"runtime\",le=\"3\"} 3"));
+    }
+
+    #[test]
+    fn json_report_is_well_formed_and_nan_free() {
+        let (mut reg, log) = sample();
+        let g = reg.gauge("weird", Determinism::Runtime);
+        reg.set(g, f64::NAN);
+        let json = obs_report_json("unit_test", &reg, &log);
+        assert!(!json.contains("NaN"));
+        assert!(!json.contains("inf"));
+        assert!(json.contains("\"source\": \"unit_test\""));
+        assert!(json.contains("\"pipeline_records_total\""));
+        assert!(json.contains("\"alert_raised\": 1"));
+        assert!(json.contains("\"checkpoint_saved\": 1"));
+        // Balanced braces/brackets — a cheap structural sanity check that
+        // catches a missing separator without a JSON parser.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_registry_report_still_renders() {
+        let reg = Registry::new();
+        let log = EventLog::new(4);
+        let json = obs_report_json("empty", &reg, &log);
+        assert!(json.contains("\"total\": 0"));
+        let text = prometheus_text(&reg);
+        assert!(text.is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! `redhanded-obs`: deterministic, allocation-aware observability.
+//!
+//! The paper's headline claim is operational — sustained Firehose-scale
+//! throughput at second-scale latency on a stream processing engine — so
+//! the reproduction needs first-class instrumentation, not ad-hoc
+//! `Instant` snapshots. This crate provides:
+//!
+//! * [`Registry`] — typed metrics (monotonic counters, gauges, fixed-bucket
+//!   log-scale [`Histogram`]s with p50/p95/p99/max), pre-allocated so the
+//!   hot-path record operations never allocate;
+//! * [`EventLog`] — a bounded structured event ring for drift signals,
+//!   alerts, suspensions, and checkpoint/recovery/retry events, stamped
+//!   with batch indices (never wall time) so it replays deterministically;
+//! * [`SpanClock`] — the one place real wall time may be read, disabled by
+//!   default;
+//! * sinks: [`prometheus_text`] and [`obs_report_json`]
+//!   (`results/OBS_report.json`).
+//!
+//! Every metric and event kind carries a [`Determinism`] class. The
+//! deterministic subset is checkpointed via `redhanded_types::Checkpoint`
+//! and must be **bit-identical** between a fault-free run and a
+//! crash-recovered run (asserted by `tests/obs_consistency.rs`); the
+//! runtime subset (timings, retries, checkpoint costs) describes one
+//! incarnation's execution and is excluded from snapshots and comparisons.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod events;
+mod export;
+mod metrics;
+mod time;
+
+pub use events::{Event, EventKind, EventLog};
+pub use export::{obs_report_json, prometheus_text};
+pub use metrics::{
+    CounterId, Determinism, GaugeId, Histogram, HistogramId, Registry, HISTOGRAM_BUCKETS,
+};
+pub use time::SpanClock;

@@ -1,0 +1,642 @@
+//! Typed metrics registry: monotonic counters, gauges, and fixed-bucket
+//! log-scale latency histograms.
+//!
+//! Design constraints (DESIGN.md §10):
+//!
+//! * **Alloc-free hot path.** All storage is registered (and therefore
+//!   allocated) at construction time; `inc`/`add`/`set`/`set_max`/`record`
+//!   touch pre-allocated slots only, so they are legal inside the
+//!   `hot-path-alloc` lint's designated hot functions.
+//! * **No panics.** An id from a different registry is a silent no-op (or
+//!   zero on read), never an index panic — a metrics bug must not abort
+//!   the stream.
+//! * **Determinism classes.** Every metric is tagged [`Determinism`]:
+//!   `Deterministic` metrics count semantic, exactly-once facts (records
+//!   processed, alerts raised, drift detections) and are checkpointed and
+//!   compared bit-identically between a fault-free and a recovered chaos
+//!   run; `Runtime` metrics measure the *execution* (task durations,
+//!   retries, checkpoint bytes) and legitimately differ run-to-run, so
+//!   they are excluded from snapshots and chaos comparisons.
+//! * **Associative merge.** Partition- or incarnation-local registries
+//!   merge into a parent by metric name: counters add, gauges keep the
+//!   max, histograms add bucket-wise with `wrapping_add`, which makes the
+//!   merge exactly associative (property-tested in `tests/proptests.rs`).
+
+use redhanded_types::{Checkpoint, Error, Result, SnapshotReader, SnapshotWriter};
+
+/// Whether a metric is part of the exactly-once deterministic state or a
+/// runtime-only measurement. See the module docs for the contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Determinism {
+    /// Semantic counts: checkpointed, replay-stable, chaos-compared.
+    Deterministic,
+    /// Execution measurements: never checkpointed or chaos-compared.
+    Runtime,
+}
+
+impl Determinism {
+    /// Stable label used by the sinks (`deterministic` / `runtime`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Determinism::Deterministic => "deterministic",
+            Determinism::Runtime => "runtime",
+        }
+    }
+}
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// Number of buckets in every histogram: bucket 0 holds the value 0, bucket
+/// `b` (1..=40) holds values in `[2^(b-1), 2^b)`, and values of 2^40 or more
+/// clamp into the last bucket. 2^40 µs is ~12.7 days, far beyond any latency
+/// this system measures.
+pub const HISTOGRAM_BUCKETS: usize = 41;
+
+/// Fixed-bucket log2 histogram over `u64` samples, pre-allocated inline so
+/// [`Histogram::record`] never allocates.
+///
+/// `count`/`sum`/bucket increments use `wrapping_add` and `max` folds the
+/// maxima, so [`Histogram::merge_from`] is exactly associative and
+/// commutative for arbitrary inputs — partition-local histograms can be
+/// merged in any grouping and yield bit-identical state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; HISTOGRAM_BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `b` (`u64::MAX` for the clamp bucket).
+fn bucket_upper(b: usize) -> u64 {
+    if b + 1 >= HISTOGRAM_BUCKETS {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one sample. Alloc-free and panic-free.
+    pub fn record(&mut self, v: u64) {
+        let b = bucket_index(v);
+        self.buckets[b] = self.buckets[b].wrapping_add(1);
+        self.count = self.count.wrapping_add(1);
+        self.sum = self.sum.wrapping_add(v);
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (wrapping).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value; 0.0 when empty (never NaN).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Raw bucket counts, low to high.
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the inclusive upper bound of
+    /// the first bucket whose cumulative count reaches `ceil(q * count)`,
+    /// clamped to the exact observed max. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            cum = cum.saturating_add(n);
+            if cum >= target {
+                return bucket_upper(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (bucket-resolution).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (bucket-resolution).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (bucket-resolution).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold `other` into `self` (bucket-wise wrapping add, max of maxima).
+    pub fn merge_from(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a = a.wrapping_add(*b);
+        }
+        self.count = self.count.wrapping_add(other.count);
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        for &b in &self.buckets {
+            w.write_u64(b);
+        }
+        w.write_u64(self.count);
+        w.write_u64(self.sum);
+        w.write_u64(self.max);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
+        for b in self.buckets.iter_mut() {
+            *b = r.read_u64()?;
+        }
+        self.count = r.read_u64()?;
+        self.sum = r.read_u64()?;
+        self.max = r.read_u64()?;
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Meta {
+    name: &'static str,
+    det: Determinism,
+}
+
+/// The metrics registry: name- and determinism-tagged counters, gauges,
+/// and histograms.
+///
+/// Registration (`counter`/`gauge`/`histogram`) allocates and is meant for
+/// construction time; the record operations are alloc-free. Names are
+/// `&'static str` so the registry never copies strings and merge-by-name
+/// needs no hashing.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: Vec<(Meta, u64)>,
+    gauges: Vec<(Meta, f64)>,
+    histograms: Vec<(Meta, Histogram)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register (or look up) a counter. Re-registering an existing name
+    /// returns the original id; the determinism tag of the first
+    /// registration wins.
+    pub fn counter(&mut self, name: &'static str, det: Determinism) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|(m, _)| m.name == name) {
+            return CounterId(i);
+        }
+        self.counters.push((Meta { name, det }, 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Register (or look up) a gauge.
+    pub fn gauge(&mut self, name: &'static str, det: Determinism) -> GaugeId {
+        if let Some(i) = self.gauges.iter().position(|(m, _)| m.name == name) {
+            return GaugeId(i);
+        }
+        self.gauges.push((Meta { name, det }, 0.0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Register (or look up) a histogram.
+    pub fn histogram(&mut self, name: &'static str, det: Determinism) -> HistogramId {
+        if let Some(i) = self.histograms.iter().position(|(m, _)| m.name == name) {
+            return HistogramId(i);
+        }
+        self.histograms.push((Meta { name, det }, Histogram::new()));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Increment a counter by 1. Alloc-free; unknown ids are a no-op.
+    pub fn inc(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Increment a counter by `n`. Alloc-free; unknown ids are a no-op.
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        if let Some((_, v)) = self.counters.get_mut(id.0) {
+            *v = v.wrapping_add(n);
+        }
+    }
+
+    /// Set a gauge. Alloc-free; unknown ids are a no-op.
+    pub fn set(&mut self, id: GaugeId, v: f64) {
+        if let Some((_, g)) = self.gauges.get_mut(id.0) {
+            *g = v;
+        }
+    }
+
+    /// Raise a gauge to `v` if `v` is larger (NaN is ignored). Alloc-free.
+    pub fn set_max(&mut self, id: GaugeId, v: f64) {
+        if let Some((_, g)) = self.gauges.get_mut(id.0) {
+            if v > *g {
+                *g = v;
+            }
+        }
+    }
+
+    /// Record a histogram sample. Alloc-free; unknown ids are a no-op.
+    pub fn record(&mut self, id: HistogramId, v: u64) {
+        if let Some((_, h)) = self.histograms.get_mut(id.0) {
+            h.record(v);
+        }
+    }
+
+    /// Current counter value (0 for unknown ids).
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters.get(id.0).map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    /// Current gauge value (0.0 for unknown ids).
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        self.gauges.get(id.0).map(|(_, v)| *v).unwrap_or(0.0)
+    }
+
+    /// Borrow a histogram (None for unknown ids).
+    pub fn histogram_ref(&self, id: HistogramId) -> Option<&Histogram> {
+        self.histograms.get(id.0).map(|(_, h)| h)
+    }
+
+    /// Look up a counter's value by name (tests, sinks).
+    pub fn counter_by_name(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(m, _)| m.name == name).map(|(_, v)| *v)
+    }
+
+    /// Look up a gauge's value by name.
+    pub fn gauge_by_name(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(m, _)| m.name == name).map(|(_, v)| *v)
+    }
+
+    /// Look up a histogram by name.
+    pub fn histogram_by_name(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.iter().find(|(m, _)| m.name == name).map(|(_, h)| h)
+    }
+
+    /// Iterate counters as `(name, determinism, value)`.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, Determinism, u64)> + '_ {
+        self.counters.iter().map(|(m, v)| (m.name, m.det, *v))
+    }
+
+    /// Iterate gauges as `(name, determinism, value)`.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, Determinism, f64)> + '_ {
+        self.gauges.iter().map(|(m, v)| (m.name, m.det, *v))
+    }
+
+    /// Iterate histograms as `(name, determinism, histogram)`.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, Determinism, &Histogram)> + '_ {
+        self.histograms.iter().map(|(m, h)| (m.name, m.det, h))
+    }
+
+    /// Fold another registry into this one by metric name: counters add,
+    /// gauges keep the max, histograms merge bucket-wise. Metrics present
+    /// only in `other` are registered here (with `other`'s determinism
+    /// tag), so merging never drops data.
+    pub fn merge_from(&mut self, other: &Registry) {
+        for (m, v) in &other.counters {
+            let id = self.counter(m.name, m.det);
+            self.add(id, *v);
+        }
+        for (m, v) in &other.gauges {
+            let id = self.gauge(m.name, m.det);
+            self.set_max(id, *v);
+        }
+        for (m, h) in &other.histograms {
+            let id = self.histogram(m.name, m.det);
+            if let Some((_, mine)) = self.histograms.get_mut(id.0) {
+                mine.merge_from(h);
+            }
+        }
+    }
+
+    /// Stable digest of the deterministic metrics only — the bytes the
+    /// chaos harness compares between a fault-free and a recovered run.
+    pub fn deterministic_digest(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        self.snapshot_into(&mut w);
+        w.into_bytes()
+    }
+}
+
+/// Checkpoints **deterministic metrics only** (see [`Determinism`]):
+/// runtime measurements from a pre-crash incarnation must not leak into
+/// the recovered run's exactly-once state. Restore validates metric names
+/// positionally, so a snapshot from a structurally different registry is
+/// rejected as corrupt instead of silently misassigning values.
+impl Checkpoint for Registry {
+    fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        let det = |d: Determinism| d == Determinism::Deterministic;
+        w.write_usize(self.counters.iter().filter(|(m, _)| det(m.det)).count());
+        for (m, v) in self.counters.iter().filter(|(m, _)| det(m.det)) {
+            w.write_str(m.name);
+            w.write_u64(*v);
+        }
+        w.write_usize(self.gauges.iter().filter(|(m, _)| det(m.det)).count());
+        for (m, v) in self.gauges.iter().filter(|(m, _)| det(m.det)) {
+            w.write_str(m.name);
+            w.write_f64(*v);
+        }
+        w.write_usize(self.histograms.iter().filter(|(m, _)| det(m.det)).count());
+        for (m, h) in self.histograms.iter().filter(|(m, _)| det(m.det)) {
+            w.write_str(m.name);
+            h.snapshot_into(w);
+        }
+    }
+
+    fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
+        let n = r.read_usize()?;
+        for _ in 0..n {
+            let name = r.read_str()?;
+            let v = r.read_u64()?;
+            let slot = self
+                .counters
+                .iter_mut()
+                .find(|(m, _)| m.det == Determinism::Deterministic && m.name == name);
+            match slot {
+                Some((_, c)) => *c = v,
+                None => {
+                    return Err(Error::Snapshot(format!("unknown counter in snapshot: {name}")))
+                }
+            }
+        }
+        let n = r.read_usize()?;
+        for _ in 0..n {
+            let name = r.read_str()?;
+            let v = r.read_f64()?;
+            let slot = self
+                .gauges
+                .iter_mut()
+                .find(|(m, _)| m.det == Determinism::Deterministic && m.name == name);
+            match slot {
+                Some((_, g)) => *g = v,
+                None => return Err(Error::Snapshot(format!("unknown gauge in snapshot: {name}"))),
+            }
+        }
+        let n = r.read_usize()?;
+        for _ in 0..n {
+            let name = r.read_str()?;
+            let slot = self
+                .histograms
+                .iter_mut()
+                .find(|(m, _)| m.det == Determinism::Deterministic && m.name == name);
+            match slot {
+                Some((_, h)) => h.restore_from(r)?,
+                None => {
+                    return Err(Error::Snapshot(format!("unknown histogram in snapshot: {name}")))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(HISTOGRAM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero_no_nan() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p95(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.mean().is_finite());
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded_by_max() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 10, 100, 1000, 5000] {
+            h.record(v);
+        }
+        assert!(h.p50() <= h.p95());
+        assert!(h.p95() <= h.p99());
+        assert!(h.p99() <= h.max());
+        assert_eq!(h.max(), 5000);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 6116);
+    }
+
+    #[test]
+    fn single_sample_quantiles_collapse_to_it() {
+        let mut h = Histogram::new();
+        h.record(77);
+        assert_eq!(h.p50(), 77);
+        assert_eq!(h.p95(), 77);
+        assert_eq!(h.p99(), 77);
+        assert_eq!(h.max(), 77);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(500);
+        b.record(7);
+        a.merge_from(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 512);
+        assert_eq!(a.max(), 500);
+    }
+
+    #[test]
+    fn registry_register_is_idempotent() {
+        let mut r = Registry::new();
+        let a = r.counter("x_total", Determinism::Deterministic);
+        let b = r.counter("x_total", Determinism::Runtime);
+        assert_eq!(a, b);
+        r.inc(a);
+        r.add(b, 2);
+        assert_eq!(r.counter_value(a), 3);
+        assert_eq!(r.counter_by_name("x_total"), Some(3));
+        assert_eq!(r.counters().count(), 1);
+        // First registration's determinism tag wins.
+        assert_eq!(r.counters().next().unwrap().1, Determinism::Deterministic);
+    }
+
+    #[test]
+    fn foreign_ids_are_silent_noops() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        let c = b.counter("only_in_b", Determinism::Runtime);
+        let g = b.gauge("g", Determinism::Runtime);
+        let h = b.histogram("h", Determinism::Runtime);
+        // `a` has no metrics at all: every op must be a no-op, not a panic.
+        a.inc(c);
+        a.set(g, 1.0);
+        a.record(h, 9);
+        assert_eq!(a.counter_value(c), 0);
+        assert_eq!(a.gauge_value(g), 0.0);
+        assert!(a.histogram_ref(h).is_none());
+    }
+
+    #[test]
+    fn gauge_set_max_ignores_nan_and_smaller() {
+        let mut r = Registry::new();
+        let g = r.gauge("peak", Determinism::Runtime);
+        r.set_max(g, 5.0);
+        r.set_max(g, 3.0);
+        r.set_max(g, f64::NAN);
+        assert_eq!(r.gauge_value(g), 5.0);
+    }
+
+    #[test]
+    fn merge_by_name_adds_counters_and_merges_histograms() {
+        let mut parent = Registry::new();
+        let pc = parent.counter("records_total", Determinism::Deterministic);
+        let ph = parent.histogram("lat_us", Determinism::Runtime);
+        parent.add(pc, 10);
+        parent.record(ph, 100);
+
+        let mut child = Registry::new();
+        let cc = child.counter("records_total", Determinism::Deterministic);
+        let ch = child.histogram("lat_us", Determinism::Runtime);
+        let only = child.counter("child_only_total", Determinism::Runtime);
+        child.add(cc, 5);
+        child.record(ch, 200);
+        child.inc(only);
+
+        parent.merge_from(&child);
+        assert_eq!(parent.counter_by_name("records_total"), Some(15));
+        assert_eq!(parent.counter_by_name("child_only_total"), Some(1));
+        let h = parent.histogram_by_name("lat_us").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 200);
+    }
+
+    fn sample_registry() -> Registry {
+        let mut r = Registry::new();
+        let c = r.counter("alerts_total", Determinism::Deterministic);
+        let rc = r.counter("retries_total", Determinism::Runtime);
+        let g = r.gauge("bow_size", Determinism::Deterministic);
+        let h = r.histogram("conf_1e6", Determinism::Deterministic);
+        let rh = r.histogram("task_us", Determinism::Runtime);
+        r.add(c, 7);
+        r.add(rc, 3);
+        r.set(g, 42.0);
+        r.record(h, 900_000);
+        r.record(rh, 1234);
+        r
+    }
+
+    #[test]
+    fn checkpoint_round_trips_deterministic_metrics_only() {
+        let orig = sample_registry();
+        let bytes = orig.snapshot();
+
+        // Restore into a structurally identical registry with different
+        // values: deterministic metrics come back, runtime ones stay.
+        let mut restored = sample_registry();
+        let ac = restored.counter("alerts_total", Determinism::Deterministic);
+        let rc = restored.counter("retries_total", Determinism::Runtime);
+        restored.add(ac, 100);
+        restored.add(rc, 100);
+        let mut r = SnapshotReader::new(&bytes);
+        restored.restore_from(&mut r).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(restored.counter_by_name("alerts_total"), Some(7));
+        assert_eq!(restored.counter_by_name("retries_total"), Some(103), "runtime untouched");
+        assert_eq!(restored.gauge_by_name("bow_size"), Some(42.0));
+        assert_eq!(restored.histogram_by_name("conf_1e6").unwrap().count(), 1);
+        assert_eq!(restored.snapshot(), bytes, "snapshot → restore → snapshot is stable");
+        assert_eq!(restored.deterministic_digest(), orig.deterministic_digest());
+    }
+
+    #[test]
+    fn checkpoint_rejects_unknown_metric_names() {
+        let orig = sample_registry();
+        let bytes = orig.snapshot();
+        let mut stranger = Registry::new();
+        stranger.counter("different_total", Determinism::Deterministic);
+        let mut r = SnapshotReader::new(&bytes);
+        assert!(stranger.restore_from(&mut r).is_err());
+    }
+
+    #[test]
+    fn deterministic_digest_ignores_runtime_metrics() {
+        let mut a = sample_registry();
+        let mut b = sample_registry();
+        // Perturb only runtime metrics on one side.
+        let rc = b.counter("retries_total", Determinism::Runtime);
+        b.add(rc, 99);
+        let rh = b.histogram("task_us", Determinism::Runtime);
+        b.record(rh, 999);
+        assert_eq!(a.deterministic_digest(), b.deterministic_digest());
+        // But a deterministic change shows up.
+        let c = a.counter("alerts_total", Determinism::Deterministic);
+        a.inc(c);
+        assert_ne!(a.deterministic_digest(), b.deterministic_digest());
+    }
+}

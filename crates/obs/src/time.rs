@@ -1,0 +1,75 @@
+//! The observability layer's only wall-clock touchpoint.
+//!
+//! Everything else in the workspace is deterministic and replayable, so
+//! real time lives behind one switchable source: `SpanClock::off()` (the
+//! default everywhere) reads nothing and returns 0, which keeps pipeline
+//! runs bit-identical; `SpanClock::wall()` anchors an `Instant` origin for
+//! bench binaries that want real span timings. This file is the sole
+//! `wall-clock` lint allowlist entry for the crate — adding `Instant`
+//! reads anywhere else in `redhanded-obs` fails the lint gate.
+
+use std::time::Instant;
+
+/// A span-timing clock: either disabled (deterministic runs) or anchored
+/// to a wall-clock origin (benches).
+#[derive(Debug, Clone, Copy)]
+pub enum SpanClock {
+    /// Timing disabled: `now_us` always returns 0.
+    Off,
+    /// Wall-clock timing relative to the contained origin.
+    Wall(Instant),
+}
+
+impl Default for SpanClock {
+    fn default() -> Self {
+        SpanClock::Off
+    }
+}
+
+impl SpanClock {
+    /// The deterministic no-op clock.
+    pub fn off() -> Self {
+        SpanClock::Off
+    }
+
+    /// A wall clock anchored at "now". Only call from bench/CLI code —
+    /// span samples taken from it are `Runtime`-class by definition.
+    pub fn wall() -> Self {
+        SpanClock::Wall(Instant::now())
+    }
+
+    /// Whether spans should be recorded at all.
+    pub fn enabled(&self) -> bool {
+        matches!(self, SpanClock::Wall(_))
+    }
+
+    /// Microseconds since the origin (0 when off). Alloc-free.
+    pub fn now_us(&self) -> u64 {
+        match self {
+            SpanClock::Off => 0,
+            SpanClock::Wall(origin) => origin.elapsed().as_micros() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_clock_reads_zero_and_is_disabled() {
+        let c = SpanClock::off();
+        assert!(!c.enabled());
+        assert_eq!(c.now_us(), 0);
+        assert_eq!(SpanClock::default().now_us(), 0);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = SpanClock::wall();
+        assert!(c.enabled());
+        let a = c.now_us();
+        let b = c.now_us();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the observability crate (DESIGN.md §10):
+//! histogram merge must be exactly associative and commutative, because
+//! partition-local histograms are folded into the driver registry in
+//! whatever grouping the engine produces, and the chaos harness demands
+//! bit-identical state regardless.
+
+use proptest::prelude::*;
+use redhanded_obs::{Determinism, Histogram, Registry};
+
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..=u64::MAX, 0..64)
+}
+
+fn hist_of(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c): bucket counts, count, sum, and max all
+    /// agree bit-for-bit however the merge tree is shaped.
+    #[test]
+    fn histogram_merge_is_associative(
+        xs in arb_samples(),
+        ys in arb_samples(),
+        zs in arb_samples(),
+    ) {
+        let (a, b, c) = (hist_of(&xs), hist_of(&ys), hist_of(&zs));
+
+        let mut left = a.clone();
+        left.merge_from(&b);
+        left.merge_from(&c);
+
+        let mut bc = b.clone();
+        bc.merge_from(&c);
+        let mut right = a.clone();
+        right.merge_from(&bc);
+
+        prop_assert_eq!(left, right);
+    }
+
+    /// a ⊕ b == b ⊕ a.
+    #[test]
+    fn histogram_merge_is_commutative(xs in arb_samples(), ys in arb_samples()) {
+        let (a, b) = (hist_of(&xs), hist_of(&ys));
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merging equals recording the concatenated sample stream, and the
+    /// identity element is the empty histogram.
+    #[test]
+    fn merge_equals_concatenated_recording(xs in arb_samples(), ys in arb_samples()) {
+        let mut merged = hist_of(&xs);
+        merged.merge_from(&hist_of(&ys));
+        let mut concat = xs.clone();
+        concat.extend_from_slice(&ys);
+        prop_assert_eq!(&merged, &hist_of(&concat));
+
+        let mut with_empty = merged.clone();
+        with_empty.merge_from(&Histogram::new());
+        prop_assert_eq!(with_empty, merged);
+    }
+
+    /// Quantiles are ordered, bounded by the observed max, and never
+    /// panic or produce NaN for any sample set.
+    #[test]
+    fn quantiles_ordered_and_bounded(xs in arb_samples()) {
+        let h = hist_of(&xs);
+        prop_assert!(h.p50() <= h.p95());
+        prop_assert!(h.p95() <= h.p99());
+        prop_assert!(h.p99() <= h.max());
+        prop_assert!(h.mean().is_finite());
+        if let Some(&max) = xs.iter().max() {
+            prop_assert_eq!(h.max(), max);
+        } else {
+            prop_assert_eq!(h.max(), 0);
+        }
+    }
+
+    /// Registry-level merge is associative too (counters add, gauges take
+    /// max, histograms merge) — the engine merges executor registries in
+    /// arbitrary grouping.
+    #[test]
+    fn registry_merge_is_associative(
+        xs in arb_samples(),
+        ys in arb_samples(),
+        zs in arb_samples(),
+    ) {
+        let build = |samples: &[u64]| {
+            let mut r = Registry::new();
+            let c = r.counter("n_total", Determinism::Deterministic);
+            let g = r.gauge("peak", Determinism::Runtime);
+            let h = r.histogram("lat_us", Determinism::Runtime);
+            for &v in samples {
+                r.add(c, v % 17);
+                r.set_max(g, (v % 1024) as f64);
+                r.record(h, v);
+            }
+            r
+        };
+        let (a, b, c) = (build(&xs), build(&ys), build(&zs));
+
+        let mut left = a.clone();
+        left.merge_from(&b);
+        left.merge_from(&c);
+
+        let mut bc = b.clone();
+        bc.merge_from(&c);
+        let mut right = a.clone();
+        right.merge_from(&bc);
+
+        prop_assert_eq!(left.deterministic_digest(), right.deterministic_digest());
+        prop_assert_eq!(left.counter_by_name("n_total"), right.counter_by_name("n_total"));
+        prop_assert_eq!(left.gauge_by_name("peak"), right.gauge_by_name("peak"));
+        prop_assert_eq!(
+            left.histogram_by_name("lat_us"),
+            right.histogram_by_name("lat_us")
+        );
+    }
+}

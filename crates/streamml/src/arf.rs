@@ -426,6 +426,10 @@ impl StreamingClassifier for AdaptiveRandomForest {
         Box::new(self.clone())
     }
 
+    fn drifts(&self) -> u64 {
+        self.drifts_applied()
+    }
+
     fn local_copy(&self) -> Box<dyn StreamingClassifier> {
         let members = self.members.iter().map(|m| m.fork(&self.config)).collect();
         Box::new(AdaptiveRandomForest {

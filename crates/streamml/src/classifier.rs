@@ -96,6 +96,14 @@ pub trait StreamingClassifier: Send + Sync {
     /// configured) model.
     fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()>;
 
+    /// Cumulative count of concept-drift adaptations the model has applied
+    /// over its lifetime (e.g. ARF member replacements). Drift-free models
+    /// report 0. Observability reads this to surface drift detections
+    /// without downcasting.
+    fn drifts(&self) -> u64 {
+        0
+    }
+
     /// Downcasting support for [`StreamingClassifier::merge`]
     /// implementations.
     fn as_any(&self) -> &dyn std::any::Any;

@@ -158,18 +158,22 @@ const HOT_PATH_FUNCTIONS: &[(&str, &[&str])] = &[
     ("crates/nlp/src/intern.rs", &["get", "push_lowercase"]),
     ("crates/core/src/spark.rs", &["process_batch"]),
     ("crates/dspe/src/engine.rs", &["execute_with_retries"]),
+    // Observability recording: pre-registered metrics, ring-buffer events.
+    ("crates/obs/src/metrics.rs", &["inc", "add", "set", "set_max", "record"]),
+    ("crates/obs/src/events.rs", &["push"]),
 ];
 
 impl Default for LintConfig {
     fn default() -> Self {
         LintConfig {
             no_panic_exempt: &["crates/bench/", "/src/bin/"],
-            sip_hash_crates: &["nlp", "features", "streamml", "dspe", "core"],
+            sip_hash_crates: &["nlp", "features", "streamml", "dspe", "core", "obs"],
             sip_hash_exempt: &["crates/nlp/src/fxhash.rs", "/src/bin/"],
             wall_clock_exempt: &[
                 "crates/bench/",
                 "crates/dspe/src/engine.rs",
                 "crates/dspe/src/executor.rs",
+                "crates/obs/src/time.rs",
                 "/src/bin/",
             ],
             catch_unwind_exempt: &["crates/dspe/src/fault.rs"],
@@ -255,8 +259,16 @@ mod tests {
         assert!(!c.applies(Rule::SipHash, "crates/batchml/src/cv.rs"));
         assert!(c.applies(Rule::WallClock, "crates/core/src/deploy.rs"));
         assert!(!c.applies(Rule::WallClock, "crates/dspe/src/engine.rs"));
+        assert!(
+            !c.applies(Rule::WallClock, "crates/obs/src/time.rs"),
+            "SpanClock is the obs crate's sole wall-clock touchpoint"
+        );
+        assert!(c.applies(Rule::WallClock, "crates/obs/src/metrics.rs"));
+        assert!(c.applies(Rule::SipHash, "crates/obs/src/metrics.rs"));
         assert!(c.applies(Rule::HotPathAlloc, "crates/features/src/extract.rs"));
         assert!(c.applies(Rule::HotPathAlloc, "crates/dspe/src/engine.rs"));
+        assert!(c.applies(Rule::HotPathAlloc, "crates/obs/src/metrics.rs"));
+        assert!(c.applies(Rule::HotPathAlloc, "crates/obs/src/events.rs"));
         assert!(!c.applies(Rule::HotPathAlloc, "crates/features/src/stats.rs"));
         assert!(c.applies(Rule::CatchUnwindBoundary, "crates/dspe/src/executor.rs"));
         assert!(c.applies(Rule::CatchUnwindBoundary, "crates/core/src/spark.rs"));

@@ -16,4 +16,10 @@ cargo test -q --workspace
 echo "== chaos (seeded fault injection + recovery) =="
 cargo test -q --test chaos_recovery
 
+echo "== obs (deterministic observability + OBS_report.json) =="
+cargo test -q --test obs_consistency
+cargo run -q --release -p redhanded-bench --bin perf_smoke > /dev/null
+test -s results/OBS_report.json
+test -s results/OBS_report.prom
+
 echo "== OK =="

@@ -1,0 +1,230 @@
+//! Observability under chaos (DESIGN.md §10): the deterministic half of
+//! the metric registry and event log — record/alert/suspension counts, the
+//! alert-confidence histogram, the BoW and drift gauges, drift/alert
+//! events — must be **bit-identical** between a fault-free run and a run
+//! that crashed tasks, straggled, lost its driver, and recovered from a
+//! checkpoint. Runtime-class metrics (timings, retries, checkpoint costs)
+//! are explicitly exempt: a recovered run legitimately works harder.
+
+use std::time::Duration;
+
+use redhanded_core::{
+    intermix, run_with_recovery, ModelKind, PipelineConfig, SparkConfig, SparkDetector,
+    StreamItem,
+};
+use redhanded_datagen::{generate_abusive, generate_unlabeled, AbusiveConfig};
+use redhanded_dspe::{
+    ChaosHarness, CheckpointStore, CostModel, EngineConfig, FaultPlan, MemoryCheckpointStore,
+    Topology,
+};
+use redhanded_obs::obs_report_json;
+use redhanded_types::snapshot::{Checkpoint, SnapshotReader};
+use redhanded_types::ClassScheme;
+
+/// 6000 mixed items → 12 micro-batches of 500 on a 4-slot local topology.
+fn stream() -> Vec<StreamItem> {
+    intermix(
+        generate_abusive(&AbusiveConfig::small(3000, 21)),
+        generate_unlabeled(3000, 22),
+    )
+}
+
+fn detector(plan: FaultPlan) -> SparkDetector {
+    let pipeline = PipelineConfig::paper(ClassScheme::TwoClass, ModelKind::ht());
+    let mut engine = EngineConfig::for_topology(Topology::local(4));
+    engine.microbatch_size = 500;
+    engine.cost_model = CostModel::default();
+    engine.faults = plan;
+    SparkDetector::new(SparkConfig::new(pipeline, engine)).unwrap()
+}
+
+/// The seeded chaos schedule of `tests/chaos_recovery.rs`: three task
+/// crashes, a straggler, and a driver kill between checkpoints.
+fn seeded_plan() -> FaultPlan {
+    FaultPlan::none()
+        .crash(1, 0, 0, 1)
+        .crash(3, 0, 2, 2)
+        .crash(5, 0, 1, 1)
+        .straggle(2, 0, 3, Duration::from_millis(20))
+        .kill_driver_after(4)
+}
+
+const DETERMINISTIC_COUNTERS: &[&str] = &[
+    "pipeline_records_total",
+    "pipeline_labeled_total",
+    "pipeline_skipped_total",
+    "pipeline_classified_total",
+    "pipeline_alerts_raised_total",
+    "pipeline_alerts_drained_total",
+    "pipeline_users_suspended_total",
+];
+
+#[test]
+fn recovered_obs_is_bit_identical_to_fault_free() {
+    let items = stream();
+    let harness = ChaosHarness::new(seeded_plan());
+    let ((clean_report, clean), (chaos_report, chaos)) = harness.run_both(|plan| {
+        let mut d = detector(plan);
+        let mut store = MemoryCheckpointStore::new(2);
+        let report = run_with_recovery(&mut d, items.clone(), &mut store, 3).unwrap();
+        (report, d)
+    });
+    assert_eq!(clean_report.restarts, 0);
+    assert_eq!(chaos_report.restarts, 1, "driver was killed and recovered");
+
+    let (co, ko) = (clean.obs(), chaos.obs());
+    // Nothing was evicted from the ring, so digests cover every event.
+    assert_eq!(co.events().dropped(), 0);
+    assert_eq!(ko.events().dropped(), 0);
+
+    // The headline guarantee: deterministic metrics and events are
+    // bit-identical across recovery.
+    assert_eq!(
+        co.registry().deterministic_digest(),
+        ko.registry().deterministic_digest(),
+        "deterministic metrics diverged across recovery"
+    );
+    assert_eq!(
+        co.events().deterministic_digest(),
+        ko.events().deterministic_digest(),
+        "deterministic events diverged across recovery"
+    );
+    for name in DETERMINISTIC_COUNTERS {
+        assert_eq!(
+            co.registry().counter_by_name(name),
+            ko.registry().counter_by_name(name),
+            "{name}"
+        );
+    }
+    assert_eq!(
+        co.registry().histogram_by_name("pipeline_alert_confidence_1e6"),
+        ko.registry().histogram_by_name("pipeline_alert_confidence_1e6"),
+    );
+
+    // Exactly-once cross-checks against the detector's own state.
+    assert_eq!(
+        ko.registry().counter_by_name("pipeline_records_total"),
+        Some(items.len() as u64)
+    );
+    assert_eq!(
+        ko.registry().counter_by_name("pipeline_alerts_raised_total"),
+        Some(chaos.alerter().alerts_raised())
+    );
+    assert_eq!(
+        ko.registry()
+            .histogram_by_name("pipeline_alert_confidence_1e6")
+            .unwrap()
+            .count(),
+        chaos.alerter().alerts_raised()
+    );
+
+    // Runtime-class metrics are *not* expected to match — and must show
+    // the faults on the chaos side only.
+    let runtime = |r: &redhanded_obs::Registry, n: &str| r.counter_by_name(n).unwrap_or(0);
+    assert_eq!(runtime(co.registry(), "dspe_task_failures_total"), 0);
+    assert!(
+        runtime(ko.registry(), "dspe_task_failures_total") >= 3,
+        "three crash sites fired"
+    );
+    assert!(runtime(ko.registry(), "dspe_task_retries_total") >= 3);
+    assert!(runtime(ko.registry(), "dspe_stragglers_total") >= 1);
+    assert!(runtime(ko.registry(), "pipeline_checkpoint_saves_total") > 0);
+    assert!(runtime(ko.registry(), "pipeline_checkpoint_bytes_total") > 0);
+    assert!(
+        runtime(ko.registry(), "dspe_batches_total") > runtime(co.registry(), "dspe_batches_total"),
+        "the recovered run re-executed batches"
+    );
+
+    // The chaos harness emits the machine-readable OBS report.
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    std::fs::create_dir_all(dir).unwrap();
+    let json = obs_report_json("chaos_harness", ko.registry(), ko.events());
+    std::fs::write(format!("{dir}/OBS_report.json"), &json).unwrap();
+    assert!(json.contains("\"source\": \"chaos_harness\""));
+    assert!(json.contains("pipeline_alerts_raised_total"));
+}
+
+/// Draining alerts mid-stream must never double-count: even when the
+/// surviving checkpoint *pre-dates* the drain (so recovery resurrects the
+/// drained alerts as pending — at-least-once delivery), sequence numbers
+/// and the raised totals stay exactly-once and deterministic obs state
+/// matches a drain-free fault-free run.
+#[test]
+fn drain_mid_run_counts_alerts_exactly_once() {
+    let items = stream();
+    let (first, second) = items.split_at(3000);
+
+    // Baseline: both segments fault-free, no drain.
+    let mut clean = detector(FaultPlan::none());
+    clean.run_segment(first.to_vec(), 0, 0, None).unwrap();
+    clean.run_segment(second.to_vec(), 6, 3000, None).unwrap();
+
+    // Chaos: checkpoint the first segment, drain between segments, then
+    // lose the driver before any post-drain checkpoint exists.
+    let mut store = MemoryCheckpointStore::new(2);
+    let mut chaos = detector(FaultPlan::none());
+    chaos
+        .run_segment(first.to_vec(), 0, 0, Some((&mut store, 3)))
+        .unwrap();
+    let delivered = chaos.alerter_mut().drain();
+    assert!(!delivered.is_empty(), "first segment raised alerts");
+    chaos.engine_config_mut().faults = FaultPlan::none().kill_driver_after(7);
+    let killed = chaos.run_segment(second.to_vec(), 6, 3000, None).unwrap();
+    assert_eq!(killed.stream.killed_at_batch, Some(7));
+
+    // Recover from the latest (pre-drain) checkpoint and finish.
+    let (meta, payload) = store.latest().unwrap().expect("checkpoint exists");
+    assert_eq!(meta.batches_done, 6, "surviving checkpoint pre-dates the drain");
+    let mut r = SnapshotReader::new(&payload);
+    chaos.restore_from(&mut r).unwrap();
+    r.finish().unwrap();
+    chaos.engine_config_mut().faults.disarm_driver_kill();
+    chaos
+        .run_segment(
+            items[meta.records_done as usize..].to_vec(),
+            meta.batches_done,
+            meta.records_done,
+            None,
+        )
+        .unwrap();
+
+    // Exactly-once: same monotonic raised totals, same deterministic obs.
+    assert_eq!(chaos.alerter().alerts_raised(), clean.alerter().alerts_raised());
+    assert_eq!(
+        chaos.obs().registry().deterministic_digest(),
+        clean.obs().registry().deterministic_digest()
+    );
+    assert_eq!(
+        chaos.obs().registry().counter_by_name("pipeline_alerts_raised_total"),
+        Some(clean.alerter().alerts_raised())
+    );
+    // The confidence histogram saw each alert exactly once.
+    assert_eq!(
+        chaos
+            .obs()
+            .registry()
+            .histogram_by_name("pipeline_alert_confidence_1e6")
+            .unwrap()
+            .count(),
+        chaos.alerter().alerts_raised()
+    );
+
+    // At-least-once delivery, deduplicable: the externally delivered seqs
+    // plus the now-pending seqs cover 1..=raised with no gaps, and the
+    // resurrected alerts carry the same seqs the drain already delivered.
+    let raised = chaos.alerter().alerts_raised();
+    let mut seen = vec![false; raised as usize + 1];
+    for a in delivered.iter().chain(chaos.alerter().alerts()) {
+        assert!(a.seq >= 1 && a.seq <= raised, "seq {} out of range", a.seq);
+        seen[a.seq as usize] = true;
+    }
+    assert!(
+        seen[1..].iter().all(|&s| s),
+        "every alert seq was delivered or is pending"
+    );
+    // Pending alerts themselves are duplicate-free.
+    let mut pending: Vec<u64> = chaos.alerter().alerts().iter().map(|a| a.seq).collect();
+    pending.sort_unstable();
+    pending.dedup();
+    assert_eq!(pending.len(), chaos.alerter().alerts().len());
+}
