@@ -24,11 +24,42 @@ fn main() {
     }
     println!("\n(paper shape: MOA ≈ SparkSingle (7-17% apart); SparkLocal ~5.5x");
     println!(" faster than SparkSingle at 2M tweets; SparkCluster ~2.5x over SparkLocal)");
+    // Where the time goes: critical-path attribution of the largest sweep
+    // point per system, from the recorded span trace.
+    for system in ["SparkSingle", "SparkLocal", "SparkCluster"] {
+        if let Some(b) =
+            out.system_points(system).last().and_then(|p| p.breakdown.as_ref())
+        {
+            println!("\n{system} stage breakdown (largest sweep point):");
+            print!("{}", b.breakdown_table());
+        }
+    }
     write_csv(
         "fig15_execution_time",
         &["system", "tweets", "exec_time_s"],
         out.points.iter().map(|p| {
             vec![p.system.to_string(), p.tweets.to_string(), p.elapsed.as_secs_f64().to_string()]
+        }),
+    );
+    write_csv(
+        "fig15_stage_breakdown",
+        &["system", "tweets", "stage", "spans", "total_us", "self_us", "straggler_us",
+          "retry_backoff_us"],
+        out.points.iter().flat_map(|p| {
+            p.breakdown.iter().flat_map(|b| {
+                b.stages.iter().map(|s| {
+                    vec![
+                        p.system.to_string(),
+                        p.tweets.to_string(),
+                        s.kind.name().to_string(),
+                        s.spans.to_string(),
+                        s.total_us.to_string(),
+                        s.self_us.to_string(),
+                        s.straggler_us.to_string(),
+                        s.retry_backoff_us.to_string(),
+                    ]
+                })
+            }).collect::<Vec<_>>()
         }),
     );
 }

@@ -31,6 +31,21 @@ fn main() {
     }
     println!("\n(paper: MOA/SparkSingle ~1.1k tw/s; SparkLocal ~6k; SparkCluster up to");
     println!(" 14.5k, plateauing past ~1M tweets — 3 machines cover the Firehose)");
+    // The throughput ceiling is set by the batch critical path; show where
+    // it goes for the fastest system's largest sweep point.
+    if let Some(b) =
+        out.system_points("SparkCluster").last().and_then(|p| p.breakdown.as_ref())
+    {
+        println!("\nSparkCluster critical-path breakdown (largest sweep point):");
+        print!("{}", b.breakdown_table());
+        if b.total_us > 0.0 {
+            println!(
+                "critical path covers {:.1}% of batch time; scheduling overhead {:.1}%",
+                100.0 * b.critical_path_us / b.total_us,
+                100.0 * b.scheduling_overhead_us / b.total_us
+            );
+        }
+    }
     write_csv(
         "fig16_throughput",
         &["system", "tweets", "throughput"],

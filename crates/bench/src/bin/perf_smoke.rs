@@ -20,7 +20,7 @@ use redhanded_bench::run_scale;
 use redhanded_core::config::ModelKind;
 use redhanded_core::{DetectionPipeline, PipelineConfig, StreamItem};
 use redhanded_datagen::{generate_abusive, AbusiveConfig};
-use redhanded_obs::{obs_report_json, prometheus_text};
+use redhanded_obs::{analyze, chrome_trace_json, obs_report_json, prometheus_text, trace_report_json};
 use redhanded_types::ClassScheme;
 use std::fs;
 use std::time::Instant;
@@ -84,6 +84,20 @@ fn main() {
             Ok(()) => eprintln!("perf_smoke: wrote results/OBS_report.prom"),
             Err(e) => eprintln!("perf_smoke: could not write Prometheus dump: {e}"),
         }
+        // Span trace: sampled per-tweet operator phases under the wall
+        // clock. The report carries the critical-path attribution; the
+        // chrome-trace file loads directly into Perfetto (ui.perfetto.dev).
+        let analysis = analyze(obs.trace());
+        let report = trace_report_json("perf_smoke", obs.trace(), &analysis);
+        match fs::write("results/TRACE_report.json", report) {
+            Ok(()) => eprintln!("perf_smoke: wrote results/TRACE_report.json"),
+            Err(e) => eprintln!("perf_smoke: could not write TRACE report: {e}"),
+        }
+        match fs::write("results/TRACE_perfetto.json", chrome_trace_json(obs.trace())) {
+            Ok(()) => eprintln!("perf_smoke: wrote results/TRACE_perfetto.json"),
+            Err(e) => eprintln!("perf_smoke: could not write Perfetto trace: {e}"),
+        }
+        eprint!("{}", analysis.breakdown_table());
     }
     println!("{json}");
 }

@@ -16,6 +16,7 @@ use crate::item::StreamItem;
 use crate::pipeline::DetectionPipeline;
 use crate::spark::{SparkConfig, SparkDetector};
 use redhanded_dspe::{EngineConfig, Topology};
+use redhanded_obs::{analyze, TraceAnalysis};
 use redhanded_streamml::Metrics;
 use redhanded_types::Result;
 use std::time::{Duration, Instant};
@@ -90,6 +91,11 @@ pub struct DeployReport {
     pub throughput: f64,
     /// Classification metrics over the labeled instances.
     pub metrics: Metrics,
+    /// Critical-path latency attribution from the recorded span trace:
+    /// per-stage breakdown for the Spark flavors (batch → broadcast →
+    /// stage/tasks → merge → driver/alert under the simulated clock);
+    /// sampled per-tweet operator phases for MOA.
+    pub breakdown: Option<TraceAnalysis>,
 }
 
 /// Run `items` through the chosen system.
@@ -116,6 +122,7 @@ pub fn run_system(
                     0.0
                 },
                 metrics: p.cumulative_metrics(),
+                breakdown: Some(analyze(p.obs().trace())),
             })
         }
         Some(topology) => {
@@ -129,6 +136,7 @@ pub fn run_system(
                 elapsed: report.stream.simulated,
                 throughput: report.stream.throughput(),
                 metrics: report.metrics,
+                breakdown: Some(analyze(detector.obs().trace())),
             })
         }
     }
@@ -168,6 +176,21 @@ mod tests {
             assert_eq!(report.records, 2000, "{}", report.system);
             assert!(report.throughput > 0.0, "{}", report.system);
             assert!(report.metrics.accuracy > 0.6, "{}", report.system);
+            let breakdown = report.breakdown.as_ref().expect("trace analysis");
+            if flavor.topology().is_some() {
+                // The batch roots of the span tree account for the
+                // simulated execution time Figure 15 reports, within 5%.
+                assert_eq!(breakdown.batches, 4, "{}", report.system);
+                let sim_us = report.elapsed.as_secs_f64() * 1e6;
+                assert!(
+                    (breakdown.total_us - sim_us).abs() <= 0.05 * sim_us,
+                    "{}: trace {}µs vs simulated {}µs",
+                    report.system,
+                    breakdown.total_us,
+                    sim_us
+                );
+                assert!(breakdown.stage(redhanded_obs::SpanKind::Task).is_some());
+            }
         }
     }
 

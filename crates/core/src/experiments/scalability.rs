@@ -11,6 +11,7 @@ use crate::config::{ModelKind, PipelineConfig};
 use crate::deploy::{run_system, SystemFlavor};
 use crate::item::{intermix, StreamItem};
 use redhanded_datagen::{generate_abusive, generate_unlabeled, AbusiveConfig};
+use redhanded_obs::TraceAnalysis;
 use redhanded_types::{ClassScheme, Result};
 use std::time::Duration;
 
@@ -28,6 +29,9 @@ pub struct ScalabilityPoint {
     pub elapsed: Duration,
     /// Throughput in tweets/second (Figure 16's y-axis).
     pub throughput: f64,
+    /// Per-stage latency attribution from the recorded span trace (see
+    /// `redhanded_obs::analyze`), for the figures' breakdown tables.
+    pub breakdown: Option<TraceAnalysis>,
 }
 
 /// The full sweep outcome.
@@ -79,6 +83,7 @@ pub fn run_scalability(
                 tweets: report.records,
                 elapsed: report.elapsed,
                 throughput: report.throughput,
+                breakdown: report.breakdown,
             });
         }
     }

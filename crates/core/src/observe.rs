@@ -24,6 +24,7 @@
 use crate::alert::Alerter;
 use redhanded_obs::{
     CounterId, Determinism, EventKind, EventLog, GaugeId, HistogramId, Registry, SpanClock,
+    Tracer,
 };
 use redhanded_types::snapshot::{Checkpoint, SnapshotReader, SnapshotWriter};
 use redhanded_types::Result;
@@ -40,6 +41,11 @@ pub struct PipelineObs {
     pub(crate) registry: Registry,
     pub(crate) events: EventLog,
     pub(crate) clock: SpanClock,
+    /// Causal span recorder (see `redhanded_obs::Tracer`). Not part of the
+    /// checkpoint: its deterministic digest dedups replayed batches, so a
+    /// recovered run converges on the fault-free tree without persisting
+    /// spans.
+    pub(crate) trace: Tracer,
     // Deterministic (checkpointed, chaos-compared).
     pub(crate) records: CounterId,
     pub(crate) labeled: CounterId,
@@ -50,6 +56,12 @@ pub struct PipelineObs {
     pub(crate) users_suspended: CounterId,
     pub(crate) bow_size: GaugeId,
     pub(crate) model_drifts: GaugeId,
+    pub(crate) model_warnings: GaugeId,
+    pub(crate) prequential_f1: GaugeId,
+    pub(crate) prequential_kappa: GaugeId,
+    pub(crate) alerts_pending: GaugeId,
+    pub(crate) bow_adds: CounterId,
+    pub(crate) bow_evictions: CounterId,
     pub(crate) alert_confidence: HistogramId,
     // Runtime (operational, excluded from snapshots).
     pub(crate) span_extract_us: HistogramId,
@@ -88,6 +100,12 @@ impl PipelineObs {
         let users_suspended = registry.counter("pipeline_users_suspended_total", d);
         let bow_size = registry.gauge("pipeline_bow_size", d);
         let model_drifts = registry.gauge("pipeline_model_drifts", d);
+        let model_warnings = registry.gauge("pipeline_model_warnings", d);
+        let prequential_f1 = registry.gauge("pipeline_prequential_f1", d);
+        let prequential_kappa = registry.gauge("pipeline_prequential_kappa", d);
+        let alerts_pending = registry.gauge("pipeline_alerts_pending", d);
+        let bow_adds = registry.counter("pipeline_bow_adds_total", d);
+        let bow_evictions = registry.counter("pipeline_bow_evictions_total", d);
         let alert_confidence = registry.histogram("pipeline_alert_confidence_1e6", d);
         let span_extract_us = registry.histogram("pipeline_span_extract_us", r);
         let span_normalize_us = registry.histogram("pipeline_span_normalize_us", r);
@@ -104,6 +122,7 @@ impl PipelineObs {
             registry,
             events: EventLog::new(EVENT_LOG_CAPACITY),
             clock: SpanClock::off(),
+            trace: Tracer::new(),
             records,
             labeled,
             skipped,
@@ -113,6 +132,12 @@ impl PipelineObs {
             users_suspended,
             bow_size,
             model_drifts,
+            model_warnings,
+            prequential_f1,
+            prequential_kappa,
+            alerts_pending,
+            bow_adds,
+            bow_evictions,
             alert_confidence,
             span_extract_us,
             span_normalize_us,
@@ -136,6 +161,11 @@ impl PipelineObs {
     /// The structured event log.
     pub fn events(&self) -> &EventLog {
         &self.events
+    }
+
+    /// The recorded span trace (driver → stage → task → operator phases).
+    pub fn trace(&self) -> &Tracer {
+        &self.trace
     }
 
     /// Switch the sequential pipeline's per-step spans to real wall-clock
@@ -211,16 +241,40 @@ impl PipelineObs {
             self.registry.add(self.alerts_drained, drained - seen);
             self.events.push(stamp, EventKind::AlertsDrained, drained - seen, drained);
         }
+        self.registry.set(self.alerts_pending, alerter.alerts().len() as f64);
     }
 
-    /// Sync the model-drift gauge to the model's cumulative drift count,
-    /// logging a [`EventKind::DriftDetected`] event when it advanced.
-    pub(crate) fn note_drifts(&mut self, stamp: u64, drifts: u64) {
+    /// Set the prequential model-quality gauges (per-batch F1 and Cohen's
+    /// kappa from the running confusion matrix).
+    pub(crate) fn note_model_quality(&mut self, f1: f64, kappa: f64) {
+        self.registry.set(self.prequential_f1, f1);
+        self.registry.set(self.prequential_kappa, kappa);
+    }
+
+    /// Sync the BoW vocabulary-churn counters to the vocabulary's own
+    /// cumulative totals (delta-sync, so replayed batches after a recovery
+    /// do not double-count).
+    pub(crate) fn note_bow_churn(&mut self, adds: u64, evictions: u64) {
+        let seen_adds = self.registry.counter_value(self.bow_adds);
+        if adds > seen_adds {
+            self.registry.add(self.bow_adds, adds - seen_adds);
+        }
+        let seen_evictions = self.registry.counter_value(self.bow_evictions);
+        if evictions > seen_evictions {
+            self.registry.add(self.bow_evictions, evictions - seen_evictions);
+        }
+    }
+
+    /// Sync the model drift/warning gauges to the model's cumulative
+    /// counts, logging a [`EventKind::DriftDetected`] event when the drift
+    /// count advanced.
+    pub(crate) fn note_drifts(&mut self, stamp: u64, drifts: u64, warnings: u64) {
         let prev = self.registry.gauge_value(self.model_drifts) as u64;
         if drifts > prev {
             self.events.push(stamp, EventKind::DriftDetected, drifts - prev, drifts);
         }
         self.registry.set(self.model_drifts, drifts as f64);
+        self.registry.set(self.model_warnings, warnings as f64);
     }
 }
 
@@ -320,11 +374,12 @@ mod tests {
     #[test]
     fn drift_sync_logs_only_advances() {
         let mut o = PipelineObs::new();
-        o.note_drifts(0, 0);
-        o.note_drifts(1, 2);
-        o.note_drifts(2, 2);
-        o.note_drifts(3, 5);
+        o.note_drifts(0, 0, 0);
+        o.note_drifts(1, 2, 3);
+        o.note_drifts(2, 2, 3);
+        o.note_drifts(3, 5, 7);
         assert_eq!(o.events.count(EventKind::DriftDetected), 2);
         assert_eq!(o.registry.gauge_value(o.model_drifts), 5.0);
+        assert_eq!(o.registry.gauge_value(o.model_warnings), 7.0);
     }
 }

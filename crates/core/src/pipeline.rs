@@ -17,6 +17,7 @@ use crate::observe::PipelineObs;
 use crate::sample::BoostedSampler;
 use crate::session::SessionDetector;
 use redhanded_features::{AdaptiveBow, ExtractScratch, FeatureExtractor, Normalizer, NUM_FEATURES};
+use redhanded_obs::{SpanKind, SpanRef};
 use redhanded_streamml::classifier::argmax;
 use redhanded_streamml::{Metrics, PrequentialEvaluator, SeriesPoint, StreamingClassifier};
 use redhanded_types::{Result, Tweet};
@@ -105,7 +106,17 @@ impl DetectionPipeline {
         self.obs.registry.inc(self.obs.records);
         match item {
             StreamItem::Labeled(lt) => {
-                let t = self.obs.clock.now_us();
+                // Per-tweet spans ride the deterministic 1-in-N sampler so
+                // heavy streams keep a bounded trace; the sampler counts
+                // every record, so which tweets are traced is reproducible.
+                let sampled = self.obs.trace.sample();
+                let rec = self.obs.registry.counter_value(self.obs.records);
+                let t0 = self.obs.clock.now_us();
+                let tweet_span = if sampled {
+                    self.obs.trace.begin(SpanKind::Tweet, SpanRef::INVALID, 0, rec, 0, t0 as f64)
+                } else {
+                    SpanRef::INVALID
+                };
                 let Some(mut inst) = self.extractor.labeled_instance_into(
                     lt,
                     self.config.scheme,
@@ -115,18 +126,43 @@ impl DetectionPipeline {
                 ) else {
                     self.skipped += 1;
                     self.obs.registry.inc(self.obs.skipped);
+                    if sampled {
+                        let now = self.obs.clock.now_us();
+                        self.obs.trace.end(tweet_span, now as f64);
+                    }
                     return Ok(None);
                 };
-                let t = self.obs.span(self.obs.span_extract_us, t);
+                let t1 = self.obs.span(self.obs.span_extract_us, t0);
+                if sampled {
+                    self.obs.trace.record(
+                        SpanKind::Extract, tweet_span, 0, rec, 0, t0 as f64, t1 as f64,
+                    );
+                }
                 self.normalizer.process(&mut inst)?;
-                let t = self.obs.span(self.obs.span_normalize_us, t);
+                let t2 = self.obs.span(self.obs.span_normalize_us, t1);
+                if sampled {
+                    self.obs.trace.record(
+                        SpanKind::Normalize, tweet_span, 0, rec, 0, t1 as f64, t2 as f64,
+                    );
+                }
                 let proba = self.model.predict_proba(&inst.features)?;
                 let predicted = argmax(&proba);
-                let t = self.obs.span(self.obs.span_classify_us, t);
+                let t3 = self.obs.span(self.obs.span_classify_us, t2);
+                if sampled {
+                    self.obs.trace.record(
+                        SpanKind::Classify, tweet_span, 0, rec, 0, t2 as f64, t3 as f64,
+                    );
+                }
                 let actual = inst.label.expect("labeled instance");
                 self.evaluator.record(actual, predicted, inst.weight);
                 self.model.train(&inst)?;
-                self.obs.span(self.obs.span_train_us, t);
+                let t4 = self.obs.span(self.obs.span_train_us, t3);
+                if sampled {
+                    self.obs.trace.record(
+                        SpanKind::Train, tweet_span, 0, rec, 0, t3 as f64, t4 as f64,
+                    );
+                    self.obs.trace.end(tweet_span, t4 as f64);
+                }
                 let aggressive = self
                     .config
                     .scheme
@@ -137,8 +173,13 @@ impl DetectionPipeline {
                 self.labeled_seen += 1;
                 self.obs.registry.inc(self.obs.labeled);
                 self.obs.registry.set(self.obs.bow_size, self.bow.len() as f64);
+                let m = self.evaluator.current_metrics();
+                self.obs.note_model_quality(m.f1, m.kappa);
+                let (bow_adds, bow_evictions) = self.bow.churn();
+                self.obs.note_bow_churn(bow_adds, bow_evictions);
                 let drifts = self.model.drifts();
-                self.obs.note_drifts(self.labeled_seen, drifts);
+                let warnings = self.model.warnings();
+                self.obs.note_drifts(self.labeled_seen, drifts, warnings);
                 if self.config.record_every > 0
                     && self.labeled_seen % self.config.record_every == 0
                 {
@@ -162,14 +203,31 @@ impl DetectionPipeline {
     }
 
     fn classify_unlabeled(&mut self, tweet: &Tweet, day: u32) -> Result<Classified> {
-        let t = self.obs.clock.now_us();
+        let sampled = self.obs.trace.sample();
+        let rec = self.obs.registry.counter_value(self.obs.records);
+        let t0 = self.obs.clock.now_us();
+        let tweet_span = if sampled {
+            self.obs.trace.begin(SpanKind::Tweet, SpanRef::INVALID, 0, rec, 0, t0 as f64)
+        } else {
+            SpanRef::INVALID
+        };
         let mut inst = self.extractor.instance_into(tweet, &self.bow, day, &mut self.scratch);
-        let t = self.obs.span(self.obs.span_extract_us, t);
+        let t1 = self.obs.span(self.obs.span_extract_us, t0);
+        if sampled {
+            self.obs.trace.record(SpanKind::Extract, tweet_span, 0, rec, 0, t0 as f64, t1 as f64);
+        }
         self.normalizer.process(&mut inst)?;
-        let t = self.obs.span(self.obs.span_normalize_us, t);
+        let t2 = self.obs.span(self.obs.span_normalize_us, t1);
+        if sampled {
+            self.obs.trace.record(SpanKind::Normalize, tweet_span, 0, rec, 0, t1 as f64, t2 as f64);
+        }
         let proba = self.model.predict_proba(&inst.features)?;
         let predicted = argmax(&proba);
-        self.obs.span(self.obs.span_classify_us, t);
+        let t3 = self.obs.span(self.obs.span_classify_us, t2);
+        if sampled {
+            self.obs.trace.record(SpanKind::Classify, tweet_span, 0, rec, 0, t2 as f64, t3 as f64);
+            self.obs.trace.end(tweet_span, t3 as f64);
+        }
         self.obs.registry.inc(self.obs.classified);
         let raised_before = self.alerter.alerts_raised();
         let suspended_before = self.alerter.suspended_users().len();

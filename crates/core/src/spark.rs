@@ -25,7 +25,7 @@ use crate::sample::BoostedSampler;
 use redhanded_dspe::{
     CheckpointMeta, CheckpointStore, EngineConfig, EngineMetrics, MicroBatchEngine, StreamReport,
 };
-use redhanded_obs::{EventKind, HistogramId};
+use redhanded_obs::{EventKind, HistogramId, SpanKind};
 use redhanded_features::{AdaptiveBow, ExtractScratch, FeatureExtractor, Normalizer, NUM_FEATURES};
 use redhanded_streamml::classifier::argmax;
 use redhanded_streamml::{
@@ -138,10 +138,19 @@ impl SparkDetector {
     ) -> Result<SparkRunReport> {
         let engine = MicroBatchEngine::new(self.config.engine.clone());
         let mut engine_obs = EngineMetrics::new();
+        // Hand the detector's tracer to the engine for this incarnation:
+        // the engine records batch/stage/task spans, the handler below adds
+        // driver-side phases through `ctx`. Taken (not borrowed) because the
+        // closure captures `self` mutably.
+        let mut tracer = std::mem::take(&mut self.obs.trace);
         let mut first_error: Option<Error> = None;
         let mut records_done = records_before;
-        let stream =
-            engine.run_stream_observed(first_batch, items, Some(&mut engine_obs), |ctx, batch| {
+        let stream = engine.run_stream_traced(
+            first_batch,
+            items,
+            Some(&mut engine_obs),
+            Some(&mut tracer),
+            |ctx, batch| {
                 if first_error.is_some() {
                     return;
                 }
@@ -155,7 +164,9 @@ impl SparkDetector {
                 if let Some((store, every)) = sink.as_mut() {
                     if *every > 0 && completed % *every == 0 {
                         let save_start = ctx.elapsed_us();
+                        let ckpt_span = ctx.trace_begin(SpanKind::Checkpoint, completed, 0);
                         let payload = ctx.driver(|| Checkpoint::snapshot(&*self));
+                        ctx.trace_end(ckpt_span);
                         let save_us = (ctx.elapsed_us() - save_start).max(0.0) as u64;
                         let o = &mut self.obs;
                         o.registry.inc(o.checkpoint_saves);
@@ -177,7 +188,9 @@ impl SparkDetector {
                         }
                     }
                 }
-            });
+            },
+        );
+        self.obs.trace = tracer;
         // Engine-level metrics (task/stage timing, retries, stragglers) are
         // runtime-class: folded into the detector's registry for reporting,
         // never checkpointed.
@@ -220,10 +233,12 @@ impl SparkDetector {
         // Broadcast the batch-start global state (model "< 1 MB" + BoW +
         // normalization statistics). Clone cost is real driver work.
         let span_start = ctx.elapsed_us();
+        let bc_span = ctx.trace_begin(SpanKind::Broadcast, self.config.broadcast_bytes as u64, 0);
         let (snapshot_model, snapshot_bow, snapshot_norm) = ctx.driver(|| {
             (self.model.clone_box(), self.bow.clone(), self.normalizer.clone())
         });
         ctx.broadcast(self.config.broadcast_bytes);
+        ctx.trace_end(bc_span);
         let span_start = self.sim_span(ctx, self.obs.span_broadcast_us, span_start);
 
         // Ops #1–#5, fused into one task set per the paper ("the map,
@@ -321,37 +336,48 @@ impl SparkDetector {
         let span_start = self.sim_span(ctx, self.obs.span_merge_us, span_start);
 
         // Op #6 — driver: merge the lightweight per-task state (BoW,
-        // normalization, confusion counts) and run alerting + sampling on
-        // the classified instances.
+        // normalization, confusion counts), then run alerting + sampling on
+        // the classified instances under their own span.
         let raised_before = self.alerter.alerts_raised();
         let suspended_before = self.alerter.suspended_users().len();
+        let drv_span = ctx.trace_begin(SpanKind::Driver, batch_labeled, 0);
         ctx.driver(|| {
-            for (bow, norm, matrix, classified) in &rest {
+            for (bow, norm, matrix, _) in &rest {
                 self.bow.merge(bow);
                 self.normalizer.merge(norm);
                 self.matrix.merge(matrix);
+            }
+            self.bow.force_maintain();
+        });
+        ctx.trace_end(drv_span);
+        let alert_span = ctx.trace_begin(SpanKind::Alert, batch_classified, 0);
+        ctx.driver(|| {
+            for (_, _, _, classified) in &rest {
                 for (tweet_id, user_id, proba) in classified {
                     self.alerter.observe(*tweet_id, *user_id, proba);
                     self.sampler.observe(*tweet_id, proba);
                 }
             }
-            self.bow.force_maintain();
         });
+        ctx.trace_end(alert_span);
         self.sim_span(ctx, self.obs.span_driver_us, span_start);
         self.labeled_seen += batch_labeled;
-        self.series.push(SeriesPoint {
-            instances: self.labeled_seen,
-            metrics: self.matrix.metrics(),
-        });
+        let metrics = self.matrix.metrics();
+        let (f1, kappa) = (metrics.f1, metrics.kappa);
+        self.series.push(SeriesPoint { instances: self.labeled_seen, metrics });
+        let (bow_adds, bow_evictions) = self.bow.churn();
         let o = &mut self.obs;
         o.registry.add(o.labeled, batch_labeled);
         o.registry.add(o.classified, batch_classified);
         o.registry
             .add(o.skipped, batch_records.saturating_sub(batch_labeled + batch_classified));
         o.registry.set(o.bow_size, self.bow.len() as f64);
+        o.note_model_quality(f1, kappa);
+        o.note_bow_churn(bow_adds, bow_evictions);
         o.note_alerts(batch_idx, &self.alerter, raised_before, suspended_before);
         let drifts = self.model.drifts();
-        self.obs.note_drifts(batch_idx, drifts);
+        let warnings = self.model.warnings();
+        self.obs.note_drifts(batch_idx, drifts, warnings);
         Ok(())
     }
 
@@ -593,6 +619,73 @@ mod tests {
             Some(report.stream.batches as u64)
         );
         assert!(reg.counter_by_name("dspe_task_attempts_total").unwrap() > 0);
+    }
+
+    #[test]
+    fn trace_records_batch_tree_and_quality_telemetry() {
+        let pipeline = PipelineConfig::paper(ClassScheme::TwoClass, ModelKind::ht());
+        let config =
+            SparkConfig::new(pipeline, engine_config(Topology::local(4), 1000));
+        let mut detector = SparkDetector::new(config).unwrap();
+        let report = detector.run(labeled_stream(8000, 5)).unwrap();
+        let batches = report.stream.batches as u64;
+
+        // The span tree: one Batch root per micro-batch, with the
+        // driver-side phases recorded through the engine context.
+        let trace = detector.obs().trace();
+        let count = |k: redhanded_obs::SpanKind| {
+            trace.spans().iter().filter(|s| s.kind == k).count() as u64
+        };
+        assert_eq!(count(SpanKind::Batch), batches);
+        assert_eq!(count(SpanKind::Broadcast), batches);
+        assert_eq!(count(SpanKind::Stage), batches);
+        assert_eq!(count(SpanKind::Driver), batches);
+        assert_eq!(count(SpanKind::Alert), batches);
+        assert!(count(SpanKind::Task) >= 4 * batches, "one task per partition");
+        let analysis = redhanded_obs::analyze(trace);
+        assert_eq!(analysis.batches, batches);
+        assert!(analysis.critical_path_us >= analysis.longest_span_us);
+        assert!(analysis.critical_path_us <= analysis.total_us + 1e-9);
+
+        // Critical-path stage totals agree with the simulated-clock span
+        // histograms recorded independently per batch (within rounding:
+        // histograms record integer µs).
+        let reg = detector.obs().registry();
+        let hist_us =
+            |n: &str| reg.histogram_by_name(n).unwrap().sum() as f64;
+        let close = |a: f64, b: f64| {
+            (a - b).abs() <= 0.05 * b.max(1.0) + batches as f64
+        };
+        assert!(
+            close(analysis.total_for(SpanKind::Broadcast), hist_us("pipeline_span_broadcast_us")),
+            "broadcast {} vs {}",
+            analysis.total_for(SpanKind::Broadcast),
+            hist_us("pipeline_span_broadcast_us")
+        );
+        let driver_trace = analysis.total_for(SpanKind::Driver)
+            + analysis.total_for(SpanKind::Alert);
+        assert!(
+            close(driver_trace, hist_us("pipeline_span_driver_us")),
+            "driver {} vs {}",
+            driver_trace,
+            hist_us("pipeline_span_driver_us")
+        );
+
+        // Model-quality telemetry: the gauges hold the last batch's
+        // prequential values; churn counters mirror the BoW.
+        let f1 = reg.gauge_by_name("pipeline_prequential_f1").unwrap();
+        assert!((f1 - report.metrics.f1).abs() < 1e-12, "{f1} vs {}", report.metrics.f1);
+        assert!(reg.gauge_by_name("pipeline_prequential_kappa").unwrap().is_finite());
+        let adds = reg.counter_by_name("pipeline_bow_adds_total").unwrap();
+        assert!(adds > 0, "adaptive stream promotes words");
+        assert_eq!(detector.bow.churn(), (
+            adds,
+            reg.counter_by_name("pipeline_bow_evictions_total").unwrap(),
+        ));
+        assert_eq!(
+            reg.gauge_by_name("pipeline_alerts_pending"),
+            Some(detector.alerter().alerts().len() as f64)
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::executor::{available_threads, partition, partition_seeded, run_select
 use crate::fault::{call_guarded, FaultPlan, FaultStats, InjectedFault, RetryPolicy};
 use crate::obs::EngineMetrics;
 use crate::schedule::{CostModel, SimClock, Topology};
+use redhanded_obs::{SpanKind, SpanRef, Tracer};
 use redhanded_types::{Error, Result};
 use std::time::{Duration, Instant};
 
@@ -115,6 +116,14 @@ pub struct BatchContext<'a> {
     /// Engine-level metrics sink (None = unobserved run). All samples
     /// recorded through it are `Runtime`-class.
     obs: Option<&'a mut EngineMetrics>,
+    /// Causal span recorder (None = untraced run). Stage/task/backoff
+    /// spans are emitted by the engine itself; the handler can parent
+    /// additional spans on [`BatchContext::batch_span`] via
+    /// [`BatchContext::trace_begin`].
+    trace: Option<&'a mut Tracer>,
+    /// The open [`SpanKind::Batch`] span for this micro-batch
+    /// ([`SpanRef::INVALID`] when untraced).
+    batch_span: SpanRef,
 }
 
 impl BatchContext<'_> {
@@ -127,6 +136,33 @@ impl BatchContext<'_> {
     /// span timings charge against (never wall time).
     pub fn elapsed_us(&self) -> f64 {
         self.clock.elapsed_us()
+    }
+
+    /// The batch-root span (parent for handler-emitted phase spans).
+    pub fn batch_span(&self) -> SpanRef {
+        self.batch_span
+    }
+
+    /// Open a span parented on this batch's root, timestamped on the
+    /// simulated clock. Alloc-free; returns [`SpanRef::INVALID`] on an
+    /// untraced run, which makes [`BatchContext::trace_end`] a no-op.
+    pub fn trace_begin(&mut self, kind: SpanKind, a: u64, b: u64) -> SpanRef {
+        let now = self.clock.elapsed_us();
+        let batch = self.batch;
+        let parent = self.batch_span;
+        match self.trace.as_deref_mut() {
+            Some(t) => t.begin(kind, parent, batch, a, b, now),
+            None => SpanRef::INVALID,
+        }
+    }
+
+    /// Close a span opened with [`BatchContext::trace_begin`] at the
+    /// current simulated time. Alloc-free; no-op for invalid refs.
+    pub fn trace_end(&mut self, span: SpanRef) {
+        let now = self.clock.elapsed_us();
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.end(span, now);
+        }
     }
 
     /// Partition a record vector into this batch's RDD.
@@ -207,10 +243,36 @@ impl BatchContext<'_> {
         let config = self.config;
         let retry = config.retry;
         let batch = self.batch;
+        let batch_span = self.batch_span;
+        let stage_entry_us = self.clock.elapsed_us();
+        let stage_span = match self.trace.as_deref_mut() {
+            Some(t) => t.begin(
+                SpanKind::Stage,
+                batch_span,
+                batch,
+                stage as u64,
+                data.partitions.len() as u64,
+                stage_entry_us,
+            ),
+            None => SpanRef::INVALID,
+        };
         let mut wave = 0u32;
         while !pending.is_empty() {
             if wave > 0 {
+                let backoff_start_us = self.clock.elapsed_us();
                 self.clock.advance_us(retry.backoff_us(wave));
+                let backoff_end_us = self.clock.elapsed_us();
+                if let Some(t) = self.trace.as_deref_mut() {
+                    let span = t.begin(
+                        SpanKind::Backoff,
+                        stage_span,
+                        batch,
+                        stage as u64,
+                        wave as u64,
+                        backoff_start_us,
+                    );
+                    t.end(span, backoff_end_us);
+                }
             }
             wave += 1;
             for &i in pending.iter() {
@@ -233,6 +295,10 @@ impl BatchContext<'_> {
             durations.clear();
             retry_queue.clear();
             let mut fatal: Option<Error> = None;
+            // The driver loop below does not advance the clock, so every
+            // task attempt of this wave starts at the current simulated
+            // time (where `record_stage_on` will lay the wave out).
+            let wave_start_us = self.clock.elapsed_us();
             for (&i, ((outcome, straggle), measured)) in pending.iter().zip(wave_results) {
                 // A failed or straggling attempt still occupied a slot for
                 // its full measured (plus injected) duration.
@@ -253,6 +319,19 @@ impl BatchContext<'_> {
                     if failed {
                         o.registry.inc(o.task_failures);
                     }
+                }
+                if let Some(t) = self.trace.as_deref_mut() {
+                    let dur_us = (measured + straggle).as_secs_f64() * 1e6;
+                    let span = t.begin(
+                        SpanKind::Task,
+                        stage_span,
+                        batch,
+                        stage as u64,
+                        i as u64,
+                        wave_start_us,
+                    );
+                    t.end(span, wave_start_us + dur_us);
+                    t.annotate_task(span, attempts[i], straggle.as_micros() as u64, failed);
                 }
                 match outcome {
                     Ok(v) => outputs[i] = Some(v),
@@ -286,9 +365,17 @@ impl BatchContext<'_> {
                 o.registry.set_max(o.blacklisted_peak, blacklisted as f64);
             }
             if let Some(e) = fatal {
+                let now_us = self.clock.elapsed_us();
+                if let Some(t) = self.trace.as_deref_mut() {
+                    t.end(stage_span, now_us);
+                }
                 return Err(e);
             }
             std::mem::swap(pending, retry_queue);
+        }
+        let now_us = self.clock.elapsed_us();
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.end(stage_span, now_us);
         }
         Ok(())
     }
@@ -348,7 +435,10 @@ impl BatchContext<'_> {
         mut layer: Vec<T>,
         mut combine: impl FnMut(T, T) -> T,
     ) -> Option<T> {
+        let mut round = 0u64;
         while layer.len() > 1 {
+            let entering = layer.len() as u64;
+            let round_start_us = self.clock.elapsed_us();
             let mut next = Vec::with_capacity(layer.len() / 2 + 1);
             let mut durations = Vec::with_capacity(layer.len() / 2);
             let mut iter = layer.into_iter();
@@ -363,6 +453,19 @@ impl BatchContext<'_> {
                 }
             }
             self.clock.record_stage(&durations, self.config.topology, &self.config.cost_model);
+            let round_end_us = self.clock.elapsed_us();
+            if let Some(t) = self.trace.as_deref_mut() {
+                let span = t.begin(
+                    SpanKind::Merge,
+                    self.batch_span,
+                    self.batch,
+                    entering,
+                    round,
+                    round_start_us,
+                );
+                t.end(span, round_end_us);
+            }
+            round += 1;
             layer = next;
         }
         layer.into_iter().next()
@@ -517,7 +620,27 @@ impl MicroBatchEngine {
         &self,
         first_batch: u64,
         records: impl IntoIterator<Item = R>,
+        obs: Option<&mut EngineMetrics>,
+        handler: F,
+    ) -> StreamReport
+    where
+        F: FnMut(&mut BatchContext<'_>, Vec<R>),
+    {
+        self.run_stream_traced(first_batch, records, obs, None, handler)
+    }
+
+    /// [`Self::run_stream_observed`] with an optional [`Tracer`]: when
+    /// present, every micro-batch records its full causal span tree —
+    /// batch root, stages, task attempts (with straggle/retry
+    /// annotations), retry backoffs, and merge rounds — under the
+    /// simulated clock. Handlers can attach their own phase spans via
+    /// [`BatchContext::trace_begin`].
+    pub fn run_stream_traced<R, F>(
+        &self,
+        first_batch: u64,
+        records: impl IntoIterator<Item = R>,
         mut obs: Option<&mut EngineMetrics>,
+        mut trace: Option<&mut Tracer>,
         mut handler: F,
     ) -> StreamReport
     where
@@ -551,6 +674,17 @@ impl MicroBatchEngine {
             let batch_records = buffer.len() as u64;
             total_records += batch_records;
             let batch_start_us = clock.elapsed_us();
+            let batch_span = match trace.as_deref_mut() {
+                Some(t) => t.begin(
+                    SpanKind::Batch,
+                    SpanRef::INVALID,
+                    batch_index,
+                    batch_records,
+                    0,
+                    batch_start_us,
+                ),
+                None => SpanRef::INVALID,
+            };
             clock.advance_us(self.config.cost_model.microbatch_overhead_us);
             let mut ctx = BatchContext {
                 config: &self.config,
@@ -559,10 +693,15 @@ impl MicroBatchEngine {
                 stage: 0,
                 stats: &mut stats,
                 obs: obs.as_deref_mut(),
+                trace: trace.as_deref_mut(),
+                batch_span,
             };
             handler(&mut ctx, std::mem::take(&mut buffer));
             let batch_us = clock.elapsed_us() - batch_start_us;
             batch_durations.push(Duration::from_secs_f64(batch_us / 1e6));
+            if let Some(t) = trace.as_deref_mut() {
+                t.end(batch_span, clock.elapsed_us());
+            }
             if let Some(o) = obs.as_deref_mut() {
                 o.registry.inc(o.batches);
                 o.registry.add(o.records, batch_records);
@@ -1042,5 +1181,73 @@ mod tests {
             let _ = ctx.map(&data, |x| x + 1).unwrap();
         });
         assert_eq!(later.faults.task_failures, 0);
+    }
+
+    #[test]
+    fn traced_run_records_the_batch_tree() {
+        use redhanded_obs::{Span, SpanKind};
+        let mut cfg = EngineConfig::for_topology(Topology::local(4));
+        cfg.microbatch_size = 500;
+        cfg.retry.backoff_base_us = 100.0;
+        cfg.faults = FaultPlan::none()
+            .crash(0, 0, 1, 1)
+            .straggle(1, 0, 2, Duration::from_millis(3));
+        let engine = MicroBatchEngine::new(cfg);
+        let mut tracer = Tracer::new();
+        let report =
+            engine.run_stream_traced(0, 0..1000i64, None, Some(&mut tracer), |ctx, batch| {
+                let phase = ctx.trace_begin(SpanKind::Driver, 0, 0);
+                ctx.trace_end(phase);
+                let data = ctx.parallelize(batch);
+                let _ = ctx.map(&data, |x| x + 1).unwrap();
+            });
+        assert_eq!(report.batches, 2);
+        let spans = tracer.spans();
+        let of = |k: SpanKind| -> Vec<&Span> { spans.iter().filter(|s| s.kind == k).collect() };
+        let batches = of(SpanKind::Batch);
+        assert_eq!(batches.len(), 2);
+        assert!(batches.iter().all(|s| s.parent == u32::MAX && s.a == 500));
+        assert_eq!(of(SpanKind::Stage).len(), 2, "one map stage per batch");
+        // Batch 0: 4 first attempts + 1 retry; batch 1: 4 attempts.
+        let tasks = of(SpanKind::Task);
+        assert_eq!(tasks.len(), 9);
+        let retried: Vec<&&Span> = tasks.iter().filter(|s| s.attempt > 1).collect();
+        assert_eq!(retried.len(), 1);
+        assert_eq!(retried[0].batch, 0);
+        assert_eq!(retried[0].b, 1, "partition 1 was retried");
+        assert!(tasks.iter().any(|s| s.failed && s.attempt == 1));
+        assert!(
+            tasks.iter().any(|s| s.batch == 1 && s.straggle_us >= 3_000),
+            "straggle annotated"
+        );
+        assert_eq!(of(SpanKind::Backoff).len(), 1, "one retry wave backed off");
+        assert_eq!(of(SpanKind::Driver).len(), 2, "handler phase spans recorded");
+        // Every child is temporally contained in its parent, and every
+        // non-root has a recorded parent.
+        for s in spans {
+            assert!(s.end_us >= s.start_us);
+            if s.parent != u32::MAX {
+                let p = &spans[s.parent as usize];
+                assert!(p.start_us <= s.start_us + 1e-6);
+                assert!(p.end_us >= s.end_us - 1e-6, "{:?} escapes {:?}", s.kind, p.kind);
+            }
+        }
+        // The digest is insensitive to the injected faults: a clean run of
+        // the same stream yields the same deterministic tree.
+        let mut clean_cfg = EngineConfig::for_topology(Topology::local(4));
+        clean_cfg.microbatch_size = 500;
+        let clean_engine = MicroBatchEngine::new(clean_cfg);
+        let mut clean_tracer = Tracer::new();
+        clean_engine.run_stream_traced(0, 0..1000i64, None, Some(&mut clean_tracer), |ctx, batch| {
+            let phase = ctx.trace_begin(SpanKind::Driver, 0, 0);
+            ctx.trace_end(phase);
+            let data = ctx.parallelize(batch);
+            let _ = ctx.map(&data, |x| x + 1).unwrap();
+        });
+        assert_eq!(
+            tracer.deterministic_digest(),
+            clean_tracer.deterministic_digest(),
+            "faults are runtime facts; the semantic tree is identical"
+        );
     }
 }

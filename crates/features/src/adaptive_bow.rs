@@ -87,6 +87,11 @@ pub struct AdaptiveBow {
     normal_tweets: f64,
     /// Labeled tweets since the last maintenance round.
     since_update: u64,
+    /// Cumulative words promoted into the BoW by maintenance (vocabulary
+    /// churn telemetry — Figure 10's adds series).
+    adds: u64,
+    /// Cumulative words demoted out of the BoW by maintenance.
+    evictions: u64,
     /// Reusable per-tweet dedup scratch for `observe` (document frequency).
     seen: Vec<WordId>,
 }
@@ -110,6 +115,8 @@ impl AdaptiveBow {
             aggressive_tweets: 0.0,
             normal_tweets: 0.0,
             since_update: 0,
+            adds: 0,
+            evictions: 0,
             seen: Vec::new(),
         }
     }
@@ -243,6 +250,7 @@ impl AdaptiveBow {
                 && agg_rate >= self.config.promote_ratio * norm_rate.max(1.0 / norm_total)
             {
                 self.words.insert(id);
+                self.adds += 1;
             }
         }
 
@@ -254,6 +262,7 @@ impl AdaptiveBow {
         let seed_count = self.seed_count as usize;
         let normal_counts = &self.normal_counts;
         let aggressive_counts = &self.aggressive_counts;
+        let before = self.words.len();
         self.words.retain(|id| {
             if id.index() < seed_count {
                 return true;
@@ -262,6 +271,7 @@ impl AdaptiveBow {
             let agg_rate = aggressive_counts.get(id).copied().unwrap_or(0.0) / agg_total;
             !(norm_rate > 0.0 && norm_rate >= demote_ratio * agg_rate)
         });
+        self.evictions += (before - self.words.len()) as u64;
 
         // Exponential decay so the statistics roll forward.
         let decay = self.config.decay;
@@ -299,6 +309,8 @@ impl AdaptiveBow {
             aggressive_tweets: 0.0,
             normal_tweets: 0.0,
             since_update: 0,
+            adds: 0,
+            evictions: 0,
             seen: Vec::new(),
         }
     }
@@ -325,6 +337,16 @@ impl AdaptiveBow {
             let mine = self.interner.intern(other.interner.resolve(id));
             self.words.insert(mine);
         }
+        // Forks never maintain, so their churn deltas are zero; summing
+        // keeps the invariant for merges of independently maintained BoWs.
+        self.adds += other.adds;
+        self.evictions += other.evictions;
+    }
+
+    /// Cumulative vocabulary churn `(adds, evictions)` from maintenance
+    /// rounds — the source of the `pipeline_bow_*_total` counters.
+    pub fn churn(&self) -> (u64, u64) {
+        (self.adds, self.evictions)
     }
 
     /// Iterate over the current members (unspecified order).
@@ -369,6 +391,8 @@ impl Checkpoint for AdaptiveBow {
         w.write_f64(self.aggressive_tweets);
         w.write_f64(self.normal_tweets);
         w.write_u64(self.since_update);
+        w.write_u64(self.adds);
+        w.write_u64(self.evictions);
     }
 
     fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
@@ -427,6 +451,8 @@ impl Checkpoint for AdaptiveBow {
         self.aggressive_tweets = r.read_f64()?;
         self.normal_tweets = r.read_f64()?;
         self.since_update = r.read_u64()?;
+        self.adds = r.read_u64()?;
+        self.evictions = r.read_u64()?;
         self.seen.clear();
         Ok(())
     }
@@ -590,6 +616,35 @@ mod tests {
         assert_eq!(agg_count(&a, "shared"), 2.0, "counts for the same word combined");
         assert_eq!(agg_count(&a, "beta"), 1.0);
         assert_eq!(agg_count(&a, "alpha"), 1.0);
+    }
+
+    #[test]
+    fn churn_counts_promotions_and_demotions() {
+        let mut bow = AdaptiveBow::new(fast_config());
+        assert_eq!(bow.churn(), (0, 0));
+        for _ in 0..60 {
+            bow.observe(["zorgon", "fool"], true);
+            bow.observe(["pleasant", "afternoon"], false);
+        }
+        bow.force_maintain();
+        let (adds, _) = bow.churn();
+        assert!(adds >= 1, "promotion counted as an add");
+        for _ in 0..200 {
+            bow.observe(["zorgon", "birthday", "party"], false);
+            bow.observe(["fool", "moron"], true);
+        }
+        bow.force_maintain();
+        let (_, evictions) = bow.churn();
+        assert!(evictions >= 1, "demotion counted as an eviction");
+
+        // Churn survives the snapshot roundtrip (exactly-once across
+        // recovery depends on it).
+        let bytes = Checkpoint::snapshot(&bow);
+        let mut restored = AdaptiveBow::new(fast_config());
+        let mut r = SnapshotReader::new(&bytes);
+        restored.restore_from(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored.churn(), bow.churn());
     }
 
     #[test]

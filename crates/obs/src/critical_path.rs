@@ -1,0 +1,309 @@
+//! Critical-path analysis over a recorded span forest.
+//!
+//! Walks each batch's span tree and attributes end-to-end latency to the
+//! span kinds on the path: how much of a stage's makespan was its own
+//! compute vs. blocked on an injected straggler vs. retry backoff, what
+//! fraction of a batch the driver-side phases took, and how much is
+//! micro-batch scheduling overhead (batch time not covered by any child
+//! span). The result feeds the per-stage breakdown consumed by
+//! `fig15_execution_time`/`fig16_throughput` and the
+//! `results/TRACE_report.json` artifact.
+//!
+//! The critical path of a node is defined recursively:
+//! `cp(n) = max(duration(n), max over children cp(c))` — with children
+//! temporally contained in their parent (which the simulated clock
+//! guarantees: stages advance one global clock), this is the longest
+//! chain through the tree. Two invariants hold by construction and are
+//! property-tested in `tests/proptests.rs`: the critical path is at least
+//! the longest single span in the batch and at most the batch's wall
+//! time.
+
+use crate::trace::{Span, SpanKind, Tracer};
+
+/// Latency attribution for one span kind, aggregated over the whole
+/// trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageAttribution {
+    /// The span kind this row describes.
+    pub kind: SpanKind,
+    /// Number of spans of this kind.
+    pub spans: u64,
+    /// Sum of span durations, µs.
+    pub total_us: f64,
+    /// Time attributable to the kind's own work, µs: for
+    /// [`SpanKind::Stage`] this is makespan minus straggle and backoff;
+    /// for container kinds it is duration not covered by direct children
+    /// (task children of a stage run in parallel, so they are *not*
+    /// subtracted from the stage — their straggle/backoff is).
+    pub self_us: f64,
+    /// Time blocked on injected stragglers, µs (task straggle summed onto
+    /// the owning stage and the task itself).
+    pub straggler_us: f64,
+    /// Retry-backoff time charged under spans of this kind, µs.
+    pub retry_backoff_us: f64,
+}
+
+/// The analyzer's output: per-kind attribution plus whole-trace facts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceAnalysis {
+    /// Number of batch roots in the trace.
+    pub batches: u64,
+    /// Sum of batch-root durations, µs (end-to-end time the trace
+    /// covers).
+    pub total_us: f64,
+    /// Sum over batches of the critical path through each batch tree, µs.
+    pub critical_path_us: f64,
+    /// Batch time not covered by any direct child span (micro-batch
+    /// scheduling overhead), µs.
+    pub scheduling_overhead_us: f64,
+    /// Longest single span in the trace, µs.
+    pub longest_span_us: f64,
+    /// Per-kind attribution rows, in [`SpanKind::ALL`] order, kinds with
+    /// no spans omitted.
+    pub stages: Vec<StageAttribution>,
+    /// Spans the tracer had to drop (a non-zero value means the
+    /// attribution undercounts).
+    pub dropped_spans: u64,
+}
+
+impl TraceAnalysis {
+    /// The attribution row for `kind`, if any spans of it were recorded.
+    pub fn stage(&self, kind: SpanKind) -> Option<&StageAttribution> {
+        self.stages.iter().find(|s| s.kind == kind)
+    }
+
+    /// Total µs recorded for `kind` (0.0 when absent).
+    pub fn total_for(&self, kind: SpanKind) -> f64 {
+        self.stage(kind).map(|s| s.total_us).unwrap_or(0.0)
+    }
+
+    /// Render the per-stage breakdown as an aligned text table (one row
+    /// per kind), for the bench binaries' stdout.
+    pub fn breakdown_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:>8} {:>14} {:>14} {:>14} {:>14}\n",
+            "stage", "spans", "total_ms", "self_ms", "straggler_ms", "backoff_ms"
+        ));
+        for s in &self.stages {
+            out.push_str(&format!(
+                "{:<12} {:>8} {:>14.3} {:>14.3} {:>14.3} {:>14.3}\n",
+                s.kind.name(),
+                s.spans,
+                s.total_us / 1e3,
+                s.self_us / 1e3,
+                s.straggler_us / 1e3,
+                s.retry_backoff_us / 1e3
+            ));
+        }
+        out.push_str(&format!(
+            "{:<12} {:>8} {:>14.3}   (critical path {:.3} ms, scheduling overhead {:.3} ms)\n",
+            "batch-total",
+            self.batches,
+            self.total_us / 1e3,
+            self.critical_path_us / 1e3,
+            self.scheduling_overhead_us / 1e3
+        ));
+        out
+    }
+}
+
+/// Per-span index of direct children (span indices, begin order).
+fn children_of(spans: &[Span]) -> Vec<Vec<u32>> {
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); spans.len()];
+    for (i, s) in spans.iter().enumerate() {
+        if let Some(list) = children.get_mut(s.parent as usize) {
+            list.push(i as u32);
+        }
+    }
+    children
+}
+
+/// Critical path per span: `cp(n) = max(dur(n), max cp(child))`. Children
+/// always have larger indices than their parent (begin order), so one
+/// reverse pass suffices.
+fn critical_paths(spans: &[Span], children: &[Vec<u32>]) -> Vec<f64> {
+    let mut cp = vec![0.0f64; spans.len()];
+    for i in (0..spans.len()).rev() {
+        let mut best = spans[i].duration_us();
+        if let Some(kids) = children.get(i) {
+            for &c in kids {
+                if let Some(&v) = cp.get(c as usize) {
+                    if v > best {
+                        best = v;
+                    }
+                }
+            }
+        }
+        cp[i] = best;
+    }
+    cp
+}
+
+/// Analyze a recorded trace into per-kind latency attribution. See the
+/// module docs for the attribution model.
+pub fn analyze(tracer: &Tracer) -> TraceAnalysis {
+    let spans = tracer.spans();
+    let children = children_of(spans);
+    let cp = critical_paths(spans, &children);
+
+    let mut rows: Vec<StageAttribution> = SpanKind::ALL
+        .iter()
+        .map(|&kind| StageAttribution {
+            kind,
+            spans: 0,
+            total_us: 0.0,
+            self_us: 0.0,
+            straggler_us: 0.0,
+            retry_backoff_us: 0.0,
+        })
+        .collect();
+
+    let mut batches = 0u64;
+    let mut total_us = 0.0f64;
+    let mut critical_path_us = 0.0f64;
+    let mut scheduling_overhead_us = 0.0f64;
+    let mut longest_span_us = 0.0f64;
+
+    for (i, s) in spans.iter().enumerate() {
+        let dur = s.duration_us();
+        longest_span_us = longest_span_us.max(dur);
+        let code = s.kind.code() as usize;
+
+        // Per-kind totals.
+        if let Some(row) = rows.get_mut(code) {
+            row.spans += 1;
+            row.total_us += dur;
+            row.straggler_us += s.straggle_us as f64;
+        }
+
+        // Child-derived attribution: straggle and backoff bubble up onto
+        // the owning stage; serial container kinds subtract child time to
+        // get self time.
+        let mut child_serial_us = 0.0f64;
+        let mut child_straggle_us = 0.0f64;
+        let mut child_backoff_us = 0.0f64;
+        if let Some(kids) = children.get(i) {
+            for &c in kids {
+                if let Some(k) = spans.get(c as usize) {
+                    child_serial_us += k.duration_us();
+                    child_straggle_us += k.straggle_us as f64;
+                    if k.kind == SpanKind::Backoff {
+                        child_backoff_us += k.duration_us();
+                    }
+                }
+            }
+        }
+        if let Some(row) = rows.get_mut(code) {
+            match s.kind {
+                // Task children of a stage overlap in sim time; the
+                // stage's self time is its makespan minus what it spent
+                // blocked on stragglers and backoff.
+                SpanKind::Stage => {
+                    row.straggler_us += child_straggle_us;
+                    row.retry_backoff_us += child_backoff_us;
+                    row.self_us += (dur - child_straggle_us - child_backoff_us).max(0.0);
+                }
+                // Container kinds whose children run serially under the
+                // global clock: self = duration − children.
+                _ => {
+                    row.retry_backoff_us += child_backoff_us;
+                    row.self_us += (dur - child_serial_us).max(0.0);
+                }
+            }
+        }
+
+        if s.kind == SpanKind::Batch && s.parent == u32::MAX {
+            batches += 1;
+            total_us += dur;
+            critical_path_us += cp.get(i).copied().unwrap_or(dur);
+            scheduling_overhead_us += (dur - child_serial_us).max(0.0);
+        }
+    }
+
+    rows.retain(|r| r.spans > 0);
+    TraceAnalysis {
+        batches,
+        total_us,
+        critical_path_us,
+        scheduling_overhead_us,
+        longest_span_us,
+        stages: rows,
+        dropped_spans: tracer.dropped(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SpanRef;
+
+    /// One synthetic batch: broadcast, a stage with 2 tasks (one straggled,
+    /// one retried with backoff), a merge, driver and alert phases.
+    fn sample_tracer() -> Tracer {
+        let mut t = Tracer::new();
+        let b = t.begin(SpanKind::Batch, SpanRef::INVALID, 0, 100, 0, 0.0);
+        let bc = t.record(SpanKind::Broadcast, b, 0, 4096, 0, 0.0, 100.0);
+        assert!(bc.is_valid());
+        let s = t.begin(SpanKind::Stage, b, 0, 0, 2, 100.0);
+        let t0 = t.begin(SpanKind::Task, s, 0, 0, 0, 100.0);
+        t.annotate_task(t0, 1, 300, false);
+        t.end(t0, 500.0);
+        let t1 = t.begin(SpanKind::Task, s, 0, 0, 1, 100.0);
+        t.annotate_task(t1, 1, 0, true);
+        t.end(t1, 150.0);
+        let bo = t.record(SpanKind::Backoff, s, 0, 0, 1, 500.0, 600.0);
+        assert!(bo.is_valid());
+        let t1b = t.begin(SpanKind::Task, s, 0, 0, 1, 600.0);
+        t.annotate_task(t1b, 2, 0, false);
+        t.end(t1b, 650.0);
+        t.end(s, 700.0);
+        t.record(SpanKind::Merge, b, 0, 2, 0, 700.0, 750.0);
+        t.record(SpanKind::Driver, b, 0, 0, 0, 750.0, 800.0);
+        t.record(SpanKind::Alert, b, 0, 90, 0, 800.0, 820.0);
+        t.end(b, 900.0);
+        t
+    }
+
+    #[test]
+    fn attribution_splits_self_straggle_backoff() {
+        let a = analyze(&sample_tracer());
+        assert_eq!(a.batches, 1);
+        assert_eq!(a.total_us, 900.0);
+        let stage = a.stage(SpanKind::Stage).expect("stage row");
+        assert_eq!(stage.total_us, 600.0);
+        assert_eq!(stage.straggler_us, 300.0);
+        assert_eq!(stage.retry_backoff_us, 100.0);
+        assert_eq!(stage.self_us, 200.0);
+        // Scheduling overhead: batch 900 − (broadcast 100 + stage 600 +
+        // merge 50 + driver 50 + alert 20) = 80.
+        assert!((a.scheduling_overhead_us - 80.0).abs() < 1e-9);
+        assert_eq!(a.total_for(SpanKind::Broadcast), 100.0);
+        assert_eq!(a.total_for(SpanKind::Driver), 50.0);
+    }
+
+    #[test]
+    fn critical_path_is_bounded() {
+        let a = analyze(&sample_tracer());
+        assert!(a.critical_path_us >= a.longest_span_us);
+        assert!(a.critical_path_us <= a.total_us + 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_analyzes_to_zeroes() {
+        let a = analyze(&Tracer::new());
+        assert_eq!(a.batches, 0);
+        assert_eq!(a.total_us, 0.0);
+        assert!(a.stages.is_empty());
+        assert!(a.breakdown_table().contains("batch-total"));
+    }
+
+    #[test]
+    fn breakdown_table_lists_present_kinds_only() {
+        let table = analyze(&sample_tracer()).breakdown_table();
+        assert!(table.contains("stage"));
+        assert!(table.contains("broadcast"));
+        assert!(table.contains("backoff"));
+        assert!(!table.contains("tweet"));
+    }
+}

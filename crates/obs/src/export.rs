@@ -5,8 +5,10 @@
 //! ever NaN or infinite: non-finite values are mapped to 0.0 before
 //! serialization, so `results/OBS_report.json` always parses.
 
+use crate::critical_path::TraceAnalysis;
 use crate::events::EventLog;
 use crate::metrics::{Determinism, Histogram, Registry};
+use crate::trace::{SpanKind, Tracer};
 
 /// Map a possibly non-finite float to something JSON can carry.
 fn finite(v: f64) -> f64 {
@@ -15,6 +17,30 @@ fn finite(v: f64) -> f64 {
     } else {
         0.0
     }
+}
+
+/// Escape a string for inclusion in a JSON string literal: quotes and
+/// backslashes are escaped, control characters become `\uXXXX` (with the
+/// common short forms for `\n`/`\r`/`\t`), and non-ASCII passes through
+/// untouched (JSON is UTF-8). Every dynamic string a sink emits — report
+/// sources, custom span labels, hostile BoW tokens — goes through here so
+/// `OBS_report.json` and the Perfetto trace never parse as invalid JSON.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn push_f64(out: &mut String, v: f64) {
@@ -83,7 +109,7 @@ fn histogram_json(h: &Histogram) -> String {
 /// log. This is the payload written to `results/OBS_report.json`.
 pub fn obs_report_json(source: &str, reg: &Registry, events: &EventLog) -> String {
     let mut out = String::from("{\n");
-    out.push_str(&format!("  \"source\": \"{source}\",\n"));
+    out.push_str(&format!("  \"source\": \"{}\",\n", escape_json(source)));
 
     let class = |d: Determinism| d.label();
 
@@ -151,10 +177,95 @@ pub fn obs_report_json(source: &str, reg: &Registry, events: &EventLog) -> Strin
     out
 }
 
+/// Render a recorded trace in Chrome-trace ("Trace Event") JSON — the
+/// array-of-events format Perfetto and `chrome://tracing` load directly.
+/// Each span becomes a complete (`"ph": "X"`) event; the `pid` is always
+/// 1 and the `tid` lane separates task partitions (partition index + 1)
+/// from driver-side spans (lane 0) so stages render as parallel tracks.
+pub fn chrome_trace_json(tracer: &Tracer) -> String {
+    let mut out = String::from("[\n");
+    let events: Vec<String> = tracer
+        .spans()
+        .iter()
+        .map(|s| {
+            let tid = match s.kind {
+                SpanKind::Task | SpanKind::Backoff => s.b.saturating_add(1),
+                _ => 0,
+            };
+            format!(
+                "  {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {}, \
+                 \"dur\": {}, \"pid\": 1, \"tid\": {}, \"args\": {{\"batch\": {}, \
+                 \"a\": {}, \"b\": {}, \"attempt\": {}, \"straggle_us\": {}, \
+                 \"failed\": {}}}}}",
+                escape_json(tracer.display_name(s)),
+                if s.kind.deterministic() { "deterministic" } else { "runtime" },
+                finite(s.start_us),
+                finite(s.duration_us()),
+                tid,
+                s.batch,
+                s.a,
+                s.b,
+                s.attempt,
+                s.straggle_us,
+                s.failed
+            )
+        })
+        .collect();
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n]\n");
+    out
+}
+
+/// Render the critical-path analysis (plus trace bookkeeping) as JSON —
+/// the payload written to `results/TRACE_report.json`.
+pub fn trace_report_json(source: &str, tracer: &Tracer, analysis: &TraceAnalysis) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"source\": \"{}\",\n", escape_json(source)));
+    out.push_str(&format!("  \"spans\": {},\n", tracer.len()));
+    out.push_str(&format!("  \"dropped_spans\": {},\n", analysis.dropped_spans));
+    out.push_str(&format!("  \"batches\": {},\n", analysis.batches));
+    out.push_str(&format!("  \"total_us\": {},\n", finite(analysis.total_us)));
+    out.push_str(&format!(
+        "  \"critical_path_us\": {},\n",
+        finite(analysis.critical_path_us)
+    ));
+    out.push_str(&format!(
+        "  \"scheduling_overhead_us\": {},\n",
+        finite(analysis.scheduling_overhead_us)
+    ));
+    out.push_str(&format!(
+        "  \"longest_span_us\": {},\n",
+        finite(analysis.longest_span_us)
+    ));
+    out.push_str("  \"stages\": [\n");
+    let rows: Vec<String> = analysis
+        .stages
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"stage\": \"{}\", \"spans\": {}, \"total_us\": {}, \
+                 \"self_us\": {}, \"straggler_us\": {}, \"retry_backoff_us\": {}}}",
+                s.kind.name(),
+                s.spans,
+                finite(s.total_us),
+                finite(s.self_us),
+                finite(s.straggler_us),
+                finite(s.retry_backoff_us)
+            )
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ]\n");
+    out.push_str("}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::critical_path::analyze;
     use crate::events::EventKind;
+    use crate::trace::SpanRef;
 
     fn sample() -> (Registry, EventLog) {
         let mut reg = Registry::new();
@@ -225,5 +336,112 @@ mod tests {
         assert!(json.contains("\"total\": 0"));
         let text = prometheus_text(&reg);
         assert!(text.is_empty());
+    }
+
+    /// Cheap structural well-formedness check: a hand-rolled JSON walker
+    /// that verifies strings are terminated, escapes are legal, and
+    /// braces/brackets balance outside strings. Catches exactly the class
+    /// of bug hostile payloads cause (an unescaped quote ends the string
+    /// early and derails the rest of the document).
+    fn assert_parses_as_json(json: &str) {
+        let mut depth: i64 = 0;
+        let mut in_string = false;
+        let mut chars = json.chars();
+        while let Some(c) = chars.next() {
+            if in_string {
+                match c {
+                    '\\' => {
+                        let e = chars.next().expect("dangling escape");
+                        match e {
+                            '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' => {}
+                            'u' => {
+                                for _ in 0..4 {
+                                    let h = chars.next().expect("truncated \\u escape");
+                                    assert!(h.is_ascii_hexdigit(), "bad \\u escape: {h}");
+                                }
+                            }
+                            other => panic!("illegal escape \\{other}"),
+                        }
+                    }
+                    '"' => in_string = false,
+                    c => assert!(
+                        (c as u32) >= 0x20,
+                        "raw control character {:#x} inside JSON string",
+                        c as u32
+                    ),
+                }
+            } else {
+                match c {
+                    '"' => in_string = true,
+                    '{' | '[' => depth += 1,
+                    '}' | ']' => {
+                        depth -= 1;
+                        assert!(depth >= 0, "unbalanced close");
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(!in_string, "unterminated string");
+        assert_eq!(depth, 0, "unbalanced braces/brackets");
+    }
+
+    #[test]
+    fn escape_json_handles_hostile_tokens() {
+        assert_eq!(escape_json("plain"), "plain");
+        assert_eq!(escape_json("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_json("back\\slash"), "back\\\\slash");
+        assert_eq!(escape_json("line\nbreak\ttab\rret"), "line\\nbreak\\ttab\\rret");
+        assert_eq!(escape_json("\u{1}\u{1f}"), "\\u0001\\u001f");
+        // Non-ASCII BoW words pass through as UTF-8.
+        assert_eq!(escape_json("мат🤬"), "мат🤬");
+    }
+
+    #[test]
+    fn reports_with_hostile_payloads_stay_valid_json() {
+        let hostile = "tok\"en\\ with \n ctrl \u{7} and ünïcode🤬";
+        let (reg, log) = sample();
+        assert_parses_as_json(&obs_report_json(hostile, &reg, &log));
+
+        let mut t = Tracer::new();
+        let root = t.begin_named(hostile, SpanRef::INVALID, 0, 0.0);
+        t.end(root, 10.0);
+        let analysis = analyze(&t);
+        assert_parses_as_json(&chrome_trace_json(&t));
+        assert_parses_as_json(&trace_report_json(hostile, &t, &analysis));
+    }
+
+    #[test]
+    fn chrome_trace_has_one_event_per_span_on_partition_lanes() {
+        let mut t = Tracer::new();
+        let b = t.begin(SpanKind::Batch, SpanRef::INVALID, 7, 100, 0, 0.0);
+        let s = t.begin(SpanKind::Stage, b, 7, 0, 2, 10.0);
+        let task = t.begin(SpanKind::Task, s, 7, 0, 1, 10.0);
+        t.annotate_task(task, 1, 5, false);
+        t.end(task, 30.0);
+        t.end(s, 40.0);
+        t.end(b, 50.0);
+        let json = chrome_trace_json(&t);
+        assert_parses_as_json(&json);
+        assert_eq!(json.matches("\"ph\": \"X\"").count(), 3);
+        assert!(json.contains("\"name\": \"task\""));
+        // Task rides partition lane b+1 = 2; driver-side spans lane 0.
+        assert!(json.contains("\"tid\": 2"));
+        assert!(json.contains("\"straggle_us\": 5"));
+        assert!(json.contains("\"batch\": 7"));
+    }
+
+    #[test]
+    fn trace_report_carries_the_stage_breakdown() {
+        let mut t = Tracer::new();
+        let b = t.begin(SpanKind::Batch, SpanRef::INVALID, 0, 10, 0, 0.0);
+        t.record(SpanKind::Driver, b, 0, 0, 0, 0.0, 40.0);
+        t.end(b, 100.0);
+        let analysis = analyze(&t);
+        let json = trace_report_json("unit", &t, &analysis);
+        assert_parses_as_json(&json);
+        assert!(json.contains("\"batches\": 1"));
+        assert!(json.contains("\"stage\": \"driver\""));
+        assert!(json.contains("\"total_us\": 40"));
     }
 }

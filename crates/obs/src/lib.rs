@@ -13,8 +13,16 @@
 //!   with batch indices (never wall time) so it replays deterministically;
 //! * [`SpanClock`] — the one place real wall time may be read, disabled by
 //!   default;
-//! * sinks: [`prometheus_text`] and [`obs_report_json`]
-//!   (`results/OBS_report.json`).
+//! * [`Tracer`] — causal span tracing (driver → broadcast → stage →
+//!   task/retry → per-operator phases) with pre-registered [`SpanKind`]s
+//!   so hot-path emission is alloc-free, plus a deterministic 1-in-N
+//!   per-tweet sampler;
+//! * [`analyze`] — the critical-path analyzer attributing end-to-end batch
+//!   latency to stages (self vs. straggler vs. retry-backoff time);
+//! * sinks: [`prometheus_text`], [`obs_report_json`]
+//!   (`results/OBS_report.json`), [`chrome_trace_json`]
+//!   (Perfetto-loadable), and [`trace_report_json`]
+//!   (`results/TRACE_report.json`).
 //!
 //! Every metric and event kind carries a [`Determinism`] class. The
 //! deterministic subset is checkpointed via `redhanded_types::Checkpoint`
@@ -26,14 +34,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod critical_path;
 mod events;
 mod export;
 mod metrics;
 mod time;
+mod trace;
 
+pub use critical_path::{analyze, StageAttribution, TraceAnalysis};
 pub use events::{Event, EventKind, EventLog};
-pub use export::{obs_report_json, prometheus_text};
+pub use export::{
+    chrome_trace_json, escape_json, obs_report_json, prometheus_text, trace_report_json,
+};
 pub use metrics::{
     CounterId, Determinism, GaugeId, Histogram, HistogramId, Registry, HISTOGRAM_BUCKETS,
 };
 pub use time::SpanClock;
+pub use trace::{Span, SpanKind, SpanRef, Tracer, DEFAULT_SAMPLE_EVERY, DEFAULT_SPAN_CAPACITY};

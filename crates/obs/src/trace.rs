@@ -1,0 +1,595 @@
+//! Causal span tracing: a batch's full execution tree under the simulated
+//! clock.
+//!
+//! A [`Span`] records one timed region — driver work, a broadcast, a stage,
+//! a task attempt, a retry backoff, a per-operator phase — with a causal
+//! link to its parent, so a batch becomes a tree: driver → broadcast →
+//! stage → partition/task (including retry attempts from the fault layer)
+//! → per-operator phases. Per-tweet spans sit behind a deterministic
+//! 1-in-N sampler ([`Tracer::sample`]).
+//!
+//! Design constraints (DESIGN.md §11):
+//!
+//! * **Alloc-free hot path.** Span kinds are a closed, pre-registered enum
+//!   ([`SpanKind`]) and storage is pre-allocated at construction, so
+//!   [`Tracer::begin`]/[`Tracer::end`] touch existing slots only and pass
+//!   the `hot-path-alloc` lint. When the buffer is full, spans are counted
+//!   as dropped rather than grown. The *dynamic* API
+//!   ([`Tracer::begin_named`]) allocates a label string and is banned from
+//!   hot functions by the `trace-preregistered` lint rule.
+//! * **No panics.** An invalid or dropped [`SpanRef`] makes every
+//!   operation a silent no-op.
+//! * **Determinism classes.** Span *structure* (kind, batch, payload
+//!   words, causal parent chain) is deterministic: a fault-free run and a
+//!   crash-recovered run describe the same semantic tree. Timings,
+//!   attempt numbers, straggle and backoff are runtime facts. The
+//!   [`Tracer::deterministic_digest`] therefore hashes each span's
+//!   deterministic fields *recursively through its parent chain*, then
+//!   sorts and dedups the keys — a recovered run that re-executes batches
+//!   after a restore re-emits structurally identical spans which collapse
+//!   onto the fault-free run's, so the tracer itself never needs to be
+//!   checkpointed (`tests/obs_consistency.rs` asserts the digests match).
+//!   Retry attempts (`attempt > 1`) and the runtime-only kinds
+//!   ([`SpanKind::Backoff`], [`SpanKind::Checkpoint`],
+//!   [`SpanKind::Custom`]) are excluded from the digest.
+//!
+//! Sibling spans of the same kind under the same parent must differ in
+//! their `(batch, a, b)` payload (stage index, partition, merge round,
+//! record index, …) — the digest dedups identical keys by design, because
+//! "identical deterministic description" is exactly what replay produces.
+
+use redhanded_types::SnapshotWriter;
+
+/// The closed set of span kinds. Pre-registered (like `EventKind`) so
+/// hot-path emission never constructs a name; the positional code is
+/// append-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// One micro-batch, driver entry to driver exit. `a` = records in the
+    /// batch.
+    Batch,
+    /// Broadcasting the model/BoW/normalizer to executors. `a` = bytes.
+    Broadcast,
+    /// One distributed stage (all retry waves). `a` = stage index within
+    /// the batch, `b` = partition count.
+    Stage,
+    /// One task attempt on one partition. `a` = stage index, `b` =
+    /// partition index. Annotated with attempt number, straggle, and
+    /// failure via [`Tracer::annotate_task`].
+    Task,
+    /// Retry backoff charged to the simulated clock before a retry wave.
+    /// `a` = stage index, `b` = wave number. Runtime-only.
+    Backoff,
+    /// One tree-reduce combine round. `a` = items entering the round,
+    /// `b` = round number.
+    Merge,
+    /// Driver-side state merge (models, BoW, normalizer, matrix).
+    Driver,
+    /// Driver-side alerting/sampling over the batch's classifications.
+    /// `a` = classifications observed.
+    Alert,
+    /// Writing a checkpoint. `a` = checkpoint seq. Runtime-only.
+    Checkpoint,
+    /// One sampled tweet end-to-end. `a` = record index.
+    Tweet,
+    /// Feature extraction phase of a sampled tweet.
+    Extract,
+    /// Normalization phase of a sampled tweet.
+    Normalize,
+    /// Classification phase of a sampled tweet.
+    Classify,
+    /// Training phase of a sampled labeled tweet.
+    Train,
+    /// Dynamically-named span from [`Tracer::begin_named`]. Runtime-only
+    /// and banned in hot functions (`trace-preregistered` lint rule).
+    Custom,
+}
+
+impl SpanKind {
+    /// All kinds, in positional-code order. **Append-only**: codes are
+    /// stable across versions.
+    pub const ALL: [SpanKind; 15] = [
+        SpanKind::Batch,
+        SpanKind::Broadcast,
+        SpanKind::Stage,
+        SpanKind::Task,
+        SpanKind::Backoff,
+        SpanKind::Merge,
+        SpanKind::Driver,
+        SpanKind::Alert,
+        SpanKind::Checkpoint,
+        SpanKind::Tweet,
+        SpanKind::Extract,
+        SpanKind::Normalize,
+        SpanKind::Classify,
+        SpanKind::Train,
+        SpanKind::Custom,
+    ];
+
+    /// Stable name used by the sinks and the Chrome-trace export.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Batch => "batch",
+            SpanKind::Broadcast => "broadcast",
+            SpanKind::Stage => "stage",
+            SpanKind::Task => "task",
+            SpanKind::Backoff => "backoff",
+            SpanKind::Merge => "merge",
+            SpanKind::Driver => "driver",
+            SpanKind::Alert => "alert",
+            SpanKind::Checkpoint => "checkpoint",
+            SpanKind::Tweet => "tweet",
+            SpanKind::Extract => "extract",
+            SpanKind::Normalize => "normalize",
+            SpanKind::Classify => "classify",
+            SpanKind::Train => "train",
+            SpanKind::Custom => "custom",
+        }
+    }
+
+    /// Positional code (stable; used in the digest).
+    pub fn code(self) -> u8 {
+        SpanKind::ALL.iter().position(|k| *k == self).unwrap_or(0) as u8
+    }
+
+    /// Whether spans of this kind describe deterministic semantic
+    /// structure (included in the digest) or one incarnation's execution
+    /// (excluded). See the module docs.
+    pub fn deterministic(self) -> bool {
+        !matches!(self, SpanKind::Backoff | SpanKind::Checkpoint | SpanKind::Custom)
+    }
+}
+
+/// Handle to a span in one [`Tracer`]. Obtained from
+/// [`Tracer::begin`]/[`Tracer::begin_named`]; may be
+/// [`SpanRef::INVALID`] when the buffer was full (all later operations on
+/// it are no-ops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRef(u32);
+
+impl SpanRef {
+    /// The null parent / dropped-span sentinel.
+    pub const INVALID: SpanRef = SpanRef(u32::MAX);
+
+    /// Whether this handle refers to a recorded span.
+    pub fn is_valid(self) -> bool {
+        self.0 != u32::MAX
+    }
+}
+
+/// One recorded span. Times are microseconds on whichever clock the
+/// emitter used (the DSPE's simulated clock for distributed runs, the
+/// optional wall clock for the sequential pipeline).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    /// What this span measures.
+    pub kind: SpanKind,
+    /// Global batch index (or record index for per-tweet spans outside a
+    /// batch context).
+    pub batch: u64,
+    /// Kind-specific payload word (see [`SpanKind`]).
+    pub a: u64,
+    /// Kind-specific payload word (see [`SpanKind`]).
+    pub b: u64,
+    /// Index of the parent span, or `u32::MAX` for a root.
+    pub parent: u32,
+    /// Label-table index for [`SpanKind::Custom`] spans (`u32::MAX`
+    /// otherwise).
+    pub label: u32,
+    /// Start time, µs.
+    pub start_us: f64,
+    /// End time, µs (equals `start_us` until [`Tracer::end`]).
+    pub end_us: f64,
+    /// Injected straggle on a task attempt, µs. Runtime field.
+    pub straggle_us: u64,
+    /// Attempt number for task spans (1-based; 0 = not a task attempt).
+    /// Attempts beyond the first are runtime-only.
+    pub attempt: u32,
+    /// Whether this task attempt failed. Runtime field.
+    pub failed: bool,
+}
+
+impl Span {
+    /// The span's duration in µs (0 while unfinished, never negative).
+    pub fn duration_us(&self) -> f64 {
+        (self.end_us - self.start_us).max(0.0)
+    }
+}
+
+/// Default span buffer capacity: enough for the per-batch trees of every
+/// test- and `--scale 1` bench-size run without eviction (~15 spans per
+/// batch).
+pub const DEFAULT_SPAN_CAPACITY: usize = 65_536;
+
+/// Default per-tweet sampling period: one tweet in 1024 gets a full
+/// phase-level span subtree.
+pub const DEFAULT_SAMPLE_EVERY: u64 = 1024;
+
+/// Pre-allocated causal span recorder. See the module docs for the
+/// determinism contract.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    spans: Vec<Span>,
+    labels: Vec<String>,
+    cap: usize,
+    dropped: u64,
+    sample_every: u64,
+    sample_seen: u64,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// A tracer with the default capacity and sampling period.
+    pub fn new() -> Self {
+        Tracer::with_capacity(DEFAULT_SPAN_CAPACITY, DEFAULT_SAMPLE_EVERY)
+    }
+
+    /// A tracer holding at most `capacity` spans (minimum 1), sampling one
+    /// tweet in `sample_every` (minimum 1). Storage is allocated up front
+    /// so [`Tracer::begin`] is alloc-free.
+    pub fn with_capacity(capacity: usize, sample_every: u64) -> Self {
+        let cap = capacity.max(1);
+        Tracer {
+            spans: Vec::with_capacity(cap),
+            labels: Vec::new(),
+            cap,
+            dropped: 0,
+            sample_every: sample_every.max(1),
+            sample_seen: 0,
+        }
+    }
+
+    /// Open a span. Alloc-free: when the buffer is full the span is
+    /// counted as dropped and [`SpanRef::INVALID`] is returned (children
+    /// parented on it become roots of a detached subtree and are dropped
+    /// from the digest's parent chain, not miscounted).
+    pub fn begin(
+        &mut self,
+        kind: SpanKind,
+        parent: SpanRef,
+        batch: u64,
+        a: u64,
+        b: u64,
+        start_us: f64,
+    ) -> SpanRef {
+        if self.spans.len() >= self.cap {
+            self.dropped += 1;
+            return SpanRef::INVALID;
+        }
+        self.spans.push(Span {
+            kind,
+            batch,
+            a,
+            b,
+            parent: parent.0,
+            label: u32::MAX,
+            start_us,
+            end_us: start_us,
+            straggle_us: 0,
+            attempt: 0,
+            failed: false,
+        });
+        SpanRef((self.spans.len() - 1) as u32)
+    }
+
+    /// Close a span. No-op for invalid refs.
+    pub fn end(&mut self, span: SpanRef, end_us: f64) {
+        if let Some(s) = self.spans.get_mut(span.0 as usize) {
+            s.end_us = end_us;
+        }
+    }
+
+    /// Record a complete span in one call (for post-hoc emission where
+    /// both endpoints are already known).
+    pub fn record(
+        &mut self,
+        kind: SpanKind,
+        parent: SpanRef,
+        batch: u64,
+        a: u64,
+        b: u64,
+        start_us: f64,
+        end_us: f64,
+    ) -> SpanRef {
+        let r = self.begin(kind, parent, batch, a, b, start_us);
+        self.end(r, end_us);
+        r
+    }
+
+    /// Annotate a task-attempt span with its runtime facts. Attempts
+    /// beyond the first are excluded from the deterministic digest.
+    pub fn annotate_task(&mut self, span: SpanRef, attempt: u32, straggle_us: u64, failed: bool) {
+        if let Some(s) = self.spans.get_mut(span.0 as usize) {
+            s.attempt = attempt;
+            s.straggle_us = straggle_us;
+            s.failed = failed;
+        }
+    }
+
+    /// Open a dynamically-named [`SpanKind::Custom`] span. **Allocates**
+    /// (the label is copied into the tracer's label table) — this is the
+    /// API the `trace-preregistered` lint rule bans from hot-path
+    /// functions; use [`Tracer::begin`] with a pre-registered kind there.
+    pub fn begin_named(
+        &mut self,
+        name: &str,
+        parent: SpanRef,
+        batch: u64,
+        start_us: f64,
+    ) -> SpanRef {
+        let r = self.begin(SpanKind::Custom, parent, batch, 0, 0, start_us);
+        if let Some(s) = self.spans.get_mut(r.0 as usize) {
+            s.label = self.labels.len() as u32;
+            self.labels.push(name.to_string());
+        }
+        r
+    }
+
+    /// Deterministic 1-in-N admission for per-tweet spans: returns whether
+    /// the next tweet should get a span subtree. Alloc-free; the decision
+    /// depends only on how many tweets this tracer has been offered.
+    pub fn sample(&mut self) -> bool {
+        let n = self.sample_seen;
+        self.sample_seen = self.sample_seen.wrapping_add(1);
+        n % self.sample_every == 0
+    }
+
+    /// The sampling period (1 = every tweet).
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every
+    }
+
+    /// All recorded spans, in begin order (parents precede children).
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether no spans are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans lost because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The label of a [`SpanKind::Custom`] span (None otherwise).
+    pub fn label(&self, span: &Span) -> Option<&str> {
+        self.labels.get(span.label as usize).map(|s| s.as_str())
+    }
+
+    /// Display name for a span: its kind name, or the dynamic label for
+    /// custom spans.
+    pub fn display_name<'a>(&'a self, span: &Span) -> &'a str {
+        match span.kind {
+            SpanKind::Custom => self.label(span).unwrap_or("custom"),
+            k => k.name(),
+        }
+    }
+
+    /// Forget all recorded spans (capacity and the sampler position are
+    /// kept).
+    pub fn clear(&mut self) {
+        self.spans.clear();
+        self.labels.clear();
+        self.dropped = 0;
+    }
+
+    /// Per-span recursive keys over the deterministic fields: each span's
+    /// key mixes its kind code, batch, and payload words with its
+    /// *parent's key*, so a key pins the span's whole causal path.
+    /// Computed in one forward pass (parents always precede children).
+    fn keys(&self) -> Vec<u64> {
+        let mut keys = vec![0u64; self.spans.len()];
+        for (i, s) in self.spans.iter().enumerate() {
+            let parent_key =
+                keys.get(s.parent as usize).copied().unwrap_or(0x5EED_0F_DE7EC7ED);
+            let mut k = mix(parent_key, s.kind.code() as u64);
+            k = mix(k, s.batch);
+            k = mix(k, s.a);
+            k = mix(k, s.b);
+            keys[i] = k;
+        }
+        keys
+    }
+
+    /// Stable digest of the deterministic span-tree structure: the sorted,
+    /// deduplicated recursive keys of every deterministic span (runtime
+    /// kinds and retry attempts excluded). A recovered run's re-executed
+    /// batches produce keys identical to the fault-free run's, so the
+    /// digests compare bit-identical without checkpointing the tracer.
+    pub fn deterministic_digest(&self) -> Vec<u8> {
+        let keys = self.keys();
+        let mut det: Vec<u64> = self
+            .spans
+            .iter()
+            .zip(keys.iter())
+            .filter(|(s, _)| s.kind.deterministic() && s.attempt <= 1)
+            .map(|(_, k)| *k)
+            .collect();
+        det.sort_unstable();
+        det.dedup();
+        let mut w = SnapshotWriter::new();
+        for k in det {
+            w.write_u64(k);
+        }
+        w.into_bytes()
+    }
+}
+
+/// splitmix64-style diffusion step used by the span keys.
+fn mix(h: u64, v: u64) -> u64 {
+    let mut x = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_codes_are_stable_and_distinct() {
+        for (i, k) in SpanKind::ALL.iter().enumerate() {
+            assert_eq!(k.code() as usize, i);
+        }
+        assert!(SpanKind::Batch.deterministic());
+        assert!(SpanKind::Task.deterministic());
+        assert!(!SpanKind::Backoff.deterministic());
+        assert!(!SpanKind::Checkpoint.deterministic());
+        assert!(!SpanKind::Custom.deterministic());
+    }
+
+    #[test]
+    fn begin_end_builds_a_tree() {
+        let mut t = Tracer::new();
+        let batch = t.begin(SpanKind::Batch, SpanRef::INVALID, 0, 500, 0, 0.0);
+        let stage = t.begin(SpanKind::Stage, batch, 0, 0, 4, 10.0);
+        let task = t.begin(SpanKind::Task, stage, 0, 0, 2, 10.0);
+        t.annotate_task(task, 1, 0, false);
+        t.end(task, 40.0);
+        t.end(stage, 50.0);
+        t.end(batch, 90.0);
+        assert_eq!(t.len(), 3);
+        let spans = t.spans();
+        assert_eq!(spans[0].parent, u32::MAX);
+        assert_eq!(spans[1].parent, 0);
+        assert_eq!(spans[2].parent, 1);
+        assert_eq!(spans[2].duration_us(), 30.0);
+        assert_eq!(spans[0].duration_us(), 90.0);
+    }
+
+    #[test]
+    fn full_buffer_drops_instead_of_growing() {
+        let mut t = Tracer::with_capacity(2, 1);
+        let a = t.begin(SpanKind::Batch, SpanRef::INVALID, 0, 0, 0, 0.0);
+        let b = t.begin(SpanKind::Stage, a, 0, 0, 1, 0.0);
+        let c = t.begin(SpanKind::Task, b, 0, 0, 0, 0.0);
+        assert!(a.is_valid() && b.is_valid());
+        assert!(!c.is_valid());
+        assert_eq!(t.dropped(), 1);
+        // Operations on the dropped ref are silent no-ops.
+        t.end(c, 99.0);
+        t.annotate_task(c, 3, 7, true);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn sampler_is_deterministic_one_in_n() {
+        let mut t = Tracer::with_capacity(16, 4);
+        let admitted: Vec<bool> = (0..10).map(|_| t.sample()).collect();
+        assert_eq!(
+            admitted,
+            vec![true, false, false, false, true, false, false, false, true, false]
+        );
+    }
+
+    #[test]
+    fn digest_dedups_replayed_batches() {
+        let emit = |t: &mut Tracer, batch: u64| {
+            let b = t.begin(SpanKind::Batch, SpanRef::INVALID, batch, 100, 0, 0.0);
+            let s = t.begin(SpanKind::Stage, b, batch, 0, 2, 1.0);
+            for p in 0..2 {
+                let task = t.begin(SpanKind::Task, s, batch, 0, p, 1.0);
+                t.annotate_task(task, 1, 0, false);
+                t.end(task, 5.0);
+            }
+            t.end(s, 6.0);
+            t.end(b, 9.0);
+        };
+        let mut clean = Tracer::new();
+        for b in 0..4 {
+            emit(&mut clean, b);
+        }
+        // "Recovered" run: re-executes batches 2 and 3 after a restore.
+        let mut recovered = Tracer::new();
+        for b in [0u64, 1, 2, 3, 2, 3] {
+            emit(&mut recovered, b);
+        }
+        assert_eq!(clean.deterministic_digest(), recovered.deterministic_digest());
+    }
+
+    #[test]
+    fn digest_ignores_runtime_facts_but_sees_structure() {
+        let emit = |t: &mut Tracer, straggle: u64, retried: bool| {
+            let b = t.begin(SpanKind::Batch, SpanRef::INVALID, 0, 10, 0, 0.0);
+            let s = t.begin(SpanKind::Stage, b, 0, 0, 1, 1.0);
+            let t1 = t.begin(SpanKind::Task, s, 0, 0, 0, 1.0);
+            t.annotate_task(t1, 1, straggle, retried);
+            t.end(t1, 4.0 + straggle as f64);
+            if retried {
+                let bo = t.begin(SpanKind::Backoff, s, 0, 0, 1, 5.0);
+                t.end(bo, 6.0);
+                let t2 = t.begin(SpanKind::Task, s, 0, 0, 0, 6.0);
+                t.annotate_task(t2, 2, 0, false);
+                t.end(t2, 9.0);
+            }
+            t.end(s, 10.0);
+            t.end(b, 12.0);
+        };
+        let mut clean = Tracer::new();
+        emit(&mut clean, 0, false);
+        let mut chaotic = Tracer::new();
+        emit(&mut chaotic, 900, true);
+        assert_eq!(clean.deterministic_digest(), chaotic.deterministic_digest());
+
+        // A structural difference (an extra deterministic span) shows up.
+        let mut bigger = Tracer::new();
+        emit(&mut bigger, 0, false);
+        let extra = bigger.begin(SpanKind::Broadcast, SpanRef::INVALID, 0, 64, 0, 0.0);
+        bigger.end(extra, 1.0);
+        assert_ne!(clean.deterministic_digest(), bigger.deterministic_digest());
+    }
+
+    #[test]
+    fn digest_distinguishes_parent_chains() {
+        // Same (kind, batch, a, b) but different parents must not collide.
+        let mut one = Tracer::new();
+        let b0 = one.begin(SpanKind::Batch, SpanRef::INVALID, 0, 0, 0, 0.0);
+        let s0 = one.begin(SpanKind::Stage, b0, 0, 0, 1, 0.0);
+        one.begin(SpanKind::Task, s0, 0, 7, 7, 0.0);
+
+        let mut two = Tracer::new();
+        let b1 = two.begin(SpanKind::Batch, SpanRef::INVALID, 0, 0, 0, 0.0);
+        let s1 = two.begin(SpanKind::Stage, b1, 0, 1, 1, 0.0);
+        two.begin(SpanKind::Task, s1, 0, 7, 7, 0.0);
+        assert_ne!(one.deterministic_digest(), two.deterministic_digest());
+    }
+
+    #[test]
+    fn named_spans_are_runtime_only() {
+        let mut t = Tracer::new();
+        let c = t.begin_named("warmup", SpanRef::INVALID, 0, 0.0);
+        t.end(c, 5.0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.display_name(&t.spans()[0]), "warmup");
+        assert!(t.deterministic_digest().is_empty());
+    }
+
+    #[test]
+    fn clear_resets_spans_but_not_sampler_position() {
+        let mut t = Tracer::with_capacity(8, 2);
+        assert!(t.sample());
+        assert!(!t.sample());
+        t.begin(SpanKind::Batch, SpanRef::INVALID, 0, 0, 0, 0.0);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+        // Sampler continues where it was: next offer is index 2 → admitted.
+        assert!(t.sample());
+    }
+}

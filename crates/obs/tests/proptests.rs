@@ -5,10 +5,79 @@
 //! bit-identical state regardless.
 
 use proptest::prelude::*;
-use redhanded_obs::{Determinism, Histogram, Registry};
+use redhanded_obs::{analyze, Determinism, Histogram, Registry, SpanKind, SpanRef, Tracer};
 
 fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
     prop::collection::vec(0u64..=u64::MAX, 0..64)
+}
+
+/// Random batch forests for the critical-path analyzer: each batch is a
+/// slack plus stages, each stage a slack plus `(compute, straggle)` tasks.
+/// Durations are derived bottom-up (stage = longest task + slack, batch =
+/// sum of stages + slack) so children are exactly contained in their
+/// parents, the same containment the simulated clock guarantees.
+type BatchSpec = (u64, Vec<(u64, Vec<(u64, u64)>)>);
+
+fn arb_batches() -> impl Strategy<Value = Vec<BatchSpec>> {
+    prop::collection::vec(
+        (
+            0u64..3000,
+            prop::collection::vec(
+                (0u64..300, prop::collection::vec((0u64..500, 0u64..100), 0..5)),
+                0..5,
+            ),
+        ),
+        1..4,
+    )
+}
+
+/// Emit the spec as a span forest: stages serial under the batch, tasks
+/// parallel under the stage (all starting at the stage's start). With
+/// `reverse`, sibling stages are emitted in reverse order — span ids and
+/// wall placement change, but the causal key set must not.
+fn build_trace(batches: &[BatchSpec], reverse: bool) -> Tracer {
+    let mut t = Tracer::new();
+    let mut clock = 0.0f64;
+    for (bi, (bslack, stages)) in batches.iter().enumerate() {
+        let stage_durs: Vec<f64> = stages
+            .iter()
+            .map(|(slack, tasks)| {
+                let longest = tasks.iter().map(|&(d, s)| d + s).max().unwrap_or(0);
+                (longest + slack) as f64
+            })
+            .collect();
+        let bdur = stage_durs.iter().sum::<f64>() + *bslack as f64;
+        let root = t.begin(SpanKind::Batch, SpanRef::INVALID, bi as u64, 0, 0, clock);
+        let mut cursor = clock;
+        let order: Vec<usize> = if reverse {
+            (0..stages.len()).rev().collect()
+        } else {
+            (0..stages.len()).collect()
+        };
+        for si in order {
+            let (_, tasks) = &stages[si];
+            let sdur = stage_durs[si];
+            let stage = t.begin(
+                SpanKind::Stage,
+                root,
+                bi as u64,
+                si as u64,
+                tasks.len() as u64,
+                cursor,
+            );
+            for (pi, &(tdur, straggle)) in tasks.iter().enumerate() {
+                let task =
+                    t.begin(SpanKind::Task, stage, bi as u64, si as u64, pi as u64, cursor);
+                t.annotate_task(task, 1, straggle, false);
+                t.end(task, cursor + (tdur + straggle) as f64);
+            }
+            t.end(stage, cursor + sdur);
+            cursor += sdur;
+        }
+        t.end(root, clock + bdur);
+        clock += bdur;
+    }
+    t
 }
 
 fn hist_of(samples: &[u64]) -> Histogram {
@@ -123,5 +192,39 @@ proptest! {
             left.histogram_by_name("lat_us"),
             right.histogram_by_name("lat_us")
         );
+    }
+
+    /// The critical path is bounded: at least the longest single span
+    /// (cp(n) = max(dur, max child cp) dominates every descendant), at
+    /// most the summed batch wall time (children are contained in their
+    /// parents), for any batch forest shape.
+    #[test]
+    fn critical_path_bounded_by_longest_span_and_wall_time(specs in arb_batches()) {
+        let tracer = build_trace(&specs, false);
+        let a = analyze(&tracer);
+        prop_assert_eq!(a.batches, specs.len() as u64);
+        prop_assert_eq!(a.dropped_spans, 0);
+        prop_assert!(a.critical_path_us >= a.longest_span_us - 1e-9);
+        prop_assert!(a.critical_path_us <= a.total_us + 1e-9);
+        prop_assert!(a.scheduling_overhead_us >= 0.0);
+        prop_assert!(a.scheduling_overhead_us <= a.total_us + 1e-9);
+        for row in &a.stages {
+            prop_assert!(row.spans > 0);
+            prop_assert!(row.self_us >= 0.0);
+            prop_assert!(row.straggler_us >= 0.0);
+            prop_assert!(row.retry_backoff_us >= 0.0);
+            prop_assert!(row.self_us <= row.total_us + 1e-9);
+        }
+    }
+
+    /// The deterministic span-tree digest hashes causal structure, not
+    /// emission order or wall placement: emitting sibling stages in
+    /// reverse (which shifts every span id and timestamp) yields a
+    /// bit-identical digest.
+    #[test]
+    fn trace_digest_ignores_sibling_order_and_timing(specs in arb_batches()) {
+        let forward = build_trace(&specs, false);
+        let reversed = build_trace(&specs, true);
+        prop_assert_eq!(forward.deterministic_digest(), reversed.deterministic_digest());
     }
 }

@@ -82,6 +82,8 @@ struct ArfMember {
     pending_warning: bool,
     /// Drift events applied over the member's lifetime.
     drifts_applied: u64,
+    /// Warning detections that started a background tree, cumulative.
+    warnings_seen: u64,
     /// In a distributed-protocol fork: a read-only copy of the global tree
     /// used for prequential scoring (the fork's own `tree` holds only the
     /// partition's statistics delta and cannot predict).
@@ -102,6 +104,7 @@ impl ArfMember {
             pending_drift: false,
             pending_warning: false,
             drifts_applied: 0,
+            warnings_seen: 0,
             reference: None,
         })
     }
@@ -118,6 +121,7 @@ impl ArfMember {
             pending_drift: false,
             pending_warning: false,
             drifts_applied: 0,
+            warnings_seen: 0,
             reference: Some(Box::new(self.tree.clone())),
         }
     }
@@ -187,6 +191,7 @@ impl ArfMember {
             self.total = 0.0;
         } else if self.pending_warning {
             self.pending_warning = false;
+            self.warnings_seen += 1;
             let mut tc = config.tree_config.clone();
             tc.seed = seed ^ 0x9E3779B97F4A7C15;
             self.background = Some(HoeffdingTree::new(tc)?);
@@ -218,6 +223,7 @@ impl Checkpoint for ArfMember {
         w.write_bool(self.pending_drift);
         w.write_bool(self.pending_warning);
         w.write_u64(self.drifts_applied);
+        w.write_u64(self.warnings_seen);
     }
 
     fn restore_from(&mut self, r: &mut SnapshotReader) -> Result<()> {
@@ -239,6 +245,7 @@ impl Checkpoint for ArfMember {
         self.pending_drift = r.read_bool()?;
         self.pending_warning = r.read_bool()?;
         self.drifts_applied = r.read_u64()?;
+        self.warnings_seen = r.read_u64()?;
         self.reference = None;
         Ok(())
     }
@@ -286,6 +293,11 @@ impl AdaptiveRandomForest {
     /// Total drift replacements applied across all members.
     pub fn drifts_applied(&self) -> u64 {
         self.members.iter().map(|m| m.drifts_applied).sum()
+    }
+
+    /// Total warning detections that started background trees.
+    pub fn warnings_seen(&self) -> u64 {
+        self.members.iter().map(|m| m.warnings_seen).sum()
     }
 
     /// Number of members currently growing a background tree.
@@ -428,6 +440,10 @@ impl StreamingClassifier for AdaptiveRandomForest {
 
     fn drifts(&self) -> u64 {
         self.drifts_applied()
+    }
+
+    fn warnings(&self) -> u64 {
+        self.warnings_seen()
     }
 
     fn local_copy(&self) -> Box<dyn StreamingClassifier> {

@@ -104,6 +104,15 @@ pub trait StreamingClassifier: Send + Sync {
         0
     }
 
+    /// Cumulative count of drift *warnings* the model has acted on (e.g.
+    /// ARF background trees started by an ADWIN warning detector). Counted
+    /// at the driver-side finalize step, so the value is deterministic
+    /// under the distributed protocol and survives checkpoints. Models
+    /// without warning detectors report 0.
+    fn warnings(&self) -> u64 {
+        0
+    }
+
     /// Downcasting support for [`StreamingClassifier::merge`]
     /// implementations.
     fn as_any(&self) -> &dyn std::any::Any;

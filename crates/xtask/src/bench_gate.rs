@@ -1,0 +1,585 @@
+//! `cargo run -p xtask -- bench-gate` — the performance-regression gate.
+//!
+//! The paper's sustained-throughput claim (Section VI-C) is only as good
+//! as the repo's ability to notice when a PR erodes it. The gate compares
+//! the freshly measured `results/BENCH_pipeline.json` (written by
+//! `perf_smoke`) and `results/BENCH_recovery.json` (written by
+//! `perf_recovery`) against the committed `bench/baseline.json`:
+//!
+//! * throughput may not drop below a fraction of the baseline (generous,
+//!   because wall-clock numbers vary across machines and CI load);
+//! * cumulative F1 must stay within a tight band of the baseline when the
+//!   run used the baseline's tweet count (the pipeline is deterministic,
+//!   so any drift is a behaviour change, not noise);
+//! * the recovery bench must report checkpointing within its overhead
+//!   budget.
+//!
+//! Every run appends one line to `results/BENCH_trajectory.jsonl`, the
+//! perf history the ROADMAP asks for. Lines carry a monotonically
+//! increasing `seq` rather than a timestamp: this crate is subject to its
+//! own `wall-clock` lint rule, and sequence numbers keep the history
+//! deterministic and mergeable.
+//!
+//! `--update-baseline` rewrites `bench/baseline.json` from the current
+//! results (for intentional perf-profile changes; the diff shows up in
+//! review like any other ratchet move).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Committed baseline, relative to the workspace root.
+pub const BENCH_BASELINE_PATH: &str = "bench/baseline.json";
+
+/// Fresh pipeline measurement (written by `perf_smoke`).
+pub const PIPELINE_RESULTS_PATH: &str = "results/BENCH_pipeline.json";
+
+/// Fresh recovery measurement (written by `perf_recovery`).
+pub const RECOVERY_RESULTS_PATH: &str = "results/BENCH_recovery.json";
+
+/// Append-only perf history.
+pub const TRAJECTORY_PATH: &str = "results/BENCH_trajectory.jsonl";
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. The bench files are machine-written, so this
+/// hand-rolled reader covers exactly the JSON grammar (objects, arrays,
+/// strings with escapes, numbers, booleans, null) without pulling a
+/// dependency into the lint/gate toolchain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (None for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn boolean(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Dotted-path numeric lookup: `v.num_at("pipeline.tweets_per_second")`.
+    pub fn num_at(&self, path: &str) -> Option<f64> {
+        let mut v = self;
+        for key in path.split('.') {
+            v = v.get(key)?;
+        }
+        v.num()
+    }
+}
+
+/// Parse a JSON document. Errors carry the byte offset for diagnostics.
+pub fn parse_json(src: &str) -> Result<Json, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while bytes.get(*pos).is_some_and(|b| b.is_ascii_whitespace()) {
+        *pos += 1;
+    }
+}
+
+fn expect_byte(bytes: &[u8], pos: &mut usize, want: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&want) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", want as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_num(bytes, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while bytes
+        .get(*pos)
+        .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| format!("invalid number at byte {start}"))?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect_byte(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {}", *pos))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?} at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input is a valid &str).
+                let rest = &bytes[*pos..];
+                let s = std::str::from_utf8(rest)
+                    .map_err(|_| format!("invalid UTF-8 at byte {}", *pos))?;
+                if let Some(c) = s.chars().next() {
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect_byte(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect_byte(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect_byte(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The gate
+// ---------------------------------------------------------------------------
+
+/// The facts the gate reads from the fresh bench results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchFacts {
+    /// `tweets` from `BENCH_pipeline.json`.
+    pub pipeline_tweets: f64,
+    /// `tweets_per_second` from `BENCH_pipeline.json`.
+    pub pipeline_tps: f64,
+    /// `cumulative_f1` from `BENCH_pipeline.json`.
+    pub pipeline_f1: f64,
+    /// `baseline_tweets_per_second` from `BENCH_recovery.json`.
+    pub recovery_tps: f64,
+    /// `within_budget` from `BENCH_recovery.json`.
+    pub recovery_within_budget: bool,
+}
+
+/// One tolerance-band comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Check {
+    /// Stable check name.
+    pub name: &'static str,
+    /// Whether the check passed (skipped checks are passes with a note).
+    pub passed: bool,
+    /// Human-readable numbers behind the verdict.
+    pub detail: String,
+}
+
+/// The gate's verdict: the checks plus the trajectory entry appended.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOutcome {
+    /// All comparisons, in fixed order.
+    pub checks: Vec<Check>,
+    /// `seq` of the trajectory line this run appended (0 = not appended).
+    pub trajectory_seq: u64,
+}
+
+impl GateOutcome {
+    /// Whether every check passed.
+    pub fn is_clean(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// One line per check, `ok`/`FAIL` prefixed.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.checks {
+            let verdict = if c.passed { "ok  " } else { "FAIL" };
+            let _ = writeln!(out, "{verdict} {:<22} {}", c.name, c.detail);
+        }
+        out
+    }
+}
+
+fn field(doc: &Json, path: &str, file: &str) -> Result<f64, String> {
+    doc.num_at(path).ok_or_else(|| format!("{file}: missing numeric field `{path}`"))
+}
+
+/// Read the fresh bench results under `root`.
+pub fn read_facts(root: &Path) -> Result<BenchFacts, String> {
+    let read = |rel: &str, producer: &str| -> Result<Json, String> {
+        let path = root.join(rel);
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            format!("cannot read {rel}: {e} (run `cargo run --release -p redhanded-bench --bin {producer}` first)")
+        })?;
+        parse_json(&text).map_err(|e| format!("{rel}: {e}"))
+    };
+    let pipeline = read(PIPELINE_RESULTS_PATH, "perf_smoke")?;
+    let recovery = read(RECOVERY_RESULTS_PATH, "perf_recovery")?;
+    Ok(BenchFacts {
+        pipeline_tweets: field(&pipeline, "tweets", PIPELINE_RESULTS_PATH)?,
+        pipeline_tps: field(&pipeline, "tweets_per_second", PIPELINE_RESULTS_PATH)?,
+        pipeline_f1: field(&pipeline, "cumulative_f1", PIPELINE_RESULTS_PATH)?,
+        recovery_tps: field(&recovery, "baseline_tweets_per_second", RECOVERY_RESULTS_PATH)?,
+        recovery_within_budget: recovery
+            .get("within_budget")
+            .and_then(Json::boolean)
+            .ok_or_else(|| format!("{RECOVERY_RESULTS_PATH}: missing `within_budget`"))?,
+    })
+}
+
+/// Render a baseline document recording `facts` (used by
+/// `--update-baseline`; the tolerance block carries the default band).
+pub fn render_baseline(facts: &BenchFacts) -> String {
+    format!(
+        "{{\n  \"pipeline\": {{\n    \"tweets\": {},\n    \"tweets_per_second\": {:.1},\n    \
+         \"cumulative_f1\": {:.4}\n  }},\n  \"recovery\": {{\n    \"tweets_per_second\": {:.1}\n  }},\n  \
+         \"tolerance\": {{\n    \"min_throughput_fraction\": 0.5,\n    \"max_f1_delta\": 0.005\n  }}\n}}\n",
+        facts.pipeline_tweets, facts.pipeline_tps, facts.pipeline_f1, facts.recovery_tps
+    )
+}
+
+/// Compare `facts` against the parsed baseline. Pure (no IO) so tests can
+/// drive the tolerance bands directly.
+pub fn evaluate(facts: &BenchFacts, baseline: &Json) -> Result<Vec<Check>, String> {
+    let base = BENCH_BASELINE_PATH;
+    let base_tweets = field(baseline, "pipeline.tweets", base)?;
+    let base_tps = field(baseline, "pipeline.tweets_per_second", base)?;
+    let base_f1 = field(baseline, "pipeline.cumulative_f1", base)?;
+    let base_rec_tps = field(baseline, "recovery.tweets_per_second", base)?;
+    let min_fraction = field(baseline, "tolerance.min_throughput_fraction", base)?;
+    let max_f1_delta = field(baseline, "tolerance.max_f1_delta", base)?;
+
+    let mut checks = Vec::new();
+
+    let floor = base_tps * min_fraction;
+    checks.push(Check {
+        name: "pipeline-throughput",
+        passed: facts.pipeline_tps >= floor,
+        detail: format!(
+            "{:.0} tweets/s vs baseline {:.0} (floor {:.0} at fraction {min_fraction})",
+            facts.pipeline_tps, base_tps, floor
+        ),
+    });
+
+    // F1 is deterministic for a fixed tweet count, so the band is tight —
+    // but a `--scale` run measures a different stream, so only compare
+    // like with like.
+    if facts.pipeline_tweets == base_tweets {
+        let delta = (facts.pipeline_f1 - base_f1).abs();
+        checks.push(Check {
+            name: "pipeline-f1",
+            passed: delta <= max_f1_delta,
+            detail: format!(
+                "F1 {:.4} vs baseline {:.4} (|Δ| {:.4} ≤ {max_f1_delta})",
+                facts.pipeline_f1, base_f1, delta
+            ),
+        });
+    } else {
+        checks.push(Check {
+            name: "pipeline-f1",
+            passed: true,
+            detail: format!(
+                "skipped: run measured {} tweets, baseline {} (re-run at baseline scale to compare)",
+                facts.pipeline_tweets, base_tweets
+            ),
+        });
+    }
+
+    let rec_floor = base_rec_tps * min_fraction;
+    checks.push(Check {
+        name: "recovery-throughput",
+        passed: facts.recovery_tps >= rec_floor,
+        detail: format!(
+            "{:.0} tweets/s vs baseline {:.0} (floor {:.0})",
+            facts.recovery_tps, base_rec_tps, rec_floor
+        ),
+    });
+
+    checks.push(Check {
+        name: "recovery-budget",
+        passed: facts.recovery_within_budget,
+        detail: format!("within_budget = {}", facts.recovery_within_budget),
+    });
+
+    Ok(checks)
+}
+
+/// Append one history line and return its `seq` (1-based; prior lines are
+/// counted, not parsed, so a corrupt line never wedges the gate).
+pub fn append_trajectory(root: &Path, facts: &BenchFacts, clean: bool) -> Result<u64, String> {
+    let path = root.join(TRAJECTORY_PATH);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    }
+    let existing = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(format!("read {}: {e}", path.display())),
+    };
+    let seq = existing.lines().filter(|l| !l.trim().is_empty()).count() as u64 + 1;
+    let line = format!(
+        "{{\"seq\": {seq}, \"pipeline_tweets\": {}, \"pipeline_tweets_per_second\": {:.1}, \
+         \"cumulative_f1\": {:.4}, \"recovery_tweets_per_second\": {:.1}, \
+         \"recovery_within_budget\": {}, \"gate\": \"{}\"}}\n",
+        facts.pipeline_tweets,
+        facts.pipeline_tps,
+        facts.pipeline_f1,
+        facts.recovery_tps,
+        facts.recovery_within_budget,
+        if clean { "pass" } else { "fail" }
+    );
+    std::fs::write(&path, existing + &line).map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(seq)
+}
+
+/// Run the full gate under `root`: read results, compare against the
+/// committed baseline, append the trajectory line.
+pub fn run_bench_gate(root: &Path) -> Result<GateOutcome, String> {
+    let facts = read_facts(root)?;
+    let baseline_path = root.join(BENCH_BASELINE_PATH);
+    let text = std::fs::read_to_string(&baseline_path).map_err(|e| {
+        format!(
+            "cannot read {BENCH_BASELINE_PATH}: {e} (record one with \
+             `cargo run -p xtask -- bench-gate --update-baseline`)"
+        )
+    })?;
+    let baseline = parse_json(&text).map_err(|e| format!("{BENCH_BASELINE_PATH}: {e}"))?;
+    let checks = evaluate(&facts, &baseline)?;
+    let clean = checks.iter().all(|c| c.passed);
+    let trajectory_seq = append_trajectory(root, &facts, clean)?;
+    Ok(GateOutcome { checks, trajectory_seq })
+}
+
+/// Rewrite the committed baseline from the current results.
+pub fn update_baseline(root: &Path) -> Result<String, String> {
+    let facts = read_facts(root)?;
+    let path = root.join(BENCH_BASELINE_PATH);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    }
+    std::fs::write(&path, render_baseline(&facts))
+        .map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(format!(
+        "bench baseline recorded: {:.0} tweets/s (F1 {:.4}), recovery {:.0} tweets/s -> {}",
+        facts.pipeline_tps,
+        facts.pipeline_f1,
+        facts.recovery_tps,
+        path.display()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn facts() -> BenchFacts {
+        BenchFacts {
+            pipeline_tweets: 50_000.0,
+            pipeline_tps: 80_000.0,
+            pipeline_f1: 0.9078,
+            recovery_tps: 79_000.0,
+            recovery_within_budget: true,
+        }
+    }
+
+    fn baseline() -> Json {
+        parse_json(&render_baseline(&facts())).unwrap()
+    }
+
+    #[test]
+    fn parser_handles_the_bench_document_shapes() {
+        let doc = parse_json(
+            r#"{ "a": 1.5, "b": [true, null, "x\nA"], "c": { "d": -2e3 } }"#,
+        )
+        .unwrap();
+        assert_eq!(doc.num_at("a"), Some(1.5));
+        assert_eq!(doc.num_at("c.d"), Some(-2000.0));
+        match doc.get("b") {
+            Some(Json::Arr(items)) => {
+                assert_eq!(items[0], Json::Bool(true));
+                assert_eq!(items[1], Json::Null);
+                assert_eq!(items[2], Json::Str("x\nA".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_json("{ 1 }").is_err());
+        assert!(parse_json(r#"{"a": 1} trailing"#).is_err());
+    }
+
+    #[test]
+    fn identical_results_pass_every_check() {
+        let checks = evaluate(&facts(), &baseline()).unwrap();
+        assert_eq!(checks.len(), 4);
+        assert!(checks.iter().all(|c| c.passed), "{checks:#?}");
+    }
+
+    #[test]
+    fn throughput_floor_is_generous_but_real() {
+        let mut f = facts();
+        f.pipeline_tps = 41_000.0; // above 0.5 × 80k
+        assert!(evaluate(&f, &baseline()).unwrap().iter().all(|c| c.passed));
+        f.pipeline_tps = 39_000.0; // below the floor
+        let checks = evaluate(&f, &baseline()).unwrap();
+        let tp = checks.iter().find(|c| c.name == "pipeline-throughput").unwrap();
+        assert!(!tp.passed, "{}", tp.detail);
+    }
+
+    #[test]
+    fn f1_band_is_tight_and_scale_aware() {
+        let mut f = facts();
+        f.pipeline_f1 = 0.92; // |Δ| > 0.005 at the baseline scale
+        let checks = evaluate(&f, &baseline()).unwrap();
+        assert!(!checks.iter().find(|c| c.name == "pipeline-f1").unwrap().passed);
+
+        // A different tweet count skips the F1 comparison entirely.
+        f.pipeline_tweets = 5_000.0;
+        let checks = evaluate(&f, &baseline()).unwrap();
+        let f1 = checks.iter().find(|c| c.name == "pipeline-f1").unwrap();
+        assert!(f1.passed);
+        assert!(f1.detail.contains("skipped"));
+    }
+
+    #[test]
+    fn recovery_budget_violation_fails_the_gate() {
+        let mut f = facts();
+        f.recovery_within_budget = false;
+        let checks = evaluate(&f, &baseline()).unwrap();
+        assert!(!checks.iter().find(|c| c.name == "recovery-budget").unwrap().passed);
+        let outcome = GateOutcome { checks, trajectory_seq: 1 };
+        assert!(!outcome.is_clean());
+        assert!(outcome.render().contains("FAIL recovery-budget"));
+    }
+
+    #[test]
+    fn trajectory_appends_with_monotonic_seq() {
+        let dir = std::env::temp_dir().join(format!(
+            "redhanded-bench-gate-{}-trajectory",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(append_trajectory(&dir, &facts(), true).unwrap(), 1);
+        assert_eq!(append_trajectory(&dir, &facts(), false).unwrap(), 2);
+        let text = std::fs::read_to_string(dir.join(TRAJECTORY_PATH)).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"seq\": 1") && lines[0].contains("\"gate\": \"pass\""));
+        assert!(lines[1].contains("\"seq\": 2") && lines[1].contains("\"gate\": \"fail\""));
+        // Every line is itself valid JSON.
+        for line in lines {
+            assert!(parse_json(line).is_ok(), "{line}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

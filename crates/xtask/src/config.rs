@@ -16,9 +16,12 @@
 //! * `catch_unwind` lives only at the DSPE task boundary
 //!   (`crates/dspe/src/fault.rs`), so a panic is either an injected fault
 //!   handled by the retry machinery or a real abort — never swallowed
-//!   elsewhere.
+//!   elsewhere;
+//! * span emission in hot-path functions must go through pre-registered
+//!   `SpanKind`s (`Tracer::begin`), never the label-allocating
+//!   `begin_named`.
 
-/// The six invariant rules.
+/// The seven invariant rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rule {
     /// `unwrap`/`expect`/`panic!`/`todo!`/`unreachable!`/`unimplemented!`
@@ -34,6 +37,10 @@ pub enum Rule {
     WallClock,
     /// `catch_unwind` outside the DSPE fault boundary.
     CatchUnwindBoundary,
+    /// Dynamically-labelled span emission (`begin_named`) inside a
+    /// designated hot-path function: span labels allocate, so hot code
+    /// must emit spans through pre-registered `SpanKind`s only.
+    TracePreregistered,
 }
 
 /// What a rule's violations do to the exit status.
@@ -47,13 +54,14 @@ pub enum Severity {
 
 impl Rule {
     /// All rules, in report order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::NoPanic,
         Rule::NanUnsafeCmp,
         Rule::HotPathAlloc,
         Rule::SipHash,
         Rule::WallClock,
         Rule::CatchUnwindBoundary,
+        Rule::TracePreregistered,
     ];
 
     /// Stable kebab-case name (used in diagnostics, the baseline file, and
@@ -66,6 +74,7 @@ impl Rule {
             Rule::SipHash => "sip-hash",
             Rule::WallClock => "wall-clock",
             Rule::CatchUnwindBoundary => "catch-unwind-boundary",
+            Rule::TracePreregistered => "trace-preregistered",
         }
     }
 
@@ -99,6 +108,11 @@ impl Rule {
                 "`catch_unwind` outside the DSPE fault boundary: tasks may only unwind \
                  into `dspe::fault::call_guarded`, which converts the panic into a \
                  retryable task failure"
+            }
+            Rule::TracePreregistered => {
+                "dynamically-labelled span in a hot function: `begin_named` copies its \
+                 label into the tracer (allocates); use `Tracer::begin` with a \
+                 pre-registered `SpanKind` instead"
             }
         }
     }
@@ -158,9 +172,11 @@ const HOT_PATH_FUNCTIONS: &[(&str, &[&str])] = &[
     ("crates/nlp/src/intern.rs", &["get", "push_lowercase"]),
     ("crates/core/src/spark.rs", &["process_batch"]),
     ("crates/dspe/src/engine.rs", &["execute_with_retries"]),
-    // Observability recording: pre-registered metrics, ring-buffer events.
+    // Observability recording: pre-registered metrics, ring-buffer events,
+    // span emission (pre-allocated span buffer, pre-registered kinds).
     ("crates/obs/src/metrics.rs", &["inc", "add", "set", "set_max", "record"]),
     ("crates/obs/src/events.rs", &["push"]),
+    ("crates/obs/src/trace.rs", &["begin", "end", "record", "annotate_task", "sample"]),
 ];
 
 impl Default for LintConfig {
@@ -223,6 +239,7 @@ impl LintConfig {
             Rule::CatchUnwindBoundary => {
                 !self.catch_unwind_exempt.iter().any(|e| file.contains(e))
             }
+            Rule::TracePreregistered => !self.hot_functions(file).is_empty(),
         }
     }
 
@@ -269,7 +286,14 @@ mod tests {
         assert!(c.applies(Rule::HotPathAlloc, "crates/dspe/src/engine.rs"));
         assert!(c.applies(Rule::HotPathAlloc, "crates/obs/src/metrics.rs"));
         assert!(c.applies(Rule::HotPathAlloc, "crates/obs/src/events.rs"));
+        assert!(c.applies(Rule::HotPathAlloc, "crates/obs/src/trace.rs"));
         assert!(!c.applies(Rule::HotPathAlloc, "crates/features/src/stats.rs"));
+        assert!(c.applies(Rule::TracePreregistered, "crates/core/src/spark.rs"));
+        assert!(c.applies(Rule::TracePreregistered, "crates/dspe/src/engine.rs"));
+        assert!(
+            !c.applies(Rule::TracePreregistered, "crates/core/src/deploy.rs"),
+            "cold code may open custom-labelled spans"
+        );
         assert!(c.applies(Rule::CatchUnwindBoundary, "crates/dspe/src/executor.rs"));
         assert!(c.applies(Rule::CatchUnwindBoundary, "crates/core/src/spark.rs"));
         assert!(!c.applies(Rule::CatchUnwindBoundary, "crates/dspe/src/fault.rs"));

@@ -14,6 +14,7 @@
 //! which calls [`run_lint`] in-process.
 
 pub mod baseline;
+pub mod bench_gate;
 pub mod config;
 pub mod lexer;
 pub mod report;

@@ -1,4 +1,4 @@
-//! `cargo run -p xtask -- lint` — the workspace lint gate CLI.
+//! `cargo run -p xtask -- <subcommand>` — the workspace gate CLI.
 //!
 //! Subcommands:
 //!
@@ -8,17 +8,32 @@
 //! * `lint --update-baseline` — rewrite the baseline to match the current
 //!   tree (for recording genuinely unpayable debt; shrinking is automatic
 //!   because stale entries fail the gate until regenerated).
+//! * `bench-gate` — compare `results/BENCH_pipeline.json` /
+//!   `BENCH_recovery.json` against the committed `bench/baseline.json`
+//!   tolerance band, append to `results/BENCH_trajectory.jsonl`, exit
+//!   non-zero on a regression.
+//! * `bench-gate --update-baseline` — record the current results as the
+//!   new baseline (for intentional perf-profile changes).
 //!
 //! Flags: `--root <dir>` (default: the workspace containing this crate),
-//! `--json <path>` (default: `results/LINT_report.json` under the root),
-//! `--quiet` (suppress the summary on success).
+//! `--json <path>` (lint only; default `results/LINT_report.json` under
+//! the root), `--quiet` (suppress the summary on success).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use xtask::{config::LintConfig, report, Baseline, BASELINE_PATH, REPORT_PATH};
 
+const USAGE: &str =
+    "usage: cargo run -p xtask -- <lint|bench-gate> [--update-baseline] [--root DIR] [--json PATH] [--quiet]";
+
+enum Cmd {
+    Lint,
+    BenchGate,
+}
+
 struct Args {
+    cmd: Cmd,
     update_baseline: bool,
     root: PathBuf,
     json: Option<PathBuf>,
@@ -28,17 +43,20 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     let Some(cmd) = args.next() else {
-        return Err("usage: cargo run -p xtask -- lint [--update-baseline] [--root DIR] [--json PATH] [--quiet]".into());
+        return Err(USAGE.into());
     };
-    if cmd != "lint" {
-        return Err(format!("unknown subcommand `{cmd}` (only `lint` is supported)"));
-    }
+    let cmd = match cmd.as_str() {
+        "lint" => Cmd::Lint,
+        "bench-gate" => Cmd::BenchGate,
+        other => return Err(format!("unknown subcommand `{other}` ({USAGE})")),
+    };
     let default_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(|p| p.parent())
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("."));
-    let mut parsed = Args { update_baseline: false, root: default_root, json: None, quiet: false };
+    let mut parsed =
+        Args { cmd, update_baseline: false, root: default_root, json: None, quiet: false };
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--update-baseline" => parsed.update_baseline = true,
@@ -58,8 +76,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(parsed)
 }
 
-fn run() -> Result<bool, String> {
-    let args = parse_args()?;
+fn run_lint_cmd(args: &Args) -> Result<bool, String> {
     let config = LintConfig::default();
 
     if args.update_baseline {
@@ -103,6 +120,39 @@ fn run() -> Result<bool, String> {
         );
     }
     Ok(true)
+}
+
+fn run_bench_gate_cmd(args: &Args) -> Result<bool, String> {
+    if args.update_baseline {
+        println!("{}", xtask::bench_gate::update_baseline(&args.root)?);
+        return Ok(true);
+    }
+    let outcome = xtask::bench_gate::run_bench_gate(&args.root)?;
+    if !outcome.is_clean() {
+        eprint!("{}", outcome.render());
+        eprintln!(
+            "bench gate FAILED. If the perf profile changed intentionally, record it with \
+             `cargo run -p xtask -- bench-gate --update-baseline`."
+        );
+        return Ok(false);
+    }
+    if !args.quiet {
+        print!("{}", outcome.render());
+        println!(
+            "bench-gate: clean (history: {} line {})",
+            xtask::bench_gate::TRAJECTORY_PATH,
+            outcome.trajectory_seq
+        );
+    }
+    Ok(true)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    match args.cmd {
+        Cmd::Lint => run_lint_cmd(&args),
+        Cmd::BenchGate => run_bench_gate_cmd(&args),
+    }
 }
 
 fn main() -> ExitCode {

@@ -1,5 +1,5 @@
 //! Token-stream analysis: test-region marking, function-scope tracking,
-//! and the six invariant rules.
+//! and the seven invariant rules.
 //!
 //! The rules operate on the lexed token stream with two per-token context
 //! bits computed first:
@@ -204,6 +204,7 @@ pub fn analyze_source(config: &LintConfig, file: &str, src: &str) -> Vec<Violati
     let sip_hash = config.applies(Rule::SipHash, file);
     let wall_clock = config.applies(Rule::WallClock, file);
     let unwind_boundary = config.applies(Rule::CatchUnwindBoundary, file);
+    let trace_prereg = config.applies(Rule::TracePreregistered, file);
 
     let mut out = Vec::new();
     // Token indices whose `unwrap`/`expect` was already reported by the
@@ -296,6 +297,12 @@ pub fn analyze_source(config: &LintConfig, file: &str, src: &str) -> Vec<Violati
         // ability to swallow panics, so all of them are boundary breaches.
         if unwind_boundary && word == "catch_unwind" {
             push(Rule::CatchUnwindBoundary, word.to_string(), &toks[i]);
+        }
+
+        // Hot code must emit spans through pre-registered kinds: the
+        // dynamically-labelled API copies its label into the tracer.
+        if trace_prereg && hot[i] && word == "begin_named" && is_method_call(&toks, i) {
+            push(Rule::TracePreregistered, word.to_string(), &toks[i]);
         }
     }
     out.sort_by(|a, b| (a.line, a.rule.name(), a.symbol.as_str()).cmp(&(

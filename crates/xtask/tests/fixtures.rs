@@ -166,6 +166,36 @@ fn hot_path_alloc_ignores_undesignated_files() {
 }
 
 #[test]
+fn trace_preregistered_flags_named_spans_in_hot_fns() {
+    let src = r#"
+        pub fn process_batch(&mut self, ctx: &mut BatchContext) {
+            let span = self.obs.trace.begin_named("ad-hoc", parent, 0, t0);
+            self.obs.trace.end(span, t1);
+        }
+        pub fn cold_summary(&mut self) {
+            let span = self.obs.trace.begin_named("summary", parent, 0, t0);
+            self.obs.trace.end(span, t1);
+        }
+    "#;
+    let vs = run("crates/core/src/spark.rs", src);
+    // Only the hot function fires; `begin_named` is fine in cold code.
+    assert_eq!(rules(&vs), [Rule::TracePreregistered]);
+    assert_eq!(vs[0].symbol, "begin_named");
+    assert_eq!(vs[0].line, 3);
+}
+
+#[test]
+fn trace_preregistered_passes_preregistered_emission() {
+    let src = r#"
+        pub fn process_batch(&mut self, ctx: &mut BatchContext) {
+            let span = ctx.trace_begin(SpanKind::Broadcast, bytes, 0);
+            ctx.trace_end(span);
+        }
+    "#;
+    assert!(run("crates/core/src/spark.rs", src).is_empty());
+}
+
+#[test]
 fn sip_hash_scopes_to_hot_crates() {
     let src = r#"
         use std::collections::HashMap;

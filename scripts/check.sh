@@ -21,5 +21,11 @@ cargo test -q --test obs_consistency
 cargo run -q --release -p redhanded-bench --bin perf_smoke > /dev/null
 test -s results/OBS_report.json
 test -s results/OBS_report.prom
+test -s results/TRACE_report.json
+test -s results/TRACE_perfetto.json
+
+echo "== bench gate (throughput/F1 vs bench/baseline.json) =="
+cargo run -q --release -p redhanded-bench --bin perf_recovery > /dev/null
+cargo run -q -p xtask -- bench-gate
 
 echo "== OK =="

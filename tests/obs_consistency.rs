@@ -17,7 +17,7 @@ use redhanded_dspe::{
     ChaosHarness, CheckpointStore, CostModel, EngineConfig, FaultPlan, MemoryCheckpointStore,
     Topology,
 };
-use redhanded_obs::obs_report_json;
+use redhanded_obs::{analyze, chrome_trace_json, obs_report_json, trace_report_json, SpanKind};
 use redhanded_types::snapshot::{Checkpoint, SnapshotReader};
 use redhanded_types::ClassScheme;
 
@@ -135,13 +135,56 @@ fn recovered_obs_is_bit_identical_to_fault_free() {
         "the recovered run re-executed batches"
     );
 
-    // The chaos harness emits the machine-readable OBS report.
+    // Span traces: the deterministic span-tree digest (sorted causal keys,
+    // replayed batches deduplicated, retry attempts and runtime-class spans
+    // excluded) must be bit-identical across recovery even though the
+    // chaos run re-executed batches and paid retries/backoff.
+    assert_eq!(co.trace().dropped(), 0);
+    assert_eq!(ko.trace().dropped(), 0);
+    assert_eq!(
+        co.trace().deterministic_digest(),
+        ko.trace().deterministic_digest(),
+        "deterministic span tree diverged across recovery"
+    );
+    // The chaos trace visibly carries the fault story the digest ignores:
+    // retried task attempts and backoff spans appear only on the chaos side.
+    let retried = |t: &redhanded_obs::Tracer| {
+        t.spans().iter().filter(|s| s.attempt > 1).count()
+    };
+    let backoffs = |t: &redhanded_obs::Tracer| {
+        t.spans().iter().filter(|s| s.kind == SpanKind::Backoff).count()
+    };
+    assert_eq!(retried(co.trace()), 0);
+    assert!(retried(ko.trace()) >= 3, "three crash sites left retry attempts");
+    assert_eq!(backoffs(co.trace()), 0);
+    assert!(backoffs(ko.trace()) >= 3);
+
+    // The critical-path analyzer holds its invariants on the chaos tree:
+    // the critical path dominates every single span and never exceeds the
+    // summed batch wall time.
+    let analysis = analyze(ko.trace());
+    assert!(analysis.batches > 0);
+    assert!(analysis.critical_path_us >= analysis.longest_span_us);
+    assert!(analysis.critical_path_us <= analysis.total_us);
+    let retry_us: f64 = analysis.stages.iter().map(|s| s.retry_backoff_us).sum();
+    assert!(retry_us > 0.0, "chaos attribution surfaces retry/backoff time");
+
+    // The chaos harness emits the machine-readable OBS report plus the
+    // trace artifacts (critical-path report + Perfetto-loadable JSON).
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
     std::fs::create_dir_all(dir).unwrap();
     let json = obs_report_json("chaos_harness", ko.registry(), ko.events());
     std::fs::write(format!("{dir}/OBS_report.json"), &json).unwrap();
     assert!(json.contains("\"source\": \"chaos_harness\""));
     assert!(json.contains("pipeline_alerts_raised_total"));
+    let trace_json = trace_report_json("chaos_harness", ko.trace(), &analysis);
+    std::fs::write(format!("{dir}/TRACE_report.json"), &trace_json).unwrap();
+    assert!(trace_json.contains("\"source\": \"chaos_harness\""));
+    std::fs::write(
+        format!("{dir}/TRACE_perfetto.json"),
+        chrome_trace_json(ko.trace()),
+    )
+    .unwrap();
 }
 
 /// Draining alerts mid-stream must never double-count: even when the
@@ -193,6 +236,11 @@ fn drain_mid_run_counts_alerts_exactly_once() {
     assert_eq!(
         chaos.obs().registry().deterministic_digest(),
         clean.obs().registry().deterministic_digest()
+    );
+    assert_eq!(
+        chaos.obs().trace().deterministic_digest(),
+        clean.obs().trace().deterministic_digest(),
+        "span-tree digest tolerates the replayed post-drain segment"
     );
     assert_eq!(
         chaos.obs().registry().counter_by_name("pipeline_alerts_raised_total"),
