@@ -66,8 +66,11 @@ pub fn cross_validate<M: BatchClassifier>(
         let mut model = make_model();
         model.fit(&train)?;
         for inst in test {
+            // Unlabeled instances land in the out-of-range fold `k`, so
+            // they never reach a test fold; skip defensively regardless.
+            let Some(label) = inst.label else { continue };
             let predicted = model.predict(&inst.features)?;
-            matrix.add(inst.label.expect("fold members are labeled"), predicted, inst.weight);
+            matrix.add(label, predicted, inst.weight);
         }
     }
     if matrix.total() <= 0.0 {
@@ -122,7 +125,7 @@ mod tests {
     fn cross_validation_on_learnable_data() {
         let d = data();
         let metrics =
-            cross_validate(&d, 2, 5, 42, || DecisionTree::with_defaults(2, 2)).unwrap();
+            cross_validate(&d, 2, 5, 42, || DecisionTree::with_defaults(2, 2).unwrap()).unwrap();
         assert!(metrics.accuracy > 0.95, "CV accuracy {}", metrics.accuracy);
         assert_eq!(metrics.total, 300.0, "every instance tested exactly once");
     }

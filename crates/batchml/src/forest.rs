@@ -50,9 +50,8 @@ impl RandomForest {
     }
 
     /// Unfitted forest with default hyperparameters.
-    pub fn with_defaults(num_classes: usize, num_features: usize) -> Self {
+    pub fn with_defaults(num_classes: usize, num_features: usize) -> Result<Self> {
         Self::new(RandomForestConfig::defaults(num_classes, num_features))
-            .expect("defaults are valid")
     }
 
     /// Number of fitted trees.
@@ -181,7 +180,7 @@ mod tests {
 
     #[test]
     fn unfitted_forest_errors() {
-        let rf = RandomForest::with_defaults(2, 3);
+        let rf = RandomForest::with_defaults(2, 3).unwrap();
         assert!(rf.predict_proba(&[1.0, 2.0, 3.0]).is_err());
         assert!(rf.gini_importance().is_err());
     }
@@ -205,8 +204,8 @@ mod tests {
     fn deterministic_given_seed() {
         let data: Vec<Instance> = (0..200).map(banded).collect();
         let refs: Vec<&Instance> = data.iter().collect();
-        let mut a = RandomForest::with_defaults(2, 3);
-        let mut b = RandomForest::with_defaults(2, 3);
+        let mut a = RandomForest::with_defaults(2, 3).unwrap();
+        let mut b = RandomForest::with_defaults(2, 3).unwrap();
         a.fit(&refs).unwrap();
         b.fit(&refs).unwrap();
         for i in 0..50 {

@@ -62,9 +62,8 @@ impl BatchLogisticRegression {
     }
 
     /// Unfitted model with default hyperparameters.
-    pub fn with_defaults(num_classes: usize, num_features: usize) -> Self {
+    pub fn with_defaults(num_classes: usize, num_features: usize) -> Result<Self> {
         Self::new(LogisticConfig::defaults(num_classes, num_features))
-            .expect("defaults are valid")
     }
 
     fn softmax(&self, features: &[f64]) -> Vec<f64> {
@@ -101,9 +100,10 @@ impl BatchClassifier for BatchLogisticRegression {
                     actual: inst.features.len(),
                 });
             }
-            if inst.label.expect("filtered") >= self.config.num_classes {
+            let Some(class) = inst.label else { continue };
+            if class >= self.config.num_classes {
                 return Err(Error::InvalidClass {
-                    class: inst.label.expect("filtered"),
+                    class,
                     num_classes: self.config.num_classes,
                 });
             }
@@ -115,8 +115,8 @@ impl BatchClassifier for BatchLogisticRegression {
             let mut grad_w = vec![vec![0.0; m]; c];
             let mut grad_b = vec![0.0; c];
             for inst in &labeled {
+                let Some(y) = inst.label else { continue };
                 let proba = self.softmax(&inst.features);
-                let y = inst.label.expect("filtered");
                 for (k, g) in grad_w.iter_mut().enumerate() {
                     let err = (proba[k] - if k == y { 1.0 } else { 0.0 }) * inst.weight;
                     for (gi, &xi) in g.iter_mut().zip(&inst.features) {
@@ -177,7 +177,7 @@ mod tests {
     fn learns_linear_concept() {
         let data = margin_data();
         let refs: Vec<&Instance> = data.iter().collect();
-        let mut lr = BatchLogisticRegression::with_defaults(2, 2);
+        let mut lr = BatchLogisticRegression::with_defaults(2, 2).unwrap();
         lr.fit(&refs).unwrap();
         let correct = data
             .iter()
@@ -188,7 +188,7 @@ mod tests {
 
     #[test]
     fn unfitted_errors() {
-        let lr = BatchLogisticRegression::with_defaults(2, 2);
+        let lr = BatchLogisticRegression::with_defaults(2, 2).unwrap();
         assert!(matches!(lr.predict_proba(&[0.1, 0.2]), Err(Error::Untrained(_))));
     }
 
@@ -196,7 +196,7 @@ mod tests {
     fn probabilities_valid() {
         let data = margin_data();
         let refs: Vec<&Instance> = data.iter().collect();
-        let mut lr = BatchLogisticRegression::with_defaults(2, 2);
+        let mut lr = BatchLogisticRegression::with_defaults(2, 2).unwrap();
         lr.fit(&refs).unwrap();
         let p = lr.predict_proba(&[0.5, 0.5]).unwrap();
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -214,7 +214,7 @@ mod tests {
 
     #[test]
     fn fit_rejects_bad_data() {
-        let mut lr = BatchLogisticRegression::with_defaults(2, 2);
+        let mut lr = BatchLogisticRegression::with_defaults(2, 2).unwrap();
         assert!(lr.fit(&[]).is_err());
         let bad = Instance::labeled(vec![1.0], 0);
         assert!(lr.fit(&[&bad]).is_err());

@@ -86,9 +86,8 @@ impl DecisionTree {
     }
 
     /// Unfitted tree with default hyperparameters.
-    pub fn with_defaults(num_classes: usize, num_features: usize) -> Self {
+    pub fn with_defaults(num_classes: usize, num_features: usize) -> Result<Self> {
         Self::new(DecisionTreeConfig::defaults(num_classes, num_features))
-            .expect("defaults are valid")
     }
 
     /// Set the RNG seed used for subspace sampling.
@@ -277,9 +276,10 @@ impl BatchClassifier for DecisionTree {
                     actual: inst.features.len(),
                 });
             }
-            if inst.label.expect("filtered") >= self.config.num_classes {
+            let Some(class) = inst.label else { continue };
+            if class >= self.config.num_classes {
                 return Err(Error::InvalidClass {
-                    class: inst.label.expect("filtered"),
+                    class,
                     num_classes: self.config.num_classes,
                 });
             }
@@ -335,7 +335,7 @@ mod tests {
     }
 
     fn fit_on(data: &[Instance]) -> DecisionTree {
-        let mut dt = DecisionTree::with_defaults(2, data[0].dim());
+        let mut dt = DecisionTree::with_defaults(2, data[0].dim()).unwrap();
         let refs: Vec<&Instance> = data.iter().collect();
         dt.fit(&refs).unwrap();
         dt
@@ -391,13 +391,13 @@ mod tests {
 
     #[test]
     fn unfitted_tree_errors() {
-        let dt = DecisionTree::with_defaults(2, 1);
+        let dt = DecisionTree::with_defaults(2, 1).unwrap();
         assert!(matches!(dt.predict_proba(&[1.0]), Err(Error::Untrained(_))));
     }
 
     #[test]
     fn fit_rejects_bad_input() {
-        let mut dt = DecisionTree::with_defaults(2, 2);
+        let mut dt = DecisionTree::with_defaults(2, 2).unwrap();
         assert!(dt.fit(&[]).is_err());
         let wrong_dim = Instance::labeled(vec![1.0], 0);
         assert!(dt.fit(&[&wrong_dim]).is_err());

@@ -16,10 +16,10 @@ use crate::item::StreamItem;
 use crate::pipeline::DetectionPipeline;
 use crate::spark::{SparkConfig, SparkDetector};
 use redhanded_dspe::{EngineConfig, Topology};
-use redhanded_obs::{analyze, TraceAnalysis};
+use redhanded_obs::{analyze, SpanClock, TraceAnalysis};
 use redhanded_streamml::Metrics;
 use redhanded_types::Result;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One of the four evaluated systems.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,9 +109,11 @@ pub fn run_system(
     match flavor.topology() {
         None => {
             let mut p = DetectionPipeline::new(pipeline)?;
-            let start = Instant::now();
+            // All wall-clock reads route through `SpanClock`, the
+            // workspace's designated (and lint-enforced) time source.
+            let clock = SpanClock::wall();
             p.run(&items)?;
-            let elapsed = start.elapsed();
+            let elapsed = Duration::from_micros(clock.now_us());
             Ok(DeployReport {
                 system: flavor.name(),
                 records,

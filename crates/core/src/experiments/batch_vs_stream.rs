@@ -120,7 +120,7 @@ pub fn run_batch_vs_stream(
     let dataset = extract_static_dataset(&tweets, &config, scheme);
     let segments = dataset.day_segments();
     let fit_on = |segment_range: &[Instance]| -> Result<DecisionTree> {
-        let mut dt = DecisionTree::with_defaults(num_classes, NUM_FEATURES);
+        let mut dt = DecisionTree::with_defaults(num_classes, NUM_FEATURES)?;
         let refs: Vec<&Instance> = segment_range.iter().collect();
         dt.fit(&refs)?;
         Ok(dt)
@@ -204,7 +204,7 @@ mod tests {
         let tweets = generate_abusive(&config);
         let dataset = extract_static_dataset(&tweets, &config, ClassScheme::TwoClass);
         let segments = dataset.day_segments();
-        let mut dt = DecisionTree::with_defaults(2, NUM_FEATURES);
+        let mut dt = DecisionTree::with_defaults(2, NUM_FEATURES).unwrap();
         let refs: Vec<&Instance> = dataset.day_slice(segments[0]).iter().collect();
         dt.fit(&refs).unwrap();
         let early = f1_of_predictions(&dt, dataset.day_slice(segments[1]), 2).unwrap();

@@ -35,7 +35,7 @@ impl Default for SessionConfig {
 }
 
 /// A flagged bullying session.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SessionAlert {
     /// The user whose session was flagged.
     pub user_id: u64,
@@ -120,7 +120,7 @@ impl SessionDetector {
                     mean_aggression: mean,
                     triggered_at_ms: timestamp_ms,
                 };
-                self.alerts.push(alert.clone());
+                self.alerts.push(alert);
                 return Some(alert);
             }
         } else if window.events.len() < self.config.min_tweets / 2 {

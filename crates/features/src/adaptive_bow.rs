@@ -101,10 +101,9 @@ impl AdaptiveBow {
     pub fn new(config: AdaptiveBowConfig) -> Self {
         let interner = WordInterner::with_swear_lexicon();
         let seed_count = interner.len() as u32;
-        let words = lexicons::SWEAR_WORDS
-            .iter()
-            .map(|w| interner.get(w).expect("seed word interned"))
-            .collect();
+        // Every seed word was interned by `with_swear_lexicon` just above,
+        // so the lookup cannot miss; filter_map keeps this panic-free.
+        let words = lexicons::SWEAR_WORDS.iter().filter_map(|w| interner.get(w)).collect();
         AdaptiveBow {
             config,
             interner,

@@ -122,7 +122,8 @@ impl P2Quantile {
             return 0.0;
         }
         if self.count < 5 {
-            let mut seen = self.initial[..self.count].to_vec();
+            let mut seen = self.initial;
+            let seen = &mut seen[..self.count];
             seen.sort_by(|a, b| a.total_cmp(b));
             let rank = (self.p * (seen.len() - 1) as f64).round() as usize;
             return seen[rank];

@@ -18,16 +18,26 @@ struct CountingAlloc;
 
 static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: every method delegates verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the only extra work is a relaxed atomic counter
+// bump, which cannot allocate, unwind, or touch the returned memory.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards the caller's layout unchanged to `System.alloc`;
+    // the caller's obligations (non-zero size, valid layout) pass through.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: `ptr` was produced by `System.alloc`/`realloc` with this
+    // same `layout` (we never substitute pointers), so the deallocation
+    // contract holds.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: forwards `ptr`, the original `layout`, and `new_size`
+    // unchanged to `System.realloc`; the caller's obligations pass through.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)

@@ -226,13 +226,11 @@ fn score_core<'t>(
                     0
                 }
             }
-            TokenKind::Word => {
-                let lower = lower_of(lowers, arena, i).expect("word token has lowercase form");
-                match lookup_valence_with(lower, squeeze, dedup) {
-                    Some(v) => v as i32,
-                    None => 0,
-                }
-            }
+            // Word tokens always have a lowercase range, but scoring 0 on a
+            // miss is the panic-free equivalent.
+            TokenKind::Word => lower_of(lowers, arena, i)
+                .and_then(|lower| lookup_valence_with(lower, squeeze, dedup))
+                .map_or(0, |v| v as i32),
             _ => 0,
         };
         if base == 0 {
@@ -262,8 +260,7 @@ fn score_core<'t>(
             }
             // Emphasis: repeated letters or all-caps spelling. Repeat runs
             // survive lowercasing, so the arena form is checked.
-            let lower = lower_of(lowers, arena, i).expect("word token has lowercase form");
-            if has_triple_repeat(lower) || is_shouting_text(text) {
+            if lower_of(lowers, arena, i).is_some_and(has_triple_repeat) || is_shouting_text(text) {
                 strength += if strength > 0 { 1 } else { -1 };
             }
         }

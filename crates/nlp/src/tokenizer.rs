@@ -193,10 +193,9 @@ impl<'a> Tokenizer<'a> {
         let mut best = None;
         for table in [lexicons::POSITIVE_EMOTICONS, lexicons::NEGATIVE_EMOTICONS] {
             for emo in table {
-                if rest.starts_with(emo) {
+                if let Some(after) = rest.strip_prefix(emo) {
                     // Require the emoticon to end at a boundary so `:pizza`
                     // does not match `:p`.
-                    let after = rest.strip_prefix(emo).expect("starts_with checked");
                     let boundary = after
                         .chars()
                         .next()
@@ -285,8 +284,10 @@ impl<'a> Iterator for Tokenizer<'a> {
             (len, TokenKind::Word)
         } else {
             // Single punctuation/symbol character; emoji count as
-            // emoticons (they carry sentiment, not syntax).
-            let c = self.rest().chars().next().expect("non-empty rest");
+            // emoticons (they carry sentiment, not syntax). `rest` is
+            // non-empty here (pos < len was checked above), so the `?`
+            // never actually fires.
+            let c = self.rest().chars().next()?;
             let kind = if lexicons::is_emoji_char(c) {
                 TokenKind::Emoticon
             } else {

@@ -160,10 +160,9 @@ impl ArfMember {
             }
         }
         if k > 0.0 {
-            let weighted = instance.clone().with_weight(instance.weight * k);
-            HoeffdingTree::accumulate(&mut self.tree, &weighted)?;
+            HoeffdingTree::accumulate_scaled(&mut self.tree, instance, k)?;
             if let Some(bg) = &mut self.background {
-                HoeffdingTree::accumulate(bg, &weighted)?;
+                HoeffdingTree::accumulate_scaled(bg, instance, k)?;
             }
         }
         Ok(())
@@ -378,11 +377,15 @@ impl StreamingClassifier for AdaptiveRandomForest {
     }
 
     fn accumulate(&mut self, instance: &Instance) -> Result<()> {
+        self.accumulate_scaled(instance, 1.0)
+    }
+
+    fn accumulate_scaled(&mut self, instance: &Instance, scale: f64) -> Result<()> {
         let Some(class) = self.check_instance(instance)? else { return Ok(()) };
         let lambda = self.config.lambda;
         let drift_detection = self.config.enable_drift_detection;
         for member in &mut self.members {
-            let k = Self::poisson(&mut self.rng, lambda) as f64;
+            let k = Self::poisson(&mut self.rng, lambda) as f64 * scale;
             member.observe(instance, class, k, drift_detection)?;
         }
         Ok(())

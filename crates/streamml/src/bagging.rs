@@ -108,15 +108,17 @@ impl StreamingClassifier for OzaBag {
     }
 
     fn accumulate(&mut self, instance: &Instance) -> Result<()> {
+        self.accumulate_scaled(instance, 1.0)
+    }
+
+    fn accumulate_scaled(&mut self, instance: &Instance, scale: f64) -> Result<()> {
         if instance.label.is_none() {
             return Ok(());
         }
         for member in &mut self.members {
             let k = Self::poisson(&mut self.rng, self.lambda);
             if k > 0 {
-                let weighted =
-                    instance.clone().with_weight(instance.weight * f64::from(k));
-                member.accumulate(&weighted)?;
+                member.accumulate_scaled(instance, f64::from(k) * scale)?;
             }
         }
         Ok(())

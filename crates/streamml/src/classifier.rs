@@ -40,6 +40,12 @@ pub trait StreamingClassifier: Send + Sync {
         self.train(instance)
     }
 
+    /// [`StreamingClassifier::accumulate`] with the instance's weight
+    /// multiplied by `scale`, without cloning the instance. The Poisson
+    /// resamplers (ARF, OzaBag) call this once per member per instance,
+    /// so it must not allocate.
+    fn accumulate_scaled(&mut self, instance: &Instance, scale: f64) -> Result<()>;
+
     /// Apply deferred structural updates (tree splits, drift handling)
     /// after local models have been merged — the driver half of the
     /// distributed training protocol (Figure 2, op #3, second part).

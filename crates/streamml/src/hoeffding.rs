@@ -620,6 +620,13 @@ impl HoeffdingTree {
     /// Update leaf statistics without attempting any split — the
     /// distributed-task half of the training protocol.
     pub fn accumulate(&mut self, instance: &Instance) -> Result<()> {
+        self.accumulate_scaled(instance, 1.0)
+    }
+
+    /// [`HoeffdingTree::accumulate`] with the instance's weight scaled by
+    /// `scale`, avoiding the instance clone the Poisson resamplers would
+    /// otherwise pay per member per instance.
+    pub fn accumulate_scaled(&mut self, instance: &Instance, scale: f64) -> Result<()> {
         let Some(class) = instance.label else { return Ok(()) };
         if instance.features.len() != self.config.num_features {
             return Err(Error::DimensionMismatch {
@@ -633,8 +640,9 @@ impl HoeffdingTree {
                 num_classes: self.config.num_classes,
             });
         }
-        self.weight_seen += instance.weight;
-        self.root.accumulate(&instance.features, class, instance.weight);
+        let weight = instance.weight * scale;
+        self.weight_seen += weight;
+        self.root.accumulate(&instance.features, class, weight);
         Ok(())
     }
 
@@ -724,6 +732,10 @@ impl StreamingClassifier for HoeffdingTree {
 
     fn accumulate(&mut self, instance: &Instance) -> Result<()> {
         HoeffdingTree::accumulate(self, instance)
+    }
+
+    fn accumulate_scaled(&mut self, instance: &Instance, scale: f64) -> Result<()> {
+        HoeffdingTree::accumulate_scaled(self, instance, scale)
     }
 
     fn finalize_batch(&mut self) -> Result<()> {

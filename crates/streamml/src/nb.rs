@@ -56,6 +56,10 @@ impl StreamingClassifier for StreamingNaiveBayes {
     }
 
     fn train(&mut self, instance: &Instance) -> Result<()> {
+        self.accumulate_scaled(instance, 1.0)
+    }
+
+    fn accumulate_scaled(&mut self, instance: &Instance, scale: f64) -> Result<()> {
         let Some(class) = instance.label else { return Ok(()) };
         if instance.features.len() != self.num_features {
             return Err(Error::DimensionMismatch {
@@ -66,9 +70,10 @@ impl StreamingClassifier for StreamingNaiveBayes {
         if class >= self.num_classes {
             return Err(Error::InvalidClass { class, num_classes: self.num_classes });
         }
-        self.class_weights[class] += instance.weight;
+        let weight = instance.weight * scale;
+        self.class_weights[class] += weight;
         for (est, &x) in self.summaries[class].iter_mut().zip(&instance.features) {
-            est.update(x, instance.weight);
+            est.update(x, weight);
         }
         Ok(())
     }

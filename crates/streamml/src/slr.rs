@@ -181,6 +181,10 @@ impl StreamingClassifier for StreamingLogisticRegression {
     }
 
     fn train(&mut self, instance: &Instance) -> Result<()> {
+        self.accumulate_scaled(instance, 1.0)
+    }
+
+    fn accumulate_scaled(&mut self, instance: &Instance, scale: f64) -> Result<()> {
         let Some(class) = instance.label else { return Ok(()) };
         if instance.features.len() != self.config.num_features {
             return Err(Error::DimensionMismatch {
@@ -192,7 +196,7 @@ impl StreamingClassifier for StreamingLogisticRegression {
             return Err(Error::InvalidClass { class, num_classes: self.config.num_classes });
         }
         let proba = self.softmax(&instance.features);
-        let lr = self.config.learning_rate * instance.weight;
+        let lr = self.config.learning_rate * instance.weight * scale;
         let reg = self.config.reg_param;
         for (c, &p_c) in proba.iter().enumerate() {
             // Cross-entropy gradient: (p_c - 1{c == y}) * x.
@@ -208,7 +212,7 @@ impl StreamingClassifier for StreamingLogisticRegression {
             }
             self.bias[c] -= lr * err;
         }
-        self.instances_seen += instance.weight;
+        self.instances_seen += instance.weight * scale;
         Ok(())
     }
 

@@ -1,0 +1,434 @@
+//! Conservative workspace call graph + reachability propagation.
+//!
+//! Edges come from three call shapes in each function body:
+//!
+//! * `name(...)` — a free call, resolved to every free fn named `name`;
+//! * `.name(...)` — a method call, resolved to every impl method named
+//!   `name` on *any* type (receiver types are unknown to a lexer);
+//! * `Qual::name(...)` — a qualified call: when `Qual` names a known impl
+//!   type the candidates are that type's methods; `Self::name` resolves
+//!   within the caller's impl; an unknown qualifier is either a module
+//!   path or an external type, so it resolves to free fns named `name`
+//!   (external methods are not in the table at all).
+//!
+//! Ambiguity therefore *adds* edges, never removes them — the documented
+//! contract (ISSUE 7, DESIGN.md §12) is that the computed hot set may only
+//! over-approximate the true one. Calls the lexer cannot see (trait-object
+//! dispatch through closures, `for`-loop desugared `next`, macro bodies)
+//! are the reason roots stay explicit designations in
+//! [`crate::config::LintConfig`] rather than a single seed.
+
+use crate::lexer::Tok;
+use crate::scan::{ident_at, is_punct};
+use crate::symbols::SymbolTable;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Keywords that can directly precede a `(` without being calls.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "move", "fn", "as", "in", "where",
+    "let", "unsafe", "break", "continue", "yield", "dyn", "impl", "ref", "mut", "pub", "crate",
+    "super", "use", "mod", "static", "const", "struct", "enum", "trait", "type", "box", "await",
+];
+
+/// The adjacency-list call graph over a [`SymbolTable`].
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// `edges[caller] = sorted, deduplicated callee ids`.
+    pub edges: Vec<Vec<usize>>,
+    /// Total directed edge count.
+    pub num_edges: usize,
+}
+
+/// One extracted call site, before resolution (exposed for tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallSite {
+    /// `name(...)`.
+    Free(String),
+    /// `.name(...)` or `self.name(...)`.
+    Method(String),
+    /// `Qual::name(...)`.
+    Qualified(String, String),
+}
+
+/// Extract the call sites in `toks[range]` (one fn body), excluding tokens
+/// owned by nested fn items (`owner` maps token index → owning fn id).
+pub fn extract_calls(
+    toks: &[Tok],
+    src: &str,
+    range: (usize, usize),
+    owner: &[Option<usize>],
+    self_id: usize,
+) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    for i in range.0..=range.1.min(toks.len().saturating_sub(1)) {
+        if owner.get(i).copied().flatten() != Some(self_id) {
+            continue; // nested fn item: its calls are its own
+        }
+        let Some(name) = ident_at(toks, i, src) else { continue };
+        if KEYWORDS.contains(&name) {
+            continue;
+        }
+        // A call must be followed by `(` or a turbofish `::<...>(`.
+        let called = is_punct(toks, i + 1, b'(')
+            || (is_punct(toks, i + 1, b':')
+                && is_punct(toks, i + 2, b':')
+                && is_punct(toks, i + 3, b'<'));
+        if !called || is_punct(toks, i + 1, b'!') {
+            continue;
+        }
+        if is_punct(toks, i.wrapping_sub(1), b'.') {
+            out.push(CallSite::Method(name.to_string()));
+            continue;
+        }
+        // `Qual::name(` — the two preceding tokens are `::` with an ident
+        // before them.
+        if is_punct(toks, i.wrapping_sub(1), b':') && is_punct(toks, i.wrapping_sub(2), b':') {
+            if let Some(q) = ident_at(toks, i.wrapping_sub(3), src) {
+                out.push(CallSite::Qualified(q.to_string(), name.to_string()));
+            }
+            // Deeper paths (`a::b::c::name`) resolve on the last qualifier
+            // only; a literal-prefixed path cannot be a fn call.
+            continue;
+        }
+        // Definition sites (`fn name(`) are not calls.
+        if ident_at(toks, i.wrapping_sub(1), src) == Some("fn") {
+            continue;
+        }
+        out.push(CallSite::Free(name.to_string()));
+    }
+    out
+}
+
+/// Resolve one call site to candidate callee ids. Conservative: method
+/// calls match every impl method with the name; unknown qualifiers fall
+/// back to every same-named free fn (module-path calls). Test fns are
+/// never candidates (production code cannot call them).
+pub fn resolve(table: &SymbolTable, caller: usize, site: &CallSite) -> Vec<usize> {
+    let not_test = |id: &&usize| !table.fns[**id].in_test;
+    match site {
+        CallSite::Free(name) => table
+            .named(name)
+            .iter()
+            .filter(not_test)
+            .filter(|&&id| table.fns[id].impl_type.is_none())
+            .copied()
+            .collect(),
+        CallSite::Method(name) => table
+            .named(name)
+            .iter()
+            .filter(not_test)
+            .filter(|&&id| table.fns[id].impl_type.is_some())
+            .copied()
+            .collect(),
+        CallSite::Qualified(q, name) => {
+            let qualifier = if q == "Self" || q == "self" {
+                table.fns[caller].impl_type.clone()
+            } else {
+                Some(q.clone())
+            };
+            let Some(qualifier) = qualifier else {
+                return Vec::new(); // Self:: outside an impl — nothing to match
+            };
+            let type_known =
+                table.fns.iter().any(|f| f.impl_type.as_deref() == Some(qualifier.as_str()));
+            if type_known {
+                table
+                    .named(name)
+                    .iter()
+                    .filter(not_test)
+                    .filter(|&&id| table.fns[id].impl_type.as_deref() == Some(qualifier.as_str()))
+                    .copied()
+                    .collect()
+            } else {
+                // Unknown qualifier: either a module path (whose items are
+                // free fns — resolve to those) or an external/std type
+                // (whose methods are not in the table at all). Resolving
+                // to *methods* here would turn every `Vec::new` into an
+                // edge to every workspace constructor.
+                table
+                    .named(name)
+                    .iter()
+                    .filter(not_test)
+                    .filter(|&&id| table.fns[id].impl_type.is_none())
+                    .copied()
+                    .collect()
+            }
+        }
+    }
+}
+
+/// The crate directory a `crates/<dir>/...` path belongs to (empty for
+/// paths outside `crates/`).
+pub fn crate_dir_of(file: &str) -> &str {
+    file.strip_prefix("crates/").and_then(|rest| rest.split('/').next()).unwrap_or("")
+}
+
+impl CallGraph {
+    /// Build the graph for `table`, where `files` maps each file to its
+    /// token stream + source (as produced by `SymbolTable::add_file`).
+    ///
+    /// `deps` is the transitive dependency closure per crate directory
+    /// (including the crate itself): an edge is only kept when the
+    /// callee's crate is in the caller's closure — a crate cannot call
+    /// into code it does not depend on, so same-named methods in
+    /// unrelated crates stop aliasing each other. A caller crate absent
+    /// from the map is unrestricted (the permissive default keeps
+    /// in-memory fixtures simple).
+    pub fn build(
+        table: &SymbolTable,
+        files: &BTreeMap<String, (String, Vec<Tok>)>,
+        deps: &BTreeMap<String, BTreeSet<String>>,
+    ) -> CallGraph {
+        // Token-index → innermost owning fn, per file.
+        let mut edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); table.fns.len()];
+        for (file, (src, toks)) in files {
+            let ids: Vec<usize> = (0..table.fns.len())
+                .filter(|&id| table.fns[id].file == *file)
+                .collect();
+            let mut owner: Vec<Option<usize>> = vec![None; toks.len()];
+            // Symbols appear in token order, so later (nested) fns
+            // overwrite their subrange of the enclosing fn.
+            for &id in &ids {
+                let (a, b) = table.fns[id].body;
+                for slot in owner.iter_mut().take((b + 1).min(toks.len())).skip(a) {
+                    *slot = Some(id);
+                }
+            }
+            let caller_allowed = deps.get(crate_dir_of(file));
+            for &id in &ids {
+                if table.fns[id].in_test {
+                    continue; // edges from test code never drive propagation
+                }
+                for site in extract_calls(toks, src, table.fns[id].body, &owner, id) {
+                    for callee in resolve(table, id, &site) {
+                        if let Some(allowed) = caller_allowed {
+                            if !allowed.contains(crate_dir_of(&table.fns[callee].file)) {
+                                continue;
+                            }
+                        }
+                        if callee != id {
+                            edges[id].insert(callee);
+                        }
+                    }
+                }
+            }
+        }
+        let edges: Vec<Vec<usize>> = edges.into_iter().map(|s| s.into_iter().collect()).collect();
+        let num_edges = edges.iter().map(Vec::len).sum();
+        CallGraph { edges, num_edges }
+    }
+
+    /// Forward reachability from `roots`, never descending *into* a
+    /// boundary function (the root set itself is always included, even
+    /// when a root is also listed as a boundary). Monotone in the edge
+    /// set: adding an edge can only grow the result (property-tested in
+    /// `tests/propagation.rs`).
+    pub fn reach(&self, roots: &[usize], boundaries: &BTreeSet<usize>) -> BTreeSet<usize> {
+        let mut seen: BTreeSet<usize> = roots.iter().copied().collect();
+        let mut queue: VecDeque<usize> = roots.iter().copied().collect();
+        while let Some(f) = queue.pop_front() {
+            for &c in self.edges.get(f).map(Vec::as_slice).unwrap_or(&[]) {
+                if boundaries.contains(&c) {
+                    continue;
+                }
+                if seen.insert(c) {
+                    queue.push_back(c);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Backward reachability: every function from which some seed is
+    /// reachable (used by the determinism-taint pass: seeds are the
+    /// clock/RNG-reading fns, the result is every fn whose execution may
+    /// observe one).
+    pub fn reach_rev(&self, seeds: &BTreeSet<usize>) -> BTreeSet<usize> {
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); self.edges.len()];
+        for (caller, callees) in self.edges.iter().enumerate() {
+            for &c in callees {
+                rev[c].push(caller);
+            }
+        }
+        let mut seen: BTreeSet<usize> = seeds.clone();
+        let mut queue: VecDeque<usize> = seeds.iter().copied().collect();
+        while let Some(f) = queue.pop_front() {
+            for &caller in rev.get(f).map(Vec::as_slice).unwrap_or(&[]) {
+                if seen.insert(caller) {
+                    queue.push_back(caller);
+                }
+            }
+        }
+        seen
+    }
+
+    /// One witness call path from `from` to some member of `targets`
+    /// (BFS, so a shortest path), as fn ids. Used to render actionable
+    /// taint diagnostics. `None` when unreachable.
+    pub fn path_to(&self, from: usize, targets: &BTreeSet<usize>) -> Option<Vec<usize>> {
+        if targets.contains(&from) {
+            return Some(vec![from]);
+        }
+        let mut prev: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue = VecDeque::from([from]);
+        while let Some(f) = queue.pop_front() {
+            for &c in self.edges.get(f).map(Vec::as_slice).unwrap_or(&[]) {
+                if c != from && !prev.contains_key(&c) {
+                    prev.insert(c, f);
+                    if targets.contains(&c) {
+                        let mut path = vec![c];
+                        let mut cur = c;
+                        while let Some(&p) = prev.get(&cur) {
+                            path.push(p);
+                            if p == from {
+                                break;
+                            }
+                            cur = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(c);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workspace(files: &[(&str, &str)]) -> (SymbolTable, CallGraph) {
+        let mut table = SymbolTable::default();
+        let mut map = BTreeMap::new();
+        for (file, src) in files {
+            let toks = table.add_file(file, src);
+            map.insert(file.to_string(), (src.to_string(), toks));
+        }
+        let graph = CallGraph::build(&table, &map, &BTreeMap::new());
+        (table, graph)
+    }
+
+    fn names(table: &SymbolTable, ids: &BTreeSet<usize>) -> Vec<String> {
+        ids.iter().map(|&i| table.fns[i].name.clone()).collect()
+    }
+
+    #[test]
+    fn free_calls_connect() {
+        let (t, g) = workspace(&[(
+            "crates/a/src/lib.rs",
+            "pub fn root() { helper(1); } pub fn helper(x: u32) -> u32 { x } pub fn cold() {}",
+        )]);
+        let hot = g.reach(&[0], &BTreeSet::new());
+        assert_eq!(names(&t, &hot), ["root", "helper"]);
+    }
+
+    #[test]
+    fn method_calls_are_ambiguous_across_types() {
+        let (_t, g) = workspace(&[(
+            "crates/a/src/lib.rs",
+            r#"
+            pub fn root(a: &A) { a.observe(); }
+            struct A; impl A { pub fn observe(&self) {} }
+            struct B; impl B { pub fn observe(&self) {} }
+            "#,
+        )]);
+        let hot = g.reach(&[0], &BTreeSet::new());
+        // Both `observe` impls are candidates: ambiguity is an edge.
+        assert_eq!(hot.len(), 3);
+    }
+
+    #[test]
+    fn qualified_calls_narrow_to_the_named_type() {
+        let (t, g) = workspace(&[(
+            "crates/a/src/lib.rs",
+            r#"
+            pub fn root() { A::observe(); }
+            struct A; impl A { pub fn observe() { Self::helper(); } pub fn helper() {} }
+            struct B; impl B { pub fn observe() {} pub fn helper() {} }
+            "#,
+        )]);
+        let hot = g.reach(&[0], &BTreeSet::new());
+        let got = names(&t, &hot);
+        assert!(got.contains(&"root".into()));
+        assert_eq!(got.iter().filter(|n| *n == "observe").count(), 1, "{got:?}");
+        assert_eq!(got.iter().filter(|n| *n == "helper").count(), 1, "Self:: stays in impl");
+    }
+
+    #[test]
+    fn boundaries_stop_propagation_but_roots_ignore_them() {
+        let (t, g) = workspace(&[(
+            "crates/a/src/lib.rs",
+            "pub fn root() { amortized(); } pub fn amortized() { deep(); } pub fn deep() {}",
+        )]);
+        let b: BTreeSet<usize> = [1].into_iter().collect(); // amortized
+        let hot = g.reach(&[0], &b);
+        assert_eq!(names(&t, &hot), ["root"], "boundary cuts amortized AND deep");
+        let hot2 = g.reach(&[1], &b);
+        assert_eq!(names(&t, &hot2), ["amortized", "deep"], "a boundary used as root still propagates");
+    }
+
+    #[test]
+    fn test_code_neither_calls_nor_is_called() {
+        let (t, g) = workspace(&[(
+            "crates/a/src/lib.rs",
+            r#"
+            pub fn root() {}
+            #[cfg(test)]
+            mod tests {
+                fn helper() { super::root(); }
+            }
+            "#,
+        )]);
+        assert_eq!(g.num_edges, 0);
+        let hot = g.reach(&[0], &BTreeSet::new());
+        assert_eq!(hot.len(), 1);
+        assert!(t.fns[1].in_test);
+    }
+
+    #[test]
+    fn reverse_reachability_finds_all_callers() {
+        let (t, g) = workspace(&[(
+            "crates/a/src/lib.rs",
+            r#"
+            pub fn clock() {}
+            pub fn mid() { clock(); }
+            pub fn top() { mid(); }
+            pub fn unrelated() {}
+            "#,
+        )]);
+        let seeds: BTreeSet<usize> = [0].into_iter().collect();
+        let touched = g.reach_rev(&seeds);
+        assert_eq!(names(&t, &touched), ["clock", "mid", "top"]);
+    }
+
+    #[test]
+    fn witness_paths_are_connected() {
+        let (_t, g) = workspace(&[(
+            "crates/a/src/lib.rs",
+            "pub fn a() { b(); } pub fn b() { c(); } pub fn c() {}",
+        )]);
+        let targets: BTreeSet<usize> = [2].into_iter().collect();
+        let path = g.path_to(0, &targets);
+        assert_eq!(path, Some(vec![0, 1, 2]));
+        assert_eq!(g.path_to(2, &[0].into_iter().collect()), None);
+    }
+
+    #[test]
+    fn turbofish_and_nested_fn_attribution() {
+        let (t, g) = workspace(&[(
+            "crates/a/src/lib.rs",
+            r#"
+            pub fn root() { helper::<u32>(); fn inner() { other(); } }
+            pub fn helper<T>() {}
+            pub fn other() {}
+            "#,
+        )]);
+        let hot = g.reach(&[0], &BTreeSet::new());
+        let got = names(&t, &hot);
+        assert!(got.contains(&"helper".into()), "turbofish call seen: {got:?}");
+        assert!(!got.contains(&"other".into()), "inner fn's calls are not root's");
+    }
+}

@@ -9,24 +9,39 @@
 //! wall-clock reads in deterministic code); this crate turns them into
 //! machine-checked rules that gate every future PR.
 //!
+//! Since lint v2 the analysis is **interprocedural**: a workspace symbol
+//! table ([`symbols`]) feeds a conservative call graph ([`callgraph`]),
+//! the hot set is computed by reachability from a small list of root
+//! designations instead of a hand-maintained function list, the
+//! `exec-ready` family gates the upcoming multi-core executor, and a
+//! taint pass ([`taint`]) proves the deterministic digests never observe
+//! a clock or RNG.
+//!
 //! Run as `cargo run -p xtask -- lint`; the fixed tier-1 command
 //! (`cargo test -q`) enforces the same gate through `tests/lint_gate.rs`,
 //! which calls [`run_lint`] in-process.
 
 pub mod baseline;
 pub mod bench_gate;
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
 pub mod report;
 pub mod scan;
+pub mod symbols;
+pub mod taint;
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 pub use baseline::Baseline;
+pub use callgraph::CallGraph;
 pub use config::{LintConfig, Rule, Severity};
-pub use scan::{analyze_source, Violation};
+pub use scan::{analyze_source, scan_unsafe, UnsafeSite, Violation};
+pub use symbols::SymbolTable;
+
+use lexer::Tok;
 
 /// Where the committed baseline lives, relative to the workspace root.
 pub const BASELINE_PATH: &str = "lint/baseline.toml";
@@ -45,6 +60,21 @@ pub struct StaleEntry {
     pub actual: usize,
 }
 
+/// Call-graph statistics surfaced in the JSON report.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Functions in the symbol table (including test fns).
+    pub nodes: usize,
+    /// Directed call edges (deduplicated, non-test callers only).
+    pub edges: usize,
+    /// Size of the propagated hot set.
+    pub hot_fns: usize,
+    /// Size of the task-reachable (exec-ready) set.
+    pub task_fns: usize,
+    /// Functions that can observe a wall-clock/RNG source.
+    pub clock_tainted: usize,
+}
+
 /// The result of one lint run over the workspace.
 #[derive(Debug, Default)]
 pub struct LintOutcome {
@@ -61,6 +91,13 @@ pub struct LintOutcome {
     pub baselined: BTreeMap<baseline::Key, usize>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Call-graph statistics from the interprocedural passes.
+    pub stats: GraphStats,
+    /// Every `unsafe` site in the workspace (src + tests), with its
+    /// `// SAFETY:` audit bit.
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// The propagated hot set, file → fn names (sorted).
+    pub hot_overlay: BTreeMap<String, Vec<String>>,
 }
 
 impl LintOutcome {
@@ -97,6 +134,247 @@ impl LintOutcome {
     }
 }
 
+/// The full result of the interprocedural analysis, before baseline
+/// reconciliation.
+#[derive(Debug, Default)]
+pub struct WorkspaceAnalysis {
+    /// All violations, unreconciled.
+    pub violations: Vec<Violation>,
+    /// Call-graph statistics.
+    pub stats: GraphStats,
+    /// The unsafe registry.
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// The propagated hot set, file → fn names.
+    pub hot_overlay: BTreeMap<String, Vec<String>>,
+    /// The symbol table (for `--why` diagnostics and tests).
+    pub table: SymbolTable,
+    /// The call graph.
+    pub graph: CallGraph,
+    /// Resolved hot-root fn ids.
+    pub hot_root_ids: Vec<usize>,
+    /// The propagated hot set as fn ids.
+    pub hot_ids: BTreeSet<usize>,
+}
+
+/// Run every pass over in-memory sources. `srcs` are library sources
+/// (symbol table + all rules); `test_srcs` are integration-test files,
+/// scanned by `unsafe-safety` only (test code may unwrap, allocate, and
+/// read clocks — but unsound `unsafe` is unsound anywhere).
+pub fn analyze_workspace(
+    config: &LintConfig,
+    srcs: &[(String, String)],
+    test_srcs: &[(String, String)],
+    deps: &BTreeMap<String, BTreeSet<String>>,
+) -> WorkspaceAnalysis {
+    let mut table = SymbolTable::default();
+    let mut files: BTreeMap<String, (String, Vec<Tok>)> = BTreeMap::new();
+    for (rel, src) in srcs {
+        let toks = table.add_file(rel, src);
+        files.insert(rel.clone(), (src.clone(), toks));
+    }
+    let graph = CallGraph::build(&table, &files, deps);
+
+    let root_ids = |roots: &[(&str, &[&str])]| -> Vec<usize> {
+        let mut ids = Vec::new();
+        for &(file, names) in roots {
+            for name in names {
+                for &id in table.named(name) {
+                    if table.fns[id].file == file && !table.fns[id].in_test {
+                        ids.push(id);
+                    }
+                }
+            }
+        }
+        ids
+    };
+    let boundaries: BTreeSet<usize> = config
+        .hot_boundaries
+        .iter()
+        .flat_map(|&(file, name, _why)| {
+            table
+                .named(name)
+                .iter()
+                .copied()
+                .filter(|&id| table.fns[id].file == file)
+                .collect::<Vec<usize>>()
+        })
+        .collect();
+    let hot_root_ids = root_ids(config.hot_roots);
+    let hot_ids = graph.reach(&hot_root_ids, &boundaries);
+    let task_ids = graph.reach(&root_ids(config.task_roots), &BTreeSet::new());
+
+    let overlay_of = |ids: &BTreeSet<usize>| -> BTreeMap<String, Vec<String>> {
+        let mut m: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for &id in ids {
+            let f = &table.fns[id];
+            let names = m.entry(f.file.clone()).or_default();
+            if !names.contains(&f.name) {
+                names.push(f.name.clone());
+            }
+        }
+        for names in m.values_mut() {
+            names.sort();
+        }
+        m
+    };
+    let mut scoped = config.clone();
+    scoped.hot_overlay = overlay_of(&hot_ids);
+    scoped.task_overlay = overlay_of(&task_ids);
+
+    let mut violations = Vec::new();
+    for (rel, src) in srcs {
+        violations.extend(analyze_source(&scoped, rel, src));
+    }
+    violations.extend(taint::det_taint_violations(&scoped, &table, &graph, &files));
+
+    let mut unsafe_sites = Vec::new();
+    for (rel, src) in srcs.iter().chain(test_srcs) {
+        let (sites, v) = scan_unsafe(rel, src);
+        unsafe_sites.extend(sites);
+        violations.extend(v);
+    }
+    unsafe_sites.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+
+    let seed_ids: BTreeSet<usize> =
+        taint::direct_sources(&scoped, &table, &files).keys().copied().collect();
+    let stats = GraphStats {
+        nodes: table.fns.len(),
+        edges: graph.num_edges,
+        hot_fns: hot_ids.len(),
+        task_fns: task_ids.len(),
+        clock_tainted: graph.reach_rev(&seed_ids).len(),
+    };
+    WorkspaceAnalysis {
+        violations,
+        stats,
+        unsafe_sites,
+        hot_overlay: scoped.hot_overlay,
+        table,
+        graph,
+        hot_root_ids,
+        hot_ids,
+    }
+}
+
+/// Explain *why* a function is in the propagated hot set: a shortest
+/// root-to-function witness path, rendered as `root -> ... -> target`.
+/// Returns one line per matching `(file, fn)` symbol (a name alone
+/// matches across files). Used by `lint --why <fn>`.
+pub fn why_hot(analysis: &WorkspaceAnalysis, target: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let (want_file, want_name) = match target.rsplit_once("::") {
+        Some((f, n)) => (Some(f), n),
+        None => (None, target),
+    };
+    for &id in analysis.table.named(want_name) {
+        let f = &analysis.table.fns[id];
+        if let Some(wf) = want_file {
+            if !f.file.contains(wf) {
+                continue;
+            }
+        }
+        if !analysis.hot_ids.contains(&id) {
+            if !f.in_test {
+                out.push(format!("{}:{} `{}` is NOT hot", f.file, f.line, f.name));
+            }
+            continue;
+        }
+        let targets: BTreeSet<usize> = [id].into_iter().collect();
+        let mut best: Option<Vec<usize>> = None;
+        for &root in &analysis.hot_root_ids {
+            if let Some(path) = analysis.graph.path_to(root, &targets) {
+                if best.as_ref().is_none_or(|b| path.len() < b.len()) {
+                    best = Some(path);
+                }
+            }
+        }
+        match best {
+            Some(path) => {
+                let rendered: Vec<String> = path
+                    .iter()
+                    .map(|&p| analysis.table.fns[p].name.clone())
+                    .collect();
+                out.push(format!(
+                    "{}:{} `{}` is hot: {}",
+                    f.file,
+                    f.line,
+                    f.name,
+                    rendered.join(" -> ")
+                ));
+            }
+            None => out.push(format!(
+                "{}:{} `{}` is hot (designated root)",
+                f.file, f.line, f.name
+            )),
+        }
+    }
+    out
+}
+
+/// Parse each `crates/*/Cargo.toml` `[dependencies]` section and return
+/// the *transitive* dependency closure per crate directory, including the
+/// crate itself. Workspace crates are recognized by the `redhanded-`
+/// package-name prefix (plus `xtask` itself); external deps are ignored.
+/// The call graph uses this to drop impossible cross-crate edges.
+pub fn crate_dep_closure(root: &Path) -> std::io::Result<BTreeMap<String, BTreeSet<String>>> {
+    let crates_dir = root.join("crates");
+    let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut dirs: Vec<String> = Vec::new();
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let entry = entry?;
+        if entry.path().is_dir() {
+            dirs.push(entry.file_name().to_string_lossy().into_owned());
+        }
+    }
+    dirs.sort();
+    for dir in &dirs {
+        let manifest = crates_dir.join(dir).join("Cargo.toml");
+        let Ok(text) = std::fs::read_to_string(&manifest) else { continue };
+        let mut in_deps = false;
+        let mut deps: BTreeSet<String> = BTreeSet::new();
+        deps.insert(dir.clone());
+        for line in text.lines() {
+            let line = line.trim();
+            if line.starts_with('[') {
+                in_deps = line == "[dependencies]";
+                continue;
+            }
+            if !in_deps {
+                continue;
+            }
+            let Some(name) = line.split(['=', ' ']).next() else { continue };
+            let dep_dir = name.strip_prefix("redhanded-").unwrap_or(name);
+            if dirs.iter().any(|d| d == dep_dir) {
+                deps.insert(dep_dir.to_string());
+            }
+        }
+        direct.insert(dir.clone(), deps);
+    }
+    // Transitive closure (the graph is a small DAG; iterate to fixpoint).
+    let mut closure = direct.clone();
+    loop {
+        let mut changed = false;
+        for dir in &dirs {
+            let current: Vec<String> =
+                closure.get(dir).map(|s| s.iter().cloned().collect()).unwrap_or_default();
+            let mut grown: BTreeSet<String> = current.iter().cloned().collect();
+            for dep in &current {
+                if let Some(trans) = closure.get(dep) {
+                    grown.extend(trans.iter().cloned());
+                }
+            }
+            if closure.get(dir).is_some_and(|s| s.len() != grown.len()) {
+                closure.insert(dir.clone(), grown);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Ok(closure)
+}
+
 /// Collect every `crates/*/src/**/*.rs` file under `root`, sorted, as
 /// `(workspace-relative path with forward slashes, absolute path)`.
 fn collect_sources(root: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
@@ -114,6 +392,34 @@ fn collect_sources(root: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
             walk(&src, &mut files)?;
         }
     }
+    relativize(root, files)
+}
+
+/// Collect the integration-test files scanned by `unsafe-safety`:
+/// `crates/*/tests/**/*.rs` plus the workspace-level `tests/*.rs`.
+fn collect_test_sources(root: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let tests = dir.join("tests");
+        if tests.is_dir() {
+            walk(&tests, &mut files)?;
+        }
+    }
+    let root_tests = root.join("tests");
+    if root_tests.is_dir() {
+        walk(&root_tests, &mut files)?;
+    }
+    relativize(root, files)
+}
+
+fn relativize(root: &Path, files: Vec<PathBuf>) -> std::io::Result<Vec<(String, PathBuf)>> {
     let mut out: Vec<(String, PathBuf)> = files
         .into_iter()
         .filter_map(|abs| {
@@ -144,6 +450,33 @@ fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
+fn read_all(files: Vec<(String, PathBuf)>) -> Result<Vec<(String, String)>, String> {
+    files
+        .into_iter()
+        .map(|(rel, abs)| {
+            std::fs::read_to_string(&abs)
+                .map(|src| (rel, src))
+                .map_err(|e| format!("cannot read {}: {e}", abs.display()))
+        })
+        .collect()
+}
+
+/// Walk the workspace at `root` and run [`analyze_workspace`] over it.
+pub fn analyze_root(config: &LintConfig, root: &Path) -> Result<WorkspaceAnalysis, String> {
+    let sources = collect_sources(root)
+        .map_err(|e| format!("cannot walk {}/crates: {e}", root.display()))?;
+    if sources.is_empty() {
+        return Err(format!("no sources found under {}/crates/*/src", root.display()));
+    }
+    let tests = collect_test_sources(root)
+        .map_err(|e| format!("cannot walk {} test dirs: {e}", root.display()))?;
+    let srcs = read_all(sources)?;
+    let test_srcs = read_all(tests)?;
+    let deps = crate_dep_closure(root)
+        .map_err(|e| format!("cannot read crate manifests under {}: {e}", root.display()))?;
+    Ok(analyze_workspace(config, &srcs, &test_srcs, &deps))
+}
+
 /// Run every rule over the workspace at `root` and reconcile against the
 /// committed baseline. Pure analysis: writes nothing (the CLI layers
 /// report/baseline writing on top), so the test gate can call it from
@@ -154,13 +487,14 @@ pub fn run_lint(root: &Path, config: &LintConfig) -> Result<LintOutcome, String>
     if sources.is_empty() {
         return Err(format!("no sources found under {}/crates/*/src", root.display()));
     }
-
-    let mut all: Vec<Violation> = Vec::new();
-    for (rel, abs) in &sources {
-        let src = std::fs::read_to_string(abs)
-            .map_err(|e| format!("cannot read {}: {e}", abs.display()))?;
-        all.extend(analyze_source(config, rel, &src));
-    }
+    let tests = collect_test_sources(root)
+        .map_err(|e| format!("cannot walk {} test dirs: {e}", root.display()))?;
+    let srcs = read_all(sources)?;
+    let test_srcs = read_all(tests)?;
+    let files_scanned = srcs.len() + test_srcs.len();
+    let deps = crate_dep_closure(root)
+        .map_err(|e| format!("cannot read crate manifests under {}: {e}", root.display()))?;
+    let analysis = analyze_workspace(config, &srcs, &test_srcs, &deps);
 
     let baseline_file = root.join(BASELINE_PATH);
     let baseline = if baseline_file.exists() {
@@ -171,7 +505,11 @@ pub fn run_lint(root: &Path, config: &LintConfig) -> Result<LintOutcome, String>
         Baseline::default()
     };
 
-    Ok(reconcile(all, &baseline, sources.len()))
+    let mut outcome = reconcile(analysis.violations, &baseline, files_scanned);
+    outcome.stats = analysis.stats;
+    outcome.unsafe_sites = analysis.unsafe_sites;
+    outcome.hot_overlay = analysis.hot_overlay;
+    Ok(outcome)
 }
 
 /// Group violations by `(file, rule, symbol)` and apply the baseline
@@ -216,19 +554,23 @@ pub fn reconcile(violations: Vec<Violation>, baseline: &Baseline, files_scanned:
 }
 
 /// Compute the exact baseline that would make the current tree clean
-/// (used by `--update-baseline`).
+/// (used by `--update-baseline`). Runs the same interprocedural flow as
+/// [`run_lint`] so the two can never disagree.
 pub fn current_counts(root: &Path, config: &LintConfig) -> Result<BTreeMap<baseline::Key, usize>, String> {
     let sources = collect_sources(root)
         .map_err(|e| format!("cannot walk {}/crates: {e}", root.display()))?;
+    let tests = collect_test_sources(root)
+        .map_err(|e| format!("cannot walk {} test dirs: {e}", root.display()))?;
+    let srcs = read_all(sources)?;
+    let test_srcs = read_all(tests)?;
+    let deps = crate_dep_closure(root)
+        .map_err(|e| format!("cannot read crate manifests under {}: {e}", root.display()))?;
+    let analysis = analyze_workspace(config, &srcs, &test_srcs, &deps);
     let mut counts: BTreeMap<baseline::Key, usize> = BTreeMap::new();
-    for (rel, abs) in &sources {
-        let src = std::fs::read_to_string(abs)
-            .map_err(|e| format!("cannot read {}: {e}", abs.display()))?;
-        for v in analyze_source(config, rel, &src) {
-            *counts
-                .entry((v.file.clone(), v.rule.name().to_string(), v.symbol.clone()))
-                .or_insert(0) += 1;
-        }
+    for v in analysis.violations {
+        *counts
+            .entry((v.file.clone(), v.rule.name().to_string(), v.symbol.clone()))
+            .or_insert(0) += 1;
     }
     Ok(counts)
 }

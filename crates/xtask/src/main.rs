@@ -24,8 +24,8 @@ use std::process::ExitCode;
 
 use xtask::{config::LintConfig, report, Baseline, BASELINE_PATH, REPORT_PATH};
 
-const USAGE: &str =
-    "usage: cargo run -p xtask -- <lint|bench-gate> [--update-baseline] [--root DIR] [--json PATH] [--quiet]";
+const USAGE: &str = "usage: cargo run -p xtask -- <lint|bench-gate> [--update-baseline] \
+     [--root DIR] [--json PATH] [--quiet] [--explain RULE] [--why FN]";
 
 enum Cmd {
     Lint,
@@ -38,6 +38,8 @@ struct Args {
     root: PathBuf,
     json: Option<PathBuf>,
     quiet: bool,
+    explain: Option<String>,
+    why: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -55,8 +57,15 @@ fn parse_args() -> Result<Args, String> {
         .and_then(|p| p.parent())
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("."));
-    let mut parsed =
-        Args { cmd, update_baseline: false, root: default_root, json: None, quiet: false };
+    let mut parsed = Args {
+        cmd,
+        update_baseline: false,
+        root: default_root,
+        json: None,
+        quiet: false,
+        explain: None,
+        why: None,
+    };
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--update-baseline" => parsed.update_baseline = true,
@@ -70,13 +79,54 @@ fn parse_args() -> Result<Args, String> {
                 parsed.json =
                     Some(PathBuf::from(args.next().ok_or_else(|| "--json needs a path".to_string())?));
             }
+            "--explain" => {
+                parsed.explain =
+                    Some(args.next().ok_or_else(|| "--explain needs a rule name".to_string())?);
+            }
+            "--why" => {
+                parsed.why = Some(
+                    args.next().ok_or_else(|| "--why needs a function name".to_string())?,
+                );
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     Ok(parsed)
 }
 
+/// `lint --explain <rule>`: print the rule's long-form documentation.
+fn explain_rule(name: &str) -> Result<bool, String> {
+    let Some(rule) = xtask::Rule::from_name(name) else {
+        let all: Vec<&str> = xtask::Rule::ALL.iter().map(|r| r.name()).collect();
+        return Err(format!("unknown rule `{name}`; rules: {}", all.join(", ")));
+    };
+    println!("{}\n", rule.name());
+    println!("{}", rule.explain());
+    Ok(true)
+}
+
+/// `lint --why <fn>`: print a root-to-fn witness path for each matching
+/// symbol (accepts `name` or a `path-substring::name` filter).
+fn why_fn(args: &Args, target: &str) -> Result<bool, String> {
+    let config = LintConfig::default();
+    let analysis = xtask::analyze_root(&config, &args.root)?;
+    let lines = xtask::why_hot(&analysis, target);
+    if lines.is_empty() {
+        println!("no function named `{target}` in the workspace");
+    }
+    for line in lines {
+        println!("{line}");
+    }
+    Ok(true)
+}
+
 fn run_lint_cmd(args: &Args) -> Result<bool, String> {
+    if let Some(rule) = &args.explain {
+        return explain_rule(rule);
+    }
+    if let Some(target) = &args.why {
+        return why_fn(args, target);
+    }
     let config = LintConfig::default();
 
     if args.update_baseline {

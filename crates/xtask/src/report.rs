@@ -48,6 +48,35 @@ pub fn render(outcome: &LintOutcome) -> String {
     let _ = writeln!(out, "  \"tool\": \"redhanded-lint\",");
     let _ = writeln!(out, "  \"files_scanned\": {},", outcome.files_scanned);
     let _ = writeln!(out, "  \"clean\": {},", outcome.is_clean());
+    let _ = writeln!(
+        out,
+        "  \"callgraph\": {{ \"nodes\": {}, \"edges\": {}, \"hot_fns\": {}, \"task_fns\": {}, \"clock_tainted\": {} }},",
+        outcome.stats.nodes,
+        outcome.stats.edges,
+        outcome.stats.hot_fns,
+        outcome.stats.task_fns,
+        outcome.stats.clock_tainted
+    );
+    let _ = writeln!(out, "  \"hot_set\": {{");
+    for (i, (file, fns)) in outcome.hot_overlay.iter().enumerate() {
+        let comma = if i + 1 == outcome.hot_overlay.len() { "" } else { "," };
+        let names: Vec<String> = fns.iter().map(|f| format!("\"{}\"", escape(f))).collect();
+        let _ = writeln!(out, "    \"{}\": [{}]{comma}", escape(file), names.join(", "));
+    }
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"unsafe_registry\": [");
+    for (i, site) in outcome.unsafe_sites.iter().enumerate() {
+        let comma = if i + 1 == outcome.unsafe_sites.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{ \"file\": \"{}\", \"line\": {}, \"context\": \"{}\", \"safety_comment\": {} }}{comma}",
+            escape(&site.file),
+            site.line,
+            escape(&site.context),
+            site.has_safety
+        );
+    }
+    let _ = writeln!(out, "  ],");
     let _ = writeln!(out, "  \"rules\": {{");
     let names: Vec<&str> = Rule::ALL.iter().map(|r| r.name()).collect();
     for (i, name) in names.iter().enumerate() {

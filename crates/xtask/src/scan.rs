@@ -44,18 +44,24 @@ impl Violation {
     }
 }
 
-fn is_punct(toks: &[Tok], i: usize, c: u8) -> bool {
+pub(crate) fn is_punct(toks: &[Tok], i: usize, c: u8) -> bool {
     toks.get(i).is_some_and(|t| t.kind == TokKind::Punct(c))
 }
 
-fn ident_at<'a>(toks: &[Tok], i: usize, src: &'a str) -> Option<&'a str> {
+pub(crate) fn ident_at<'a>(toks: &[Tok], i: usize, src: &'a str) -> Option<&'a str> {
     toks.get(i).filter(|t| t.kind == TokKind::Ident).map(|t| t.text(src))
+}
+
+/// [`matching`] as an `Option`: `None` when the close is missing.
+pub(crate) fn maybe_matching(toks: &[Tok], open: usize, open_c: u8, close_c: u8) -> Option<usize> {
+    let end = matching(toks, open, open_c, close_c);
+    (end < toks.len()).then_some(end)
 }
 
 /// Find the matching close token for the open token at `open` (which must
 /// be `open_c`), counting only `open_c`/`close_c`. Returns the index of the
 /// close token, or `toks.len()` when unbalanced.
-fn matching(toks: &[Tok], open: usize, open_c: u8, close_c: u8) -> usize {
+pub(crate) fn matching(toks: &[Tok], open: usize, open_c: u8, close_c: u8) -> usize {
     let mut depth = 0usize;
     let mut i = open;
     while i < toks.len() {
@@ -77,7 +83,7 @@ fn matching(toks: &[Tok], open: usize, open_c: u8, close_c: u8) -> usize {
 /// `#[cfg(not(test))]` and `#[cfg_attr(...)]` are conservatively treated as
 /// *non*-test (the attribute contains `not`/`cfg_attr`, so skipping would
 /// hide production code from the linter).
-fn mark_test_regions(toks: &[Tok], src: &str) -> Vec<bool> {
+pub(crate) fn mark_test_regions(toks: &[Tok], src: &str) -> Vec<bool> {
     let mut in_test = vec![false; toks.len()];
     let mut i = 0usize;
     while i < toks.len() {
@@ -173,6 +179,70 @@ fn mark_hot_regions(toks: &[Tok], src: &str, hot_fns: &[&str]) -> Vec<bool> {
     hot
 }
 
+/// One `unsafe` site found by [`scan_unsafe`], for the report registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsafeSite {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the `unsafe` keyword.
+    pub line: u32,
+    /// `unsafe fn alloc`, `unsafe impl GlobalAlloc`, `unsafe block`, ...
+    pub context: String,
+    /// Whether a `// SAFETY:` comment immediately precedes the site.
+    pub has_safety: bool,
+}
+
+/// Enumerate every `unsafe` site in `src` and flag the ones missing a
+/// `// SAFETY:` comment on the contiguous comment block directly above.
+///
+/// Runs over *raw source lines* for the comment check (the lexer drops
+/// comments) and over the token stream for site discovery. Test regions
+/// are **not** exempt: the workspace's only unsafe code today lives in a
+/// test-support allocator, and unsoundness in tests still aborts CI.
+pub fn scan_unsafe(file: &str, src: &str) -> (Vec<UnsafeSite>, Vec<Violation>) {
+    let toks = lex(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let mut sites = Vec::new();
+    let mut violations = Vec::new();
+    for i in 0..toks.len() {
+        if ident_at(&toks, i, src) != Some("unsafe") {
+            continue;
+        }
+        let context = match ident_at(&toks, i + 1, src) {
+            Some(kw @ ("fn" | "impl" | "trait")) => match ident_at(&toks, i + 2, src) {
+                Some(name) => format!("unsafe {kw} {name}"),
+                None => format!("unsafe {kw}"),
+            },
+            _ => "unsafe block".to_string(),
+        };
+        // Walk the contiguous `//` comment block above the site's line.
+        let mut has_safety = false;
+        let mut k = toks[i].line as usize; // lines[] index of the line above
+        while k >= 2 {
+            let above = lines.get(k - 2).map(|l| l.trim()).unwrap_or("");
+            if !above.starts_with("//") {
+                break;
+            }
+            if above.contains("SAFETY:") {
+                has_safety = true;
+                break;
+            }
+            k -= 1;
+        }
+        if !has_safety {
+            violations.push(Violation {
+                rule: Rule::UnsafeSafety,
+                symbol: context.clone(),
+                file: file.to_string(),
+                line: toks[i].line,
+                severity: Rule::UnsafeSafety.severity(),
+            });
+        }
+        sites.push(UnsafeSite { file: file.to_string(), line: toks[i].line, context, has_safety });
+    }
+    (sites, violations)
+}
+
 /// Whether token `i` is a method-call name: `.name(` or `.name::<...>(`.
 fn is_method_call(toks: &[Tok], i: usize) -> bool {
     if !is_punct(toks, i.wrapping_sub(1), b'.') {
@@ -197,6 +267,8 @@ pub fn analyze_source(config: &LintConfig, file: &str, src: &str) -> Vec<Violati
     let in_test = mark_test_regions(&toks, src);
     let hot_fns = config.hot_functions(file);
     let hot = mark_hot_regions(&toks, src, &hot_fns);
+    let task_fns = config.task_functions(file);
+    let task = mark_hot_regions(&toks, src, &task_fns);
 
     let no_panic = config.applies(Rule::NoPanic, file);
     let nan_cmp = config.applies(Rule::NanUnsafeCmp, file);
@@ -205,6 +277,8 @@ pub fn analyze_source(config: &LintConfig, file: &str, src: &str) -> Vec<Violati
     let wall_clock = config.applies(Rule::WallClock, file);
     let unwind_boundary = config.applies(Rule::CatchUnwindBoundary, file);
     let trace_prereg = config.applies(Rule::TracePreregistered, file);
+    let exec_static = config.applies(Rule::ExecStatic, file);
+    let exec_interior = config.applies(Rule::ExecInteriorMut, file);
 
     let mut out = Vec::new();
     // Token indices whose `unwrap`/`expect` was already reported by the
@@ -303,6 +377,53 @@ pub fn analyze_source(config: &LintConfig, file: &str, src: &str) -> Vec<Violati
         // dynamically-labelled API copies its label into the tracer.
         if trace_prereg && hot[i] && word == "begin_named" && is_method_call(&toks, i) {
             push(Rule::TracePreregistered, word.to_string(), &toks[i]);
+        }
+
+        // exec-static: `static mut`, `thread_local!`, and statics whose
+        // type embeds an interior-mut primitive. (`&'static` lexes as a
+        // lifetime, so the `static` ident here is always the item keyword.)
+        if exec_static {
+            if word == "thread_local" && is_punct(&toks, i + 1, b'!') {
+                push(Rule::ExecStatic, "thread_local!".to_string(), &toks[i]);
+            } else if word == "static" {
+                if ident_at(&toks, i + 1, src) == Some("mut") {
+                    let name = ident_at(&toks, i + 2, src).unwrap_or("_");
+                    push(Rule::ExecStatic, format!("static mut {name}"), &toks[i]);
+                } else if let Some(name) = ident_at(&toks, i + 1, src) {
+                    if is_punct(&toks, i + 2, b':') && !is_punct(&toks, i + 3, b':') {
+                        // Scan the type (between `:` and the `=`/`;` at
+                        // bracket depth 0) for interior-mut type names.
+                        let mut j = i + 3;
+                        let mut depth = 0i32;
+                        while let Some(t) = toks.get(j) {
+                            match t.kind {
+                                TokKind::Punct(b'(') | TokKind::Punct(b'[') => depth += 1,
+                                TokKind::Punct(b')') | TokKind::Punct(b']') => depth -= 1,
+                                TokKind::Punct(b'=') | TokKind::Punct(b';') if depth == 0 => break,
+                                TokKind::Ident => {
+                                    let ty = t.text(src);
+                                    if config.interior_mut_types.contains(&ty) {
+                                        push(
+                                            Rule::ExecStatic,
+                                            format!("static {name}: {ty}"),
+                                            &toks[i],
+                                        );
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // exec-interior-mut: single-threaded shared-mutability primitives
+        // in code a DSPE stage task can reach.
+        if exec_interior && task[i] && config.interior_mut_types.contains(&word) {
+            push(Rule::ExecInteriorMut, word.to_string(), &toks[i]);
         }
     }
     out.sort_by(|a, b| (a.line, a.rule.name(), a.symbol.as_str()).cmp(&(

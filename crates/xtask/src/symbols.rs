@@ -1,0 +1,297 @@
+//! Workspace symbol table: every `fn` item and impl method, with its file,
+//! enclosing impl type, body token range, and test-region flag.
+//!
+//! This is the foundation the interprocedural passes (call graph, hot-path
+//! propagation, determinism taint) stand on. It is built from the same
+//! hand-rolled token stream as the lexical rules — no `syn`, no rustc
+//! invocation, fully offline — so it is *approximate by design*: names are
+//! resolved textually, generics are skipped, and macros are opaque. Every
+//! downstream consumer treats ambiguity conservatively (an ambiguous name
+//! produces edges to all candidates; see `callgraph`).
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::scan::{ident_at, is_punct, maybe_matching, mark_test_regions};
+use std::collections::BTreeMap;
+
+/// One function item or impl method.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    /// Workspace-relative file path (forward slashes).
+    pub file: String,
+    /// The function's name.
+    pub name: String,
+    /// The `Self` type name when the fn is an impl method (`impl Foo` or
+    /// `impl Trait for Foo` both record `Foo`), `None` for free functions.
+    pub impl_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range of the body `{ ... }`, braces inclusive. Bodiless
+    /// declarations (trait methods) get an empty range.
+    pub body: (usize, usize),
+    /// Whether the fn sits inside a `#[cfg(test)]`/`#[test]` region.
+    pub in_test: bool,
+}
+
+/// The symbol table for one analyzed workspace.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// All discovered functions, in (file, token-position) order.
+    pub fns: Vec<FnSym>,
+    /// Function ids grouped by name (the call graph's resolution index).
+    pub by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl SymbolTable {
+    /// Ids of every function named `name`.
+    pub fn named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The id of the function at `(file, name)` (first match), if any.
+    pub fn lookup(&self, file: &str, name: &str) -> Option<usize> {
+        self.named(name).iter().copied().find(|&id| self.fns[id].file == file)
+    }
+
+    /// Add every fn item in `src` to the table. Returns the lexed token
+    /// stream so callers can reuse it for call extraction.
+    pub fn add_file(&mut self, file: &str, src: &str) -> Vec<Tok> {
+        let toks = lex(src);
+        let in_test = mark_test_regions(&toks, src);
+        let impl_types = mark_impl_types(&toks, src);
+        let mut i = 0usize;
+        while i < toks.len() {
+            if ident_at(&toks, i, src) != Some("fn") {
+                i += 1;
+                continue;
+            }
+            let Some(name) = ident_at(&toks, i + 1, src) else {
+                i += 1;
+                continue;
+            };
+            // Scan the signature for the body `{` (or a `;` for bodiless
+            // trait declarations), tracking (), [], <> nesting so `where`
+            // bounds and default generic args cannot fool the search.
+            let mut j = i + 2;
+            let mut depth = 0i32;
+            let body = loop {
+                let Some(t) = toks.get(j) else { break None };
+                match t.kind {
+                    TokKind::Punct(b'(') | TokKind::Punct(b'[') => depth += 1,
+                    TokKind::Punct(b')') | TokKind::Punct(b']') => depth -= 1,
+                    TokKind::Punct(b';') if depth == 0 => break None,
+                    TokKind::Punct(b'{') if depth == 0 => {
+                        break maybe_matching(&toks, j, b'{', b'}').map(|end| (j, end));
+                    }
+                    _ => {}
+                }
+                j += 1;
+            };
+            let sym = FnSym {
+                file: file.to_string(),
+                name: name.to_string(),
+                impl_type: impl_types[i].clone(),
+                line: toks[i].line,
+                body: body.unwrap_or((j.min(toks.len()), j.min(toks.len()))),
+                in_test: in_test[i],
+            };
+            let id = self.fns.len();
+            self.by_name.entry(sym.name.clone()).or_default().push(id);
+            self.fns.push(sym);
+            // Continue scanning *inside* the body too: nested fns become
+            // their own symbols (attribution of their tokens to the inner
+            // fn happens in call extraction via innermost-wins).
+            i += 2;
+        }
+        toks
+    }
+}
+
+/// For each token, the name of the enclosing `impl` block's `Self` type
+/// (`None` outside impls). `impl Foo`, `impl<T> Foo<T>`, and
+/// `impl Trait for Foo` all record `Foo`.
+fn mark_impl_types(toks: &[Tok], src: &str) -> Vec<Option<String>> {
+    let mut out = vec![None; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if ident_at(toks, i, src) != Some("impl") {
+            i += 1;
+            continue;
+        }
+        // Collect idents between `impl` and the block `{`, at angle-bracket
+        // depth zero. The Self type is the first path ident after `for`
+        // when present, else the first path ident (skipping the leading
+        // generic parameter list).
+        let mut j = i + 1;
+        let mut angle = 0i32;
+        let mut first: Option<&str> = None;
+        let mut after_for: Option<&str> = None;
+        let mut saw_for = false;
+        let open = loop {
+            let Some(t) = toks.get(j) else { break None };
+            match t.kind {
+                TokKind::Punct(b'<') => angle += 1,
+                TokKind::Punct(b'>') => angle = (angle - 1).max(0),
+                TokKind::Punct(b'{') if angle == 0 => break Some(j),
+                TokKind::Punct(b';') if angle == 0 => break None, // `impl Trait for X;` never occurs, safety stop
+                TokKind::Ident if angle == 0 => {
+                    let w = t.text(src);
+                    if w == "for" {
+                        saw_for = true;
+                    } else if w == "where" {
+                        // Bounds follow; the Self type is already known.
+                    } else if saw_for {
+                        // First ident after `for` begins the Self path; for
+                        // `a::b::Type` keep updating until a non-path token —
+                        // taking the *last* path ident yields the type name.
+                        after_for = Some(w);
+                        // Walk the rest of this path (`::`-joined idents).
+                        let mut k = j + 1;
+                        while is_punct(toks, k, b':') && is_punct(toks, k + 1, b':') {
+                            if let Some(next) = ident_at(toks, k + 2, src) {
+                                after_for = Some(next);
+                                k += 3;
+                            } else {
+                                break;
+                            }
+                        }
+                        j = k;
+                        continue;
+                    } else if first.is_none() {
+                        let mut last = w;
+                        let mut k = j + 1;
+                        while is_punct(toks, k, b':') && is_punct(toks, k + 1, b':') {
+                            if let Some(next) = ident_at(toks, k + 2, src) {
+                                last = next;
+                                k += 3;
+                            } else {
+                                break;
+                            }
+                        }
+                        first = Some(last);
+                        j = k;
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(open) = open else {
+            i = j.max(i + 1);
+            continue;
+        };
+        let close = maybe_matching(toks, open, b'{', b'}').unwrap_or(toks.len() - 1);
+        let ty = after_for.or(first).map(str::to_string);
+        if let Some(ty) = ty {
+            for slot in out.iter_mut().take(close + 1).skip(open) {
+                // Nested impls (impl blocks inside fn bodies) win: only
+                // fill slots not already claimed by an inner impl... outer
+                // fills first in this left-to-right scan, so inner
+                // overwrites below.
+                *slot = Some(ty.clone());
+            }
+        }
+        i = open + 1; // descend: nested impls re-mark their own range
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(src: &str) -> SymbolTable {
+        let mut t = SymbolTable::default();
+        t.add_file("crates/x/src/lib.rs", src);
+        t
+    }
+
+    #[test]
+    fn finds_free_fns_and_methods() {
+        let t = table(
+            r#"
+            pub fn free(a: u32) -> u32 { a }
+            struct Foo;
+            impl Foo {
+                pub fn method(&self) -> u32 { free(1) }
+            }
+            impl Clone for Foo {
+                fn clone(&self) -> Foo { Foo }
+            }
+            "#,
+        );
+        assert_eq!(t.fns.len(), 3);
+        assert_eq!(t.fns[0].name, "free");
+        assert_eq!(t.fns[0].impl_type, None);
+        assert_eq!(t.fns[1].name, "method");
+        assert_eq!(t.fns[1].impl_type.as_deref(), Some("Foo"));
+        assert_eq!(t.fns[2].name, "clone");
+        assert_eq!(t.fns[2].impl_type.as_deref(), Some("Foo"));
+    }
+
+    #[test]
+    fn generic_impls_and_paths_resolve_the_self_type() {
+        let t = table(
+            r#"
+            impl<'a, T: Clone> Wrapper<'a, T> {
+                fn get(&self) -> &T { &self.0 }
+            }
+            impl std::fmt::Display for Wrapper<'_, u32> {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { Ok(()) }
+            }
+            "#,
+        );
+        assert_eq!(t.fns[0].impl_type.as_deref(), Some("Wrapper"));
+        assert_eq!(t.fns[1].impl_type.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn trait_declarations_are_bodiless() {
+        let t = table(
+            r#"
+            pub trait Model {
+                fn observe(&mut self, x: f64);
+                fn ready(&self) -> bool { true }
+            }
+            "#,
+        );
+        assert_eq!(t.fns.len(), 2);
+        let observe = &t.fns[0];
+        assert_eq!(observe.body.0, observe.body.1, "declaration has no body");
+        let ready = &t.fns[1];
+        assert!(ready.body.1 > ready.body.0);
+    }
+
+    #[test]
+    fn test_region_fns_are_marked() {
+        let t = table(
+            r#"
+            pub fn prod() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn check() { super::prod() }
+            }
+            "#,
+        );
+        assert!(!t.fns[0].in_test);
+        assert!(t.fns[1].in_test);
+    }
+
+    #[test]
+    fn nested_fns_are_their_own_symbols() {
+        let t = table("fn outer() { fn inner() {} inner() }");
+        let names: Vec<&str> = t.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner"]);
+    }
+
+    #[test]
+    fn lookup_by_name_and_file() {
+        let mut t = SymbolTable::default();
+        t.add_file("crates/a/src/lib.rs", "pub fn f() {}");
+        t.add_file("crates/b/src/lib.rs", "pub fn f() {}");
+        assert_eq!(t.named("f").len(), 2);
+        assert_eq!(t.lookup("crates/b/src/lib.rs", "f"), Some(1));
+        assert_eq!(t.lookup("crates/c/src/lib.rs", "f"), None);
+    }
+}

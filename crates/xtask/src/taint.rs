@@ -1,0 +1,207 @@
+//! Determinism taint analysis.
+//!
+//! The chaos suite's recovery checks and the trace digests compare
+//! `deterministic_digest` outputs across runs; those functions must be
+//! pure functions of the recorded data. Until this pass, the separation
+//! between the wall-clock/RNG world and the digest world in `crates/obs`
+//! was enforced only by convention.
+//!
+//! The model: a function is **clock-tainted** when its body reads a
+//! wall-clock or entropy source directly (`Instant::now`,
+//! `SpanClock::wall`, `now_us`, `thread_rng`, ...) or when any call-graph
+//! edge from it leads to a tainted function. A violation is a designated
+//! sink (see `LintConfig::det_sinks`) that is tainted; the diagnostic
+//! carries a shortest witness call path so the offending edge is obvious.
+//!
+//! Seeded generators (`SmallRng::seed_from_u64`, the xorshift/SplitMix64
+//! samplers) are deterministic and deliberately *not* sources.
+
+use crate::callgraph::CallGraph;
+use crate::config::LintConfig;
+use crate::lexer::Tok;
+use crate::scan::{ident_at, is_punct, Violation};
+use crate::symbols::SymbolTable;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Function ids whose *own body* reads a clock/RNG source, with the
+/// source symbol that fired (first one found, for diagnostics).
+pub fn direct_sources(
+    config: &LintConfig,
+    table: &SymbolTable,
+    files: &BTreeMap<String, (String, Vec<Tok>)>,
+) -> BTreeMap<usize, String> {
+    let mut out = BTreeMap::new();
+    for (id, f) in table.fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        let Some((src, toks)) = files.get(&f.file) else { continue };
+        let (a, b) = f.body;
+        for i in a..=b.min(toks.len().saturating_sub(1)) {
+            let Some(word) = ident_at(toks, i, src) else { continue };
+            let mut hit: Option<String> = None;
+            for &(ty, method) in config.taint_paths {
+                if word == ty
+                    && is_punct(toks, i + 1, b':')
+                    && is_punct(toks, i + 2, b':')
+                    && ident_at(toks, i + 3, src) == Some(method)
+                {
+                    hit = Some(format!("{ty}::{method}"));
+                }
+            }
+            if hit.is_none()
+                && config.taint_calls.contains(&word)
+                && (is_punct(toks, i + 1, b'(') || is_punct(toks, i.wrapping_sub(1), b'.'))
+            {
+                hit = Some(word.to_string());
+            }
+            if let Some(symbol) = hit {
+                out.entry(id).or_insert(symbol);
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Run the pass: every designated sink that can reach a source along call
+/// edges produces one `det-taint` violation whose symbol embeds the
+/// witness path (`sink <- mid <- source [Instant::now]`).
+pub fn det_taint_violations(
+    config: &LintConfig,
+    table: &SymbolTable,
+    graph: &CallGraph,
+    files: &BTreeMap<String, (String, Vec<Tok>)>,
+) -> Vec<Violation> {
+    let sources = direct_sources(config, table, files);
+    let seed_ids: BTreeSet<usize> = sources.keys().copied().collect();
+    let tainted = graph.reach_rev(&seed_ids);
+
+    let mut out = Vec::new();
+    for &(file, names) in config.det_sinks {
+        for name in names {
+            for &sink in table.named(name) {
+                if table.fns[sink].file != file || table.fns[sink].in_test {
+                    continue;
+                }
+                if !tainted.contains(&sink) {
+                    continue;
+                }
+                // `path_to` walks caller→callee, so the path reads
+                // `sink <- ... <- source`: each arrow is "is tainted by".
+                let symbol = match graph.path_to(sink, &seed_ids) {
+                    Some(path) => {
+                        let mut s = String::new();
+                        for (i, &id) in path.iter().enumerate() {
+                            if i > 0 {
+                                s.push_str(" <- ");
+                            }
+                            s.push_str(&table.fns[id].name);
+                        }
+                        let last = path.last().copied().unwrap_or(sink);
+                        if let Some(src_sym) = sources.get(&last) {
+                            s.push_str(" [");
+                            s.push_str(src_sym);
+                            s.push(']');
+                        }
+                        s
+                    }
+                    None => table.fns[sink].name.clone(),
+                };
+                out.push(Violation {
+                    rule: crate::config::Rule::DetTaint,
+                    symbol,
+                    file: table.fns[sink].file.clone(),
+                    line: table.fns[sink].line,
+                    severity: crate::config::Rule::DetTaint.severity(),
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line, &a.symbol).cmp(&(&b.file, b.line, &b.symbol)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(src: &str, sinks: &'static [(&'static str, &'static [&'static str])]) -> Vec<Violation> {
+        let mut config = LintConfig::default();
+        config.det_sinks = sinks;
+        let mut table = SymbolTable::default();
+        let file = "crates/obs/src/metrics.rs";
+        let toks = table.add_file(file, src);
+        let mut files = BTreeMap::new();
+        files.insert(file.to_string(), (src.to_string(), toks));
+        let graph = CallGraph::build(&table, &files, &BTreeMap::new());
+        det_taint_violations(&config, &table, &graph, &files)
+    }
+
+    const SINKS: &[(&str, &[&str])] = &[("crates/obs/src/metrics.rs", &["deterministic_digest"])];
+
+    #[test]
+    fn direct_clock_read_in_sink_is_flagged() {
+        let v = analyze(
+            "pub fn deterministic_digest() -> u64 { let t = Instant::now(); 0 }",
+            SINKS,
+        );
+        assert_eq!(v.len(), 1);
+        assert!(v[0].symbol.contains("Instant::now"), "{}", v[0].symbol);
+    }
+
+    #[test]
+    fn taint_flows_along_call_edges_with_witness_path() {
+        let v = analyze(
+            r#"
+            fn stamp() -> u64 { clock.now_us() }
+            fn helper() -> u64 { stamp() }
+            pub fn deterministic_digest() -> u64 { helper() }
+            "#,
+            SINKS,
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].symbol, "deterministic_digest <- helper <- stamp [now_us]");
+    }
+
+    #[test]
+    fn clean_sink_and_unrelated_clock_code_pass() {
+        let v = analyze(
+            r#"
+            fn timing_layer() -> u64 { clock.now_us() }
+            pub fn deterministic_digest(data: &[u64]) -> u64 {
+                data.iter().fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(*b))
+            }
+            "#,
+            SINKS,
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn seeded_rng_is_not_a_source() {
+        let v = analyze(
+            r#"
+            fn sample(seed: u64) -> u64 { let rng = SmallRng::seed_from_u64(seed); rng.next() }
+            pub fn deterministic_digest() -> u64 { sample(42) }
+            "#,
+            SINKS,
+        );
+        // `next` resolves to no workspace fn here; seed_from_u64 is not a
+        // taint source.
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn rng_sources_taint() {
+        let v = analyze(
+            r#"
+            fn jitter() -> u64 { let mut r = thread_rng(); 1 }
+            pub fn deterministic_digest() -> u64 { jitter() }
+            "#,
+            SINKS,
+        );
+        assert_eq!(v.len(), 1);
+        assert!(v[0].symbol.ends_with("[thread_rng]"), "{}", v[0].symbol);
+    }
+}

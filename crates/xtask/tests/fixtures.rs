@@ -4,7 +4,7 @@
 //! skipped — plus baseline ratchet semantics (stale-entry detection).
 
 use xtask::baseline::Baseline;
-use xtask::{analyze_source, reconcile, LintConfig, Rule, Violation};
+use xtask::{analyze_source, analyze_workspace, reconcile, scan_unsafe, LintConfig, Rule, Violation};
 
 fn run(file: &str, src: &str) -> Vec<Violation> {
     analyze_source(&LintConfig::default(), file, src)
@@ -341,6 +341,170 @@ fn partially_paid_debt_is_also_stale() {
     assert_eq!(outcome.stale_entries[0].actual, 1);
     // The one real violation is still suppressed (it is within the count).
     assert!(outcome.new_violations.is_empty());
+}
+
+// ------------------------------------------------------------- exec-ready
+
+#[test]
+fn exec_static_flags_mutable_and_interior_mut_statics() {
+    let src = r#"
+        static mut COUNTER: u64 = 0;
+        thread_local! { static SCRATCH: Vec<f64> = Vec::new(); }
+        static CACHE: RefCell<u32> = RefCell::new(0);
+    "#;
+    let vs = run(LIB, src);
+    let ex: Vec<&Violation> = vs.iter().filter(|v| v.rule == Rule::ExecStatic).collect();
+    assert_eq!(ex.len(), 3, "{vs:?}");
+    assert!(ex.iter().any(|v| v.symbol == "static mut COUNTER"), "{ex:?}");
+    assert!(ex.iter().any(|v| v.symbol == "thread_local!"), "{ex:?}");
+    assert!(ex.iter().any(|v| v.symbol == "static CACHE: RefCell"), "{ex:?}");
+}
+
+#[test]
+fn exec_static_passes_plain_immutable_statics() {
+    let src = r#"
+        static NAME: &str = "redhanded";
+        static LIMIT: usize = 64;
+        pub fn f() -> usize { LIMIT }
+    "#;
+    let vs = run(LIB, src);
+    assert!(!rules(&vs).contains(&Rule::ExecStatic), "{vs:?}");
+}
+
+#[test]
+fn exec_static_skips_cfg_test_items() {
+    let src = r#"
+        pub fn f() {}
+        #[cfg(test)]
+        mod tests {
+            static mut TEST_ONLY: u64 = 0;
+            thread_local! { static T: u32 = 0; }
+        }
+    "#;
+    let vs = run(LIB, src);
+    assert!(!rules(&vs).contains(&Rule::ExecStatic), "{vs:?}");
+}
+
+#[test]
+fn exec_interior_mut_flags_task_reachable_fns_only() {
+    // `process_batch` is a task root in the default config's overlay; the
+    // cold fn in the same file is outside every task region.
+    let src = r#"
+        pub fn process_batch(&mut self) {
+            let scratch = RefCell::new(0u32);
+        }
+        pub fn cold_setup() {
+            let shared = Rc::new(1u32);
+        }
+    "#;
+    let vs = run("crates/core/src/spark.rs", src);
+    let ex: Vec<&Violation> =
+        vs.iter().filter(|v| v.rule == Rule::ExecInteriorMut).collect();
+    assert_eq!(ex.len(), 1, "{vs:?}");
+    assert_eq!(ex[0].symbol, "RefCell");
+}
+
+#[test]
+fn exec_interior_mut_ignores_undesignated_files() {
+    let src = "pub fn f() { let c = Cell::new(0u32); }";
+    let vs = run(LIB, src);
+    assert!(!rules(&vs).contains(&Rule::ExecInteriorMut), "{vs:?}");
+}
+
+// ----------------------------------------------------------- unsafe-safety
+
+#[test]
+fn unsafe_safety_requires_a_safety_comment() {
+    let src = r#"
+        pub fn f(p: *const u8) -> u8 {
+            unsafe { *p }
+        }
+    "#;
+    let (sites, vs) = scan_unsafe(LIB, src);
+    assert_eq!(sites.len(), 1, "{sites:?}");
+    assert!(!sites[0].has_safety);
+    assert_eq!(sites[0].context, "unsafe block");
+    assert_eq!(rules(&vs), vec![Rule::UnsafeSafety]);
+}
+
+#[test]
+fn unsafe_safety_passes_commented_sites_and_names_contexts() {
+    let src = r#"
+        // SAFETY: caller guarantees `p` is valid for reads.
+        pub unsafe fn read(p: *const u8) -> u8 {
+            // The walk tolerates interleaved prose lines.
+            // SAFETY: validity was checked by the caller.
+            unsafe { *p }
+        }
+    "#;
+    let (sites, vs) = scan_unsafe(LIB, src);
+    assert_eq!(sites.len(), 2, "{sites:?}");
+    assert!(sites.iter().all(|s| s.has_safety), "{sites:?}");
+    assert_eq!(sites[0].context, "unsafe fn read");
+    assert_eq!(sites[1].context, "unsafe block");
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn unsafe_safety_applies_even_in_test_sources() {
+    // Test code may unwrap and allocate, but unsound unsafe is unsound
+    // anywhere: the rule has no test exemption.
+    let src = r#"
+        #[cfg(test)]
+        mod tests {
+            fn t() { unsafe { core::hint::unreachable_unchecked() } }
+        }
+    "#;
+    let (sites, vs) = scan_unsafe(LIB, src);
+    assert_eq!(sites.len(), 1);
+    assert_eq!(rules(&vs), vec![Rule::UnsafeSafety]);
+}
+
+// --------------------------------------------------------------- det-taint
+
+#[test]
+fn det_taint_flows_interprocedurally_through_the_workspace_pass() {
+    let mut config = LintConfig::default();
+    config.det_sinks = &[("crates/obs/src/digest_fixture.rs", &["deterministic_digest"])];
+    let srcs = vec![(
+        "crates/obs/src/digest_fixture.rs".to_string(),
+        r#"
+        fn stamp() -> u64 { let t = Instant::now(); 0 }
+        fn mid() -> u64 { stamp() }
+        pub fn deterministic_digest() -> u64 { mid() }
+        "#
+        .to_string(),
+    )];
+    let analysis = analyze_workspace(&config, &srcs, &[], &std::collections::BTreeMap::new());
+    let taint: Vec<&Violation> =
+        analysis.violations.iter().filter(|v| v.rule == Rule::DetTaint).collect();
+    assert_eq!(taint.len(), 1, "{:?}", analysis.violations);
+    assert_eq!(taint[0].symbol, "deterministic_digest <- mid <- stamp [Instant::now]");
+    // The graph stats expose the same flow: 3 fns, all clock-tainted.
+    assert_eq!(analysis.stats.nodes, 3);
+    assert_eq!(analysis.stats.clock_tainted, 3);
+}
+
+#[test]
+fn det_taint_passes_a_pure_digest_next_to_timing_code() {
+    let mut config = LintConfig::default();
+    config.det_sinks = &[("crates/obs/src/digest_fixture.rs", &["deterministic_digest"])];
+    let srcs = vec![(
+        "crates/obs/src/digest_fixture.rs".to_string(),
+        r#"
+        fn timing_layer() -> u64 { let t = Instant::now(); 0 }
+        pub fn deterministic_digest(data: &[u64]) -> u64 {
+            data.iter().fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(*b))
+        }
+        "#
+        .to_string(),
+    )];
+    let analysis = analyze_workspace(&config, &srcs, &[], &std::collections::BTreeMap::new());
+    assert!(
+        !analysis.violations.iter().any(|v| v.rule == Rule::DetTaint),
+        "{:?}",
+        analysis.violations
+    );
 }
 
 #[test]

@@ -1,0 +1,236 @@
+//! Interprocedural propagation tests: hot-path designation flowing along
+//! call edges, the monotonicity property of `reach`, and the regression
+//! guarantee that the propagated hot set covers every function from the
+//! retired hand-maintained `HOT_PATH_FUNCTIONS` list.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+use xtask::{analyze_root, analyze_workspace, CallGraph, LintConfig, Rule, SymbolTable};
+
+fn workspace_root() -> &'static Path {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().and_then(Path::parent);
+    match root {
+        Some(r) => {
+            assert!(r.join("Cargo.toml").exists(), "workspace root not found at {}", r.display());
+            Box::leak(r.to_path_buf().into_boxed_path())
+        }
+        None => panic!("crates/xtask has no grandparent directory"),
+    }
+}
+
+// ------------------------------------------------------ end-to-end overlay
+
+#[test]
+fn hot_designation_propagates_to_callees_and_fires_alloc_rule() {
+    // `extract_into` is a hot root; `helper` is designated only through the
+    // call edge, and the alloc rule must fire inside it.
+    let srcs = vec![(
+        "crates/features/src/extract.rs".to_string(),
+        r#"
+        pub fn extract_into(out: &mut Vec<f64>, words: &[&str]) {
+            helper(out, words);
+        }
+        fn helper(out: &mut Vec<f64>, words: &[&str]) {
+            let owned: Vec<String> = words.iter().map(|w| w.to_string()).collect();
+            out.push(owned.len() as f64);
+        }
+        fn unreached() {
+            let s = "cold".to_string();
+        }
+        "#
+        .to_string(),
+    )];
+    let analysis = analyze_workspace(&LintConfig::default(), &srcs, &[], &BTreeMap::new());
+    let hot = &analysis.hot_overlay["crates/features/src/extract.rs"];
+    assert!(hot.contains(&"extract_into".to_string()), "{hot:?}");
+    assert!(hot.contains(&"helper".to_string()), "propagation missed the callee: {hot:?}");
+    assert!(!hot.contains(&"unreached".to_string()), "{hot:?}");
+    assert!(
+        analysis
+            .violations
+            .iter()
+            .any(|v| v.rule == Rule::HotPathAlloc && v.symbol == "to_string" && v.line == 6),
+        "alloc rule did not fire in the propagated callee: {:?}",
+        analysis.violations
+    );
+}
+
+#[test]
+fn boundaries_exempt_their_body_and_stop_descent() {
+    let mut config = LintConfig::default();
+    config.hot_boundaries = &[(
+        "crates/features/src/extract.rs",
+        "amortized",
+        "test fixture: per-batch work",
+    )];
+    let srcs = vec![(
+        "crates/features/src/extract.rs".to_string(),
+        r#"
+        pub fn extract_into(out: &mut Vec<f64>) { amortized(out); }
+        fn amortized(out: &mut Vec<f64>) { deep(out); }
+        fn deep(out: &mut Vec<f64>) { out.push(0.0); }
+        "#
+        .to_string(),
+    )];
+    let analysis = analyze_workspace(&config, &srcs, &[], &BTreeMap::new());
+    let hot = &analysis.hot_overlay["crates/features/src/extract.rs"];
+    assert!(hot.contains(&"extract_into".to_string()), "{hot:?}");
+    // The boundary's own body is the exemption point — it may allocate at
+    // its amortized granularity — and nothing below it is designated.
+    assert!(!hot.contains(&"amortized".to_string()), "boundary body designated: {hot:?}");
+    assert!(!hot.contains(&"deep".to_string()), "descent through boundary: {hot:?}");
+}
+
+// ------------------------------------------------------------ monotonicity
+
+/// Deterministic SplitMix64 stream (the test must not read entropy: the
+/// repo's own determinism rules apply to its tooling too).
+struct Stream(u64);
+
+impl Stream {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[test]
+fn reach_is_monotone_in_the_edge_set() {
+    // Hand-rolled property loop (the workspace takes no proptest
+    // dependency): over random graph shapes, adding one call edge must
+    // never remove a function from the propagated hot set — the guarantee
+    // that makes the ratchet safe under refactors that add calls.
+    const FILE: &str = "crates/features/src/extract.rs";
+    let mut rng = Stream(42);
+    let mut tested = 0;
+    for _trial in 0..60 {
+        let n = 4 + (rng.next() % 10) as usize;
+        let mut adj = vec![vec![false; n]; n];
+        for row in adj.iter_mut() {
+            for cell in row.iter_mut() {
+                if rng.next() % 4 == 0 {
+                    *cell = true;
+                }
+            }
+        }
+        // A candidate edge that is not yet present.
+        let extra = (0..50).find_map(|_| {
+            let a = (rng.next() % n as u64) as usize;
+            let b = (rng.next() % n as u64) as usize;
+            (a != b && !adj[a][b]).then_some((a, b))
+        });
+        let Some((ea, eb)) = extra else { continue };
+        let boundary_idx: Vec<usize> = (0..n).filter(|_| rng.next() % 5 == 0).collect();
+
+        let render = |adj: &[Vec<bool>]| {
+            let mut s = String::new();
+            for (i, row) in adj.iter().enumerate() {
+                s.push_str(&format!("pub fn f{i}() {{ "));
+                for (j, &edge) in row.iter().enumerate() {
+                    if i != j && edge {
+                        s.push_str(&format!("f{j}(); "));
+                    }
+                }
+                s.push_str("}\n");
+            }
+            s
+        };
+        let hot_names = |adj: &[Vec<bool>]| -> BTreeSet<String> {
+            let src = render(adj);
+            let mut table = SymbolTable::default();
+            let toks = table.add_file(FILE, &src);
+            let mut files = BTreeMap::new();
+            files.insert(FILE.to_string(), (src, toks));
+            let graph = CallGraph::build(&table, &files, &BTreeMap::new());
+            let roots: Vec<usize> = table.named("f0").to_vec();
+            let boundaries: BTreeSet<usize> = boundary_idx
+                .iter()
+                .flat_map(|&i| table.named(&format!("f{i}")).to_vec())
+                .collect();
+            graph
+                .reach(&roots, &boundaries)
+                .iter()
+                .map(|&id| table.fns[id].name.clone())
+                .collect()
+        };
+
+        let before = hot_names(&adj);
+        let mut grown = adj.clone();
+        grown[ea][eb] = true;
+        let after = hot_names(&grown);
+        assert!(
+            before.is_subset(&after),
+            "adding edge f{ea}->f{eb} shrank the hot set: {before:?} -> {after:?}"
+        );
+        tested += 1;
+    }
+    assert!(tested >= 40, "too few effective trials: {tested}");
+}
+
+// --------------------------------------------------- hand-list regression
+
+/// The hand-maintained `HOT_PATH_FUNCTIONS` list this analyzer retired,
+/// verbatim. Every entry was a real hot-path designation, so the computed
+/// set must cover all of them — losing one would silently re-enable
+/// allocation in a per-tweet path.
+const RETIRED_HAND_LIST: &[(&str, &[&str])] = &[
+    ("crates/features/src/extract.rs", &["extract_into"]),
+    (
+        "crates/features/src/adaptive_bow.rs",
+        &[
+            "contains",
+            "score",
+            "swear_and_bow_counts",
+            "observe",
+            "observe_only",
+            "record",
+            "snapshot_into",
+        ],
+    ),
+    ("crates/nlp/src/tokenizer.rs", &["tokenize_into", "next"]),
+    ("crates/nlp/src/sentiment.rs", &["score_tokens_with", "score_spans", "score_core"]),
+    ("crates/nlp/src/pos.rs", &["tag_word", "tag_lower", "count_pos"]),
+    ("crates/nlp/src/intern.rs", &["get", "push_lowercase"]),
+    ("crates/core/src/spark.rs", &["process_batch"]),
+    ("crates/dspe/src/engine.rs", &["execute_with_retries"]),
+    ("crates/obs/src/metrics.rs", &["inc", "add", "set", "set_max", "record"]),
+    ("crates/obs/src/events.rs", &["push"]),
+    ("crates/obs/src/trace.rs", &["begin", "end", "record", "annotate_task", "sample"]),
+];
+
+#[test]
+fn propagated_hot_set_covers_the_retired_hand_list() {
+    let analysis = match analyze_root(&LintConfig::default(), workspace_root()) {
+        Ok(a) => a,
+        Err(e) => panic!("workspace analysis failed: {e}"),
+    };
+    let mut missing = Vec::new();
+    for &(file, names) in RETIRED_HAND_LIST {
+        let hot = analysis.hot_overlay.get(file).cloned().unwrap_or_default();
+        for name in names {
+            if !hot.iter().any(|n| n == name) {
+                missing.push(format!("{file}::{name}"));
+            }
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "propagation lost retired hand-list designations:\n  {}",
+        missing.join("\n  ")
+    );
+    // The computed set strictly extends the hand list (the point of the
+    // analyzer: callees the list never knew about are now covered).
+    let hand_count: usize = RETIRED_HAND_LIST.iter().map(|(_, ns)| ns.len()).sum();
+    assert!(
+        analysis.stats.hot_fns > hand_count,
+        "hot set ({}) no larger than the retired hand list ({hand_count})",
+        analysis.stats.hot_fns
+    );
+    // Graph-shape sanity: the workspace is large and well connected.
+    assert!(analysis.stats.nodes > 500, "nodes: {}", analysis.stats.nodes);
+    assert!(analysis.stats.edges > 1000, "edges: {}", analysis.stats.edges);
+    assert!(analysis.stats.task_fns > 0, "task set empty");
+}

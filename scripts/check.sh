@@ -7,8 +7,9 @@ cd "$(dirname "$0")/.."
 echo "== build (release, all targets) =="
 cargo build --release --workspace --all-targets
 
-echo "== redhanded-lint =="
-cargo run -q -p xtask -- lint
+echo "== redhanded-lint (interprocedural; call-graph stats land in the JSON report) =="
+cargo run -q -p xtask -- lint --json results/LINT_report.json
+test -s results/LINT_report.json
 
 echo "== tests =="
 cargo test -q --workspace
